@@ -1,0 +1,63 @@
+//! Accelerator-layer benchmarks: weight-stationary mapping, effective-weight
+//! evaluation and the physical VDP datapath.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safelight::models::{build_model, matched_accelerator, ModelKind};
+use safelight_onn::{
+    corrupt_network, effective_weight_row, AcceleratorConfig, ConditionMap,
+    EffectiveWeightParams, MrCondition, OpticalVdp, WeightMapping,
+};
+
+fn bench_mapping_locate(c: &mut Criterion) {
+    let bundle = build_model(ModelKind::Vgg16s, 1).unwrap();
+    let config = matched_accelerator(ModelKind::Vgg16s).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    c.bench_function("mapping_locate_vgg", |b| {
+        let mut off = 0usize;
+        b.iter(|| {
+            off = (off + 97) % 196_608;
+            mapping.locate(black_box(6), black_box(off)).unwrap()
+        })
+    });
+}
+
+fn bench_effective_row(c: &mut Criterion) {
+    let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper().unwrap());
+    let weights: Vec<f64> = (0..20).map(|i| (i as f64 / 20.0) - 0.5).collect();
+    let mut conds = vec![MrCondition::Healthy; 20];
+    conds[7] = MrCondition::Parked;
+    conds[12] = MrCondition::Heated { delta_kelvin: 14.6 };
+    c.bench_function("effective_weight_row_20ch", |b| {
+        b.iter(|| effective_weight_row(black_box(&weights), black_box(&conds), &p))
+    });
+}
+
+fn bench_corrupt_network_clean(c: &mut Criterion) {
+    let bundle = build_model(ModelKind::Cnn1, 1).unwrap();
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let conditions = ConditionMap::new();
+    c.bench_function("corrupt_network_cnn1_clean", |b| {
+        b.iter(|| corrupt_network(&bundle.network, &mapping, &conditions, &config).unwrap())
+    });
+}
+
+fn bench_optical_vdp(c: &mut Criterion) {
+    let config = AcceleratorConfig::paper().unwrap();
+    let mut vdp = OpticalVdp::new(&config, 20).unwrap();
+    let inputs: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+    let weights: Vec<f64> = (0..20).map(|i| (i as f64 / 20.0) - 0.5).collect();
+    let conds = vec![MrCondition::Healthy; 20];
+    c.bench_function("optical_vdp_dot_20ch", |b| {
+        b.iter(|| vdp.dot(black_box(&inputs), black_box(&weights), &conds).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mapping_locate,
+    bench_effective_row,
+    bench_corrupt_network_clean,
+    bench_optical_vdp
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Attack-injection benchmarks: actuation sampling and hotspot thermal
+//! solves at the experiment's accelerator shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::models::matched_accelerator;
+use safelight::models::ModelKind;
+
+fn bench_actuation(c: &mut Criterion) {
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let scenario = AttackScenario {
+        vector: AttackVector::Actuation,
+        target: AttackTarget::Both,
+        fraction: 0.05,
+        trial: 0,
+    };
+    c.bench_function("inject_actuation_5pct_cnn1", |b| {
+        b.iter(|| inject(&scenario, &config, 7).unwrap())
+    });
+}
+
+fn bench_hotspot(c: &mut Criterion) {
+    let config = matched_accelerator(ModelKind::ResNet18s).unwrap();
+    let scenario = AttackScenario {
+        vector: AttackVector::Hotspot,
+        target: AttackTarget::ConvBlock,
+        fraction: 0.05,
+        trial: 0,
+    };
+    let mut group = c.benchmark_group("hotspot");
+    group.sample_size(10);
+    group.bench_function("inject_hotspot_5pct_resnet_conv", |b| {
+        b.iter(|| inject(&scenario, &config, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_actuation, bench_hotspot);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end figure benchmarks: one susceptibility trial (inject +
+//! corrupt + evaluate) per model — the unit of work behind Figs. 7-9 —
+//! plus the Fig. 6 thermal artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::experiment::{run_fig6, ExperimentOptions};
+use safelight::models::{build_model, matched_accelerator, ModelKind};
+use safelight_datasets::{generate, SyntheticSpec};
+use safelight_neuro::accuracy;
+use safelight_onn::{corrupt_network, WeightMapping};
+
+fn bench_fig7_trial_cnn1(c: &mut Criterion) {
+    let kind = ModelKind::Cnn1;
+    let data = generate(
+        safelight::models::dataset_kind_for(kind),
+        &SyntheticSpec { train: 64, test: 64, ..SyntheticSpec::default() },
+    )
+    .unwrap();
+    let bundle = build_model(kind, 1).unwrap();
+    let config = matched_accelerator(kind).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let scenario = AttackScenario {
+        vector: AttackVector::Actuation,
+        target: AttackTarget::Both,
+        fraction: 0.05,
+        trial: 0,
+    };
+    let mut group = c.benchmark_group("fig7_trial");
+    group.sample_size(10);
+    group.bench_function("cnn1_actuation_5pct_64imgs", |b| {
+        b.iter(|| {
+            let conditions = inject(&scenario, &config, 7).unwrap();
+            let mut attacked =
+                corrupt_network(&bundle.network, &mapping, &conditions, &config).unwrap();
+            accuracy(&mut attacked, &data.test, 32).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let opts = ExperimentOptions::default();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("conv_block_heatmap", |b| b.iter(|| run_fig6(&opts).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7_trial_cnn1, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Device-level micro-benchmarks: microring transfer evaluation, imprint
+//! inversion and the eq. (2) thermal-shift model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safelight_photonics::{thermal_resonance_shift_nm, Microring, SiliconProperties, WdmGrid};
+
+fn bench_through_transmission(c: &mut Criterion) {
+    let grid = WdmGrid::c_band(16).unwrap();
+    let ring = Microring::for_channel(&grid, 8).unwrap();
+    let lambdas: Vec<_> = grid.iter().collect();
+    c.bench_function("microring_through_transmission_16ch", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &l in &lambdas {
+                acc += ring.through_transmission(black_box(l));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_imprint(c: &mut Criterion) {
+    let grid = WdmGrid::c_band(8).unwrap();
+    let mut ring = Microring::for_channel(&grid, 3).unwrap();
+    let (lo, hi) = (ring.min_transmission(), ring.max_transmission());
+    c.bench_function("microring_imprint_transmission", |b| {
+        let mut t = lo;
+        b.iter(|| {
+            t += 0.01 * (hi - lo);
+            if t > hi {
+                t = lo;
+            }
+            ring.imprint_transmission(black_box(t)).unwrap();
+        })
+    });
+}
+
+fn bench_thermal_shift(c: &mut Criterion) {
+    let si = SiliconProperties::default();
+    c.bench_function("eq2_thermal_shift", |b| {
+        b.iter(|| thermal_resonance_shift_nm(black_box(&si), black_box(1550.0), black_box(20.0)))
+    });
+}
+
+criterion_group!(benches, bench_through_transmission, bench_imprint, bench_thermal_shift);
+criterion_main!(benches);

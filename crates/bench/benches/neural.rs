@@ -1,0 +1,52 @@
+//! Neural-substrate benchmarks: convolution, dense layers and a full
+//! CNN_1 forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safelight::models::{build_model, ModelKind};
+use safelight_neuro::{Conv2d, Layer, Linear, Tensor};
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut conv = Conv2d::new(8, 16, 3, 1).unwrap();
+    let x = Tensor::zeros(vec![8, 8, 14, 14]);
+    c.bench_function("conv2d_forward_8x8x14x14", |b| {
+        b.iter(|| conv.forward(&x, false).unwrap())
+    });
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut conv = Conv2d::new(8, 16, 3, 1).unwrap();
+    let x = Tensor::zeros(vec![8, 8, 14, 14]);
+    let y = conv.forward(&x, true).unwrap();
+    let g = Tensor::zeros(y.shape().to_vec());
+    c.bench_function("conv2d_backward_8x8x14x14", |b| {
+        b.iter(|| {
+            conv.forward(&x, true).unwrap();
+            conv.backward(&g).unwrap()
+        })
+    });
+}
+
+fn bench_linear_forward(c: &mut Criterion) {
+    let mut fc = Linear::new(784, 128, 1).unwrap();
+    let x = Tensor::zeros(vec![32, 784]);
+    c.bench_function("linear_forward_32x784x128", |b| {
+        b.iter(|| fc.forward(&x, false).unwrap())
+    });
+}
+
+fn bench_cnn1_inference(c: &mut Criterion) {
+    let mut net = build_model(ModelKind::Cnn1, 1).unwrap().network;
+    let x = Tensor::zeros(vec![16, 1, 28, 28]);
+    c.bench_function("cnn1_forward_batch16", |b| {
+        b.iter(|| net.forward(&x, false).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_conv_backward,
+    bench_linear_forward,
+    bench_cnn1_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Thermal-solver benchmarks: the HotSpot-substitute's steady-state solve
+//! at the block sizes the hotspot attacks use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safelight_thermal::{Floorplan, ThermalConfig, ThermalGrid};
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_solve");
+    group.sample_size(10);
+    for size in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut grid = ThermalGrid::new(size, size, ThermalConfig::default()).unwrap();
+            grid.add_power(size / 2, size / 2, 0.02).unwrap();
+            b.iter(|| grid.solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bank_attack_solve(c: &mut Criterion) {
+    // The Fig. 6 configuration: a floorplan of banks with two heated.
+    let plan = Floorplan::bank_grid(5, 5, 8, 8, 2).unwrap();
+    let mut grid =
+        ThermalGrid::new(plan.grid_width(), plan.grid_height(), ThermalConfig::default())
+            .unwrap();
+    grid.add_power_region(plan.bank(6).unwrap().rect, 0.06).unwrap();
+    grid.add_power_region(plan.bank(18).unwrap().rect, 0.06).unwrap();
+    let mut group = c.benchmark_group("thermal_bank_attack");
+    group.sample_size(10);
+    group.bench_function("5x5_banks_two_attacked", |b| b.iter(|| grid.solve().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve, bench_bank_attack_solve);
+criterion_main!(benches);

@@ -1,0 +1,369 @@
+//! Regenerates every table and figure of the SafeLight paper.
+//!
+//! ```text
+//! repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] [--out-dir DIR]
+//!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--ablation] [--all]
+//! ```
+//!
+//! Each artifact prints the same rows/series the paper reports; the Fig. 6
+//! heatmap is additionally written as CSV/PGM files under `--out-dir`.
+
+use std::path::PathBuf;
+
+use safelight::defense::noise_ablation_variants;
+use safelight::experiment::{
+    run_fig6, run_fig7, run_fig8, run_fig9, workbench, ExperimentOptions, Fidelity,
+};
+use safelight::models::{table1, ModelKind};
+use safelight::prelude::*;
+use safelight_onn::BlockKind;
+
+struct Args {
+    fidelity: Fidelity,
+    models: Vec<ModelKind>,
+    out_dir: PathBuf,
+    table1: bool,
+    fig6: bool,
+    fig7: bool,
+    fig8: bool,
+    fig9: bool,
+    ablation: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fidelity: Fidelity::Quick,
+        models: ModelKind::all().to_vec(),
+        out_dir: PathBuf::from("target/safelight-artifacts"),
+        table1: false,
+        fig6: false,
+        fig7: false,
+        fig8: false,
+        fig9: false,
+        ablation: false,
+    };
+    let mut any = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.fidelity = Fidelity::Quick,
+            "--full" => args.fidelity = Fidelity::Full,
+            "--model" => {
+                let value = iter.next().ok_or("--model needs a value")?;
+                args.models = match value.as_str() {
+                    "cnn1" => vec![ModelKind::Cnn1],
+                    "resnet18" => vec![ModelKind::ResNet18s],
+                    "vgg16" => vec![ModelKind::Vgg16s],
+                    "all" => ModelKind::all().to_vec(),
+                    other => return Err(format!("unknown model `{other}`")),
+                };
+            }
+            "--out-dir" => {
+                args.out_dir = PathBuf::from(iter.next().ok_or("--out-dir needs a value")?);
+            }
+            "--table1" => {
+                args.table1 = true;
+                any = true;
+            }
+            "--fig6" => {
+                args.fig6 = true;
+                any = true;
+            }
+            "--fig7" => {
+                args.fig7 = true;
+                any = true;
+            }
+            "--fig8" => {
+                args.fig8 = true;
+                any = true;
+            }
+            "--fig9" => {
+                args.fig9 = true;
+                any = true;
+            }
+            "--ablation" => {
+                args.ablation = true;
+                any = true;
+            }
+            "--all" => {
+                args.table1 = true;
+                args.fig6 = true;
+                args.fig7 = true;
+                args.fig8 = true;
+                args.fig9 = true;
+                args.ablation = true;
+                any = true;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] \
+                     [--out-dir DIR] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
+                     [--ablation] [--all]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !any {
+        args.table1 = true;
+        args.fig6 = true;
+        args.fig7 = true;
+    }
+    Ok(args)
+}
+
+fn pct(x: f64) -> String {
+    format!("{:6.2}%", x * 100.0)
+}
+
+fn print_table1() -> Result<(), SafelightError> {
+    println!("\n=== Table I: CNN model parameters (paper → this reproduction) ===");
+    println!(
+        "{:<10} {:<26} {:>12} {:>22} {:>10} {:>26} {:>26}",
+        "Model", "Dataset", "CONV layers", "CONV params", "FC layers", "FC params", "Total"
+    );
+    for row in table1()? {
+        println!(
+            "{:<10} {:<26} {:>12} {:>22} {:>10} {:>26} {:>26}",
+            row.model,
+            format!("{} → {}", row.dataset.0, row.dataset.1),
+            format!("{} → {}", row.conv_layers.0, row.conv_layers.1),
+            format!("{} → {}", row.conv_params.0, row.conv_params.1),
+            format!("{} → {}", row.fc_layers.0, row.fc_layers.1),
+            format!("{} → {}", row.fc_params.0, row.fc_params.1),
+            format!("{} → {}", row.total_params.0, row.total_params.1),
+        );
+    }
+    Ok(())
+}
+
+fn print_fig6(opts: &ExperimentOptions, out_dir: &std::path::Path) -> Result<(), SafelightError> {
+    println!("\n=== Fig. 6: CONV-block heatmap under hotspot attacks ===");
+    let artifact = run_fig6(opts)?;
+    println!("attacked banks: {:?}", artifact.attacked_banks);
+    println!("peak ΔT: {:.1} K", artifact.peak_delta_kelvin);
+    println!(
+        "mean ΔT across non-attacked banks (spill-over): {:.2} K",
+        artifact.neighbour_mean_delta_kelvin
+    );
+    std::fs::create_dir_all(out_dir).ok();
+    let csv = out_dir.join("fig6_heatmap.csv");
+    let pgm = out_dir.join("fig6_heatmap.pgm");
+    std::fs::write(&csv, artifact.heatmap.to_csv()).ok();
+    std::fs::write(&pgm, artifact.heatmap.to_pgm()).ok();
+    println!("heatmap written to {} and {}", csv.display(), pgm.display());
+    println!("{}", artifact.heatmap.to_ascii());
+    Ok(())
+}
+
+fn print_fig7(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    out_dir: &std::path::Path,
+) -> Result<(), SafelightError> {
+    println!("\n=== Fig. 7 ({kind}): susceptibility to actuation & hotspot attacks ===");
+    let (bench, report) = run_fig7(kind, opts)?;
+    println!(
+        "baseline (clean accelerator) accuracy: {}   [CONV rounds: {}, FC rounds: {}]",
+        pct(report.baseline),
+        bench.mapping.rounds(BlockKind::Conv),
+        bench.mapping.rounds(BlockKind::Fc),
+    );
+    println!(
+        "{:<10} {:<8} {:>6} {:>10} {:>10} {:>10}",
+        "vector", "target", "pct", "min", "mean", "max"
+    );
+    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+        for target in [AttackTarget::ConvBlock, AttackTarget::FcBlock, AttackTarget::Both] {
+            for fraction in opts.fractions() {
+                let accs: Vec<f64> = report
+                    .filtered(|s| {
+                        s.vector == vector
+                            && s.target == target
+                            && (s.fraction - fraction).abs() < 1e-12
+                    })
+                    .iter()
+                    .map(|t| t.accuracy)
+                    .collect();
+                if accs.is_empty() {
+                    continue;
+                }
+                let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+                println!(
+                    "{:<10} {:<8} {:>5.0}% {:>10} {:>10} {:>10}",
+                    vector.to_string(),
+                    target.to_string(),
+                    fraction * 100.0,
+                    pct(min),
+                    pct(mean),
+                    pct(max)
+                );
+            }
+        }
+    }
+    println!(
+        "worst-case drop: {} (paper: 7.49% CNN_1 / 26.4% ResNet18 / 80.46% VGG16_v at 10% hotspot CONV+FC)",
+        pct(report.worst_drop())
+    );
+    std::fs::create_dir_all(out_dir).ok();
+    let csv = out_dir.join(format!("fig7_{}.csv", kind.label().to_lowercase()));
+    std::fs::write(&csv, safelight::eval::susceptibility_csv(&report)).ok();
+    println!("series written to {}", csv.display());
+    Ok(())
+}
+
+fn print_fig8(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    out_dir: &std::path::Path,
+) -> Result<(), SafelightError> {
+    println!("\n=== Fig. 8 ({kind}): robustness of mitigation-trained variants ===");
+    let (_, report) = run_fig8(kind, opts)?;
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "baseline", "min", "q1", "median", "q3", "max"
+    );
+    for o in &report.outcomes {
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            o.variant.label(),
+            pct(o.baseline),
+            pct(o.stats.min),
+            pct(o.stats.q1),
+            pct(o.stats.median),
+            pct(o.stats.q3),
+            pct(o.stats.max)
+        );
+    }
+    if let Some(best) = report.most_robust() {
+        println!(
+            "most robust variant: {} (paper found l2+n3 / l2+n5 / l2+n2 for its three models)",
+            best.variant.label()
+        );
+    }
+    std::fs::create_dir_all(out_dir).ok();
+    let csv = out_dir.join(format!("fig8_{}.csv", kind.label().to_lowercase()));
+    std::fs::write(&csv, safelight::eval::mitigation_csv(&report)).ok();
+    println!("series written to {}", csv.display());
+    Ok(())
+}
+
+fn print_fig9(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    out_dir: &std::path::Path,
+) -> Result<(), SafelightError> {
+    println!("\n=== Fig. 9 ({kind}): robust vs original under CONV+FC attacks ===");
+    let (best, report) = run_fig9(kind, opts)?;
+    println!(
+        "robust variant: {}   original baseline {}   robust baseline {}",
+        best.label(),
+        pct(report.original_baseline),
+        pct(report.robust_baseline)
+    );
+    println!(
+        "{:<10} {:>6} {:>30} {:>30} {:>10}",
+        "vector", "pct", "original (min/mean/max)", "robust (min/mean/max)", "recovery"
+    );
+    for i in &report.intervals {
+        println!(
+            "{:<10} {:>5.0}% {:>30} {:>30} {:>10}",
+            i.vector.to_string(),
+            i.fraction * 100.0,
+            format!(
+                "{} / {} / {}",
+                pct(i.original.0),
+                pct(i.original.1),
+                pct(i.original.2)
+            ),
+            format!("{} / {} / {}", pct(i.robust.0), pct(i.robust.1), pct(i.robust.2)),
+            pct(i.worst_case_recovery())
+        );
+    }
+    std::fs::create_dir_all(out_dir).ok();
+    let csv = out_dir.join(format!("fig9_{}.csv", kind.label().to_lowercase()));
+    std::fs::write(&csv, safelight::eval::recovery_csv(&report)).ok();
+    println!("series written to {}", csv.display());
+    Ok(())
+}
+
+fn print_ablation(kind: ModelKind, opts: &ExperimentOptions) -> Result<(), SafelightError> {
+    println!("\n=== Ablation ({kind}): noise-aware training without L2 ===");
+    let bench = workbench(kind, opts)?;
+    let recipe = opts.recipe(kind);
+    let mut variants = vec![(VariantKind::Original, bench.original.clone())];
+    for variant in noise_ablation_variants().into_iter().step_by(2) {
+        let network = train_variant(
+            kind,
+            variant,
+            &bench.data,
+            &recipe,
+            opts.cache_dir.as_deref(),
+        )?;
+        variants.push((variant, network));
+    }
+    let scenarios = scenario_grid(&[0.05], opts.fig8_trials());
+    let report = run_mitigation(
+        &variants,
+        &bench.mapping,
+        &bench.config,
+        &bench.data.test,
+        &scenarios,
+        opts.seed,
+        opts.threads,
+    )?;
+    println!("{:<10} {:>10} {:>26}", "variant", "baseline", "median under 5% attacks");
+    for o in &report.outcomes {
+        println!(
+            "{:<10} {:>10} {:>26}",
+            o.variant.label(),
+            pct(o.baseline),
+            pct(o.stats.median)
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = ExperimentOptions { fidelity: args.fidelity, ..ExperimentOptions::default() };
+    let started = std::time::Instant::now();
+
+    let run = || -> Result<(), SafelightError> {
+        if args.table1 {
+            print_table1()?;
+        }
+        if args.fig6 {
+            print_fig6(&opts, &args.out_dir)?;
+        }
+        for &kind in &args.models {
+            if args.fig7 {
+                print_fig7(kind, &opts, &args.out_dir)?;
+            }
+            if args.fig8 {
+                print_fig8(kind, &opts, &args.out_dir)?;
+            }
+            if args.fig9 {
+                print_fig9(kind, &opts, &args.out_dir)?;
+            }
+            if args.ablation {
+                print_ablation(kind, &opts)?;
+            }
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("\ncompleted in {:.1} s", started.elapsed().as_secs_f64());
+}

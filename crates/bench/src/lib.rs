@@ -1,0 +1,11 @@
+//! Benchmark and reproduction harness for the SafeLight workspace.
+//!
+//! This crate carries no library code of its own; it exists for
+//!
+//! * the `repro` binary (`src/bin/repro.rs`), which regenerates every table
+//!   and figure of the paper (`repro --help` for the flag list), and
+//! * the Criterion micro-benchmarks under `benches/`, covering the
+//!   photonic device models, the thermal solver, the neural substrate, the
+//!   accelerator mapping/execution layers and the attack injectors.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,176 @@
+//! MNIST stand-in: stroke-rendered digit glyphs with geometric jitter.
+
+use safelight_neuro::{InMemoryDataset, NeuroError, SimRng, Tensor};
+
+use crate::raster::{Affine, Canvas};
+use crate::spec::{SplitDataset, SyntheticSpec};
+
+const SIZE: usize = 28;
+
+/// Seven-segment-style endpoints in normalized glyph space for digits 0–9,
+/// augmented with diagonals so all ten classes are mutually distinctive.
+fn glyph_segments(digit: usize) -> &'static [((f32, f32), (f32, f32))] {
+    // Segment endpoints (x, y) with y growing downward.
+    const TOP: ((f32, f32), (f32, f32)) = ((0.2, 0.15), (0.8, 0.15));
+    const MID: ((f32, f32), (f32, f32)) = ((0.2, 0.5), (0.8, 0.5));
+    const BOTTOM: ((f32, f32), (f32, f32)) = ((0.2, 0.85), (0.8, 0.85));
+    const TL: ((f32, f32), (f32, f32)) = ((0.2, 0.15), (0.2, 0.5));
+    const TR: ((f32, f32), (f32, f32)) = ((0.8, 0.15), (0.8, 0.5));
+    const BL: ((f32, f32), (f32, f32)) = ((0.2, 0.5), (0.2, 0.85));
+    const BR: ((f32, f32), (f32, f32)) = ((0.8, 0.5), (0.8, 0.85));
+    const DIAG: ((f32, f32), (f32, f32)) = ((0.8, 0.15), (0.3, 0.85));
+    const STEM: ((f32, f32), (f32, f32)) = ((0.5, 0.15), (0.5, 0.85));
+
+    match digit {
+        0 => &[TOP, BOTTOM, TL, TR, BL, BR],
+        1 => &[STEM],
+        2 => &[TOP, TR, MID, BL, BOTTOM],
+        3 => &[TOP, TR, MID, BR, BOTTOM],
+        4 => &[TL, MID, TR, BR],
+        5 => &[TOP, TL, MID, BR, BOTTOM],
+        6 => &[TOP, TL, MID, BL, BR, BOTTOM],
+        7 => &[TOP, DIAG],
+        8 => &[TOP, MID, BOTTOM, TL, TR, BL, BR],
+        _ => &[TOP, TL, TR, MID, BR, BOTTOM],
+    }
+}
+
+fn render_digit(digit: usize, rng: &mut SimRng, spec: &SyntheticSpec) -> Tensor {
+    let jitter = spec.jitter as f32;
+    let transform = Affine {
+        scale: 1.0 + jitter * rng.uniform_in(-0.2, 0.2) as f32,
+        rotation: jitter * rng.uniform_in(-0.25, 0.25) as f32,
+        translate: (
+            jitter * rng.uniform_in(-2.5, 2.5) as f32,
+            jitter * rng.uniform_in(-2.5, 2.5) as f32,
+        ),
+    };
+    let half_thickness = 1.0 + jitter * rng.uniform_in(-0.3, 0.6) as f32;
+    let mut canvas = Canvas::new(SIZE, SIZE);
+    for &(a, b) in glyph_segments(digit) {
+        let pa = transform.apply(a, SIZE as f32);
+        let pb = transform.apply(b, SIZE as f32);
+        canvas.line(pa, pb, half_thickness, 1.0);
+    }
+    let mut pixels = canvas.pixels;
+    if spec.noise_std > 0.0 {
+        for p in &mut pixels {
+            *p = (*p + rng.gaussian_with(0.0, spec.noise_std) as f32).clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(vec![1, SIZE, SIZE], pixels).expect("canvas size is fixed")
+}
+
+fn generate_split(
+    count: usize,
+    rng: &mut SimRng,
+    spec: &SyntheticSpec,
+) -> Result<InMemoryDataset, NeuroError> {
+    let mut images = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let digit = i % 10; // balanced classes
+        images.push(render_digit(digit, rng, spec));
+        labels.push(digit);
+    }
+    InMemoryDataset::new(images, labels)
+}
+
+/// Generates the MNIST stand-in: 1×28×28 glyph images, 10 balanced classes.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::InvalidDataset`] when either split is empty.
+///
+/// # Example
+///
+/// ```
+/// use safelight_datasets::{digits, SyntheticSpec};
+/// use safelight_neuro::Dataset;
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let split = digits(&SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() })?;
+/// let (img, label) = split.train.item(0)?;
+/// assert_eq!(img.shape(), &[1, 28, 28]);
+/// assert!(label < 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn digits(spec: &SyntheticSpec) -> Result<SplitDataset, NeuroError> {
+    let mut train_rng = SimRng::seed_from(spec.seed).derive(0xD161);
+    let mut test_rng = SimRng::seed_from(spec.seed).derive(0xD162);
+    Ok(SplitDataset {
+        train: generate_split(spec.train, &mut train_rng, spec)?,
+        test: generate_split(spec.test, &mut test_rng, spec)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safelight_neuro::Dataset;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec { train: 40, test: 20, ..SyntheticSpec::default() }
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let split = digits(&spec()).unwrap();
+        let mut counts = [0usize; 10];
+        for i in 0..split.train.len() {
+            counts[split.train.item(i).unwrap().1] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn images_are_normalized_and_non_trivial() {
+        let split = digits(&spec()).unwrap();
+        for i in 0..10 {
+            let (img, _) = split.train.item(i).unwrap();
+            assert!(img.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // A glyph must light a meaningful number of pixels.
+            let lit = img.as_slice().iter().filter(|&&p| p > 0.3).count();
+            assert!(lit > 10, "item {i} only lit {lit} pixels");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = digits(&spec()).unwrap();
+        let b = digits(&spec()).unwrap();
+        let (ia, la) = a.train.item(5).unwrap();
+        let (ib, lb) = b.train.item(5).unwrap();
+        assert_eq!(la, lb);
+        assert_eq!(ia.as_slice(), ib.as_slice());
+    }
+
+    #[test]
+    fn train_and_test_streams_differ() {
+        let split = digits(&spec()).unwrap();
+        let (train0, _) = split.train.item(0).unwrap();
+        let (test0, _) = split.test.item(0).unwrap();
+        assert_ne!(train0.as_slice(), test0.as_slice());
+    }
+
+    #[test]
+    fn glyphs_of_different_digits_differ() {
+        // Render without jitter/noise: class templates must be distinct.
+        let clean = SyntheticSpec { train: 10, test: 10, noise_std: 0.0, jitter: 0.0, seed: 1 };
+        let split = digits(&clean).unwrap();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let (a, _) = split.train.item(i).unwrap();
+                let (b, _) = split.train.item(j).unwrap();
+                let diff: f32 = a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .map(|(x, y)| (x - y).abs())
+                    .sum();
+                assert!(diff > 5.0, "digits {i} and {j} are too similar ({diff})");
+            }
+        }
+    }
+}

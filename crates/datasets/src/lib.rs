@@ -1,0 +1,78 @@
+//! Deterministic synthetic image-classification datasets.
+//!
+//! The SafeLight paper evaluates on MNIST, CIFAR-10 and Imagenette. Those
+//! corpora are not available in this environment, so this crate generates
+//! procedural stand-ins with the same tensor shapes, class counts and
+//! (approximate) clean-accuracy regimes:
+//!
+//! | Paper dataset | Stand-in | Shape | Classes |
+//! |---|---|---|---|
+//! | MNIST      | [`digits`] — stroke-rendered glyphs with jitter | 1×28×28 | 10 |
+//! | CIFAR-10   | [`tinted_shapes`] — coloured geometric shapes on textured backgrounds | 3×32×32 | 10 |
+//! | Imagenette | [`textured_scenes`] — composed texture + object scenes | 3×64×64 | 10 |
+//!
+//! The attack-susceptibility analysis depends on the *model* and its
+//! hardware mapping, not on photographic content, so matched shapes,
+//! difficulty and baseline accuracy preserve the paper's experimental
+//! conditions (see DESIGN.md §2 for the substitution argument).
+//!
+//! Every generator is a pure function of its [`SyntheticSpec`], so datasets
+//! are bit-reproducible across runs and machines.
+//!
+//! # Example
+//!
+//! ```
+//! use safelight_datasets::{digits, SyntheticSpec};
+//! use safelight_neuro::Dataset;
+//!
+//! # fn main() -> Result<(), safelight_neuro::NeuroError> {
+//! let split = digits(&SyntheticSpec { train: 64, test: 16, ..SyntheticSpec::default() })?;
+//! assert_eq!(split.train.len(), 64);
+//! assert_eq!(split.train.image_shape(), vec![1, 28, 28]);
+//! assert_eq!(split.train.classes(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digits;
+mod raster;
+mod scenes;
+mod shapes;
+mod spec;
+
+pub use digits::digits;
+pub use scenes::textured_scenes;
+pub use shapes::tinted_shapes;
+pub use spec::{SplitDataset, SyntheticKind, SyntheticSpec};
+
+use safelight_neuro::NeuroError;
+
+/// Generates the stand-in dataset for `kind`.
+///
+/// # Errors
+///
+/// Propagates generator errors (e.g. zero-sized splits).
+///
+/// # Example
+///
+/// ```
+/// use safelight_datasets::{generate, SyntheticKind, SyntheticSpec};
+/// use safelight_neuro::Dataset;
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let spec = SyntheticSpec { train: 32, test: 8, ..SyntheticSpec::default() };
+/// let split = generate(SyntheticKind::Digits, &spec)?;
+/// assert_eq!(split.test.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate(kind: SyntheticKind, spec: &SyntheticSpec) -> Result<SplitDataset, NeuroError> {
+    match kind {
+        SyntheticKind::Digits => digits(spec),
+        SyntheticKind::TintedShapes => tinted_shapes(spec),
+        SyntheticKind::TexturedScenes => textured_scenes(spec),
+    }
+}

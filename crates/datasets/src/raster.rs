@@ -1,0 +1,184 @@
+//! Minimal software rasterizer used by the dataset generators.
+
+/// A single-channel float canvas in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub(crate) struct Canvas {
+    pub width: usize,
+    pub height: usize,
+    pub pixels: Vec<f32>,
+}
+
+impl Canvas {
+    pub(crate) fn new(width: usize, height: usize) -> Self {
+        Self { width, height, pixels: vec![0.0; width * height] }
+    }
+
+    /// Additively blends `value` into `(x, y)`, clamping to `[0, 1]`.
+    pub(crate) fn blend(&mut self, x: isize, y: isize, value: f32) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let idx = y as usize * self.width + x as usize;
+        self.pixels[idx] = (self.pixels[idx] + value).clamp(0.0, 1.0);
+    }
+
+    /// Draws an anti-aliased line segment of the given half-thickness.
+    pub(crate) fn line(
+        &mut self,
+        (x0, y0): (f32, f32),
+        (x1, y1): (f32, f32),
+        half_thickness: f32,
+        intensity: f32,
+    ) {
+        let min_x = (x0.min(x1) - half_thickness - 1.0).floor() as isize;
+        let max_x = (x0.max(x1) + half_thickness + 1.0).ceil() as isize;
+        let min_y = (y0.min(y1) - half_thickness - 1.0).floor() as isize;
+        let max_y = (y0.max(y1) + half_thickness + 1.0).ceil() as isize;
+        let (dx, dy) = (x1 - x0, y1 - y0);
+        let len_sq = (dx * dx + dy * dy).max(1e-9);
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let (px, py) = (x as f32, y as f32);
+                // Distance from pixel to the segment.
+                let t = (((px - x0) * dx + (py - y0) * dy) / len_sq).clamp(0.0, 1.0);
+                let (cx, cy) = (x0 + t * dx, y0 + t * dy);
+                let dist = ((px - cx).powi(2) + (py - cy).powi(2)).sqrt();
+                let cover = (half_thickness + 0.5 - dist).clamp(0.0, 1.0);
+                if cover > 0.0 {
+                    self.blend(x, y, intensity * cover);
+                }
+            }
+        }
+    }
+
+    /// Draws a filled, anti-aliased disk.
+    pub(crate) fn disk(&mut self, (cx, cy): (f32, f32), radius: f32, intensity: f32) {
+        let min_x = (cx - radius - 1.0).floor() as isize;
+        let max_x = (cx + radius + 1.0).ceil() as isize;
+        let min_y = (cy - radius - 1.0).floor() as isize;
+        let max_y = (cy + radius + 1.0).ceil() as isize;
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let dist = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+                let cover = (radius + 0.5 - dist).clamp(0.0, 1.0);
+                if cover > 0.0 {
+                    self.blend(x, y, intensity * cover);
+                }
+            }
+        }
+    }
+
+    /// Draws an unfilled ring of the given radius and stroke half-width.
+    pub(crate) fn ring(
+        &mut self,
+        centre: (f32, f32),
+        radius: f32,
+        half_stroke: f32,
+        intensity: f32,
+    ) {
+        let (cx, cy) = centre;
+        let outer = radius + half_stroke + 1.0;
+        let min_x = (cx - outer).floor() as isize;
+        let max_x = (cx + outer).ceil() as isize;
+        let min_y = (cy - outer).floor() as isize;
+        let max_y = (cy + outer).ceil() as isize;
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let dist = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+                let cover = (half_stroke + 0.5 - (dist - radius).abs()).clamp(0.0, 1.0);
+                if cover > 0.0 {
+                    self.blend(x, y, intensity * cover);
+                }
+            }
+        }
+    }
+
+    /// Draws an axis-aligned filled rectangle.
+    pub(crate) fn rect(
+        &mut self,
+        (x0, y0): (f32, f32),
+        (x1, y1): (f32, f32),
+        intensity: f32,
+    ) {
+        for y in y0.floor() as isize..=y1.ceil() as isize {
+            for x in x0.floor() as isize..=x1.ceil() as isize {
+                self.blend(x, y, intensity);
+            }
+        }
+    }
+}
+
+/// 2-D affine transform used to jitter glyph geometry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Affine {
+    pub scale: f32,
+    pub rotation: f32,
+    pub translate: (f32, f32),
+}
+
+impl Affine {
+    /// Maps a point from normalized glyph space `[0,1]²` to canvas pixels.
+    pub(crate) fn apply(&self, (x, y): (f32, f32), canvas: f32) -> (f32, f32) {
+        // Centre, rotate, scale, translate.
+        let (cx, cy) = (x - 0.5, y - 0.5);
+        let (sin, cos) = self.rotation.sin_cos();
+        let rx = cx * cos - cy * sin;
+        let ry = cx * sin + cy * cos;
+        (
+            (rx * self.scale + 0.5) * canvas + self.translate.0,
+            (ry * self.scale + 0.5) * canvas + self.translate.1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blend_clamps_and_ignores_out_of_bounds() {
+        let mut c = Canvas::new(4, 4);
+        c.blend(-1, 0, 1.0);
+        c.blend(0, 9, 1.0);
+        c.blend(1, 1, 0.7);
+        c.blend(1, 1, 0.7);
+        assert_eq!(c.pixels[5], 1.0);
+        assert_eq!(c.pixels.iter().filter(|&&p| p > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn line_marks_pixels_along_the_path() {
+        let mut c = Canvas::new(16, 16);
+        c.line((2.0, 8.0), (13.0, 8.0), 1.0, 1.0);
+        // The row through y=8 should be lit between the endpoints.
+        for x in 3..13 {
+            assert!(c.pixels[8 * 16 + x] > 0.5, "pixel {x} unlit");
+        }
+        // Far corners stay dark.
+        assert_eq!(c.pixels[0], 0.0);
+    }
+
+    #[test]
+    fn disk_is_roughly_circular() {
+        let mut c = Canvas::new(16, 16);
+        c.disk((8.0, 8.0), 4.0, 1.0);
+        assert!(c.pixels[8 * 16 + 8] > 0.9);
+        assert!(c.pixels[8 * 16 + 12] > 0.0);
+        assert_eq!(c.pixels[0], 0.0);
+    }
+
+    #[test]
+    fn ring_is_hollow() {
+        let mut c = Canvas::new(32, 32);
+        c.ring((16.0, 16.0), 8.0, 1.0, 1.0);
+        assert!(c.pixels[16 * 32 + 16] < 0.05, "centre should be dark");
+        assert!(c.pixels[16 * 32 + 24] > 0.5, "rim should be lit");
+    }
+
+    #[test]
+    fn affine_identity_maps_unit_square_to_canvas() {
+        let t = Affine { scale: 1.0, rotation: 0.0, translate: (0.0, 0.0) };
+        let (x, y) = t.apply((0.5, 0.5), 28.0);
+        assert!((x - 14.0).abs() < 1e-5 && (y - 14.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Imagenette stand-in: larger composed scenes mixing class-specific
+//! texture statistics with a foreground object layout.
+
+use safelight_neuro::{InMemoryDataset, NeuroError, SimRng, Tensor};
+
+use crate::raster::Canvas;
+use crate::spec::{SplitDataset, SyntheticSpec};
+
+const SIZE: usize = 64;
+
+/// Class-specific procedural texture parameters: spatial frequencies and a
+/// hue. Ten classes span distinct (fx, fy, hue) combinations, standing in
+/// for Imagenette's ten object categories.
+struct SceneClass {
+    fx: f32,
+    fy: f32,
+    hue: (f32, f32, f32),
+    objects: usize,
+}
+
+fn class_params(class: usize) -> SceneClass {
+    let table: [(f32, f32, (f32, f32, f32), usize); 10] = [
+        (0.15, 0.02, (0.8, 0.5, 0.3), 1),
+        (0.02, 0.15, (0.3, 0.7, 0.4), 1),
+        (0.10, 0.10, (0.4, 0.4, 0.8), 2),
+        (0.25, 0.05, (0.8, 0.8, 0.3), 2),
+        (0.05, 0.25, (0.7, 0.3, 0.7), 3),
+        (0.18, 0.18, (0.3, 0.8, 0.8), 3),
+        (0.30, 0.12, (0.9, 0.6, 0.5), 4),
+        (0.12, 0.30, (0.5, 0.6, 0.9), 4),
+        (0.08, 0.08, (0.6, 0.9, 0.6), 5),
+        (0.35, 0.35, (0.7, 0.7, 0.7), 5),
+    ];
+    let (fx, fy, hue, objects) = table[class % 10];
+    SceneClass { fx, fy, hue, objects }
+}
+
+fn render_scene(class: usize, rng: &mut SimRng, spec: &SyntheticSpec) -> Tensor {
+    let params = class_params(class);
+    let jitter = spec.jitter as f32;
+    let phase_x = rng.uniform_in(0.0, std::f64::consts::TAU) as f32;
+    let phase_y = rng.uniform_in(0.0, std::f64::consts::TAU) as f32;
+    let freq_wobble = 1.0 + jitter * rng.uniform_in(-0.15, 0.15) as f32;
+
+    // Foreground objects: bright disks whose count is class-specific.
+    let mut fg = Canvas::new(SIZE, SIZE);
+    for _ in 0..params.objects {
+        let cx = rng.uniform_in(10.0, (SIZE - 10) as f64) as f32;
+        let cy = rng.uniform_in(10.0, (SIZE - 10) as f64) as f32;
+        let r = 4.0 + jitter * rng.uniform_in(0.0, 3.0) as f32;
+        fg.disk((cx, cy), r, 1.0);
+    }
+
+    let (hr, hg, hb) = params.hue;
+    let mut data = vec![0.0f32; 3 * SIZE * SIZE];
+    for y in 0..SIZE {
+        for x in 0..SIZE {
+            let idx = y * SIZE + x;
+            // Class texture: product of two sinusoids.
+            let tx = (params.fx * freq_wobble * x as f32 * std::f32::consts::TAU + phase_x).sin();
+            let ty = (params.fy * freq_wobble * y as f32 * std::f32::consts::TAU + phase_y).sin();
+            let texture = 0.35 + 0.25 * tx * ty + 0.1 * (tx + ty);
+            let m = fg.pixels[idx];
+            let px = |hue: f32| ((texture * hue) * (1.0 - m) + 0.95 * m).clamp(0.0, 1.0);
+            data[idx] = px(hr);
+            data[SIZE * SIZE + idx] = px(hg);
+            data[2 * SIZE * SIZE + idx] = px(hb);
+        }
+    }
+    if spec.noise_std > 0.0 {
+        for p in &mut data {
+            *p = (*p + rng.gaussian_with(0.0, spec.noise_std) as f32).clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(vec![3, SIZE, SIZE], data).expect("canvas size is fixed")
+}
+
+fn generate_split(
+    count: usize,
+    rng: &mut SimRng,
+    spec: &SyntheticSpec,
+) -> Result<InMemoryDataset, NeuroError> {
+    let mut images = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % 10;
+        images.push(render_scene(class, rng, spec));
+        labels.push(class);
+    }
+    InMemoryDataset::new(images, labels)
+}
+
+/// Generates the Imagenette stand-in: 3×64×64 composed texture scenes,
+/// 10 balanced classes.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::InvalidDataset`] when either split is empty.
+///
+/// # Example
+///
+/// ```
+/// use safelight_datasets::{textured_scenes, SyntheticSpec};
+/// use safelight_neuro::Dataset;
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let split = textured_scenes(&SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() })?;
+/// assert_eq!(split.train.image_shape(), vec![3, 64, 64]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn textured_scenes(spec: &SyntheticSpec) -> Result<SplitDataset, NeuroError> {
+    let mut train_rng = SimRng::seed_from(spec.seed).derive(0x13A6);
+    let mut test_rng = SimRng::seed_from(spec.seed).derive(0x13A7);
+    Ok(SplitDataset {
+        train: generate_split(spec.train, &mut train_rng, spec)?,
+        test: generate_split(spec.test, &mut test_rng, spec)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safelight_neuro::Dataset;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() }
+    }
+
+    #[test]
+    fn scenes_are_64_by_64_rgb() {
+        let split = textured_scenes(&spec()).unwrap();
+        assert_eq!(split.train.image_shape(), vec![3, SIZE, SIZE]);
+        assert_eq!(split.train.classes(), 10);
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_range() {
+        let split = textured_scenes(&spec()).unwrap();
+        for i in 0..split.train.len() {
+            let (img, _) = split.train.item(i).unwrap();
+            assert!(img.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn different_classes_have_different_textures() {
+        let clean = SyntheticSpec { train: 10, test: 10, noise_std: 0.0, jitter: 0.0, seed: 5 };
+        let split = textured_scenes(&clean).unwrap();
+        let (a, _) = split.train.item(0).unwrap();
+        let (b, _) = split.train.item(1).unwrap();
+        let diff: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.len() as f32;
+        assert!(diff > 0.02, "classes 0 and 1 nearly identical ({diff})");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = textured_scenes(&spec()).unwrap();
+        let b = textured_scenes(&spec()).unwrap();
+        let (ia, _) = a.train.item(7).unwrap();
+        let (ib, _) = b.train.item(7).unwrap();
+        assert_eq!(ia.as_slice(), ib.as_slice());
+    }
+}

@@ -1,0 +1,183 @@
+//! CIFAR-10 stand-in: coloured geometric shapes on textured backgrounds.
+
+use safelight_neuro::{InMemoryDataset, NeuroError, SimRng, Tensor};
+
+use crate::raster::Canvas;
+use crate::spec::{SplitDataset, SyntheticSpec};
+
+const SIZE: usize = 32;
+
+/// Per-class hue anchor (R, G, B weights); combined with the shape this
+/// makes classes separable but, with jitter and noise, not trivially so.
+const CLASS_COLOURS: [(f32, f32, f32); 10] = [
+    (0.9, 0.2, 0.2),
+    (0.2, 0.9, 0.2),
+    (0.2, 0.3, 0.9),
+    (0.9, 0.8, 0.1),
+    (0.8, 0.2, 0.8),
+    (0.1, 0.8, 0.8),
+    (0.9, 0.5, 0.1),
+    (0.5, 0.9, 0.4),
+    (0.4, 0.4, 0.9),
+    (0.8, 0.8, 0.8),
+];
+
+fn draw_class_shape(class: usize, canvas: &mut Canvas, rng: &mut SimRng, jitter: f32) {
+    let s = SIZE as f32;
+    let cx = s / 2.0 + jitter * rng.uniform_in(-4.0, 4.0) as f32;
+    let cy = s / 2.0 + jitter * rng.uniform_in(-4.0, 4.0) as f32;
+    let r = s * 0.28 * (1.0 + jitter * rng.uniform_in(-0.2, 0.2) as f32);
+    match class % 5 {
+        0 => canvas.disk((cx, cy), r, 1.0),
+        1 => canvas.rect((cx - r, cy - r), (cx + r, cy + r), 1.0),
+        2 => {
+            // Triangle drawn as three thick edges.
+            let top = (cx, cy - r);
+            let left = (cx - r, cy + r * 0.8);
+            let right = (cx + r, cy + r * 0.8);
+            canvas.line(top, left, 1.5, 1.0);
+            canvas.line(left, right, 1.5, 1.0);
+            canvas.line(right, top, 1.5, 1.0);
+        }
+        3 => canvas.ring((cx, cy), r, 1.5, 1.0),
+        _ => {
+            // Cross.
+            canvas.line((cx - r, cy), (cx + r, cy), 2.0, 1.0);
+            canvas.line((cx, cy - r), (cx, cy + r), 2.0, 1.0);
+        }
+    }
+}
+
+fn render_shape(class: usize, rng: &mut SimRng, spec: &SyntheticSpec) -> Tensor {
+    let jitter = spec.jitter as f32;
+    let mut mask = Canvas::new(SIZE, SIZE);
+    draw_class_shape(class, &mut mask, rng, jitter);
+
+    let (cr, cg, cb) = CLASS_COLOURS[class % 10];
+    // Slight per-sample colour wobble keeps colour from being a pure lookup.
+    let wobble = |c: f32, rng: &mut SimRng| {
+        (c + jitter as f64 as f32 * rng.uniform_in(-0.15, 0.15) as f32).clamp(0.0, 1.0)
+    };
+    let (cr, cg, cb) = (wobble(cr, rng), wobble(cg, rng), wobble(cb, rng));
+
+    // Textured background: low-frequency gradient plus noise.
+    let (gx, gy) = (rng.uniform_in(-0.3, 0.3) as f32, rng.uniform_in(-0.3, 0.3) as f32);
+    let base = rng.uniform_in(0.1, 0.3) as f32;
+
+    let mut data = vec![0.0f32; 3 * SIZE * SIZE];
+    for y in 0..SIZE {
+        for x in 0..SIZE {
+            let idx = y * SIZE + x;
+            let bg = base + gx * x as f32 / SIZE as f32 + gy * y as f32 / SIZE as f32;
+            let m = mask.pixels[idx];
+            let px = |chan: f32| (bg * (1.0 - m) + chan * m).clamp(0.0, 1.0);
+            data[idx] = px(cr);
+            data[SIZE * SIZE + idx] = px(cg);
+            data[2 * SIZE * SIZE + idx] = px(cb);
+        }
+    }
+    if spec.noise_std > 0.0 {
+        for p in &mut data {
+            *p = (*p + rng.gaussian_with(0.0, spec.noise_std) as f32).clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(vec![3, SIZE, SIZE], data).expect("canvas size is fixed")
+}
+
+fn generate_split(
+    count: usize,
+    rng: &mut SimRng,
+    spec: &SyntheticSpec,
+) -> Result<InMemoryDataset, NeuroError> {
+    let mut images = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % 10;
+        images.push(render_shape(class, rng, spec));
+        labels.push(class);
+    }
+    InMemoryDataset::new(images, labels)
+}
+
+/// Generates the CIFAR-10 stand-in: 3×32×32 coloured-shape images, 10
+/// balanced classes distinguished by (shape, colour) pairs.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::InvalidDataset`] when either split is empty.
+///
+/// # Example
+///
+/// ```
+/// use safelight_datasets::{tinted_shapes, SyntheticSpec};
+/// use safelight_neuro::Dataset;
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let split = tinted_shapes(&SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() })?;
+/// assert_eq!(split.train.image_shape(), vec![3, 32, 32]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tinted_shapes(spec: &SyntheticSpec) -> Result<SplitDataset, NeuroError> {
+    let mut train_rng = SimRng::seed_from(spec.seed).derive(0xC1FA);
+    let mut test_rng = SimRng::seed_from(spec.seed).derive(0xC1FB);
+    Ok(SplitDataset {
+        train: generate_split(spec.train, &mut train_rng, spec)?,
+        test: generate_split(spec.test, &mut test_rng, spec)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safelight_neuro::Dataset;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec { train: 30, test: 10, ..SyntheticSpec::default() }
+    }
+
+    #[test]
+    fn shapes_have_three_channels() {
+        let split = tinted_shapes(&spec()).unwrap();
+        assert_eq!(split.train.image_shape(), vec![3, SIZE, SIZE]);
+        assert_eq!(split.train.classes(), 10);
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_range() {
+        let split = tinted_shapes(&spec()).unwrap();
+        for i in 0..split.train.len() {
+            let (img, _) = split.train.item(i).unwrap();
+            assert!(img.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn classes_are_colour_separated_on_average() {
+        // Mean red-channel of class 0 (red) must exceed class 2 (blue).
+        let clean = SyntheticSpec { train: 40, test: 10, noise_std: 0.0, jitter: 0.2, seed: 3 };
+        let split = tinted_shapes(&clean).unwrap();
+        let mean_red = |class: usize| -> f32 {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for i in 0..split.train.len() {
+                let (img, label) = split.train.item(i).unwrap();
+                if label == class {
+                    sum += img.as_slice()[..SIZE * SIZE].iter().sum::<f32>();
+                    n += 1;
+                }
+            }
+            sum / n as f32
+        };
+        assert!(mean_red(0) > mean_red(2));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tinted_shapes(&spec()).unwrap();
+        let b = tinted_shapes(&spec()).unwrap();
+        let (ia, _) = a.test.item(3).unwrap();
+        let (ib, _) = b.test.item(3).unwrap();
+        assert_eq!(ia.as_slice(), ib.as_slice());
+    }
+}

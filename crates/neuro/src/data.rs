@@ -1,0 +1,241 @@
+//! Datasets and batching.
+
+use crate::{NeuroError, Tensor};
+
+/// A supervised image-classification dataset.
+///
+/// Items are `(image, label)` pairs; images are CHW tensors of identical
+/// shape across the dataset.
+pub trait Dataset: Send + Sync {
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the dataset is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `index`-th `(image, label)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::InvalidDataset`] for an out-of-range index.
+    fn item(&self, index: usize) -> Result<(Tensor, usize), NeuroError>;
+
+    /// Shape of each image (CHW).
+    fn image_shape(&self) -> Vec<usize>;
+
+    /// Number of classes.
+    fn classes(&self) -> usize;
+
+    /// Collates items `indices` into an `[N, C, H, W]` batch plus labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NeuroError::InvalidDataset`] from item access.
+    fn batch(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>), NeuroError> {
+        let shape = self.image_shape();
+        let item_len: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(indices.len() * item_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let (img, label) = self.item(i)?;
+            if img.shape() != shape.as_slice() {
+                return Err(NeuroError::InvalidDataset {
+                    context: "item shape differs from dataset image shape",
+                });
+            }
+            data.extend_from_slice(img.as_slice());
+            labels.push(label);
+        }
+        let mut batch_shape = vec![indices.len()];
+        batch_shape.extend_from_slice(&shape);
+        Ok((Tensor::from_vec(batch_shape, data)?, labels))
+    }
+}
+
+/// A dataset held entirely in memory.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{Dataset, InMemoryDataset, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let images = vec![Tensor::zeros(vec![1, 2, 2]); 4];
+/// let labels = vec![0, 1, 0, 1];
+/// let data = InMemoryDataset::new(images, labels)?;
+/// assert_eq!(data.len(), 4);
+/// assert_eq!(data.classes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InMemoryDataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl InMemoryDataset {
+    /// Wraps parallel image/label vectors.
+    ///
+    /// The class count is inferred as `max(label) + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::InvalidDataset`] when the vectors differ in
+    /// length, are empty, or images disagree in shape.
+    pub fn new(images: Vec<Tensor>, labels: Vec<usize>) -> Result<Self, NeuroError> {
+        if images.len() != labels.len() {
+            return Err(NeuroError::InvalidDataset {
+                context: "images and labels differ in length",
+            });
+        }
+        if images.is_empty() {
+            return Err(NeuroError::InvalidDataset { context: "dataset is empty" });
+        }
+        let shape = images[0].shape().to_vec();
+        if images.iter().any(|i| i.shape() != shape.as_slice()) {
+            return Err(NeuroError::InvalidDataset { context: "inconsistent image shapes" });
+        }
+        let classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Self { images, labels, classes })
+    }
+}
+
+impl Dataset for InMemoryDataset {
+    fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    fn item(&self, index: usize) -> Result<(Tensor, usize), NeuroError> {
+        if index >= self.images.len() {
+            return Err(NeuroError::InvalidDataset { context: "item index out of range" });
+        }
+        Ok((self.images[index].clone(), self.labels[index]))
+    }
+
+    fn image_shape(&self) -> Vec<usize> {
+        self.images[0].shape().to_vec()
+    }
+
+    fn classes(&self) -> usize {
+        self.classes
+    }
+}
+
+/// A view over a subset of another dataset (train/validation splits).
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{Dataset, InMemoryDataset, Subset, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let base = InMemoryDataset::new(vec![Tensor::zeros(vec![1, 1, 1]); 10], (0..10).map(|i| i % 2).collect())?;
+/// let front = Subset::new(&base, (0..5).collect())?;
+/// assert_eq!(front.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Subset<'a, D: Dataset> {
+    base: &'a D,
+    indices: Vec<usize>,
+}
+
+impl<'a, D: Dataset> Subset<'a, D> {
+    /// Creates a view over `indices` of `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::InvalidDataset`] when an index is out of range
+    /// or the subset is empty.
+    pub fn new(base: &'a D, indices: Vec<usize>) -> Result<Self, NeuroError> {
+        if indices.is_empty() {
+            return Err(NeuroError::InvalidDataset { context: "subset is empty" });
+        }
+        if indices.iter().any(|&i| i >= base.len()) {
+            return Err(NeuroError::InvalidDataset { context: "subset index out of range" });
+        }
+        Ok(Self { base, indices })
+    }
+}
+
+impl<D: Dataset> Dataset for Subset<'_, D> {
+    fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    fn item(&self, index: usize) -> Result<(Tensor, usize), NeuroError> {
+        let &mapped = self
+            .indices
+            .get(index)
+            .ok_or(NeuroError::InvalidDataset { context: "item index out of range" })?;
+        self.base.item(mapped)
+    }
+
+    fn image_shape(&self) -> Vec<usize> {
+        self.base.image_shape()
+    }
+
+    fn classes(&self) -> usize {
+        self.base.classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> InMemoryDataset {
+        let images = (0..6)
+            .map(|i| Tensor::full(vec![1, 2, 2], i as f32))
+            .collect();
+        InMemoryDataset::new(images, vec![0, 1, 2, 0, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn classes_inferred_from_labels() {
+        assert_eq!(tiny().classes(), 3);
+    }
+
+    #[test]
+    fn batch_stacks_images_in_order() {
+        let data = tiny();
+        let (batch, labels) = data.batch(&[4, 1]).unwrap();
+        assert_eq!(batch.shape(), &[2, 1, 2, 2]);
+        assert_eq!(labels, vec![1, 1]);
+        assert_eq!(batch.as_slice()[0], 4.0);
+        assert_eq!(batch.as_slice()[4], 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let images = vec![Tensor::zeros(vec![1, 1, 1]); 2];
+        assert!(InMemoryDataset::new(images, vec![0]).is_err());
+    }
+
+    #[test]
+    fn inconsistent_shapes_are_rejected() {
+        let images = vec![Tensor::zeros(vec![1, 1, 1]), Tensor::zeros(vec![1, 2, 2])];
+        assert!(InMemoryDataset::new(images, vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn subset_remaps_indices() {
+        let base = tiny();
+        let sub = Subset::new(&base, vec![5, 0]).unwrap();
+        let (img, label) = sub.item(0).unwrap();
+        assert_eq!(label, 2);
+        assert_eq!(img.as_slice()[0], 5.0);
+    }
+
+    #[test]
+    fn subset_validates_indices() {
+        let base = tiny();
+        assert!(Subset::new(&base, vec![9]).is_err());
+        assert!(Subset::new(&base, vec![]).is_err());
+    }
+}

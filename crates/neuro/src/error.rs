@@ -1,0 +1,101 @@
+//! Error type for the neural-network library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor and network operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NeuroError {
+    /// A tensor was built or used with inconsistent dimensions.
+    ShapeMismatch {
+        /// Human-readable description of the violated expectation.
+        context: &'static str,
+        /// The shape that was expected (or the reference shape).
+        expected: Vec<usize>,
+        /// The shape that was supplied.
+        actual: Vec<usize>,
+    },
+    /// A layer or trainer parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A dataset was constructed with mismatched images/labels or used with
+    /// an out-of-range index.
+    InvalidDataset {
+        /// Description of the inconsistency.
+        context: &'static str,
+    },
+    /// A label was outside the model's class range.
+    LabelOutOfRange {
+        /// Offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// A serialized parameter file was malformed or did not match the
+    /// network it was loaded into.
+    MalformedModelFile {
+        /// Description of what went wrong.
+        context: String,
+    },
+    /// An I/O error while reading or writing model parameters.
+    Io {
+        /// Stringified source error (kept owned so the type stays `Clone`).
+        message: String,
+    },
+}
+
+impl fmt::Display for NeuroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { context, expected, actual } => {
+                write!(f, "shape mismatch in {context}: expected {expected:?}, got {actual:?}")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter `{name}`")
+            }
+            Self::InvalidDataset { context } => write!(f, "invalid dataset: {context}"),
+            Self::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            Self::MalformedModelFile { context } => {
+                write!(f, "malformed model file: {context}")
+            }
+            Self::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl Error for NeuroError {}
+
+impl From<std::io::Error> for NeuroError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuroError>();
+    }
+
+    #[test]
+    fn shape_mismatch_displays_both_shapes() {
+        let e = NeuroError::ShapeMismatch {
+            context: "matmul",
+            expected: vec![2, 3],
+            actual: vec![3, 2],
+        };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]") && s.contains("[3, 2]"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Weight initialization schemes.
+
+use crate::rng::SimRng;
+use crate::tensor::Tensor;
+
+/// He (Kaiming) normal initialization: `N(0, √(2 / fan_in))`.
+///
+/// The standard choice for ReLU networks; used by every convolution and
+/// dense layer in this crate.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{he_normal, SimRng};
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let w = he_normal(vec![16, 9], 9, &mut rng);
+/// assert_eq!(w.shape(), &[16, 9]);
+/// ```
+#[must_use]
+pub fn he_normal(shape: Vec<usize>, fan_in: usize, rng: &mut SimRng) -> Tensor {
+    let std_dev = (2.0 / fan_in.max(1) as f64).sqrt();
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.gaussian_with(0.0, std_dev) as f32;
+    }
+    t
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{xavier_uniform, SimRng};
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let w = xavier_uniform(vec![4, 4], 4, 4, &mut rng);
+/// assert!(w.max_abs() <= (6.0f32 / 8.0).sqrt());
+/// ```
+#[must_use]
+pub fn xavier_uniform(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut SimRng,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.uniform_in(-bound, bound) as f32;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_std_tracks_fan_in() {
+        let mut rng = SimRng::seed_from(0);
+        let w = he_normal(vec![4096], 8, &mut rng);
+        let expected = (2.0f32 / 8.0).sqrt();
+        assert!((w.rms() - expected).abs() < 0.05, "rms {}", w.rms());
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = SimRng::seed_from(0);
+        let (fi, fo) = (10, 20);
+        let w = xavier_uniform(vec![1000], fi, fo, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(w.max_abs() <= bound + 1e-6);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = he_normal(vec![32], 4, &mut SimRng::seed_from(5));
+        let b = he_normal(vec![32], 4, &mut SimRng::seed_from(5));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,440 @@
+//! 2-D convolution via im2col and the blocked matrix kernels.
+
+use crate::init::he_normal;
+use crate::layers::{Layer, Param};
+use crate::linalg::{matmul, matmul_a_bt, matmul_at_b};
+use crate::parallel::join_chunks;
+use crate::rng::SimRng;
+use crate::{NeuroError, Tensor};
+
+/// A 2-D convolution over `[N, C, H, W]` batches.
+///
+/// Weights are stored as `[out_channels, in_channels·k·k]` — the im2col
+/// layout — so the forward pass is one matrix product per sample. The
+/// backward pass recomputes the im2col buffer instead of caching it, trading
+/// a little compute for a much smaller memory footprint.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{Conv2d, Layer, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let mut conv = Conv2d::new(1, 4, 3, 42)?; // 1→4 channels, 3×3, "same"
+/// let x = Tensor::zeros(vec![2, 1, 8, 8]);
+/// let y = conv.forward(&x, false)?;
+/// assert_eq!(y.shape(), &[2, 4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    threads: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a `kernel × kernel` convolution from `in_channels` to
+    /// `out_channels` with stride 1 and "same" padding (`kernel / 2`),
+    /// He-initialized from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::InvalidParameter`] when any dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        seed: u64,
+    ) -> Result<Self, NeuroError> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 {
+            return Err(NeuroError::InvalidParameter {
+                name: "conv2d dimensions",
+                value: 0.0,
+            });
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let mut rng = SimRng::seed_from(seed);
+        let weight = he_normal(vec![out_channels, fan_in], fan_in, &mut rng);
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+            threads: 2,
+            weight: Param::new(weight, true),
+            bias: Param::new(Tensor::zeros(vec![out_channels]), false),
+            cached_input: None,
+        })
+    }
+
+    /// Sets the stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::InvalidParameter`] when `stride == 0`.
+    pub fn with_stride(mut self, stride: usize) -> Result<Self, NeuroError> {
+        if stride == 0 {
+            return Err(NeuroError::InvalidParameter { name: "stride", value: 0.0 });
+        }
+        self.stride = stride;
+        Ok(self)
+    }
+
+    /// Sets the zero padding on every side.
+    #[must_use]
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Sets the worker-thread count used for batch-parallel passes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel size.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Total trainable parameters (weights + biases).
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weight.value.len() + self.bias.value.len()
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize), NeuroError> {
+        let he = h + 2 * self.padding;
+        let we = w + 2 * self.padding;
+        if he < self.kernel || we < self.kernel {
+            return Err(NeuroError::ShapeMismatch {
+                context: "Conv2d input smaller than kernel",
+                expected: vec![self.kernel, self.kernel],
+                actual: vec![h, w],
+            });
+        }
+        Ok(((he - self.kernel) / self.stride + 1, (we - self.kernel) / self.stride + 1))
+    }
+
+    /// Gathers sample `n`'s receptive fields into `col[K][OH·OW]`.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        col: &mut [f32],
+    ) {
+        let k = self.kernel;
+        let sample = &input[n * self.in_channels * h * w..];
+        col.fill(0.0);
+        for ic in 0..self.in_channels {
+            let plane = &sample[ic * h * w..(ic + 1) * h * w];
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (ic * k + kh) * k + kw;
+                    let out_row = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                    for oy in 0..oh {
+                        let iy = oy * self.stride + kh;
+                        if iy < self.padding || iy >= h + self.padding {
+                            continue;
+                        }
+                        let iy = iy - self.padding;
+                        for ox in 0..ow {
+                            let ix = ox * self.stride + kw;
+                            if ix < self.padding || ix >= w + self.padding {
+                                continue;
+                            }
+                            out_row[oy * ow + ox] = plane[iy * w + (ix - self.padding)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatters `col`-layout gradients back into sample `n` of `grad_input`.
+    #[allow(clippy::too_many_arguments)]
+    fn col2im(
+        &self,
+        col: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        grad_input: &mut [f32],
+    ) {
+        let k = self.kernel;
+        let sample = &mut grad_input[n * self.in_channels * h * w..];
+        for ic in 0..self.in_channels {
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (ic * k + kh) * k + kw;
+                    let col_row = &col[row * oh * ow..(row + 1) * oh * ow];
+                    for oy in 0..oh {
+                        let iy = oy * self.stride + kh;
+                        if iy < self.padding || iy >= h + self.padding {
+                            continue;
+                        }
+                        let iy = iy - self.padding;
+                        for ox in 0..ow {
+                            let ix = ox * self.stride + kw;
+                            if ix < self.padding || ix >= w + self.padding {
+                                continue;
+                            }
+                            sample[(ic * h + iy) * w + (ix - self.padding)] +=
+                                col_row[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize), NeuroError> {
+        let shape = input.shape();
+        if shape.len() != 4 || shape[1] != self.in_channels {
+            return Err(NeuroError::ShapeMismatch {
+                context: "Conv2d::forward expects [N, C_in, H, W]",
+                expected: vec![0, self.in_channels, 0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        Ok((shape[0], shape[2], shape[3]))
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NeuroError> {
+        let (n, h, w) = self.check_input(input)?;
+        let (oh, ow) = self.output_hw(h, w)?;
+        let kdim = self.in_channels * self.kernel * self.kernel;
+        let per_sample_out = self.out_channels * oh * ow;
+
+        let x = input.as_slice();
+        let weight = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+
+        let chunks = join_chunks(n, self.threads, |start, end| {
+            let mut col = vec![0.0f32; kdim * oh * ow];
+            let mut out = vec![0.0f32; (end - start) * per_sample_out];
+            for s in start..end {
+                self.im2col(x, s, h, w, oh, ow, &mut col);
+                let out_s = &mut out[(s - start) * per_sample_out..(s - start + 1) * per_sample_out];
+                matmul(weight, &col, out_s, self.out_channels, kdim, oh * ow);
+                for oc in 0..self.out_channels {
+                    let b = bias[oc];
+                    for v in &mut out_s[oc * oh * ow..(oc + 1) * oh * ow] {
+                        *v += b;
+                    }
+                }
+            }
+            out
+        });
+
+        let mut data = Vec::with_capacity(n * per_sample_out);
+        for chunk in chunks {
+            data.extend_from_slice(&chunk);
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(vec![n, self.out_channels, oh, ow], data)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NeuroError> {
+        let input = self.cached_input.take().ok_or(NeuroError::ShapeMismatch {
+            context: "Conv2d::backward before forward",
+            expected: vec![],
+            actual: vec![],
+        })?;
+        let (n, h, w) = self.check_input(&input)?;
+        let (oh, ow) = self.output_hw(h, w)?;
+        let kdim = self.in_channels * self.kernel * self.kernel;
+        let expected = vec![n, self.out_channels, oh, ow];
+        if grad_output.shape() != expected.as_slice() {
+            return Err(NeuroError::ShapeMismatch {
+                context: "Conv2d::backward",
+                expected,
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+
+        let x = input.as_slice();
+        let weight = self.weight.value.as_slice();
+        let go = grad_output.as_slice();
+        let per_sample_in = self.in_channels * h * w;
+        let per_sample_out = self.out_channels * oh * ow;
+
+        // Each worker accumulates private dW/db plus its slice of dX.
+        let partials = join_chunks(n, self.threads, |start, end| {
+            let mut col = vec![0.0f32; kdim * oh * ow];
+            let mut grad_col = vec![0.0f32; kdim * oh * ow];
+            let mut dw = vec![0.0f32; self.out_channels * kdim];
+            let mut db = vec![0.0f32; self.out_channels];
+            let mut dx = vec![0.0f32; (end - start) * per_sample_in];
+            for s in start..end {
+                let go_s = &go[s * per_sample_out..(s + 1) * per_sample_out];
+                self.im2col(x, s, h, w, oh, ow, &mut col);
+                // dW += dY · colᵀ
+                matmul_a_bt(go_s, &col, &mut dw, self.out_channels, oh * ow, kdim);
+                // db += row sums of dY
+                for oc in 0..self.out_channels {
+                    db[oc] += go_s[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+                }
+                // dCol = Wᵀ · dY, then scatter back to dX
+                grad_col.fill(0.0);
+                matmul_at_b(weight, go_s, &mut grad_col, kdim, self.out_channels, oh * ow);
+                let dx_view =
+                    &mut dx[(s - start) * per_sample_in..(s - start + 1) * per_sample_in];
+                // col2im works on a whole batch buffer; index sample 0 of the view.
+                self.col2im(&grad_col, 0, h, w, oh, ow, dx_view);
+            }
+            (dw, db, dx)
+        });
+
+        let mut grad_input = vec![0.0f32; n * per_sample_in];
+        let mut offset = 0;
+        for (dw, db, dx) in partials {
+            for (g, v) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+                *g += v;
+            }
+            for (g, v) in self.bias.grad.as_mut_slice().iter_mut().zip(&db) {
+                *g += v;
+            }
+            grad_input[offset..offset + dx.len()].copy_from_slice(&dx);
+            offset += dx.len();
+        }
+        Tensor::from_vec(vec![n, self.in_channels, h, w], grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let mut conv = Conv2d::new(2, 3, 3, 1).unwrap();
+        let y = conv.forward(&Tensor::zeros(vec![1, 2, 7, 7]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 3, 7, 7]);
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_size() {
+        let mut conv = Conv2d::new(1, 1, 3, 1).unwrap().with_stride(2).unwrap();
+        let y = conv.forward(&Tensor::zeros(vec![1, 1, 8, 8]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn known_kernel_computes_correct_value() {
+        // A 1×1 "identity-scaling" kernel: weight 2.0, bias 1.0.
+        let mut conv = Conv2d::new(1, 1, 1, 1).unwrap().with_padding(0);
+        conv.weight.value.as_mut_slice()[0] = 2.0;
+        conv.bias.value.as_mut_slice()[0] = 1.0;
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn three_by_three_sum_kernel() {
+        // All-ones 3×3 kernel with zero padding sums each neighbourhood.
+        let mut conv = Conv2d::new(1, 1, 3, 1).unwrap().with_padding(0);
+        conv.weight.value.fill(1.0);
+        let x = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            vec![1., 1., 1., 1., 1., 1., 1., 1., 1.],
+        )
+        .unwrap();
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert!((y.as_slice()[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_channel_count_is_rejected() {
+        let mut conv = Conv2d::new(3, 4, 3, 1).unwrap();
+        assert!(conv.forward(&Tensor::zeros(vec![1, 2, 8, 8]), false).is_err());
+    }
+
+    #[test]
+    fn backward_shapes_match_input() {
+        let mut conv = Conv2d::new(2, 4, 3, 7).unwrap();
+        let x = Tensor::zeros(vec![3, 2, 6, 6]);
+        let y = conv.forward(&x, true).unwrap();
+        let gx = conv.backward(&Tensor::zeros(y.shape().to_vec())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let x = Tensor::from_vec(
+            vec![4, 2, 5, 5],
+            (0..200).map(|i| (i as f32 * 0.13).sin()).collect(),
+        )
+        .unwrap();
+        let mut c1 = Conv2d::new(2, 3, 3, 5).unwrap().with_threads(1);
+        let mut c2 = Conv2d::new(2, 3, 3, 5).unwrap().with_threads(2);
+        let y1 = c1.forward(&x, true).unwrap();
+        let y2 = c2.forward(&x, true).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        let g = Tensor::full(y1.shape().to_vec(), 0.5);
+        let gx1 = c1.backward(&g).unwrap();
+        let gx2 = c2.backward(&g).unwrap();
+        for (a, b) in gx1.as_slice().iter().zip(gx2.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        for (p1, p2) in c1.params().iter().zip(c2.params().iter()) {
+            for (a, b) in p1.grad.as_slice().iter().zip(p2.grad.as_slice()) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+}

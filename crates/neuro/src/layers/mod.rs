@@ -1,0 +1,279 @@
+//! Neural-network layers with hand-written forward and backward passes.
+
+mod conv;
+mod global_pool;
+mod linear;
+mod norm;
+mod pool;
+mod residual;
+
+pub use conv::Conv2d;
+pub use global_pool::GlobalAvgPool2d;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::MaxPool2d;
+pub use residual::ResidualBlock;
+
+use crate::{NeuroError, Tensor};
+
+/// A trainable parameter: value plus accumulated gradient.
+///
+/// Layers own their parameters; optimizers and the noise-aware trainer
+/// access them through [`Layer::params_mut`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass(es).
+    pub grad: Tensor,
+    /// Whether weight decay (L2 regularization) applies to this parameter.
+    /// Convention: true for weights, false for biases and batch-norm
+    /// affine parameters, matching common deep-learning practice.
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps `value` with a zeroed gradient; `decay` selects whether L2
+    /// weight decay applies.
+    #[must_use]
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Self { value, grad, decay }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+/// A neural-network layer.
+///
+/// The contract mirrors classic define-by-layer frameworks:
+///
+/// 1. [`forward`](Self::forward) consumes a batch and caches whatever the
+///    backward pass will need;
+/// 2. [`backward`](Self::backward) consumes `∂L/∂output`, **accumulates**
+///    parameter gradients into [`Param::grad`], and returns `∂L/∂input`;
+/// 3. [`params_mut`](Self::params_mut) exposes the trainable state.
+///
+/// # Errors
+///
+/// `forward` and `backward` report [`NeuroError::ShapeMismatch`] when the
+/// supplied tensors do not match the layer's expectations; `backward` also
+/// errors when called before any `forward`.
+pub trait Layer: Send + Sync {
+    /// A short human-readable layer name (e.g. `"conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the layer on a batch. `train` selects training behaviour
+    /// (batch statistics in batch norm; inference uses running statistics).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NeuroError>;
+
+    /// Back-propagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NeuroError>;
+
+    /// Mutable access to the layer's trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the layer's trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Clones the layer into a boxed trait object (enables `Clone` for
+    /// networks of heterogeneous layers).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Rectified linear unit.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{Layer, Relu, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let mut relu = Relu::new();
+/// let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0])?;
+/// let y = relu.forward(&x, false)?;
+/// assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NeuroError> {
+        let mut out = input.clone();
+        let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NeuroError> {
+        let mask = self.mask.as_ref().ok_or(NeuroError::ShapeMismatch {
+            context: "Relu::backward before forward",
+            expected: vec![],
+            actual: vec![],
+        })?;
+        if mask.len() != grad_output.len() {
+            return Err(NeuroError::ShapeMismatch {
+                context: "Relu::backward",
+                expected: vec![mask.len()],
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad = grad_output.clone();
+        for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        Ok(grad)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Flattens `[N, d1, d2, …]` into `[N, d1·d2·…]`.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{Flatten, Layer, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let mut flat = Flatten::new();
+/// let x = Tensor::zeros(vec![2, 3, 4, 4]);
+/// let y = flat.forward(&x, false)?;
+/// assert_eq!(y.shape(), &[2, 48]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flattening layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NeuroError> {
+        let shape = input.shape().to_vec();
+        if shape.is_empty() {
+            return Err(NeuroError::ShapeMismatch {
+                context: "Flatten::forward needs rank ≥ 1",
+                expected: vec![1],
+                actual: shape,
+            });
+        }
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        self.input_shape = Some(shape);
+        input.clone().reshape(vec![n, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NeuroError> {
+        let shape = self.input_shape.clone().ok_or(NeuroError::ShapeMismatch {
+            context: "Flatten::backward before forward",
+            expected: vec![],
+            actual: vec![],
+        })?;
+        grad_output.clone().reshape(shape)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-2.0, -0.5, 0.5, 2.0]).unwrap();
+        relu.forward(&x, true).unwrap();
+        let g = Tensor::full(vec![4], 1.0);
+        let gx = relu.backward(&g).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_backward_before_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(vec![1])).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let mut flat = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 5]);
+        let y = flat.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 15]);
+        let gx = flat.backward(&y).unwrap();
+        assert_eq!(gx.shape(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn param_zero_grad_clears() {
+        let mut p = Param::new(Tensor::full(vec![3], 1.0), true);
+        p.grad.fill(5.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn boxed_layer_clone_is_independent() {
+        let mut relu = Relu::new();
+        relu.forward(&Tensor::from_vec(vec![1], vec![1.0]).unwrap(), true).unwrap();
+        let boxed: Box<dyn Layer> = Box::new(relu);
+        let mut copy = boxed.clone();
+        // The clone carries the cached mask and can run backward directly.
+        assert!(copy.backward(&Tensor::zeros(vec![1])).is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Max pooling.
+
+use crate::layers::Layer;
+use crate::{NeuroError, Tensor};
+
+/// 2-D max pooling over `[N, C, H, W]` batches.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{Layer, MaxPool2d, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let mut pool = MaxPool2d::new(2)?;
+/// let y = pool.forward(&Tensor::zeros(vec![1, 3, 8, 8]), false)?;
+/// assert_eq!(y.shape(), &[1, 3, 4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    size: usize,
+    input_shape: Option<Vec<usize>>,
+    /// Flat input index of each output's argmax, for the backward scatter.
+    argmax: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a `size × size` max pool with stride `size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::InvalidParameter`] when `size == 0`.
+    pub fn new(size: usize) -> Result<Self, NeuroError> {
+        if size == 0 {
+            return Err(NeuroError::InvalidParameter { name: "pool size", value: 0.0 });
+        }
+        Ok(Self { size, input_shape: None, argmax: None })
+    }
+
+    /// The pooling window size (and stride).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NeuroError> {
+        let shape = input.shape();
+        if shape.len() != 4 || shape[2] < self.size || shape[3] < self.size {
+            return Err(NeuroError::ShapeMismatch {
+                context: "MaxPool2d::forward expects [N, C, H, W] with H, W ≥ size",
+                expected: vec![0, 0, self.size, self.size],
+                actual: shape.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = (h / self.size, w / self.size);
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for nc in 0..n * c {
+            let plane = &x[nc * h * w..(nc + 1) * h * w];
+            let out_plane = &mut out[nc * oh * ow..(nc + 1) * oh * ow];
+            let arg_plane = &mut argmax[nc * oh * ow..(nc + 1) * oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..self.size {
+                        for kx in 0..self.size {
+                            let iy = oy * self.size + ky;
+                            let ix = ox * self.size + kx;
+                            let v = plane[iy * w + ix];
+                            if v > best {
+                                best = v;
+                                best_idx = nc * h * w + iy * w + ix;
+                            }
+                        }
+                    }
+                    out_plane[oy * ow + ox] = best;
+                    arg_plane[oy * ow + ox] = best_idx;
+                }
+            }
+        }
+        self.input_shape = Some(shape.to_vec());
+        self.argmax = Some(argmax);
+        Tensor::from_vec(vec![n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NeuroError> {
+        let shape = self.input_shape.take().ok_or(NeuroError::ShapeMismatch {
+            context: "MaxPool2d::backward before forward",
+            expected: vec![],
+            actual: vec![],
+        })?;
+        let argmax = self.argmax.take().expect("argmax cached with shape");
+        if grad_output.len() != argmax.len() {
+            return Err(NeuroError::ShapeMismatch {
+                context: "MaxPool2d::backward",
+                expected: vec![argmax.len()],
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(shape);
+        let gi = grad_input.as_mut_slice();
+        for (&idx, &g) in argmax.iter().zip(grad_output.as_slice()) {
+            gi[idx] += g;
+        }
+        Ok(grad_input)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_window_maxima() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let y = pool.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 9., 2., 3.]).unwrap();
+        pool.forward(&x, true).unwrap();
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![5.0]).unwrap())
+            .unwrap();
+        assert_eq!(gx.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn odd_sizes_truncate() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let y = pool.forward(&Tensor::zeros(vec![1, 1, 5, 5]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn too_small_input_is_rejected() {
+        let mut pool = MaxPool2d::new(4).unwrap();
+        assert!(pool.forward(&Tensor::zeros(vec![1, 1, 2, 2]), false).is_err());
+    }
+}

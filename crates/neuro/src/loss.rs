@@ -1,0 +1,182 @@
+//! Softmax cross-entropy loss.
+
+use crate::{NeuroError, Tensor};
+
+/// Row-wise softmax of a `[N, C]` logits tensor.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::ShapeMismatch`] for tensors that are not rank 2.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{softmax, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let logits = Tensor::from_vec(vec![1, 3], vec![0.0, 0.0, 0.0])?;
+/// let p = softmax(&logits)?;
+/// assert!((p.as_slice()[0] - 1.0 / 3.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax(logits: &Tensor) -> Result<Tensor, NeuroError> {
+    let shape = logits.shape();
+    if shape.len() != 2 {
+        return Err(NeuroError::ShapeMismatch {
+            context: "softmax expects [N, C]",
+            expected: vec![0, 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let classes = shape[1];
+    let mut out = logits.clone();
+    for row in out.as_mut_slice().chunks_mut(classes) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean softmax cross-entropy over a batch; returns `(loss, ∂L/∂logits)`.
+///
+/// The gradient is the classic `softmax(logits) − one_hot(label)`, divided
+/// by the batch size, ready to feed into [`Network::backward`].
+///
+/// # Errors
+///
+/// Returns [`NeuroError::ShapeMismatch`] when `logits` is not `[N, C]` with
+/// `N == labels.len()`, and [`NeuroError::LabelOutOfRange`] for an invalid
+/// label.
+///
+/// [`Network::backward`]: crate::Network::backward
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{softmax_cross_entropy, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let logits = Tensor::from_vec(vec![1, 2], vec![5.0, -5.0])?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(loss < 0.01);          // confidently correct
+/// assert_eq!(grad.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), NeuroError> {
+    let shape = logits.shape();
+    if shape.len() != 2 || shape[0] != labels.len() {
+        return Err(NeuroError::ShapeMismatch {
+            context: "softmax_cross_entropy expects [N, C] with N labels",
+            expected: vec![labels.len(), 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let classes = shape[1];
+    for &l in labels {
+        if l >= classes {
+            return Err(NeuroError::LabelOutOfRange { label: l, classes });
+        }
+    }
+    let probs = softmax(logits)?;
+    let n = labels.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    {
+        let g = grad.as_mut_slice();
+        let p = probs.as_slice();
+        for (row, &label) in labels.iter().enumerate() {
+            let idx = row * classes + label;
+            loss -= p[idx].max(1e-12).ln();
+            g[idx] -= 1.0;
+        }
+    }
+    grad.scale(1.0 / n);
+    Ok((loss / n, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for row in p.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1, 3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec(vec![1, 3], vec![101., 102., 103.]).unwrap();
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_c_loss() {
+        let logits = Tensor::zeros(vec![4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1., -2., 0.5, 3., 0., -1.]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for row in grad.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bad_label_is_rejected() {
+        let logits = Tensor::zeros(vec![1, 3]);
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[3]),
+            Err(NeuroError::LabelOutOfRange { label: 3, classes: 3 })
+        ));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![2, 4], vec![0.3, -1.2, 0.7, 0.1, 2.0, 0.0, -0.5, 1.0])
+            .unwrap();
+        let labels = [2usize, 0usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels).unwrap();
+            let (lm, _) = softmax_cross_entropy(&minus, &labels).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[i]).abs() < 1e-3,
+                "logit {i}: numeric {numeric} vs analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Optimizers. SGD with momentum and decoupled L2 weight decay — the
+//! regularizer at the heart of the paper's first mitigation technique.
+
+use crate::layers::Param;
+use crate::{NeuroError, Tensor};
+
+/// Configuration for [`Sgd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 regularization strength λ. The paper's §V.A penalty
+    /// `R(w) = λ/(2m)·Σ‖w‖²` enters gradient descent as `λ·w`, which is
+    /// exactly this weight-decay term. Applied only to parameters flagged
+    /// [`Param::decay`] (weights, not biases or batch-norm affines).
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0 }
+    }
+}
+
+/// Stochastic gradient descent with momentum and L2 weight decay.
+///
+/// The optimizer keeps momentum buffers indexed by parameter position, so
+/// it must always be stepped with the same network.
+///
+/// # Example
+///
+/// ```
+/// use safelight_neuro::{Linear, Network, Sgd, SgdConfig, Tensor};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let mut net = Network::new();
+/// net.push(Linear::new(2, 2, 1)?);
+/// let mut sgd = Sgd::new(SgdConfig::default());
+///
+/// let x = Tensor::full(vec![1, 2], 1.0);
+/// net.forward(&x, true)?;
+/// net.backward(&Tensor::full(vec![1, 2], 1.0))?;
+/// sgd.step(&mut net.params_mut())?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given configuration.
+    #[must_use]
+    pub fn new(config: SgdConfig) -> Self {
+        Self { config, velocity: Vec::new() }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SgdConfig {
+        &self.config
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.config.learning_rate = lr;
+    }
+
+    /// Applies one update step to `params` using their accumulated
+    /// gradients, then leaves the gradients untouched (callers usually
+    /// `zero_grad` right after).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::ShapeMismatch`] when the parameter list changes
+    /// shape between steps.
+    pub fn step(&mut self, params: &mut [&mut Param]) -> Result<(), NeuroError> {
+        if self.velocity.is_empty() {
+            self.velocity =
+                params.iter().map(|p| Tensor::zeros(p.value.shape().to_vec())).collect();
+        }
+        if self.velocity.len() != params.len() {
+            return Err(NeuroError::ShapeMismatch {
+                context: "Sgd::step: parameter count changed",
+                expected: vec![self.velocity.len()],
+                actual: vec![params.len()],
+            });
+        }
+        let lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+        let wd = self.config.weight_decay;
+        for (param, vel) in params.iter_mut().zip(&mut self.velocity) {
+            if vel.shape() != param.value.shape() {
+                return Err(NeuroError::ShapeMismatch {
+                    context: "Sgd::step: parameter shape changed",
+                    expected: vel.shape().to_vec(),
+                    actual: param.value.shape().to_vec(),
+                });
+            }
+            let decay = if param.decay { wd } else { 0.0 };
+            let v = vel.as_mut_slice();
+            let w = param.value.as_mut_slice();
+            let g = param.grad.as_slice();
+            for i in 0..w.len() {
+                let grad = g[i] + decay * w[i];
+                v[i] = mu * v[i] + grad;
+                w[i] -= lr * v[i];
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param_with_grad(value: f32, grad: f32, decay: bool) -> Param {
+        let mut p = Param::new(Tensor::full(vec![1], value), decay);
+        p.grad.fill(grad);
+        p
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut sgd = Sgd::new(SgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        let mut p = param_with_grad(1.0, 2.0, true);
+        sgd.step(&mut [&mut p]).unwrap();
+        assert!((p.value.as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates_repeated_steps() {
+        let cfg = SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        let mut sgd = Sgd::new(cfg);
+        let mut p = param_with_grad(0.0, 1.0, true);
+        sgd.step(&mut [&mut p]).unwrap();
+        let first_step = -p.value.as_slice()[0];
+        p.grad.fill(1.0);
+        sgd.step(&mut [&mut p]).unwrap();
+        let second_step = -p.value.as_slice()[0] - first_step;
+        assert!(second_step > first_step, "{second_step} vs {first_step}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut sgd = Sgd::new(SgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
+        let mut p = param_with_grad(1.0, 0.0, true);
+        sgd.step(&mut [&mut p]).unwrap();
+        assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_skips_undecayed_params() {
+        let mut sgd = Sgd::new(SgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
+        let mut p = param_with_grad(1.0, 0.0, false);
+        sgd.step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn changing_parameter_count_is_detected() {
+        let mut sgd = Sgd::new(SgdConfig::default());
+        let mut a = param_with_grad(1.0, 1.0, true);
+        sgd.step(&mut [&mut a]).unwrap();
+        let mut b = param_with_grad(1.0, 1.0, true);
+        assert!(sgd.step(&mut [&mut a, &mut b]).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Tiny scoped-thread fork/join helper used by the compute-heavy layers.
+
+/// Splits `0..n` into at most `threads` contiguous chunks and runs `work`
+/// on each chunk, in parallel when `threads > 1`.
+///
+/// `work` receives `(start, end)` half-open ranges. The function returns
+/// one result per chunk, in chunk order, so callers can reduce (e.g. sum
+/// per-thread gradient buffers).
+pub(crate) fn join_chunks<R, F>(n: usize, threads: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return vec![work(0, n)];
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(s, e)| s < e)
+        .collect();
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(s, e)| scope.spawn(move || work(s, e)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_full_range_without_overlap() {
+        let results = join_chunks(10, 3, |s, e| (s, e));
+        let mut covered = vec![false; 10];
+        for (s, e) in results {
+            for i in s..e {
+                assert!(!covered[i], "index {i} covered twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn single_thread_is_one_chunk() {
+        let results = join_chunks(5, 1, |s, e| (s, e));
+        assert_eq!(results, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn empty_range_still_calls_once() {
+        let results = join_chunks(0, 4, |s, e| e - s);
+        assert_eq!(results, vec![0]);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let data: Vec<u64> = (0..1000).collect();
+        let partials = join_chunks(data.len(), 4, |s, e| data[s..e].iter().sum::<u64>());
+        assert_eq!(partials.into_iter().sum::<u64>(), 499_500);
+    }
+}

@@ -1,0 +1,192 @@
+//! Flat binary save/load of network parameters.
+//!
+//! Trained model variants are cached on disk so the figure-reproduction
+//! binaries do not retrain on every run. The format is a simple
+//! little-endian stream — magic, version, parameter count, then per
+//! parameter its rank, dimensions and `f32` data.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::model::Network;
+use crate::NeuroError;
+
+const MAGIC: &[u8; 4] = b"SLNN";
+const VERSION: u32 = 1;
+
+/// Saves all parameter values of `network` to `path`.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::Io`] on filesystem errors.
+///
+/// # Example
+///
+/// ```no_run
+/// use safelight_neuro::{save_network_params, Linear, Network};
+///
+/// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+/// let mut net = Network::new();
+/// net.push(Linear::new(4, 2, 1)?);
+/// save_network_params(&net, "model.slnn")?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_network_params<P: AsRef<Path>>(
+    network: &Network,
+    path: P,
+) -> Result<(), NeuroError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let params = network.params();
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let shape = p.value.shape();
+        w.write_all(&(shape.len() as u32).to_le_bytes())?;
+        for &d in shape {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in p.value.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads parameter values from `path` into `network`.
+///
+/// The network must already have the exact architecture the file was saved
+/// from — this function restores values, it does not build layers.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::MalformedModelFile`] when the file does not match
+/// the network (wrong magic, version, count or shapes) and
+/// [`NeuroError::Io`] on filesystem errors.
+pub fn load_network_params<P: AsRef<Path>>(
+    network: &mut Network,
+    path: P,
+) -> Result<(), NeuroError> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(NeuroError::MalformedModelFile { context: "bad magic".into() });
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(NeuroError::MalformedModelFile {
+            context: format!("unsupported version {version}"),
+        });
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut params = network.params_mut();
+    if params.len() != count {
+        return Err(NeuroError::MalformedModelFile {
+            context: format!("file has {count} parameters, network has {}", params.len()),
+        });
+    }
+    for (i, param) in params.iter_mut().enumerate() {
+        let rank = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u64(&mut r)? as usize);
+        }
+        if shape != param.value.shape() {
+            return Err(NeuroError::MalformedModelFile {
+                context: format!(
+                    "parameter {i}: file shape {shape:?} vs network {:?}",
+                    param.value.shape()
+                ),
+            });
+        }
+        for v in param.value.as_mut_slice() {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, NeuroError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, NeuroError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("safelight-neuro-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn build_net(seed: u64) -> Network {
+        let mut net = Network::new();
+        net.push(Linear::new(3, 4, seed).unwrap());
+        net.push(Relu::new());
+        net.push(Linear::new(4, 2, seed + 1).unwrap());
+        net
+    }
+
+    #[test]
+    fn save_load_round_trips_values() {
+        let path = tmp_path("roundtrip");
+        let source = build_net(10);
+        save_network_params(&source, &path).unwrap();
+        let mut target = build_net(99); // different init
+        load_network_params(&mut target, &path).unwrap();
+        for (a, b) in source.params().iter().zip(target.params().iter()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn architecture_mismatch_is_detected() {
+        let path = tmp_path("mismatch");
+        save_network_params(&build_net(1), &path).unwrap();
+        let mut wrong = Network::new();
+        wrong.push(Linear::new(3, 4, 0).unwrap());
+        assert!(matches!(
+            load_network_params(&mut wrong, &path),
+            Err(NeuroError::MalformedModelFile { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, b"not a model").unwrap();
+        let mut net = build_net(1);
+        assert!(load_network_params(&mut net, &path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut net = build_net(1);
+        assert!(matches!(
+            load_network_params(&mut net, "/nonexistent/safelight.slnn"),
+            Err(NeuroError::Io { .. })
+        ));
+    }
+}

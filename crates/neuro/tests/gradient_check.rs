@@ -1,0 +1,180 @@
+//! Finite-difference verification of every hand-written backward pass.
+//!
+//! For each layer we check both the input gradient and the parameter
+//! gradients of a scalar loss `L = Σ w_i · y_i` (with fixed random `w`)
+//! against central differences. This is the strongest correctness evidence
+//! a from-scratch NN library can carry.
+
+use safelight_neuro::{
+    BatchNorm2d, Conv2d, Layer, Linear, MaxPool2d, Relu, ResidualBlock, SimRng, Tensor,
+};
+
+/// Deterministic pseudo-random tensor.
+fn random_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut rng = SimRng::seed_from(seed);
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.gaussian_with(0.0, 0.7) as f32;
+    }
+    t
+}
+
+/// Scalar loss L = Σ w ⊙ y and its gradient w.r.t. y.
+fn weighted_loss(y: &Tensor, weights: &Tensor) -> (f64, Tensor) {
+    let loss = y
+        .as_slice()
+        .iter()
+        .zip(weights.as_slice())
+        .map(|(a, b)| f64::from(a * b))
+        .sum();
+    (loss, weights.clone())
+}
+
+/// Checks ∂L/∂input of `layer` against central differences.
+fn check_input_gradient<L: Layer>(layer: &mut L, input: &Tensor, tol: f64) {
+    let y = layer.forward(input, true).unwrap();
+    let loss_weights = random_tensor(y.shape().to_vec(), 7777);
+    let (_, dy) = weighted_loss(&y, &loss_weights);
+    let analytic = layer.backward(&dy).unwrap();
+
+    let eps = 1e-3f32;
+    // Probe a deterministic sample of positions (all, for small tensors).
+    let stride = (input.len() / 64).max(1);
+    for i in (0..input.len()).step_by(stride) {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let yp = layer.forward(&plus, true).unwrap();
+        let (lp, _) = weighted_loss(&yp, &loss_weights);
+        let ym = layer.forward(&minus, true).unwrap();
+        let (lm, _) = weighted_loss(&ym, &loss_weights);
+        let numeric = (lp - lm) / (2.0 * f64::from(eps));
+        let got = f64::from(analytic.as_slice()[i]);
+        assert!(
+            (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+            "input grad at {i}: numeric {numeric:.6} vs analytic {got:.6}"
+        );
+    }
+}
+
+/// Checks parameter gradients of `layer` against central differences.
+fn check_param_gradients<L: Layer>(layer: &mut L, input: &Tensor, tol: f64) {
+    let y = layer.forward(input, true).unwrap();
+    let loss_weights = random_tensor(y.shape().to_vec(), 8888);
+    let (_, dy) = weighted_loss(&y, &loss_weights);
+    for p in layer.params_mut() {
+        p.zero_grad();
+    }
+    layer.forward(input, true).unwrap();
+    layer.backward(&dy).unwrap();
+    let analytic: Vec<Vec<f32>> =
+        layer.params_mut().iter().map(|p| p.grad.as_slice().to_vec()).collect();
+
+    let eps = 1e-3f32;
+    let param_count = analytic.len();
+    for pi in 0..param_count {
+        let len = layer.params_mut()[pi].value.len();
+        let stride = (len / 24).max(1);
+        for i in (0..len).step_by(stride) {
+            let original = layer.params_mut()[pi].value.as_slice()[i];
+            layer.params_mut()[pi].value.as_mut_slice()[i] = original + eps;
+            let yp = layer.forward(input, true).unwrap();
+            let (lp, _) = weighted_loss(&yp, &loss_weights);
+            layer.params_mut()[pi].value.as_mut_slice()[i] = original - eps;
+            let ym = layer.forward(input, true).unwrap();
+            let (lm, _) = weighted_loss(&ym, &loss_weights);
+            layer.params_mut()[pi].value.as_mut_slice()[i] = original;
+            let numeric = (lp - lm) / (2.0 * f64::from(eps));
+            let got = f64::from(analytic[pi][i]);
+            assert!(
+                (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+                "param {pi} grad at {i}: numeric {numeric:.6} vs analytic {got:.6}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_input_gradient_is_correct() {
+    let mut fc = Linear::new(6, 4, 3).unwrap();
+    let x = random_tensor(vec![3, 6], 1);
+    check_input_gradient(&mut fc, &x, 2e-2);
+}
+
+#[test]
+fn linear_param_gradients_are_correct() {
+    let mut fc = Linear::new(6, 4, 3).unwrap();
+    let x = random_tensor(vec![3, 6], 2);
+    check_param_gradients(&mut fc, &x, 2e-2);
+}
+
+#[test]
+fn conv_input_gradient_is_correct() {
+    let mut conv = Conv2d::new(2, 3, 3, 5).unwrap();
+    let x = random_tensor(vec![2, 2, 5, 5], 3);
+    check_input_gradient(&mut conv, &x, 2e-2);
+}
+
+#[test]
+fn conv_param_gradients_are_correct() {
+    let mut conv = Conv2d::new(2, 3, 3, 5).unwrap();
+    let x = random_tensor(vec![2, 2, 5, 5], 4);
+    check_param_gradients(&mut conv, &x, 2e-2);
+}
+
+#[test]
+fn strided_conv_gradients_are_correct() {
+    let mut conv = Conv2d::new(2, 2, 3, 6).unwrap().with_stride(2).unwrap();
+    let x = random_tensor(vec![2, 2, 6, 6], 5);
+    check_input_gradient(&mut conv, &x, 2e-2);
+    check_param_gradients(&mut conv, &x, 2e-2);
+}
+
+#[test]
+fn relu_input_gradient_is_correct() {
+    let mut relu = Relu::new();
+    // Keep values away from the kink at 0 for clean finite differences.
+    let mut x = random_tensor(vec![2, 8], 6);
+    for v in x.as_mut_slice() {
+        if v.abs() < 0.05 {
+            *v += 0.1;
+        }
+    }
+    check_input_gradient(&mut relu, &x, 2e-2);
+}
+
+#[test]
+fn maxpool_input_gradient_is_correct() {
+    let mut pool = MaxPool2d::new(2).unwrap();
+    let x = random_tensor(vec![2, 2, 4, 4], 7);
+    check_input_gradient(&mut pool, &x, 2e-2);
+}
+
+#[test]
+fn batchnorm_input_gradient_is_correct() {
+    let mut bn = BatchNorm2d::new(3).unwrap();
+    let x = random_tensor(vec![4, 3, 3, 3], 8);
+    check_input_gradient(&mut bn, &x, 5e-2);
+}
+
+#[test]
+fn batchnorm_param_gradients_are_correct() {
+    let mut bn = BatchNorm2d::new(3).unwrap();
+    let x = random_tensor(vec![4, 3, 3, 3], 9);
+    check_param_gradients(&mut bn, &x, 5e-2);
+}
+
+#[test]
+fn residual_block_input_gradient_is_correct() {
+    let mut block = ResidualBlock::new(2, 2, 1, 11).unwrap();
+    let x = random_tensor(vec![2, 2, 4, 4], 10);
+    check_input_gradient(&mut block, &x, 8e-2);
+}
+
+#[test]
+fn downsampling_residual_block_gradients_are_correct() {
+    let mut block = ResidualBlock::new(2, 4, 2, 12).unwrap();
+    let x = random_tensor(vec![2, 2, 6, 6], 11);
+    check_input_gradient(&mut block, &x, 8e-2);
+}

@@ -1,0 +1,184 @@
+//! Per-microring fault conditions and the sparse maps that hold them.
+
+use std::collections::HashMap;
+
+use crate::config::BlockKind;
+
+/// The fault state of one microring's peripheral circuitry.
+///
+/// Attack injectors (the `safelight` crate) produce these; the accelerator
+/// executor consumes them. `Healthy` is the implicit default for every MR
+/// not present in a [`ConditionMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MrCondition {
+    /// Nominal operation.
+    #[default]
+    Healthy,
+    /// Actuation attack: the modulation circuit is hijacked and the ring is
+    /// parked at its maximum detuning (§III.B.1).
+    Parked,
+    /// Thermal attack or spill-over: the ring sits `delta_kelvin` above its
+    /// calibrated temperature, red-shifting its resonance per eq. (2).
+    Heated {
+        /// Temperature rise over the calibrated operating point, kelvin.
+        delta_kelvin: f64,
+    },
+}
+
+impl MrCondition {
+    /// Whether the condition deviates from nominal operation.
+    #[must_use]
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, Self::Healthy)
+    }
+}
+
+/// A sparse map from flat MR index to fault condition, per block.
+///
+/// Blocks hold up to millions of MRs but attacks touch at most a few
+/// percent, so a hash map keyed by index is the right density trade-off.
+///
+/// # Example
+///
+/// ```
+/// use safelight_onn::{BlockKind, ConditionMap, MrCondition};
+///
+/// let mut map = ConditionMap::new();
+/// map.set(BlockKind::Conv, 42, MrCondition::Parked);
+/// assert!(map.condition(BlockKind::Conv, 42).is_faulty());
+/// assert!(!map.condition(BlockKind::Conv, 43).is_faulty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConditionMap {
+    conv: HashMap<u64, MrCondition>,
+    fc: HashMap<u64, MrCondition>,
+}
+
+impl ConditionMap {
+    /// Creates an all-healthy map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn block(&self, kind: BlockKind) -> &HashMap<u64, MrCondition> {
+        match kind {
+            BlockKind::Conv => &self.conv,
+            BlockKind::Fc => &self.fc,
+        }
+    }
+
+    fn block_mut(&mut self, kind: BlockKind) -> &mut HashMap<u64, MrCondition> {
+        match kind {
+            BlockKind::Conv => &mut self.conv,
+            BlockKind::Fc => &mut self.fc,
+        }
+    }
+
+    /// Sets the condition of MR `index` in `kind`'s block. `Healthy`
+    /// removes any stored entry.
+    pub fn set(&mut self, kind: BlockKind, index: u64, condition: MrCondition) {
+        let map = self.block_mut(kind);
+        if condition.is_faulty() {
+            map.insert(index, condition);
+        } else {
+            map.remove(&index);
+        }
+    }
+
+    /// Adds heating to MR `index`, combining with any existing condition:
+    /// heat on top of `Parked` keeps the ring parked; heat on heat sums.
+    pub fn add_heat(&mut self, kind: BlockKind, index: u64, delta_kelvin: f64) {
+        if delta_kelvin <= 0.0 {
+            return;
+        }
+        let map = self.block_mut(kind);
+        let updated = match map.get(&index) {
+            Some(MrCondition::Parked) => MrCondition::Parked,
+            Some(MrCondition::Heated { delta_kelvin: existing }) => {
+                MrCondition::Heated { delta_kelvin: existing + delta_kelvin }
+            }
+            _ => MrCondition::Heated { delta_kelvin },
+        };
+        map.insert(index, updated);
+    }
+
+    /// The condition of MR `index` (healthy when unset).
+    #[must_use]
+    pub fn condition(&self, kind: BlockKind, index: u64) -> MrCondition {
+        self.block(kind).get(&index).copied().unwrap_or_default()
+    }
+
+    /// Number of faulty MRs recorded for `kind`'s block.
+    #[must_use]
+    pub fn faulty_count(&self, kind: BlockKind) -> usize {
+        self.block(kind).len()
+    }
+
+    /// Whether the whole map is empty (no attack present).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.conv.is_empty() && self.fc.is_empty()
+    }
+
+    /// Iterates over the faulty MRs of `kind`'s block.
+    pub fn iter(&self, kind: BlockKind) -> impl Iterator<Item = (u64, MrCondition)> + '_ {
+        self.block(kind).iter().map(|(&i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_healthy() {
+        let map = ConditionMap::new();
+        assert_eq!(map.condition(BlockKind::Fc, 7), MrCondition::Healthy);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn setting_healthy_clears_the_entry() {
+        let mut map = ConditionMap::new();
+        map.set(BlockKind::Conv, 1, MrCondition::Parked);
+        assert_eq!(map.faulty_count(BlockKind::Conv), 1);
+        map.set(BlockKind::Conv, 1, MrCondition::Healthy);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn heat_accumulates() {
+        let mut map = ConditionMap::new();
+        map.add_heat(BlockKind::Fc, 3, 10.0);
+        map.add_heat(BlockKind::Fc, 3, 5.0);
+        assert_eq!(
+            map.condition(BlockKind::Fc, 3),
+            MrCondition::Heated { delta_kelvin: 15.0 }
+        );
+    }
+
+    #[test]
+    fn heat_does_not_unpark() {
+        let mut map = ConditionMap::new();
+        map.set(BlockKind::Conv, 9, MrCondition::Parked);
+        map.add_heat(BlockKind::Conv, 9, 30.0);
+        assert_eq!(map.condition(BlockKind::Conv, 9), MrCondition::Parked);
+    }
+
+    #[test]
+    fn non_positive_heat_is_ignored() {
+        let mut map = ConditionMap::new();
+        map.add_heat(BlockKind::Conv, 2, 0.0);
+        map.add_heat(BlockKind::Conv, 2, -4.0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn blocks_are_independent() {
+        let mut map = ConditionMap::new();
+        map.set(BlockKind::Conv, 5, MrCondition::Parked);
+        assert_eq!(map.condition(BlockKind::Fc, 5), MrCondition::Healthy);
+    }
+}

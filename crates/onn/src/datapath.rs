@@ -1,0 +1,350 @@
+//! The slow, fully physical optical vector-dot-product datapath.
+//!
+//! [`OpticalVdp`] builds real [`Microring`] device objects for one bank row
+//! (input-imprint array plus differential weight rails), runs light through
+//! every transfer function including *all* crosstalk terms, detects with a
+//! balanced photodetector and digitizes with the ADC. It exists to validate
+//! the fast effective-weight path in `executor` and to benchmark the device
+//! stack; figure-scale experiments use the fast path.
+
+use safelight_photonics::{
+    Adc, BalancedPhotodetector, Laser, Microring, MicroringState, WdmGrid,
+};
+
+use crate::condition::MrCondition;
+use crate::config::AcceleratorConfig;
+use crate::executor::EffectiveWeightParams;
+use crate::OnnError;
+
+/// A physically simulated vector-dot-product row.
+///
+/// # Example
+///
+/// ```
+/// use safelight_onn::{AcceleratorConfig, MrCondition, OpticalVdp};
+///
+/// # fn main() -> Result<(), safelight_onn::OnnError> {
+/// let config = AcceleratorConfig::paper()?;
+/// let mut vdp = OpticalVdp::new(&config, 4)?;
+/// let healthy = vec![MrCondition::Healthy; 4];
+/// let dot = vdp.dot(&[0.5, 1.0, 0.25, 0.0], &[0.5, -0.5, 1.0, 0.75], &healthy)?;
+/// let exact = 0.25 - 0.5 + 0.25 + 0.0;
+/// assert!((dot - exact).abs() < 0.05, "dot {dot} vs {exact}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpticalVdp {
+    grid: WdmGrid,
+    laser: Laser,
+    pd: BalancedPhotodetector,
+    adc: Adc,
+    params: EffectiveWeightParams,
+    channels: usize,
+    responsivity: f64,
+}
+
+impl OpticalVdp {
+    /// Builds a VDP row with `channels` WDM channels from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates photonic device construction errors.
+    pub fn new(config: &AcceleratorConfig, channels: usize) -> Result<Self, OnnError> {
+        let grid = WdmGrid::new(config.grid_start_nm, config.channel_spacing_nm, channels)?;
+        let laser = Laser::new(grid.clone(), config.laser_power_mw)?;
+        let pd = BalancedPhotodetector::new(config.pd_responsivity)?;
+        // The ADC digitizes the balanced photocurrent; full scale covers
+        // ±(all channels at full power).
+        let full_scale = config.pd_responsivity * config.laser_power_mw * channels as f64;
+        let adc = Adc::new(config.adc_bits, -full_scale, full_scale)?;
+        Ok(Self {
+            grid,
+            laser,
+            pd,
+            adc,
+            params: EffectiveWeightParams::from_config(config),
+            channels,
+            responsivity: config.pd_responsivity,
+        })
+    }
+
+    /// Number of WDM channels (row length).
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Through-port transmission that encodes magnitude `m` under the
+    /// configured weight encoding.
+    fn imprint_through_for(&self, m: f64) -> f64 {
+        let p = &self.params;
+        let m = p.quantize(m);
+        match p.encoding {
+            crate::WeightEncoding::ThroughPort => p.t_min + m * (p.t_max - p.t_min),
+            // Drop-port: m = 1 means on-resonance (minimum through).
+            crate::WeightEncoding::DropPort => {
+                1.0 - (1.0 - p.t_min) * (p.drop_floor + m * (1.0 - p.drop_floor))
+            }
+        }
+    }
+
+    /// Builds one bank of rings imprinted with `magnitudes`, applying
+    /// `conditions` (thermal shifts and parking).
+    fn build_bank(
+        &self,
+        magnitudes: &[f64],
+        conditions: &[MrCondition],
+    ) -> Result<Vec<Microring>, OnnError> {
+        let mut bank = Vec::with_capacity(self.channels);
+        for (c, (&m, &cond)) in magnitudes.iter().zip(conditions).enumerate() {
+            let mut ring = Microring::with_geometry(
+                safelight_photonics::MicroringGeometry::default(),
+                &self.grid,
+                c,
+            )?;
+            let t = self.imprint_through_for(m);
+            ring.imprint_transmission(t.clamp(ring.min_transmission(), ring.max_transmission()))?;
+            match cond {
+                MrCondition::Healthy => {}
+                MrCondition::Parked => ring.set_state(MicroringState::ParkedOffResonance),
+                MrCondition::Heated { delta_kelvin } => ring.set_temperature_delta(delta_kelvin),
+            }
+            bank.push(ring);
+        }
+        Ok(bank)
+    }
+
+    /// Input-imprint transmission for an activation `a ∈ [0, 1]` (the input
+    /// array always modulates the through port).
+    fn input_through_for(&self, a: f64) -> f64 {
+        let p = &self.params;
+        p.t_min + p.quantize(a) * (p.t_max - p.t_min)
+    }
+
+    /// Per-channel through transmission of a bank (all crosstalk terms).
+    fn bank_transmissions(&self, bank: &[Microring]) -> Vec<f64> {
+        (0..self.channels)
+            .map(|c| {
+                let lambda = self.grid.channel_wavelength(c).expect("channel in range");
+                bank.iter().map(|r| r.through_transmission(lambda)).product()
+            })
+            .collect()
+    }
+
+    /// Per-channel *collected drop* response of a bank: the power fraction
+    /// of channel `c` routed onto the detector bus by all rings.
+    fn bank_drop_collection(&self, bank: &[Microring]) -> Vec<f64> {
+        (0..self.channels)
+            .map(|c| {
+                let lambda = self.grid.channel_wavelength(c).expect("channel in range");
+                bank.iter().map(|r| r.drop_transmission(lambda)).sum()
+            })
+            .collect()
+    }
+
+    /// Computes `Σ inputs[c]·weights[c]` optically.
+    ///
+    /// `inputs` are activation magnitudes in `[0, 1]`; `weights` are signed
+    /// values in `[−1, 1]` encoded on differential positive/negative rails;
+    /// `conditions` are the fault states of the *weight* rings (the
+    /// weight-stationary attack surface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MappingMismatch`] when slice lengths differ from
+    /// the row width.
+    pub fn dot(
+        &mut self,
+        inputs: &[f64],
+        weights: &[f64],
+        conditions: &[MrCondition],
+    ) -> Result<f64, OnnError> {
+        if inputs.len() != self.channels
+            || weights.len() != self.channels
+            || conditions.len() != self.channels
+        {
+            return Err(OnnError::MappingMismatch {
+                context: format!(
+                    "expected {} inputs/weights/conditions, got {}/{}/{}",
+                    self.channels,
+                    inputs.len(),
+                    weights.len(),
+                    conditions.len()
+                ),
+            });
+        }
+        // The input array imprints activations on the through port.
+        let input_bank: Vec<Microring> = {
+            let mut bank = Vec::with_capacity(self.channels);
+            for (c, &a) in inputs.iter().enumerate() {
+                let mut ring = Microring::with_geometry(
+                    safelight_photonics::MicroringGeometry::default(),
+                    &self.grid,
+                    c,
+                )?;
+                let t = self.input_through_for(a);
+                ring.imprint_transmission(
+                    t.clamp(ring.min_transmission(), ring.max_transmission()),
+                )?;
+                bank.push(ring);
+            }
+            bank
+        };
+        let t_in = self.bank_transmissions(&input_bank);
+
+        // Differential weight encoding: |w| on the rail matching sign(w),
+        // zero on the other rail. A fault applies to the *active* rail —
+        // the ring that actually carries the weight — matching the fast
+        // effective-weight path (see executor module docs).
+        let pos: Vec<f64> = weights.iter().map(|&w| w.max(0.0)).collect();
+        let neg: Vec<f64> = weights.iter().map(|&w| (-w).max(0.0)).collect();
+        let pos_conds: Vec<MrCondition> = weights
+            .iter()
+            .zip(conditions)
+            .map(|(&w, &c)| if w >= 0.0 { c } else { MrCondition::Healthy })
+            .collect();
+        let neg_conds: Vec<MrCondition> = weights
+            .iter()
+            .zip(conditions)
+            .map(|(&w, &c)| if w < 0.0 { c } else { MrCondition::Healthy })
+            .collect();
+        let pos_bank = self.build_bank(&pos, &pos_conds)?;
+        let neg_bank = self.build_bank(&neg, &neg_conds)?;
+
+        let p = &self.params;
+        let p0 = self.laser.power_per_channel_mw();
+        let delta_in = p.t_max - p.t_min;
+        let signed_weight_sum: f64 =
+            weights.iter().map(|&w| p.quantize(w.abs()) * w.signum()).sum();
+
+        let (pos_powers, neg_powers): (Vec<f64>, Vec<f64>) = match p.encoding {
+            crate::WeightEncoding::ThroughPort => {
+                let t_pos = self.bank_transmissions(&pos_bank);
+                let t_neg = self.bank_transmissions(&neg_bank);
+                (
+                    t_in.iter().zip(&t_pos).map(|(a, b)| p0 * a * b).collect(),
+                    t_in.iter().zip(&t_neg).map(|(a, b)| p0 * a * b).collect(),
+                )
+            }
+            crate::WeightEncoding::DropPort => {
+                let d_pos = self.bank_drop_collection(&pos_bank);
+                let d_neg = self.bank_drop_collection(&neg_bank);
+                (
+                    t_in.iter().zip(&d_pos).map(|(a, b)| p0 * a * b).collect(),
+                    t_in.iter().zip(&d_neg).map(|(a, b)| p0 * a * b).collect(),
+                )
+            }
+        };
+        let current = self.pd.detect(pos_powers.iter().copied(), neg_powers.iter().copied());
+        let (_, digitized) = self.adc.convert(current);
+        let raw = digitized / (self.responsivity * p0);
+
+        // Affine decode per encoding; the controller knows the Σw it
+        // programmed, so constant terms calibrate out.
+        match p.encoding {
+            crate::WeightEncoding::ThroughPort => {
+                // Σ T_in·(T⁺ − T⁻) = t_min·Δ·Σw + Δ²·Σ a·w.
+                Ok((raw - p.t_min * delta_in * signed_weight_sum) / (delta_in * delta_in))
+            }
+            crate::WeightEncoding::DropPort => {
+                // D = (1 − t_min)·(l + m·(1 − l)) on the active rail, so
+                // Σ T_in·(D⁺ − D⁻) = K·(t_min·Σw + Δ·Σ a·w) with
+                // K = (1 − t_min)(1 − l).
+                let k = (1.0 - p.t_min) * (1.0 - p.drop_floor);
+                Ok((raw / k - p.t_min * signed_weight_sum) / delta_in)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vdp(channels: usize) -> OpticalVdp {
+        OpticalVdp::new(&AcceleratorConfig::paper().unwrap(), channels).unwrap()
+    }
+
+    #[test]
+    fn healthy_dot_matches_arithmetic() {
+        let mut v = vdp(6);
+        let inputs = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0];
+        let weights = [0.9, -0.7, 0.5, -0.3, 0.1, 1.0];
+        let healthy = vec![MrCondition::Healthy; 6];
+        let dot = v.dot(&inputs, &weights, &healthy).unwrap();
+        let exact: f64 = inputs.iter().zip(&weights).map(|(a, w)| a * w).sum();
+        assert!((dot - exact).abs() < 0.08, "dot {dot} vs exact {exact}");
+    }
+
+    #[test]
+    fn zero_weights_give_zero_dot() {
+        let mut v = vdp(4);
+        let dot = v
+            .dot(&[1.0; 4], &[0.0; 4], &vec![MrCondition::Healthy; 4])
+            .unwrap();
+        assert!(dot.abs() < 0.05, "dot {dot}");
+    }
+
+    #[test]
+    fn parked_weight_ring_drops_its_term() {
+        // Default (drop-port) encoding: a parked ring's term vanishes.
+        let mut v = vdp(4);
+        let inputs = [1.0, 1.0, 1.0, 1.0];
+        let weights = [0.5, 0.5, 0.5, 0.5];
+        let healthy = vec![MrCondition::Healthy; 4];
+        let clean = v.dot(&inputs, &weights, &healthy).unwrap();
+        let mut attacked = healthy.clone();
+        attacked[1] = MrCondition::Parked;
+        let corrupted = v.dot(&inputs, &weights, &attacked).unwrap();
+        // Term 1 falls from 0.5 toward 0: the dot must drop by ~0.5.
+        assert!(
+            clean - corrupted > 0.3,
+            "parked ring moved dot only {clean} → {corrupted}"
+        );
+    }
+
+    #[test]
+    fn parked_weight_ring_inflates_under_through_port() {
+        let mut config = AcceleratorConfig::paper().unwrap();
+        config.encoding = crate::WeightEncoding::ThroughPort;
+        let mut v = OpticalVdp::new(&config, 4).unwrap();
+        let inputs = [1.0, 1.0, 1.0, 1.0];
+        let weights = [0.2, 0.2, 0.2, 0.2];
+        let healthy = vec![MrCondition::Healthy; 4];
+        let clean = v.dot(&inputs, &weights, &healthy).unwrap();
+        let mut attacked = healthy.clone();
+        attacked[1] = MrCondition::Parked;
+        let corrupted = v.dot(&inputs, &weights, &attacked).unwrap();
+        // Term 1 jumps from 0.2 toward 1.0: the dot must rise by ~0.8.
+        assert!(
+            corrupted - clean > 0.5,
+            "parked ring moved dot only {clean} → {corrupted}"
+        );
+    }
+
+    #[test]
+    fn heated_row_corrupts_multiple_terms() {
+        let mut v = vdp(5);
+        let config = AcceleratorConfig::paper().unwrap();
+        let dt = config.one_channel_delta_kelvin();
+        let inputs = [1.0; 5];
+        let weights = [0.5, -0.5, 0.5, -0.5, 0.5];
+        let healthy = vec![MrCondition::Healthy; 5];
+        let clean = v.dot(&inputs, &weights, &healthy).unwrap();
+        let heated = vec![MrCondition::Heated { delta_kelvin: dt }; 5];
+        let corrupted = v.dot(&inputs, &weights, &heated).unwrap();
+        assert!(
+            (corrupted - clean).abs() > 0.3,
+            "hotspot barely moved dot: {clean} → {corrupted}"
+        );
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let mut v = vdp(4);
+        assert!(v
+            .dot(&[0.0; 3], &[0.0; 4], &vec![MrCondition::Healthy; 4])
+            .is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the accelerator simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use safelight_neuro::NeuroError;
+use safelight_photonics::PhotonicsError;
+use safelight_thermal::ThermalError;
+
+/// Errors produced by accelerator configuration, mapping and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OnnError {
+    /// A block or converter dimension was invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A layer list or parameter count did not match the mapped network.
+    MappingMismatch {
+        /// Description of the inconsistency.
+        context: String,
+    },
+    /// An MR index was outside its block.
+    MrOutOfRange {
+        /// The flat MR index.
+        index: u64,
+        /// MRs in the block.
+        capacity: u64,
+    },
+    /// An underlying photonic device error.
+    Photonics(PhotonicsError),
+    /// An underlying thermal solver error.
+    Thermal(ThermalError),
+    /// An underlying tensor/network error.
+    Neuro(NeuroError),
+}
+
+impl fmt::Display for OnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { name, value } => {
+                write!(f, "invalid accelerator config: `{name}` = {value}")
+            }
+            Self::MappingMismatch { context } => write!(f, "mapping mismatch: {context}"),
+            Self::MrOutOfRange { index, capacity } => {
+                write!(f, "microring index {index} out of range for block of {capacity}")
+            }
+            Self::Photonics(e) => write!(f, "photonics: {e}"),
+            Self::Thermal(e) => write!(f, "thermal: {e}"),
+            Self::Neuro(e) => write!(f, "neural network: {e}"),
+        }
+    }
+}
+
+impl Error for OnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Photonics(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::Neuro(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PhotonicsError> for OnnError {
+    fn from(e: PhotonicsError) -> Self {
+        Self::Photonics(e)
+    }
+}
+
+impl From<ThermalError> for OnnError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<NeuroError> for OnnError {
+    fn from(e: NeuroError) -> Self {
+        Self::Neuro(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OnnError>();
+    }
+
+    #[test]
+    fn source_chains_to_inner_error() {
+        let inner = PhotonicsError::EmptyGrid;
+        let e = OnnError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

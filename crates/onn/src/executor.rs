@@ -1,0 +1,697 @@
+//! The fast attack-evaluation path: derive the *effective* weights a
+//! faulty accelerator applies and bake them into a network clone.
+//!
+//! # Physical model
+//!
+//! Signed weights use differential rails: `|w|` is imprinted on the ring of
+//! the rail matching `sign(w)`, the other rail's ring is calibrated to
+//! zero, and a balanced photodetector subtracts the rails. A fault applies
+//! to the ring that actually carries the weight (the active rail).
+//!
+//! Two encoding conventions are modeled (see
+//! [`WeightEncoding`](crate::WeightEncoding)):
+//!
+//! * **Drop port** (default): ring `r` *drops* its channel's power onto the
+//!   detector bus; on-resonance = full weight, detuned = zero. Per rail the
+//!   collected power at channel `c` is additive across rings,
+//!
+//!   ```text
+//!   P(c) = D_c(λ_c | cond_c) + Σ_{r≠c, r faulty} [D_r(λ_c | fault) − D_r(λ_c | healthy)]
+//!   ```
+//!
+//!   so an actuation-parked or strongly heated ring contributes ≈ 0
+//!   (dropout-like corruption), while a ring red-shifted by one channel
+//!   spacing *hands its weight to the next channel* — the wavelength slide
+//!   of the paper's Fig. 5.
+//! * **Through port** (ablation): the product stays on the bus and
+//!   detuning increases transmission, so attacked weights *saturate to
+//!   full scale*; channel corruption is the multiplicative deviation
+//!   product of the faulty rings' transmissions.
+//!
+//! Decoded magnitudes clamp to the accelerator's `[0, 1]` full scale per
+//! rail, exactly as the ADC saturates.
+
+use safelight_neuro::Network;
+
+use crate::condition::{ConditionMap, MrCondition};
+use crate::config::{AcceleratorConfig, BlockKind, WeightEncoding};
+use crate::mapping::WeightMapping;
+use crate::OnnError;
+
+/// Precomputed device constants for effective-weight evaluation.
+///
+/// Derived once per [`AcceleratorConfig`]; all lengths in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffectiveWeightParams {
+    /// Weight encoding convention.
+    pub encoding: WeightEncoding,
+    /// Extinction floor of the ring (through-port transmission at exact
+    /// resonance).
+    pub t_min: f64,
+    /// Through-port transmission at the modulator's maximum detuning.
+    pub t_max: f64,
+    /// Lorentzian full width at half maximum.
+    pub fwhm_nm: f64,
+    /// WDM channel spacing.
+    pub spacing_nm: f64,
+    /// Maximum imprint detuning of the modulation circuit.
+    pub max_detuning_nm: f64,
+    /// Residual (normalized) drop-port response at maximum detuning — the
+    /// drop-port encoding's zero level.
+    pub drop_floor: f64,
+    /// Thermo-optic shift per kelvin (eq. 2 slope).
+    pub shift_per_kelvin_nm: f64,
+    /// DAC quantization levels minus one (0 disables quantization).
+    pub dac_steps: u32,
+}
+
+impl EffectiveWeightParams {
+    /// Derives the constants from an accelerator configuration.
+    #[must_use]
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        let g = &config.geometry;
+        let lambda = config.grid_start_nm;
+        let fwhm = lambda / g.q_factor;
+        let max_detuning = g.max_imprint_detuning_rel * config.channel_spacing_nm;
+        let t_min = g.extinction_floor;
+        let x = 2.0 * max_detuning / fwhm;
+        let lorentz_floor = 1.0 / (1.0 + x * x);
+        Self {
+            encoding: config.encoding,
+            t_min,
+            t_max: 1.0 - (1.0 - t_min) * lorentz_floor,
+            fwhm_nm: fwhm,
+            spacing_nm: config.channel_spacing_nm,
+            max_detuning_nm: max_detuning,
+            drop_floor: lorentz_floor,
+            shift_per_kelvin_nm: g.silicon.resonance_shift_per_kelvin_nm(lambda),
+            dac_steps: if config.dac_bits == 0 {
+                0
+            } else {
+                (1u32 << config.dac_bits) - 1
+            },
+        }
+    }
+
+    /// Normalized Lorentzian `L(δ) = 1 / (1 + (2δ/FWHM)²)`.
+    fn lorentzian(&self, delta_nm: f64) -> f64 {
+        let x = 2.0 * delta_nm / self.fwhm_nm;
+        1.0 / (1.0 + x * x)
+    }
+
+    /// Through-port transmission at detuning `delta_nm`.
+    #[must_use]
+    pub fn transmission(&self, delta_nm: f64) -> f64 {
+        1.0 - (1.0 - self.t_min) * self.lorentzian(delta_nm)
+    }
+
+    /// Drop-port response (normalized to its on-resonance peak) at detuning
+    /// `delta_nm`.
+    #[must_use]
+    pub fn drop_response(&self, delta_nm: f64) -> f64 {
+        self.lorentzian(delta_nm)
+    }
+
+    /// Imprint detuning that encodes magnitude `m ∈ [0, 1]` under the
+    /// configured encoding.
+    #[must_use]
+    pub fn detuning_for_magnitude(&self, m: f64) -> f64 {
+        let m = m.clamp(0.0, 1.0);
+        let target_lorentz = match self.encoding {
+            // Through port: T = 1 − (1−t_min)·L rises with detuning; m maps
+            // to T ∈ [t_min, t_max].
+            WeightEncoding::ThroughPort => {
+                let t = self.t_min + m * (self.t_max - self.t_min);
+                (1.0 - t) / (1.0 - self.t_min)
+            }
+            // Drop port: D ∝ L falls with detuning; m maps to
+            // L ∈ [drop_floor, 1].
+            WeightEncoding::DropPort => self.drop_floor + m * (1.0 - self.drop_floor),
+        };
+        let ratio = 1.0 / target_lorentz.clamp(1e-12, 1.0) - 1.0;
+        (0.5 * self.fwhm_nm * ratio.max(0.0).sqrt()).min(self.max_detuning_nm)
+    }
+
+    /// Decodes a rail's collected response back to a magnitude in `[0, 1]`.
+    #[must_use]
+    pub fn decode(&self, response: f64) -> f64 {
+        match self.encoding {
+            WeightEncoding::ThroughPort => {
+                (response - self.t_min) / (self.t_max - self.t_min)
+            }
+            WeightEncoding::DropPort => {
+                (response - self.drop_floor) / (1.0 - self.drop_floor)
+            }
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// DAC-quantizes a magnitude.
+    #[must_use]
+    pub fn quantize(&self, m: f64) -> f64 {
+        if self.dac_steps == 0 {
+            return m.clamp(0.0, 1.0);
+        }
+        let steps = f64::from(self.dac_steps);
+        (m.clamp(0.0, 1.0) * steps).round() / steps
+    }
+
+    /// Effective resonance offset (from the ring's own carrier) under a
+    /// fault condition, given the imprinted magnitude.
+    fn offset_under(&self, m: f64, condition: MrCondition) -> f64 {
+        match condition {
+            MrCondition::Healthy => self.detuning_for_magnitude(m),
+            MrCondition::Parked => self.max_detuning_nm,
+            MrCondition::Heated { delta_kelvin } => {
+                self.detuning_for_magnitude(m) + self.shift_per_kelvin_nm * delta_kelvin
+            }
+        }
+    }
+}
+
+/// How many channels away a faulty ring can still meaningfully perturb a
+/// carrier (the Lorentzian tail is negligible beyond this).
+const CROSSTALK_WINDOW: isize = 2;
+
+/// Effective *signed* weight on channel `c` of one bank row.
+///
+/// `weights[r]` is the DAC-quantized signed normalized weight of ring `r`
+/// in this row/round; `conditions[r]` its active-rail fault state.
+fn effective_channel(
+    c: usize,
+    weights: &[f64],
+    conditions: &[MrCondition],
+    p: &EffectiveWeightParams,
+) -> f64 {
+    match p.encoding {
+        WeightEncoding::ThroughPort => effective_channel_through(c, weights, conditions, p),
+        WeightEncoding::DropPort => effective_channel_drop(c, weights, conditions, p),
+    }
+}
+
+fn effective_channel_through(
+    c: usize,
+    weights: &[f64],
+    conditions: &[MrCondition],
+    p: &EffectiveWeightParams,
+) -> f64 {
+    let m_c = weights[c].abs();
+    let sign = if weights[c] < 0.0 { -1.0 } else { 1.0 };
+    let mut t = p.transmission(p.offset_under(m_c, conditions[c]));
+    for dr in -CROSSTALK_WINDOW..=CROSSTALK_WINDOW {
+        if dr == 0 {
+            continue;
+        }
+        let r = c as isize + dr;
+        if r < 0 || r as usize >= weights.len() {
+            continue;
+        }
+        let r = r as usize;
+        if !conditions[r].is_faulty() {
+            continue;
+        }
+        // Ring r's resonance sits at λ_c + dr·spacing + offset; its
+        // deviation from the calibrated transmission at λ_c corrupts this
+        // channel multiplicatively.
+        let m_r = weights[r].abs();
+        let healthy = dr as f64 * p.spacing_nm + p.detuning_for_magnitude(m_r);
+        let faulty = dr as f64 * p.spacing_nm + p.offset_under(m_r, conditions[r]);
+        t *= p.transmission(faulty) / p.transmission(healthy);
+    }
+    sign * p.decode(t)
+}
+
+fn effective_channel_drop(
+    c: usize,
+    weights: &[f64],
+    conditions: &[MrCondition],
+    p: &EffectiveWeightParams,
+) -> f64 {
+    // Per-rail additive collection. The active rail of ring r is chosen by
+    // sign(w_r); the inactive rail ring idles at zero imprint (maximum
+    // detuning) and is unaffected by the fault model (active-rail faults).
+    let mut pos;
+    let mut neg;
+    {
+        let m_c = weights[c].abs();
+        let own = p.drop_response(p.offset_under(m_c, conditions[c]));
+        let idle = p.drop_floor;
+        if weights[c] >= 0.0 {
+            pos = own;
+            neg = idle;
+        } else {
+            pos = idle;
+            neg = own;
+        }
+    }
+    for dr in -CROSSTALK_WINDOW..=CROSSTALK_WINDOW {
+        if dr == 0 {
+            continue;
+        }
+        let r = c as isize + dr;
+        if r < 0 || r as usize >= weights.len() {
+            continue;
+        }
+        let r = r as usize;
+        if !conditions[r].is_faulty() {
+            continue;
+        }
+        // Deviation of ring r's drop response at λ_c from calibration,
+        // landed on ring r's active rail.
+        let m_r = weights[r].abs();
+        let healthy = p.drop_response(dr as f64 * p.spacing_nm + p.detuning_for_magnitude(m_r));
+        let faulty =
+            p.drop_response(dr as f64 * p.spacing_nm + p.offset_under(m_r, conditions[r]));
+        let dev = faulty - healthy;
+        if weights[r] >= 0.0 {
+            pos += dev;
+        } else {
+            neg += dev;
+        }
+    }
+    p.decode(pos) - p.decode(neg)
+}
+
+/// Effective signed weights of a whole bank row under fault conditions.
+///
+/// This is the row-level primitive shared by [`corrupt_network`] and the
+/// slow physical datapath; exposed for tests and benchmarks. Inputs are
+/// normalized signed weights in `[−1, 1]`.
+///
+/// # Panics
+///
+/// Panics when `weights` and `conditions` differ in length.
+///
+/// # Example
+///
+/// ```
+/// use safelight_onn::{
+///     AcceleratorConfig, effective_weight_row, EffectiveWeightParams, MrCondition,
+/// };
+///
+/// # fn main() -> Result<(), safelight_onn::OnnError> {
+/// let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper()?);
+/// let clean = [0.25, -0.5, 0.75];
+/// let healthy = [MrCondition::Healthy; 3];
+/// let out = effective_weight_row(&clean, &healthy, &p);
+/// // Healthy rows read back their imprinted weights (sign included).
+/// for (a, b) in out.iter().zip(&clean) {
+///     assert!((a - b).abs() < 1e-6);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn effective_weight_row(
+    weights: &[f64],
+    conditions: &[MrCondition],
+    params: &EffectiveWeightParams,
+) -> Vec<f64> {
+    assert_eq!(
+        weights.len(),
+        conditions.len(),
+        "weights and conditions must be parallel"
+    );
+    (0..weights.len())
+        .map(|c| effective_channel(c, weights, conditions, params))
+        .collect()
+}
+
+/// Produces a clone of `network` whose weights are the *effective* values a
+/// faulty accelerator computes with, per the module-level physical model.
+///
+/// The i-th decayed (weight) parameter tensor of the network must
+/// correspond to the i-th [`LayerSpec`](crate::LayerSpec) of `mapping`.
+/// With an empty `conditions` map this reduces to DAC quantization alone —
+/// the accelerator's clean baseline.
+///
+/// # Errors
+///
+/// Returns [`OnnError::MappingMismatch`] when the network's weight tensors
+/// do not line up with the mapping.
+pub fn corrupt_network(
+    network: &Network,
+    mapping: &WeightMapping,
+    conditions: &ConditionMap,
+    config: &AcceleratorConfig,
+) -> Result<Network, OnnError> {
+    let p = EffectiveWeightParams::from_config(config);
+    let mut out = network.clone();
+
+    // Validate that the weight tensors line up with the mapping.
+    let specs = mapping.layer_specs();
+    {
+        let weight_lens: Vec<usize> = out
+            .params()
+            .iter()
+            .filter(|q| q.decay)
+            .map(|q| q.value.len())
+            .collect();
+        if weight_lens.len() != specs.len() {
+            return Err(OnnError::MappingMismatch {
+                context: format!(
+                    "network has {} weight tensors, mapping has {} layers",
+                    weight_lens.len(),
+                    specs.len()
+                ),
+            });
+        }
+        for (i, (len, spec)) in weight_lens.iter().zip(&specs).enumerate() {
+            if *len != spec.weights {
+                return Err(OnnError::MappingMismatch {
+                    context: format!(
+                        "layer {i} (`{}`): tensor has {len} weights, spec says {}",
+                        spec.name, spec.weights
+                    ),
+                });
+            }
+        }
+    }
+
+    // Per-layer calibration scales, then in-place DAC quantization.
+    let mut scales = Vec::with_capacity(specs.len());
+    {
+        let mut weights: Vec<_> = out.params_mut().into_iter().filter(|q| q.decay).collect();
+        for q in &mut weights {
+            let scale = q.value.max_abs();
+            scales.push(scale);
+            if scale > 0.0 && p.dac_steps > 0 {
+                for w in q.value.as_mut_slice() {
+                    let m = p.quantize(f64::from(w.abs() / scale));
+                    *w = w.signum() * (m as f32) * scale;
+                }
+            }
+        }
+    }
+
+    if conditions.is_empty() {
+        return Ok(out);
+    }
+
+    // Snapshot of clean (quantized) signed normalized weights per layer.
+    let snapshot: Vec<Vec<f32>> = out
+        .params()
+        .iter()
+        .filter(|q| q.decay)
+        .zip(&scales)
+        .map(|(q, &scale)| {
+            if scale > 0.0 {
+                q.value.as_slice().iter().map(|w| w / scale).collect()
+            } else {
+                vec![0.0; q.value.len()]
+            }
+        })
+        .collect();
+
+    // Signed normalized weight at a linear slot (0 when the slot is beyond
+    // the used range — the ring is calibrated to zero in that round).
+    let weight_at_slot = |kind: BlockKind, slot: u64| -> f64 {
+        mapping
+            .param_at_slot(kind, slot)
+            .map_or(0.0, |(li, off)| f64::from(snapshot[li][off]))
+    };
+
+    let mut weights: Vec<_> = out.params_mut().into_iter().filter(|q| q.decay).collect();
+
+    for kind in [BlockKind::Conv, BlockKind::Fc] {
+        let shape = *config.block(kind);
+        let cols = shape.bank_cols as i64;
+        // Affected rings: every faulty ring plus same-row neighbours within
+        // the crosstalk window.
+        let mut affected: Vec<u64> = Vec::new();
+        for (mr, _) in conditions.iter(kind) {
+            if mr >= shape.total_mrs() {
+                return Err(OnnError::MrOutOfRange {
+                    index: mr,
+                    capacity: shape.total_mrs(),
+                });
+            }
+            let col = (mr as i64) % cols;
+            for d in -(CROSSTALK_WINDOW as i64)..=(CROSSTALK_WINDOW as i64) {
+                let nc = col + d;
+                if nc >= 0 && nc < cols {
+                    affected.push((mr as i64 + d) as u64);
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        let cap = shape.total_mrs();
+        for &mr in &affected {
+            let col = (mr % cap % cols as u64) as usize;
+            for (li, off) in mapping.params_on_mr(kind, mr)? {
+                // Linear slot of this parameter (identifies the round).
+                let home = mapping.locate(li, off)?;
+                let slot_base = home.round * cap + mr;
+                // Gather the row window around this channel for this round.
+                let lo = -(CROSSTALK_WINDOW.min(col as isize));
+                let hi = CROSSTALK_WINDOW.min((cols as usize - 1 - col) as isize);
+                let mut row_weights = Vec::with_capacity((hi - lo + 1) as usize);
+                let mut conds = Vec::with_capacity((hi - lo + 1) as usize);
+                for d in lo..=hi {
+                    let slot = (slot_base as i64 + d as i64) as u64;
+                    let ring = (mr as i64 + d as i64) as u64;
+                    let w = weight_at_slot(kind, slot);
+                    row_weights.push(w.signum() * p.quantize(w.abs()));
+                    conds.push(conditions.condition(kind, ring));
+                }
+                let centre = (-lo) as usize;
+                let w_eff = effective_channel(centre, &row_weights, &conds, &p) as f32;
+                let scale = scales[li];
+                if scale > 0.0 {
+                    weights[li].value.as_mut_slice()[off] = w_eff * scale;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BlockConfig;
+    use crate::mapping::LayerSpec;
+    use safelight_neuro::{Flatten, Layer, Linear, Network, Tensor};
+
+    fn params_for(encoding: WeightEncoding) -> EffectiveWeightParams {
+        let mut config = AcceleratorConfig::paper().unwrap();
+        config.encoding = encoding;
+        EffectiveWeightParams::from_config(&config)
+    }
+
+    fn params() -> EffectiveWeightParams {
+        params_for(WeightEncoding::DropPort)
+    }
+
+    #[test]
+    fn healthy_row_round_trips_both_encodings() {
+        for encoding in [WeightEncoding::DropPort, WeightEncoding::ThroughPort] {
+            let p = params_for(encoding);
+            let w = [0.0, 0.1, -0.33, 0.66, -1.0];
+            let conds = [MrCondition::Healthy; 5];
+            let out = effective_weight_row(&w, &conds, &p);
+            for (o, expect) in out.iter().zip(&w) {
+                assert!(
+                    (o - expect).abs() < 1e-9,
+                    "{encoding:?}: w {expect} read back {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parked_ring_drops_its_weight_to_zero() {
+        let p = params();
+        let w = [0.6, -0.6, 0.6];
+        let conds = [
+            MrCondition::Healthy,
+            MrCondition::Parked,
+            MrCondition::Healthy,
+        ];
+        let out = effective_weight_row(&w, &conds, &p);
+        assert!(out[1].abs() < 1e-9, "parked weight reads {}", out[1]);
+        // Neighbours barely perturbed.
+        assert!((out[0] - 0.6).abs() < 0.05);
+        assert!((out[2] - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn parked_ring_saturates_under_through_port_encoding() {
+        let p = params_for(WeightEncoding::ThroughPort);
+        let w = [0.2, -0.2, 0.2];
+        let conds = [
+            MrCondition::Healthy,
+            MrCondition::Parked,
+            MrCondition::Healthy,
+        ];
+        let out = effective_weight_row(&w, &conds, &p);
+        assert!((out[1] + 1.0).abs() < 1e-9, "through-port parked reads {}", out[1]);
+    }
+
+    #[test]
+    fn one_spacing_heat_slides_weights_onto_neighbours() {
+        let p = params();
+        let cfg = AcceleratorConfig::paper().unwrap();
+        let dt = cfg.one_channel_delta_kelvin();
+        // All three rings heated by one channel: Fig. 5.
+        let w = [0.9, 0.1, -0.5];
+        let heated = MrCondition::Heated { delta_kelvin: dt };
+        let out = effective_weight_row(&w, &[heated; 3], &p);
+        // Channel 1 now reads ring 0's weight (sign included), channel 2
+        // reads ring 1's.
+        assert!(
+            (out[1] - 0.9).abs() < 0.15,
+            "channel 1 should read ring 0's weight, got {}",
+            out[1]
+        );
+        assert!(
+            (out[2] - 0.1).abs() < 0.15,
+            "channel 2 should read ring 1's weight, got {}",
+            out[2]
+        );
+        // Channel 0 lost its ring entirely → reads ≈ 0 (unsupported λ).
+        assert!(out[0].abs() < 0.1, "channel 0 should drop out, got {}", out[0]);
+    }
+
+    #[test]
+    fn partial_heat_attenuates_gradually() {
+        let p = params();
+        let cfg = AcceleratorConfig::paper().unwrap();
+        let slight = cfg.one_channel_delta_kelvin() / 16.0;
+        let w = [0.5, 0.5, 0.5];
+        let conds = [
+            MrCondition::Healthy,
+            MrCondition::Heated { delta_kelvin: slight },
+            MrCondition::Healthy,
+        ];
+        let out = effective_weight_row(&w, &conds, &p);
+        // Drop-port heating detunes the ring away from resonance, so the
+        // weight shrinks — partially for slight heat.
+        assert!(out[1] > 0.0 && out[1] < 0.5, "slight heat gave {}", out[1]);
+        // A half-channel shift effectively erases the weight.
+        let strong = MrCondition::Heated {
+            delta_kelvin: cfg.one_channel_delta_kelvin() / 2.0,
+        };
+        let conds = [MrCondition::Healthy, strong, MrCondition::Healthy];
+        let out = effective_weight_row(&w, &conds, &p);
+        assert!(out[1].abs() < 0.05, "half-channel heat gave {}", out[1]);
+    }
+
+    #[test]
+    fn quantize_respects_dac_steps() {
+        let mut p = params();
+        p.dac_steps = 3; // 2-bit DAC: levels 0, 1/3, 2/3, 1
+        assert!((p.quantize(0.4) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.quantize(0.95) - 1.0).abs() < 1e-12);
+        p.dac_steps = 0;
+        assert_eq!(p.quantize(0.4), 0.4);
+    }
+
+    fn tiny_setup() -> (Network, WeightMapping, AcceleratorConfig) {
+        // One linear layer of 4×4 = 16 weights mapped to the FC block.
+        let mut net = Network::new();
+        net.push(Flatten::new());
+        let mut fc = Linear::new(4, 4, 3).unwrap();
+        // Deterministic, distinctive weights.
+        fc.params_mut()[0].value =
+            Tensor::from_vec(vec![4, 4], (0..16).map(|i| (i as f32 - 8.0) / 8.0).collect())
+                .unwrap();
+        net.push(fc);
+        let config = AcceleratorConfig::custom(
+            BlockConfig { vdp_units: 1, bank_rows: 2, bank_cols: 4 },
+            BlockConfig { vdp_units: 2, bank_rows: 2, bank_cols: 4 }, // 16 MRs
+        )
+        .unwrap();
+        let mapping =
+            WeightMapping::new(&config, &[LayerSpec::new("fc", BlockKind::Fc, 16)]).unwrap();
+        (net, mapping, config)
+    }
+
+    #[test]
+    fn clean_corruption_is_just_quantization() {
+        let (net, mapping, config) = tiny_setup();
+        let out = corrupt_network(&net, &mapping, &ConditionMap::new(), &config).unwrap();
+        let orig: Vec<f32> = net.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let got: Vec<f32> = out.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let lsb = 1.0 / 255.0;
+        for (a, b) in orig.iter().zip(&got) {
+            assert!((a - b).abs() <= lsb + 1e-6, "quantization moved {a} to {b}");
+        }
+    }
+
+    #[test]
+    fn parked_mr_zeroes_its_weight() {
+        let (net, mapping, config) = tiny_setup();
+        let mut conditions = ConditionMap::new();
+        // Ring 5 carries weight (5−8)/8 = −0.375.
+        conditions.set(BlockKind::Fc, 5, MrCondition::Parked);
+        let out = corrupt_network(&net, &mapping, &conditions, &config).unwrap();
+        let weights: Vec<f32> = out
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        assert!(weights[5].abs() < 1e-5, "parked weight not zeroed: {}", weights[5]);
+    }
+
+    #[test]
+    fn mismatched_network_is_rejected() {
+        let (net, _, config) = tiny_setup();
+        let bad_mapping =
+            WeightMapping::new(&config, &[LayerSpec::new("fc", BlockKind::Fc, 99)]).unwrap();
+        assert!(matches!(
+            corrupt_network(&net, &bad_mapping, &ConditionMap::new(), &config),
+            Err(OnnError::MappingMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_only_touches_affected_rings() {
+        let (net, mapping, config) = tiny_setup();
+        let mut conditions = ConditionMap::new();
+        // Ring 1 carries weight (1−8)/8 = −0.875.
+        conditions.set(BlockKind::Fc, 1, MrCondition::Parked);
+        let out = corrupt_network(&net, &mapping, &conditions, &config).unwrap();
+        let clean = corrupt_network(&net, &mapping, &ConditionMap::new(), &config).unwrap();
+        let a: Vec<f32> = out.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let b: Vec<f32> = clean.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        // Ring 1 sits in row 0 (cols 0..4); rings in the other rows (weights
+        // 4..8 are row 1 of bank 0, etc.) must be untouched.
+        for i in 4..8 {
+            assert_eq!(a[i], b[i], "weight {i} in another row changed");
+        }
+        assert_ne!(a[1], b[1], "attacked weight unchanged");
+        assert!(a[1].abs() < 1e-5, "parked weight not zeroed: {}", a[1]);
+    }
+
+    #[test]
+    fn reuse_rounds_inherit_corruption() {
+        // 16 weights on an 8-MR FC block ⇒ 2 rounds; parking MR 2 corrupts
+        // weights 2 and 10.
+        let mut net = Network::new();
+        net.push(Flatten::new());
+        let mut fc = Linear::new(4, 4, 3).unwrap();
+        fc.params_mut()[0].value =
+            Tensor::from_vec(vec![4, 4], (0..16).map(|i| 0.4 + (i as f32) / 40.0).collect())
+                .unwrap();
+        net.push(fc);
+        let config = AcceleratorConfig::custom(
+            BlockConfig { vdp_units: 1, bank_rows: 1, bank_cols: 4 },
+            BlockConfig { vdp_units: 1, bank_rows: 2, bank_cols: 4 }, // 8 MRs
+        )
+        .unwrap();
+        let mapping =
+            WeightMapping::new(&config, &[LayerSpec::new("fc", BlockKind::Fc, 16)]).unwrap();
+        let mut conditions = ConditionMap::new();
+        conditions.set(BlockKind::Fc, 2, MrCondition::Parked);
+        let out = corrupt_network(&net, &mapping, &conditions, &config).unwrap();
+        let w: Vec<f32> = out.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        assert!(w[2].abs() < 1e-5, "round-0 weight survived: {}", w[2]);
+        assert!(w[10].abs() < 1e-5, "round-1 weight survived: {}", w[10]);
+        // A weight on another ring is untouched.
+        assert!(w[5].abs() > 0.1);
+    }
+}

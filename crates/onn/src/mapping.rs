@@ -1,0 +1,384 @@
+//! Weight-stationary mapping of model parameters onto microrings.
+//!
+//! All layers are mapped "using a weight-stationary approach" (paper §IV):
+//! convolution-layer parameters fill the CONV block's MRs in order, FC-layer
+//! parameters fill the FC block, and when a block runs out of rings the
+//! mapping wraps around into another *reuse round*. A single microring at
+//! flat index `m` in a block of capacity `C` therefore carries parameter
+//! slots `{m, m + C, m + 2C, …}` — which is why one compromised ring
+//! corrupts `⌈used/C⌉` parameters of a large model but at most one
+//! parameter of a model that fits in a single round.
+
+use crate::config::{AcceleratorConfig, BlockConfig, BlockKind};
+use crate::OnnError;
+
+/// One mapped layer: which block it lives in and how many weight scalars it
+/// contributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LayerSpec {
+    /// Human-readable layer name (diagnostics only).
+    pub name: String,
+    /// Block the layer executes on (conv layers → CONV, dense → FC).
+    pub kind: BlockKind,
+    /// Number of weight scalars (biases stay electronic and are not
+    /// mapped).
+    pub weights: usize,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: BlockKind, weights: usize) -> Self {
+        Self { name: name.into(), kind, weights }
+    }
+}
+
+/// Where one parameter lives on the photonic substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedParam {
+    /// Block holding the parameter.
+    pub block: BlockKind,
+    /// Flat MR index within the block.
+    pub mr_index: u64,
+    /// Reuse round (0 = first pass over the block's rings).
+    pub round: u64,
+    /// VDP unit of the MR.
+    pub vdp: usize,
+    /// Bank row of the MR.
+    pub row: usize,
+    /// Bank column of the MR — also its WDM channel.
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+struct MappedLayer {
+    spec: LayerSpec,
+    /// First slot (linear position in the block's slot space) of the layer.
+    start_slot: u64,
+}
+
+/// The weight-stationary mapping of a whole network.
+///
+/// # Example
+///
+/// ```
+/// use safelight_onn::{AcceleratorConfig, BlockKind, LayerSpec, WeightMapping};
+///
+/// # fn main() -> Result<(), safelight_onn::OnnError> {
+/// let config = AcceleratorConfig::scaled_experiment()?;
+/// let mapping = WeightMapping::new(&config, &[
+///     LayerSpec::new("conv1", BlockKind::Conv, 5_000),
+/// ])?;
+/// let home = mapping.locate(0, 4_999)?;
+/// assert_eq!(home.block, BlockKind::Conv);
+/// // 5 000 weights on 2 500 CONV rings ⇒ two reuse rounds.
+/// assert_eq!(mapping.rounds(BlockKind::Conv), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightMapping {
+    conv_shape: BlockConfig,
+    fc_shape: BlockConfig,
+    layers: Vec<MappedLayer>,
+    used_slots_conv: u64,
+    used_slots_fc: u64,
+}
+
+impl WeightMapping {
+    /// Maps `layers` (in order) onto the blocks of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MappingMismatch`] for an empty layer list or a
+    /// zero-weight layer.
+    pub fn new(config: &AcceleratorConfig, layers: &[LayerSpec]) -> Result<Self, OnnError> {
+        if layers.is_empty() {
+            return Err(OnnError::MappingMismatch { context: "no layers to map".into() });
+        }
+        let mut used_conv = 0u64;
+        let mut used_fc = 0u64;
+        let mut mapped = Vec::with_capacity(layers.len());
+        for spec in layers {
+            if spec.weights == 0 {
+                return Err(OnnError::MappingMismatch {
+                    context: format!("layer `{}` has zero weights", spec.name),
+                });
+            }
+            let cursor = match spec.kind {
+                BlockKind::Conv => &mut used_conv,
+                BlockKind::Fc => &mut used_fc,
+            };
+            mapped.push(MappedLayer { spec: spec.clone(), start_slot: *cursor });
+            *cursor += spec.weights as u64;
+        }
+        Ok(Self {
+            conv_shape: config.conv,
+            fc_shape: config.fc,
+            layers: mapped,
+            used_slots_conv: used_conv,
+            used_slots_fc: used_fc,
+        })
+    }
+
+    fn shape(&self, kind: BlockKind) -> &BlockConfig {
+        match kind {
+            BlockKind::Conv => &self.conv_shape,
+            BlockKind::Fc => &self.fc_shape,
+        }
+    }
+
+    /// Number of layers mapped.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layer specs, in mapping order.
+    #[must_use]
+    pub fn layer_specs(&self) -> Vec<&LayerSpec> {
+        self.layers.iter().map(|l| &l.spec).collect()
+    }
+
+    /// Total parameter slots consumed in `kind`'s block.
+    #[must_use]
+    pub fn used_slots(&self, kind: BlockKind) -> u64 {
+        match kind {
+            BlockKind::Conv => self.used_slots_conv,
+            BlockKind::Fc => self.used_slots_fc,
+        }
+    }
+
+    /// Number of reuse rounds `kind`'s block needs for this network
+    /// (`⌈used / capacity⌉`, minimum 1 when the block is used at all).
+    #[must_use]
+    pub fn rounds(&self, kind: BlockKind) -> u64 {
+        let used = self.used_slots(kind);
+        let cap = self.shape(kind).total_mrs();
+        used.div_ceil(cap).max(u64::from(used > 0))
+    }
+
+    /// Fraction of `kind`'s rings that carry at least one parameter.
+    #[must_use]
+    pub fn utilization(&self, kind: BlockKind) -> f64 {
+        let cap = self.shape(kind).total_mrs();
+        let used = self.used_slots(kind).min(cap);
+        used as f64 / cap as f64
+    }
+
+    /// Physical home of parameter `offset` within mapped layer
+    /// `layer_index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MappingMismatch`] for an unknown layer or an
+    /// offset beyond the layer's weight count.
+    pub fn locate(&self, layer_index: usize, offset: usize) -> Result<MappedParam, OnnError> {
+        let layer = self.layers.get(layer_index).ok_or_else(|| OnnError::MappingMismatch {
+            context: format!("layer index {layer_index} out of range"),
+        })?;
+        if offset >= layer.spec.weights {
+            return Err(OnnError::MappingMismatch {
+                context: format!(
+                    "offset {offset} beyond layer `{}` ({} weights)",
+                    layer.spec.name, layer.spec.weights
+                ),
+            });
+        }
+        let slot = layer.start_slot + offset as u64;
+        let shape = self.shape(layer.spec.kind);
+        let cap = shape.total_mrs();
+        let mr_index = slot % cap;
+        let round = slot / cap;
+        let per_bank = shape.mrs_per_bank() as u64;
+        let vdp = (mr_index / per_bank) as usize;
+        let within = (mr_index % per_bank) as usize;
+        Ok(MappedParam {
+            block: layer.spec.kind,
+            mr_index,
+            round,
+            vdp,
+            row: within / shape.bank_cols,
+            col: within % shape.bank_cols,
+        })
+    }
+
+    /// All `(layer_index, offset)` parameter slots carried by MR
+    /// `mr_index` of `kind`'s block — the set an attack on that ring
+    /// corrupts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MrOutOfRange`] when `mr_index` exceeds the
+    /// block's capacity.
+    pub fn params_on_mr(
+        &self,
+        kind: BlockKind,
+        mr_index: u64,
+    ) -> Result<Vec<(usize, usize)>, OnnError> {
+        let cap = self.shape(kind).total_mrs();
+        if mr_index >= cap {
+            return Err(OnnError::MrOutOfRange { index: mr_index, capacity: cap });
+        }
+        let mut hits = Vec::new();
+        let used = self.used_slots(kind);
+        let mut slot = mr_index;
+        while slot < used {
+            // Find the layer owning this slot (layers are sorted by start).
+            if let Some((li, layer)) = self
+                .layers
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.spec.kind == kind)
+                .take_while(|(_, l)| l.start_slot <= slot)
+                .last()
+            {
+                let offset = (slot - layer.start_slot) as usize;
+                if offset < layer.spec.weights {
+                    hits.push((li, offset));
+                }
+            }
+            slot += cap;
+        }
+        Ok(hits)
+    }
+
+    /// The `(layer_index, offset)` of the parameter occupying linear slot
+    /// `slot` of `kind`'s block, or `None` when the slot is beyond the used
+    /// range (the ring is calibrated to zero in that round).
+    #[must_use]
+    pub fn param_at_slot(&self, kind: BlockKind, slot: u64) -> Option<(usize, usize)> {
+        if slot >= self.used_slots(kind) {
+            return None;
+        }
+        let (li, layer) = self
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.spec.kind == kind)
+            .take_while(|(_, l)| l.start_slot <= slot)
+            .last()?;
+        let offset = (slot - layer.start_slot) as usize;
+        (offset < layer.spec.weights).then_some((li, offset))
+    }
+
+    /// The flat MR index of bank position `(vdp, row, col)` in `kind`'s
+    /// block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MrOutOfRange`] when the coordinates exceed the
+    /// block shape.
+    pub fn mr_index_of(
+        &self,
+        kind: BlockKind,
+        vdp: usize,
+        row: usize,
+        col: usize,
+    ) -> Result<u64, OnnError> {
+        let shape = self.shape(kind);
+        if vdp >= shape.vdp_units || row >= shape.bank_rows || col >= shape.bank_cols {
+            return Err(OnnError::MrOutOfRange {
+                index: u64::MAX,
+                capacity: shape.total_mrs(),
+            });
+        }
+        Ok((vdp * shape.mrs_per_bank() + row * shape.bank_cols + col) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> AcceleratorConfig {
+        AcceleratorConfig::custom(
+            BlockConfig { vdp_units: 2, bank_rows: 3, bank_cols: 4 }, // 24 MRs
+            BlockConfig { vdp_units: 2, bank_rows: 5, bank_cols: 5 }, // 50 MRs
+        )
+        .unwrap()
+    }
+
+    fn layers() -> Vec<LayerSpec> {
+        vec![
+            LayerSpec::new("conv1", BlockKind::Conv, 10),
+            LayerSpec::new("conv2", BlockKind::Conv, 40), // wraps: 50 > 24
+            LayerSpec::new("fc1", BlockKind::Fc, 30),
+        ]
+    }
+
+    #[test]
+    fn locate_round_trips_with_params_on_mr() {
+        let mapping = WeightMapping::new(&small_config(), &layers()).unwrap();
+        for li in 0..3 {
+            let weights = mapping.layer_specs()[li].weights;
+            for off in 0..weights {
+                let home = mapping.locate(li, off).unwrap();
+                let back = mapping.params_on_mr(home.block, home.mr_index).unwrap();
+                assert!(
+                    back.contains(&(li, off)),
+                    "param ({li}, {off}) missing from MR {}",
+                    home.mr_index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_reflect_wraparound() {
+        let mapping = WeightMapping::new(&small_config(), &layers()).unwrap();
+        // CONV: 50 weights on 24 rings ⇒ 3 rounds; FC: 30 on 50 ⇒ 1.
+        assert_eq!(mapping.rounds(BlockKind::Conv), 3);
+        assert_eq!(mapping.rounds(BlockKind::Fc), 1);
+    }
+
+    #[test]
+    fn utilization_is_capped_at_one() {
+        let mapping = WeightMapping::new(&small_config(), &layers()).unwrap();
+        assert!((mapping.utilization(BlockKind::Conv) - 1.0).abs() < 1e-12);
+        assert!((mapping.utilization(BlockKind::Fc) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinates_decompose_consistently() {
+        let mapping = WeightMapping::new(&small_config(), &layers()).unwrap();
+        let home = mapping.locate(1, 30).unwrap(); // slot 40 → wraps to 16
+        assert_eq!(home.mr_index, 16);
+        assert_eq!(home.round, 1);
+        let recomposed = mapping
+            .mr_index_of(home.block, home.vdp, home.row, home.col)
+            .unwrap();
+        assert_eq!(recomposed, home.mr_index);
+    }
+
+    #[test]
+    fn params_on_shared_mr_span_multiple_layers() {
+        let mapping = WeightMapping::new(&small_config(), &layers()).unwrap();
+        // CONV slot space: conv1 occupies 0..10, conv2 10..50.
+        // MR 2 carries slots {2, 26, 50} → conv1 offset 2, conv2 offset 16.
+        let hits = mapping.params_on_mr(BlockKind::Conv, 2).unwrap();
+        assert_eq!(hits, vec![(0, 2), (1, 16)]);
+    }
+
+    #[test]
+    fn out_of_range_queries_error() {
+        let mapping = WeightMapping::new(&small_config(), &layers()).unwrap();
+        assert!(mapping.params_on_mr(BlockKind::Conv, 24).is_err());
+        assert!(mapping.locate(0, 10).is_err());
+        assert!(mapping.locate(9, 0).is_err());
+        assert!(mapping.mr_index_of(BlockKind::Conv, 2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn empty_and_zero_weight_layers_are_rejected() {
+        let cfg = small_config();
+        assert!(WeightMapping::new(&cfg, &[]).is_err());
+        assert!(WeightMapping::new(
+            &cfg,
+            &[LayerSpec::new("bad", BlockKind::Conv, 0)]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Energy and latency estimation for the accelerator.
+//!
+//! A CrossLight-class accelerator's power budget is dominated by the comb
+//! lasers, the MR tuning circuits, and the converter arrays. This model
+//! produces first-order per-block numbers from the configuration — useful
+//! for the ablation discussion and the micro-benchmarks, not a substitute
+//! for the original paper's circuit-level figures.
+
+use crate::config::{AcceleratorConfig, BlockKind};
+
+/// Typical per-conversion energies (pJ) for accelerator-grade converters.
+const DAC_ENERGY_PJ_PER_CONVERSION: f64 = 1.5;
+const ADC_ENERGY_PJ_PER_CONVERSION: f64 = 2.6;
+/// Mean EO tuning power per ring while holding a weight (mW).
+const EO_HOLD_POWER_MW: f64 = 0.001;
+/// Mean TO bias power per ring for fabrication-variation trimming (mW).
+const TO_TRIM_POWER_MW: f64 = 1.1;
+/// Photonic symbol rate (vector operations per second per VDP row).
+const SYMBOL_RATE_HZ: f64 = 5.0e9;
+
+/// First-order power and latency estimates for one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Laser electrical power, milliwatts.
+    pub laser_mw: f64,
+    /// Tuning (EO hold + TO trim) power, milliwatts.
+    pub tuning_mw: f64,
+    /// DAC array power at the symbol rate, milliwatts.
+    pub dac_mw: f64,
+    /// ADC array power at the symbol rate, milliwatts.
+    pub adc_mw: f64,
+    /// Vector operations per second the block sustains.
+    pub vector_ops_per_s: f64,
+}
+
+impl PowerBreakdown {
+    /// Total electrical power in milliwatts.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.laser_mw + self.tuning_mw + self.dac_mw + self.adc_mw
+    }
+
+    /// Energy per multiply-accumulate in picojoules.
+    #[must_use]
+    pub fn pj_per_mac(&self, macs_per_vector_op: usize) -> f64 {
+        let macs_per_s = self.vector_ops_per_s * macs_per_vector_op as f64;
+        self.total_mw() * 1e9 / macs_per_s
+    }
+}
+
+/// Estimates power and throughput per block of an accelerator.
+///
+/// # Example
+///
+/// ```
+/// use safelight_onn::{AcceleratorConfig, BlockKind, PowerModel};
+///
+/// # fn main() -> Result<(), safelight_onn::OnnError> {
+/// let model = PowerModel::new(AcceleratorConfig::paper()?);
+/// let conv = model.block_breakdown(BlockKind::Conv);
+/// assert!(conv.total_mw() > 0.0);
+/// // Photonic MACs land in the sub-10 pJ/MAC regime.
+/// assert!(conv.pj_per_mac(400) < 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    config: AcceleratorConfig,
+}
+
+impl PowerModel {
+    /// Wraps a configuration.
+    #[must_use]
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The wrapped configuration.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Power and throughput of one block.
+    #[must_use]
+    pub fn block_breakdown(&self, kind: BlockKind) -> PowerBreakdown {
+        let shape = self.config.block(kind);
+        let rings = shape.total_mrs() as f64;
+        let rows = (shape.vdp_units * shape.bank_rows) as f64;
+        // One comb laser per VDP row waveguide; wall-plug efficiency 20 %.
+        let laser_mw = rows * self.config.laser_power_mw * shape.bank_cols as f64 / 0.2;
+        let tuning_mw = rings * (EO_HOLD_POWER_MW + TO_TRIM_POWER_MW);
+        // One DAC per ring refreshes at the symbol rate; one ADC per row.
+        let dac_mw = rings * DAC_ENERGY_PJ_PER_CONVERSION * SYMBOL_RATE_HZ * 1e-9;
+        let adc_mw = rows * ADC_ENERGY_PJ_PER_CONVERSION * SYMBOL_RATE_HZ * 1e-9;
+        PowerBreakdown {
+            laser_mw,
+            tuning_mw,
+            dac_mw,
+            adc_mw,
+            vector_ops_per_s: rows * SYMBOL_RATE_HZ,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_block_draws_more_power() {
+        let model = PowerModel::new(AcceleratorConfig::paper().unwrap());
+        let conv = model.block_breakdown(BlockKind::Conv);
+        let fc = model.block_breakdown(BlockKind::Fc);
+        // FC block has 33× the rings of the CONV block.
+        assert!(fc.total_mw() > conv.total_mw());
+    }
+
+    #[test]
+    fn energy_per_mac_is_sub_ten_picojoule() {
+        let model = PowerModel::new(AcceleratorConfig::paper().unwrap());
+        let conv = model.block_breakdown(BlockKind::Conv);
+        let pj = conv.pj_per_mac(400);
+        assert!(pj > 0.0 && pj < 10.0, "pJ/MAC {pj}");
+    }
+
+    #[test]
+    fn breakdown_components_are_positive() {
+        let model = PowerModel::new(AcceleratorConfig::scaled_experiment().unwrap());
+        let b = model.block_breakdown(BlockKind::Fc);
+        assert!(b.laser_mw > 0.0 && b.tuning_mw > 0.0 && b.dac_mw > 0.0 && b.adc_mw > 0.0);
+        assert!((b.total_mw() - (b.laser_mw + b.tuning_mw + b.dac_mw + b.adc_mw)).abs() < 1e-9);
+    }
+}

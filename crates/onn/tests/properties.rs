@@ -1,0 +1,108 @@
+//! Property-based tests for the accelerator layer, including the
+//! fast-path / slow-path cross-validation: the effective-weight shortcut
+//! must predict what the fully physical datapath computes.
+
+use proptest::prelude::*;
+use safelight_onn::{
+    effective_weight_row, AcceleratorConfig, BlockConfig, BlockKind, EffectiveWeightParams,
+    LayerSpec, MrCondition, OpticalVdp, WeightMapping,
+};
+
+fn paper_config() -> AcceleratorConfig {
+    AcceleratorConfig::paper().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The physical VDP's healthy dot product matches arithmetic within
+    /// converter/crosstalk tolerance.
+    #[test]
+    fn physical_dot_matches_arithmetic(
+        inputs in proptest::collection::vec(0.0f64..1.0, 6),
+        weights in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let mut vdp = OpticalVdp::new(&paper_config(), 6).unwrap();
+        let healthy = vec![MrCondition::Healthy; 6];
+        let dot = vdp.dot(&inputs, &weights, &healthy).unwrap();
+        let exact: f64 = inputs.iter().zip(&weights).map(|(a, w)| a * w).sum();
+        prop_assert!((dot - exact).abs() < 0.12, "optical {dot} vs exact {exact}");
+    }
+
+    /// Fast path predicts the slow path: the corrupted dot product the
+    /// physical datapath computes matches Σ a·w_eff from the
+    /// effective-weight shortcut.
+    #[test]
+    fn fast_path_predicts_physical_corruption(
+        weights in proptest::collection::vec(-1.0f64..1.0, 5),
+        park_at in 0usize..5,
+        heat_at in 0usize..5,
+        heat_frac in 0.0f64..1.5,
+    ) {
+        let config = paper_config();
+        let one_ch = config.one_channel_delta_kelvin();
+        let mut conds = vec![MrCondition::Healthy; 5];
+        conds[park_at] = MrCondition::Parked;
+        if heat_at != park_at && heat_frac > 0.05 {
+            conds[heat_at] = MrCondition::Heated { delta_kelvin: heat_frac * one_ch };
+        }
+        let inputs = vec![1.0, 0.8, 0.6, 0.4, 0.2];
+
+        let mut vdp = OpticalVdp::new(&config, 5).unwrap();
+        let physical = vdp.dot(&inputs, &weights, &conds).unwrap();
+
+        let p = EffectiveWeightParams::from_config(&config);
+        let effective = effective_weight_row(&weights, &conds, &p);
+        let predicted: f64 = inputs.iter().zip(&effective).map(|(a, w)| a * w).sum();
+
+        prop_assert!(
+            (physical - predicted).abs() < 0.25,
+            "physical {physical:.3} vs fast-path {predicted:.3} (conds {conds:?})"
+        );
+    }
+
+    /// Mapping round-trip at arbitrary shapes: locate() and params_on_mr()
+    /// agree for every parameter of a random two-layer network.
+    #[test]
+    fn mapping_round_trip_any_shape(
+        vdp in 1usize..6,
+        rows in 1usize..8,
+        cols in 1usize..8,
+        conv_weights in 1usize..200,
+        fc_weights in 1usize..200,
+    ) {
+        let config = AcceleratorConfig::custom(
+            BlockConfig { vdp_units: vdp, bank_rows: rows, bank_cols: cols },
+            BlockConfig { vdp_units: vdp, bank_rows: rows, bank_cols: cols },
+        ).unwrap();
+        let mapping = WeightMapping::new(&config, &[
+            LayerSpec::new("conv", BlockKind::Conv, conv_weights),
+            LayerSpec::new("fc", BlockKind::Fc, fc_weights),
+        ]).unwrap();
+        for (li, n) in [(0usize, conv_weights), (1, fc_weights)] {
+            // Probe a deterministic sample of offsets.
+            for off in (0..n).step_by((n / 16).max(1)) {
+                let home = mapping.locate(li, off).unwrap();
+                let hits = mapping.params_on_mr(home.block, home.mr_index).unwrap();
+                prop_assert!(hits.contains(&(li, off)));
+                let recomposed = mapping
+                    .mr_index_of(home.block, home.vdp, home.row, home.col)
+                    .unwrap();
+                prop_assert_eq!(recomposed, home.mr_index);
+            }
+        }
+    }
+
+    /// Quantization is idempotent and bounded for any DAC resolution.
+    #[test]
+    fn quantization_is_projection(bits in 1u8..16, m in 0.0f64..1.0) {
+        let mut config = paper_config();
+        config.dac_bits = bits;
+        let p = EffectiveWeightParams::from_config(&config);
+        let q1 = p.quantize(m);
+        let q2 = p.quantize(q1);
+        prop_assert_eq!(q1, q2);
+        prop_assert!((0.0..=1.0).contains(&q1));
+        prop_assert!((q1 - m).abs() <= 0.5 / f64::from(p.dac_steps.max(1)) + 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for photonic device construction and operation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by photonic device models.
+///
+/// Every fallible public API in this crate returns this type. The messages
+/// follow the Rust API guidelines: lowercase, no trailing punctuation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhotonicsError {
+    /// A channel index was outside the WDM grid.
+    ChannelOutOfRange {
+        /// The offending channel index.
+        channel: usize,
+        /// Number of channels in the grid.
+        channels: usize,
+    },
+    /// A device parameter was non-finite, non-positive or otherwise
+    /// physically meaningless.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected.
+        value: f64,
+    },
+    /// A requested transmission value cannot be realized by the device.
+    TransmissionOutOfRange {
+        /// The requested through-port transmission.
+        requested: f64,
+        /// Smallest realizable transmission (at resonance).
+        min: f64,
+    },
+    /// A tuning request exceeded the range of the selected tuning circuit.
+    TuningRangeExceeded {
+        /// Requested resonance shift in nanometres.
+        requested_nm: f64,
+        /// Maximum shift the circuit supports in nanometres.
+        max_nm: f64,
+    },
+    /// A WDM grid with zero channels was requested.
+    EmptyGrid,
+}
+
+impl fmt::Display for PhotonicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ChannelOutOfRange { channel, channels } => {
+                write!(f, "channel {channel} out of range for {channels}-channel grid")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter `{name}`")
+            }
+            Self::TransmissionOutOfRange { requested, min } => write!(
+                f,
+                "transmission {requested} not realizable; device range is [{min}, 1)"
+            ),
+            Self::TuningRangeExceeded { requested_nm, max_nm } => write!(
+                f,
+                "requested shift of {requested_nm} nm exceeds tuning range of {max_nm} nm"
+            ),
+            Self::EmptyGrid => write!(f, "a WDM grid must contain at least one channel"),
+        }
+    }
+}
+
+impl Error for PhotonicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_period() {
+        let e = PhotonicsError::EmptyGrid;
+        let s = e.to_string();
+        assert!(s.chars().next().unwrap().is_lowercase());
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhotonicsError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! Silicon-photonic device models for non-coherent optical neural network
+//! (ONN) accelerators.
+//!
+//! This crate is the device-level substrate of the SafeLight reproduction
+//! (DATE 2025). It models every photonic and mixed-signal component that a
+//! CrossLight-class non-coherent CNN accelerator is built from:
+//!
+//! * [`Microring`] — add-drop microring resonators (MRs) with Lorentzian
+//!   through/drop transfer functions, the resonance condition of the paper's
+//!   eq. (1), and the thermo-optic resonance shift of eq. (2);
+//! * [`WdmGrid`] — the wavelength-division-multiplexing channel comb a
+//!   waveguide carries;
+//! * [`TuningCircuit`] — electro-optic (EO) and thermo-optic (TO) peripheral
+//!   tuning circuits with the latency/power/range trade-offs cited in the
+//!   paper (§II.B);
+//! * [`Photodetector`] / [`BalancedPhotodetector`] — optical summation;
+//! * [`Dac`] / [`Adc`] — quantizing converters between the electronic and
+//!   analog tuning domains;
+//! * [`Laser`] and [`Waveguide`] — optical power sources and loss budgets.
+//!
+//! # Example
+//!
+//! Imprint a weight on a microring and read the multiplied optical value
+//! back, exactly as one column of an ONN vector-dot-product unit would:
+//!
+//! ```
+//! use safelight_photonics::{Microring, WdmGrid};
+//!
+//! # fn main() -> Result<(), safelight_photonics::PhotonicsError> {
+//! let grid = WdmGrid::c_band(8)?;
+//! let mut ring = Microring::for_channel(&grid, 3)?;
+//!
+//! // Tune the ring so its through-port transmission encodes the weight 0.7.
+//! ring.imprint_transmission(0.7)?;
+//! let carrier = grid.channel_wavelength(3)?;
+//! let product = 0.9 * ring.through_transmission(carrier); // activation 0.9
+//! assert!((product - 0.9 * 0.7).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constants;
+mod converter;
+mod error;
+mod laser;
+mod microring;
+mod photodetector;
+mod tuning;
+mod waveguide;
+mod wavelength;
+
+pub use constants::{
+    SiliconProperties, DEFAULT_GROUP_INDEX, DEFAULT_SI_CONFINEMENT, DEFAULT_THERMO_OPTIC_COEFF,
+    SPEED_OF_LIGHT_M_PER_S,
+};
+pub use converter::{Adc, Dac};
+pub use error::PhotonicsError;
+pub use laser::Laser;
+pub use microring::{Microring, MicroringGeometry, MicroringState};
+pub use photodetector::{BalancedPhotodetector, Photodetector};
+pub use tuning::{thermal_resonance_shift_nm, TuningBudget, TuningCircuit, TuningKind};
+pub use waveguide::Waveguide;
+pub use wavelength::{Nanometers, WdmGrid};

@@ -1,0 +1,118 @@
+//! Property-based tests for the photonic device models.
+
+use proptest::prelude::*;
+use safelight_photonics::{
+    thermal_resonance_shift_nm, Adc, Dac, Microring, MicroringState, Nanometers,
+    SiliconProperties, WdmGrid,
+};
+
+proptest! {
+    /// Through-port transmission is always a physical power fraction.
+    #[test]
+    fn transmission_is_bounded(
+        channel in 0usize..16,
+        delta_nm in -20.0f64..20.0,
+        dt in 0.0f64..80.0,
+    ) {
+        let grid = WdmGrid::c_band(16).unwrap();
+        let mut ring = Microring::for_channel(&grid, channel).unwrap();
+        ring.set_temperature_delta(dt);
+        let lambda = Nanometers::new(grid.channel_wavelength(channel).unwrap().value() + delta_nm);
+        let t = ring.through_transmission(lambda);
+        prop_assert!((0.0..=1.0).contains(&t), "T = {t}");
+    }
+
+    /// The Lorentzian is symmetric about the effective resonance.
+    #[test]
+    fn transmission_is_symmetric(delta in 0.0f64..5.0) {
+        let grid = WdmGrid::c_band(4).unwrap();
+        let ring = Microring::for_channel(&grid, 1).unwrap();
+        let res = ring.resonance_wavelength().value();
+        let up = ring.through_transmission(Nanometers::new(res + delta));
+        let down = ring.through_transmission(Nanometers::new(res - delta));
+        prop_assert!((up - down).abs() < 1e-12);
+    }
+
+    /// Transmission increases monotonically with |detuning|.
+    #[test]
+    fn transmission_is_monotone_in_detuning(a in 0.0f64..4.0, b in 0.0f64..4.0) {
+        let grid = WdmGrid::c_band(4).unwrap();
+        let ring = Microring::for_channel(&grid, 0).unwrap();
+        let res = ring.resonance_wavelength().value();
+        let (near, far) = if a <= b { (a, b) } else { (b, a) };
+        let t_near = ring.through_transmission(Nanometers::new(res + near));
+        let t_far = ring.through_transmission(Nanometers::new(res + far));
+        prop_assert!(t_far + 1e-12 >= t_near);
+    }
+
+    /// Imprinting a transmission and reading it back at the carrier
+    /// round-trips across the full realizable range.
+    #[test]
+    fn imprint_round_trip(frac in 0.0f64..=1.0) {
+        let grid = WdmGrid::c_band(8).unwrap();
+        let mut ring = Microring::for_channel(&grid, 5).unwrap();
+        let t = ring.min_transmission()
+            + frac * (ring.max_transmission() - ring.min_transmission());
+        ring.imprint_transmission(t).unwrap();
+        let got = ring.through_transmission(ring.carrier());
+        prop_assert!((got - t).abs() < 1e-9, "asked {t} got {got}");
+    }
+
+    /// Eq. (2) is linear in ΔT and in λ.
+    #[test]
+    fn thermal_shift_is_linear(dt in 0.0f64..100.0, lambda in 1200.0f64..1700.0) {
+        let si = SiliconProperties::default();
+        let one = thermal_resonance_shift_nm(&si, lambda, 1.0);
+        let many = thermal_resonance_shift_nm(&si, lambda, dt);
+        prop_assert!((many - dt * one).abs() < 1e-9);
+    }
+
+    /// A parked (actuation-attacked) ring passes its own carrier at the
+    /// modulator's maximum transmission and never strongly modulates any
+    /// grid channel, independent of its previous imprint.
+    #[test]
+    fn parked_ring_transparent(channel in 0usize..8, frac in 0.0f64..=1.0) {
+        let grid = WdmGrid::c_band(8).unwrap();
+        let mut ring = Microring::for_channel(&grid, channel).unwrap();
+        let t = ring.min_transmission()
+            + frac * (ring.max_transmission() - ring.min_transmission());
+        ring.imprint_transmission(t).unwrap();
+        ring.set_state(MicroringState::ParkedOffResonance);
+        let own = grid.channel_wavelength(channel).unwrap();
+        prop_assert!(
+            (ring.through_transmission(own) - ring.max_transmission()).abs() < 1e-12
+        );
+        for l in grid.iter() {
+            prop_assert!(ring.through_transmission(l) > 0.85);
+        }
+    }
+
+    /// DAC output is always a representable level within range, and the
+    /// quantization error is at most half an LSB for in-range inputs.
+    #[test]
+    fn dac_quantization_contract(bits in 1u8..16, x in -2.0f64..3.0) {
+        let dac = Dac::new(bits, 0.0, 1.0).unwrap();
+        let y = dac.convert(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        if (0.0..=1.0).contains(&x) {
+            prop_assert!((y - x).abs() <= dac.lsb() / 2.0 + 1e-12);
+        }
+    }
+
+    /// ADC codes are monotone non-decreasing in the analog input.
+    #[test]
+    fn adc_monotone(a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let adc = Adc::new(10, -1.0, 1.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(adc.convert(lo).0 <= adc.convert(hi).0);
+    }
+
+    /// nearest_channel inverts channel_wavelength for all grid sizes.
+    #[test]
+    fn grid_nearest_channel_inverts(channels in 1usize..64, ch_frac in 0.0f64..1.0) {
+        let grid = WdmGrid::c_band(channels).unwrap();
+        let ch = ((channels as f64 - 1.0) * ch_frac).round() as usize;
+        let l = grid.channel_wavelength(ch).unwrap();
+        prop_assert_eq!(grid.nearest_channel(l), Some(ch));
+    }
+}

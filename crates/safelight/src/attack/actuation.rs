@@ -1,0 +1,123 @@
+//! Actuation attacks: HTs in the EO modulation circuits of individual,
+//! uniformly random microrings (paper §III.B.1).
+
+use safelight_neuro::SimRng;
+use safelight_onn::{AcceleratorConfig, ConditionMap, MrCondition};
+
+use crate::attack::AttackTarget;
+use crate::SafelightError;
+
+/// Parks a uniformly random `fraction` of the targeted blocks' microrings
+/// off-resonance.
+///
+/// Mirrors the paper's model: "each HT circuit would interfere with a
+/// single MR, causing it to enter an off-resonance state". Sites are
+/// sampled without replacement, independently per block.
+///
+/// # Errors
+///
+/// Returns [`SafelightError::InvalidParameter`] for a fraction outside
+/// `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use safelight::attack::{inject_actuation, AttackTarget};
+/// use safelight_neuro::SimRng;
+/// use safelight_onn::{AcceleratorConfig, BlockKind};
+///
+/// # fn main() -> Result<(), safelight::SafelightError> {
+/// let config = AcceleratorConfig::scaled_experiment()?;
+/// let mut rng = SimRng::seed_from(1);
+/// let map = inject_actuation(&config, AttackTarget::ConvBlock, 0.05, &mut rng)?;
+/// let expected = (config.conv.total_mrs() as f64 * 0.05).round() as usize;
+/// assert_eq!(map.faulty_count(BlockKind::Conv), expected);
+/// # Ok(())
+/// # }
+/// ```
+pub fn inject_actuation(
+    config: &AcceleratorConfig,
+    target: AttackTarget,
+    fraction: f64,
+    rng: &mut SimRng,
+) -> Result<ConditionMap, SafelightError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(SafelightError::InvalidParameter { name: "fraction", value: fraction });
+    }
+    let mut conditions = ConditionMap::new();
+    for kind in target.blocks() {
+        let total = config.block(kind).total_mrs();
+        let count = ((total as f64) * fraction).round().max(1.0) as usize;
+        let count = count.min(total as usize);
+        for site in rng.sample_distinct(total as usize, count) {
+            conditions.set(kind, site as u64, MrCondition::Parked);
+        }
+    }
+    Ok(conditions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safelight_onn::BlockKind;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::scaled_experiment().unwrap()
+    }
+
+    #[test]
+    fn fraction_translates_to_site_count() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(5);
+        let map = inject_actuation(&cfg, AttackTarget::FcBlock, 0.10, &mut rng).unwrap();
+        let expected = (cfg.fc.total_mrs() as f64 * 0.10).round() as usize;
+        assert_eq!(map.faulty_count(BlockKind::Fc), expected);
+        assert_eq!(map.faulty_count(BlockKind::Conv), 0);
+    }
+
+    #[test]
+    fn both_targets_hit_both_blocks() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(5);
+        let map = inject_actuation(&cfg, AttackTarget::Both, 0.01, &mut rng).unwrap();
+        assert!(map.faulty_count(BlockKind::Conv) > 0);
+        assert!(map.faulty_count(BlockKind::Fc) > 0);
+    }
+
+    #[test]
+    fn all_conditions_are_parked() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(6);
+        let map = inject_actuation(&cfg, AttackTarget::ConvBlock, 0.05, &mut rng).unwrap();
+        for (_, cond) in map.iter(BlockKind::Conv) {
+            assert_eq!(cond, MrCondition::Parked);
+        }
+    }
+
+    #[test]
+    fn sites_are_within_block_bounds() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(7);
+        let map = inject_actuation(&cfg, AttackTarget::ConvBlock, 0.10, &mut rng).unwrap();
+        let cap = cfg.conv.total_mrs();
+        for (mr, _) in map.iter(BlockKind::Conv) {
+            assert!(mr < cap);
+        }
+    }
+
+    #[test]
+    fn tiny_fraction_still_parks_at_least_one_ring() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(8);
+        let map = inject_actuation(&cfg, AttackTarget::ConvBlock, 1e-6, &mut rng).unwrap();
+        assert_eq!(map.faulty_count(BlockKind::Conv), 1);
+    }
+
+    #[test]
+    fn invalid_fractions_are_rejected() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(9);
+        assert!(inject_actuation(&cfg, AttackTarget::Both, 0.0, &mut rng).is_err());
+        assert!(inject_actuation(&cfg, AttackTarget::Both, 1.5, &mut rng).is_err());
+    }
+}

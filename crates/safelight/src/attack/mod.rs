@@ -1,0 +1,241 @@
+//! Hardware-trojan attack injectors (paper §III).
+//!
+//! Two attack vectors are modeled, exactly as in the paper:
+//!
+//! * **Actuation attacks** ([`inject_actuation`]) — HTs in the electro-optic
+//!   signal-modulation circuits of individual, uniformly random microrings
+//!   park them off-resonance (§III.B.1, Fig. 4).
+//! * **Thermal hotspot attacks** ([`inject_hotspot`]) — HTs drive the thermo-optic
+//!   heaters of whole banks; a finite-difference thermal solve produces the
+//!   resulting temperature field, which heats the attacked banks *and*
+//!   spills into their neighbours (§III.B.2, Figs. 5–6).
+//!
+//! Both produce a [`ConditionMap`] consumed by
+//! [`safelight_onn::corrupt_network`].
+
+mod actuation;
+mod hotspot;
+
+pub use actuation::inject_actuation;
+pub use hotspot::{inject_hotspot, HotspotOptions};
+
+use safelight_neuro::SimRng;
+use safelight_onn::{AcceleratorConfig, BlockKind, ConditionMap};
+
+use crate::SafelightError;
+
+/// The two HT attack vectors of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackVector {
+    /// EO-modulation actuation attack on individual microrings.
+    Actuation,
+    /// Thermo-optic hotspot attack on banks of microrings.
+    Hotspot,
+}
+
+impl std::fmt::Display for AttackVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Actuation => write!(f, "actuation"),
+            Self::Hotspot => write!(f, "hotspot"),
+        }
+    }
+}
+
+/// Which accelerator block(s) the trojans inhabit (§IV's three cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackTarget {
+    /// Only the CONV block.
+    ConvBlock,
+    /// Only the FC block.
+    FcBlock,
+    /// Both blocks (the paper's "CONV + FC" case).
+    Both,
+}
+
+impl AttackTarget {
+    /// The blocks this target covers.
+    #[must_use]
+    pub fn blocks(&self) -> Vec<BlockKind> {
+        match self {
+            Self::ConvBlock => vec![BlockKind::Conv],
+            Self::FcBlock => vec![BlockKind::Fc],
+            Self::Both => vec![BlockKind::Conv, BlockKind::Fc],
+        }
+    }
+}
+
+impl std::fmt::Display for AttackTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ConvBlock => write!(f, "CONV"),
+            Self::FcBlock => write!(f, "FC"),
+            Self::Both => write!(f, "CONV+FC"),
+        }
+    }
+}
+
+/// One attack instance: vector × target × intensity × trial index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackScenario {
+    /// Which attack vector the trojans implement.
+    pub vector: AttackVector,
+    /// Which block(s) are compromised.
+    pub target: AttackTarget,
+    /// Fraction of the targeted blocks' microrings under attack
+    /// (the paper sweeps 0.01, 0.05 and 0.10).
+    pub fraction: f64,
+    /// Trial index — the paper runs 10 uniformly distributed random
+    /// combinations per case; the trial seeds the site sampling.
+    pub trial: u64,
+}
+
+impl std::fmt::Display for AttackScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}% on {} (trial {})",
+            self.vector,
+            self.fraction * 100.0,
+            self.target,
+            self.trial
+        )
+    }
+}
+
+/// The paper's §IV scenario grid: every vector × target × fraction ×
+/// trial combination, in deterministic order.
+///
+/// # Example
+///
+/// ```
+/// use safelight::attack::scenario_grid;
+///
+/// let grid = scenario_grid(&[0.01, 0.05, 0.10], 10);
+/// // 2 vectors × 3 targets × 3 fractions × 10 trials.
+/// assert_eq!(grid.len(), 180);
+/// ```
+#[must_use]
+pub fn scenario_grid(fractions: &[f64], trials: u64) -> Vec<AttackScenario> {
+    let mut grid = Vec::new();
+    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+        for target in [AttackTarget::ConvBlock, AttackTarget::FcBlock, AttackTarget::Both] {
+            for &fraction in fractions {
+                for trial in 0..trials {
+                    grid.push(AttackScenario { vector, target, fraction, trial });
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Injects `scenario` into an accelerator, returning the per-ring fault
+/// conditions. `seed` is the experiment-level seed; the scenario's trial
+/// index derives the per-trial stream, so trials are independent but
+/// reproducible.
+///
+/// # Errors
+///
+/// Returns [`SafelightError::InvalidParameter`] for a fraction outside
+/// `(0, 1]` and propagates thermal-solver errors for hotspot attacks.
+pub fn inject(
+    scenario: &AttackScenario,
+    config: &AcceleratorConfig,
+    seed: u64,
+) -> Result<ConditionMap, SafelightError> {
+    if !(scenario.fraction > 0.0 && scenario.fraction <= 1.0) {
+        return Err(SafelightError::InvalidParameter {
+            name: "fraction",
+            value: scenario.fraction,
+        });
+    }
+    let mut rng = SimRng::seed_from(seed).derive(scenario.trial.wrapping_add(
+        match scenario.vector {
+            AttackVector::Actuation => 0x00AC,
+            AttackVector::Hotspot => 0x0107,
+        } + match scenario.target {
+            AttackTarget::ConvBlock => 0x1000,
+            AttackTarget::FcBlock => 0x2000,
+            AttackTarget::Both => 0x3000,
+        } + (scenario.fraction * 1e4) as u64 * 0x10000,
+    ));
+    match scenario.vector {
+        AttackVector::Actuation => {
+            inject_actuation(config, scenario.target, scenario.fraction, &mut rng)
+        }
+        AttackVector::Hotspot => inject_hotspot(
+            config,
+            scenario.target,
+            scenario.fraction,
+            &HotspotOptions::default(),
+            &mut rng,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_the_paper_matrix() {
+        let grid = scenario_grid(&[0.01, 0.05, 0.10], 10);
+        assert_eq!(grid.len(), 180);
+        let hotspot_conv_1pct = grid
+            .iter()
+            .filter(|s| {
+                s.vector == AttackVector::Hotspot
+                    && s.target == AttackTarget::ConvBlock
+                    && (s.fraction - 0.01).abs() < 1e-12
+            })
+            .count();
+        assert_eq!(hotspot_conv_1pct, 10);
+    }
+
+    #[test]
+    fn inject_rejects_bad_fraction() {
+        let config = AcceleratorConfig::scaled_experiment().unwrap();
+        let bad = AttackScenario {
+            vector: AttackVector::Actuation,
+            target: AttackTarget::ConvBlock,
+            fraction: 0.0,
+            trial: 0,
+        };
+        assert!(inject(&bad, &config, 1).is_err());
+    }
+
+    #[test]
+    fn trials_are_reproducible_and_distinct() {
+        let config = AcceleratorConfig::scaled_experiment().unwrap();
+        let mk = |trial| AttackScenario {
+            vector: AttackVector::Actuation,
+            target: AttackTarget::ConvBlock,
+            fraction: 0.05,
+            trial,
+        };
+        let a = inject(&mk(0), &config, 9).unwrap();
+        let b = inject(&mk(0), &config, 9).unwrap();
+        let c = inject(&mk(1), &config, 9).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn target_blocks_enumerate_correctly() {
+        assert_eq!(AttackTarget::ConvBlock.blocks(), vec![BlockKind::Conv]);
+        assert_eq!(AttackTarget::Both.blocks().len(), 2);
+    }
+
+    #[test]
+    fn scenario_display_is_informative() {
+        let s = AttackScenario {
+            vector: AttackVector::Hotspot,
+            target: AttackTarget::Both,
+            fraction: 0.05,
+            trial: 3,
+        };
+        let text = s.to_string();
+        assert!(text.contains("hotspot") && text.contains("5%") && text.contains("CONV+FC"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The model-variant taxonomy of the paper's Fig. 8.
+
+/// A mitigation-trained model variant.
+///
+/// The paper trains, per CNN model: the unmodified baseline (`Original`),
+/// an L2-regularized model (`L2_reg`), noise-aware models with Gaussian σ
+/// from 0.1 to 0.9, and the combinations (`l2+n1` … `l2+n9`) that Fig. 8
+/// compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariantKind {
+    /// No mitigation.
+    Original,
+    /// L2 regularization only (§V.A).
+    L2Only,
+    /// Gaussian noise-aware training only, with σ = level/10 (§V.B).
+    NoiseOnly(u8),
+    /// L2 plus noise-aware training with σ = level/10 — the combined
+    /// technique Fig. 8 sweeps.
+    L2Noise(u8),
+}
+
+impl VariantKind {
+    /// Whether the variant trains with L2 weight decay.
+    #[must_use]
+    pub fn uses_l2(&self) -> bool {
+        matches!(self, Self::L2Only | Self::L2Noise(_))
+    }
+
+    /// The Gaussian noise σ used during training (0 disables).
+    #[must_use]
+    pub fn noise_std(&self) -> f32 {
+        match self {
+            Self::Original | Self::L2Only => 0.0,
+            Self::NoiseOnly(level) | Self::L2Noise(level) => f32::from(*level) / 10.0,
+        }
+    }
+
+    /// The x-axis label used by the paper's Fig. 8.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Original => "Original".into(),
+            Self::L2Only => "L2_reg".into(),
+            Self::NoiseOnly(level) => format!("n{level}"),
+            Self::L2Noise(level) => format!("l2+n{level}"),
+        }
+    }
+
+    /// A filesystem-safe tag for model caching.
+    #[must_use]
+    pub fn file_tag(&self) -> String {
+        match self {
+            Self::Original => "original".into(),
+            Self::L2Only => "l2".into(),
+            Self::NoiseOnly(level) => format!("n{level}"),
+            Self::L2Noise(level) => format!("l2n{level}"),
+        }
+    }
+}
+
+impl std::fmt::Display for VariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The eleven variants on Fig. 8's x-axis:
+/// `Original, L2_reg, l2+n1 … l2+n9`.
+#[must_use]
+pub fn fig8_variants() -> Vec<VariantKind> {
+    let mut v = vec![VariantKind::Original, VariantKind::L2Only];
+    v.extend((1..=9).map(VariantKind::L2Noise));
+    v
+}
+
+/// The noise-only ablation sweep (`n1 … n9`), used by the §V discussion of
+/// noise-aware training in isolation.
+#[must_use]
+pub fn noise_ablation_variants() -> Vec<VariantKind> {
+    (1..=9).map(VariantKind::NoiseOnly).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_axis_has_eleven_entries() {
+        let v = fig8_variants();
+        assert_eq!(v.len(), 11);
+        assert_eq!(v[0].label(), "Original");
+        assert_eq!(v[1].label(), "L2_reg");
+        assert_eq!(v[2].label(), "l2+n1");
+        assert_eq!(v[10].label(), "l2+n9");
+    }
+
+    #[test]
+    fn noise_levels_map_to_sigma() {
+        assert_eq!(VariantKind::L2Noise(3).noise_std(), 0.3);
+        assert_eq!(VariantKind::NoiseOnly(9).noise_std(), 0.9);
+        assert_eq!(VariantKind::L2Only.noise_std(), 0.0);
+    }
+
+    #[test]
+    fn l2_flag_is_correct() {
+        assert!(VariantKind::L2Only.uses_l2());
+        assert!(VariantKind::L2Noise(1).uses_l2());
+        assert!(!VariantKind::Original.uses_l2());
+        assert!(!VariantKind::NoiseOnly(1).uses_l2());
+    }
+
+    #[test]
+    fn file_tags_are_unique() {
+        let mut tags: Vec<String> = fig8_variants().iter().map(VariantKind::file_tag).collect();
+        tags.extend(noise_ablation_variants().iter().map(VariantKind::file_tag));
+        let before = tags.len();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), before);
+    }
+}

@@ -1,0 +1,97 @@
+//! Top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use safelight_neuro::NeuroError;
+use safelight_onn::OnnError;
+use safelight_photonics::PhotonicsError;
+use safelight_thermal::ThermalError;
+
+/// Errors produced by the SafeLight attack/defense framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SafelightError {
+    /// An experiment or attack parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// An accelerator-level error.
+    Onn(OnnError),
+    /// A neural-network error.
+    Neuro(NeuroError),
+    /// A photonic device error.
+    Photonics(PhotonicsError),
+    /// A thermal solver error.
+    Thermal(ThermalError),
+}
+
+impl fmt::Display for SafelightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter `{name}`")
+            }
+            Self::Onn(e) => write!(f, "accelerator: {e}"),
+            Self::Neuro(e) => write!(f, "neural network: {e}"),
+            Self::Photonics(e) => write!(f, "photonics: {e}"),
+            Self::Thermal(e) => write!(f, "thermal: {e}"),
+        }
+    }
+}
+
+impl Error for SafelightError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Onn(e) => Some(e),
+            Self::Neuro(e) => Some(e),
+            Self::Photonics(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<OnnError> for SafelightError {
+    fn from(e: OnnError) -> Self {
+        Self::Onn(e)
+    }
+}
+
+impl From<NeuroError> for SafelightError {
+    fn from(e: NeuroError) -> Self {
+        Self::Neuro(e)
+    }
+}
+
+impl From<PhotonicsError> for SafelightError {
+    fn from(e: PhotonicsError) -> Self {
+        Self::Photonics(e)
+    }
+}
+
+impl From<ThermalError> for SafelightError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SafelightError>();
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e = SafelightError::from(OnnError::InvalidConfig { name: "x", value: 0.0 });
+        assert!(e.source().is_some());
+    }
+}

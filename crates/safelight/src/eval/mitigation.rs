@@ -1,0 +1,153 @@
+//! The §VI mitigation analysis (Fig. 8): box-and-whisker robustness of
+//! every trained variant across all attack scenarios.
+
+use safelight_neuro::{Dataset, Network};
+use safelight_onn::{AcceleratorConfig, WeightMapping};
+
+use safelight_neuro::accuracy;
+use safelight_onn::{corrupt_network, ConditionMap};
+
+use crate::attack::AttackScenario;
+use crate::defense::VariantKind;
+use crate::eval::susceptibility::{evaluate_with_conditions, inject_all};
+use crate::eval::BoxStats;
+use crate::SafelightError;
+
+/// The robustness summary of one trained variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantOutcome {
+    /// Which variant this is.
+    pub variant: VariantKind,
+    /// Clean (attack-free) accelerator accuracy of this variant — the
+    /// baseline line of Fig. 8.
+    pub baseline: f64,
+    /// Accuracy distribution across all attack scenarios.
+    pub stats: BoxStats,
+}
+
+/// The Fig. 8 artifact for one model: one box per variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationReport {
+    /// One outcome per variant, in input order.
+    pub outcomes: Vec<VariantOutcome>,
+}
+
+impl MitigationReport {
+    /// The variant with the highest median accuracy under attack — the
+    /// "most robust configuration" the paper selects per model (§VI).
+    ///
+    /// Ties break toward the earlier variant on the Fig. 8 axis.
+    #[must_use]
+    pub fn most_robust(&self) -> Option<&VariantOutcome> {
+        self.outcomes
+            .iter()
+            .max_by(|a, b| {
+                a.stats
+                    .median
+                    .partial_cmp(&b.stats.median)
+                    .expect("accuracies are finite")
+            })
+    }
+}
+
+/// Evaluates every `(variant, network)` pair across `scenarios` and
+/// summarizes each as a box (the Fig. 8 pipeline).
+///
+/// The attack conditions are injected once (one thermal solve per hotspot
+/// scenario) and shared across all variants, exactly as in the paper: every
+/// variant faces the same trojans.
+///
+/// # Errors
+///
+/// Propagates susceptibility-sweep errors; returns
+/// [`SafelightError::InvalidParameter`] for an empty scenario list.
+pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
+    variants: &[(VariantKind, Network)],
+    mapping: &WeightMapping,
+    config: &AcceleratorConfig,
+    test_data: &D,
+    scenarios: &[AttackScenario],
+    seed: u64,
+    threads: usize,
+) -> Result<MitigationReport, SafelightError> {
+    if scenarios.is_empty() {
+        return Err(SafelightError::InvalidParameter { name: "scenarios", value: 0.0 });
+    }
+    let injected = inject_all(config, scenarios, seed, threads)?;
+    let mut outcomes = Vec::with_capacity(variants.len());
+    for (variant, network) in variants {
+        let mut clean = corrupt_network(network, mapping, &ConditionMap::new(), config)?;
+        let baseline = accuracy(&mut clean, test_data, 32)?;
+        let trials =
+            evaluate_with_conditions(network, mapping, config, test_data, &injected, threads)?;
+        let accuracies: Vec<f64> = trials.iter().map(|t| t.accuracy).collect();
+        let stats = BoxStats::from_values(&accuracies)
+            .expect("non-empty scenarios produce non-empty accuracies");
+        outcomes.push(VariantOutcome { variant: *variant, baseline, stats });
+    }
+    Ok(MitigationReport { outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{AttackTarget, AttackVector};
+    use crate::models::{build_model, ModelKind};
+    use safelight_datasets::{digits, SyntheticSpec};
+    use safelight_neuro::{Trainer, TrainerConfig};
+
+    #[test]
+    fn mitigation_report_summarizes_each_variant() {
+        let data =
+            digits(&SyntheticSpec { train: 100, test: 40, ..SyntheticSpec::default() }).unwrap();
+        let config = AcceleratorConfig::scaled_experiment().unwrap();
+
+        let mut variants = Vec::new();
+        for (variant, noise) in
+            [(VariantKind::Original, 0.0f32), (VariantKind::L2Noise(3), 0.3f32)]
+        {
+            let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+            let mut network = bundle.network;
+            let cfg = TrainerConfig {
+                epochs: 2,
+                batch_size: 20,
+                noise_std: noise,
+                weight_decay: if variant.uses_l2() { 1e-4 } else { 0.0 },
+                ..TrainerConfig::default()
+            };
+            Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
+            variants.push((variant, network));
+        }
+        let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+
+        let scenarios: Vec<AttackScenario> = (0..2)
+            .map(|trial| AttackScenario {
+                vector: AttackVector::Actuation,
+                target: AttackTarget::Both,
+                fraction: 0.05,
+                trial,
+            })
+            .collect();
+        let report = run_mitigation(
+            &variants, &mapping, &config, &data.test, &scenarios, 11, 2,
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        for o in &report.outcomes {
+            assert!(o.stats.min <= o.stats.median && o.stats.median <= o.stats.max);
+        }
+        assert!(report.most_robust().is_some());
+    }
+
+    #[test]
+    fn empty_scenarios_are_rejected() {
+        let data =
+            digits(&SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() }).unwrap();
+        let config = AcceleratorConfig::scaled_experiment().unwrap();
+        let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+        let variants = vec![(VariantKind::Original, bundle.network.clone())];
+        assert!(run_mitigation(&variants, &mapping, &config, &data.test, &[], 1, 1).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Evaluation pipelines behind the paper's Figs. 7–9.
+
+mod mitigation;
+mod recovery;
+mod report;
+mod susceptibility;
+
+pub use mitigation::{run_mitigation, MitigationReport, VariantOutcome};
+pub use recovery::{run_recovery, RecoveryInterval, RecoveryReport};
+pub use report::{mitigation_csv, recovery_csv, susceptibility_csv};
+pub use susceptibility::{run_susceptibility, SusceptibilityReport, TrialResult};
+
+/// Five-number summary of a set of accuracies (a box-and-whisker box, as
+/// used by the paper's Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary of `values`; returns `None` for an empty set.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use safelight::eval::BoxStats;
+    ///
+    /// let stats = BoxStats::from_values(&[0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+    /// assert_eq!(stats.median, 0.3);
+    /// assert_eq!(stats.min, 0.1);
+    /// assert_eq!(stats.max, 0.5);
+    /// ```
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("accuracies are finite"));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let pos = p * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        Some(Self {
+            min: sorted[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Maps `items` through `work` on up to `threads` OS threads, preserving
+/// order. Used to parallelize independent attack trials on the 2-core
+/// evaluation machine.
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(work).collect();
+    }
+    let mut indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let chunk = indexed.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<(usize, T)>> = Vec::new();
+    while !indexed.is_empty() {
+        let take = chunk.min(indexed.len());
+        chunks.push(indexed.drain(..take).collect());
+    }
+    let work = &work;
+    let mut results: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(i, item)| (i, work(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_empty_is_none() {
+        assert!(BoxStats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn box_stats_single_value_collapses() {
+        let s = BoxStats::from_values(&[0.7]).unwrap();
+        assert_eq!(s.min, 0.7);
+        assert_eq!(s.max, 0.7);
+        assert_eq!(s.median, 0.7);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn box_stats_orders_unsorted_input() {
+        let s = BoxStats::from_values(&[0.9, 0.1, 0.5]).unwrap();
+        assert_eq!(s.min, 0.1);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.max, 0.9);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect(), 4, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_matches() {
+        let a = par_map(vec![3, 1, 2], 1, |x: i32| x + 1);
+        let b = par_map(vec![3, 1, 2], 3, |x: i32| x + 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,139 @@
+//! CSV renderers for the evaluation reports — the machine-readable
+//! counterparts of the paper's figure data series.
+
+use crate::eval::{MitigationReport, RecoveryReport, SusceptibilityReport};
+
+/// Renders a Fig. 7 susceptibility report as CSV:
+/// `vector,target,fraction,trial,accuracy` rows plus a baseline header row.
+///
+/// # Example
+///
+/// ```
+/// use safelight::eval::{susceptibility_csv, SusceptibilityReport};
+///
+/// let report = SusceptibilityReport { baseline: 0.97, trials: vec![] };
+/// let csv = susceptibility_csv(&report);
+/// assert!(csv.starts_with("# baseline,0.97"));
+/// ```
+#[must_use]
+pub fn susceptibility_csv(report: &SusceptibilityReport) -> String {
+    let mut out = format!("# baseline,{}\n", report.baseline);
+    out.push_str("vector,target,fraction,trial,accuracy\n");
+    for t in &report.trials {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            t.scenario.vector, t.scenario.target, t.scenario.fraction, t.scenario.trial,
+            t.accuracy
+        ));
+    }
+    out
+}
+
+/// Renders a Fig. 8 mitigation report as CSV:
+/// `variant,baseline,min,q1,median,q3,max` rows.
+#[must_use]
+pub fn mitigation_csv(report: &MitigationReport) -> String {
+    let mut out = String::from("variant,baseline,min,q1,median,q3,max\n");
+    for o in &report.outcomes {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            o.variant.label(),
+            o.baseline,
+            o.stats.min,
+            o.stats.q1,
+            o.stats.median,
+            o.stats.q3,
+            o.stats.max
+        ));
+    }
+    out
+}
+
+/// Renders a Fig. 9 recovery report as CSV:
+/// `vector,fraction,orig_min,orig_mean,orig_max,robust_min,robust_mean,robust_max,worst_case_recovery`.
+#[must_use]
+pub fn recovery_csv(report: &RecoveryReport) -> String {
+    let mut out = format!(
+        "# original_baseline,{}\n# robust_baseline,{}\n",
+        report.original_baseline, report.robust_baseline
+    );
+    out.push_str(
+        "vector,fraction,orig_min,orig_mean,orig_max,robust_min,robust_mean,robust_max,worst_case_recovery\n",
+    );
+    for i in &report.intervals {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            i.vector,
+            i.fraction,
+            i.original.0,
+            i.original.1,
+            i.original.2,
+            i.robust.0,
+            i.robust.1,
+            i.robust.2,
+            i.worst_case_recovery()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{AttackScenario, AttackTarget, AttackVector};
+    use crate::defense::VariantKind;
+    use crate::eval::{BoxStats, RecoveryInterval, TrialResult, VariantOutcome};
+
+    fn scenario() -> AttackScenario {
+        AttackScenario {
+            vector: AttackVector::Hotspot,
+            target: AttackTarget::Both,
+            fraction: 0.05,
+            trial: 2,
+        }
+    }
+
+    #[test]
+    fn susceptibility_csv_has_one_row_per_trial() {
+        let report = SusceptibilityReport {
+            baseline: 0.9,
+            trials: vec![
+                TrialResult { scenario: scenario(), accuracy: 0.5 },
+                TrialResult { scenario: scenario(), accuracy: 0.6 },
+            ],
+        };
+        let csv = susceptibility_csv(&report);
+        assert_eq!(csv.lines().count(), 4); // baseline + header + 2 rows
+        assert!(csv.contains("hotspot,CONV+FC,0.05,2,0.5"));
+    }
+
+    #[test]
+    fn mitigation_csv_uses_variant_labels() {
+        let report = MitigationReport {
+            outcomes: vec![VariantOutcome {
+                variant: VariantKind::L2Noise(3),
+                baseline: 0.95,
+                stats: BoxStats::from_values(&[0.7, 0.8, 0.9]).unwrap(),
+            }],
+        };
+        let csv = mitigation_csv(&report);
+        assert!(csv.contains("l2+n3,0.95,0.7,"));
+    }
+
+    #[test]
+    fn recovery_csv_contains_recovery_column() {
+        let report = RecoveryReport {
+            original_baseline: 0.9,
+            robust_baseline: 0.92,
+            intervals: vec![RecoveryInterval {
+                vector: AttackVector::Actuation,
+                fraction: 0.1,
+                original: (0.4, 0.5, 0.6),
+                robust: (0.6, 0.7, 0.8),
+            }],
+        };
+        let csv = recovery_csv(&report);
+        let last = csv.lines().last().unwrap();
+        assert!(last.ends_with(&format!("{}", 0.6 - 0.4)));
+    }
+}

@@ -1,0 +1,209 @@
+//! The §IV susceptibility analysis (Fig. 7): accuracy of a model under
+//! every attack scenario.
+
+use safelight_neuro::{accuracy, Dataset, Network};
+use safelight_onn::{corrupt_network, AcceleratorConfig, WeightMapping};
+
+use crate::attack::{inject, AttackScenario};
+use crate::eval::par_map;
+use crate::SafelightError;
+
+/// Accuracy of one attack trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// The injected scenario.
+    pub scenario: AttackScenario,
+    /// Post-attack classification accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// A full susceptibility sweep for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SusceptibilityReport {
+    /// Clean (attack-free, but quantized) accelerator accuracy.
+    pub baseline: f64,
+    /// One result per scenario, in input order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl SusceptibilityReport {
+    /// The worst (lowest) accuracy across all trials.
+    #[must_use]
+    pub fn worst_accuracy(&self) -> f64 {
+        self.trials.iter().map(|t| t.accuracy).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest accuracy drop from baseline, in accuracy points.
+    #[must_use]
+    pub fn worst_drop(&self) -> f64 {
+        self.baseline - self.worst_accuracy()
+    }
+
+    /// Results filtered by a scenario predicate (e.g. one Fig. 7 panel
+    /// group).
+    pub fn filtered<F>(&self, predicate: F) -> Vec<&TrialResult>
+    where
+        F: Fn(&AttackScenario) -> bool,
+    {
+        self.trials.iter().filter(|t| predicate(&t.scenario)).collect()
+    }
+}
+
+/// Pre-injects the fault conditions of every scenario (thermal solves for
+/// hotspots happen here), so several model variants can be evaluated
+/// against identical attacks without re-solving.
+///
+/// # Errors
+///
+/// Propagates attack-injection errors.
+pub fn inject_all(
+    config: &AcceleratorConfig,
+    scenarios: &[AttackScenario],
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<(AttackScenario, safelight_onn::ConditionMap)>, SafelightError> {
+    let outcomes = par_map(scenarios.to_vec(), threads, |scenario| {
+        let conditions = inject(&scenario, config, seed)?;
+        Ok::<_, SafelightError>((scenario, conditions))
+    });
+    outcomes.into_iter().collect()
+}
+
+/// Evaluates one network against pre-injected conditions, returning one
+/// trial result per entry (input order preserved).
+///
+/// # Errors
+///
+/// Propagates corruption and evaluation errors.
+pub fn evaluate_with_conditions<D: Dataset + Sync + ?Sized>(
+    network: &Network,
+    mapping: &WeightMapping,
+    config: &AcceleratorConfig,
+    test_data: &D,
+    injected: &[(AttackScenario, safelight_onn::ConditionMap)],
+    threads: usize,
+) -> Result<Vec<TrialResult>, SafelightError> {
+    let items: Vec<usize> = (0..injected.len()).collect();
+    let outcomes = par_map(items, threads, |i| {
+        let (scenario, conditions) = &injected[i];
+        let mut attacked = corrupt_network(network, mapping, conditions, config)?;
+        let acc = accuracy(&mut attacked, test_data, 32)?;
+        Ok::<TrialResult, SafelightError>(TrialResult { scenario: *scenario, accuracy: acc })
+    });
+    outcomes.into_iter().collect()
+}
+
+/// Runs the susceptibility sweep: for each scenario, inject the attack,
+/// derive the corrupted network through the accelerator model, and measure
+/// accuracy on `test_data`.
+///
+/// Trials are independent, so they are distributed over `threads` OS
+/// threads; results keep the input order. `seed` drives attack-site
+/// sampling (the network and data are fixed inputs).
+///
+/// # Errors
+///
+/// Propagates attack-injection, corruption and evaluation errors.
+pub fn run_susceptibility<D: Dataset + Sync + ?Sized>(
+    network: &Network,
+    mapping: &WeightMapping,
+    config: &AcceleratorConfig,
+    test_data: &D,
+    scenarios: &[AttackScenario],
+    seed: u64,
+    threads: usize,
+) -> Result<SusceptibilityReport, SafelightError> {
+    // Baseline: clean accelerator (DAC quantization only).
+    let mut clean = corrupt_network(network, mapping, &safelight_onn::ConditionMap::new(), config)?;
+    let baseline = accuracy(&mut clean, test_data, 32)?;
+    let injected = inject_all(config, scenarios, seed, threads)?;
+    let trials =
+        evaluate_with_conditions(network, mapping, config, test_data, &injected, threads)?;
+    Ok(SusceptibilityReport { baseline, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{AttackTarget, AttackVector};
+    use crate::models::{build_model, ModelKind};
+    use safelight_datasets::{digits, SyntheticSpec};
+    use safelight_neuro::{Trainer, TrainerConfig};
+
+    /// A trained-enough CNN_1 plus its mapping on the scaled accelerator.
+    fn trained_setup() -> (Network, WeightMapping, AcceleratorConfig, safelight_datasets::SplitDataset)
+    {
+        let data =
+            digits(&SyntheticSpec { train: 120, test: 60, ..SyntheticSpec::default() }).unwrap();
+        let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+        let mut network = bundle.network;
+        let cfg = TrainerConfig { epochs: 3, batch_size: 20, ..TrainerConfig::default() };
+        Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
+        let config = AcceleratorConfig::scaled_experiment().unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+        (network, mapping, config, data)
+    }
+
+    #[test]
+    fn sweep_produces_one_result_per_scenario() {
+        let (network, mapping, config, data) = trained_setup();
+        let scenarios = vec![
+            AttackScenario {
+                vector: AttackVector::Actuation,
+                target: AttackTarget::ConvBlock,
+                fraction: 0.05,
+                trial: 0,
+            },
+            AttackScenario {
+                vector: AttackVector::Actuation,
+                target: AttackTarget::FcBlock,
+                fraction: 0.05,
+                trial: 1,
+            },
+        ];
+        let report =
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2)
+                .unwrap();
+        assert_eq!(report.trials.len(), 2);
+        assert!(report.baseline > 0.3, "baseline {}", report.baseline);
+        for t in &report.trials {
+            assert!((0.0..=1.0).contains(&t.accuracy));
+        }
+    }
+
+    #[test]
+    fn attacks_do_not_raise_accuracy_above_sane_bounds() {
+        let (network, mapping, config, data) = trained_setup();
+        let scenarios = vec![AttackScenario {
+            vector: AttackVector::Hotspot,
+            target: AttackTarget::Both,
+            fraction: 0.10,
+            trial: 0,
+        }];
+        let report =
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1)
+                .unwrap();
+        assert!(report.worst_accuracy() <= report.baseline + 0.2);
+        assert!(report.worst_drop() >= -0.2);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let (network, mapping, config, data) = trained_setup();
+        let scenarios: Vec<AttackScenario> = (0..3)
+            .map(|trial| AttackScenario {
+                vector: AttackVector::Actuation,
+                target: AttackTarget::ConvBlock,
+                fraction: 0.10,
+                trial,
+            })
+            .collect();
+        let a = run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1)
+            .unwrap();
+        let b = run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2)
+            .unwrap();
+        for (ta, tb) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(ta.accuracy, tb.accuracy);
+        }
+    }
+}

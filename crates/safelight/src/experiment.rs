@@ -1,0 +1,349 @@
+//! One driver per paper artifact (Table I, Figs. 6–9), consumed by the
+//! `repro` binary in `safelight-bench` and by the integration tests.
+
+use std::path::PathBuf;
+
+use safelight_datasets::{generate, SplitDataset, SyntheticSpec};
+use safelight_neuro::{Network, SimRng};
+use safelight_onn::{AcceleratorConfig, BlockKind, BlockLayout, WeightMapping};
+use safelight_thermal::{Heatmap, ThermalConfig};
+
+use crate::attack::scenario_grid;
+use crate::defense::{fig8_variants, train_variant, TrainingRecipe, VariantKind};
+use crate::eval::{
+    run_mitigation, run_recovery, run_susceptibility, MitigationReport, RecoveryReport,
+    SusceptibilityReport,
+};
+use crate::models::{build_model, dataset_kind_for, ModelKind};
+use crate::SafelightError;
+
+/// How much compute an experiment run may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Small datasets, few epochs and trials — minutes on two cores.
+    Quick,
+    /// The full protocol: larger data, 10 trials for Fig. 7, the complete
+    /// Fig. 8 variant sweep.
+    Full,
+}
+
+/// Options shared by all experiment drivers.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Compute budget.
+    pub fidelity: Fidelity,
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+    /// Directory for trained-variant caching (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads for trial evaluation.
+    pub threads: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            fidelity: Fidelity::Quick,
+            seed: 2025,
+            cache_dir: Some(PathBuf::from("target/safelight-models")),
+            threads: 2,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Dataset size for `kind` at this fidelity.
+    ///
+    /// CNN_1 gets a larger corpus: the paper's MNIST baseline is trained on
+    /// 60 k images and its robustness to weight corruption depends on that
+    /// over-training, so the small model gets the most data.
+    #[must_use]
+    pub fn data_spec(&self, kind: ModelKind) -> SyntheticSpec {
+        let (train, test) = match self.fidelity {
+            Fidelity::Quick => (700, 200),
+            Fidelity::Full => (1_500, 400),
+        };
+        let grow = match kind {
+            ModelKind::Cnn1 => 2.0,
+            ModelKind::ResNet18s => 0.8,
+            ModelKind::Vgg16s => 0.7,
+        };
+        SyntheticSpec {
+            train: (train as f64 * grow) as usize,
+            test: (test as f64 * grow.min(1.0)) as usize,
+            seed: self.seed ^ 0xDA7A,
+            ..SyntheticSpec::default()
+        }
+    }
+
+    /// Training recipe for `kind` at this fidelity.
+    #[must_use]
+    pub fn recipe(&self, kind: ModelKind) -> TrainingRecipe {
+        let base = TrainingRecipe::for_model(kind);
+        match self.fidelity {
+            Fidelity::Quick => TrainingRecipe { epochs: (base.epochs / 2).max(4), ..base },
+            Fidelity::Full => base,
+        }
+    }
+
+    /// Attack trials per scenario cell for Fig. 7.
+    #[must_use]
+    pub fn fig7_trials(&self) -> u64 {
+        match self.fidelity {
+            Fidelity::Quick => 3,
+            Fidelity::Full => 10,
+        }
+    }
+
+    /// Attack trials per scenario cell for the Fig. 8 variant sweep (kept
+    /// smaller than Fig. 7's because 11 variants multiply the cost).
+    #[must_use]
+    pub fn fig8_trials(&self) -> u64 {
+        match self.fidelity {
+            Fidelity::Quick => 2,
+            Fidelity::Full => 3,
+        }
+    }
+
+    /// The attack intensities of §IV.
+    #[must_use]
+    pub fn fractions(&self) -> Vec<f64> {
+        vec![0.01, 0.05, 0.10]
+    }
+
+    /// The accelerator profile used by the experiments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn accelerator(&self) -> Result<AcceleratorConfig, SafelightError> {
+        Ok(AcceleratorConfig::scaled_experiment()?)
+    }
+}
+
+/// Everything the per-model experiments share: data, mapping and the
+/// trained variant networks.
+#[derive(Debug, Clone)]
+pub struct ModelWorkbench {
+    /// Which model this is.
+    pub kind: ModelKind,
+    /// Train/test data.
+    pub data: SplitDataset,
+    /// Accelerator profile.
+    pub config: AcceleratorConfig,
+    /// Weight-stationary mapping of the model.
+    pub mapping: WeightMapping,
+    /// The trained `Original` (no-mitigation) network.
+    pub original: Network,
+}
+
+/// Builds the shared workbench for `kind`: generates data, trains the
+/// original model (through the cache) and derives the mapping.
+///
+/// # Errors
+///
+/// Propagates generation, training and mapping errors.
+pub fn workbench(kind: ModelKind, opts: &ExperimentOptions) -> Result<ModelWorkbench, SafelightError> {
+    let data = generate(dataset_kind_for(kind), &opts.data_spec(kind))?;
+    let config = crate::models::matched_accelerator(kind)?;
+    let bundle = build_model(kind, opts.recipe(kind).seed)?;
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs)?;
+    let original = train_variant(
+        kind,
+        VariantKind::Original,
+        &data,
+        &opts.recipe(kind),
+        opts.cache_dir.as_deref(),
+    )?;
+    Ok(ModelWorkbench { kind, data, config, mapping, original })
+}
+
+/// The Fig. 6 artifact: the CONV block's steady-state ΔT heatmap with two
+/// hotspot-attacked banks.
+#[derive(Debug, Clone)]
+pub struct Fig6Artifact {
+    /// ΔT heatmap over the CONV block floorplan (kelvin above ambient).
+    pub heatmap: Heatmap,
+    /// Which banks the trojan heaters inhabit.
+    pub attacked_banks: Vec<usize>,
+    /// Peak ΔT on the die.
+    pub peak_delta_kelvin: f64,
+    /// Mean ΔT over the *non-attacked* banks — the spill-over the paper
+    /// highlights.
+    pub neighbour_mean_delta_kelvin: f64,
+}
+
+/// Reproduces Fig. 6: heats two randomly chosen CONV banks with multiple
+/// compromised heaters and solves the block's temperature field.
+///
+/// # Errors
+///
+/// Propagates layout and thermal-solver errors.
+pub fn run_fig6(opts: &ExperimentOptions) -> Result<Fig6Artifact, SafelightError> {
+    // Fig. 6 shows the paper's own CONV block (100 VDP banks of 20×20 MRs).
+    // The full-resolution solve is affordable in release builds (`Full`);
+    // the quick profile uses a reduced block so debug-mode tests stay fast.
+    let config = match opts.fidelity {
+        Fidelity::Full => AcceleratorConfig::paper()?,
+        Fidelity::Quick => AcceleratorConfig::scaled_experiment()?,
+    };
+    let shape = *config.block(BlockKind::Conv);
+    let layout = BlockLayout::new(shape, BlockKind::Conv, 1)?;
+    let mut rng = SimRng::seed_from(opts.seed).derive(0xF16);
+    let attacked_banks = rng.sample_distinct(shape.vdp_units, 2);
+
+    let mut grid = layout.thermal_grid(ThermalConfig::default())?;
+    for &bank in &attacked_banks {
+        let rect = layout
+            .floorplan()
+            .bank(bank)
+            .map_err(safelight_onn::OnnError::from)?
+            .rect;
+        // "Multiple compromised heaters": each attacked bank dissipates a
+        // trojan-driven 60 mW spread over its heater array.
+        grid.add_power_region(rect, 0.06)?;
+    }
+    let field = grid.solve()?;
+
+    let mut neighbour_sum = 0.0;
+    let mut neighbour_count = 0usize;
+    for placement in layout.floorplan().banks() {
+        if !attacked_banks.contains(&placement.bank) {
+            neighbour_sum += field.mean_delta_in(placement.rect)?;
+            neighbour_count += 1;
+        }
+    }
+    Ok(Fig6Artifact {
+        heatmap: field.to_heatmap(),
+        attacked_banks,
+        peak_delta_kelvin: field.max_delta(),
+        neighbour_mean_delta_kelvin: neighbour_sum / neighbour_count.max(1) as f64,
+    })
+}
+
+/// Reproduces one panel of Fig. 7: the susceptibility sweep of `kind`
+/// across the full §IV scenario grid.
+///
+/// # Errors
+///
+/// Propagates workbench and sweep errors.
+pub fn run_fig7(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+) -> Result<(ModelWorkbench, SusceptibilityReport), SafelightError> {
+    let bench = workbench(kind, opts)?;
+    let scenarios = scenario_grid(&opts.fractions(), opts.fig7_trials());
+    let report = run_susceptibility(
+        &bench.original,
+        &bench.mapping,
+        &bench.config,
+        &bench.data.test,
+        &scenarios,
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((bench, report))
+}
+
+/// Reproduces one panel of Fig. 8: trains every variant on the Fig. 8 axis
+/// and summarizes each across the attack grid.
+///
+/// # Errors
+///
+/// Propagates training and evaluation errors.
+pub fn run_fig8(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+) -> Result<(ModelWorkbench, MitigationReport), SafelightError> {
+    let bench = workbench(kind, opts)?;
+    let recipe = opts.recipe(kind);
+    let mut variants = Vec::new();
+    for variant in fig8_variants() {
+        let network =
+            train_variant(kind, variant, &bench.data, &recipe, opts.cache_dir.as_deref())?;
+        variants.push((variant, network));
+    }
+    let scenarios = scenario_grid(&opts.fractions(), opts.fig8_trials());
+    let report = run_mitigation(
+        &variants,
+        &bench.mapping,
+        &bench.config,
+        &bench.data.test,
+        &scenarios,
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((bench, report))
+}
+
+/// Reproduces one panel of Fig. 9: picks the most robust Fig. 8 variant
+/// and compares it against the original model at every attack intensity.
+///
+/// Returns the chosen variant alongside the report.
+///
+/// # Errors
+///
+/// Propagates training and evaluation errors.
+pub fn run_fig9(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+) -> Result<(VariantKind, RecoveryReport), SafelightError> {
+    let (bench, fig8) = run_fig8(kind, opts)?;
+    let best = fig8
+        .most_robust()
+        .expect("fig8 axis is non-empty")
+        .variant;
+    let robust = train_variant(
+        kind,
+        best,
+        &bench.data,
+        &opts.recipe(kind),
+        opts.cache_dir.as_deref(),
+    )?;
+    let report = run_recovery(
+        &bench.original,
+        &robust,
+        &bench.mapping,
+        &bench.config,
+        &bench.data.test,
+        &opts.fractions(),
+        opts.fig7_trials(),
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((best, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExperimentOptions {
+        ExperimentOptions { fidelity: Fidelity::Quick, seed: 1, cache_dir: None, threads: 2 }
+    }
+
+    #[test]
+    fn fig6_heats_two_banks_and_their_neighbours() {
+        let artifact = run_fig6(&tiny_opts()).unwrap();
+        assert_eq!(artifact.attacked_banks.len(), 2);
+        assert!(artifact.peak_delta_kelvin > 10.0, "peak {}", artifact.peak_delta_kelvin);
+        assert!(
+            artifact.neighbour_mean_delta_kelvin > 0.0,
+            "no spill-over measured"
+        );
+        assert!(artifact.neighbour_mean_delta_kelvin < artifact.peak_delta_kelvin);
+        // The heatmap covers the CONV floorplan.
+        assert!(artifact.heatmap.width() > 10 && artifact.heatmap.height() > 10);
+    }
+
+    #[test]
+    fn options_scale_with_fidelity() {
+        let quick = tiny_opts();
+        let full = ExperimentOptions { fidelity: Fidelity::Full, ..tiny_opts() };
+        assert!(quick.fig7_trials() < full.fig7_trials());
+        assert!(
+            quick.data_spec(ModelKind::Cnn1).train < full.data_spec(ModelKind::Cnn1).train
+        );
+        assert!(quick.recipe(ModelKind::Cnn1).epochs < full.recipe(ModelKind::Cnn1).epochs);
+    }
+}

@@ -1,0 +1,83 @@
+//! SafeLight: hardware-trojan attacks and software mitigation for optical
+//! CNN accelerators.
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *SafeLight: Enhancing Security in Optical Convolutional Neural Network
+//! Accelerators* (DATE 2025). On top of the workspace substrates
+//! ([`safelight_photonics`], [`safelight_thermal`], [`safelight_neuro`],
+//! [`safelight_datasets`], [`safelight_onn`]) it provides:
+//!
+//! * [`models`] — the paper's three CNN workloads (Table I): the
+//!   MNIST-style `CNN_1`, a ResNet-18-style residual network and a
+//!   VGG16-variant, each paired with its weight-stationary layer map;
+//! * [`attack`] — the two HT attack vectors of §III: **actuation attacks**
+//!   parking individual microrings off-resonance and **thermal hotspot
+//!   attacks** driving bank heaters through a real thermal solve, plus the
+//!   §IV scenario grid (1/5/10 % × CONV/FC/Both × trials);
+//! * [`defense`] — the §V software mitigations: L2-regularized and
+//!   Gaussian noise-aware trained model variants
+//!   (`Original`, `L2_reg`, `l2+n1` … `l2+n9`), with a disk cache;
+//! * [`eval`] — the evaluation pipelines behind Fig. 7 (susceptibility),
+//!   Fig. 8 (variant robustness) and Fig. 9 (recovery);
+//! * [`experiment`] — one driver per paper artifact, consumed by the
+//!   `repro` binary in `safelight-bench`.
+//!
+//! # Example
+//!
+//! Inject a 5 % actuation attack into the CONV block and measure the
+//! accuracy drop of a (tiny, demo-sized) CNN:
+//!
+//! ```
+//! use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+//! use safelight::models::{build_model, ModelKind};
+//! use safelight_onn::{corrupt_network, AcceleratorConfig, WeightMapping};
+//!
+//! # fn main() -> Result<(), safelight::SafelightError> {
+//! let config = AcceleratorConfig::scaled_experiment()?;
+//! let bundle = build_model(ModelKind::Cnn1, 42)?;
+//! let mapping = WeightMapping::new(&config, &bundle.layer_specs)?;
+//!
+//! let scenario = AttackScenario {
+//!     vector: AttackVector::Actuation,
+//!     target: AttackTarget::ConvBlock,
+//!     fraction: 0.05,
+//!     trial: 0,
+//! };
+//! let conditions = inject(&scenario, &config, 7)?;
+//! let attacked = corrupt_network(&bundle.network, &mapping, &conditions, &config)?;
+//! assert_eq!(attacked.parameter_count(), bundle.network.parameter_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod defense;
+mod error;
+pub mod eval;
+pub mod experiment;
+pub mod models;
+
+pub use error::SafelightError;
+
+/// Convenient re-exports for downstream binaries and examples.
+pub mod prelude {
+    pub use crate::attack::{
+        inject, scenario_grid, AttackScenario, AttackTarget, AttackVector, HotspotOptions,
+    };
+    pub use crate::defense::{train_variant, TrainingRecipe, VariantKind};
+    pub use crate::eval::{
+        run_mitigation, run_recovery, run_susceptibility, BoxStats, MitigationReport,
+        RecoveryReport, SusceptibilityReport,
+    };
+    pub use crate::experiment::{ExperimentOptions, Fidelity};
+    pub use crate::models::{
+        build_model, dataset_kind_for, matched_accelerator, table1, ModelBundle, ModelKind,
+    };
+    pub use crate::SafelightError;
+    pub use safelight_onn::{
+        corrupt_network, AcceleratorConfig, BlockKind, ConditionMap, MrCondition, WeightMapping,
+    };
+}

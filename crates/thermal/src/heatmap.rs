@@ -1,0 +1,181 @@
+//! Renderable heatmaps of temperature fields (the paper's Fig. 6 artifact).
+
+/// A 2-D scalar field with export helpers.
+///
+/// Produced from a [`TemperatureField`](crate::TemperatureField) via
+/// [`to_heatmap`](crate::TemperatureField::to_heatmap); values are kelvin of
+/// temperature rise over ambient.
+///
+/// # Example
+///
+/// ```
+/// use safelight_thermal::Heatmap;
+///
+/// let map = Heatmap::from_values(2, 2, vec![0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(map.max(), 3.0);
+/// assert!(map.to_csv().lines().count() == 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    width: usize,
+    height: usize,
+    values: Vec<f64>,
+}
+
+/// Glyph ramp used by the ASCII renderer, coldest to hottest.
+const ASCII_RAMP: &[u8] = b" .:-=+*#%@";
+
+impl Heatmap {
+    /// Wraps a row-major buffer of `width × height` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != width * height`.
+    #[must_use]
+    pub fn from_values(width: usize, height: usize, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            width * height,
+            "heatmap buffer does not match dimensions"
+        );
+        Self { width, height, values }
+    }
+
+    /// Width in cells.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in cells.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Smallest value in the map (0 for an empty map).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    }
+
+    /// Largest value in the map.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Raw values in row-major order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Renders the map as comma-separated values, one row per line.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.values.len() * 8);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if x > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{:.4}", self.values[y * self.width + x]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the map as a binary-free ASCII PGM (P2) grayscale image,
+    /// hottest cells brightest — loadable by any image viewer.
+    #[must_use]
+    pub fn to_pgm(&self) -> String {
+        let max = self.max().max(1e-12);
+        let mut out = format!("P2\n{} {}\n255\n", self.width, self.height);
+        for y in 0..self.height {
+            let row: Vec<String> = (0..self.width)
+                .map(|x| {
+                    let v = (self.values[y * self.width + x] / max * 255.0).round();
+                    format!("{}", (v.clamp(0.0, 255.0)) as u32)
+                })
+                .collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the map as ASCII art using a ten-step intensity ramp,
+    /// hottest cells densest.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let max = self.max().max(1e-12);
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.values[y * self.width + x] / max;
+                let idx = ((v * (ASCII_RAMP.len() - 1) as f64).round() as usize)
+                    .min(ASCII_RAMP.len() - 1);
+                out.push(ASCII_RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Heatmap {
+        Heatmap::from_values(3, 2, vec![0.0, 5.0, 10.0, 2.5, 7.5, 1.0])
+    }
+
+    #[test]
+    fn min_max_are_correct() {
+        let m = sample();
+        assert_eq!(m.min(), 0.0);
+        assert_eq!(m.max(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dimensions")]
+    fn mismatched_buffer_panics() {
+        let _ = Heatmap::from_values(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 3);
+    }
+
+    #[test]
+    fn pgm_header_and_scale() {
+        let pgm = sample().to_pgm();
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("3 2"));
+        assert_eq!(lines.next(), Some("255"));
+        // The hottest cell maps to full white.
+        assert!(pgm.contains("255"));
+    }
+
+    #[test]
+    fn ascii_uses_dense_glyph_for_peak() {
+        let art = sample().to_ascii();
+        assert!(art.contains('@'));
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn ascii_rows_have_grid_width() {
+        let art = sample().to_ascii();
+        for line in art.lines() {
+            assert_eq!(line.chars().count(), 3);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Steady-state finite-difference solver and the resulting temperature
+//! field.
+
+use crate::grid::ThermalConfig;
+use crate::heatmap::Heatmap;
+use crate::ThermalError;
+
+/// A solved steady-state temperature field over a grid.
+///
+/// Produced by [`ThermalGrid::solve`](crate::ThermalGrid::solve). All
+/// queries are in kelvin; `delta_*` methods report the rise over ambient,
+/// which is the `ΔT` entering the paper's eq. (2) resonance-shift model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemperatureField {
+    width: usize,
+    height: usize,
+    ambient_k: f64,
+    temperatures_k: Vec<f64>,
+    iterations: usize,
+}
+
+impl TemperatureField {
+    /// Grid width in cells.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in cells.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Ambient temperature the field is referenced to, in kelvin.
+    #[must_use]
+    pub fn ambient_k(&self) -> f64 {
+        self.ambient_k
+    }
+
+    /// Iterations the solver needed to converge.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Absolute temperature at `(x, y)` in kelvin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::CellOutOfBounds`] outside the grid.
+    pub fn at(&self, x: usize, y: usize) -> Result<f64, ThermalError> {
+        if x >= self.width || y >= self.height {
+            return Err(ThermalError::CellOutOfBounds {
+                x,
+                y,
+                width: self.width,
+                height: self.height,
+            });
+        }
+        Ok(self.temperatures_k[y * self.width + x])
+    }
+
+    /// Temperature rise over ambient at `(x, y)` in kelvin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::CellOutOfBounds`] outside the grid.
+    pub fn delta_at(&self, x: usize, y: usize) -> Result<f64, ThermalError> {
+        Ok(self.at(x, y)? - self.ambient_k)
+    }
+
+    /// Largest temperature rise over ambient anywhere on the grid.
+    #[must_use]
+    pub fn max_delta(&self) -> f64 {
+        self.temperatures_k
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &t| a.max(t))
+            - self.ambient_k
+    }
+
+    /// Mean temperature rise over ambient, in kelvin.
+    #[must_use]
+    pub fn mean_delta(&self) -> f64 {
+        let n = self.temperatures_k.len() as f64;
+        self.temperatures_k.iter().sum::<f64>() / n - self.ambient_k
+    }
+
+    /// Mean temperature rise over the cells of a rectangle, in kelvin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::RegionOutOfBounds`] when the rectangle does
+    /// not fit the grid.
+    pub fn mean_delta_in(&self, rect: crate::Rect) -> Result<f64, ThermalError> {
+        if rect.x + rect.width > self.width || rect.y + rect.height > self.height {
+            return Err(ThermalError::RegionOutOfBounds { index: 0 });
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for y in rect.y..rect.y + rect.height {
+            for x in rect.x..rect.x + rect.width {
+                sum += self.temperatures_k[y * self.width + x];
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return Ok(0.0);
+        }
+        Ok(sum / n as f64 - self.ambient_k)
+    }
+
+    /// Raw temperature buffer in row-major order (kelvin).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.temperatures_k
+    }
+
+    /// Converts the field into a renderable [`Heatmap`] of ΔT values.
+    #[must_use]
+    pub fn to_heatmap(&self) -> Heatmap {
+        Heatmap::from_values(
+            self.width,
+            self.height,
+            self.temperatures_k.iter().map(|t| t - self.ambient_k).collect(),
+        )
+    }
+}
+
+/// Gauss–Seidel/SOR solve of the steady-state balance
+/// `Σ g_lat (T_nb − T) + g_sink (T_amb − T) + P = 0`.
+pub(crate) fn solve_steady_state(
+    width: usize,
+    height: usize,
+    power_w: &[f64],
+    config: &ThermalConfig,
+) -> Result<TemperatureField, ThermalError> {
+    debug_assert_eq!(power_w.len(), width * height);
+    let g_lat = config.lateral_conductance_w_per_k;
+    let g_sink = config.sink_conductance_w_per_k;
+    let omega = config.sor_omega;
+    let ambient = config.ambient_k;
+
+    let mut t = vec![ambient; width * height];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        let mut max_update: f64 = 0.0;
+        for y in 0..height {
+            for x in 0..width {
+                let idx = y * width + x;
+                let mut neighbour_sum = 0.0;
+                let mut degree = 0.0;
+                if x > 0 {
+                    neighbour_sum += t[idx - 1];
+                    degree += 1.0;
+                }
+                if x + 1 < width {
+                    neighbour_sum += t[idx + 1];
+                    degree += 1.0;
+                }
+                if y > 0 {
+                    neighbour_sum += t[idx - width];
+                    degree += 1.0;
+                }
+                if y + 1 < height {
+                    neighbour_sum += t[idx + width];
+                    degree += 1.0;
+                }
+                let diag = g_lat * degree + g_sink;
+                let rhs = g_lat * neighbour_sum + g_sink * ambient + power_w[idx];
+                let gauss_seidel = rhs / diag;
+                let updated = t[idx] + omega * (gauss_seidel - t[idx]);
+                max_update = max_update.max((updated - t[idx]).abs());
+                t[idx] = updated;
+            }
+        }
+        residual = max_update;
+        if residual < config.tolerance_k {
+            return Ok(TemperatureField {
+                width,
+                height,
+                ambient_k: ambient,
+                temperatures_k: t,
+                iterations,
+            });
+        }
+    }
+    Err(ThermalError::NotConverged { iterations, residual_k: residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rect, ThermalGrid};
+
+    fn solve_point_source(size: usize, watts: f64) -> TemperatureField {
+        let mut grid = ThermalGrid::new(size, size, ThermalConfig::default()).unwrap();
+        grid.add_power(size / 2, size / 2, watts).unwrap();
+        grid.solve().unwrap()
+    }
+
+    #[test]
+    fn zero_power_gives_ambient_everywhere() {
+        let grid = ThermalGrid::new(12, 12, ThermalConfig::default()).unwrap();
+        let field = grid.solve().unwrap();
+        assert!(field.max_delta().abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        // With non-negative sources, temperature never drops below ambient.
+        let field = solve_point_source(24, 0.02);
+        for &t in field.as_slice() {
+            assert!(t >= field.ambient_k() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn hotspot_peaks_at_the_source() {
+        let field = solve_point_source(24, 0.02);
+        let centre = field.delta_at(12, 12).unwrap();
+        assert!((field.max_delta() - centre).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotspot_decays_monotonically_along_a_ray() {
+        let field = solve_point_source(32, 0.02);
+        let mut last = f64::INFINITY;
+        for x in 16..30 {
+            let d = field.delta_at(x, 16).unwrap();
+            assert!(d <= last + 1e-12, "ΔT increased away from source at x={x}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn solution_is_linear_in_power() {
+        let f1 = solve_point_source(16, 0.01);
+        let f2 = solve_point_source(16, 0.02);
+        let r = f2.delta_at(8, 8).unwrap() / f1.delta_at(8, 8).unwrap();
+        assert!((r - 2.0).abs() < 1e-3, "ratio {r}");
+    }
+
+    #[test]
+    fn global_energy_balance_holds() {
+        // In steady state, all injected power leaves through the sink:
+        // Σ g_sink (T − T_amb) = Σ P.
+        let cfg = ThermalConfig::default();
+        let mut grid = ThermalGrid::new(20, 20, cfg).unwrap();
+        grid.add_power(5, 5, 0.01).unwrap();
+        grid.add_power(14, 9, 0.03).unwrap();
+        let field = grid.solve().unwrap();
+        let sunk: f64 = field
+            .as_slice()
+            .iter()
+            .map(|t| cfg.sink_conductance_w_per_k * (t - cfg.ambient_k))
+            .sum();
+        assert!((sunk - 0.04).abs() / 0.04 < 1e-3, "sunk {sunk} W");
+    }
+
+    #[test]
+    fn twenty_milliwatt_heater_produces_double_digit_delta() {
+        // Sanity-anchor the default conductances: a ~20 mW trojan heater
+        // should push its ring past the ~15 K one-channel resonance slide.
+        let field = solve_point_source(32, 0.02);
+        let peak = field.max_delta();
+        assert!((10.0..80.0).contains(&peak), "peak ΔT {peak} K");
+    }
+
+    #[test]
+    fn mean_delta_in_region_brackets_extremes() {
+        let field = solve_point_source(24, 0.02);
+        let region = Rect { x: 8, y: 8, width: 8, height: 8 };
+        let mean = field.mean_delta_in(region).unwrap();
+        assert!(mean > 0.0 && mean <= field.max_delta());
+    }
+
+    #[test]
+    fn unconverged_solve_is_reported() {
+        let cfg = ThermalConfig { max_iterations: 2, ..ThermalConfig::default() };
+        let mut grid = ThermalGrid::new(16, 16, cfg).unwrap();
+        grid.add_power(8, 8, 0.02).unwrap();
+        assert!(matches!(grid.solve(), Err(ThermalError::NotConverged { .. })));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the thermal solver.
+
+use proptest::prelude::*;
+use safelight_thermal::{Floorplan, ThermalConfig, ThermalGrid};
+
+fn quick_config() -> ThermalConfig {
+    ThermalConfig { tolerance_k: 1e-5, ..ThermalConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Maximum principle: with non-negative sources the temperature never
+    /// drops below ambient anywhere.
+    #[test]
+    fn no_cell_below_ambient(
+        x in 0usize..12, y in 0usize..12, watts in 0.0f64..0.05,
+    ) {
+        let mut grid = ThermalGrid::new(12, 12, quick_config()).unwrap();
+        grid.add_power(x, y, watts).unwrap();
+        let field = grid.solve().unwrap();
+        for &t in field.as_slice() {
+            prop_assert!(t >= field.ambient_k() - 1e-9);
+        }
+    }
+
+    /// Superposition: the field of two sources equals the sum of the fields
+    /// of each source alone (the steady-state operator is linear).
+    #[test]
+    fn superposition_holds(
+        ax in 0usize..10, ay in 0usize..10,
+        bx in 0usize..10, by in 0usize..10,
+        pa in 0.001f64..0.03, pb in 0.001f64..0.03,
+    ) {
+        let cfg = ThermalConfig { tolerance_k: 1e-8, ..ThermalConfig::default() };
+        let solve = |sources: &[(usize, usize, f64)]| {
+            let mut g = ThermalGrid::new(10, 10, cfg).unwrap();
+            for &(x, y, p) in sources {
+                g.add_power(x, y, p).unwrap();
+            }
+            g.solve().unwrap()
+        };
+        let fa = solve(&[(ax, ay, pa)]);
+        let fb = solve(&[(bx, by, pb)]);
+        let fab = solve(&[(ax, ay, pa), (bx, by, pb)]);
+        for i in 0..fab.as_slice().len() {
+            let lhs = fab.as_slice()[i] - fab.ambient_k();
+            let rhs = (fa.as_slice()[i] - fa.ambient_k()) + (fb.as_slice()[i] - fb.ambient_k());
+            prop_assert!((lhs - rhs).abs() < 1e-3, "superposition broke at {i}: {lhs} vs {rhs}");
+        }
+    }
+
+    /// Energy balance: everything injected leaves through the sink.
+    #[test]
+    fn energy_balance(px in 0usize..16, py in 0usize..16, watts in 0.001f64..0.05) {
+        let cfg = ThermalConfig { tolerance_k: 1e-8, ..ThermalConfig::default() };
+        let mut grid = ThermalGrid::new(16, 16, cfg).unwrap();
+        grid.add_power(px, py, watts).unwrap();
+        let field = grid.solve().unwrap();
+        let sunk: f64 = field
+            .as_slice()
+            .iter()
+            .map(|t| cfg.sink_conductance_w_per_k * (t - cfg.ambient_k))
+            .sum();
+        prop_assert!((sunk - watts).abs() / watts < 1e-2, "sunk {sunk} of {watts}");
+    }
+
+    /// Floorplan ring_cell never lands outside the covering grid and always
+    /// lands inside its own bank's rectangle.
+    #[test]
+    fn ring_cells_stay_in_bank(
+        rows in 1usize..4, cols in 1usize..4,
+        bw in 1usize..8, bh in 1usize..8, gap in 0usize..3,
+    ) {
+        let plan = Floorplan::bank_grid(rows, cols, bw, bh, gap).unwrap();
+        for placement in plan.banks() {
+            for r in 0..bh {
+                for c in 0..bw {
+                    let (x, y) = plan.ring_cell(placement.bank, r, c).unwrap();
+                    prop_assert!(x < plan.grid_width() && y < plan.grid_height());
+                    prop_assert!(placement.rect.contains(x, y));
+                    prop_assert_eq!(plan.bank_at(x, y), Some(placement.bank));
+                }
+            }
+        }
+    }
+
+    /// A heated bank is hotter on average than any bank two or more bank
+    /// pitches away (hotspots are local).
+    #[test]
+    fn heated_bank_is_hottest(bank in 0usize..9) {
+        let plan = Floorplan::bank_grid(3, 3, 4, 4, 2).unwrap();
+        let mut grid = ThermalGrid::new(
+            plan.grid_width(), plan.grid_height(), quick_config(),
+        ).unwrap();
+        let target = plan.bank(bank).unwrap().rect;
+        grid.add_power_region(target, 0.05).unwrap();
+        let field = grid.solve().unwrap();
+        let heated = field.mean_delta_in(target).unwrap();
+        for other in plan.banks() {
+            if other.bank != bank {
+                let t = field.mean_delta_in(other.rect).unwrap();
+                prop_assert!(heated > t, "bank {bank} not hottest vs {}", other.bank);
+            }
+        }
+    }
+}
+
+#[test]
+fn neighbouring_banks_receive_spillover() {
+    // The Fig. 6 behaviour: an attacked bank heats its neighbours
+    // measurably more than distant banks.
+    let plan = Floorplan::bank_grid(3, 3, 6, 6, 2).unwrap();
+    let mut grid =
+        ThermalGrid::new(plan.grid_width(), plan.grid_height(), quick_config()).unwrap();
+    // Attack the centre bank (index 4 of the 3×3 arrangement).
+    grid.add_power_region(plan.bank(4).unwrap().rect, 0.08).unwrap();
+    let field = grid.solve().unwrap();
+    let centre = field.mean_delta_in(plan.bank(4).unwrap().rect).unwrap();
+    let side = field.mean_delta_in(plan.bank(3).unwrap().rect).unwrap();
+    let corner = field.mean_delta_in(plan.bank(0).unwrap().rect).unwrap();
+    assert!(centre > side && side > corner, "{centre} / {side} / {corner}");
+    // Spill into the adjacent bank is a significant fraction of the peak.
+    assert!(side > 0.1 * centre, "side spill too weak: {side} vs {centre}");
+}

@@ -1,0 +1,20 @@
+//! Reproduce the paper's Fig. 6 on demand: heat two CONV banks through the
+//! thermal solver and render the resulting ΔT field.
+//!
+//! ```sh
+//! cargo run --release --example hotspot_heatmap
+//! ```
+
+use safelight::experiment::{run_fig6, ExperimentOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let artifact = run_fig6(&ExperimentOptions::default())?;
+    println!(
+        "attacked banks {:?}; peak dT {:.1} K; mean neighbour spill {:.2} K",
+        artifact.attacked_banks, artifact.peak_delta_kelvin, artifact.neighbour_mean_delta_kelvin
+    );
+    // ASCII rendering (hot areas dense). The CSV/PGM exports are written by
+    // the `repro --fig6` binary.
+    println!("{}", artifact.heatmap.to_ascii());
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train a small CNN, map it onto the optical accelerator,
+//! inject one hardware-trojan attack of each kind, and measure the damage.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use safelight::prelude::*;
+use safelight_datasets::{digits, SyntheticSpec};
+use safelight_neuro::{accuracy, Trainer, TrainerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic MNIST-style dataset (deterministic, no downloads).
+    let data = digits(&SyntheticSpec { train: 1200, test: 300, ..SyntheticSpec::default() })?;
+
+    // 2. The paper's CNN_1 model (2 CONV + 3 FC layers).
+    let bundle = build_model(ModelKind::Cnn1, 42)?;
+    let mut network = bundle.network;
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 10,
+        learning_rate: 0.02,
+        lr_decay_epochs: 5,
+        ..TrainerConfig::default()
+    });
+    let report = trainer.fit(&mut network, &data.train)?;
+    println!("trained CNN_1: final train accuracy {:.1}%", report.final_train_accuracy * 100.0);
+
+    // 3. Map the model onto an accelerator whose structural ratios match
+    //    the paper's (utilization, reuse rounds, bank granularity).
+    let config = matched_accelerator(ModelKind::Cnn1)?;
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs)?;
+    println!(
+        "mapped onto ONN: CONV untilization {:.1}%, FC utilization {:.1}%",
+        mapping.utilization(BlockKind::Conv) * 100.0,
+        mapping.utilization(BlockKind::Fc) * 100.0
+    );
+
+    // 4. Clean accelerator baseline (DAC quantization only).
+    let mut clean = corrupt_network(&network, &mapping, &ConditionMap::new(), &config)?;
+    let baseline = accuracy(&mut clean, &data.test, 32)?;
+    println!("clean ONN accuracy: {:.1}%", baseline * 100.0);
+
+    // 5. One attack of each kind at 5% intensity.
+    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+        let scenario = AttackScenario {
+            vector,
+            target: AttackTarget::Both,
+            fraction: 0.05,
+            trial: 0,
+        };
+        let conditions = inject(&scenario, &config, 7)?;
+        let mut attacked = corrupt_network(&network, &mapping, &conditions, &config)?;
+        let acc = accuracy(&mut attacked, &data.test, 32)?;
+        println!(
+            "{scenario}: accuracy {:.1}% (drop {:.1} points)",
+            acc * 100.0,
+            (baseline - acc) * 100.0
+        );
+    }
+    Ok(())
+}

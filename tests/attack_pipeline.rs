@@ -1,0 +1,144 @@
+//! Attack-injection integration: scenarios -> conditions -> corrupted
+//! networks, checking the paper's qualitative claims.
+
+use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::models::{build_model, matched_accelerator, ModelKind};
+use safelight_datasets::{digits, SyntheticSpec};
+use safelight_neuro::{accuracy, Trainer, TrainerConfig};
+use safelight_onn::{corrupt_network, BlockKind, ConditionMap, WeightMapping};
+
+struct Setup {
+    network: safelight_neuro::Network,
+    mapping: WeightMapping,
+    config: safelight_onn::AcceleratorConfig,
+    test: safelight_neuro::InMemoryDataset,
+    baseline: f64,
+}
+
+fn trained_cnn1() -> Setup {
+    let data = digits(&SyntheticSpec { train: 600, test: 200, ..SyntheticSpec::default() })
+        .unwrap();
+    let bundle = build_model(ModelKind::Cnn1, 5).unwrap();
+    let mut network = bundle.network;
+    let cfg = TrainerConfig {
+        epochs: 6,
+        batch_size: 32,
+        learning_rate: 0.02,
+        lr_decay_epochs: 3,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let mut clean = corrupt_network(&network, &mapping, &ConditionMap::new(), &config).unwrap();
+    let baseline = accuracy(&mut clean, &data.test, 32).unwrap();
+    Setup { network, mapping, config, test: data.test, baseline }
+}
+
+fn accuracy_under(setup: &Setup, scenario: &AttackScenario, seed: u64) -> f64 {
+    let conditions = inject(scenario, &setup.config, seed).unwrap();
+    let mut attacked =
+        corrupt_network(&setup.network, &setup.mapping, &conditions, &setup.config).unwrap();
+    accuracy(&mut attacked, &setup.test, 32).unwrap()
+}
+
+#[test]
+fn attacks_degrade_monotonically_with_intensity_on_average() {
+    let setup = trained_cnn1();
+    assert!(setup.baseline > 0.85, "baseline too low: {}", setup.baseline);
+    // Average over trials to smooth the bank-hit lottery.
+    let mean_at = |fraction: f64| -> f64 {
+        (0..4)
+            .map(|trial| {
+                accuracy_under(
+                    &setup,
+                    &AttackScenario {
+                        vector: AttackVector::Actuation,
+                        target: AttackTarget::FcBlock,
+                        fraction,
+                        trial,
+                    },
+                    11,
+                )
+            })
+            .sum::<f64>()
+            / 4.0
+    };
+    let at_1 = mean_at(0.01);
+    let at_10 = mean_at(0.10);
+    assert!(
+        at_1 >= at_10 - 0.02,
+        "1% ({at_1:.3}) should be gentler than 10% ({at_10:.3})"
+    );
+    assert!(at_10 < setup.baseline, "10% actuation had no effect");
+}
+
+#[test]
+fn conditions_respect_target_blocks() {
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let conv_only = inject(
+        &AttackScenario {
+            vector: AttackVector::Actuation,
+            target: AttackTarget::ConvBlock,
+            fraction: 0.05,
+            trial: 0,
+        },
+        &config,
+        3,
+    )
+    .unwrap();
+    assert!(conv_only.faulty_count(BlockKind::Conv) > 0);
+    assert_eq!(conv_only.faulty_count(BlockKind::Fc), 0);
+}
+
+#[test]
+fn hotspot_attacks_touch_more_rings_than_actuation() {
+    // Hotspots are bank-granular and spill into neighbours, so for the same
+    // nominal fraction they touch at least as many rings (insight 4's
+    // mechanism).
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let mk = |vector| AttackScenario {
+        vector,
+        target: AttackTarget::FcBlock,
+        fraction: 0.05,
+        trial: 2,
+    };
+    let actuation = inject(&mk(AttackVector::Actuation), &config, 9).unwrap();
+    let hotspot = inject(&mk(AttackVector::Hotspot), &config, 9).unwrap();
+    assert!(
+        hotspot.faulty_count(BlockKind::Fc) >= actuation.faulty_count(BlockKind::Fc),
+        "hotspot {} < actuation {}",
+        hotspot.faulty_count(BlockKind::Fc),
+        actuation.faulty_count(BlockKind::Fc)
+    );
+}
+
+#[test]
+fn cnn1_is_more_sensitive_to_fc_than_conv_attacks() {
+    // Paper SS IV: "in the MNIST model, attacking the FC block leads to more
+    // significant accuracy drops" (CNN_1 is FC-dominated).
+    let setup = trained_cnn1();
+    let mean = |target: AttackTarget| -> f64 {
+        (0..4)
+            .map(|trial| {
+                accuracy_under(
+                    &setup,
+                    &AttackScenario {
+                        vector: AttackVector::Actuation,
+                        target,
+                        fraction: 0.10,
+                        trial,
+                    },
+                    13,
+                )
+            })
+            .sum::<f64>()
+            / 4.0
+    };
+    let conv = mean(AttackTarget::ConvBlock);
+    let fc = mean(AttackTarget::FcBlock);
+    assert!(
+        fc <= conv + 0.02,
+        "FC attacks ({fc:.3}) should hurt at least as much as CONV ({conv:.3})"
+    );
+}

@@ -1,0 +1,118 @@
+//! Cross-crate property tests: invariants that span the photonics,
+//! accelerator and attack layers.
+
+use proptest::prelude::*;
+use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::models::{build_model, matched_accelerator, ModelKind};
+use safelight_onn::{
+    corrupt_network, effective_weight_row, AcceleratorConfig, BlockKind, ConditionMap,
+    EffectiveWeightParams, MrCondition, WeightMapping,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Effective weights always stay within the accelerator's full scale,
+    /// whatever the fault pattern.
+    #[test]
+    fn effective_weights_stay_in_full_scale(
+        w in proptest::collection::vec(-1.0f64..1.0, 3..8),
+        park_mask in proptest::collection::vec(any::<bool>(), 3..8),
+        dt in 0.0f64..40.0,
+    ) {
+        let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper().unwrap());
+        let n = w.len().min(park_mask.len());
+        let w = &w[..n];
+        let conds: Vec<MrCondition> = park_mask[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &park)| {
+                if park {
+                    MrCondition::Parked
+                } else if i % 2 == 0 && dt > 0.5 {
+                    MrCondition::Heated { delta_kelvin: dt }
+                } else {
+                    MrCondition::Healthy
+                }
+            })
+            .collect();
+        for v in effective_weight_row(w, &conds, &p) {
+            prop_assert!((-1.0..=1.0).contains(&v), "effective weight {v}");
+        }
+    }
+
+    /// Healthy rows decode to the imprinted weights within DAC precision.
+    #[test]
+    fn healthy_rows_are_faithful(
+        w in proptest::collection::vec(-1.0f64..1.0, 3..10),
+    ) {
+        let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper().unwrap());
+        let conds = vec![MrCondition::Healthy; w.len()];
+        let out = effective_weight_row(&w, &conds, &p);
+        let lsb = 1.0 / f64::from(p.dac_steps.max(1));
+        for (o, expect) in out.iter().zip(&w) {
+            prop_assert!((o - expect).abs() <= lsb + 1e-9, "w {expect} read {o}");
+        }
+    }
+
+    /// Attack injection is deterministic in (scenario, seed) and never
+    /// exceeds the block's ring count.
+    #[test]
+    fn injection_is_deterministic_and_bounded(
+        fraction in 0.01f64..0.15,
+        trial in 0u64..4,
+        seed in 0u64..1000,
+    ) {
+        let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+        let scenario = AttackScenario {
+            vector: AttackVector::Actuation,
+            target: AttackTarget::Both,
+            fraction,
+            trial,
+        };
+        let a = inject(&scenario, &config, seed).unwrap();
+        let b = inject(&scenario, &config, seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        for kind in [BlockKind::Conv, BlockKind::Fc] {
+            let cap = config.block(kind).total_mrs() as usize;
+            prop_assert!(a.faulty_count(kind) <= cap);
+            // Actuation never rounds a fraction up beyond one extra site.
+            let expected = ((cap as f64) * fraction).round() as usize;
+            prop_assert!(a.faulty_count(kind).abs_diff(expected) <= 1);
+        }
+    }
+}
+
+#[test]
+fn corruption_is_idempotent_for_clean_conditions() {
+    // Quantization is a projection: applying the clean accelerator twice
+    // equals applying it once.
+    let bundle = build_model(ModelKind::Cnn1, 9).unwrap();
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let once = corrupt_network(&bundle.network, &mapping, &ConditionMap::new(), &config).unwrap();
+    let twice = corrupt_network(&once, &mapping, &ConditionMap::new(), &config).unwrap();
+    for (a, b) in once.params().iter().zip(twice.params().iter()) {
+        assert_eq!(a.value.as_slice(), b.value.as_slice());
+    }
+}
+
+#[test]
+fn every_model_round_trips_through_its_matched_accelerator() {
+    for kind in ModelKind::all() {
+        let bundle = build_model(kind, 3).unwrap();
+        let config = matched_accelerator(kind).unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+        // Every parameter must have a home, and reuse-round bookkeeping
+        // must be consistent with the used-slot count.
+        for (li, spec) in mapping.layer_specs().iter().enumerate() {
+            let home = mapping.locate(li, spec.weights - 1).unwrap();
+            assert!(home.mr_index < config.block(spec.kind).total_mrs());
+        }
+        for block in [BlockKind::Conv, BlockKind::Fc] {
+            let used = mapping.used_slots(block);
+            let cap = config.block(block).total_mrs();
+            assert_eq!(mapping.rounds(block), used.div_ceil(cap).max(u64::from(used > 0)));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end integration: synthetic data -> training -> accelerator
+//! mapping -> clean optical execution, across all three models.
+
+use safelight::models::{build_model, dataset_kind_for, matched_accelerator, ModelKind};
+use safelight_datasets::{generate, SyntheticSpec};
+use safelight_neuro::{accuracy, Dataset, Trainer, TrainerConfig};
+use safelight_onn::{corrupt_network, BlockKind, ConditionMap, WeightMapping};
+
+fn tiny_spec() -> SyntheticSpec {
+    SyntheticSpec { train: 120, test: 60, ..SyntheticSpec::default() }
+}
+
+#[test]
+fn every_model_trains_and_maps_cleanly() {
+    for kind in ModelKind::all() {
+        let data = generate(dataset_kind_for(kind), &tiny_spec()).unwrap();
+        let bundle = build_model(kind, 5).unwrap();
+        let mut network = bundle.network;
+
+        let cfg = TrainerConfig {
+            epochs: 2,
+            batch_size: 16,
+            learning_rate: 0.02,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
+
+        let config = matched_accelerator(kind).unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+        let mut on_accelerator =
+            corrupt_network(&network, &mapping, &ConditionMap::new(), &config).unwrap();
+
+        // The quantized optical execution must stay close to the software
+        // model: compare accuracies on the test split.
+        let sw = accuracy(&mut network, &data.test, 16).unwrap();
+        let hw = accuracy(&mut on_accelerator, &data.test, 16).unwrap();
+        assert!(
+            (sw - hw).abs() < 0.10,
+            "{kind}: software {sw:.3} vs accelerator {hw:.3}"
+        );
+    }
+}
+
+#[test]
+fn matched_accelerators_preserve_paper_structure() {
+    // The structural ratios that drive susceptibility (DESIGN.md SS4).
+    let checks = [
+        // (model, conv rounds range, fc utilization range)
+        (ModelKind::Cnn1, 1..=1, 0.01..=0.06),
+        (ModelKind::ResNet18s, 100..=120, 0.001..=0.01),
+        (ModelKind::Vgg16s, 80..=100, 0.98..=1.0),
+    ];
+    for (kind, conv_rounds, fc_util) in checks {
+        let bundle = build_model(kind, 1).unwrap();
+        let config = matched_accelerator(kind).unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+        assert!(
+            conv_rounds.contains(&mapping.rounds(BlockKind::Conv)),
+            "{kind}: CONV rounds {}",
+            mapping.rounds(BlockKind::Conv)
+        );
+        assert!(
+            fc_util.contains(&mapping.utilization(BlockKind::Fc)),
+            "{kind}: FC utilization {}",
+            mapping.utilization(BlockKind::Fc)
+        );
+        // VGG must also reuse the FC block heavily (paper: ~89 rounds).
+        if kind == ModelKind::Vgg16s {
+            let r = mapping.rounds(BlockKind::Fc);
+            assert!((80..=100).contains(&r), "VGG FC rounds {r}");
+        }
+    }
+}
+
+#[test]
+fn datasets_have_consistent_shapes_for_their_models() {
+    let expected = [
+        (ModelKind::Cnn1, vec![1, 28, 28]),
+        (ModelKind::ResNet18s, vec![3, 32, 32]),
+        (ModelKind::Vgg16s, vec![3, 64, 64]),
+    ];
+    for (kind, shape) in expected {
+        let data = generate(dataset_kind_for(kind), &tiny_spec()).unwrap();
+        assert_eq!(data.train.image_shape(), shape, "{kind}");
+        assert_eq!(data.train.classes(), 10);
+    }
+}

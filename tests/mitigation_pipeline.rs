@@ -1,0 +1,109 @@
+//! Mitigation integration: variant training -> robustness evaluation ->
+//! recovery, checking the paper's SS V / SS VI claims qualitatively.
+
+use safelight::attack::{AttackScenario, AttackTarget, AttackVector};
+use safelight::defense::{fig8_variants, train_variant, TrainingRecipe, VariantKind};
+use safelight::eval::{run_mitigation, run_recovery};
+use safelight::models::{build_model, matched_accelerator, ModelKind};
+use safelight_datasets::{digits, SyntheticSpec};
+use safelight_onn::WeightMapping;
+
+#[test]
+fn fig8_axis_matches_paper() {
+    let labels: Vec<String> = fig8_variants().iter().map(VariantKind::label).collect();
+    assert_eq!(labels[0], "Original");
+    assert_eq!(labels[1], "L2_reg");
+    assert_eq!(labels.len(), 11);
+}
+
+#[test]
+fn noise_aware_variant_is_more_robust_than_original() {
+    let kind = ModelKind::Cnn1;
+    let data = digits(&SyntheticSpec { train: 600, test: 200, ..SyntheticSpec::default() })
+        .unwrap();
+    let recipe = TrainingRecipe {
+        epochs: 6,
+        ..TrainingRecipe::for_model(kind)
+    };
+    let config = matched_accelerator(kind).unwrap();
+    let bundle = build_model(kind, recipe.seed).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+
+    let original = train_variant(kind, VariantKind::Original, &data, &recipe, None).unwrap();
+    let robust = train_variant(kind, VariantKind::L2Noise(3), &data, &recipe, None).unwrap();
+
+    // Actuation attacks zero individual weights; noise-aware training is
+    // exactly the mitigation the paper proposes for this corruption.
+    let scenarios: Vec<AttackScenario> = (0..6)
+        .map(|trial| AttackScenario {
+            vector: AttackVector::Actuation,
+            target: AttackTarget::Both,
+            fraction: 0.10,
+            trial,
+        })
+        .collect();
+    let report = run_mitigation(
+        &[(VariantKind::Original, original), (VariantKind::L2Noise(3), robust)],
+        &mapping,
+        &config,
+        &data.test,
+        &scenarios,
+        21,
+        2,
+    )
+    .unwrap();
+    let orig = &report.outcomes[0];
+    let robu = &report.outcomes[1];
+    assert!(
+        robu.stats.median >= orig.stats.median - 0.02,
+        "robust median {:.3} should not trail original {:.3}",
+        robu.stats.median,
+        orig.stats.median
+    );
+}
+
+#[test]
+fn recovery_report_is_internally_consistent() {
+    let kind = ModelKind::Cnn1;
+    let data = digits(&SyntheticSpec { train: 300, test: 100, ..SyntheticSpec::default() })
+        .unwrap();
+    let recipe = TrainingRecipe { epochs: 4, ..TrainingRecipe::for_model(kind) };
+    let config = matched_accelerator(kind).unwrap();
+    let bundle = build_model(kind, recipe.seed).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let original = train_variant(kind, VariantKind::Original, &data, &recipe, None).unwrap();
+    let robust = train_variant(kind, VariantKind::L2Noise(3), &data, &recipe, None).unwrap();
+
+    let report = run_recovery(
+        &original, &robust, &mapping, &config, &data.test, &[0.01, 0.05], 3, 31, 2,
+    )
+    .unwrap();
+    assert_eq!(report.intervals.len(), 4); // 2 vectors x 2 fractions
+    for i in &report.intervals {
+        assert!(i.original.0 <= i.original.1 && i.original.1 <= i.original.2);
+        assert!(i.robust.0 <= i.robust.1 && i.robust.1 <= i.robust.2);
+        // Recovery metrics are differences of accuracies, hence bounded.
+        assert!(i.worst_case_recovery().abs() <= 1.0);
+        assert!(i.mean_recovery().abs() <= 1.0);
+    }
+}
+
+#[test]
+fn variant_cache_reuses_trained_models() {
+    let kind = ModelKind::Cnn1;
+    let dir = std::env::temp_dir().join(format!("safelight-it-cache-{}", std::process::id()));
+    let data = digits(&SyntheticSpec { train: 200, test: 50, ..SyntheticSpec::default() })
+        .unwrap();
+    let recipe = TrainingRecipe { epochs: 2, ..TrainingRecipe::for_model(kind) };
+    let first = std::time::Instant::now();
+    let a = train_variant(kind, VariantKind::L2Noise(2), &data, &recipe, Some(&dir)).unwrap();
+    let t_first = first.elapsed();
+    let second = std::time::Instant::now();
+    let b = train_variant(kind, VariantKind::L2Noise(2), &data, &recipe, Some(&dir)).unwrap();
+    let t_second = second.elapsed();
+    for (pa, pb) in a.params().iter().zip(b.params().iter()) {
+        assert_eq!(pa.value.as_slice(), pb.value.as_slice());
+    }
+    assert!(t_second < t_first, "cache load not faster than training");
+    std::fs::remove_dir_all(dir).ok();
+}
