@@ -4,8 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
 use safelight_onn::{
-    corrupt_network, effective_weight_row, AcceleratorConfig, ConditionMap,
-    EffectiveWeightParams, MrCondition, OpticalVdp, WeightMapping,
+    corrupt_network, effective_weight_row, AcceleratorConfig, ConditionMap, EffectiveWeightParams,
+    MrCondition, OpticalVdp, WeightMapping,
 };
 
 fn bench_mapping_locate(c: &mut Criterion) {
@@ -49,7 +49,10 @@ fn bench_optical_vdp(c: &mut Criterion) {
     let weights: Vec<f64> = (0..20).map(|i| (i as f64 / 20.0) - 0.5).collect();
     let conds = vec![MrCondition::Healthy; 20];
     c.bench_function("optical_vdp_dot_20ch", |b| {
-        b.iter(|| vdp.dot(black_box(&inputs), black_box(&weights), &conds).unwrap())
+        b.iter(|| {
+            vdp.dot(black_box(&inputs), black_box(&weights), &conds)
+                .unwrap()
+        })
     });
 }
 

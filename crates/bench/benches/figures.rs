@@ -14,7 +14,11 @@ fn bench_fig7_trial_cnn1(c: &mut Criterion) {
     let kind = ModelKind::Cnn1;
     let data = generate(
         safelight::models::dataset_kind_for(kind),
-        &SyntheticSpec { train: 64, test: 64, ..SyntheticSpec::default() },
+        &SyntheticSpec {
+            train: 64,
+            test: 64,
+            ..SyntheticSpec::default()
+        },
     )
     .unwrap();
     let bundle = build_model(kind, 1).unwrap();
@@ -43,7 +47,9 @@ fn bench_fig6(c: &mut Criterion) {
     let opts = ExperimentOptions::default();
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
-    group.bench_function("conv_block_heatmap", |b| b.iter(|| run_fig6(&opts).unwrap()));
+    group.bench_function("conv_block_heatmap", |b| {
+        b.iter(|| run_fig6(&opts).unwrap())
+    });
     group.finish();
 }
 

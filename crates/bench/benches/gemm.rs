@@ -1,0 +1,114 @@
+//! GEMM engine benchmarks: the tiled multi-threaded kernels against the
+//! straight-ported seed reference, at sizes drawn from the paper's models.
+//!
+//! * `256x256x256` — the headline square product (acceptance target: ≥2×
+//!   over the seed kernels);
+//! * `conv`-shaped products — CNN_1's and the VGG-variant's im2col shapes
+//!   (`M = out_channels`, `K = in_channels·k²`, `N = OH·OW`);
+//! * transposed variants — the backward-pass forms `A·Bᵀ` and `Aᵀ·B`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use safelight_neuro::linalg::reference;
+use safelight_neuro::{matmul, matmul_a_bt, matmul_at_b};
+
+fn fill(len: usize, salt: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as f32).mul_add(0.37, salt)).sin() * 0.5)
+        .collect()
+}
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square");
+    group.sample_size(20);
+    for size in [64usize, 128, 256] {
+        let a = fill(size * size, 1.0);
+        let b = fill(size * size, 2.0);
+        let mut out = vec![0.0f32; size * size];
+        group.bench_with_input(BenchmarkId::new("tiled", size), &size, |bench, &s| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul(black_box(&a), black_box(&b), &mut out, s, s, s);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", size), &size, |bench, &s| {
+            bench.iter(|| {
+                out.fill(0.0);
+                reference::matmul(black_box(&a), black_box(&b), &mut out, s, s, s);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_shapes(c: &mut Criterion) {
+    // (label, M = C_out, K = C_in·k·k, N = OH·OW) from the paper's models.
+    let shapes = [
+        ("cnn1_conv2_32x288x196", 32usize, 288usize, 196usize),
+        ("vgg_conv_64x576x1024", 64, 576, 1024),
+    ];
+    let mut group = c.benchmark_group("gemm_conv_shape");
+    group.sample_size(20);
+    for (label, m, k, n) in shapes {
+        let a = fill(m * k, 1.0);
+        let b = fill(k * n, 2.0);
+        let mut out = vec![0.0f32; m * n];
+        group.bench_function(BenchmarkId::new("tiled", label), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul(black_box(&a), black_box(&b), &mut out, m, k, n);
+            })
+        });
+        group.bench_function(BenchmarkId::new("reference", label), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                reference::matmul(black_box(&a), black_box(&b), &mut out, m, k, n);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed_variants(c: &mut Criterion) {
+    // Backward-pass shapes: dW = dYᵀ·X (Aᵀ·B) and y = x·Wᵀ (A·Bᵀ).
+    let (m, k, n) = (128usize, 256usize, 128usize);
+    let a = fill(m * k, 1.0);
+    let a_t = fill(k * m, 1.0);
+    let b = fill(k * n, 2.0);
+    let b_t = fill(n * k, 2.0);
+    let mut out = vec![0.0f32; m * n];
+    let mut group = c.benchmark_group("gemm_transposed");
+    group.sample_size(20);
+    group.bench_function("tiled/a_bt_128x256x128", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            matmul_a_bt(black_box(&a), black_box(&b_t), &mut out, m, k, n);
+        })
+    });
+    group.bench_function("reference/a_bt_128x256x128", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            reference::matmul_a_bt(black_box(&a), black_box(&b_t), &mut out, m, k, n);
+        })
+    });
+    group.bench_function("tiled/at_b_128x256x128", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            matmul_at_b(black_box(&a_t), black_box(&b), &mut out, m, k, n);
+        })
+    });
+    group.bench_function("reference/at_b_128x256x128", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            reference::matmul_at_b(black_box(&a_t), black_box(&b), &mut out, m, k, n);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_square,
+    bench_conv_shapes,
+    bench_transposed_variants
+);
+criterion_main!(benches);

@@ -42,5 +42,10 @@ fn bench_thermal_shift(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_through_transmission, bench_imprint, bench_thermal_shift);
+criterion_group!(
+    benches,
+    bench_through_transmission,
+    bench_imprint,
+    bench_thermal_shift
+);
 criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Attack-sweep throughput: a full `run_susceptibility` over the §IV
+//! scenario grid, serial versus fanned out across the worker pool.
+//!
+//! For the seed-kernel baseline quoted in `docs/perf.md`, run the same
+//! bench with `SAFELIGHT_GEMM_IMPL=reference`, which routes every matmul
+//! through the straight-ported seed loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safelight::attack::{AttackScenario, AttackTarget, AttackVector};
+use safelight::eval::run_susceptibility;
+use safelight::models::{build_model, ModelKind};
+use safelight_datasets::{digits, SyntheticSpec};
+use safelight_neuro::parallel::pool_size;
+use safelight_neuro::{Trainer, TrainerConfig};
+use safelight_onn::{AcceleratorConfig, WeightMapping};
+
+fn scenario_grid() -> Vec<AttackScenario> {
+    let mut scenarios = Vec::new();
+    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+        for fraction in [0.05, 0.10] {
+            for trial in 0..3 {
+                scenarios.push(AttackScenario {
+                    vector,
+                    target: AttackTarget::Both,
+                    fraction,
+                    trial,
+                });
+            }
+        }
+    }
+    scenarios
+}
+
+fn bench_susceptibility_sweep(c: &mut Criterion) {
+    let data = digits(&SyntheticSpec {
+        train: 120,
+        test: 96,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
+    let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+    let mut network = bundle.network;
+    let cfg = TrainerConfig {
+        epochs: 2,
+        batch_size: 20,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
+    let config = AcceleratorConfig::scaled_experiment().unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let scenarios = scenario_grid();
+
+    let mut group = c.benchmark_group("susceptibility_sweep");
+    group.sample_size(10);
+    group.bench_function("cnn1_12_scenarios_serial", |b| {
+        b.iter(|| {
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap()
+        })
+    });
+    group.bench_function(format!("cnn1_12_scenarios_pool{}", pool_size()), |b| {
+        b.iter(|| {
+            run_susceptibility(
+                &network,
+                &mapping,
+                &config,
+                &data.test,
+                &scenarios,
+                7,
+                pool_size(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_susceptibility_sweep);
+criterion_main!(benches);

@@ -20,14 +20,21 @@ fn bench_solve(c: &mut Criterion) {
 fn bench_bank_attack_solve(c: &mut Criterion) {
     // The Fig. 6 configuration: a floorplan of banks with two heated.
     let plan = Floorplan::bank_grid(5, 5, 8, 8, 2).unwrap();
-    let mut grid =
-        ThermalGrid::new(plan.grid_width(), plan.grid_height(), ThermalConfig::default())
-            .unwrap();
-    grid.add_power_region(plan.bank(6).unwrap().rect, 0.06).unwrap();
-    grid.add_power_region(plan.bank(18).unwrap().rect, 0.06).unwrap();
+    let mut grid = ThermalGrid::new(
+        plan.grid_width(),
+        plan.grid_height(),
+        ThermalConfig::default(),
+    )
+    .unwrap();
+    grid.add_power_region(plan.bank(6).unwrap().rect, 0.06)
+        .unwrap();
+    grid.add_power_region(plan.bank(18).unwrap().rect, 0.06)
+        .unwrap();
     let mut group = c.benchmark_group("thermal_bank_attack");
     group.sample_size(10);
-    group.bench_function("5x5_banks_two_attacked", |b| b.iter(|| grid.solve().unwrap()));
+    group.bench_function("5x5_banks_two_attacked", |b| {
+        b.iter(|| grid.solve().unwrap())
+    });
     group.finish();
 }
 

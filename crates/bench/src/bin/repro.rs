@@ -175,7 +175,11 @@ fn print_fig7(
         "vector", "target", "pct", "min", "mean", "max"
     );
     for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
-        for target in [AttackTarget::ConvBlock, AttackTarget::FcBlock, AttackTarget::Both] {
+        for target in [
+            AttackTarget::ConvBlock,
+            AttackTarget::FcBlock,
+            AttackTarget::Both,
+        ] {
             for fraction in opts.fractions() {
                 let accs: Vec<f64> = report
                     .filtered(|s| {
@@ -279,7 +283,12 @@ fn print_fig9(
                 pct(i.original.1),
                 pct(i.original.2)
             ),
-            format!("{} / {} / {}", pct(i.robust.0), pct(i.robust.1), pct(i.robust.2)),
+            format!(
+                "{} / {} / {}",
+                pct(i.robust.0),
+                pct(i.robust.1),
+                pct(i.robust.2)
+            ),
             pct(i.worst_case_recovery())
         );
     }
@@ -315,7 +324,10 @@ fn print_ablation(kind: ModelKind, opts: &ExperimentOptions) -> Result<(), Safel
         opts.seed,
         opts.threads,
     )?;
-    println!("{:<10} {:>10} {:>26}", "variant", "baseline", "median under 5% attacks");
+    println!(
+        "{:<10} {:>10} {:>26}",
+        "variant", "baseline", "median under 5% attacks"
+    );
     for o in &report.outcomes {
         println!(
             "{:<10} {:>10} {:>26}",
@@ -335,7 +347,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let opts = ExperimentOptions { fidelity: args.fidelity, ..ExperimentOptions::default() };
+    let opts = ExperimentOptions {
+        fidelity: args.fidelity,
+        ..ExperimentOptions::default()
+    };
     let started = std::time::Instant::now();
 
     let run = || -> Result<(), SafelightError> {

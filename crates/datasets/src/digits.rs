@@ -7,19 +7,22 @@ use crate::spec::{SplitDataset, SyntheticSpec};
 
 const SIZE: usize = 28;
 
+/// A stroke segment: `(start, end)` points in normalized glyph space.
+type Segment = ((f32, f32), (f32, f32));
+
 /// Seven-segment-style endpoints in normalized glyph space for digits 0–9,
 /// augmented with diagonals so all ten classes are mutually distinctive.
-fn glyph_segments(digit: usize) -> &'static [((f32, f32), (f32, f32))] {
+fn glyph_segments(digit: usize) -> &'static [Segment] {
     // Segment endpoints (x, y) with y growing downward.
-    const TOP: ((f32, f32), (f32, f32)) = ((0.2, 0.15), (0.8, 0.15));
-    const MID: ((f32, f32), (f32, f32)) = ((0.2, 0.5), (0.8, 0.5));
-    const BOTTOM: ((f32, f32), (f32, f32)) = ((0.2, 0.85), (0.8, 0.85));
-    const TL: ((f32, f32), (f32, f32)) = ((0.2, 0.15), (0.2, 0.5));
-    const TR: ((f32, f32), (f32, f32)) = ((0.8, 0.15), (0.8, 0.5));
-    const BL: ((f32, f32), (f32, f32)) = ((0.2, 0.5), (0.2, 0.85));
-    const BR: ((f32, f32), (f32, f32)) = ((0.8, 0.5), (0.8, 0.85));
-    const DIAG: ((f32, f32), (f32, f32)) = ((0.8, 0.15), (0.3, 0.85));
-    const STEM: ((f32, f32), (f32, f32)) = ((0.5, 0.15), (0.5, 0.85));
+    const TOP: Segment = ((0.2, 0.15), (0.8, 0.15));
+    const MID: Segment = ((0.2, 0.5), (0.8, 0.5));
+    const BOTTOM: Segment = ((0.2, 0.85), (0.8, 0.85));
+    const TL: Segment = ((0.2, 0.15), (0.2, 0.5));
+    const TR: Segment = ((0.8, 0.15), (0.8, 0.5));
+    const BL: Segment = ((0.2, 0.5), (0.2, 0.85));
+    const BR: Segment = ((0.8, 0.5), (0.8, 0.85));
+    const DIAG: Segment = ((0.8, 0.15), (0.3, 0.85));
+    const STEM: Segment = ((0.5, 0.15), (0.5, 0.85));
 
     match digit {
         0 => &[TOP, BOTTOM, TL, TR, BL, BR],
@@ -111,7 +114,11 @@ mod tests {
     use safelight_neuro::Dataset;
 
     fn spec() -> SyntheticSpec {
-        SyntheticSpec { train: 40, test: 20, ..SyntheticSpec::default() }
+        SyntheticSpec {
+            train: 40,
+            test: 20,
+            ..SyntheticSpec::default()
+        }
     }
 
     #[test]
@@ -157,7 +164,13 @@ mod tests {
     #[test]
     fn glyphs_of_different_digits_differ() {
         // Render without jitter/noise: class templates must be distinct.
-        let clean = SyntheticSpec { train: 10, test: 10, noise_std: 0.0, jitter: 0.0, seed: 1 };
+        let clean = SyntheticSpec {
+            train: 10,
+            test: 10,
+            noise_std: 0.0,
+            jitter: 0.0,
+            seed: 1,
+        };
         let split = digits(&clean).unwrap();
         for i in 0..10 {
             for j in (i + 1)..10 {

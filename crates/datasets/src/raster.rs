@@ -10,7 +10,11 @@ pub(crate) struct Canvas {
 
 impl Canvas {
     pub(crate) fn new(width: usize, height: usize) -> Self {
-        Self { width, height, pixels: vec![0.0; width * height] }
+        Self {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
     }
 
     /// Additively blends `value` into `(x, y)`, clamping to `[0, 1]`.
@@ -94,12 +98,7 @@ impl Canvas {
     }
 
     /// Draws an axis-aligned filled rectangle.
-    pub(crate) fn rect(
-        &mut self,
-        (x0, y0): (f32, f32),
-        (x1, y1): (f32, f32),
-        intensity: f32,
-    ) {
+    pub(crate) fn rect(&mut self, (x0, y0): (f32, f32), (x1, y1): (f32, f32), intensity: f32) {
         for y in y0.floor() as isize..=y1.ceil() as isize {
             for x in x0.floor() as isize..=x1.ceil() as isize {
                 self.blend(x, y, intensity);
@@ -177,7 +176,11 @@ mod tests {
 
     #[test]
     fn affine_identity_maps_unit_square_to_canvas() {
-        let t = Affine { scale: 1.0, rotation: 0.0, translate: (0.0, 0.0) };
+        let t = Affine {
+            scale: 1.0,
+            rotation: 0.0,
+            translate: (0.0, 0.0),
+        };
         let (x, y) = t.apply((0.5, 0.5), 28.0);
         assert!((x - 14.0).abs() < 1e-5 && (y - 14.0).abs() < 1e-5);
     }

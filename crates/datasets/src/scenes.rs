@@ -18,8 +18,11 @@ struct SceneClass {
     objects: usize,
 }
 
+/// One row of the class table: `(freq_x, freq_y, tint_rgb, objects)`.
+type SceneRow = (f32, f32, (f32, f32, f32), usize);
+
 fn class_params(class: usize) -> SceneClass {
-    let table: [(f32, f32, (f32, f32, f32), usize); 10] = [
+    let table: [SceneRow; 10] = [
         (0.15, 0.02, (0.8, 0.5, 0.3), 1),
         (0.02, 0.15, (0.3, 0.7, 0.4), 1),
         (0.10, 0.10, (0.4, 0.4, 0.8), 2),
@@ -32,7 +35,12 @@ fn class_params(class: usize) -> SceneClass {
         (0.35, 0.35, (0.7, 0.7, 0.7), 5),
     ];
     let (fx, fy, hue, objects) = table[class % 10];
-    SceneClass { fx, fy, hue, objects }
+    SceneClass {
+        fx,
+        fy,
+        hue,
+        objects,
+    }
 }
 
 fn render_scene(class: usize, rng: &mut SimRng, spec: &SyntheticSpec) -> Tensor {
@@ -124,7 +132,11 @@ mod tests {
     use safelight_neuro::Dataset;
 
     fn spec() -> SyntheticSpec {
-        SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() }
+        SyntheticSpec {
+            train: 20,
+            test: 10,
+            ..SyntheticSpec::default()
+        }
     }
 
     #[test]
@@ -145,7 +157,13 @@ mod tests {
 
     #[test]
     fn different_classes_have_different_textures() {
-        let clean = SyntheticSpec { train: 10, test: 10, noise_std: 0.0, jitter: 0.0, seed: 5 };
+        let clean = SyntheticSpec {
+            train: 10,
+            test: 10,
+            noise_std: 0.0,
+            jitter: 0.0,
+            seed: 5,
+        };
         let split = textured_scenes(&clean).unwrap();
         let (a, _) = split.train.item(0).unwrap();
         let (b, _) = split.train.item(1).unwrap();

@@ -61,7 +61,10 @@ fn render_shape(class: usize, rng: &mut SimRng, spec: &SyntheticSpec) -> Tensor 
     let (cr, cg, cb) = (wobble(cr, rng), wobble(cg, rng), wobble(cb, rng));
 
     // Textured background: low-frequency gradient plus noise.
-    let (gx, gy) = (rng.uniform_in(-0.3, 0.3) as f32, rng.uniform_in(-0.3, 0.3) as f32);
+    let (gx, gy) = (
+        rng.uniform_in(-0.3, 0.3) as f32,
+        rng.uniform_in(-0.3, 0.3) as f32,
+    );
     let base = rng.uniform_in(0.1, 0.3) as f32;
 
     let mut data = vec![0.0f32; 3 * SIZE * SIZE];
@@ -133,7 +136,11 @@ mod tests {
     use safelight_neuro::Dataset;
 
     fn spec() -> SyntheticSpec {
-        SyntheticSpec { train: 30, test: 10, ..SyntheticSpec::default() }
+        SyntheticSpec {
+            train: 30,
+            test: 10,
+            ..SyntheticSpec::default()
+        }
     }
 
     #[test]
@@ -155,7 +162,13 @@ mod tests {
     #[test]
     fn classes_are_colour_separated_on_average() {
         // Mean red-channel of class 0 (red) must exceed class 2 (blue).
-        let clean = SyntheticSpec { train: 40, test: 10, noise_std: 0.0, jitter: 0.2, seed: 3 };
+        let clean = SyntheticSpec {
+            train: 40,
+            test: 10,
+            noise_std: 0.0,
+            jitter: 0.2,
+            seed: 3,
+        };
         let split = tinted_shapes(&clean).unwrap();
         let mean_red = |class: usize| -> f32 {
             let mut sum = 0.0;

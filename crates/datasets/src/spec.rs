@@ -41,7 +41,13 @@ pub struct SyntheticSpec {
 
 impl Default for SyntheticSpec {
     fn default() -> Self {
-        Self { train: 2000, test: 500, seed: 7, noise_std: 0.05, jitter: 0.5 }
+        Self {
+            train: 2000,
+            test: 500,
+            seed: 7,
+            noise_std: 0.05,
+            jitter: 0.5,
+        }
     }
 }
 

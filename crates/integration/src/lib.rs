@@ -1,1 +1,11 @@
-// placeholder
+//! Workspace-level integration targets.
+//!
+//! This crate carries no library code. Its manifest wires the repository's
+//! top-level `tests/` (cross-crate pipelines and properties) and
+//! `examples/` (quickstart, susceptibility sweep, robust training, hotspot
+//! heatmap) into cargo as explicit `[[test]]` and `[[example]]` targets, so
+//! `cargo test` and `cargo build --examples` cover them from the workspace
+//! root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -93,14 +93,22 @@ impl InMemoryDataset {
             });
         }
         if images.is_empty() {
-            return Err(NeuroError::InvalidDataset { context: "dataset is empty" });
+            return Err(NeuroError::InvalidDataset {
+                context: "dataset is empty",
+            });
         }
         let shape = images[0].shape().to_vec();
         if images.iter().any(|i| i.shape() != shape.as_slice()) {
-            return Err(NeuroError::InvalidDataset { context: "inconsistent image shapes" });
+            return Err(NeuroError::InvalidDataset {
+                context: "inconsistent image shapes",
+            });
         }
         let classes = labels.iter().copied().max().unwrap_or(0) + 1;
-        Ok(Self { images, labels, classes })
+        Ok(Self {
+            images,
+            labels,
+            classes,
+        })
     }
 }
 
@@ -111,7 +119,9 @@ impl Dataset for InMemoryDataset {
 
     fn item(&self, index: usize) -> Result<(Tensor, usize), NeuroError> {
         if index >= self.images.len() {
-            return Err(NeuroError::InvalidDataset { context: "item index out of range" });
+            return Err(NeuroError::InvalidDataset {
+                context: "item index out of range",
+            });
         }
         Ok((self.images[index].clone(), self.labels[index]))
     }
@@ -154,10 +164,14 @@ impl<'a, D: Dataset> Subset<'a, D> {
     /// or the subset is empty.
     pub fn new(base: &'a D, indices: Vec<usize>) -> Result<Self, NeuroError> {
         if indices.is_empty() {
-            return Err(NeuroError::InvalidDataset { context: "subset is empty" });
+            return Err(NeuroError::InvalidDataset {
+                context: "subset is empty",
+            });
         }
         if indices.iter().any(|&i| i >= base.len()) {
-            return Err(NeuroError::InvalidDataset { context: "subset index out of range" });
+            return Err(NeuroError::InvalidDataset {
+                context: "subset index out of range",
+            });
         }
         Ok(Self { base, indices })
     }
@@ -169,10 +183,9 @@ impl<D: Dataset> Dataset for Subset<'_, D> {
     }
 
     fn item(&self, index: usize) -> Result<(Tensor, usize), NeuroError> {
-        let &mapped = self
-            .indices
-            .get(index)
-            .ok_or(NeuroError::InvalidDataset { context: "item index out of range" })?;
+        let &mapped = self.indices.get(index).ok_or(NeuroError::InvalidDataset {
+            context: "item index out of range",
+        })?;
         self.base.item(mapped)
     }
 

@@ -52,8 +52,15 @@ pub enum NeuroError {
 impl fmt::Display for NeuroError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShapeMismatch { context, expected, actual } => {
-                write!(f, "shape mismatch in {context}: expected {expected:?}, got {actual:?}")
+            Self::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected:?}, got {actual:?}"
+                )
             }
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter `{name}`")
@@ -74,7 +81,9 @@ impl Error for NeuroError {}
 
 impl From<std::io::Error> for NeuroError {
     fn from(e: std::io::Error) -> Self {
-        Self::Io { message: e.to_string() }
+        Self::Io {
+            message: e.to_string(),
+        }
     }
 }
 

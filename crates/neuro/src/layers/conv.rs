@@ -3,9 +3,16 @@
 use crate::init::he_normal;
 use crate::layers::{Layer, Param};
 use crate::linalg::{matmul, matmul_a_bt, matmul_at_b};
-use crate::parallel::join_chunks;
+use crate::parallel::map_blocks;
 use crate::rng::SimRng;
+use crate::scratch::{self, Slot};
 use crate::{NeuroError, Tensor};
+
+/// Samples per parallel work block. The block layout depends only on the
+/// batch size, never on the thread count, so per-block gradient reductions
+/// combine in a fixed order and backward results are bitwise stable across
+/// thread counts.
+const BATCH_BLOCK: usize = 4;
 
 /// A 2-D convolution over `[N, C, H, W]` batches.
 ///
@@ -83,7 +90,10 @@ impl Conv2d {
     /// Returns [`NeuroError::InvalidParameter`] when `stride == 0`.
     pub fn with_stride(mut self, stride: usize) -> Result<Self, NeuroError> {
         if stride == 0 {
-            return Err(NeuroError::InvalidParameter { name: "stride", value: 0.0 });
+            return Err(NeuroError::InvalidParameter {
+                name: "stride",
+                value: 0.0,
+            });
         }
         self.stride = stride;
         Ok(self)
@@ -138,10 +148,16 @@ impl Conv2d {
                 actual: vec![h, w],
             });
         }
-        Ok(((he - self.kernel) / self.stride + 1, (we - self.kernel) / self.stride + 1))
+        Ok((
+            (he - self.kernel) / self.stride + 1,
+            (we - self.kernel) / self.stride + 1,
+        ))
     }
 
-    /// Gathers sample `n`'s receptive fields into `col[K][OH·OW]`.
+    /// Gathers sample `n`'s receptive fields into the block im2col buffer:
+    /// row `r` of the logical `[K][ld]` matrix starts at `col[r*ld]`, and
+    /// this sample's `OH·OW` columns start at `offset`. The buffer must be
+    /// pre-zeroed (padding cells are simply left untouched).
     #[allow(clippy::too_many_arguments)]
     fn im2col(
         &self,
@@ -152,16 +168,17 @@ impl Conv2d {
         oh: usize,
         ow: usize,
         col: &mut [f32],
+        ld: usize,
+        offset: usize,
     ) {
         let k = self.kernel;
         let sample = &input[n * self.in_channels * h * w..];
-        col.fill(0.0);
         for ic in 0..self.in_channels {
             let plane = &sample[ic * h * w..(ic + 1) * h * w];
             for kh in 0..k {
                 for kw in 0..k {
                     let row = (ic * k + kh) * k + kw;
-                    let out_row = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                    let out_row = &mut col[row * ld + offset..row * ld + offset + oh * ow];
                     for oy in 0..oh {
                         let iy = oy * self.stride + kh;
                         if iy < self.padding || iy >= h + self.padding {
@@ -181,7 +198,8 @@ impl Conv2d {
         }
     }
 
-    /// Scatters `col`-layout gradients back into sample `n` of `grad_input`.
+    /// Scatters `col`-layout gradients (same `[K][ld]` layout and sample
+    /// `offset` as [`Self::im2col`]) back into sample `n` of `grad_input`.
     #[allow(clippy::too_many_arguments)]
     fn col2im(
         &self,
@@ -192,6 +210,8 @@ impl Conv2d {
         oh: usize,
         ow: usize,
         grad_input: &mut [f32],
+        ld: usize,
+        offset: usize,
     ) {
         let k = self.kernel;
         let sample = &mut grad_input[n * self.in_channels * h * w..];
@@ -199,7 +219,7 @@ impl Conv2d {
             for kh in 0..k {
                 for kw in 0..k {
                     let row = (ic * k + kh) * k + kw;
-                    let col_row = &col[row * oh * ow..(row + 1) * oh * ow];
+                    let col_row = &col[row * ld + offset..row * ld + offset + oh * ow];
                     for oy in 0..oh {
                         let iy = oy * self.stride + kh;
                         if iy < self.padding || iy >= h + self.padding {
@@ -248,21 +268,38 @@ impl Layer for Conv2d {
         let weight = self.weight.value.as_slice();
         let bias = self.bias.value.as_slice();
 
-        let chunks = join_chunks(n, self.threads, |start, end| {
-            let mut col = vec![0.0f32; kdim * oh * ow];
-            let mut out = vec![0.0f32; (end - start) * per_sample_out];
-            for s in start..end {
-                self.im2col(x, s, h, w, oh, ow, &mut col);
-                let out_s = &mut out[(s - start) * per_sample_out..(s - start + 1) * per_sample_out];
-                matmul(weight, &col, out_s, self.out_channels, kdim, oh * ow);
-                for oc in 0..self.out_channels {
-                    let b = bias[oc];
-                    for v in &mut out_s[oc * oh * ow..(oc + 1) * oh * ow] {
-                        *v += b;
-                    }
+        // Per-block workers gather a whole block of samples into one wide
+        // im2col matrix and run a single GEMM over it (`N = block·OH·OW`),
+        // so panel packing amortizes across batch items; the buffers come
+        // from the thread's scratch arena instead of fresh allocations.
+        let chunks = map_blocks(n, BATCH_BLOCK, self.threads > 1, |start, end| {
+            let block_len = end - start;
+            let ncols = block_len * oh * ow;
+            scratch::with_buffer(Slot::Col, |col| {
+                col.clear();
+                col.resize(kdim * ncols, 0.0);
+                for s in start..end {
+                    self.im2col(x, s, h, w, oh, ow, col, ncols, (s - start) * oh * ow);
                 }
-            }
-            out
+                scratch::with_buffer(Slot::OutBlock, |gemm_out| {
+                    gemm_out.clear();
+                    gemm_out.resize(self.out_channels * ncols, 0.0);
+                    matmul(weight, col, gemm_out, self.out_channels, kdim, ncols);
+                    // Scatter [oc][sample·OH·OW] → [sample][oc][OH·OW], adding bias.
+                    let mut out = vec![0.0f32; block_len * per_sample_out];
+                    for si in 0..block_len {
+                        for oc in 0..self.out_channels {
+                            let src = &gemm_out[oc * ncols + si * oh * ow..][..oh * ow];
+                            let dst = &mut out[si * per_sample_out + oc * oh * ow..][..oh * ow];
+                            let b = bias[oc];
+                            for (d, &v) in dst.iter_mut().zip(src) {
+                                *d = v + b;
+                            }
+                        }
+                    }
+                    out
+                })
+            })
         });
 
         let mut data = Vec::with_capacity(n * per_sample_out);
@@ -297,31 +334,57 @@ impl Layer for Conv2d {
         let per_sample_in = self.in_channels * h * w;
         let per_sample_out = self.out_channels * oh * ow;
 
-        // Each worker accumulates private dW/db plus its slice of dX.
-        let partials = join_chunks(n, self.threads, |start, end| {
-            let mut col = vec![0.0f32; kdim * oh * ow];
-            let mut grad_col = vec![0.0f32; kdim * oh * ow];
-            let mut dw = vec![0.0f32; self.out_channels * kdim];
-            let mut db = vec![0.0f32; self.out_channels];
-            let mut dx = vec![0.0f32; (end - start) * per_sample_in];
-            for s in start..end {
-                let go_s = &go[s * per_sample_out..(s + 1) * per_sample_out];
-                self.im2col(x, s, h, w, oh, ow, &mut col);
-                // dW += dY · colᵀ
-                matmul_a_bt(go_s, &col, &mut dw, self.out_channels, oh * ow, kdim);
-                // db += row sums of dY
-                for oc in 0..self.out_channels {
-                    db[oc] += go_s[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
-                }
-                // dCol = Wᵀ · dY, then scatter back to dX
-                grad_col.fill(0.0);
-                matmul_at_b(weight, go_s, &mut grad_col, kdim, self.out_channels, oh * ow);
-                let dx_view =
-                    &mut dx[(s - start) * per_sample_in..(s - start + 1) * per_sample_in];
-                // col2im works on a whole batch buffer; index sample 0 of the view.
-                self.col2im(&grad_col, 0, h, w, oh, ow, dx_view);
-            }
-            (dw, db, dx)
+        // Each fixed-size batch block accumulates private dW/db plus its
+        // slice of dX; the blocks then reduce in index order, so the sum
+        // order — and the result, bit for bit — does not depend on how many
+        // workers ran them.
+        let partials = map_blocks(n, BATCH_BLOCK, self.threads > 1, |start, end| {
+            let block_len = end - start;
+            let ncols = block_len * oh * ow;
+            scratch::with_buffer(Slot::Col, |col| {
+                scratch::with_buffer(Slot::GradCol, |grad_col| {
+                    scratch::with_buffer(Slot::YBlock, |go_block| {
+                        // Block im2col, as in forward.
+                        col.clear();
+                        col.resize(kdim * ncols, 0.0);
+                        for s in start..end {
+                            self.im2col(x, s, h, w, oh, ow, col, ncols, (s - start) * oh * ow);
+                        }
+                        // Gather dY into the matching [oc][sample·OH·OW] layout.
+                        go_block.clear();
+                        go_block.resize(self.out_channels * ncols, 0.0);
+                        for (si, s) in (start..end).enumerate() {
+                            let go_s = &go[s * per_sample_out..(s + 1) * per_sample_out];
+                            for oc in 0..self.out_channels {
+                                go_block[oc * ncols + si * oh * ow..][..oh * ow]
+                                    .copy_from_slice(&go_s[oc * oh * ow..(oc + 1) * oh * ow]);
+                            }
+                        }
+                        let mut dw = vec![0.0f32; self.out_channels * kdim];
+                        let mut db = vec![0.0f32; self.out_channels];
+                        let mut dx = vec![0.0f32; block_len * per_sample_in];
+                        // dW += dY · colᵀ — one GEMM over the whole block.
+                        matmul_a_bt(go_block, col, &mut dw, self.out_channels, ncols, kdim);
+                        // db += row sums of dY, straight off the gathered
+                        // [oc][sample·OH·OW] rows (same element order as the
+                        // per-sample walk, so numerics are unchanged).
+                        for (oc, db_oc) in db.iter_mut().enumerate() {
+                            *db_oc += go_block[oc * ncols..(oc + 1) * ncols].iter().sum::<f32>();
+                        }
+                        // dCol = Wᵀ · dY — one GEMM — then scatter per sample.
+                        grad_col.clear();
+                        grad_col.resize(kdim * ncols, 0.0);
+                        matmul_at_b(weight, go_block, grad_col, kdim, self.out_channels, ncols);
+                        for (si, _) in (start..end).enumerate() {
+                            let dx_view = &mut dx[si * per_sample_in..(si + 1) * per_sample_in];
+                            // col2im indexes sample 0 of the view; the block
+                            // column offset selects the right columns.
+                            self.col2im(grad_col, 0, h, w, oh, ow, dx_view, ncols, si * oh * ow);
+                        }
+                        (dw, db, dx)
+                    })
+                })
+            })
         });
 
         let mut grad_input = vec![0.0f32; n * per_sample_in];
@@ -359,14 +422,18 @@ mod tests {
     #[test]
     fn same_padding_preserves_spatial_size() {
         let mut conv = Conv2d::new(2, 3, 3, 1).unwrap();
-        let y = conv.forward(&Tensor::zeros(vec![1, 2, 7, 7]), false).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(vec![1, 2, 7, 7]), false)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 3, 7, 7]);
     }
 
     #[test]
     fn stride_two_halves_spatial_size() {
         let mut conv = Conv2d::new(1, 1, 3, 1).unwrap().with_stride(2).unwrap();
-        let y = conv.forward(&Tensor::zeros(vec![1, 1, 8, 8]), false).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(vec![1, 1, 8, 8]), false)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 1, 4, 4]);
     }
 
@@ -386,11 +453,8 @@ mod tests {
         // All-ones 3×3 kernel with zero padding sums each neighbourhood.
         let mut conv = Conv2d::new(1, 1, 3, 1).unwrap().with_padding(0);
         conv.weight.value.fill(1.0);
-        let x = Tensor::from_vec(
-            vec![1, 1, 3, 3],
-            vec![1., 1., 1., 1., 1., 1., 1., 1., 1.],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 1, 3, 3], vec![1., 1., 1., 1., 1., 1., 1., 1., 1.]).unwrap();
         let y = conv.forward(&x, false).unwrap();
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
         assert!((y.as_slice()[0] - 9.0).abs() < 1e-6);
@@ -399,7 +463,9 @@ mod tests {
     #[test]
     fn wrong_channel_count_is_rejected() {
         let mut conv = Conv2d::new(3, 4, 3, 1).unwrap();
-        assert!(conv.forward(&Tensor::zeros(vec![1, 2, 8, 8]), false).is_err());
+        assert!(conv
+            .forward(&Tensor::zeros(vec![1, 2, 8, 8]), false)
+            .is_err());
     }
 
     #[test]

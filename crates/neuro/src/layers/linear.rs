@@ -8,6 +8,12 @@ use crate::{NeuroError, Tensor};
 
 /// A fully connected layer `y = x·Wᵀ + b` over `[N, in]` batches.
 ///
+/// All three products (forward, `dW`, `dX`) are single calls into the
+/// tiled GEMM engine, which fans large row ranges out across the shared
+/// worker pool internally; the batch reduction inside `dW` happens in the
+/// engine's fixed panel order, so gradients are bitwise stable across
+/// thread counts.
+///
 /// # Example
 ///
 /// ```
@@ -38,7 +44,10 @@ impl Linear {
     /// Returns [`NeuroError::InvalidParameter`] when either dimension is 0.
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Result<Self, NeuroError> {
         if in_features == 0 || out_features == 0 {
-            return Err(NeuroError::InvalidParameter { name: "linear dimensions", value: 0.0 });
+            return Err(NeuroError::InvalidParameter {
+                name: "linear dimensions",
+                value: 0.0,
+            });
         }
         let mut rng = SimRng::seed_from(seed);
         let weight = he_normal(vec![out_features, in_features], in_features, &mut rng);
@@ -187,7 +196,9 @@ mod tests {
         fc.bias.value = Tensor::zeros(vec![1]);
         let x = Tensor::from_vec(vec![1, 2], vec![3.0, 4.0]).unwrap();
         fc.forward(&x, true).unwrap();
-        let gx = fc.backward(&Tensor::from_vec(vec![1, 1], vec![1.0]).unwrap()).unwrap();
+        let gx = fc
+            .backward(&Tensor::from_vec(vec![1, 1], vec![1.0]).unwrap())
+            .unwrap();
         assert_eq!(gx.as_slice(), &[2.0, -1.0]); // dX = dY·W
         assert_eq!(fc.weight.grad.as_slice(), &[3.0, 4.0]); // dW = dYᵀ·X
         assert_eq!(fc.bias.grad.as_slice(), &[1.0]);

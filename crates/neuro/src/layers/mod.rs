@@ -270,7 +270,8 @@ mod tests {
     #[test]
     fn boxed_layer_clone_is_independent() {
         let mut relu = Relu::new();
-        relu.forward(&Tensor::from_vec(vec![1], vec![1.0]).unwrap(), true).unwrap();
+        relu.forward(&Tensor::from_vec(vec![1], vec![1.0]).unwrap(), true)
+            .unwrap();
         let boxed: Box<dyn Layer> = Box::new(relu);
         let mut copy = boxed.clone();
         // The clone carries the cached mask and can run backward directly.

@@ -47,7 +47,10 @@ impl BatchNorm2d {
     /// Returns [`NeuroError::InvalidParameter`] when `channels == 0`.
     pub fn new(channels: usize) -> Result<Self, NeuroError> {
         if channels == 0 {
-            return Err(NeuroError::InvalidParameter { name: "channels", value: 0.0 });
+            return Err(NeuroError::InvalidParameter {
+                name: "channels",
+                value: 0.0,
+            });
         }
         Ok(Self {
             channels,
@@ -107,9 +110,9 @@ impl Layer for BatchNorm2d {
             let mut mean = vec![0.0f32; self.channels];
             let mut var = vec![0.0f32; self.channels];
             for s in 0..n {
-                for c in 0..self.channels {
+                for (c, m) in mean.iter_mut().enumerate() {
                     let base = (s * self.channels + c) * plane;
-                    mean[c] += x[base..base + plane].iter().sum::<f32>();
+                    *m += x[base..base + plane].iter().sum::<f32>();
                 }
             }
             for m in &mut mean {
@@ -159,7 +162,10 @@ impl Layer for BatchNorm2d {
             }
         }
         if train {
-            self.cache = Some(BnCache { normalized, inv_std });
+            self.cache = Some(BnCache {
+                normalized,
+                inv_std,
+            });
         }
         Ok(out)
     }
@@ -237,7 +243,9 @@ mod tests {
     fn varied_input() -> Tensor {
         Tensor::from_vec(
             vec![2, 2, 2, 2],
-            (0..16).map(|i| (i as f32 * 0.7).sin() * 3.0 + 1.0).collect(),
+            (0..16)
+                .map(|i| (i as f32 * 0.7).sin() * 3.0 + 1.0)
+                .collect(),
         )
         .unwrap()
     }

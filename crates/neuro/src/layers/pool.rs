@@ -33,9 +33,16 @@ impl MaxPool2d {
     /// Returns [`NeuroError::InvalidParameter`] when `size == 0`.
     pub fn new(size: usize) -> Result<Self, NeuroError> {
         if size == 0 {
-            return Err(NeuroError::InvalidParameter { name: "pool size", value: 0.0 });
+            return Err(NeuroError::InvalidParameter {
+                name: "pool size",
+                value: 0.0,
+            });
         }
-        Ok(Self { size, input_shape: None, argmax: None })
+        Ok(Self {
+            size,
+            input_shape: None,
+            argmax: None,
+        })
     }
 
     /// The pooling window size (and stride).
@@ -155,13 +162,17 @@ mod tests {
     #[test]
     fn odd_sizes_truncate() {
         let mut pool = MaxPool2d::new(2).unwrap();
-        let y = pool.forward(&Tensor::zeros(vec![1, 1, 5, 5]), false).unwrap();
+        let y = pool
+            .forward(&Tensor::zeros(vec![1, 1, 5, 5]), false)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
     }
 
     #[test]
     fn too_small_input_is_rejected() {
         let mut pool = MaxPool2d::new(4).unwrap();
-        assert!(pool.forward(&Tensor::zeros(vec![1, 1, 2, 2]), false).is_err());
+        assert!(pool
+            .forward(&Tensor::zeros(vec![1, 1, 2, 2]), false)
+            .is_err());
     }
 }

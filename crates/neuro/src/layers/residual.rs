@@ -51,8 +51,8 @@ impl ResidualBlock {
         let conv1 = Conv2d::new(in_channels, out_channels, 3, seed)?
             .with_stride(stride)?
             .with_padding(1);
-        let conv2 = Conv2d::new(out_channels, out_channels, 3, seed.wrapping_add(1))?
-            .with_padding(1);
+        let conv2 =
+            Conv2d::new(out_channels, out_channels, 3, seed.wrapping_add(1))?.with_padding(1);
         let shortcut = if stride != 1 || in_channels != out_channels {
             let proj = Conv2d::new(in_channels, out_channels, 1, seed.wrapping_add(2))?
                 .with_stride(stride)?
@@ -190,7 +190,9 @@ mod tests {
     #[test]
     fn identity_block_preserves_shape() {
         let mut block = ResidualBlock::new(4, 4, 1, 1).unwrap();
-        let y = block.forward(&Tensor::zeros(vec![2, 4, 8, 8]), true).unwrap();
+        let y = block
+            .forward(&Tensor::zeros(vec![2, 4, 8, 8]), true)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 4, 8, 8]);
         assert_eq!(block.conv_count(), 2);
     }
@@ -198,7 +200,9 @@ mod tests {
     #[test]
     fn downsample_block_projects_shortcut() {
         let mut block = ResidualBlock::new(4, 8, 2, 1).unwrap();
-        let y = block.forward(&Tensor::zeros(vec![1, 4, 8, 8]), true).unwrap();
+        let y = block
+            .forward(&Tensor::zeros(vec![1, 4, 8, 8]), true)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 8, 4, 4]);
         assert_eq!(block.conv_count(), 3);
     }
@@ -212,7 +216,9 @@ mod tests {
         )
         .unwrap();
         let y = block.forward(&x, true).unwrap();
-        let gx = block.backward(&Tensor::full(y.shape().to_vec(), 0.1)).unwrap();
+        let gx = block
+            .backward(&Tensor::full(y.shape().to_vec(), 0.1))
+            .unwrap();
         assert_eq!(gx.shape(), x.shape());
         // Something must flow back.
         assert!(gx.max_abs() > 0.0);

@@ -49,20 +49,24 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool in `parallel` contains the
+// workspace's single, documented `unsafe` block (scoped-job lifetime
+// erasure) behind a local `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod data;
 mod error;
 mod init;
 pub mod layers;
-mod linalg;
+pub mod linalg;
 mod loss;
 mod metrics;
 mod model;
 mod optim;
-mod parallel;
+pub mod parallel;
 mod rng;
+mod scratch;
 mod serialize;
 mod tensor;
 mod train;
@@ -74,7 +78,7 @@ pub use layers::{
     BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, Layer, Linear, MaxPool2d, Param, Relu,
     ResidualBlock,
 };
-pub use linalg::{matmul, matmul_at_b, matmul_a_bt};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b};
 pub use loss::{softmax, softmax_cross_entropy};
 pub use metrics::{accuracy, confusion_matrix};
 pub use model::Network;
@@ -82,4 +86,4 @@ pub use optim::{Sgd, SgdConfig};
 pub use rng::SimRng;
 pub use serialize::{load_network_params, save_network_params};
 pub use tensor::Tensor;
-pub use train::{Trainer, TrainerConfig, TrainReport};
+pub use train::{TrainReport, Trainer, TrainerConfig};

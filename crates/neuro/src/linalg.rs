@@ -1,14 +1,129 @@
-//! Blocked matrix kernels behind the convolution and linear layers.
+//! The tiled, multi-threaded GEMM engine behind the convolution and linear
+//! layers.
 //!
-//! Three accumulating kernels cover every case the backward passes need:
+//! Three accumulating entry points cover every case the forward and
+//! backward passes need:
 //!
 //! * [`matmul`] — `C += A·B`
 //! * [`matmul_a_bt`] — `C += A·Bᵀ`
 //! * [`matmul_at_b`] — `C += Aᵀ·B`
 //!
-//! All use loop orders that keep the innermost loop contiguous so the
-//! compiler can vectorize; on the 2-core evaluation machine they sustain a
-//! few GFLOP/s, enough to train the paper's (scaled) models in seconds.
+//! All three lower onto one BLIS-style core: the operand matrices are
+//! described by (row, column) strides, panels of A and B are packed into
+//! contiguous, zero-padded micro-panels held in the thread-local scratch
+//! arena ([`crate::scratch`]), and an `MR×NR` register-blocked micro-kernel
+//! runs over the packed data. Cache blocking follows the classical
+//! `MC/KC/NC` scheme: a `KC×NC` panel of B is packed once and reused by
+//! every `MC×KC` block of A.
+//!
+//! Large products are additionally split across the shared worker pool
+//! ([`crate::parallel`]) by row block. Each task writes a disjoint row
+//! range of `C` and the block layout depends only on the matrix shape and
+//! the tile configuration — never on the worker count — so results are
+//! **bitwise identical across thread counts**.
+//!
+//! The seed kernels carried an `a == 0.0` skip branch in two of the three
+//! variants; it paid off only for sparse inputs and cost a branch per
+//! element on dense ones, so it is gone. The straight-ported seed kernels
+//! survive as [`reference`] for tests and benchmark baselines (see
+//! `docs/perf.md` for the measured effect).
+
+use crate::parallel;
+use crate::scratch::{self, Slot};
+
+/// Micro-kernel rows: C is updated `MR` rows at a time.
+const MR: usize = 4;
+/// Micro-kernel columns; 16 f32 lanes = two AVX2 (or four NEON) vectors.
+const NR: usize = 16;
+
+/// Cache-blocking tile sizes, fixed at first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Rows of A packed per block (multiple of [`MR`]).
+    pub mc: usize,
+    /// Depth of the packed A/B panels.
+    pub kc: usize,
+    /// Columns of B packed per panel (multiple of [`NR`]).
+    pub nc: usize,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        // Sized for the ubiquitous 32 KiB L1 / ≥256 KiB L2 class of x86-64
+        // and ARM cores: the KC×NR B micro-panel (256·16·4 B = 16 KiB)
+        // fits L1 alongside the A micro-panel (256·4·4 B = 4 KiB); the
+        // MC×KC packed A block (128·256·4 B = 128 KiB) fits L2.
+        Self {
+            mc: 128,
+            kc: 256,
+            nc: 1024,
+        }
+    }
+}
+
+impl GemmConfig {
+    /// Rounds the configuration to legal micro-kernel multiples.
+    fn normalized(self) -> Self {
+        Self {
+            mc: self.mc.max(MR).div_ceil(MR) * MR,
+            kc: self.kc.max(1),
+            nc: self.nc.max(NR).div_ceil(NR) * NR,
+        }
+    }
+
+    /// The active configuration: the compiled default unless overridden at
+    /// startup through `SAFELIGHT_GEMM_MC` / `_KC` / `_NC` (useful for
+    /// re-tuning on machines with unusual cache hierarchies without a
+    /// rebuild).
+    #[must_use]
+    pub fn active() -> Self {
+        static ACTIVE: std::sync::OnceLock<GemmConfig> = std::sync::OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let env = |name: &str, fallback: usize| {
+                std::env::var(name)
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(fallback)
+            };
+            let d = GemmConfig::default();
+            GemmConfig {
+                mc: env("SAFELIGHT_GEMM_MC", d.mc),
+                kc: env("SAFELIGHT_GEMM_KC", d.kc),
+                nc: env("SAFELIGHT_GEMM_NC", d.nc),
+            }
+            .normalized()
+        })
+    }
+}
+
+/// `true` when `SAFELIGHT_GEMM_IMPL=reference`: every public kernel then
+/// routes through [`reference`] instead of the tiled engine. This exists
+/// for apples-to-apples benchmarking against the seed kernels
+/// (`docs/perf.md`) and for bisecting numerical questions; checked once at
+/// startup.
+fn force_reference() -> bool {
+    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("SAFELIGHT_GEMM_IMPL").is_ok_and(|v| v.eq_ignore_ascii_case("reference"))
+    })
+}
+
+/// Strided read-only view of a logical `rows × cols` matrix.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    /// Element stride between consecutive rows.
+    rs: usize,
+    /// Element stride between consecutive columns.
+    cs: usize,
+}
+
+impl View<'_> {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
 
 /// `C[m×n] += A[m×k] · B[k×n]`, all row-major.
 ///
@@ -20,24 +135,28 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_ip * b_pj;
-            }
-        }
+    if force_reference() {
+        return reference::matmul(a, b, c, m, k, n);
     }
+    gemm(
+        m,
+        k,
+        n,
+        View {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        View {
+            data: b,
+            rs: n,
+            cs: 1,
+        },
+        c,
+    );
 }
 
 /// `C[m×n] += A[m×k] · Bᵀ` where `B` is `n×k` row-major.
-///
-/// The inner loop is a dot product of two contiguous rows.
 ///
 /// # Panics
 ///
@@ -47,17 +166,26 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            c[i * n + j] += acc;
-        }
+    if force_reference() {
+        return reference::matmul_a_bt(a, b, c, m, k, n);
     }
+    gemm(
+        m,
+        k,
+        n,
+        View {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        // Logical B[p][j] lives at stored[j*k + p].
+        View {
+            data: b,
+            rs: 1,
+            cs: k,
+        },
+        c,
+    );
 }
 
 /// `C[m×n] += Aᵀ · B` where `A` is `k×m` row-major and `B` is `k×n`.
@@ -70,16 +198,275 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
+    if force_reference() {
+        return reference::matmul_at_b(a, b, c, m, k, n);
+    }
+    gemm(
+        m,
+        k,
+        n,
+        // Logical A[i][p] lives at stored[p*m + i].
+        View {
+            data: a,
+            rs: 1,
+            cs: m,
+        },
+        View {
+            data: b,
+            rs: n,
+            cs: 1,
+        },
+        c,
+    );
+}
+
+/// Products at least this large (in multiply-adds) fan row blocks out
+/// across the worker pool; smaller ones stay on the calling thread where
+/// blocking overhead would dominate.
+const PARALLEL_MIN_MADDS: usize = 1 << 20;
+
+/// Below this many elements in A, the packed path cannot amortize its
+/// panel copies (B is packed once per ~MR rows of A); a direct row-AXPY
+/// sweep over B is faster and still vectorizes on the contiguous rows.
+const DIRECT_MAX_A_ELEMS: usize = 2048;
+
+fn gemm(m: usize, k: usize, n: usize, a: View<'_>, b: View<'_>, c: &mut [f32]) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Skinny products (small weight matrix × wide activation panel — the
+    // shape every small-CNN conv layer produces) take the direct path.
+    if m * k <= DIRECT_MAX_A_ELEMS && b.cs == 1 {
+        for i in 0..m {
             let c_row = &mut c[i * n..(i + 1) * n];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_pi * b_pj;
+            for p in 0..k {
+                let a_ip = a.at(i, p);
+                let b_row = &b.data[p * b.rs..p * b.rs + n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij += a_ip * b_pj;
+                }
+            }
+        }
+        return;
+    }
+    let cfg = GemmConfig::active();
+
+    // Row-block parallelism: worth it only for large products, and skipped
+    // on pool workers — there the batch dimension above us is already
+    // saturating the pool, and nesting would only add queue traffic.
+    let on_pool_worker = std::thread::current()
+        .name()
+        .is_some_and(|name| name.starts_with("safelight-worker"));
+    let madds = m.saturating_mul(k).saturating_mul(n);
+    let row_blocks = m.div_ceil(cfg.mc);
+    if row_blocks > 1 && madds >= PARALLEL_MIN_MADDS && !on_pool_worker {
+        // Split C into disjoint row-block slices so tasks can write
+        // concurrently; the per-block work is identical to the serial
+        // path, so numerics do not depend on the split.
+        let mut c_rest = c;
+        let mut tasks: Vec<(usize, &mut [f32])> = Vec::with_capacity(row_blocks);
+        for block in 0..row_blocks {
+            let i0 = block * cfg.mc;
+            let rows = cfg.mc.min(m - i0);
+            let (c_block, rest) = c_rest.split_at_mut(rows * n);
+            tasks.push((i0, c_block));
+            c_rest = rest;
+        }
+        parallel::scoped_map(tasks, |(i0, c_block)| {
+            let rows = c_block.len() / n;
+            let a_block = View {
+                data: &a.data[i0 * a.rs..],
+                rs: a.rs,
+                cs: a.cs,
+            };
+            gemm_serial(rows, k, n, a_block, b, c_block, cfg);
+        });
+        return;
+    }
+    gemm_serial(m, k, n, a, b, c, cfg);
+}
+
+/// The single-threaded blocked core: loops NC → KC → MC with B packed per
+/// (KC, NC) panel and A packed per (MC, KC) block.
+fn gemm_serial(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: View<'_>,
+    b: View<'_>,
+    c: &mut [f32],
+    cfg: GemmConfig,
+) {
+    scratch::with_buffer(Slot::PackB, |pack_b| {
+        scratch::with_buffer(Slot::PackA, |pack_a| {
+            for jc in (0..n).step_by(cfg.nc) {
+                let nc = cfg.nc.min(n - jc);
+                for pc in (0..k).step_by(cfg.kc) {
+                    let kc = cfg.kc.min(k - pc);
+                    pack_b_panel(b, pc, jc, kc, nc, pack_b);
+                    for ic in (0..m).step_by(cfg.mc) {
+                        let mc = cfg.mc.min(m - ic);
+                        pack_a_block(a, ic, pc, mc, kc, pack_a);
+                        macro_kernel(mc, kc, nc, pack_a, pack_b, c, ic, jc, n);
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Packs `B[pc..pc+kc][jc..jc+nc]` into NR-wide micro-panels:
+/// `pack[jb][p*NR + j]`, zero-padded to a multiple of NR columns.
+fn pack_b_panel(b: View<'_>, pc: usize, jc: usize, kc: usize, nc: usize, pack: &mut Vec<f32>) {
+    let panels = nc.div_ceil(NR);
+    pack.clear();
+    pack.resize(panels * kc * NR, 0.0);
+    for jb in 0..panels {
+        let j0 = jb * NR;
+        let width = NR.min(nc - j0);
+        let dst_panel = &mut pack[jb * kc * NR..(jb + 1) * kc * NR];
+        if b.cs == 1 {
+            // Contiguous source rows: copy slice-wise.
+            for p in 0..kc {
+                let src_base = (pc + p) * b.rs + (jc + j0);
+                dst_panel[p * NR..p * NR + width]
+                    .copy_from_slice(&b.data[src_base..src_base + width]);
+            }
+        } else {
+            for p in 0..kc {
+                for j in 0..width {
+                    dst_panel[p * NR + j] = b.at(pc + p, jc + j0 + j);
+                }
+            }
+        }
+    }
+}
+
+/// Packs `A[ic..ic+mc][pc..pc+kc]` into MR-tall micro-panels:
+/// `pack[ib][p*MR + i]`, zero-padded to a multiple of MR rows.
+fn pack_a_block(a: View<'_>, ic: usize, pc: usize, mc: usize, kc: usize, pack: &mut Vec<f32>) {
+    let panels = mc.div_ceil(MR);
+    pack.clear();
+    pack.resize(panels * kc * MR, 0.0);
+    for ib in 0..panels {
+        let i0 = ib * MR;
+        let height = MR.min(mc - i0);
+        let dst_panel = &mut pack[ib * kc * MR..(ib + 1) * kc * MR];
+        for p in 0..kc {
+            for i in 0..height {
+                dst_panel[p * MR + i] = a.at(ic + i0 + i, pc + p);
+            }
+        }
+    }
+}
+
+/// Runs the micro-kernel over every `MR×NR` tile of one packed
+/// `(mc × kc) · (kc × nc)` block product, accumulating into `C`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mc: usize,
+    kc: usize,
+    nc: usize,
+    pack_a: &[f32],
+    pack_b: &[f32],
+    c: &mut [f32],
+    ic: usize,
+    jc: usize,
+    n: usize,
+) {
+    for (ib, a_panel) in pack_a.chunks_exact(kc * MR).enumerate() {
+        let i0 = ib * MR;
+        let rows = MR.min(mc - i0);
+        for (jb, b_panel) in pack_b.chunks_exact(kc * NR).enumerate() {
+            let j0 = jb * NR;
+            let cols = NR.min(nc - j0);
+            let acc = micro_kernel(kc, a_panel, b_panel);
+            // Scatter the valid portion of the tile into C.
+            for i in 0..rows {
+                let c_row = &mut c[(ic + i0 + i) * n + jc + j0..][..cols];
+                for (c_val, acc_val) in c_row.iter_mut().zip(&acc[i][..cols]) {
+                    *c_val += acc_val;
+                }
+            }
+        }
+    }
+}
+
+/// The register-blocked `MR×NR` kernel: a rank-`kc` update of one tile,
+/// fully in local arrays so the compiler keeps the accumulators in vector
+/// registers.
+#[inline]
+fn micro_kernel(kc: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let a_col: &[f32] = &a_panel[p * MR..(p + 1) * MR];
+        let b_row: &[f32] = &b_panel[p * NR..(p + 1) * NR];
+        for i in 0..MR {
+            let a_ip = a_col[i];
+            let acc_row = &mut acc[i];
+            for j in 0..NR {
+                acc_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    acc
+}
+
+/// The straight-ported seed kernels, kept as the correctness oracle for
+/// property tests and the baseline for `benches/gemm.rs`.
+///
+/// These are the exact loop nests the repository started with, minus the
+/// `a == 0.0` skip branch (which penalized dense inputs; see
+/// `docs/perf.md`).
+pub mod reference {
+    /// `C[m×n] += A[m×k] · B[k×n]`, naive blocked loops.
+    pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij += a_ip * b_pj;
+                }
+            }
+        }
+    }
+
+    /// `C[m×n] += A[m×k] · Bᵀ` where `B` is `n×k` row-major.
+    pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(c.len(), m * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
+
+    /// `C[m×n] += Aᵀ · B` where `A` is `k×m` row-major and `B` is `k×n`.
+    pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij += a_pi * b_pj;
+                }
             }
         }
     }
@@ -133,8 +520,8 @@ mod tests {
     fn a_bt_matches_naive() {
         let (m, k, n) = (4, 5, 3);
         let a = deterministic_matrix(m, k, 3.0);
-        let b_t = deterministic_matrix(n, k, 4.0); // B stored as n×k
-        // Recover B (k×n) to run the naive reference.
+        // B stored as n×k; recover B (k×n) to run the naive reference.
+        let b_t = deterministic_matrix(n, k, 4.0);
         let mut b = vec![0.0; k * n];
         for j in 0..n {
             for p in 0..k {
@@ -152,15 +539,15 @@ mod tests {
     #[test]
     fn at_b_matches_naive() {
         let (m, k, n) = (3, 6, 4);
-        let a_t = deterministic_matrix(k, m, 5.0); // A stored as k×m
-        let b = deterministic_matrix(k, n, 6.0);
-        // Recover A (m×k) for the naive reference.
+        // A stored as k×m; recover A (m×k) for the naive reference.
+        let a_t = deterministic_matrix(k, m, 5.0);
         let mut a = vec![0.0; m * k];
         for p in 0..k {
             for i in 0..m {
                 a[i * k + p] = a_t[p * m + i];
             }
         }
+        let b = deterministic_matrix(k, n, 6.0);
         let mut c = vec![0.0; m * n];
         matmul_at_b(&a_t, &b, &mut c, m, k, n);
         let expected = naive(&a, &b, m, k, n);
@@ -182,5 +569,75 @@ mod tests {
         for (a, b) in c.iter().zip(&x) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn tiled_crosses_every_blocking_boundary() {
+        // Dimensions straddling MR/NR/MC/KC/NC edges, including primes.
+        let cfg = GemmConfig::active();
+        let dims = [
+            (1, 1, 1),
+            (MR - 1, 3, NR - 1),
+            (MR + 1, cfg.kc + 3, NR + 1),
+            (cfg.mc + 5, 7, 2 * NR + 3),
+            (17, cfg.kc - 1, 33),
+        ];
+        for (m, k, n) in dims {
+            let a = deterministic_matrix(m, k, 0.3);
+            let b = deterministic_matrix(k, n, 0.7);
+            let mut c = vec![0.0; m * n];
+            matmul(&a, &b, &mut c, m, k, n);
+            let expected = naive(&a, &b, m, k, n);
+            for (i, (x, y)) in c.iter().zip(&expected).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-3,
+                    "({m},{k},{n}) mismatch at {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_parallel_product_matches_reference_bitwise_per_call() {
+        // Big enough to trip the row-block parallel path: results must be
+        // identical to the serial blocked path, call after call.
+        let (m, k, n) = (3 * GemmConfig::active().mc + 7, 64, 96);
+        let a = deterministic_matrix(m, k, 1.1);
+        let b = deterministic_matrix(k, n, 2.2);
+        let mut c_par = vec![0.0; m * n];
+        matmul(&a, &b, &mut c_par, m, k, n);
+        let mut c_serial = vec![0.0; m * n];
+        gemm_serial(
+            m,
+            k,
+            n,
+            View {
+                data: &a,
+                rs: k,
+                cs: 1,
+            },
+            View {
+                data: &b,
+                rs: n,
+                cs: 1,
+            },
+            &mut c_serial,
+            GemmConfig::active(),
+        );
+        assert_eq!(c_par, c_serial, "parallel row blocking changed numerics");
+    }
+
+    #[test]
+    fn config_normalization_respects_micro_kernel() {
+        let cfg = GemmConfig {
+            mc: 1,
+            kc: 0,
+            nc: 1,
+        }
+        .normalized();
+        assert_eq!(cfg.mc % MR, 0);
+        assert_eq!(cfg.nc % NR, 0);
+        assert!(cfg.kc >= 1);
+        assert!(cfg.mc >= MR && cfg.nc >= NR);
     }
 }

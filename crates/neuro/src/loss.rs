@@ -153,14 +153,17 @@ mod tests {
         let logits = Tensor::zeros(vec![1, 3]);
         assert!(matches!(
             softmax_cross_entropy(&logits, &[3]),
-            Err(NeuroError::LabelOutOfRange { label: 3, classes: 3 })
+            Err(NeuroError::LabelOutOfRange {
+                label: 3,
+                classes: 3
+            })
         ));
     }
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let logits = Tensor::from_vec(vec![2, 4], vec![0.3, -1.2, 0.7, 0.1, 2.0, 0.0, -0.5, 1.0])
-            .unwrap();
+        let logits =
+            Tensor::from_vec(vec![2, 4], vec![0.3, -1.2, 0.7, 0.1, 2.0, 0.0, -0.5, 1.0]).unwrap();
         let labels = [2usize, 0usize];
         let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
         let eps = 1e-3f32;

@@ -89,8 +89,7 @@ mod tests {
     fn identity_net() -> Network {
         let mut net = Network::new();
         let mut fc = Linear::new(2, 2, 1).unwrap();
-        fc.params_mut()[0].value =
-            Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        fc.params_mut()[0].value = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         net.push(fc);
         net
     }

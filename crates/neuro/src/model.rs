@@ -104,7 +104,10 @@ impl Network {
 
     /// All trainable parameters, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Shared view of all trainable parameters, in layer order.
@@ -240,15 +243,18 @@ mod tests {
         let mut replica = b.clone();
         replica.copy_params_from(&a).unwrap();
         // The first parameter of the replica now matches `a`, not `b`.
-        assert!(replica.params()[0].value.as_slice().iter().all(|&v| v == 7.0));
+        assert!(replica.params()[0]
+            .value
+            .as_slice()
+            .iter()
+            .all(|&v| v == 7.0));
     }
 
     #[test]
     fn predict_returns_argmax() {
         let mut net = Network::new();
         let mut fc = Linear::new(2, 2, 1).unwrap();
-        fc.params_mut()[0].value = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0])
-            .unwrap();
+        fc.params_mut()[0].value = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         net.push(fc);
         let x = Tensor::from_vec(vec![2, 2], vec![3.0, 1.0, 0.0, 2.0]).unwrap();
         assert_eq!(net.predict(&x).unwrap(), vec![0, 1]);

@@ -20,7 +20,11 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0 }
+        Self {
+            learning_rate: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -56,7 +60,10 @@ impl Sgd {
     /// Creates an optimizer with the given configuration.
     #[must_use]
     pub fn new(config: SgdConfig) -> Self {
-        Self { config, velocity: Vec::new() }
+        Self {
+            config,
+            velocity: Vec::new(),
+        }
     }
 
     /// The active configuration.
@@ -80,8 +87,10 @@ impl Sgd {
     /// shape between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) -> Result<(), NeuroError> {
         if self.velocity.is_empty() {
-            self.velocity =
-                params.iter().map(|p| Tensor::zeros(p.value.shape().to_vec())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().to_vec()))
+                .collect();
         }
         if self.velocity.len() != params.len() {
             return Err(NeuroError::ShapeMismatch {
@@ -139,7 +148,11 @@ mod tests {
 
     #[test]
     fn momentum_accelerates_repeated_steps() {
-        let cfg = SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        let cfg = SgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
         let mut sgd = Sgd::new(cfg);
         let mut p = param_with_grad(0.0, 1.0, true);
         sgd.step(&mut [&mut p]).unwrap();

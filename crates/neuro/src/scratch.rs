@@ -1,0 +1,119 @@
+//! Thread-local scratch-buffer arena.
+//!
+//! The hot paths (GEMM packing panels, conv's im2col/col2im buffers) need
+//! large temporary `f32` buffers on every call. Allocating them fresh per
+//! call costs a page-zeroing `memset` and allocator traffic per sample;
+//! this arena instead keeps one buffer per [`Slot`] per thread and hands it
+//! out on demand, so a training epoch or attack sweep reuses the same
+//! allocations across every batch item processed by a given worker.
+//!
+//! The arena uses *take/put* semantics rather than scoped borrows: a
+//! re-entrant request for a slot that is currently checked out (possible
+//! when a pool thread helps run another task while blocked — see
+//! [`crate::parallel`]) simply allocates a fresh buffer instead of
+//! panicking, and the larger of the two is kept on return.
+
+use std::cell::RefCell;
+
+/// Named scratch buffers; one live buffer per slot per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// GEMM packed A panel.
+    PackA,
+    /// GEMM packed B panel.
+    PackB,
+    /// Conv im2col patch buffer.
+    Col,
+    /// Conv backward column-gradient buffer.
+    GradCol,
+    /// Conv forward block-GEMM output staging buffer.
+    OutBlock,
+    /// Conv backward gathered-`dY` staging buffer.
+    YBlock,
+}
+
+const SLOTS: usize = 6;
+
+thread_local! {
+    static ARENA: RefCell<[Option<Vec<f32>>; SLOTS]> =
+        const { RefCell::new([None, None, None, None, None, None]) };
+}
+
+fn take(slot: Slot) -> Vec<f32> {
+    ARENA
+        .with(|arena| arena.borrow_mut()[slot as usize].take())
+        .unwrap_or_default()
+}
+
+fn put(slot: Slot, buffer: Vec<f32>) {
+    ARENA.with(|arena| {
+        let cell = &mut arena.borrow_mut()[slot as usize];
+        let keep = match cell.as_ref() {
+            Some(existing) => existing.capacity() < buffer.capacity(),
+            None => true,
+        };
+        if keep {
+            *cell = Some(buffer);
+        }
+    });
+}
+
+/// Runs `f` with the thread's buffer for `slot`.
+///
+/// The buffer arrives with whatever length/contents the previous user left;
+/// callers must `clear`/`resize` it themselves. It returns to the arena
+/// afterwards (even if `f` panics the buffer is merely dropped, never
+/// corrupted).
+pub(crate) fn with_buffer<R>(slot: Slot, f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    let mut buffer = take(slot);
+    let result = f(&mut buffer);
+    put(slot, buffer);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_capacity_is_reused_across_calls() {
+        let first_ptr = with_buffer(Slot::Col, |b| {
+            b.clear();
+            b.resize(4096, 0.0);
+            b.as_ptr() as usize
+        });
+        let second_ptr = with_buffer(Slot::Col, |b| {
+            assert!(b.capacity() >= 4096, "arena dropped the buffer");
+            b.as_ptr() as usize
+        });
+        assert_eq!(first_ptr, second_ptr);
+    }
+
+    #[test]
+    fn reentrant_take_falls_back_to_fresh_allocation() {
+        with_buffer(Slot::PackA, |outer| {
+            outer.resize(16, 1.0);
+            // Same slot requested while checked out: must not panic.
+            with_buffer(Slot::PackA, |inner| {
+                assert!(inner.is_empty() || inner.as_ptr() != outer.as_ptr());
+                inner.resize(32, 2.0);
+            });
+            assert_eq!(outer.len(), 16);
+        });
+        // The larger inner buffer was kept.
+        with_buffer(Slot::PackA, |b| assert!(b.capacity() >= 32));
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        with_buffer(Slot::PackB, |a| {
+            a.clear();
+            a.resize(8, 3.0);
+            with_buffer(Slot::GradCol, |b| {
+                b.clear();
+                b.resize(8, 4.0);
+                assert_ne!(a.as_ptr(), b.as_ptr());
+            });
+        });
+    }
+}

@@ -33,10 +33,7 @@ const VERSION: u32 = 1;
 /// # Ok(())
 /// # }
 /// ```
-pub fn save_network_params<P: AsRef<Path>>(
-    network: &Network,
-    path: P,
-) -> Result<(), NeuroError> {
+pub fn save_network_params<P: AsRef<Path>>(network: &Network, path: P) -> Result<(), NeuroError> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     w.write_all(MAGIC)?;
@@ -77,7 +74,9 @@ pub fn load_network_params<P: AsRef<Path>>(
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(NeuroError::MalformedModelFile { context: "bad magic".into() });
+        return Err(NeuroError::MalformedModelFile {
+            context: "bad magic".into(),
+        });
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
@@ -134,7 +133,10 @@ mod tests {
 
     fn tmp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("safelight-neuro-test-{name}-{}", std::process::id()));
+        p.push(format!(
+            "safelight-neuro-test-{name}-{}",
+            std::process::id()
+        ));
         p
     }
 

@@ -32,14 +32,20 @@ impl Tensor {
     #[must_use]
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = shape.iter().product();
-        Self { shape, data: vec![0.0; len] }
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     #[must_use]
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let len = shape.iter().product();
-        Self { shape, data: vec![value; len] }
+        Self {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Wraps an existing buffer.
@@ -115,9 +121,7 @@ impl Tensor {
 
     /// Linear offset of a multi-dimensional index.
     fn offset(&self, index: &[usize]) -> Result<usize, NeuroError> {
-        if index.len() != self.shape.len()
-            || index.iter().zip(&self.shape).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.shape.len() || index.iter().zip(&self.shape).any(|(&i, &d)| i >= d) {
             return Err(NeuroError::ShapeMismatch {
                 context: "Tensor::offset",
                 expected: self.shape.clone(),

@@ -104,10 +104,16 @@ impl Trainer {
     ) -> Result<TrainReport, NeuroError> {
         let cfg = &self.config;
         if cfg.batch_size == 0 {
-            return Err(NeuroError::InvalidParameter { name: "batch_size", value: 0.0 });
+            return Err(NeuroError::InvalidParameter {
+                name: "batch_size",
+                value: 0.0,
+            });
         }
         if cfg.epochs == 0 {
-            return Err(NeuroError::InvalidParameter { name: "epochs", value: 0.0 });
+            return Err(NeuroError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+            });
         }
         if !(0.0..=10.0).contains(&cfg.noise_std) {
             return Err(NeuroError::InvalidParameter {
@@ -132,14 +138,26 @@ impl Trainer {
                 sgd.set_learning_rate(lr);
             }
             rng.shuffle(&mut order);
+            // Noise warm-up: σ ramps linearly over the first half of
+            // training, then holds. Early epochs learn the task at full
+            // fidelity; later epochs harden the loss landscape — the
+            // schedule used by noise-resilient analog-accelerator training
+            // so hardening does not cost clean accuracy at small epoch
+            // budgets.
+            let sigma = if cfg.noise_std > 0.0 {
+                let half = (cfg.epochs as f32 / 2.0).max(1.0);
+                cfg.noise_std * (((epoch + 1) as f32) / half).min(1.0)
+            } else {
+                0.0
+            };
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg.batch_size) {
                 let (batch, labels) = data.batch(chunk)?;
                 network.zero_grad();
 
-                let clean = if cfg.noise_std > 0.0 {
-                    Some(perturb_weights(network, cfg.noise_std, &mut rng))
+                let clean = if sigma > 0.0 {
+                    Some(perturb_weights(network, sigma, &mut rng))
                 } else {
                     None
                 };
@@ -157,12 +175,20 @@ impl Trainer {
             let mean_loss = (epoch_loss / batches.max(1) as f64) as f32;
             epoch_losses.push(mean_loss);
             if cfg.verbose {
-                eprintln!("epoch {:>3}: loss {:.4} (lr {:.4})", epoch + 1, mean_loss, lr);
+                eprintln!(
+                    "epoch {:>3}: loss {:.4} (lr {:.4})",
+                    epoch + 1,
+                    mean_loss,
+                    lr
+                );
             }
         }
 
         let final_train_accuracy = accuracy(network, data, cfg.batch_size)?;
-        Ok(TrainReport { epoch_losses, final_train_accuracy })
+        Ok(TrainReport {
+            epoch_losses,
+            final_train_accuracy,
+        })
     }
 }
 
@@ -230,16 +256,28 @@ mod tests {
     fn training_reduces_loss_and_fits_toy_data() {
         let data = toy_data(128);
         let mut net = toy_net(1);
-        let cfg = TrainerConfig { epochs: 15, batch_size: 16, ..TrainerConfig::default() };
+        let cfg = TrainerConfig {
+            epochs: 15,
+            batch_size: 16,
+            ..TrainerConfig::default()
+        };
         let report = Trainer::new(cfg).fit(&mut net, &data).unwrap();
         assert!(report.epoch_losses.first().unwrap() > report.epoch_losses.last().unwrap());
-        assert!(report.final_train_accuracy > 0.95, "{}", report.final_train_accuracy);
+        assert!(
+            report.final_train_accuracy > 0.95,
+            "{}",
+            report.final_train_accuracy
+        );
     }
 
     #[test]
     fn training_is_deterministic_per_seed() {
         let data = toy_data(64);
-        let cfg = TrainerConfig { epochs: 3, batch_size: 8, ..TrainerConfig::default() };
+        let cfg = TrainerConfig {
+            epochs: 3,
+            batch_size: 8,
+            ..TrainerConfig::default()
+        };
         let mut a = toy_net(2);
         let mut b = toy_net(2);
         Trainer::new(cfg).fit(&mut a, &data).unwrap();
@@ -252,8 +290,15 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_weight_norm() {
         let data = toy_data(64);
-        let cfg_plain = TrainerConfig { epochs: 10, batch_size: 8, ..TrainerConfig::default() };
-        let cfg_l2 = TrainerConfig { weight_decay: 0.05, ..cfg_plain };
+        let cfg_plain = TrainerConfig {
+            epochs: 10,
+            batch_size: 8,
+            ..TrainerConfig::default()
+        };
+        let cfg_l2 = TrainerConfig {
+            weight_decay: 0.05,
+            ..cfg_plain
+        };
         let mut plain = toy_net(3);
         let mut decayed = toy_net(3);
         Trainer::new(cfg_plain).fit(&mut plain, &data).unwrap();
@@ -279,7 +324,11 @@ mod tests {
         };
         let mut net = toy_net(4);
         let report = Trainer::new(cfg).fit(&mut net, &data).unwrap();
-        assert!(report.final_train_accuracy > 0.9, "{}", report.final_train_accuracy);
+        assert!(
+            report.final_train_accuracy > 0.9,
+            "{}",
+            report.final_train_accuracy
+        );
     }
 
     #[test]
@@ -304,9 +353,15 @@ mod tests {
     fn invalid_config_is_rejected() {
         let data = toy_data(8);
         let mut net = toy_net(6);
-        let bad_batch = TrainerConfig { batch_size: 0, ..TrainerConfig::default() };
+        let bad_batch = TrainerConfig {
+            batch_size: 0,
+            ..TrainerConfig::default()
+        };
         assert!(Trainer::new(bad_batch).fit(&mut net, &data).is_err());
-        let bad_epochs = TrainerConfig { epochs: 0, ..TrainerConfig::default() };
+        let bad_epochs = TrainerConfig {
+            epochs: 0,
+            ..TrainerConfig::default()
+        };
         assert!(Trainer::new(bad_epochs).fit(&mut net, &data).is_err());
     }
 }

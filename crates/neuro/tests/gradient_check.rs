@@ -68,11 +68,15 @@ fn check_param_gradients<L: Layer>(layer: &mut L, input: &Tensor, tol: f64) {
     }
     layer.forward(input, true).unwrap();
     layer.backward(&dy).unwrap();
-    let analytic: Vec<Vec<f32>> =
-        layer.params_mut().iter().map(|p| p.grad.as_slice().to_vec()).collect();
+    let analytic: Vec<Vec<f32>> = layer
+        .params_mut()
+        .iter()
+        .map(|p| p.grad.as_slice().to_vec())
+        .collect();
 
     let eps = 1e-3f32;
     let param_count = analytic.len();
+    #[allow(clippy::needless_range_loop)] // `pi` also indexes `layer.params_mut()`
     for pi in 0..param_count {
         let len = layer.params_mut()[pi].value.len();
         let stride = (len / 24).max(1);

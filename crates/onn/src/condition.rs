@@ -96,9 +96,11 @@ impl ConditionMap {
         let map = self.block_mut(kind);
         let updated = match map.get(&index) {
             Some(MrCondition::Parked) => MrCondition::Parked,
-            Some(MrCondition::Heated { delta_kelvin: existing }) => {
-                MrCondition::Heated { delta_kelvin: existing + delta_kelvin }
-            }
+            Some(MrCondition::Heated {
+                delta_kelvin: existing,
+            }) => MrCondition::Heated {
+                delta_kelvin: existing + delta_kelvin,
+            },
             _ => MrCondition::Heated { delta_kelvin },
         };
         map.insert(index, updated);

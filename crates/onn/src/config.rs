@@ -135,8 +135,16 @@ impl AcceleratorConfig {
     /// [`Self::custom`].
     pub fn paper() -> Result<Self, OnnError> {
         Self::custom(
-            BlockConfig { vdp_units: 100, bank_rows: 20, bank_cols: 20 },
-            BlockConfig { vdp_units: 60, bank_rows: 150, bank_cols: 150 },
+            BlockConfig {
+                vdp_units: 100,
+                bank_rows: 20,
+                bank_cols: 20,
+            },
+            BlockConfig {
+                vdp_units: 60,
+                bank_rows: 150,
+                bank_cols: 150,
+            },
         )
     }
 
@@ -152,8 +160,16 @@ impl AcceleratorConfig {
     /// [`Self::custom`].
     pub fn scaled_experiment() -> Result<Self, OnnError> {
         Self::custom(
-            BlockConfig { vdp_units: 25, bank_rows: 10, bank_cols: 10 },
-            BlockConfig { vdp_units: 15, bank_rows: 60, bank_cols: 60 },
+            BlockConfig {
+                vdp_units: 25,
+                bank_rows: 10,
+                bank_cols: 10,
+            },
+            BlockConfig {
+                vdp_units: 15,
+                bank_rows: 60,
+                bank_cols: 60,
+            },
         )
     }
 
@@ -216,8 +232,16 @@ mod tests {
 
     #[test]
     fn zero_dimension_is_rejected() {
-        let bad = BlockConfig { vdp_units: 0, bank_rows: 1, bank_cols: 1 };
-        let ok = BlockConfig { vdp_units: 1, bank_rows: 1, bank_cols: 1 };
+        let bad = BlockConfig {
+            vdp_units: 0,
+            bank_rows: 1,
+            bank_cols: 1,
+        };
+        let ok = BlockConfig {
+            vdp_units: 1,
+            bank_rows: 1,
+            bank_cols: 1,
+        };
         assert!(AcceleratorConfig::custom(bad, ok).is_err());
         assert!(AcceleratorConfig::custom(ok, bad).is_err());
     }

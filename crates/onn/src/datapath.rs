@@ -7,9 +7,7 @@
 //! the fast effective-weight path in `executor` and to benchmark the device
 //! stack; figure-scale experiments use the fast path.
 
-use safelight_photonics::{
-    Adc, BalancedPhotodetector, Laser, Microring, MicroringState, WdmGrid,
-};
+use safelight_photonics::{Adc, BalancedPhotodetector, Laser, Microring, MicroringState, WdmGrid};
 
 use crate::condition::MrCondition;
 use crate::config::AcceleratorConfig;
@@ -127,7 +125,9 @@ impl OpticalVdp {
         (0..self.channels)
             .map(|c| {
                 let lambda = self.grid.channel_wavelength(c).expect("channel in range");
-                bank.iter().map(|r| r.through_transmission(lambda)).product()
+                bank.iter()
+                    .map(|r| r.through_transmission(lambda))
+                    .product()
             })
             .collect()
     }
@@ -215,8 +215,10 @@ impl OpticalVdp {
         let p = &self.params;
         let p0 = self.laser.power_per_channel_mw();
         let delta_in = p.t_max - p.t_min;
-        let signed_weight_sum: f64 =
-            weights.iter().map(|&w| p.quantize(w.abs()) * w.signum()).sum();
+        let signed_weight_sum: f64 = weights
+            .iter()
+            .map(|&w| p.quantize(w.abs()) * w.signum())
+            .sum();
 
         let (pos_powers, neg_powers): (Vec<f64>, Vec<f64>) = match p.encoding {
             crate::WeightEncoding::ThroughPort => {
@@ -236,7 +238,9 @@ impl OpticalVdp {
                 )
             }
         };
-        let current = self.pd.detect(pos_powers.iter().copied(), neg_powers.iter().copied());
+        let current = self
+            .pd
+            .detect(pos_powers.iter().copied(), neg_powers.iter().copied());
         let (_, digitized) = self.adc.convert(current);
         let raw = digitized / (self.responsivity * p0);
 
@@ -281,7 +285,7 @@ mod tests {
     fn zero_weights_give_zero_dot() {
         let mut v = vdp(4);
         let dot = v
-            .dot(&[1.0; 4], &[0.0; 4], &vec![MrCondition::Healthy; 4])
+            .dot(&[1.0; 4], &[0.0; 4], &[MrCondition::Healthy; 4])
             .unwrap();
         assert!(dot.abs() < 0.05, "dot {dot}");
     }
@@ -344,7 +348,7 @@ mod tests {
     fn wrong_length_is_rejected() {
         let mut v = vdp(4);
         assert!(v
-            .dot(&[0.0; 3], &[0.0; 4], &vec![MrCondition::Healthy; 4])
+            .dot(&[0.0; 3], &[0.0; 4], &[MrCondition::Healthy; 4])
             .is_err());
     }
 }

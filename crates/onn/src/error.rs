@@ -46,7 +46,10 @@ impl fmt::Display for OnnError {
             }
             Self::MappingMismatch { context } => write!(f, "mapping mismatch: {context}"),
             Self::MrOutOfRange { index, capacity } => {
-                write!(f, "microring index {index} out of range for block of {capacity}")
+                write!(
+                    f,
+                    "microring index {index} out of range for block of {capacity}"
+                )
             }
             Self::Photonics(e) => write!(f, "photonics: {e}"),
             Self::Thermal(e) => write!(f, "thermal: {e}"),

@@ -136,12 +136,8 @@ impl EffectiveWeightParams {
     #[must_use]
     pub fn decode(&self, response: f64) -> f64 {
         match self.encoding {
-            WeightEncoding::ThroughPort => {
-                (response - self.t_min) / (self.t_max - self.t_min)
-            }
-            WeightEncoding::DropPort => {
-                (response - self.drop_floor) / (1.0 - self.drop_floor)
-            }
+            WeightEncoding::ThroughPort => (response - self.t_min) / (self.t_max - self.t_min),
+            WeightEncoding::DropPort => (response - self.drop_floor) / (1.0 - self.drop_floor),
         }
         .clamp(0.0, 1.0)
     }
@@ -260,8 +256,7 @@ fn effective_channel_drop(
         // landed on ring r's active rail.
         let m_r = weights[r].abs();
         let healthy = p.drop_response(dr as f64 * p.spacing_nm + p.detuning_for_magnitude(m_r));
-        let faulty =
-            p.drop_response(dr as f64 * p.spacing_nm + p.offset_under(m_r, conditions[r]));
+        let faulty = p.drop_response(dr as f64 * p.spacing_nm + p.offset_under(m_r, conditions[r]));
         let dev = faulty - healthy;
         if weights[r] >= 0.0 {
             pos += dev;
@@ -438,26 +433,54 @@ pub fn corrupt_network(
         affected.dedup();
 
         let cap = shape.total_mrs();
+
+        // Batched per-row derivation: group the affected parameter sites by
+        // (reuse round, bank row), gather each row's weights and conditions
+        // exactly once, and evaluate every affected channel against that
+        // shared row view. The seed re-gathered a ±CROSSTALK_WINDOW window
+        // through the mapping for every single site, so a fully-attacked
+        // row cost ~(2W+1)× more mapping lookups than this path; the
+        // per-channel physics (and its numerics) are unchanged, since
+        // crosstalk beyond the window never contributes.
+        // Keyed by (reuse round, bank-row base ring); each site is
+        // (column, layer index, offset).
+        type RowSites = Vec<(usize, usize, usize)>;
+        let mut rows: std::collections::BTreeMap<(u64, u64), RowSites> =
+            std::collections::BTreeMap::new();
         for &mr in &affected {
-            let col = (mr % cap % cols as u64) as usize;
+            let col = (mr % cols as u64) as usize;
+            let row_base = mr - col as u64;
             for (li, off) in mapping.params_on_mr(kind, mr)? {
-                // Linear slot of this parameter (identifies the round).
+                // The round of this parameter's slot identifies which pass
+                // over the bank the weight is applied in.
                 let home = mapping.locate(li, off)?;
-                let slot_base = home.round * cap + mr;
-                // Gather the row window around this channel for this round.
-                let lo = -(CROSSTALK_WINDOW.min(col as isize));
-                let hi = CROSSTALK_WINDOW.min((cols as usize - 1 - col) as isize);
-                let mut row_weights = Vec::with_capacity((hi - lo + 1) as usize);
-                let mut conds = Vec::with_capacity((hi - lo + 1) as usize);
-                for d in lo..=hi {
-                    let slot = (slot_base as i64 + d as i64) as u64;
-                    let ring = (mr as i64 + d as i64) as u64;
-                    let w = weight_at_slot(kind, slot);
-                    row_weights.push(w.signum() * p.quantize(w.abs()));
-                    conds.push(conditions.condition(kind, ring));
-                }
-                let centre = (-lo) as usize;
-                let w_eff = effective_channel(centre, &row_weights, &conds, &p) as f32;
+                rows.entry((home.round, row_base))
+                    .or_default()
+                    .push((col, li, off));
+            }
+        }
+        let row_len = cols as usize;
+        let mut row_weights = vec![0.0f64; row_len];
+        let mut conds = vec![MrCondition::Healthy; row_len];
+        let mut needed = vec![false; row_len];
+        for ((round, row_base), sites) in rows {
+            // Only columns within the crosstalk window of some affected
+            // site are ever read; gather exactly that union once (≤ one
+            // lookup per column, versus one per site-window entry before).
+            needed.fill(false);
+            for &(col, _, _) in &sites {
+                let lo = col.saturating_sub(CROSSTALK_WINDOW as usize);
+                let hi = (col + CROSSTALK_WINDOW as usize).min(row_len - 1);
+                needed[lo..=hi].fill(true);
+            }
+            for (c, _) in needed.iter().enumerate().filter(|(_, &want)| want) {
+                let ring = row_base + c as u64;
+                let w = weight_at_slot(kind, round * cap + ring);
+                row_weights[c] = w.signum() * p.quantize(w.abs());
+                conds[c] = conditions.condition(kind, ring);
+            }
+            for (col, li, off) in sites {
+                let w_eff = effective_channel(col, &row_weights, &conds, &p) as f32;
                 let scale = scales[li];
                 if scale > 0.0 {
                     weights[li].value.as_mut_slice()[off] = w_eff * scale;
@@ -527,7 +550,11 @@ mod tests {
             MrCondition::Healthy,
         ];
         let out = effective_weight_row(&w, &conds, &p);
-        assert!((out[1] + 1.0).abs() < 1e-9, "through-port parked reads {}", out[1]);
+        assert!(
+            (out[1] + 1.0).abs() < 1e-9,
+            "through-port parked reads {}",
+            out[1]
+        );
     }
 
     #[test]
@@ -552,7 +579,11 @@ mod tests {
             out[2]
         );
         // Channel 0 lost its ring entirely → reads ≈ 0 (unsupported λ).
-        assert!(out[0].abs() < 0.1, "channel 0 should drop out, got {}", out[0]);
+        assert!(
+            out[0].abs() < 0.1,
+            "channel 0 should drop out, got {}",
+            out[0]
+        );
     }
 
     #[test]
@@ -563,7 +594,9 @@ mod tests {
         let w = [0.5, 0.5, 0.5];
         let conds = [
             MrCondition::Healthy,
-            MrCondition::Heated { delta_kelvin: slight },
+            MrCondition::Heated {
+                delta_kelvin: slight,
+            },
             MrCondition::Healthy,
         ];
         let out = effective_weight_row(&w, &conds, &p);
@@ -595,13 +628,23 @@ mod tests {
         net.push(Flatten::new());
         let mut fc = Linear::new(4, 4, 3).unwrap();
         // Deterministic, distinctive weights.
-        fc.params_mut()[0].value =
-            Tensor::from_vec(vec![4, 4], (0..16).map(|i| (i as f32 - 8.0) / 8.0).collect())
-                .unwrap();
+        fc.params_mut()[0].value = Tensor::from_vec(
+            vec![4, 4],
+            (0..16).map(|i| (i as f32 - 8.0) / 8.0).collect(),
+        )
+        .unwrap();
         net.push(fc);
         let config = AcceleratorConfig::custom(
-            BlockConfig { vdp_units: 1, bank_rows: 2, bank_cols: 4 },
-            BlockConfig { vdp_units: 2, bank_rows: 2, bank_cols: 4 }, // 16 MRs
+            BlockConfig {
+                vdp_units: 1,
+                bank_rows: 2,
+                bank_cols: 4,
+            },
+            BlockConfig {
+                vdp_units: 2,
+                bank_rows: 2,
+                bank_cols: 4,
+            }, // 16 MRs
         )
         .unwrap();
         let mapping =
@@ -613,8 +656,18 @@ mod tests {
     fn clean_corruption_is_just_quantization() {
         let (net, mapping, config) = tiny_setup();
         let out = corrupt_network(&net, &mapping, &ConditionMap::new(), &config).unwrap();
-        let orig: Vec<f32> = net.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
-        let got: Vec<f32> = out.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let orig: Vec<f32> = net
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        let got: Vec<f32> = out
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
         let lsb = 1.0 / 255.0;
         for (a, b) in orig.iter().zip(&got) {
             assert!((a - b).abs() <= lsb + 1e-6, "quantization moved {a} to {b}");
@@ -634,7 +687,11 @@ mod tests {
             .filter(|p| p.decay)
             .flat_map(|p| p.value.as_slice().to_vec())
             .collect();
-        assert!(weights[5].abs() < 1e-5, "parked weight not zeroed: {}", weights[5]);
+        assert!(
+            weights[5].abs() < 1e-5,
+            "parked weight not zeroed: {}",
+            weights[5]
+        );
     }
 
     #[test]
@@ -656,8 +713,18 @@ mod tests {
         conditions.set(BlockKind::Fc, 1, MrCondition::Parked);
         let out = corrupt_network(&net, &mapping, &conditions, &config).unwrap();
         let clean = corrupt_network(&net, &mapping, &ConditionMap::new(), &config).unwrap();
-        let a: Vec<f32> = out.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
-        let b: Vec<f32> = clean.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let a: Vec<f32> = out
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        let b: Vec<f32> = clean
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
         // Ring 1 sits in row 0 (cols 0..4); rings in the other rows (weights
         // 4..8 are row 1 of bank 0, etc.) must be untouched.
         for i in 4..8 {
@@ -674,13 +741,23 @@ mod tests {
         let mut net = Network::new();
         net.push(Flatten::new());
         let mut fc = Linear::new(4, 4, 3).unwrap();
-        fc.params_mut()[0].value =
-            Tensor::from_vec(vec![4, 4], (0..16).map(|i| 0.4 + (i as f32) / 40.0).collect())
-                .unwrap();
+        fc.params_mut()[0].value = Tensor::from_vec(
+            vec![4, 4],
+            (0..16).map(|i| 0.4 + (i as f32) / 40.0).collect(),
+        )
+        .unwrap();
         net.push(fc);
         let config = AcceleratorConfig::custom(
-            BlockConfig { vdp_units: 1, bank_rows: 1, bank_cols: 4 },
-            BlockConfig { vdp_units: 1, bank_rows: 2, bank_cols: 4 }, // 8 MRs
+            BlockConfig {
+                vdp_units: 1,
+                bank_rows: 1,
+                bank_cols: 4,
+            },
+            BlockConfig {
+                vdp_units: 1,
+                bank_rows: 2,
+                bank_cols: 4,
+            }, // 8 MRs
         )
         .unwrap();
         let mapping =
@@ -688,7 +765,12 @@ mod tests {
         let mut conditions = ConditionMap::new();
         conditions.set(BlockKind::Fc, 2, MrCondition::Parked);
         let out = corrupt_network(&net, &mapping, &conditions, &config).unwrap();
-        let w: Vec<f32> = out.params().iter().filter(|p| p.decay).flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let w: Vec<f32> = out
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
         assert!(w[2].abs() < 1e-5, "round-0 weight survived: {}", w[2]);
         assert!(w[10].abs() < 1e-5, "round-1 weight survived: {}", w[10]);
         // A weight on another ring is untouched.

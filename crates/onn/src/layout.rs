@@ -50,14 +50,22 @@ impl BlockLayout {
         cell_size_mrs: usize,
     ) -> Result<Self, OnnError> {
         if cell_size_mrs == 0 {
-            return Err(OnnError::InvalidConfig { name: "cell_size_mrs", value: 0.0 });
+            return Err(OnnError::InvalidConfig {
+                name: "cell_size_mrs",
+                value: 0.0,
+            });
         }
         let grid_cols = (shape.vdp_units as f64).sqrt().ceil() as usize;
         let grid_rows = shape.vdp_units.div_ceil(grid_cols);
         let bank_w = shape.bank_cols.div_ceil(cell_size_mrs);
         let bank_h = shape.bank_rows.div_ceil(cell_size_mrs);
         let floorplan = Floorplan::bank_grid(grid_rows, grid_cols, bank_w, bank_h, BANK_GAP_CELLS)?;
-        Ok(Self { kind, shape, cell_size_mrs, floorplan })
+        Ok(Self {
+            kind,
+            shape,
+            cell_size_mrs,
+            floorplan,
+        })
     }
 
     /// The block this layout covers.
@@ -162,7 +170,11 @@ mod tests {
 
     fn layout() -> BlockLayout {
         BlockLayout::new(
-            BlockConfig { vdp_units: 6, bank_rows: 8, bank_cols: 8 },
+            BlockConfig {
+                vdp_units: 6,
+                bank_rows: 8,
+                bank_cols: 8,
+            },
             BlockKind::Conv,
             2,
         )
@@ -185,7 +197,10 @@ mod tests {
             let rect = l.floorplan().bank(vdp).unwrap().rect;
             for mr in l.mrs_in_bank(vdp).unwrap() {
                 let (x, y) = l.cell_of_mr(mr).unwrap();
-                assert!(rect.contains(x, y), "MR {mr} at ({x},{y}) outside bank {vdp}");
+                assert!(
+                    rect.contains(x, y),
+                    "MR {mr} at ({x},{y}) outside bank {vdp}"
+                );
             }
         }
     }

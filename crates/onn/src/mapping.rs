@@ -30,7 +30,11 @@ impl LayerSpec {
     /// Creates a layer spec.
     #[must_use]
     pub fn new(name: impl Into<String>, kind: BlockKind, weights: usize) -> Self {
-        Self { name: name.into(), kind, weights }
+        Self {
+            name: name.into(),
+            kind,
+            weights,
+        }
     }
 }
 
@@ -96,7 +100,9 @@ impl WeightMapping {
     /// zero-weight layer.
     pub fn new(config: &AcceleratorConfig, layers: &[LayerSpec]) -> Result<Self, OnnError> {
         if layers.is_empty() {
-            return Err(OnnError::MappingMismatch { context: "no layers to map".into() });
+            return Err(OnnError::MappingMismatch {
+                context: "no layers to map".into(),
+            });
         }
         let mut used_conv = 0u64;
         let mut used_fc = 0u64;
@@ -111,7 +117,10 @@ impl WeightMapping {
                 BlockKind::Conv => &mut used_conv,
                 BlockKind::Fc => &mut used_fc,
             };
-            mapped.push(MappedLayer { spec: spec.clone(), start_slot: *cursor });
+            mapped.push(MappedLayer {
+                spec: spec.clone(),
+                start_slot: *cursor,
+            });
             *cursor += spec.weights as u64;
         }
         Ok(Self {
@@ -176,9 +185,12 @@ impl WeightMapping {
     /// Returns [`OnnError::MappingMismatch`] for an unknown layer or an
     /// offset beyond the layer's weight count.
     pub fn locate(&self, layer_index: usize, offset: usize) -> Result<MappedParam, OnnError> {
-        let layer = self.layers.get(layer_index).ok_or_else(|| OnnError::MappingMismatch {
-            context: format!("layer index {layer_index} out of range"),
-        })?;
+        let layer = self
+            .layers
+            .get(layer_index)
+            .ok_or_else(|| OnnError::MappingMismatch {
+                context: format!("layer index {layer_index} out of range"),
+            })?;
         if offset >= layer.spec.weights {
             return Err(OnnError::MappingMismatch {
                 context: format!(
@@ -220,7 +232,10 @@ impl WeightMapping {
     ) -> Result<Vec<(usize, usize)>, OnnError> {
         let cap = self.shape(kind).total_mrs();
         if mr_index >= cap {
-            return Err(OnnError::MrOutOfRange { index: mr_index, capacity: cap });
+            return Err(OnnError::MrOutOfRange {
+                index: mr_index,
+                capacity: cap,
+            });
         }
         let mut hits = Vec::new();
         let used = self.used_slots(kind);
@@ -295,8 +310,16 @@ mod tests {
 
     fn small_config() -> AcceleratorConfig {
         AcceleratorConfig::custom(
-            BlockConfig { vdp_units: 2, bank_rows: 3, bank_cols: 4 }, // 24 MRs
-            BlockConfig { vdp_units: 2, bank_rows: 5, bank_cols: 5 }, // 50 MRs
+            BlockConfig {
+                vdp_units: 2,
+                bank_rows: 3,
+                bank_cols: 4,
+            }, // 24 MRs
+            BlockConfig {
+                vdp_units: 2,
+                bank_rows: 5,
+                bank_cols: 5,
+            }, // 50 MRs
         )
         .unwrap()
     }
@@ -375,10 +398,6 @@ mod tests {
     fn empty_and_zero_weight_layers_are_rejected() {
         let cfg = small_config();
         assert!(WeightMapping::new(&cfg, &[]).is_err());
-        assert!(WeightMapping::new(
-            &cfg,
-            &[LayerSpec::new("bad", BlockKind::Conv, 0)]
-        )
-        .is_err());
+        assert!(WeightMapping::new(&cfg, &[LayerSpec::new("bad", BlockKind::Conv, 0)]).is_err());
     }
 }

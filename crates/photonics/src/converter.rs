@@ -11,14 +11,20 @@ use crate::PhotonicsError;
 
 fn check_bits(bits: u8) -> Result<(), PhotonicsError> {
     if bits == 0 || bits > 24 {
-        return Err(PhotonicsError::InvalidParameter { name: "bits", value: f64::from(bits) });
+        return Err(PhotonicsError::InvalidParameter {
+            name: "bits",
+            value: f64::from(bits),
+        });
     }
     Ok(())
 }
 
 fn check_range(lo: f64, hi: f64) -> Result<(), PhotonicsError> {
     if !lo.is_finite() || !hi.is_finite() || hi <= lo {
-        return Err(PhotonicsError::InvalidParameter { name: "range", value: hi - lo });
+        return Err(PhotonicsError::InvalidParameter {
+            name: "range",
+            value: hi - lo,
+        });
     }
     Ok(())
 }

@@ -47,7 +47,10 @@ impl fmt::Display for PhotonicsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::ChannelOutOfRange { channel, channels } => {
-                write!(f, "channel {channel} out of range for {channels}-channel grid")
+                write!(
+                    f,
+                    "channel {channel} out of range for {channels}-channel grid"
+                )
             }
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter `{name}`")
@@ -56,7 +59,10 @@ impl fmt::Display for PhotonicsError {
                 f,
                 "transmission {requested} not realizable; device range is [{min}, 1)"
             ),
-            Self::TuningRangeExceeded { requested_nm, max_nm } => write!(
+            Self::TuningRangeExceeded {
+                requested_nm,
+                max_nm,
+            } => write!(
                 f,
                 "requested shift of {requested_nm} nm exceeds tuning range of {max_nm} nm"
             ),

@@ -40,7 +40,11 @@ impl Laser {
                 value: power_per_channel_mw,
             });
         }
-        Ok(Self { grid, power_per_channel_mw, wall_plug_efficiency: 0.2 })
+        Ok(Self {
+            grid,
+            power_per_channel_mw,
+            wall_plug_efficiency: 0.2,
+        })
     }
 
     /// Overrides the wall-plug efficiency used for electrical power figures.

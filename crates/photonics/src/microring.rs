@@ -265,7 +265,9 @@ impl Microring {
     /// Thermo-optic resonance shift per kelvin (the slope of eq. 2).
     #[must_use]
     pub fn thermal_shift_per_kelvin_nm(&self) -> f64 {
-        self.geometry.silicon.resonance_shift_per_kelvin_nm(self.base_resonance_nm)
+        self.geometry
+            .silicon
+            .resonance_shift_per_kelvin_nm(self.base_resonance_nm)
     }
 
     /// Applies a temperature delta `ΔT` (kelvin above the calibrated

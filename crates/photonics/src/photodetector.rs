@@ -44,7 +44,10 @@ impl Photodetector {
                 value: responsivity_a_per_w,
             });
         }
-        Ok(Self { responsivity_a_per_w, dark_current_ma: 0.0 })
+        Ok(Self {
+            responsivity_a_per_w,
+            dark_current_ma: 0.0,
+        })
     }
 
     /// Sets a constant dark current (mA) added to every detection.
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn empty_channel_set_gives_dark_current_only() {
-        let pd = Photodetector::new(1.0).unwrap().with_dark_current(0.05).unwrap();
+        let pd = Photodetector::new(1.0)
+            .unwrap()
+            .with_dark_current(0.05)
+            .unwrap();
         assert!((pd.detect(std::iter::empty()) - 0.05).abs() < 1e-15);
     }
 

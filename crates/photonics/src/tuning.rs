@@ -113,7 +113,10 @@ impl TuningCircuit {
     /// ranges".
     pub fn budget_for_shift(&self, shift_nm: f64) -> Result<TuningBudget, PhotonicsError> {
         if !shift_nm.is_finite() {
-            return Err(PhotonicsError::InvalidParameter { name: "shift_nm", value: shift_nm });
+            return Err(PhotonicsError::InvalidParameter {
+                name: "shift_nm",
+                value: shift_nm,
+            });
         }
         if shift_nm.abs() > self.max_shift_nm {
             return Err(PhotonicsError::TuningRangeExceeded {

@@ -50,7 +50,11 @@ impl Waveguide {
                 value: loss_db_per_cm,
             });
         }
-        Ok(Self { length_mm, loss_db_per_cm, coupler_loss_db: 0.0 })
+        Ok(Self {
+            length_mm,
+            loss_db_per_cm,
+            coupler_loss_db: 0.0,
+        })
     }
 
     /// Adds a fixed coupler/splitter insertion loss in dB.
@@ -107,7 +111,10 @@ mod tests {
 
     #[test]
     fn losses_compose_in_db() {
-        let wg = Waveguide::new(10.0, 1.0).unwrap().with_coupler_loss_db(2.0).unwrap();
+        let wg = Waveguide::new(10.0, 1.0)
+            .unwrap()
+            .with_coupler_loss_db(2.0)
+            .unwrap();
         assert!((wg.total_loss_db() - 3.0).abs() < 1e-12);
     }
 
@@ -115,6 +122,9 @@ mod tests {
     fn negative_parameters_are_rejected() {
         assert!(Waveguide::new(-1.0, 1.0).is_err());
         assert!(Waveguide::new(1.0, -1.0).is_err());
-        assert!(Waveguide::new(1.0, 1.0).unwrap().with_coupler_loss_db(-0.1).is_err());
+        assert!(Waveguide::new(1.0, 1.0)
+            .unwrap()
+            .with_coupler_loss_db(-0.1)
+            .is_err());
     }
 }

@@ -96,7 +96,10 @@ impl WdmGrid {
             return Err(PhotonicsError::EmptyGrid);
         }
         if !start_nm.is_finite() || start_nm <= 0.0 {
-            return Err(PhotonicsError::InvalidParameter { name: "start_nm", value: start_nm });
+            return Err(PhotonicsError::InvalidParameter {
+                name: "start_nm",
+                value: start_nm,
+            });
         }
         if !spacing_nm.is_finite() || spacing_nm <= 0.0 {
             return Err(PhotonicsError::InvalidParameter {
@@ -104,7 +107,11 @@ impl WdmGrid {
                 value: spacing_nm,
             });
         }
-        Ok(Self { start_nm, spacing_nm, channels })
+        Ok(Self {
+            start_nm,
+            spacing_nm,
+            channels,
+        })
     }
 
     /// Creates a C-band grid with the conventional 100 GHz (0.8 nm) spacing.
@@ -141,7 +148,9 @@ impl WdmGrid {
                 channels: self.channels,
             });
         }
-        Ok(Nanometers::new(self.start_nm + self.spacing_nm * channel as f64))
+        Ok(Nanometers::new(
+            self.start_nm + self.spacing_nm * channel as f64,
+        ))
     }
 
     /// The channel whose carrier is closest to `wavelength`, or `None` when
@@ -170,8 +179,7 @@ impl WdmGrid {
 
     /// Iterates over all carrier wavelengths in channel order.
     pub fn iter(&self) -> impl Iterator<Item = Nanometers> + '_ {
-        (0..self.channels)
-            .map(move |c| Nanometers::new(self.start_nm + self.spacing_nm * c as f64))
+        (0..self.channels).map(move |c| Nanometers::new(self.start_nm + self.spacing_nm * c as f64))
     }
 }
 
@@ -188,7 +196,10 @@ mod tests {
     fn grid_rejects_nonpositive_spacing() {
         assert!(matches!(
             WdmGrid::new(1550.0, 0.0, 4),
-            Err(PhotonicsError::InvalidParameter { name: "spacing_nm", .. })
+            Err(PhotonicsError::InvalidParameter {
+                name: "spacing_nm",
+                ..
+            })
         ));
         assert!(matches!(
             WdmGrid::new(1550.0, -0.8, 4),
@@ -211,7 +222,10 @@ mod tests {
         let g = WdmGrid::c_band(4).unwrap();
         assert!(matches!(
             g.channel_wavelength(4),
-            Err(PhotonicsError::ChannelOutOfRange { channel: 4, channels: 4 })
+            Err(PhotonicsError::ChannelOutOfRange {
+                channel: 4,
+                channels: 4
+            })
         ));
     }
 
@@ -247,8 +261,9 @@ mod tests {
     fn iter_matches_indexing() {
         let g = WdmGrid::c_band(5).unwrap();
         let via_iter: Vec<f64> = g.iter().map(Nanometers::value).collect();
-        let via_index: Vec<f64> =
-            (0..5).map(|c| g.channel_wavelength(c).unwrap().value()).collect();
+        let via_index: Vec<f64> = (0..5)
+            .map(|c| g.channel_wavelength(c).unwrap().value())
+            .collect();
         assert_eq!(via_iter, via_index);
     }
 }

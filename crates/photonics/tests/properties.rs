@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use safelight_photonics::{
-    thermal_resonance_shift_nm, Adc, Dac, Microring, MicroringState, Nanometers,
-    SiliconProperties, WdmGrid,
+    thermal_resonance_shift_nm, Adc, Dac, Microring, MicroringState, Nanometers, SiliconProperties,
+    WdmGrid,
 };
 
 proptest! {

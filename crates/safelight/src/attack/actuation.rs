@@ -42,7 +42,10 @@ pub fn inject_actuation(
     rng: &mut SimRng,
 ) -> Result<ConditionMap, SafelightError> {
     if !(fraction > 0.0 && fraction <= 1.0) {
-        return Err(SafelightError::InvalidParameter { name: "fraction", value: fraction });
+        return Err(SafelightError::InvalidParameter {
+            name: "fraction",
+            value: fraction,
+        });
     }
     let mut conditions = ConditionMap::new();
     for kind in target.blocks() {

@@ -71,27 +71,98 @@ fn banks_to_attack(config: &AcceleratorConfig, kind: BlockKind, fraction: f64) -
     banks.clamp(1, shape.vdp_units)
 }
 
+/// Cache key for one unit-power bank solve: the grid geometry, the heated
+/// rectangle and every solver parameter that shapes the solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct UnitFieldKey {
+    grid: (usize, usize),
+    rect: (usize, usize, usize, usize),
+    ambient_bits: u64,
+    lateral_bits: u64,
+    sink_bits: u64,
+    omega_bits: u64,
+    tolerance_bits: u64,
+    max_iterations: usize,
+}
+
+impl UnitFieldKey {
+    fn new(layout: &BlockLayout, rect: safelight_thermal::Rect, thermal: &ThermalConfig) -> Self {
+        Self {
+            grid: (
+                layout.floorplan().grid_width(),
+                layout.floorplan().grid_height(),
+            ),
+            rect: (rect.x, rect.y, rect.width, rect.height),
+            ambient_bits: thermal.ambient_k.to_bits(),
+            lateral_bits: thermal.lateral_conductance_w_per_k.to_bits(),
+            sink_bits: thermal.sink_conductance_w_per_k.to_bits(),
+            omega_bits: thermal.sor_omega.to_bits(),
+            tolerance_bits: thermal.tolerance_k.to_bits(),
+            max_iterations: thermal.max_iterations,
+        }
+    }
+}
+
+/// The unit-power field of one heated bank, solved once per
+/// (geometry, solver-config) pair and shared process-wide. A susceptibility
+/// sweep re-attacks the same banks across fractions and trials, so the
+/// expensive SOR solves collapse to one per distinct bank.
+fn unit_bank_field(
+    layout: &BlockLayout,
+    rect: safelight_thermal::Rect,
+    thermal: &ThermalConfig,
+) -> Result<std::sync::Arc<TemperatureField>, SafelightError> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<UnitFieldKey, Arc<TemperatureField>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = UnitFieldKey::new(layout, rect, thermal);
+    if let Some(field) = cache.lock().expect("unit-field cache poisoned").get(&key) {
+        return Ok(Arc::clone(field));
+    }
+    // Solve outside the lock; a racing duplicate solve is deterministic and
+    // idempotent, so last-writer-wins insertion is harmless.
+    let mut grid = layout.thermal_grid(*thermal)?;
+    grid.add_power_region(rect, 1.0)?;
+    let field = Arc::new(grid.solve()?);
+    cache
+        .lock()
+        .expect("unit-field cache poisoned")
+        .insert(key, Arc::clone(&field));
+    Ok(field)
+}
+
 /// Solves the field produced by overdriving every heater of `banks`,
 /// returning the field plus the scale factor that brings the attacked
 /// banks' *mean* rise to `target_delta` kelvin.
 ///
-/// The steady-state operator is linear, so one unit-power solve is scaled
-/// exactly to the target — no iteration needed.
+/// The steady-state operator is linear, so the multi-bank field is the
+/// exact superposition of cached per-bank unit solves, and one scale factor
+/// brings the mean rise to the target — no iteration needed.
 fn solve_attack_field(
     layout: &BlockLayout,
     banks: &[usize],
     options: &HotspotOptions,
     target_delta: f64,
 ) -> Result<(TemperatureField, f64), SafelightError> {
-    let mut grid = layout.thermal_grid(options.thermal)?;
+    let mut unit_fields = Vec::with_capacity(banks.len());
     for &bank in banks {
-        let rect = layout.floorplan().bank(bank).map_err(safelight_onn::OnnError::from)?.rect;
-        grid.add_power_region(rect, 1.0)?;
+        let rect = layout
+            .floorplan()
+            .bank(bank)
+            .map_err(safelight_onn::OnnError::from)?
+            .rect;
+        unit_fields.push(unit_bank_field(layout, rect, &options.thermal)?);
     }
-    let field = grid.solve()?;
+    let refs: Vec<&TemperatureField> = unit_fields.iter().map(std::sync::Arc::as_ref).collect();
+    let field = TemperatureField::superpose(&refs, &vec![1.0; refs.len()])?;
     let mut mean = 0.0;
     for &bank in banks {
-        let rect = layout.floorplan().bank(bank).map_err(safelight_onn::OnnError::from)?.rect;
+        let rect = layout
+            .floorplan()
+            .bank(bank)
+            .map_err(safelight_onn::OnnError::from)?
+            .rect;
         mean += field.mean_delta_in(rect)?;
     }
     mean /= banks.len() as f64;
@@ -134,7 +205,10 @@ pub fn inject_hotspot(
     rng: &mut SimRng,
 ) -> Result<ConditionMap, SafelightError> {
     if !(fraction > 0.0 && fraction <= 1.0) {
-        return Err(SafelightError::InvalidParameter { name: "fraction", value: fraction });
+        return Err(SafelightError::InvalidParameter {
+            name: "fraction",
+            value: fraction,
+        });
     }
     let target_delta = options
         .target_delta_kelvin
@@ -199,8 +273,7 @@ mod tests {
         let mut rng = SimRng::seed_from(11);
         let opts = HotspotOptions::default();
         let target = cfg.one_channel_delta_kelvin();
-        let map =
-            inject_hotspot(&cfg, AttackTarget::ConvBlock, 0.05, &opts, &mut rng).unwrap();
+        let map = inject_hotspot(&cfg, AttackTarget::ConvBlock, 0.05, &opts, &mut rng).unwrap();
         // The hottest rings should be near the (one-channel) target ΔT.
         let max_dt = map
             .iter(BlockKind::Conv)
@@ -220,8 +293,7 @@ mod tests {
         let cfg = config();
         let mut rng = SimRng::seed_from(12);
         let opts = HotspotOptions::default();
-        let map =
-            inject_hotspot(&cfg, AttackTarget::ConvBlock, 0.10, &opts, &mut rng).unwrap();
+        let map = inject_hotspot(&cfg, AttackTarget::ConvBlock, 0.10, &opts, &mut rng).unwrap();
         let attacked_bank_rings =
             banks_to_attack(&cfg, BlockKind::Conv, 0.10) * cfg.conv.mrs_per_bank();
         assert!(
@@ -252,11 +324,11 @@ mod tests {
     fn invalid_options_are_rejected() {
         let cfg = config();
         let mut rng = SimRng::seed_from(14);
-        let bad =
-            HotspotOptions { target_delta_kelvin: Some(0.0), ..HotspotOptions::default() };
-        assert!(
-            inject_hotspot(&cfg, AttackTarget::ConvBlock, 0.05, &bad, &mut rng).is_err()
-        );
+        let bad = HotspotOptions {
+            target_delta_kelvin: Some(0.0),
+            ..HotspotOptions::default()
+        };
+        assert!(inject_hotspot(&cfg, AttackTarget::ConvBlock, 0.05, &bad, &mut rng).is_err());
         assert!(inject_hotspot(
             &cfg,
             AttackTarget::ConvBlock,

@@ -119,10 +119,19 @@ impl std::fmt::Display for AttackScenario {
 pub fn scenario_grid(fractions: &[f64], trials: u64) -> Vec<AttackScenario> {
     let mut grid = Vec::new();
     for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
-        for target in [AttackTarget::ConvBlock, AttackTarget::FcBlock, AttackTarget::Both] {
+        for target in [
+            AttackTarget::ConvBlock,
+            AttackTarget::FcBlock,
+            AttackTarget::Both,
+        ] {
             for &fraction in fractions {
                 for trial in 0..trials {
-                    grid.push(AttackScenario { vector, target, fraction, trial });
+                    grid.push(AttackScenario {
+                        vector,
+                        target,
+                        fraction,
+                        trial,
+                    });
                 }
             }
         }

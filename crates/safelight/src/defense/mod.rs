@@ -8,9 +8,7 @@ pub use variants::{fig8_variants, noise_ablation_variants, VariantKind};
 use std::path::{Path, PathBuf};
 
 use safelight_datasets::SplitDataset;
-use safelight_neuro::{
-    load_network_params, save_network_params, Network, Trainer, TrainerConfig,
-};
+use safelight_neuro::{load_network_params, save_network_params, Network, Trainer, TrainerConfig};
 
 use crate::models::{build_model, ModelKind};
 use crate::SafelightError;
@@ -71,7 +69,11 @@ impl TrainingRecipe {
             batch_size: self.batch_size,
             learning_rate: self.learning_rate,
             momentum: 0.9,
-            weight_decay: if variant.uses_l2() { self.l2_lambda } else { 0.0 },
+            weight_decay: if variant.uses_l2() {
+                self.l2_lambda
+            } else {
+                0.0
+            },
             noise_std: variant.noise_std(),
             lr_decay_epochs: (self.epochs / 2).max(1),
             lr_decay_factor: 0.3,
@@ -82,7 +84,12 @@ impl TrainingRecipe {
 }
 
 /// File name for a cached variant.
-fn cache_file(dir: &Path, kind: ModelKind, variant: VariantKind, recipe: &TrainingRecipe) -> PathBuf {
+fn cache_file(
+    dir: &Path,
+    kind: ModelKind,
+    variant: VariantKind,
+    recipe: &TrainingRecipe,
+) -> PathBuf {
     dir.join(format!(
         "{}-{}-e{}-s{}.slnn",
         kind.label().to_lowercase(),
@@ -138,11 +145,20 @@ mod tests {
     use safelight_datasets::{digits, SyntheticSpec};
 
     fn tiny_data() -> SplitDataset {
-        digits(&SyntheticSpec { train: 60, test: 20, ..SyntheticSpec::default() }).unwrap()
+        digits(&SyntheticSpec {
+            train: 60,
+            test: 20,
+            ..SyntheticSpec::default()
+        })
+        .unwrap()
     }
 
     fn tiny_recipe() -> TrainingRecipe {
-        TrainingRecipe { epochs: 2, batch_size: 16, ..TrainingRecipe::for_model(ModelKind::Cnn1) }
+        TrainingRecipe {
+            epochs: 2,
+            batch_size: 16,
+            ..TrainingRecipe::for_model(ModelKind::Cnn1)
+        }
     }
 
     #[test]
@@ -175,11 +191,23 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("safelight-cache-test-{}", std::process::id()));
         let data = tiny_data();
         let recipe = tiny_recipe();
-        let a = train_variant(ModelKind::Cnn1, VariantKind::L2Only, &data, &recipe, Some(&dir))
-            .unwrap();
+        let a = train_variant(
+            ModelKind::Cnn1,
+            VariantKind::L2Only,
+            &data,
+            &recipe,
+            Some(&dir),
+        )
+        .unwrap();
         // Second call must hit the cache and return identical weights.
-        let b = train_variant(ModelKind::Cnn1, VariantKind::L2Only, &data, &recipe, Some(&dir))
-            .unwrap();
+        let b = train_variant(
+            ModelKind::Cnn1,
+            VariantKind::L2Only,
+            &data,
+            &recipe,
+            Some(&dir),
+        )
+        .unwrap();
         for (pa, pb) in a.params().iter().zip(b.params().iter()) {
             assert_eq!(pa.value.as_slice(), pb.value.as_slice());
         }

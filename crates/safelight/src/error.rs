@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn conversions_preserve_sources() {
-        let e = SafelightError::from(OnnError::InvalidConfig { name: "x", value: 0.0 });
+        let e = SafelightError::from(OnnError::InvalidConfig {
+            name: "x",
+            value: 0.0,
+        });
         assert!(e.source().is_some());
     }
 }

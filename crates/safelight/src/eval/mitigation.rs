@@ -39,14 +39,12 @@ impl MitigationReport {
     /// Ties break toward the earlier variant on the Fig. 8 axis.
     #[must_use]
     pub fn most_robust(&self) -> Option<&VariantOutcome> {
-        self.outcomes
-            .iter()
-            .max_by(|a, b| {
-                a.stats
-                    .median
-                    .partial_cmp(&b.stats.median)
-                    .expect("accuracies are finite")
-            })
+        self.outcomes.iter().max_by(|a, b| {
+            a.stats
+                .median
+                .partial_cmp(&b.stats.median)
+                .expect("accuracies are finite")
+        })
     }
 }
 
@@ -71,7 +69,10 @@ pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
     threads: usize,
 ) -> Result<MitigationReport, SafelightError> {
     if scenarios.is_empty() {
-        return Err(SafelightError::InvalidParameter { name: "scenarios", value: 0.0 });
+        return Err(SafelightError::InvalidParameter {
+            name: "scenarios",
+            value: 0.0,
+        });
     }
     let injected = inject_all(config, scenarios, seed, threads)?;
     let mut outcomes = Vec::with_capacity(variants.len());
@@ -83,7 +84,11 @@ pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
         let accuracies: Vec<f64> = trials.iter().map(|t| t.accuracy).collect();
         let stats = BoxStats::from_values(&accuracies)
             .expect("non-empty scenarios produce non-empty accuracies");
-        outcomes.push(VariantOutcome { variant: *variant, baseline, stats });
+        outcomes.push(VariantOutcome {
+            variant: *variant,
+            baseline,
+            stats,
+        });
     }
     Ok(MitigationReport { outcomes })
 }
@@ -98,14 +103,19 @@ mod tests {
 
     #[test]
     fn mitigation_report_summarizes_each_variant() {
-        let data =
-            digits(&SyntheticSpec { train: 100, test: 40, ..SyntheticSpec::default() }).unwrap();
+        let data = digits(&SyntheticSpec {
+            train: 100,
+            test: 40,
+            ..SyntheticSpec::default()
+        })
+        .unwrap();
         let config = AcceleratorConfig::scaled_experiment().unwrap();
 
         let mut variants = Vec::new();
-        for (variant, noise) in
-            [(VariantKind::Original, 0.0f32), (VariantKind::L2Noise(3), 0.3f32)]
-        {
+        for (variant, noise) in [
+            (VariantKind::Original, 0.0f32),
+            (VariantKind::L2Noise(3), 0.3f32),
+        ] {
             let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
             let mut network = bundle.network;
             let cfg = TrainerConfig {
@@ -129,10 +139,8 @@ mod tests {
                 trial,
             })
             .collect();
-        let report = run_mitigation(
-            &variants, &mapping, &config, &data.test, &scenarios, 11, 2,
-        )
-        .unwrap();
+        let report =
+            run_mitigation(&variants, &mapping, &config, &data.test, &scenarios, 11, 2).unwrap();
         assert_eq!(report.outcomes.len(), 2);
         for o in &report.outcomes {
             assert!(o.stats.min <= o.stats.median && o.stats.median <= o.stats.max);
@@ -142,8 +150,12 @@ mod tests {
 
     #[test]
     fn empty_scenarios_are_rejected() {
-        let data =
-            digits(&SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() }).unwrap();
+        let data = digits(&SyntheticSpec {
+            train: 20,
+            test: 10,
+            ..SyntheticSpec::default()
+        })
+        .unwrap();
         let config = AcceleratorConfig::scaled_experiment().unwrap();
         let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();

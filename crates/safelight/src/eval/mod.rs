@@ -70,46 +70,19 @@ impl BoxStats {
     }
 }
 
-/// Maps `items` through `work` on up to `threads` OS threads, preserving
-/// order. Used to parallelize independent attack trials on the 2-core
-/// evaluation machine.
+/// Maps `items` through `work` in input order, fanning out across the
+/// workspace's shared worker pool (see [`safelight_neuro::parallel`]) when
+/// `threads > 1`. The seed spawned scoped OS threads per call; the pool
+/// amortizes thread creation across the whole sweep and lets trial-level
+/// and batch-level parallelism share one set of cores without
+/// oversubscription.
 pub(crate) fn par_map<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = threads.max(1);
-    if threads == 1 || items.len() <= 1 {
-        return items.into_iter().map(work).collect();
-    }
-    let mut indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let chunk = indexed.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<(usize, T)>> = Vec::new();
-    while !indexed.is_empty() {
-        let take = chunk.min(indexed.len());
-        chunks.push(indexed.drain(..take).collect());
-    }
-    let work = &work;
-    let mut results: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(i, item)| (i, work(item)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
-    });
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, r)| r).collect()
+    safelight_neuro::parallel::par_map(items, threads, work)
 }
 
 #[cfg(test)]

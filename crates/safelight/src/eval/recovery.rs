@@ -2,11 +2,12 @@
 //! versus the original model at each attack intensity, and how much of the
 //! attack-induced drop the robust model recovers.
 
-use safelight_neuro::{Dataset, Network};
-use safelight_onn::{AcceleratorConfig, WeightMapping};
+use safelight_neuro::{accuracy, Dataset, Network};
+use safelight_onn::{corrupt_network, AcceleratorConfig, ConditionMap, WeightMapping};
 
 use crate::attack::{AttackScenario, AttackTarget, AttackVector};
-use crate::eval::run_susceptibility;
+use crate::eval::par_map;
+use crate::eval::susceptibility::inject_all;
 use crate::SafelightError;
 
 /// Accuracy interval (across trials) of original vs robust model for one
@@ -77,10 +78,16 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
     threads: usize,
 ) -> Result<RecoveryReport, SafelightError> {
     if fractions.is_empty() {
-        return Err(SafelightError::InvalidParameter { name: "fractions", value: 0.0 });
+        return Err(SafelightError::InvalidParameter {
+            name: "fractions",
+            value: 0.0,
+        });
     }
     if trials == 0 {
-        return Err(SafelightError::InvalidParameter { name: "trials", value: 0.0 });
+        return Err(SafelightError::InvalidParameter {
+            name: "trials",
+            value: 0.0,
+        });
     }
     let mut scenarios = Vec::new();
     for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
@@ -95,10 +102,42 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
             }
         }
     }
-    let original_report =
-        run_susceptibility(original, mapping, config, test_data, &scenarios, seed, threads)?;
-    let robust_report =
-        run_susceptibility(robust, mapping, config, test_data, &scenarios, seed, threads)?;
+    // Fault conditions depend only on (scenario, seed), so the expensive
+    // injection pass — thermal solves included — is shared between the two
+    // models instead of being recomputed per model as the seed did.
+    let injected = inject_all(config, &scenarios, seed, threads)?;
+
+    // Both clean baselines and both models' full trial sets are
+    // independent work items; evaluate all of them in one flat fan-out
+    // over the pool (2 baselines + 2·N trials) so no worker idles at a
+    // cross-model barrier. Results come back in item order, so the split
+    // below is deterministic.
+    let networks = [original, robust];
+    let n_scenarios = injected.len();
+    let items: Vec<usize> = (0..2 + 2 * n_scenarios).collect();
+    let outcomes = par_map(items, threads, |i| {
+        if i < 2 {
+            let mut clean = corrupt_network(networks[i], mapping, &ConditionMap::new(), config)?;
+            let acc = accuracy(&mut clean, test_data, 32)?;
+            return Ok::<f64, SafelightError>(acc);
+        }
+        let i = i - 2;
+        let (_, conditions) = &injected[i % n_scenarios];
+        let mut attacked = corrupt_network(networks[i / n_scenarios], mapping, conditions, config)?;
+        Ok(accuracy(&mut attacked, test_data, 32)?)
+    });
+    let mut accuracies = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        accuracies.push(outcome?);
+    }
+    let original_baseline = accuracies[0];
+    let robust_baseline = accuracies[1];
+    let trial_of = |model: usize, i: usize| crate::eval::TrialResult {
+        scenario: injected[i].0,
+        accuracy: accuracies[2 + model * n_scenarios + i],
+    };
+    let original_trials: Vec<_> = (0..n_scenarios).map(|i| trial_of(0, i)).collect();
+    let robust_trials: Vec<_> = (0..n_scenarios).map(|i| trial_of(1, i)).collect();
 
     let mut intervals = Vec::new();
     for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
@@ -106,14 +145,12 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
             let select = |t: &&crate::eval::TrialResult| {
                 t.scenario.vector == vector && (t.scenario.fraction - fraction).abs() < 1e-12
             };
-            let orig: Vec<f64> = original_report
-                .trials
+            let orig: Vec<f64> = original_trials
                 .iter()
                 .filter(select)
                 .map(|t| t.accuracy)
                 .collect();
-            let robu: Vec<f64> = robust_report
-                .trials
+            let robu: Vec<f64> = robust_trials
                 .iter()
                 .filter(select)
                 .map(|t| t.accuracy)
@@ -127,8 +164,8 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
         }
     }
     Ok(RecoveryReport {
-        original_baseline: original_report.baseline,
-        robust_baseline: robust_report.baseline,
+        original_baseline,
+        robust_baseline,
         intervals,
     })
 }
@@ -142,21 +179,40 @@ mod tests {
 
     #[test]
     fn recovery_report_has_one_interval_per_cell() {
-        let data =
-            digits(&SyntheticSpec { train: 100, test: 40, ..SyntheticSpec::default() }).unwrap();
+        let data = digits(&SyntheticSpec {
+            train: 100,
+            test: 40,
+            ..SyntheticSpec::default()
+        })
+        .unwrap();
         let config = AcceleratorConfig::scaled_experiment().unwrap();
         let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
 
         let mut original = bundle.network.clone();
-        let cfg = TrainerConfig { epochs: 2, batch_size: 20, ..TrainerConfig::default() };
+        let cfg = TrainerConfig {
+            epochs: 2,
+            batch_size: 20,
+            ..TrainerConfig::default()
+        };
         Trainer::new(cfg).fit(&mut original, &data.train).unwrap();
         let mut robust = bundle.network.clone();
-        let cfg = TrainerConfig { noise_std: 0.3, ..cfg };
+        let cfg = TrainerConfig {
+            noise_std: 0.3,
+            ..cfg
+        };
         Trainer::new(cfg).fit(&mut robust, &data.train).unwrap();
 
         let report = run_recovery(
-            &original, &robust, &mapping, &config, &data.test, &[0.01, 0.10], 2, 5, 2,
+            &original,
+            &robust,
+            &mapping,
+            &config,
+            &data.test,
+            &[0.01, 0.10],
+            2,
+            5,
+            2,
         )
         .unwrap();
         // 2 vectors × 2 fractions.
@@ -169,15 +225,17 @@ mod tests {
 
     #[test]
     fn degenerate_inputs_are_rejected() {
-        let data =
-            digits(&SyntheticSpec { train: 20, test: 10, ..SyntheticSpec::default() }).unwrap();
+        let data = digits(&SyntheticSpec {
+            train: 20,
+            test: 10,
+            ..SyntheticSpec::default()
+        })
+        .unwrap();
         let config = AcceleratorConfig::scaled_experiment().unwrap();
         let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
         let net = bundle.network;
         assert!(run_recovery(&net, &net, &mapping, &config, &data.test, &[], 2, 1, 1).is_err());
-        assert!(
-            run_recovery(&net, &net, &mapping, &config, &data.test, &[0.01], 0, 1, 1).is_err()
-        );
+        assert!(run_recovery(&net, &net, &mapping, &config, &data.test, &[0.01], 0, 1, 1).is_err());
     }
 }

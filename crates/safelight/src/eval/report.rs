@@ -22,8 +22,7 @@ pub fn susceptibility_csv(report: &SusceptibilityReport) -> String {
     for t in &report.trials {
         out.push_str(&format!(
             "{},{},{},{},{}\n",
-            t.scenario.vector, t.scenario.target, t.scenario.fraction, t.scenario.trial,
-            t.accuracy
+            t.scenario.vector, t.scenario.target, t.scenario.fraction, t.scenario.trial, t.accuracy
         ));
     }
     out
@@ -98,8 +97,14 @@ mod tests {
         let report = SusceptibilityReport {
             baseline: 0.9,
             trials: vec![
-                TrialResult { scenario: scenario(), accuracy: 0.5 },
-                TrialResult { scenario: scenario(), accuracy: 0.6 },
+                TrialResult {
+                    scenario: scenario(),
+                    accuracy: 0.5,
+                },
+                TrialResult {
+                    scenario: scenario(),
+                    accuracy: 0.6,
+                },
             ],
         };
         let csv = susceptibility_csv(&report);

@@ -30,7 +30,10 @@ impl SusceptibilityReport {
     /// The worst (lowest) accuracy across all trials.
     #[must_use]
     pub fn worst_accuracy(&self) -> f64 {
-        self.trials.iter().map(|t| t.accuracy).fold(f64::INFINITY, f64::min)
+        self.trials
+            .iter()
+            .map(|t| t.accuracy)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The largest accuracy drop from baseline, in accuracy points.
@@ -45,7 +48,10 @@ impl SusceptibilityReport {
     where
         F: Fn(&AttackScenario) -> bool,
     {
-        self.trials.iter().filter(|t| predicate(&t.scenario)).collect()
+        self.trials
+            .iter()
+            .filter(|t| predicate(&t.scenario))
+            .collect()
     }
 }
 
@@ -88,7 +94,10 @@ pub fn evaluate_with_conditions<D: Dataset + Sync + ?Sized>(
         let (scenario, conditions) = &injected[i];
         let mut attacked = corrupt_network(network, mapping, conditions, config)?;
         let acc = accuracy(&mut attacked, test_data, 32)?;
-        Ok::<TrialResult, SafelightError>(TrialResult { scenario: *scenario, accuracy: acc })
+        Ok::<TrialResult, SafelightError>(TrialResult {
+            scenario: *scenario,
+            accuracy: acc,
+        })
     });
     outcomes.into_iter().collect()
 }
@@ -114,11 +123,15 @@ pub fn run_susceptibility<D: Dataset + Sync + ?Sized>(
     threads: usize,
 ) -> Result<SusceptibilityReport, SafelightError> {
     // Baseline: clean accelerator (DAC quantization only).
-    let mut clean = corrupt_network(network, mapping, &safelight_onn::ConditionMap::new(), config)?;
+    let mut clean = corrupt_network(
+        network,
+        mapping,
+        &safelight_onn::ConditionMap::new(),
+        config,
+    )?;
     let baseline = accuracy(&mut clean, test_data, 32)?;
     let injected = inject_all(config, scenarios, seed, threads)?;
-    let trials =
-        evaluate_with_conditions(network, mapping, config, test_data, &injected, threads)?;
+    let trials = evaluate_with_conditions(network, mapping, config, test_data, &injected, threads)?;
     Ok(SusceptibilityReport { baseline, trials })
 }
 
@@ -131,13 +144,25 @@ mod tests {
     use safelight_neuro::{Trainer, TrainerConfig};
 
     /// A trained-enough CNN_1 plus its mapping on the scaled accelerator.
-    fn trained_setup() -> (Network, WeightMapping, AcceleratorConfig, safelight_datasets::SplitDataset)
-    {
-        let data =
-            digits(&SyntheticSpec { train: 120, test: 60, ..SyntheticSpec::default() }).unwrap();
+    fn trained_setup() -> (
+        Network,
+        WeightMapping,
+        AcceleratorConfig,
+        safelight_datasets::SplitDataset,
+    ) {
+        let data = digits(&SyntheticSpec {
+            train: 120,
+            test: 60,
+            ..SyntheticSpec::default()
+        })
+        .unwrap();
         let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
         let mut network = bundle.network;
-        let cfg = TrainerConfig { epochs: 3, batch_size: 20, ..TrainerConfig::default() };
+        let cfg = TrainerConfig {
+            epochs: 3,
+            batch_size: 20,
+            ..TrainerConfig::default()
+        };
         Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
         let config = AcceleratorConfig::scaled_experiment().unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
@@ -162,8 +187,7 @@ mod tests {
             },
         ];
         let report =
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2)
-                .unwrap();
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2).unwrap();
         assert_eq!(report.trials.len(), 2);
         assert!(report.baseline > 0.3, "baseline {}", report.baseline);
         for t in &report.trials {
@@ -181,8 +205,7 @@ mod tests {
             trial: 0,
         }];
         let report =
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1)
-                .unwrap();
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
         assert!(report.worst_accuracy() <= report.baseline + 0.2);
         assert!(report.worst_drop() >= -0.2);
     }
@@ -198,10 +221,10 @@ mod tests {
                 trial,
             })
             .collect();
-        let a = run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1)
-            .unwrap();
-        let b = run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2)
-            .unwrap();
+        let a =
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
+        let b =
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2).unwrap();
         for (ta, tb) in a.trials.iter().zip(&b.trials) {
             assert_eq!(ta.accuracy, tb.accuracy);
         }

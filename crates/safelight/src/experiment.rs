@@ -46,7 +46,11 @@ impl Default for ExperimentOptions {
             fidelity: Fidelity::Quick,
             seed: 2025,
             cache_dir: Some(PathBuf::from("target/safelight-models")),
-            threads: 2,
+            // Saturate the shared worker pool by default; trial results are
+            // scenario-ordered and bitwise independent of this value.
+            // (`configured_threads` reports the pool's size without
+            // spawning it — constructing options stays side-effect free.)
+            threads: safelight_neuro::parallel::configured_threads(),
         }
     }
 }
@@ -81,7 +85,10 @@ impl ExperimentOptions {
     pub fn recipe(&self, kind: ModelKind) -> TrainingRecipe {
         let base = TrainingRecipe::for_model(kind);
         match self.fidelity {
-            Fidelity::Quick => TrainingRecipe { epochs: (base.epochs / 2).max(4), ..base },
+            Fidelity::Quick => TrainingRecipe {
+                epochs: (base.epochs / 2).max(4),
+                ..base
+            },
             Fidelity::Full => base,
         }
     }
@@ -143,7 +150,10 @@ pub struct ModelWorkbench {
 /// # Errors
 ///
 /// Propagates generation, training and mapping errors.
-pub fn workbench(kind: ModelKind, opts: &ExperimentOptions) -> Result<ModelWorkbench, SafelightError> {
+pub fn workbench(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+) -> Result<ModelWorkbench, SafelightError> {
     let data = generate(dataset_kind_for(kind), &opts.data_spec(kind))?;
     let config = crate::models::matched_accelerator(kind)?;
     let bundle = build_model(kind, opts.recipe(kind).seed)?;
@@ -155,7 +165,13 @@ pub fn workbench(kind: ModelKind, opts: &ExperimentOptions) -> Result<ModelWorkb
         &opts.recipe(kind),
         opts.cache_dir.as_deref(),
     )?;
-    Ok(ModelWorkbench { kind, data, config, mapping, original })
+    Ok(ModelWorkbench {
+        kind,
+        data,
+        config,
+        mapping,
+        original,
+    })
 }
 
 /// The Fig. 6 artifact: the CONV block's steady-state ΔT heatmap with two
@@ -259,8 +275,13 @@ pub fn run_fig8(
     let recipe = opts.recipe(kind);
     let mut variants = Vec::new();
     for variant in fig8_variants() {
-        let network =
-            train_variant(kind, variant, &bench.data, &recipe, opts.cache_dir.as_deref())?;
+        let network = train_variant(
+            kind,
+            variant,
+            &bench.data,
+            &recipe,
+            opts.cache_dir.as_deref(),
+        )?;
         variants.push((variant, network));
     }
     let scenarios = scenario_grid(&opts.fractions(), opts.fig8_trials());
@@ -289,10 +310,7 @@ pub fn run_fig9(
     opts: &ExperimentOptions,
 ) -> Result<(VariantKind, RecoveryReport), SafelightError> {
     let (bench, fig8) = run_fig8(kind, opts)?;
-    let best = fig8
-        .most_robust()
-        .expect("fig8 axis is non-empty")
-        .variant;
+    let best = fig8.most_robust().expect("fig8 axis is non-empty").variant;
     let robust = train_variant(
         kind,
         best,
@@ -319,14 +337,23 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> ExperimentOptions {
-        ExperimentOptions { fidelity: Fidelity::Quick, seed: 1, cache_dir: None, threads: 2 }
+        ExperimentOptions {
+            fidelity: Fidelity::Quick,
+            seed: 1,
+            cache_dir: None,
+            threads: 2,
+        }
     }
 
     #[test]
     fn fig6_heats_two_banks_and_their_neighbours() {
         let artifact = run_fig6(&tiny_opts()).unwrap();
         assert_eq!(artifact.attacked_banks.len(), 2);
-        assert!(artifact.peak_delta_kelvin > 10.0, "peak {}", artifact.peak_delta_kelvin);
+        assert!(
+            artifact.peak_delta_kelvin > 10.0,
+            "peak {}",
+            artifact.peak_delta_kelvin
+        );
         assert!(
             artifact.neighbour_mean_delta_kelvin > 0.0,
             "no spill-over measured"
@@ -339,11 +366,12 @@ mod tests {
     #[test]
     fn options_scale_with_fidelity() {
         let quick = tiny_opts();
-        let full = ExperimentOptions { fidelity: Fidelity::Full, ..tiny_opts() };
+        let full = ExperimentOptions {
+            fidelity: Fidelity::Full,
+            ..tiny_opts()
+        };
         assert!(quick.fig7_trials() < full.fig7_trials());
-        assert!(
-            quick.data_spec(ModelKind::Cnn1).train < full.data_spec(ModelKind::Cnn1).train
-        );
+        assert!(quick.data_spec(ModelKind::Cnn1).train < full.data_spec(ModelKind::Cnn1).train);
         assert!(quick.recipe(ModelKind::Cnn1).epochs < full.recipe(ModelKind::Cnn1).epochs);
     }
 }

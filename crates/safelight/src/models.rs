@@ -113,11 +113,18 @@ struct Builder {
 
 impl Builder {
     fn new(seed: u64) -> Self {
-        Self { network: Network::new(), specs: Vec::new(), seed }
+        Self {
+            network: Network::new(),
+            specs: Vec::new(),
+            seed,
+        }
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
         self.seed
     }
 
@@ -171,7 +178,8 @@ impl Builder {
     fn linear(&mut self, name: &str, in_f: usize, out_f: usize) -> Result<(), SafelightError> {
         let seed = self.next_seed();
         let fc = Linear::new(in_f, out_f, seed)?;
-        self.specs.push(LayerSpec::new(name, BlockKind::Fc, out_f * in_f));
+        self.specs
+            .push(LayerSpec::new(name, BlockKind::Fc, out_f * in_f));
         self.network.push(fc);
         Ok(())
     }
@@ -181,7 +189,11 @@ impl Builder {
     }
 
     fn finish(self, kind: ModelKind) -> ModelBundle {
-        ModelBundle { network: self.network, layer_specs: self.specs, kind }
+        ModelBundle {
+            network: self.network,
+            layer_specs: self.specs,
+            kind,
+        }
     }
 }
 
@@ -331,18 +343,42 @@ pub fn matched_accelerator(kind: ModelKind) -> Result<AcceleratorConfig, Safelig
     let (conv, fc) = match kind {
         // CNN_1: conv 1 352 / 20 800 = 6.5 % util; fc 39 024 / 1.26 M = 3.1 %.
         ModelKind::Cnn1 => (
-            BlockConfig { vdp_units: 100, bank_rows: 13, bank_cols: 16 },
-            BlockConfig { vdp_units: 60, bank_rows: 140, bank_cols: 150 },
+            BlockConfig {
+                vdp_units: 100,
+                bank_rows: 13,
+                bank_cols: 16,
+            },
+            BlockConfig {
+                vdp_units: 60,
+                bank_rows: 140,
+                bank_cols: 150,
+            },
         ),
         // ResNet18s: conv 65 432 / 600 ≈ 109 rounds; fc 320 / 79 920 = 0.4 %.
         ModelKind::ResNet18s => (
-            BlockConfig { vdp_units: 100, bank_rows: 2, bank_cols: 3 },
-            BlockConfig { vdp_units: 60, bank_rows: 36, bank_cols: 37 },
+            BlockConfig {
+                vdp_units: 100,
+                bank_rows: 2,
+                bank_cols: 3,
+            },
+            BlockConfig {
+                vdp_units: 60,
+                bank_rows: 36,
+                bank_cols: 37,
+            },
         ),
         // VGG16s: conv 26 712 / 300 ≈ 89 rounds; fc 297 472 / 3 360 ≈ 89.
         ModelKind::Vgg16s => (
-            BlockConfig { vdp_units: 100, bank_rows: 1, bank_cols: 3 },
-            BlockConfig { vdp_units: 60, bank_rows: 7, bank_cols: 8 },
+            BlockConfig {
+                vdp_units: 100,
+                bank_rows: 1,
+                bank_cols: 3,
+            },
+            BlockConfig {
+                vdp_units: 60,
+                bank_rows: 7,
+                bank_cols: 8,
+            },
         ),
     };
     Ok(AcceleratorConfig::custom(conv, fc)?)
@@ -378,7 +414,15 @@ pub fn table1() -> Result<Vec<Table1Row>, SafelightError> {
     let paper: [(&str, &str, usize, usize, usize, usize, usize); 3] = [
         ("CNN_1", "MNIST", 2, 2_600, 3, 41_600, 44_200),
         ("ResNet18", "CIFAR10", 17, 4_700_000, 1, 5_100, 4_700_000),
-        ("VGG16_v", "Imagenette", 6, 3_900_000, 3, 119_600_000, 123_500_000),
+        (
+            "VGG16_v",
+            "Imagenette",
+            6,
+            3_900_000,
+            3,
+            119_600_000,
+            123_500_000,
+        ),
     ];
     let mut rows = Vec::with_capacity(3);
     for (kind, p) in ModelKind::all().into_iter().zip(paper) {
@@ -416,8 +460,16 @@ mod tests {
     #[test]
     fn cnn1_has_two_conv_three_fc() {
         let b = build_model(ModelKind::Cnn1, 1).unwrap();
-        let conv = b.layer_specs.iter().filter(|s| s.kind == BlockKind::Conv).count();
-        let fc = b.layer_specs.iter().filter(|s| s.kind == BlockKind::Fc).count();
+        let conv = b
+            .layer_specs
+            .iter()
+            .filter(|s| s.kind == BlockKind::Conv)
+            .count();
+        let fc = b
+            .layer_specs
+            .iter()
+            .filter(|s| s.kind == BlockKind::Fc)
+            .count();
         assert_eq!((conv, fc), (2, 3));
     }
 
@@ -429,7 +481,11 @@ mod tests {
             .iter()
             .filter(|s| s.kind == BlockKind::Conv && !s.name.ends_with(".proj"))
             .count();
-        let fc = b.layer_specs.iter().filter(|s| s.kind == BlockKind::Fc).count();
+        let fc = b
+            .layer_specs
+            .iter()
+            .filter(|s| s.kind == BlockKind::Fc)
+            .count();
         assert_eq!((primary, fc), (17, 1));
     }
 
@@ -461,9 +517,11 @@ mod tests {
 
     #[test]
     fn models_forward_on_their_dataset_shapes() {
-        let shapes = [(ModelKind::Cnn1, vec![2, 1, 28, 28]),
+        let shapes = [
+            (ModelKind::Cnn1, vec![2, 1, 28, 28]),
             (ModelKind::ResNet18s, vec![2, 3, 32, 32]),
-            (ModelKind::Vgg16s, vec![2, 3, 64, 64])];
+            (ModelKind::Vgg16s, vec![2, 3, 64, 64]),
+        ];
         for (kind, shape) in shapes {
             let mut b = build_model(kind, 5).unwrap();
             let y = b.network.forward(&Tensor::zeros(shape), false).unwrap();

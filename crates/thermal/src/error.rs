@@ -46,13 +46,21 @@ impl fmt::Display for ThermalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::EmptyGrid => write!(f, "thermal grid dimensions must be non-zero"),
-            Self::CellOutOfBounds { x, y, width, height } => {
+            Self::CellOutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => {
                 write!(f, "cell ({x}, {y}) out of bounds for {width}x{height} grid")
             }
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter `{name}`")
             }
-            Self::NotConverged { iterations, residual_k } => write!(
+            Self::NotConverged {
+                iterations,
+                residual_k,
+            } => write!(
                 f,
                 "solver did not converge after {iterations} iterations (residual {residual_k} K)"
             ),
@@ -77,7 +85,12 @@ mod tests {
 
     #[test]
     fn display_mentions_coordinates() {
-        let e = ThermalError::CellOutOfBounds { x: 3, y: 9, width: 2, height: 2 };
+        let e = ThermalError::CellOutOfBounds {
+            x: 3,
+            y: 9,
+            width: 2,
+            height: 2,
+        };
         assert!(e.to_string().contains("(3, 9)"));
     }
 }

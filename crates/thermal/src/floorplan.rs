@@ -110,7 +110,14 @@ impl Floorplan {
                 });
             }
         }
-        Ok(Self { rows, cols, bank_width, bank_height, gap, banks })
+        Ok(Self {
+            rows,
+            cols,
+            bank_width,
+            bank_height,
+            gap,
+            banks,
+        })
     }
 
     /// Width of the covering thermal grid in cells.
@@ -221,14 +228,24 @@ mod tests {
 
     #[test]
     fn rect_contains_its_cells_only() {
-        let r = Rect { x: 2, y: 3, width: 2, height: 2 };
+        let r = Rect {
+            x: 2,
+            y: 3,
+            width: 2,
+            height: 2,
+        };
         assert!(r.contains(2, 3) && r.contains(3, 4));
         assert!(!r.contains(1, 3) && !r.contains(4, 3) && !r.contains(2, 5));
     }
 
     #[test]
     fn rect_cells_enumerates_area() {
-        let r = Rect { x: 1, y: 1, width: 3, height: 2 };
+        let r = Rect {
+            x: 1,
+            y: 1,
+            width: 3,
+            height: 2,
+        };
         let cells: Vec<_> = r.cells().collect();
         assert_eq!(cells.len(), r.area());
         assert_eq!(cells[0], (1, 1));

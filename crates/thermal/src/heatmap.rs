@@ -38,7 +38,11 @@ impl Heatmap {
             width * height,
             "heatmap buffer does not match dimensions"
         );
-        Self { width, height, values }
+        Self {
+            width,
+            height,
+            values,
+        }
     }
 
     /// Width in cells.
@@ -56,13 +60,20 @@ impl Heatmap {
     /// Smallest value in the map (0 for an empty map).
     #[must_use]
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
     }
 
     /// Largest value in the map.
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Raw values in row-major order.

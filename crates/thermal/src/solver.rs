@@ -116,13 +116,69 @@ impl TemperatureField {
         &self.temperatures_k
     }
 
+    /// Superposes per-source solutions of the (linear) steady-state
+    /// operator: `ΔT = Σ_i scale_i · ΔT_i` over ambient.
+    ///
+    /// Because the heat balance is linear in the sources, the field of a
+    /// multi-source layout equals the scaled sum of single-source fields;
+    /// callers exploit this to cache unit-power solves and combine them
+    /// instead of re-running the solver per source combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when `fields` is empty,
+    /// when `scales` has a different length, or when the fields disagree in
+    /// shape or ambient temperature.
+    pub fn superpose(
+        fields: &[&TemperatureField],
+        scales: &[f64],
+    ) -> Result<TemperatureField, ThermalError> {
+        let first = *fields.first().ok_or(ThermalError::InvalidParameter {
+            name: "fields",
+            value: 0.0,
+        })?;
+        if fields.len() != scales.len() {
+            return Err(ThermalError::InvalidParameter {
+                name: "scales",
+                value: scales.len() as f64,
+            });
+        }
+        let mut temperatures_k = vec![first.ambient_k; first.temperatures_k.len()];
+        let mut iterations = 0;
+        for (field, &scale) in fields.iter().zip(scales) {
+            if field.width != first.width
+                || field.height != first.height
+                || (field.ambient_k - first.ambient_k).abs() > f64::EPSILON
+            {
+                return Err(ThermalError::InvalidParameter {
+                    name: "fields (mismatched shape or ambient)",
+                    value: field.width as f64,
+                });
+            }
+            iterations = iterations.max(field.iterations);
+            for (acc, &t) in temperatures_k.iter_mut().zip(&field.temperatures_k) {
+                *acc += scale * (t - field.ambient_k);
+            }
+        }
+        Ok(TemperatureField {
+            width: first.width,
+            height: first.height,
+            ambient_k: first.ambient_k,
+            temperatures_k,
+            iterations,
+        })
+    }
+
     /// Converts the field into a renderable [`Heatmap`] of ΔT values.
     #[must_use]
     pub fn to_heatmap(&self) -> Heatmap {
         Heatmap::from_values(
             self.width,
             self.height,
-            self.temperatures_k.iter().map(|t| t - self.ambient_k).collect(),
+            self.temperatures_k
+                .iter()
+                .map(|t| t - self.ambient_k)
+                .collect(),
         )
     }
 }
@@ -138,7 +194,16 @@ pub(crate) fn solve_steady_state(
     debug_assert_eq!(power_w.len(), width * height);
     let g_lat = config.lateral_conductance_w_per_k;
     let g_sink = config.sink_conductance_w_per_k;
-    let omega = config.sor_omega;
+    let omega = if config.sor_omega > 0.0 {
+        config.sor_omega
+    } else {
+        // Classical near-optimal SOR factor for a Poisson-like stencil;
+        // the sink term only shrinks the spectral radius further, so this
+        // stays convergent (ω < 2 for the SPD system) while cutting
+        // iteration counts by roughly the grid's linear size.
+        let n = width.max(height).max(2) as f64;
+        (2.0 / (1.0 + (std::f64::consts::PI / n).sin())).min(1.98)
+    };
     let ambient = config.ambient_k;
 
     let mut t = vec![ambient; width * height];
@@ -188,7 +253,10 @@ pub(crate) fn solve_steady_state(
             });
         }
     }
-    Err(ThermalError::NotConverged { iterations, residual_k: residual })
+    Err(ThermalError::NotConverged {
+        iterations,
+        residual_k: residual,
+    })
 }
 
 #[cfg(test)]
@@ -273,16 +341,27 @@ mod tests {
     #[test]
     fn mean_delta_in_region_brackets_extremes() {
         let field = solve_point_source(24, 0.02);
-        let region = Rect { x: 8, y: 8, width: 8, height: 8 };
+        let region = Rect {
+            x: 8,
+            y: 8,
+            width: 8,
+            height: 8,
+        };
         let mean = field.mean_delta_in(region).unwrap();
         assert!(mean > 0.0 && mean <= field.max_delta());
     }
 
     #[test]
     fn unconverged_solve_is_reported() {
-        let cfg = ThermalConfig { max_iterations: 2, ..ThermalConfig::default() };
+        let cfg = ThermalConfig {
+            max_iterations: 2,
+            ..ThermalConfig::default()
+        };
         let mut grid = ThermalGrid::new(16, 16, cfg).unwrap();
         grid.add_power(8, 8, 0.02).unwrap();
-        assert!(matches!(grid.solve(), Err(ThermalError::NotConverged { .. })));
+        assert!(matches!(
+            grid.solve(),
+            Err(ThermalError::NotConverged { .. })
+        ));
     }
 }

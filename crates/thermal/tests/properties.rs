@@ -4,7 +4,10 @@ use proptest::prelude::*;
 use safelight_thermal::{Floorplan, ThermalConfig, ThermalGrid};
 
 fn quick_config() -> ThermalConfig {
-    ThermalConfig { tolerance_k: 1e-5, ..ThermalConfig::default() }
+    ThermalConfig {
+        tolerance_k: 1e-5,
+        ..ThermalConfig::default()
+    }
 }
 
 proptest! {
@@ -111,15 +114,21 @@ fn neighbouring_banks_receive_spillover() {
     // The Fig. 6 behaviour: an attacked bank heats its neighbours
     // measurably more than distant banks.
     let plan = Floorplan::bank_grid(3, 3, 6, 6, 2).unwrap();
-    let mut grid =
-        ThermalGrid::new(plan.grid_width(), plan.grid_height(), quick_config()).unwrap();
+    let mut grid = ThermalGrid::new(plan.grid_width(), plan.grid_height(), quick_config()).unwrap();
     // Attack the centre bank (index 4 of the 3×3 arrangement).
-    grid.add_power_region(plan.bank(4).unwrap().rect, 0.08).unwrap();
+    grid.add_power_region(plan.bank(4).unwrap().rect, 0.08)
+        .unwrap();
     let field = grid.solve().unwrap();
     let centre = field.mean_delta_in(plan.bank(4).unwrap().rect).unwrap();
     let side = field.mean_delta_in(plan.bank(3).unwrap().rect).unwrap();
     let corner = field.mean_delta_in(plan.bank(0).unwrap().rect).unwrap();
-    assert!(centre > side && side > corner, "{centre} / {side} / {corner}");
+    assert!(
+        centre > side && side > corner,
+        "{centre} / {side} / {corner}"
+    );
     // Spill into the adjacent bank is a significant fraction of the peak.
-    assert!(side > 0.1 * centre, "side spill too weak: {side} vs {centre}");
+    assert!(
+        side > 0.1 * centre,
+        "side spill too weak: {side} vs {centre}"
+    );
 }

@@ -11,7 +11,11 @@ use safelight_neuro::{accuracy, Trainer, TrainerConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic MNIST-style dataset (deterministic, no downloads).
-    let data = digits(&SyntheticSpec { train: 1200, test: 300, ..SyntheticSpec::default() })?;
+    let data = digits(&SyntheticSpec {
+        train: 1200,
+        test: 300,
+        ..SyntheticSpec::default()
+    })?;
 
     // 2. The paper's CNN_1 model (2 CONV + 3 FC layers).
     let bundle = build_model(ModelKind::Cnn1, 42)?;
@@ -23,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainerConfig::default()
     });
     let report = trainer.fit(&mut network, &data.train)?;
-    println!("trained CNN_1: final train accuracy {:.1}%", report.final_train_accuracy * 100.0);
+    println!(
+        "trained CNN_1: final train accuracy {:.1}%",
+        report.final_train_accuracy * 100.0
+    );
 
     // 3. Map the model onto an accelerator whose structural ratios match
     //    the paper's (utilization, reuse rounds, bank granularity).

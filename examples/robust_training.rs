@@ -11,7 +11,11 @@ use safelight_datasets::{digits, SyntheticSpec};
 use safelight_neuro::accuracy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = digits(&SyntheticSpec { train: 1200, test: 300, ..SyntheticSpec::default() })?;
+    let data = digits(&SyntheticSpec {
+        train: 1200,
+        test: 300,
+        ..SyntheticSpec::default()
+    })?;
     let kind = ModelKind::Cnn1;
     let config = matched_accelerator(kind)?;
     let bundle = build_model(kind, 42)?;

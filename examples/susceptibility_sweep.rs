@@ -10,7 +10,10 @@ use safelight::models::ModelKind;
 use safelight::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = ExperimentOptions { fidelity: Fidelity::Quick, ..ExperimentOptions::default() };
+    let opts = ExperimentOptions {
+        fidelity: Fidelity::Quick,
+        ..ExperimentOptions::default()
+    };
     let (bench, report) = run_fig7(ModelKind::Cnn1, &opts)?;
     println!(
         "CNN_1 on the matched accelerator (CONV rounds {}, FC rounds {})",

@@ -16,8 +16,12 @@ struct Setup {
 }
 
 fn trained_cnn1() -> Setup {
-    let data = digits(&SyntheticSpec { train: 600, test: 200, ..SyntheticSpec::default() })
-        .unwrap();
+    let data = digits(&SyntheticSpec {
+        train: 600,
+        test: 200,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
     let bundle = build_model(ModelKind::Cnn1, 5).unwrap();
     let mut network = bundle.network;
     let cfg = TrainerConfig {
@@ -32,7 +36,13 @@ fn trained_cnn1() -> Setup {
     let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
     let mut clean = corrupt_network(&network, &mapping, &ConditionMap::new(), &config).unwrap();
     let baseline = accuracy(&mut clean, &data.test, 32).unwrap();
-    Setup { network, mapping, config, test: data.test, baseline }
+    Setup {
+        network,
+        mapping,
+        config,
+        test: data.test,
+        baseline,
+    }
 }
 
 fn accuracy_under(setup: &Setup, scenario: &AttackScenario, seed: u64) -> f64 {
@@ -45,7 +55,11 @@ fn accuracy_under(setup: &Setup, scenario: &AttackScenario, seed: u64) -> f64 {
 #[test]
 fn attacks_degrade_monotonically_with_intensity_on_average() {
     let setup = trained_cnn1();
-    assert!(setup.baseline > 0.85, "baseline too low: {}", setup.baseline);
+    assert!(
+        setup.baseline > 0.85,
+        "baseline too low: {}",
+        setup.baseline
+    );
     // Average over trials to smooth the bank-hit lottery.
     let mean_at = |fraction: f64| -> f64 {
         (0..4)

@@ -112,7 +112,10 @@ fn every_model_round_trips_through_its_matched_accelerator() {
         for block in [BlockKind::Conv, BlockKind::Fc] {
             let used = mapping.used_slots(block);
             let cap = config.block(block).total_mrs();
-            assert_eq!(mapping.rounds(block), used.div_ceil(cap).max(u64::from(used > 0)));
+            assert_eq!(
+                mapping.rounds(block),
+                used.div_ceil(cap).max(u64::from(used > 0))
+            );
         }
     }
 }

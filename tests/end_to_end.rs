@@ -7,7 +7,11 @@ use safelight_neuro::{accuracy, Dataset, Trainer, TrainerConfig};
 use safelight_onn::{corrupt_network, BlockKind, ConditionMap, WeightMapping};
 
 fn tiny_spec() -> SyntheticSpec {
-    SyntheticSpec { train: 120, test: 60, ..SyntheticSpec::default() }
+    SyntheticSpec {
+        train: 120,
+        test: 60,
+        ..SyntheticSpec::default()
+    }
 }
 
 #[test]

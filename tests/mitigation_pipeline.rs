@@ -19,8 +19,12 @@ fn fig8_axis_matches_paper() {
 #[test]
 fn noise_aware_variant_is_more_robust_than_original() {
     let kind = ModelKind::Cnn1;
-    let data = digits(&SyntheticSpec { train: 600, test: 200, ..SyntheticSpec::default() })
-        .unwrap();
+    let data = digits(&SyntheticSpec {
+        train: 600,
+        test: 200,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
     let recipe = TrainingRecipe {
         epochs: 6,
         ..TrainingRecipe::for_model(kind)
@@ -43,7 +47,10 @@ fn noise_aware_variant_is_more_robust_than_original() {
         })
         .collect();
     let report = run_mitigation(
-        &[(VariantKind::Original, original), (VariantKind::L2Noise(3), robust)],
+        &[
+            (VariantKind::Original, original),
+            (VariantKind::L2Noise(3), robust),
+        ],
         &mapping,
         &config,
         &data.test,
@@ -65,9 +72,16 @@ fn noise_aware_variant_is_more_robust_than_original() {
 #[test]
 fn recovery_report_is_internally_consistent() {
     let kind = ModelKind::Cnn1;
-    let data = digits(&SyntheticSpec { train: 300, test: 100, ..SyntheticSpec::default() })
-        .unwrap();
-    let recipe = TrainingRecipe { epochs: 4, ..TrainingRecipe::for_model(kind) };
+    let data = digits(&SyntheticSpec {
+        train: 300,
+        test: 100,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
+    let recipe = TrainingRecipe {
+        epochs: 4,
+        ..TrainingRecipe::for_model(kind)
+    };
     let config = matched_accelerator(kind).unwrap();
     let bundle = build_model(kind, recipe.seed).unwrap();
     let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
@@ -75,7 +89,15 @@ fn recovery_report_is_internally_consistent() {
     let robust = train_variant(kind, VariantKind::L2Noise(3), &data, &recipe, None).unwrap();
 
     let report = run_recovery(
-        &original, &robust, &mapping, &config, &data.test, &[0.01, 0.05], 3, 31, 2,
+        &original,
+        &robust,
+        &mapping,
+        &config,
+        &data.test,
+        &[0.01, 0.05],
+        3,
+        31,
+        2,
     )
     .unwrap();
     assert_eq!(report.intervals.len(), 4); // 2 vectors x 2 fractions
@@ -92,9 +114,16 @@ fn recovery_report_is_internally_consistent() {
 fn variant_cache_reuses_trained_models() {
     let kind = ModelKind::Cnn1;
     let dir = std::env::temp_dir().join(format!("safelight-it-cache-{}", std::process::id()));
-    let data = digits(&SyntheticSpec { train: 200, test: 50, ..SyntheticSpec::default() })
-        .unwrap();
-    let recipe = TrainingRecipe { epochs: 2, ..TrainingRecipe::for_model(kind) };
+    let data = digits(&SyntheticSpec {
+        train: 200,
+        test: 50,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
+    let recipe = TrainingRecipe {
+        epochs: 2,
+        ..TrainingRecipe::for_model(kind)
+    };
     let first = std::time::Instant::now();
     let a = train_variant(kind, VariantKind::L2Noise(2), &data, &recipe, Some(&dir)).unwrap();
     let t_first = first.elapsed();

@@ -1,0 +1,392 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The evaluation container has no crates.io access, so the workspace
+//! vendors this minimal, API-compatible subset instead of the real
+//! dependency. It covers exactly the surface the `safelight-bench` suite
+//! uses:
+//!
+//! * [`Criterion::bench_function`] / [`Criterion::benchmark_group`]
+//! * [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`]
+//!   / [`BenchmarkGroup::sample_size`] / [`BenchmarkGroup::finish`]
+//! * [`Bencher::iter`], [`black_box`], [`BenchmarkId`]
+//! * the [`criterion_group!`] / [`criterion_main!`] macros
+//!
+//! Timing model: each benchmark is warmed up briefly, then run for
+//! `sample_size` samples; every sample times a batch of iterations sized so
+//! one sample takes roughly `target_time / sample_size`. The harness prints
+//! `min / median / mean` per-iteration times in criterion-like one-line
+//! format. Passing `--test` (what `cargo bench -- --test` forwards) runs
+//! every benchmark exactly once for smoke coverage, matching real
+//! criterion's behaviour of skipping measurement in test mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Which benchmarks to run and how, parsed from the command line.
+#[derive(Debug, Clone)]
+struct RunMode {
+    /// Run each benchmark body once, skip measurement (`--test`).
+    test_only: bool,
+    /// Substring filter on benchmark names (first free argument).
+    filter: Option<String>,
+}
+
+impl RunMode {
+    fn from_args() -> Self {
+        let mut test_only = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_only = true,
+                // Flags cargo-bench/criterion commonly forward; accept and
+                // ignore their values where they take one.
+                "--bench" | "--color" | "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    if matches!(arg.as_str(), "--color" | "--save-baseline" | "--baseline") {
+                        let _ = args.next();
+                    }
+                }
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Self { test_only, filter }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Identifies a benchmark within a group, e.g. a parameter point.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives iterations of one benchmark body and records their timing.
+pub struct Bencher<'a> {
+    mode: &'a RunMode,
+    sample_size: usize,
+    target_time: Duration,
+    /// Per-iteration durations of each measured sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, criterion-style: auto-calibrated batches, one batch
+    /// per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode.test_only {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~1/50 of the target time?
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(20));
+        let per_sample = self.target_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample =
+            ((per_sample / once.as_secs_f64()).ceil() as u64).clamp(1, 1_000_000);
+
+        // Warm-up: roughly one sample's worth of work.
+        for _ in 0..iters_per_sample.min(1_000) {
+            black_box(routine());
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn run_one(mode: &RunMode, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if !mode.matches(name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        target_time: Duration::from_secs(1),
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if mode.test_only {
+        println!("{name}: test passed");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    if sorted.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        format_time(min),
+        format_time(median),
+        format_time(mean)
+    );
+}
+
+/// Top-level benchmark harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    mode: RunMode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: RunMode::from_args(),
+            sample_size: 60,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&self.mode, name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Criterion calls this after all groups ran; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Sets the measurement time for this group (accepted, unused).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares throughput metadata (accepted, unused).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            &self.criterion.mode,
+            &name,
+            self.effective_sample_size(),
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: std::fmt::Display, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            &self.criterion.mode,
+            &name,
+            self.effective_sample_size(),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput metadata, accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_and_records_samples() {
+        let mode = RunMode {
+            test_only: false,
+            filter: None,
+        };
+        let mut b = Bencher {
+            mode: &mode,
+            sample_size: 5,
+            target_time: Duration::from_millis(5),
+            samples: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(count > 5);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mode = RunMode {
+            test_only: true,
+            filter: None,
+        };
+        let mut b = Bencher {
+            mode: &mode,
+            sample_size: 10,
+            target_time: Duration::from_secs(1),
+            samples: Vec::new(),
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let mode = RunMode {
+            test_only: false,
+            filter: Some("conv".into()),
+        };
+        assert!(mode.matches("conv2d_forward"));
+        assert!(!mode.matches("linear_forward"));
+        let open = RunMode {
+            test_only: false,
+            filter: None,
+        };
+        assert!(open.matches("anything"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("solve", 32).to_string(), "solve/32");
+    }
+
+    #[test]
+    fn time_formatting_picks_unit() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}
