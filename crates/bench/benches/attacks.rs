@@ -2,18 +2,13 @@
 //! solves at the experiment's accelerator shapes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::attack::{inject, AttackTarget, ScenarioSpec, Selection, VectorSpec};
 use safelight::models::matched_accelerator;
 use safelight::models::ModelKind;
 
 fn bench_actuation(c: &mut Criterion) {
     let config = matched_accelerator(ModelKind::Cnn1).unwrap();
-    let scenario = AttackScenario {
-        vector: AttackVector::Actuation,
-        target: AttackTarget::Both,
-        fraction: 0.05,
-        trial: 0,
-    };
+    let scenario = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.05, 0);
     c.bench_function("inject_actuation_5pct_cnn1", |b| {
         b.iter(|| inject(&scenario, &config, 7).unwrap())
     });
@@ -21,12 +16,7 @@ fn bench_actuation(c: &mut Criterion) {
 
 fn bench_hotspot(c: &mut Criterion) {
     let config = matched_accelerator(ModelKind::ResNet18s).unwrap();
-    let scenario = AttackScenario {
-        vector: AttackVector::Hotspot,
-        target: AttackTarget::ConvBlock,
-        fraction: 0.05,
-        trial: 0,
-    };
+    let scenario = ScenarioSpec::new(VectorSpec::Hotspot, AttackTarget::ConvBlock, 0.05, 0);
     let mut group = c.benchmark_group("hotspot");
     group.sample_size(10);
     group.bench_function("inject_hotspot_5pct_resnet_conv", |b| {
@@ -35,5 +25,30 @@ fn bench_hotspot(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_actuation, bench_hotspot);
+fn bench_new_vectors(c: &mut Criterion) {
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let laser = ScenarioSpec::new(VectorSpec::laser_default(), AttackTarget::Both, 0.05, 0);
+    let trim = ScenarioSpec::new(VectorSpec::trim_default(), AttackTarget::Both, 0.05, 0)
+        .with_selection(Selection::Clustered);
+    let stacked = ScenarioSpec::stacked(
+        vec![VectorSpec::Actuation, VectorSpec::Hotspot],
+        AttackTarget::ConvBlock,
+        0.05,
+        0,
+    );
+    let mut group = c.benchmark_group("new_vectors");
+    group.sample_size(10);
+    group.bench_function("inject_laser_5pct_cnn1", |b| {
+        b.iter(|| inject(&laser, &config, 7).unwrap())
+    });
+    group.bench_function("inject_trim_clustered_5pct_cnn1", |b| {
+        b.iter(|| inject(&trim, &config, 7).unwrap())
+    });
+    group.bench_function("inject_stacked_5pct_cnn1_conv", |b| {
+        b.iter(|| inject(&stacked, &config, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_actuation, bench_hotspot, bench_new_vectors);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! plus the Fig. 6 thermal artifact.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::attack::{inject, AttackTarget, ScenarioSpec, VectorSpec};
 use safelight::experiment::{run_fig6, ExperimentOptions};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
 use safelight_datasets::{generate, SyntheticSpec};
@@ -24,12 +24,7 @@ fn bench_fig7_trial_cnn1(c: &mut Criterion) {
     let bundle = build_model(kind, 1).unwrap();
     let config = matched_accelerator(kind).unwrap();
     let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
-    let scenario = AttackScenario {
-        vector: AttackVector::Actuation,
-        target: AttackTarget::Both,
-        fraction: 0.05,
-        trial: 0,
-    };
+    let scenario = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.05, 0);
     let mut group = c.benchmark_group("fig7_trial");
     group.sample_size(10);
     group.bench_function("cnn1_actuation_5pct_64imgs", |b| {

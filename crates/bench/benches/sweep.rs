@@ -6,7 +6,7 @@
 //! through the straight-ported seed loops.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use safelight::attack::{AttackScenario, AttackTarget, AttackVector};
+use safelight::attack::{AttackTarget, ScenarioSpec, Selection, VectorSpec};
 use safelight::eval::run_susceptibility;
 use safelight::models::{build_model, ModelKind};
 use safelight_datasets::{digits, SyntheticSpec};
@@ -14,18 +14,37 @@ use safelight_neuro::parallel::pool_size;
 use safelight_neuro::{Trainer, TrainerConfig};
 use safelight_onn::{AcceleratorConfig, WeightMapping};
 
-fn scenario_grid() -> Vec<AttackScenario> {
+fn scenario_grid() -> Vec<ScenarioSpec> {
     let mut scenarios = Vec::new();
-    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+    for vector in VectorSpec::paper_pair() {
         for fraction in [0.05, 0.10] {
             for trial in 0..3 {
-                scenarios.push(AttackScenario {
+                scenarios.push(ScenarioSpec::new(
                     vector,
-                    target: AttackTarget::Both,
+                    AttackTarget::Both,
                     fraction,
                     trial,
-                });
+                ));
             }
+        }
+    }
+    scenarios
+}
+
+/// The enlarged grid: paper pair + the new vectors + a stacked scenario,
+/// across all three selection strategies (12 + 9 = 21 scenarios).
+fn extended_grid() -> Vec<ScenarioSpec> {
+    let mut scenarios = scenario_grid();
+    for selection in Selection::all() {
+        for (stack, trial) in [
+            (vec![VectorSpec::laser_default()], 0),
+            (vec![VectorSpec::trim_default()], 1),
+            (safelight::attack::stacked_pair(), 2),
+        ] {
+            scenarios.push(
+                ScenarioSpec::stacked(stack, AttackTarget::Both, 0.05, trial)
+                    .with_selection(selection),
+            );
         }
     }
     scenarios
@@ -71,6 +90,28 @@ fn bench_susceptibility_sweep(c: &mut Criterion) {
             .unwrap()
         })
     });
+    let extended = extended_grid();
+    group.bench_function(
+        format!(
+            "cnn1_{}_extended_scenarios_pool{}",
+            extended.len(),
+            pool_size()
+        ),
+        |b| {
+            b.iter(|| {
+                run_susceptibility(
+                    &network,
+                    &mapping,
+                    &config,
+                    &data.test,
+                    &extended,
+                    7,
+                    pool_size(),
+                )
+                .unwrap()
+            })
+        },
+    );
     group.finish();
 }
 

@@ -2,17 +2,24 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] [--out-dir DIR]
+//!       [--vectors LIST] [--selections LIST]
 //!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--ablation] [--all]
 //! ```
 //!
 //! Each artifact prints the same rows/series the paper reports; the Fig. 6
 //! heatmap is additionally written as CSV/PGM files under `--out-dir`.
+//!
+//! `--vectors` widens the Fig. 7 threat model beyond the paper's pair:
+//! a comma-separated list of `actuation`, `hotspot`, `laser[:LOSS_DB]`,
+//! `trim[:DETUNE_REL]`, `stacked` (actuation+hotspot in one scenario) or
+//! `extended` (all of the above). `--selections` sweeps trojan-placement
+//! strategies: `uniform`, `clustered`, `targeted` or `all`.
 
 use std::path::PathBuf;
 
 use safelight::defense::noise_ablation_variants;
 use safelight::experiment::{
-    run_fig6, run_fig7, run_fig8, run_fig9, workbench, ExperimentOptions, Fidelity,
+    run_fig6, run_fig7, run_fig9_from, workbench, ExperimentOptions, Fidelity,
 };
 use safelight::models::{table1, ModelKind};
 use safelight::prelude::*;
@@ -22,6 +29,8 @@ struct Args {
     fidelity: Fidelity,
     models: Vec<ModelKind>,
     out_dir: PathBuf,
+    vectors: Vec<Vec<VectorSpec>>,
+    selections: Vec<Selection>,
     table1: bool,
     fig6: bool,
     fig7: bool,
@@ -30,11 +39,36 @@ struct Args {
     ablation: bool,
 }
 
+fn parse_vectors(list: &str) -> Result<Vec<Vec<VectorSpec>>, String> {
+    let mut stacks = Vec::new();
+    for token in list.split(',') {
+        match token {
+            "stacked" => stacks.push(safelight::attack::stacked_pair()),
+            "extended" => stacks.extend(safelight::attack::extended_stacks()),
+            single => stacks.push(vec![single
+                .parse::<VectorSpec>()
+                .map_err(|e| e.to_string())?]),
+        }
+    }
+    Ok(stacks)
+}
+
+fn parse_selections(list: &str) -> Result<Vec<Selection>, String> {
+    if list == "all" {
+        return Ok(Selection::all().to_vec());
+    }
+    list.split(',')
+        .map(|token| token.parse::<Selection>().map_err(|e| e.to_string()))
+        .collect()
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         fidelity: Fidelity::Quick,
         models: ModelKind::all().to_vec(),
         out_dir: PathBuf::from("target/safelight-artifacts"),
+        vectors: VectorSpec::paper_pair().map(|v| vec![v]).into(),
+        selections: vec![Selection::Uniform],
         table1: false,
         fig6: false,
         fig7: false,
@@ -57,6 +91,13 @@ fn parse_args() -> Result<Args, String> {
                     "all" => ModelKind::all().to_vec(),
                     other => return Err(format!("unknown model `{other}`")),
                 };
+            }
+            "--vectors" => {
+                args.vectors = parse_vectors(&iter.next().ok_or("--vectors needs a value")?)?;
+            }
+            "--selections" => {
+                args.selections =
+                    parse_selections(&iter.next().ok_or("--selections needs a value")?)?;
             }
             "--out-dir" => {
                 args.out_dir = PathBuf::from(iter.next().ok_or("--out-dir needs a value")?);
@@ -97,7 +138,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] \
-                     [--out-dir DIR] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
+                     [--out-dir DIR] [--vectors actuation,hotspot,laser[:DB],trim[:REL],\
+                     stacked|extended] [--selections uniform,clustered,targeted|all] \
+                     [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
                      [--ablation] [--all]"
                 );
                 std::process::exit(0);
@@ -171,42 +214,43 @@ fn print_fig7(
         bench.mapping.rounds(BlockKind::Fc),
     );
     println!(
-        "{:<10} {:<8} {:>6} {:>10} {:>10} {:>10}",
-        "vector", "target", "pct", "min", "mean", "max"
+        "{:<20} {:<10} {:<8} {:>6} {:>6} {:>10} {:>10} {:>10}",
+        "vector", "selection", "target", "pct", "eff%", "min", "mean", "max"
     );
-    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
-        for target in [
-            AttackTarget::ConvBlock,
-            AttackTarget::FcBlock,
-            AttackTarget::Both,
-        ] {
-            for fraction in opts.fractions() {
-                let accs: Vec<f64> = report
-                    .filtered(|s| {
-                        s.vector == vector
-                            && s.target == target
-                            && (s.fraction - fraction).abs() < 1e-12
-                    })
-                    .iter()
-                    .map(|t| t.accuracy)
-                    .collect();
-                if accs.is_empty() {
-                    continue;
-                }
-                let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
-                let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-                println!(
-                    "{:<10} {:<8} {:>5.0}% {:>10} {:>10} {:>10}",
-                    vector.to_string(),
-                    target.to_string(),
-                    fraction * 100.0,
-                    pct(min),
-                    pct(mean),
-                    pct(max)
-                );
-            }
+    // Group trials by scenario cell in input order — the grid may carry
+    // any mix of vectors, stacks and selection strategies.
+    type CellKey = (String, String, String, u64);
+    let mut cells: Vec<(CellKey, Vec<&safelight::eval::TrialResult>)> = Vec::new();
+    for trial in &report.trials {
+        let key = (
+            trial.scenario.vector_label(),
+            trial.scenario.selection.to_string(),
+            trial.scenario.target.to_string(),
+            (trial.scenario.fraction * 1e9).round() as u64,
+        );
+        match cells.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, trials)) => trials.push(trial),
+            None => cells.push((key, vec![trial])),
         }
+    }
+    for ((vector, selection, target, _), trials) in &cells {
+        let accs: Vec<f64> = trials.iter().map(|t| t.accuracy).collect();
+        let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        let effective =
+            trials.iter().map(|t| t.effective_fraction).sum::<f64>() / trials.len() as f64;
+        println!(
+            "{:<20} {:<10} {:<8} {:>5.0}% {:>5.1}% {:>10} {:>10} {:>10}",
+            vector,
+            selection,
+            target,
+            trials[0].scenario.fraction * 100.0,
+            effective * 100.0,
+            pct(min),
+            pct(mean),
+            pct(max)
+        );
     }
     println!(
         "worst-case drop: {} (paper: 7.49% CNN_1 / 26.4% ResNet18 / 80.46% VGG16_v at 10% hotspot CONV+FC)",
@@ -223,9 +267,10 @@ fn print_fig8(
     kind: ModelKind,
     opts: &ExperimentOptions,
     out_dir: &std::path::Path,
-) -> Result<(), SafelightError> {
+) -> Result<safelight::experiment::Fig8Run, SafelightError> {
     println!("\n=== Fig. 8 ({kind}): robustness of mitigation-trained variants ===");
-    let (_, report) = run_fig8(kind, opts)?;
+    let fig8 = safelight::experiment::run_fig8(kind, opts)?;
+    let report = &fig8.report;
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "variant", "baseline", "min", "q1", "median", "q3", "max"
@@ -250,18 +295,26 @@ fn print_fig8(
     }
     std::fs::create_dir_all(out_dir).ok();
     let csv = out_dir.join(format!("fig8_{}.csv", kind.label().to_lowercase()));
-    std::fs::write(&csv, safelight::eval::mitigation_csv(&report)).ok();
+    std::fs::write(&csv, safelight::eval::mitigation_csv(report)).ok();
     println!("series written to {}", csv.display());
-    Ok(())
+    Ok(fig8)
 }
 
 fn print_fig9(
     kind: ModelKind,
     opts: &ExperimentOptions,
     out_dir: &std::path::Path,
+    fig8: Option<safelight::experiment::Fig8Run>,
 ) -> Result<(), SafelightError> {
     println!("\n=== Fig. 9 ({kind}): robust vs original under CONV+FC attacks ===");
-    let (best, report) = run_fig9(kind, opts)?;
+    // Fig. 9 needs Fig. 8's winner; reuse the run `--fig8` just produced
+    // (the whole point of `Fig8Run`) and compute it only when Fig. 9 runs
+    // alone.
+    let fig8 = match fig8 {
+        Some(fig8) => fig8,
+        None => safelight::experiment::run_fig8(kind, opts)?,
+    };
+    let (best, report) = run_fig9_from(&fig8, opts)?;
     println!(
         "robust variant: {}   original baseline {}   robust baseline {}",
         best.label(),
@@ -349,6 +402,8 @@ fn main() {
     };
     let opts = ExperimentOptions {
         fidelity: args.fidelity,
+        vectors: args.vectors.clone(),
+        selections: args.selections.clone(),
         ..ExperimentOptions::default()
     };
     let started = std::time::Instant::now();
@@ -364,11 +419,13 @@ fn main() {
             if args.fig7 {
                 print_fig7(kind, &opts, &args.out_dir)?;
             }
-            if args.fig8 {
-                print_fig8(kind, &opts, &args.out_dir)?;
-            }
+            let fig8 = if args.fig8 {
+                Some(print_fig8(kind, &opts, &args.out_dir)?)
+            } else {
+                None
+            };
             if args.fig9 {
-                print_fig9(kind, &opts, &args.out_dir)?;
+                print_fig9(kind, &opts, &args.out_dir, fig8)?;
             }
             if args.ablation {
                 print_ablation(kind, &opts)?;

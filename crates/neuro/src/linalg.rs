@@ -11,7 +11,7 @@
 //! All three lower onto one BLIS-style core: the operand matrices are
 //! described by (row, column) strides, panels of A and B are packed into
 //! contiguous, zero-padded micro-panels held in the thread-local scratch
-//! arena ([`crate::scratch`]), and an `MR×NR` register-blocked micro-kernel
+//! arena (`crate::scratch`), and an `MR×NR` register-blocked micro-kernel
 //! runs over the packed data. Cache blocking follows the classical
 //! `MC/KC/NC` scheme: a `KC×NC` panel of B is packed once and reused by
 //! every `MC×KC` block of A.
@@ -25,7 +25,7 @@
 //! The seed kernels carried an `a == 0.0` skip branch in two of the three
 //! variants; it paid off only for sparse inputs and cost a branch per
 //! element on dense ones, so it is gone. The straight-ported seed kernels
-//! survive as [`reference`] for tests and benchmark baselines (see
+//! survive as [`mod@reference`] for tests and benchmark baselines (see
 //! `docs/perf.md` for the measured effect).
 
 use crate::parallel;
@@ -39,11 +39,11 @@ const NR: usize = 16;
 /// Cache-blocking tile sizes, fixed at first use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmConfig {
-    /// Rows of A packed per block (multiple of [`MR`]).
+    /// Rows of A packed per block (multiple of the micro-kernel's `MR`).
     pub mc: usize,
     /// Depth of the packed A/B panels.
     pub kc: usize,
-    /// Columns of B packed per panel (multiple of [`NR`]).
+    /// Columns of B packed per panel (multiple of the micro-kernel's `NR`).
     pub nc: usize,
 }
 

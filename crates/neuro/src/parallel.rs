@@ -9,7 +9,7 @@
 //!
 //! * [`scoped_map`] — run one closure per item, results in item order;
 //! * [`join_chunks`] — split `0..n` into contiguous chunks (the seed API);
-//! * [`map_blocks`] — split `0..n` into **fixed-size** blocks, so the
+//! * `map_blocks` (crate-internal) — split `0..n` into **fixed-size** blocks, so the
 //!   decomposition — and therefore any floating-point reduction order built
 //!   on top of it — is independent of the worker count. This is what makes
 //!   conv/linear backward bit-stable across thread counts.

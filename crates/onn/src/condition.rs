@@ -24,6 +24,31 @@ pub enum MrCondition {
         /// Temperature rise over the calibrated operating point, kelvin.
         delta_kelvin: f64,
     },
+    /// Laser power-degradation attack: a trojan throttles the optical power
+    /// feeding this ring's WDM channel, so the collected response (and with
+    /// it the effective weight magnitude) scales by `factor`. The fault
+    /// lives upstream of the ring, so its resonance — and its intact
+    /// thermal response — are untouched: spill-over heat from a stacked
+    /// hotspot attack still detunes it, recorded in `delta_kelvin`.
+    Attenuated {
+        /// Fraction of the nominal channel power that survives, in `(0, 1)`.
+        factor: f64,
+        /// Temperature rise over the calibrated operating point, kelvin
+        /// (0 when no heat reaches the ring).
+        delta_kelvin: f64,
+    },
+    /// Partial trim-drift attack: the trojan pins the ring's trim DAC a
+    /// fixed `offset_nm` away from its calibrated set point — a graded
+    /// detuning between `Healthy` and the binary `Parked` extreme. The
+    /// thermo-optic shift is independent of the pinned DAC, so spill-over
+    /// heat from a stacked hotspot attack still applies (`delta_kelvin`).
+    Detuned {
+        /// Resonance offset added to the imprint detuning, nanometres.
+        offset_nm: f64,
+        /// Temperature rise over the calibrated operating point, kelvin
+        /// (0 when no heat reaches the ring).
+        delta_kelvin: f64,
+    },
 }
 
 impl MrCondition {
@@ -88,7 +113,11 @@ impl ConditionMap {
     }
 
     /// Adds heating to MR `index`, combining with any existing condition:
-    /// heat on top of `Parked` keeps the ring parked; heat on heat sums.
+    /// heat on heat sums; `Parked` dominates spill-over heat (the ring
+    /// already sits at the modulator's maximum detuning); `Detuned` and
+    /// `Attenuated` rings accumulate the heat alongside their fault —
+    /// the thermo-optic shift is independent of a pinned trim DAC, and an
+    /// upstream power fault leaves the ring's thermal response intact.
     pub fn add_heat(&mut self, kind: BlockKind, index: u64, delta_kelvin: f64) {
         if delta_kelvin <= 0.0 {
             return;
@@ -96,6 +125,20 @@ impl ConditionMap {
         let map = self.block_mut(kind);
         let updated = match map.get(&index) {
             Some(MrCondition::Parked) => MrCondition::Parked,
+            Some(MrCondition::Detuned {
+                offset_nm,
+                delta_kelvin: existing,
+            }) => MrCondition::Detuned {
+                offset_nm: *offset_nm,
+                delta_kelvin: existing + delta_kelvin,
+            },
+            Some(MrCondition::Attenuated {
+                factor,
+                delta_kelvin: existing,
+            }) => MrCondition::Attenuated {
+                factor: *factor,
+                delta_kelvin: existing + delta_kelvin,
+            },
             Some(MrCondition::Heated {
                 delta_kelvin: existing,
             }) => MrCondition::Heated {
@@ -104,6 +147,73 @@ impl ConditionMap {
             _ => MrCondition::Heated { delta_kelvin },
         };
         map.insert(index, updated);
+    }
+
+    /// Merges a trojan state into MR `index`, composing stacked attack
+    /// vectors whose site draws overlap:
+    ///
+    /// * a power fault ([`MrCondition::Attenuated`]) never displaces a
+    ///   pinned resonance state (`Parked`, `Detuned`) — the tap is upstream
+    ///   and cannot undo the hijacked control loop. The tap's factor on the
+    ///   pinned ring's residual reading is dropped: exact for `Parked` at
+    ///   max detuning (reads ≈ 0 either way under drop-port encoding), a
+    ///   known conservative approximation for a graded `Detuned` ring,
+    ///   whose residual weight keeps full power (the enum cannot carry a
+    ///   factor and an offset at once);
+    /// * a power fault lands on a heated or already-tapped ring by carrying
+    ///   the recorded heat forward and multiplying tap factors (two taps in
+    ///   series compose);
+    /// * `Parked` is never displaced: the EO-actuation circuit holds the
+    ///   ring at *maximum* detuning, which a pinned trim DAC (a different
+    ///   circuit) cannot move — stacking more vectors can never weaken a
+    ///   parked ring, in any order;
+    /// * any other incoming pinned resonance fault replaces what is there —
+    ///   the trojan that owns the control loop wins, matching
+    ///   [`ConditionMap::add_heat`]'s dominance rule.
+    pub fn stack(&mut self, kind: BlockKind, index: u64, condition: MrCondition) {
+        let existing = self.condition(kind, index);
+        let merged = match (existing, condition) {
+            (MrCondition::Parked, _) => MrCondition::Parked,
+            (MrCondition::Detuned { .. }, MrCondition::Attenuated { .. }) => existing,
+            (
+                MrCondition::Heated { delta_kelvin },
+                MrCondition::Attenuated {
+                    factor,
+                    delta_kelvin: added,
+                },
+            ) => MrCondition::Attenuated {
+                factor,
+                delta_kelvin: delta_kelvin + added,
+            },
+            (
+                MrCondition::Attenuated {
+                    factor,
+                    delta_kelvin,
+                },
+                MrCondition::Attenuated {
+                    factor: tap,
+                    delta_kelvin: added,
+                },
+            ) => MrCondition::Attenuated {
+                factor: factor * tap,
+                delta_kelvin: delta_kelvin + added,
+            },
+            // A pinned trim drift landing on a heated or tapped ring keeps
+            // the heat (thermal response stays intact); the tap factor is
+            // dropped per the pinned-dominance approximation above.
+            (
+                MrCondition::Heated { delta_kelvin } | MrCondition::Attenuated { delta_kelvin, .. },
+                MrCondition::Detuned {
+                    offset_nm,
+                    delta_kelvin: added,
+                },
+            ) => MrCondition::Detuned {
+                offset_nm,
+                delta_kelvin: delta_kelvin + added,
+            },
+            _ => condition,
+        };
+        self.set(kind, index, merged);
     }
 
     /// The condition of MR `index` (healthy when unset).
@@ -167,6 +277,148 @@ mod tests {
         map.set(BlockKind::Conv, 9, MrCondition::Parked);
         map.add_heat(BlockKind::Conv, 9, 30.0);
         assert_eq!(map.condition(BlockKind::Conv, 9), MrCondition::Parked);
+    }
+
+    #[test]
+    fn heat_does_not_displace_pinned_trojan_states() {
+        let mut map = ConditionMap::new();
+        map.set(
+            BlockKind::Conv,
+            1,
+            MrCondition::Detuned {
+                offset_nm: 0.2,
+                delta_kelvin: 0.0,
+            },
+        );
+        map.add_heat(BlockKind::Conv, 1, 30.0);
+        // The pinned DAC keeps its offset; the thermo-optic shift rides on
+        // top of it.
+        assert_eq!(
+            map.condition(BlockKind::Conv, 1),
+            MrCondition::Detuned {
+                offset_nm: 0.2,
+                delta_kelvin: 30.0
+            }
+        );
+    }
+
+    #[test]
+    fn heat_accumulates_on_attenuated_rings() {
+        // Stacked laser+hotspot regression: the power fault lives upstream,
+        // so the ring's own thermal response still applies — spill-over
+        // heat must be carried, not dropped.
+        let mut map = ConditionMap::new();
+        map.set(
+            BlockKind::Conv,
+            2,
+            MrCondition::Attenuated {
+                factor: 0.5,
+                delta_kelvin: 0.0,
+            },
+        );
+        map.add_heat(BlockKind::Conv, 2, 30.0);
+        map.add_heat(BlockKind::Conv, 2, 5.0);
+        assert_eq!(
+            map.condition(BlockKind::Conv, 2),
+            MrCondition::Attenuated {
+                factor: 0.5,
+                delta_kelvin: 35.0
+            }
+        );
+    }
+
+    #[test]
+    fn stacking_a_tap_does_not_unpark_pinned_rings() {
+        // Stacked actuation+laser / trim+laser regression: the tap sits
+        // upstream and cannot undo a hijacked control loop.
+        let mut map = ConditionMap::new();
+        map.set(BlockKind::Conv, 1, MrCondition::Parked);
+        map.set(
+            BlockKind::Conv,
+            2,
+            MrCondition::Detuned {
+                offset_nm: 0.2,
+                delta_kelvin: 3.0,
+            },
+        );
+        let tap = MrCondition::Attenuated {
+            factor: 0.5,
+            delta_kelvin: 0.0,
+        };
+        map.stack(BlockKind::Conv, 1, tap);
+        map.stack(BlockKind::Conv, 2, tap);
+        assert_eq!(map.condition(BlockKind::Conv, 1), MrCondition::Parked);
+        assert_eq!(
+            map.condition(BlockKind::Conv, 2),
+            MrCondition::Detuned {
+                offset_nm: 0.2,
+                delta_kelvin: 3.0
+            }
+        );
+    }
+
+    #[test]
+    fn stacking_carries_heat_and_composes_taps() {
+        let mut map = ConditionMap::new();
+        map.add_heat(BlockKind::Conv, 3, 10.0);
+        let tap = |factor| MrCondition::Attenuated {
+            factor,
+            delta_kelvin: 0.0,
+        };
+        map.stack(BlockKind::Conv, 3, tap(0.5));
+        assert_eq!(
+            map.condition(BlockKind::Conv, 3),
+            MrCondition::Attenuated {
+                factor: 0.5,
+                delta_kelvin: 10.0
+            }
+        );
+        // A second tap in series composes multiplicatively, keeping heat.
+        map.stack(BlockKind::Conv, 3, tap(0.5));
+        assert_eq!(
+            map.condition(BlockKind::Conv, 3),
+            MrCondition::Attenuated {
+                factor: 0.25,
+                delta_kelvin: 10.0
+            }
+        );
+    }
+
+    #[test]
+    fn stacking_never_weakens_a_parked_ring() {
+        // Stacked actuation+trim regression: the trim DAC is a different
+        // circuit and cannot move a ring the actuation trojan holds at
+        // maximum detuning — in either stacking order.
+        let drift = MrCondition::Detuned {
+            offset_nm: 0.2,
+            delta_kelvin: 0.0,
+        };
+        let mut map = ConditionMap::new();
+        map.stack(BlockKind::Conv, 1, MrCondition::Parked);
+        map.stack(BlockKind::Conv, 1, drift);
+        assert_eq!(map.condition(BlockKind::Conv, 1), MrCondition::Parked);
+        let mut map = ConditionMap::new();
+        map.stack(BlockKind::Conv, 1, drift);
+        map.stack(BlockKind::Conv, 1, MrCondition::Parked);
+        assert_eq!(map.condition(BlockKind::Conv, 1), MrCondition::Parked);
+    }
+
+    #[test]
+    fn stacking_a_pinned_state_replaces_weaker_faults() {
+        let mut map = ConditionMap::new();
+        map.set(
+            BlockKind::Conv,
+            4,
+            MrCondition::Attenuated {
+                factor: 0.5,
+                delta_kelvin: 5.0,
+            },
+        );
+        map.stack(BlockKind::Conv, 4, MrCondition::Parked);
+        assert_eq!(map.condition(BlockKind::Conv, 4), MrCondition::Parked);
+        // Onto a clean ring, stack is just set.
+        map.stack(BlockKind::Conv, 5, MrCondition::Parked);
+        assert_eq!(map.condition(BlockKind::Conv, 5), MrCondition::Parked);
     }
 
     #[test]

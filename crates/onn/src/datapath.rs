@@ -107,6 +107,25 @@ impl OpticalVdp {
                 MrCondition::Healthy => {}
                 MrCondition::Parked => ring.set_state(MicroringState::ParkedOffResonance),
                 MrCondition::Heated { delta_kelvin } => ring.set_temperature_delta(delta_kelvin),
+                // A trim-drift fault is a pinned resonance offset; apply it
+                // as the equivalent thermo-optic shift.
+                MrCondition::Detuned {
+                    offset_nm,
+                    delta_kelvin,
+                } => {
+                    ring.set_temperature_delta(
+                        offset_nm / self.params.shift_per_kelvin_nm + delta_kelvin,
+                    );
+                }
+                // A laser power-degradation fault lives upstream of the
+                // ring: the channel's launch power is scaled in `dot`, and
+                // only spill-over heat (intact thermal response) shifts the
+                // resonance.
+                MrCondition::Attenuated { delta_kelvin, .. } => {
+                    if delta_kelvin > 0.0 {
+                        ring.set_temperature_delta(delta_kelvin);
+                    }
+                }
             }
             bank.push(ring);
         }
@@ -214,6 +233,15 @@ impl OpticalVdp {
 
         let p = &self.params;
         let p0 = self.laser.power_per_channel_mw();
+        // Laser power-degradation faults throttle a channel's launch power
+        // upstream of both rails; everything measured at λ_c scales.
+        let launch: Vec<f64> = conditions
+            .iter()
+            .map(|&cond| match cond {
+                MrCondition::Attenuated { factor, .. } => p0 * factor.clamp(0.0, 1.0),
+                _ => p0,
+            })
+            .collect();
         let delta_in = p.t_max - p.t_min;
         let signed_weight_sum: f64 = weights
             .iter()
@@ -225,16 +253,32 @@ impl OpticalVdp {
                 let t_pos = self.bank_transmissions(&pos_bank);
                 let t_neg = self.bank_transmissions(&neg_bank);
                 (
-                    t_in.iter().zip(&t_pos).map(|(a, b)| p0 * a * b).collect(),
-                    t_in.iter().zip(&t_neg).map(|(a, b)| p0 * a * b).collect(),
+                    launch
+                        .iter()
+                        .zip(t_in.iter().zip(&t_pos))
+                        .map(|(l, (a, b))| l * a * b)
+                        .collect(),
+                    launch
+                        .iter()
+                        .zip(t_in.iter().zip(&t_neg))
+                        .map(|(l, (a, b))| l * a * b)
+                        .collect(),
                 )
             }
             crate::WeightEncoding::DropPort => {
                 let d_pos = self.bank_drop_collection(&pos_bank);
                 let d_neg = self.bank_drop_collection(&neg_bank);
                 (
-                    t_in.iter().zip(&d_pos).map(|(a, b)| p0 * a * b).collect(),
-                    t_in.iter().zip(&d_neg).map(|(a, b)| p0 * a * b).collect(),
+                    launch
+                        .iter()
+                        .zip(t_in.iter().zip(&d_pos))
+                        .map(|(l, (a, b))| l * a * b)
+                        .collect(),
+                    launch
+                        .iter()
+                        .zip(t_in.iter().zip(&d_neg))
+                        .map(|(l, (a, b))| l * a * b)
+                        .collect(),
                 )
             }
         };

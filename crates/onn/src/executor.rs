@@ -157,11 +157,35 @@ impl EffectiveWeightParams {
     fn offset_under(&self, m: f64, condition: MrCondition) -> f64 {
         match condition {
             MrCondition::Healthy => self.detuning_for_magnitude(m),
+            // A laser power-degradation fault lives upstream of the ring:
+            // the resonance keeps its calibrated imprint (the channel power
+            // scales via `channel_power_factor`) plus whatever spill-over
+            // heat reaches the ring's intact thermal response.
+            MrCondition::Attenuated { delta_kelvin, .. } => {
+                self.detuning_for_magnitude(m) + self.shift_per_kelvin_nm * delta_kelvin
+            }
             MrCondition::Parked => self.max_detuning_nm,
             MrCondition::Heated { delta_kelvin } => {
                 self.detuning_for_magnitude(m) + self.shift_per_kelvin_nm * delta_kelvin
             }
+            // The trim DAC is pinned, but the thermo-optic shift is
+            // independent of it: recorded spill-over heat rides on top.
+            MrCondition::Detuned {
+                offset_nm,
+                delta_kelvin,
+            } => {
+                self.detuning_for_magnitude(m) + offset_nm + self.shift_per_kelvin_nm * delta_kelvin
+            }
         }
+    }
+}
+
+/// Fraction of the nominal channel power reaching the ring's carrier under
+/// a fault condition (1 except for laser power-degradation faults).
+fn channel_power_factor(condition: MrCondition) -> f64 {
+    match condition {
+        MrCondition::Attenuated { factor, .. } => factor.clamp(0.0, 1.0),
+        _ => 1.0,
     }
 }
 
@@ -193,7 +217,8 @@ fn effective_channel_through(
 ) -> f64 {
     let m_c = weights[c].abs();
     let sign = if weights[c] < 0.0 { -1.0 } else { 1.0 };
-    let mut t = p.transmission(p.offset_under(m_c, conditions[c]));
+    let mut t =
+        channel_power_factor(conditions[c]) * p.transmission(p.offset_under(m_c, conditions[c]));
     for dr in -CROSSTALK_WINDOW..=CROSSTALK_WINDOW {
         if dr == 0 {
             continue;
@@ -226,12 +251,18 @@ fn effective_channel_drop(
     // Per-rail additive collection. The active rail of ring r is chosen by
     // sign(w_r); the inactive rail ring idles at zero imprint (maximum
     // detuning) and is unaffected by the fault model (active-rail faults).
+    // An upstream power fault throttles *all* λ_c light before it reaches
+    // the row, so every term collected at this carrier — both rails' own
+    // responses and neighbour crosstalk alike — scales by the same factor,
+    // exactly as the slow optical datapath scales the channel's launch
+    // power.
+    let power_c = channel_power_factor(conditions[c]);
     let mut pos;
     let mut neg;
     {
         let m_c = weights[c].abs();
-        let own = p.drop_response(p.offset_under(m_c, conditions[c]));
-        let idle = p.drop_floor;
+        let own = power_c * p.drop_response(p.offset_under(m_c, conditions[c]));
+        let idle = power_c * p.drop_floor;
         if weights[c] >= 0.0 {
             pos = own;
             neg = idle;
@@ -257,7 +288,7 @@ fn effective_channel_drop(
         let m_r = weights[r].abs();
         let healthy = p.drop_response(dr as f64 * p.spacing_nm + p.detuning_for_magnitude(m_r));
         let faulty = p.drop_response(dr as f64 * p.spacing_nm + p.offset_under(m_r, conditions[r]));
-        let dev = faulty - healthy;
+        let dev = power_c * (faulty - healthy);
         if weights[r] >= 0.0 {
             pos += dev;
         } else {
@@ -610,6 +641,200 @@ mod tests {
         let conds = [MrCondition::Healthy, strong, MrCondition::Healthy];
         let out = effective_weight_row(&w, &conds, &p);
         assert!(out[1].abs() < 0.05, "half-channel heat gave {}", out[1]);
+    }
+
+    #[test]
+    fn attenuation_scales_the_weight_without_touching_neighbours() {
+        let p = params();
+        let w = [0.6, 0.6, 0.6];
+        let conds = [
+            MrCondition::Healthy,
+            MrCondition::Attenuated {
+                factor: 0.5,
+                delta_kelvin: 0.0,
+            },
+            MrCondition::Healthy,
+        ];
+        let out = effective_weight_row(&w, &conds, &p);
+        // The throttled channel reads roughly half its weight (exactly half
+        // of the collected power, slightly less after the drop-floor
+        // subtraction in decode).
+        assert!(
+            out[1] > 0.2 && out[1] < 0.35,
+            "attenuated weight reads {}",
+            out[1]
+        );
+        // An upstream power fault has no Lorentzian tail: neighbours are
+        // bit-exact.
+        let clean = effective_weight_row(&w, &[MrCondition::Healthy; 3], &p);
+        assert_eq!(out[0], clean[0]);
+        assert_eq!(out[2], clean[2]);
+    }
+
+    #[test]
+    fn attenuation_scales_neighbour_crosstalk_too() {
+        // Stacked-scenario regression: an upstream power fault darkens the
+        // whole carrier, so a parked neighbour's crosstalk deviation at λ_c
+        // must scale by the same factor as the own-ring response (the slow
+        // datapath scales the channel's launch power before every ring). A
+        // fully dark channel therefore reads exactly zero even with a
+        // deviating neighbour.
+        let p = params();
+        let w = [0.9, 0.6, 0.9];
+        let conds = [
+            MrCondition::Parked,
+            MrCondition::Attenuated {
+                factor: 0.0,
+                delta_kelvin: 0.0,
+            },
+            MrCondition::Healthy,
+        ];
+        let out = effective_weight_row(&w, &conds, &p);
+        assert!(
+            out[1].abs() < 1e-12,
+            "dark channel leaked neighbour crosstalk: {}",
+            out[1]
+        );
+        // At a partial tap, the attacked channel's reading (own + crosstalk)
+        // is the factor-scaled version of the unattenuated stacked reading.
+        let factor = 0.5;
+        let conds_half = [
+            MrCondition::Parked,
+            MrCondition::Attenuated {
+                factor,
+                delta_kelvin: 0.0,
+            },
+            MrCondition::Healthy,
+        ];
+        let conds_full_power = [
+            MrCondition::Parked,
+            MrCondition::Healthy,
+            MrCondition::Healthy,
+        ];
+        let half = effective_weight_row(&w, &conds_half, &p);
+        let full = effective_weight_row(&w, &conds_full_power, &p);
+        // Undo the decode's affine floor subtraction to compare raw rails:
+        // response = decode⁻¹, and the λ_1 rails must scale exactly.
+        let raw = |v: f64| v * (1.0 - p.drop_floor) + p.drop_floor;
+        assert!(
+            (raw(half[1]) - factor * raw(full[1])).abs() < 1e-12,
+            "half-power reading {} vs scaled full-power {}",
+            raw(half[1]),
+            factor * raw(full[1])
+        );
+    }
+
+    #[test]
+    fn attenuated_rings_still_respond_to_heat() {
+        // Stacked laser+hotspot regression: the tap is upstream, so
+        // spill-over heat recorded on an Attenuated condition must detune
+        // the ring exactly as it would a merely Heated one.
+        let p = params();
+        let cfg = AcceleratorConfig::paper().unwrap();
+        let half = cfg.one_channel_delta_kelvin() / 2.0;
+        let w = [0.5, 0.5, 0.5];
+        let cold = effective_weight_row(
+            &w,
+            &[
+                MrCondition::Healthy,
+                MrCondition::Attenuated {
+                    factor: 0.5,
+                    delta_kelvin: 0.0,
+                },
+                MrCondition::Healthy,
+            ],
+            &p,
+        );
+        let hot = effective_weight_row(
+            &w,
+            &[
+                MrCondition::Healthy,
+                MrCondition::Attenuated {
+                    factor: 0.5,
+                    delta_kelvin: half,
+                },
+                MrCondition::Healthy,
+            ],
+            &p,
+        );
+        // A half-channel slide erases the weight on top of the power loss.
+        assert!(hot[1].abs() < 0.05, "heated tap still reads {}", hot[1]);
+        // Half power on a 0.5 weight reads ≈ 0.19 after the drop-floor
+        // subtraction in decode.
+        assert!(cold[1] > 0.15, "cold tap reads {}", cold[1]);
+    }
+
+    #[test]
+    fn full_attenuation_zeroes_the_weight() {
+        let p = params();
+        let out = effective_weight_row(
+            &[0.8],
+            &[MrCondition::Attenuated {
+                factor: 0.0,
+                delta_kelvin: 0.0,
+            }],
+            &p,
+        );
+        assert!(out[0].abs() < 1e-9, "dark channel reads {}", out[0]);
+    }
+
+    #[test]
+    fn trim_drift_interpolates_between_healthy_and_parked() {
+        let p = params();
+        let w = [0.5, 0.5, 0.5];
+        let slight = MrCondition::Detuned {
+            offset_nm: p.fwhm_nm / 4.0,
+            delta_kelvin: 0.0,
+        };
+        let out = effective_weight_row(
+            &w,
+            &[MrCondition::Healthy, slight, MrCondition::Healthy],
+            &p,
+        );
+        assert!(
+            out[1] > 0.0 && out[1] < 0.5,
+            "slight trim drift gave {}",
+            out[1]
+        );
+        // A drift past the modulator's full range behaves like Parked.
+        let severe = MrCondition::Detuned {
+            offset_nm: p.max_detuning_nm * 2.0,
+            delta_kelvin: 0.0,
+        };
+        let out = effective_weight_row(
+            &w,
+            &[MrCondition::Healthy, severe, MrCondition::Healthy],
+            &p,
+        );
+        let parked = effective_weight_row(
+            &w,
+            &[
+                MrCondition::Healthy,
+                MrCondition::Parked,
+                MrCondition::Healthy,
+            ],
+            &p,
+        );
+        assert!(
+            (out[1] - parked[1]).abs() < 0.05,
+            "severe drift {} vs parked {}",
+            out[1],
+            parked[1]
+        );
+    }
+
+    #[test]
+    fn trim_drift_of_one_spacing_hands_the_weight_to_the_neighbour() {
+        let p = params();
+        let drift = MrCondition::Detuned {
+            offset_nm: p.spacing_nm,
+            delta_kelvin: 0.0,
+        };
+        let w = [0.9, 0.1, -0.5];
+        let out = effective_weight_row(&w, &[drift; 3], &p);
+        // Same wavelength-slide mechanism as one-channel heating (Fig. 5).
+        assert!((out[1] - 0.9).abs() < 0.15, "channel 1 read {}", out[1]);
+        assert!(out[0].abs() < 0.1, "channel 0 read {}", out[0]);
     }
 
     #[test]

@@ -1,18 +1,46 @@
-//! Actuation attacks: HTs in the EO modulation circuits of individual,
-//! uniformly random microrings (paper §III.B.1).
+//! Actuation attacks: HTs in the EO modulation circuits of individual
+//! microrings park them off-resonance (paper §III.B.1).
 
 use safelight_neuro::SimRng;
-use safelight_onn::{AcceleratorConfig, ConditionMap, MrCondition};
+use safelight_onn::{AcceleratorConfig, BlockKind, ConditionMap, MrCondition};
 
-use crate::attack::AttackTarget;
+use crate::attack::{select_rings, AttackTarget, Granularity, Injector, Selection, Sites};
 use crate::SafelightError;
 
+/// The actuation-attack injector: every compromised ring is parked at its
+/// maximum detuning ("each HT circuit would interfere with a single MR,
+/// causing it to enter an off-resonance state").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActuationInjector;
+
+impl Injector for ActuationInjector {
+    fn granularity(&self) -> Granularity {
+        Granularity::Ring
+    }
+
+    fn apply(
+        &self,
+        _config: &AcceleratorConfig,
+        kind: BlockKind,
+        sites: &Sites,
+        conditions: &mut ConditionMap,
+    ) -> Result<(), SafelightError> {
+        let Sites::Rings(rings) = sites else {
+            return Err(SafelightError::InvalidParameter {
+                name: "sites (actuation attacks are ring-granular)",
+                value: 0.0,
+            });
+        };
+        for &mr in rings {
+            conditions.stack(kind, mr, MrCondition::Parked);
+        }
+        Ok(())
+    }
+}
+
 /// Parks a uniformly random `fraction` of the targeted blocks' microrings
-/// off-resonance.
-///
-/// Mirrors the paper's model: "each HT circuit would interfere with a
-/// single MR, causing it to enter an off-resonance state". Sites are
-/// sampled without replacement, independently per block.
+/// off-resonance. Sites are sampled without replacement, independently per
+/// block.
 ///
 /// # Errors
 ///
@@ -41,20 +69,10 @@ pub fn inject_actuation(
     fraction: f64,
     rng: &mut SimRng,
 ) -> Result<ConditionMap, SafelightError> {
-    if !(fraction > 0.0 && fraction <= 1.0) {
-        return Err(SafelightError::InvalidParameter {
-            name: "fraction",
-            value: fraction,
-        });
-    }
     let mut conditions = ConditionMap::new();
     for kind in target.blocks() {
-        let total = config.block(kind).total_mrs();
-        let count = ((total as f64) * fraction).round().max(1.0) as usize;
-        let count = count.min(total as usize);
-        for site in rng.sample_distinct(total as usize, count) {
-            conditions.set(kind, site as u64, MrCondition::Parked);
-        }
+        let rings = select_rings(config, kind, fraction, Selection::Uniform, None, rng)?;
+        ActuationInjector.apply(config, kind, &Sites::Rings(rings), &mut conditions)?;
     }
     Ok(conditions)
 }
@@ -62,7 +80,6 @@ pub fn inject_actuation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safelight_onn::BlockKind;
 
     fn config() -> AcceleratorConfig {
         AcceleratorConfig::scaled_experiment().unwrap()
@@ -122,5 +139,19 @@ mod tests {
         let mut rng = SimRng::seed_from(9);
         assert!(inject_actuation(&cfg, AttackTarget::Both, 0.0, &mut rng).is_err());
         assert!(inject_actuation(&cfg, AttackTarget::Both, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bank_sites_are_rejected() {
+        let cfg = config();
+        let mut conditions = ConditionMap::new();
+        assert!(ActuationInjector
+            .apply(
+                &cfg,
+                BlockKind::Conv,
+                &Sites::Banks(vec![0]),
+                &mut conditions
+            )
+            .is_err());
     }
 }

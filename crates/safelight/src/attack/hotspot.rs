@@ -5,7 +5,7 @@ use safelight_neuro::SimRng;
 use safelight_onn::{AcceleratorConfig, BlockKind, BlockLayout, ConditionMap};
 use safelight_thermal::{TemperatureField, ThermalConfig};
 
-use crate::attack::AttackTarget;
+use crate::attack::{select_banks, AttackTarget, Granularity, Injector, Selection, Sites};
 use crate::SafelightError;
 
 /// Tuning knobs for hotspot attack injection.
@@ -59,16 +59,6 @@ impl Default for HotspotOptions {
 /// coarser cells to keep the solve cheap.
 fn cell_size_for(config: &AcceleratorConfig, kind: BlockKind) -> usize {
     (config.block(kind).bank_cols / 16).max(1)
-}
-
-/// Number of banks to attack so that roughly `fraction` of the block's
-/// rings sit inside attacked banks (the paper attacks at bank granularity
-/// for hotspots).
-fn banks_to_attack(config: &AcceleratorConfig, kind: BlockKind, fraction: f64) -> usize {
-    let shape = config.block(kind);
-    let target_rings = shape.total_mrs() as f64 * fraction;
-    let banks = (target_rings / shape.mrs_per_bank() as f64).round() as usize;
-    banks.clamp(1, shape.vdp_units)
 }
 
 /// Cache key for one unit-power bank solve: the grid geometry, the heated
@@ -204,28 +194,55 @@ pub fn inject_hotspot(
     options: &HotspotOptions,
     rng: &mut SimRng,
 ) -> Result<ConditionMap, SafelightError> {
-    if !(fraction > 0.0 && fraction <= 1.0) {
-        return Err(SafelightError::InvalidParameter {
-            name: "fraction",
-            value: fraction,
-        });
-    }
-    let target_delta = options
-        .target_delta_kelvin
-        .unwrap_or_else(|| config.one_channel_delta_kelvin());
-    if target_delta <= 0.0 {
-        return Err(SafelightError::InvalidParameter {
-            name: "target_delta_kelvin",
-            value: target_delta,
-        });
-    }
+    let injector = HotspotInjector { options: *options };
     let mut conditions = ConditionMap::new();
     for kind in target.blocks() {
+        let banks = select_banks(config, kind, fraction, Selection::Uniform, None, rng)?;
+        injector.apply(config, kind, &Sites::Banks(banks), &mut conditions)?;
+    }
+    Ok(conditions)
+}
+
+/// The hotspot-attack injector: overdrives the heaters of the selected
+/// banks, solves the block's temperature field and heats every ring
+/// (attacked *and* spill-over) above the threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HotspotInjector {
+    /// Thermal tuning knobs.
+    pub options: HotspotOptions,
+}
+
+impl Injector for HotspotInjector {
+    fn granularity(&self) -> Granularity {
+        Granularity::Bank
+    }
+
+    fn apply(
+        &self,
+        config: &AcceleratorConfig,
+        kind: BlockKind,
+        sites: &Sites,
+        conditions: &mut ConditionMap,
+    ) -> Result<(), SafelightError> {
+        let Sites::Banks(banks) = sites else {
+            return Err(SafelightError::InvalidParameter {
+                name: "sites (hotspot attacks are bank-granular)",
+                value: 0.0,
+            });
+        };
+        let options = &self.options;
+        let target_delta = options
+            .target_delta_kelvin
+            .unwrap_or_else(|| config.one_channel_delta_kelvin());
+        if target_delta <= 0.0 {
+            return Err(SafelightError::InvalidParameter {
+                name: "target_delta_kelvin",
+                value: target_delta,
+            });
+        }
         let shape = *config.block(kind);
         let layout = BlockLayout::new(shape, kind, cell_size_for(config, kind))?;
-        let n_banks = banks_to_attack(config, kind, fraction);
-        let banks = rng.sample_distinct(shape.vdp_units, n_banks);
-        let (field, scale) = solve_attack_field(&layout, &banks, options, target_delta)?;
+        let (field, scale) = solve_attack_field(&layout, banks, options, target_delta)?;
         // The trojan controls the tuning loops of the attacked banks, so
         // their rings take the full rise; every other ring's intact closed
         // loop compensates up to its range, leaving only the residual.
@@ -245,13 +262,14 @@ pub fn inject_hotspot(
                 }
             }
         }
+        Ok(())
     }
-    Ok(conditions)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attack::select::bank_count;
     use safelight_onn::MrCondition;
 
     fn config() -> AcceleratorConfig {
@@ -262,9 +280,9 @@ mod tests {
     fn bank_count_tracks_fraction() {
         let cfg = config();
         // CONV: 25 banks of 100 rings = 2 500; 10 % → 250 rings ≈ 2.5 banks.
-        let n = banks_to_attack(&cfg, BlockKind::Conv, 0.10);
+        let n = bank_count(&cfg, BlockKind::Conv, 0.10);
         assert!((2..=3).contains(&n), "banks {n}");
-        assert_eq!(banks_to_attack(&cfg, BlockKind::Conv, 1e-9), 1);
+        assert_eq!(bank_count(&cfg, BlockKind::Conv, 1e-9), 1);
     }
 
     #[test]
@@ -294,8 +312,7 @@ mod tests {
         let mut rng = SimRng::seed_from(12);
         let opts = HotspotOptions::default();
         let map = inject_hotspot(&cfg, AttackTarget::ConvBlock, 0.10, &opts, &mut rng).unwrap();
-        let attacked_bank_rings =
-            banks_to_attack(&cfg, BlockKind::Conv, 0.10) * cfg.conv.mrs_per_bank();
+        let attacked_bank_rings = bank_count(&cfg, BlockKind::Conv, 0.10) * cfg.conv.mrs_per_bank();
         assert!(
             map.faulty_count(BlockKind::Conv) > attacked_bank_rings,
             "no spill-over: {} ≤ {attacked_bank_rings}",

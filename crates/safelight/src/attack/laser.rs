@@ -1,0 +1,165 @@
+//! Laser power-degradation attacks: a trojan taps or throttles the optical
+//! power feeding the compromised rings' WDM channels.
+//!
+//! The trojan sits *upstream* of the microring — in the comb laser's
+//! per-channel drivers or as a parasitic tap on the distribution
+//! waveguide — so the ring's resonance stays calibrated and only the
+//! channel power scales. The balanced-photodetector readout therefore sees
+//! the weighted product shrink by the tap's transmission factor: effective
+//! weights decay toward zero proportionally, a *graded* corruption unlike
+//! the binary dropout of an actuation attack.
+
+use safelight_neuro::SimRng;
+use safelight_onn::{AcceleratorConfig, BlockKind, ConditionMap, MrCondition};
+use safelight_photonics::{Laser, Waveguide, WdmGrid};
+
+use crate::attack::{select_rings, AttackTarget, Granularity, Injector, Selection, Sites};
+use crate::SafelightError;
+
+/// Fraction of a channel's launch power that survives a parasitic tap of
+/// `loss_db`, for the laser comb of `config`.
+///
+/// Modeled through the photonics substrate: a comb [`Laser`] launches
+/// `config.laser_power_mw` per channel on the accelerator's WDM grid, and
+/// the trojan tap is a zero-length [`Waveguide`] whose coupler eats
+/// `loss_db` of it.
+///
+/// # Errors
+///
+/// Returns [`SafelightError::InvalidParameter`] for a non-positive or
+/// non-finite `loss_db`, and [`SafelightError::Photonics`] for invalid
+/// config-level laser parameters.
+pub fn degradation_factor(config: &AcceleratorConfig, loss_db: f64) -> Result<f64, SafelightError> {
+    if !loss_db.is_finite() || loss_db <= 0.0 {
+        return Err(SafelightError::InvalidParameter {
+            name: "loss_db",
+            value: loss_db,
+        });
+    }
+    // One representative channel of the accelerator's grid is enough: the
+    // comb is flat and the tap is wavelength-agnostic.
+    let grid = WdmGrid::new(config.grid_start_nm, config.channel_spacing_nm, 1)?;
+    let laser = Laser::new(grid, config.laser_power_mw)?;
+    let tap = Waveguide::new(0.0, 0.0)?.with_coupler_loss_db(loss_db)?;
+    Ok(tap.transmit(laser.power_per_channel_mw()) / laser.power_per_channel_mw())
+}
+
+/// The laser power-degradation injector: every compromised ring's channel
+/// keeps only the tapped fraction of its launch power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaserDegradationInjector {
+    /// Parasitic insertion loss of the trojan tap, in dB (> 0).
+    pub loss_db: f64,
+}
+
+impl Injector for LaserDegradationInjector {
+    fn granularity(&self) -> Granularity {
+        Granularity::Ring
+    }
+
+    fn apply(
+        &self,
+        config: &AcceleratorConfig,
+        kind: BlockKind,
+        sites: &Sites,
+        conditions: &mut ConditionMap,
+    ) -> Result<(), SafelightError> {
+        let Sites::Rings(rings) = sites else {
+            return Err(SafelightError::InvalidParameter {
+                name: "sites (laser-degradation attacks are ring-granular)",
+                value: 0.0,
+            });
+        };
+        let factor = degradation_factor(config, self.loss_db)?;
+        for &mr in rings {
+            // `stack` carries heat already injected at this ring forward
+            // and refuses to un-park a hijacked control loop: the tap is
+            // upstream of both.
+            conditions.stack(
+                kind,
+                mr,
+                MrCondition::Attenuated {
+                    factor,
+                    delta_kelvin: 0.0,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Throttles the channel power of a uniformly random `fraction` of the
+/// targeted blocks' microrings by `loss_db`.
+///
+/// # Errors
+///
+/// Returns [`SafelightError::InvalidParameter`] for a fraction outside
+/// `(0, 1]` or a non-positive `loss_db`.
+pub fn inject_laser_degradation(
+    config: &AcceleratorConfig,
+    target: AttackTarget,
+    fraction: f64,
+    loss_db: f64,
+    rng: &mut SimRng,
+) -> Result<ConditionMap, SafelightError> {
+    let injector = LaserDegradationInjector { loss_db };
+    let mut conditions = ConditionMap::new();
+    for kind in target.blocks() {
+        let rings = select_rings(config, kind, fraction, Selection::Uniform, None, rng)?;
+        injector.apply(config, kind, &Sites::Rings(rings), &mut conditions)?;
+    }
+    Ok(conditions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::scaled_experiment().unwrap()
+    }
+
+    #[test]
+    fn three_db_halves_channel_power() {
+        let f = degradation_factor(&config(), 3.0).unwrap();
+        assert!((f - 0.501).abs() < 0.01, "factor {f}");
+    }
+
+    #[test]
+    fn loss_must_be_positive_and_finite() {
+        let cfg = config();
+        assert!(degradation_factor(&cfg, 0.0).is_err());
+        assert!(degradation_factor(&cfg, -1.0).is_err());
+        assert!(degradation_factor(&cfg, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn all_conditions_are_attenuated_by_the_tap_factor() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(21);
+        let map =
+            inject_laser_degradation(&cfg, AttackTarget::ConvBlock, 0.05, 3.0, &mut rng).unwrap();
+        let expected = (cfg.conv.total_mrs() as f64 * 0.05).round() as usize;
+        assert_eq!(map.faulty_count(BlockKind::Conv), expected);
+        assert_eq!(map.faulty_count(BlockKind::Fc), 0);
+        let factor = degradation_factor(&cfg, 3.0).unwrap();
+        for (_, cond) in map.iter(BlockKind::Conv) {
+            assert_eq!(
+                cond,
+                MrCondition::Attenuated {
+                    factor,
+                    delta_kelvin: 0.0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_taps_attenuate_more() {
+        let cfg = config();
+        let mild = degradation_factor(&cfg, 1.0).unwrap();
+        let deep = degradation_factor(&cfg, 10.0).unwrap();
+        assert!(mild > deep);
+        assert!(deep > 0.0 && mild < 1.0);
+    }
+}

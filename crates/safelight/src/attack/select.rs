@@ -1,0 +1,359 @@
+//! Site-selection strategies: which rings (or banks) the trojans inhabit.
+//!
+//! The paper places trojans at uniformly random sites (§IV). Real trojan
+//! insertion is constrained differently: a foundry-stage adversary drops one
+//! contiguous run of compromised peripherals ([`Selection::Clustered`]),
+//! while a design-stage adversary with netlist knowledge goes straight for
+//! the rings carrying the largest weight magnitudes
+//! ([`Selection::Targeted`] — the worst-case adversary).
+
+use safelight_neuro::{Network, SimRng};
+use safelight_onn::{AcceleratorConfig, BlockKind, WeightMapping};
+
+use crate::attack::Selection;
+use crate::SafelightError;
+
+/// Per-ring weight salience of a mapped network: for every microring, the
+/// largest |weight| it carries across reuse rounds.
+///
+/// This is what a magnitude-targeted adversary is assumed to know. Built
+/// once per sweep (from the model under evaluation) and shared by every
+/// scenario injection, so targeted sweeps stay deterministic and
+/// thread-count independent.
+#[derive(Debug, Clone)]
+pub struct RingSalience {
+    conv: Vec<f64>,
+    fc: Vec<f64>,
+    /// Ring indices of each block sorted by descending salience
+    /// (ties break toward the lower index).
+    ranked_conv: Vec<u64>,
+    ranked_fc: Vec<u64>,
+}
+
+impl RingSalience {
+    /// Derives the salience map of `network` as laid out by `mapping` on
+    /// `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SafelightError::Onn`] when the network's weight tensors do
+    /// not line up with the mapping.
+    pub fn from_network(
+        network: &Network,
+        mapping: &WeightMapping,
+        config: &AcceleratorConfig,
+    ) -> Result<Self, SafelightError> {
+        let mut conv = vec![0.0f64; config.conv.total_mrs() as usize];
+        let mut fc = vec![0.0f64; config.fc.total_mrs() as usize];
+        let weights: Vec<_> = network.params().into_iter().filter(|q| q.decay).collect();
+        for (li, q) in weights.iter().enumerate() {
+            for (off, w) in q.value.as_slice().iter().enumerate() {
+                let home = mapping.locate(li, off)?;
+                let slot = match home.block {
+                    BlockKind::Conv => &mut conv[home.mr_index as usize],
+                    BlockKind::Fc => &mut fc[home.mr_index as usize],
+                };
+                *slot = slot.max(f64::from(w.abs()));
+            }
+        }
+        let ranked_conv = rank_desc(&conv);
+        let ranked_fc = rank_desc(&fc);
+        Ok(Self {
+            conv,
+            fc,
+            ranked_conv,
+            ranked_fc,
+        })
+    }
+
+    /// The salience of every ring in `kind`'s block, by flat MR index.
+    #[must_use]
+    pub fn block(&self, kind: BlockKind) -> &[f64] {
+        match kind {
+            BlockKind::Conv => &self.conv,
+            BlockKind::Fc => &self.fc,
+        }
+    }
+
+    fn ranked(&self, kind: BlockKind) -> &[u64] {
+        match kind {
+            BlockKind::Conv => &self.ranked_conv,
+            BlockKind::Fc => &self.ranked_fc,
+        }
+    }
+}
+
+/// Ring indices sorted by descending salience, ties toward lower indices —
+/// a total order, so targeted selection is deterministic.
+fn rank_desc(salience: &[f64]) -> Vec<u64> {
+    let mut idx: Vec<u64> = (0..salience.len() as u64).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        salience[b as usize]
+            .partial_cmp(&salience[a as usize])
+            .expect("salience values are finite")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Number of ring sites covering `fraction` of `kind`'s block (≥ 1).
+pub(crate) fn ring_count(config: &AcceleratorConfig, kind: BlockKind, fraction: f64) -> usize {
+    let total = config.block(kind).total_mrs() as usize;
+    let count = ((total as f64) * fraction).round().max(1.0) as usize;
+    count.min(total)
+}
+
+/// Number of banks whose rings cover roughly `fraction` of `kind`'s block
+/// (bank-granular vectors attack whole banks; ≥ 1).
+pub(crate) fn bank_count(config: &AcceleratorConfig, kind: BlockKind, fraction: f64) -> usize {
+    let shape = config.block(kind);
+    let target_rings = shape.total_mrs() as f64 * fraction;
+    let banks = (target_rings / shape.mrs_per_bank() as f64).round() as usize;
+    banks.clamp(1, shape.vdp_units)
+}
+
+fn targeted_needs_salience<T>(salience: Option<T>) -> Result<T, SafelightError> {
+    salience.ok_or(SafelightError::InvalidParameter {
+        name: "selection (targeted selection needs a RingSalience)",
+        value: 0.0,
+    })
+}
+
+/// Selects the ring sites a ring-granular vector compromises in `kind`'s
+/// block.
+///
+/// # Errors
+///
+/// Returns [`SafelightError::InvalidParameter`] when `fraction` is outside
+/// `(0, 1]` or when [`Selection::Targeted`] is requested without a
+/// salience map.
+pub fn select_rings(
+    config: &AcceleratorConfig,
+    kind: BlockKind,
+    fraction: f64,
+    selection: Selection,
+    salience: Option<&RingSalience>,
+    rng: &mut SimRng,
+) -> Result<Vec<u64>, SafelightError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(SafelightError::InvalidParameter {
+            name: "fraction",
+            value: fraction,
+        });
+    }
+    let total = config.block(kind).total_mrs() as usize;
+    let count = ring_count(config, kind, fraction);
+    Ok(match selection {
+        Selection::Uniform => rng
+            .sample_distinct(total, count)
+            .into_iter()
+            .map(|i| i as u64)
+            .collect(),
+        Selection::Clustered => {
+            let start = rng.index(total - count + 1) as u64;
+            (start..start + count as u64).collect()
+        }
+        Selection::Targeted => targeted_needs_salience(salience)?.ranked(kind)[..count].to_vec(),
+    })
+}
+
+/// Selects the banks a bank-granular vector compromises in `kind`'s block.
+///
+/// # Errors
+///
+/// Returns [`SafelightError::InvalidParameter`] when `fraction` is outside
+/// `(0, 1]` or when [`Selection::Targeted`] is requested without a
+/// salience map.
+pub fn select_banks(
+    config: &AcceleratorConfig,
+    kind: BlockKind,
+    fraction: f64,
+    selection: Selection,
+    salience: Option<&RingSalience>,
+    rng: &mut SimRng,
+) -> Result<Vec<usize>, SafelightError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(SafelightError::InvalidParameter {
+            name: "fraction",
+            value: fraction,
+        });
+    }
+    let shape = config.block(kind);
+    let n = bank_count(config, kind, fraction);
+    Ok(match selection {
+        Selection::Uniform => rng.sample_distinct(shape.vdp_units, n),
+        Selection::Clustered => {
+            let start = rng.index(shape.vdp_units - n + 1);
+            (start..start + n).collect()
+        }
+        Selection::Targeted => {
+            let salience = targeted_needs_salience(salience)?;
+            let per_bank = shape.mrs_per_bank();
+            let sums: Vec<f64> = salience
+                .block(kind)
+                .chunks(per_bank)
+                .map(|bank| bank.iter().sum())
+                .collect();
+            let mut banks: Vec<usize> = (0..shape.vdp_units).collect();
+            banks.sort_unstable_by(|&a, &b| {
+                sums[b]
+                    .partial_cmp(&sums[a])
+                    .expect("salience sums are finite")
+                    .then(a.cmp(&b))
+            });
+            banks.truncate(n);
+            banks
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{build_model, ModelKind};
+
+    fn setup() -> (AcceleratorConfig, WeightMapping, RingSalience) {
+        let config = AcceleratorConfig::scaled_experiment().unwrap();
+        let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+        let salience = RingSalience::from_network(&bundle.network, &mapping, &config).unwrap();
+        (config, mapping, salience)
+    }
+
+    #[test]
+    fn uniform_selection_is_distinct_and_bounded() {
+        let (config, _, _) = setup();
+        let mut rng = SimRng::seed_from(1);
+        let rings = select_rings(
+            &config,
+            BlockKind::Conv,
+            0.05,
+            Selection::Uniform,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        let expected = ring_count(&config, BlockKind::Conv, 0.05);
+        assert_eq!(rings.len(), expected);
+        let mut sorted = rings.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), expected);
+        assert!(rings.iter().all(|&r| r < config.conv.total_mrs()));
+    }
+
+    #[test]
+    fn clustered_selection_is_contiguous() {
+        let (config, _, _) = setup();
+        let mut rng = SimRng::seed_from(2);
+        let rings = select_rings(
+            &config,
+            BlockKind::Fc,
+            0.05,
+            Selection::Clustered,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        for pair in rings.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1);
+        }
+        let banks = select_banks(
+            &config,
+            BlockKind::Fc,
+            0.20,
+            Selection::Clustered,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        for pair in banks.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1);
+        }
+    }
+
+    #[test]
+    fn targeted_selection_takes_the_heaviest_rings_first() {
+        let (config, _, salience) = setup();
+        let mut rng = SimRng::seed_from(3);
+        let rings = select_rings(
+            &config,
+            BlockKind::Conv,
+            0.01,
+            Selection::Targeted,
+            Some(&salience),
+            &mut rng,
+        )
+        .unwrap();
+        let block = salience.block(BlockKind::Conv);
+        let picked_min = rings
+            .iter()
+            .map(|&r| block[r as usize])
+            .fold(f64::INFINITY, f64::min);
+        let unpicked_max = (0..block.len() as u64)
+            .filter(|r| !rings.contains(r))
+            .map(|r| block[r as usize])
+            .fold(0.0f64, f64::max);
+        assert!(
+            picked_min >= unpicked_max,
+            "picked min {picked_min} < unpicked max {unpicked_max}"
+        );
+    }
+
+    #[test]
+    fn targeted_selection_without_salience_is_rejected() {
+        let (config, _, _) = setup();
+        let mut rng = SimRng::seed_from(4);
+        assert!(select_rings(
+            &config,
+            BlockKind::Conv,
+            0.05,
+            Selection::Targeted,
+            None,
+            &mut rng
+        )
+        .is_err());
+        assert!(select_banks(
+            &config,
+            BlockKind::Conv,
+            0.05,
+            Selection::Targeted,
+            None,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn targeted_selection_is_deterministic() {
+        let (config, _, salience) = setup();
+        let pick = || {
+            let mut rng = SimRng::seed_from(5);
+            select_banks(
+                &config,
+                BlockKind::Fc,
+                0.10,
+                Selection::Targeted,
+                Some(&salience),
+                &mut rng,
+            )
+            .unwrap()
+        };
+        assert_eq!(pick(), pick());
+    }
+
+    #[test]
+    fn salience_covers_only_mapped_rings() {
+        let (config, mapping, salience) = setup();
+        // CNN_1 under-fills the scaled FC block, so the tail rings past the
+        // used slots must carry zero salience.
+        let used = mapping.used_slots(BlockKind::Fc);
+        let cap = config.fc.total_mrs();
+        if used < cap {
+            let tail = &salience.block(BlockKind::Fc)[used as usize..];
+            assert!(tail.iter().all(|&s| s == 0.0));
+        }
+        // And the mapped region must carry some weight.
+        assert!(salience.block(BlockKind::Fc).iter().any(|&s| s > 0.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Partial trim-drift attacks: the trojan pins the compromised rings' trim
+//! DACs a fixed offset away from their calibrated set point.
+//!
+//! Where an actuation attack (§III.B.1) slams the ring to its *maximum*
+//! detuning, a trim-drift trojan is subtler: it biases the thermal/EO trim
+//! loop by a parameterized fraction of the channel spacing. Small drifts
+//! shave weight magnitude gradually; a drift of one full spacing reproduces
+//! the paper's Fig. 5 wavelength slide through a completely different
+//! (control-plane) mechanism. Graded drifts are much harder to catch with
+//! the calibration-time screening that would flag a parked ring.
+
+use safelight_neuro::SimRng;
+use safelight_onn::{AcceleratorConfig, BlockKind, ConditionMap, MrCondition};
+
+use crate::attack::{select_rings, AttackTarget, Granularity, Injector, Selection, Sites};
+use crate::SafelightError;
+
+/// The trim-drift injector: every compromised ring is detuned by
+/// `detune_rel` channel spacings from its calibrated imprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrimDriftInjector {
+    /// Drift as a fraction of the WDM channel spacing (> 0).
+    pub detune_rel: f64,
+}
+
+impl Injector for TrimDriftInjector {
+    fn granularity(&self) -> Granularity {
+        Granularity::Ring
+    }
+
+    fn apply(
+        &self,
+        config: &AcceleratorConfig,
+        kind: BlockKind,
+        sites: &Sites,
+        conditions: &mut ConditionMap,
+    ) -> Result<(), SafelightError> {
+        let Sites::Rings(rings) = sites else {
+            return Err(SafelightError::InvalidParameter {
+                name: "sites (trim-drift attacks are ring-granular)",
+                value: 0.0,
+            });
+        };
+        if !self.detune_rel.is_finite() || self.detune_rel <= 0.0 {
+            return Err(SafelightError::InvalidParameter {
+                name: "detune_rel",
+                value: self.detune_rel,
+            });
+        }
+        let offset_nm = self.detune_rel * config.channel_spacing_nm;
+        for &mr in rings {
+            conditions.stack(
+                kind,
+                mr,
+                MrCondition::Detuned {
+                    offset_nm,
+                    delta_kelvin: 0.0,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Detunes a uniformly random `fraction` of the targeted blocks' microrings
+/// by `detune_rel` channel spacings.
+///
+/// # Errors
+///
+/// Returns [`SafelightError::InvalidParameter`] for a fraction outside
+/// `(0, 1]` or a non-positive `detune_rel`.
+pub fn inject_trim_drift(
+    config: &AcceleratorConfig,
+    target: AttackTarget,
+    fraction: f64,
+    detune_rel: f64,
+    rng: &mut SimRng,
+) -> Result<ConditionMap, SafelightError> {
+    let injector = TrimDriftInjector { detune_rel };
+    let mut conditions = ConditionMap::new();
+    for kind in target.blocks() {
+        let rings = select_rings(config, kind, fraction, Selection::Uniform, None, rng)?;
+        injector.apply(config, kind, &Sites::Rings(rings), &mut conditions)?;
+    }
+    Ok(conditions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::scaled_experiment().unwrap()
+    }
+
+    #[test]
+    fn drift_scales_with_channel_spacing() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(31);
+        let map = inject_trim_drift(&cfg, AttackTarget::FcBlock, 0.05, 0.4, &mut rng).unwrap();
+        let expected_offset = 0.4 * cfg.channel_spacing_nm;
+        assert!(map.faulty_count(BlockKind::Fc) > 0);
+        for (_, cond) in map.iter(BlockKind::Fc) {
+            assert_eq!(
+                cond,
+                MrCondition::Detuned {
+                    offset_nm: expected_offset,
+                    delta_kelvin: 0.0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn non_positive_drift_is_rejected() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(32);
+        assert!(inject_trim_drift(&cfg, AttackTarget::Both, 0.05, 0.0, &mut rng).is_err());
+        assert!(inject_trim_drift(&cfg, AttackTarget::Both, 0.05, -0.5, &mut rng).is_err());
+        assert!(inject_trim_drift(&cfg, AttackTarget::Both, 0.05, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn drift_respects_target_blocks() {
+        let cfg = config();
+        let mut rng = SimRng::seed_from(33);
+        let map = inject_trim_drift(&cfg, AttackTarget::ConvBlock, 0.05, 0.4, &mut rng).unwrap();
+        assert!(map.faulty_count(BlockKind::Conv) > 0);
+        assert_eq!(map.faulty_count(BlockKind::Fc), 0);
+    }
+}

@@ -19,6 +19,8 @@ pub enum SafelightError {
         /// Rejected value.
         value: f64,
     },
+    /// A scenario/vector/selection specification string failed to parse.
+    Parse(String),
     /// An accelerator-level error.
     Onn(OnnError),
     /// A neural-network error.
@@ -35,6 +37,7 @@ impl fmt::Display for SafelightError {
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter `{name}`")
             }
+            Self::Parse(context) => write!(f, "spec parse error: {context}"),
             Self::Onn(e) => write!(f, "accelerator: {e}"),
             Self::Neuro(e) => write!(f, "neural network: {e}"),
             Self::Photonics(e) => write!(f, "photonics: {e}"),
@@ -50,7 +53,7 @@ impl Error for SafelightError {
             Self::Neuro(e) => Some(e),
             Self::Photonics(e) => Some(e),
             Self::Thermal(e) => Some(e),
-            Self::InvalidParameter { .. } => None,
+            Self::InvalidParameter { .. } | Self::Parse(_) => None,
         }
     }
 }

@@ -7,9 +7,9 @@ use safelight_onn::{AcceleratorConfig, WeightMapping};
 use safelight_neuro::accuracy;
 use safelight_onn::{corrupt_network, ConditionMap};
 
-use crate::attack::AttackScenario;
+use crate::attack::{RingSalience, ScenarioSpec};
 use crate::defense::VariantKind;
-use crate::eval::susceptibility::{evaluate_with_conditions, inject_all};
+use crate::eval::susceptibility::{evaluate_with_conditions, inject_all, needs_salience};
 use crate::eval::BoxStats;
 use crate::SafelightError;
 
@@ -36,14 +36,17 @@ impl MitigationReport {
     /// The variant with the highest median accuracy under attack — the
     /// "most robust configuration" the paper selects per model (§VI).
     ///
-    /// Ties break toward the earlier variant on the Fig. 8 axis.
+    /// Ties break toward the earlier variant on the Fig. 8 axis, so only a
+    /// *strictly* higher median displaces the incumbent
+    /// (`Iterator::max_by` would return the last maximal element instead).
     #[must_use]
     pub fn most_robust(&self) -> Option<&VariantOutcome> {
-        self.outcomes.iter().max_by(|a, b| {
-            a.stats
-                .median
-                .partial_cmp(&b.stats.median)
-                .expect("accuracies are finite")
+        self.outcomes.iter().reduce(|best, candidate| {
+            if candidate.stats.median > best.stats.median {
+                candidate
+            } else {
+                best
+            }
         })
     }
 }
@@ -53,18 +56,21 @@ impl MitigationReport {
 ///
 /// The attack conditions are injected once (one thermal solve per hotspot
 /// scenario) and shared across all variants, exactly as in the paper: every
-/// variant faces the same trojans.
+/// variant faces the same trojans. For targeted scenarios the shared
+/// salience map is derived from the *first* variant (conventionally
+/// `Original` — the weights a netlist-stage adversary would have seen).
 ///
 /// # Errors
 ///
 /// Propagates susceptibility-sweep errors; returns
-/// [`SafelightError::InvalidParameter`] for an empty scenario list.
+/// [`SafelightError::InvalidParameter`] for an empty scenario or variant
+/// list.
 pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
     variants: &[(VariantKind, Network)],
     mapping: &WeightMapping,
     config: &AcceleratorConfig,
     test_data: &D,
-    scenarios: &[AttackScenario],
+    scenarios: &[ScenarioSpec],
     seed: u64,
     threads: usize,
 ) -> Result<MitigationReport, SafelightError> {
@@ -74,7 +80,18 @@ pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
             value: 0.0,
         });
     }
-    let injected = inject_all(config, scenarios, seed, threads)?;
+    if variants.is_empty() {
+        return Err(SafelightError::InvalidParameter {
+            name: "variants",
+            value: 0.0,
+        });
+    }
+    let salience = if needs_salience(scenarios) {
+        Some(RingSalience::from_network(&variants[0].1, mapping, config)?)
+    } else {
+        None
+    };
+    let injected = inject_all(config, scenarios, salience.as_ref(), seed, threads)?;
     let mut outcomes = Vec::with_capacity(variants.len());
     for (variant, network) in variants {
         let mut clean = corrupt_network(network, mapping, &ConditionMap::new(), config)?;
@@ -96,10 +113,49 @@ pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attack::{AttackTarget, AttackVector};
+    use crate::attack::{AttackTarget, VectorSpec};
     use crate::models::{build_model, ModelKind};
     use safelight_datasets::{digits, SyntheticSpec};
     use safelight_neuro::{Trainer, TrainerConfig};
+
+    fn outcome(variant: VariantKind, median: f64) -> VariantOutcome {
+        VariantOutcome {
+            variant,
+            baseline: 0.9,
+            stats: BoxStats::from_values(&[median]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn most_robust_breaks_ties_toward_the_earlier_variant() {
+        // Regression: `Iterator::max_by` returns the *last* maximal
+        // element, which silently flipped Fig. 9's selection whenever two
+        // variants tied on median.
+        let report = MitigationReport {
+            outcomes: vec![
+                outcome(VariantKind::Original, 0.6),
+                outcome(VariantKind::L2Noise(3), 0.8),
+                outcome(VariantKind::L2Noise(5), 0.8),
+            ],
+        };
+        assert_eq!(
+            report.most_robust().unwrap().variant,
+            VariantKind::L2Noise(3),
+            "tie must break toward the earlier Fig. 8 variant"
+        );
+        // A strictly better later variant still wins.
+        let report = MitigationReport {
+            outcomes: vec![
+                outcome(VariantKind::Original, 0.6),
+                outcome(VariantKind::L2Noise(3), 0.8),
+                outcome(VariantKind::L2Noise(5), 0.81),
+            ],
+        };
+        assert_eq!(
+            report.most_robust().unwrap().variant,
+            VariantKind::L2Noise(5)
+        );
+    }
 
     #[test]
     fn mitigation_report_summarizes_each_variant() {
@@ -131,13 +187,8 @@ mod tests {
         let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
 
-        let scenarios: Vec<AttackScenario> = (0..2)
-            .map(|trial| AttackScenario {
-                vector: AttackVector::Actuation,
-                target: AttackTarget::Both,
-                fraction: 0.05,
-                trial,
-            })
+        let scenarios: Vec<ScenarioSpec> = (0..2)
+            .map(|trial| ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.05, trial))
             .collect();
         let report =
             run_mitigation(&variants, &mapping, &config, &data.test, &scenarios, 11, 2).unwrap();

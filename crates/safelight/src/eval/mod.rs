@@ -8,7 +8,10 @@ mod susceptibility;
 pub use mitigation::{run_mitigation, MitigationReport, VariantOutcome};
 pub use recovery::{run_recovery, RecoveryInterval, RecoveryReport};
 pub use report::{mitigation_csv, recovery_csv, susceptibility_csv};
-pub use susceptibility::{run_susceptibility, SusceptibilityReport, TrialResult};
+pub use susceptibility::{
+    evaluate_with_conditions, inject_all, run_susceptibility, InjectedScenario,
+    SusceptibilityReport, TrialResult,
+};
 
 /// Five-number summary of a set of accuracies (a box-and-whisker box, as
 /// used by the paper's Fig. 8).

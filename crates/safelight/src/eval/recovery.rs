@@ -5,7 +5,7 @@
 use safelight_neuro::{accuracy, Dataset, Network};
 use safelight_onn::{corrupt_network, AcceleratorConfig, ConditionMap, WeightMapping};
 
-use crate::attack::{AttackScenario, AttackTarget, AttackVector};
+use crate::attack::{AttackTarget, ScenarioSpec, VectorSpec};
 use crate::eval::par_map;
 use crate::eval::susceptibility::inject_all;
 use crate::SafelightError;
@@ -15,7 +15,7 @@ use crate::SafelightError;
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryInterval {
     /// Attack vector of this cell.
-    pub vector: AttackVector,
+    pub vector: VectorSpec,
     /// Fraction of MRs attacked.
     pub fraction: f64,
     /// (min, mean, max) accuracy of the original model.
@@ -90,22 +90,24 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
         });
     }
     let mut scenarios = Vec::new();
-    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+    for vector in VectorSpec::paper_pair() {
         for &fraction in fractions {
             for trial in 0..trials {
-                scenarios.push(AttackScenario {
+                scenarios.push(ScenarioSpec::new(
                     vector,
-                    target: AttackTarget::Both,
+                    AttackTarget::Both,
                     fraction,
                     trial,
-                });
+                ));
             }
         }
     }
     // Fault conditions depend only on (scenario, seed), so the expensive
     // injection pass — thermal solves included — is shared between the two
-    // models instead of being recomputed per model as the seed did.
-    let injected = inject_all(config, &scenarios, seed, threads)?;
+    // models instead of being recomputed per model as the seed did. The
+    // Fig. 9 grid uses uniform site selection, so no salience map is
+    // needed.
+    let injected = inject_all(config, &scenarios, None, seed, threads)?;
 
     // Both clean baselines and both models' full trial sets are
     // independent work items; evaluate all of them in one flat fan-out
@@ -122,8 +124,13 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
             return Ok::<f64, SafelightError>(acc);
         }
         let i = i - 2;
-        let (_, conditions) = &injected[i % n_scenarios];
-        let mut attacked = corrupt_network(networks[i / n_scenarios], mapping, conditions, config)?;
+        let entry = &injected[i % n_scenarios];
+        let mut attacked = corrupt_network(
+            networks[i / n_scenarios],
+            mapping,
+            &entry.conditions,
+            config,
+        )?;
         Ok(accuracy(&mut attacked, test_data, 32)?)
     });
     let mut accuracies = Vec::with_capacity(outcomes.len());
@@ -133,17 +140,18 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
     let original_baseline = accuracies[0];
     let robust_baseline = accuracies[1];
     let trial_of = |model: usize, i: usize| crate::eval::TrialResult {
-        scenario: injected[i].0,
+        scenario: injected[i].scenario.clone(),
         accuracy: accuracies[2 + model * n_scenarios + i],
+        effective_fraction: injected[i].effective_fraction,
     };
     let original_trials: Vec<_> = (0..n_scenarios).map(|i| trial_of(0, i)).collect();
     let robust_trials: Vec<_> = (0..n_scenarios).map(|i| trial_of(1, i)).collect();
 
     let mut intervals = Vec::new();
-    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+    for vector in VectorSpec::paper_pair() {
         for &fraction in fractions {
             let select = |t: &&crate::eval::TrialResult| {
-                t.scenario.vector == vector && (t.scenario.fraction - fraction).abs() < 1e-12
+                t.scenario.vectors == [vector] && (t.scenario.fraction - fraction).abs() < 1e-12
             };
             let orig: Vec<f64> = original_trials
                 .iter()

@@ -4,7 +4,10 @@
 use crate::eval::{MitigationReport, RecoveryReport, SusceptibilityReport};
 
 /// Renders a Fig. 7 susceptibility report as CSV:
-/// `vector,target,fraction,trial,accuracy` rows plus a baseline header row.
+/// `vector,selection,target,fraction,effective_fraction,trial,accuracy`
+/// rows plus a baseline header row. Stacked vectors join with `+`;
+/// `effective_fraction` records the coverage actually achieved (bank
+/// granularity can clamp a nominal 1 % attack up to a whole bank).
 ///
 /// # Example
 ///
@@ -18,11 +21,17 @@ use crate::eval::{MitigationReport, RecoveryReport, SusceptibilityReport};
 #[must_use]
 pub fn susceptibility_csv(report: &SusceptibilityReport) -> String {
     let mut out = format!("# baseline,{}\n", report.baseline);
-    out.push_str("vector,target,fraction,trial,accuracy\n");
+    out.push_str("vector,selection,target,fraction,effective_fraction,trial,accuracy\n");
     for t in &report.trials {
         out.push_str(&format!(
-            "{},{},{},{},{}\n",
-            t.scenario.vector, t.scenario.target, t.scenario.fraction, t.scenario.trial, t.accuracy
+            "{},{},{},{},{},{},{}\n",
+            t.scenario.vector_label(),
+            t.scenario.selection,
+            t.scenario.target,
+            t.scenario.fraction,
+            t.effective_fraction,
+            t.scenario.trial,
+            t.accuracy
         ));
     }
     out
@@ -79,17 +88,12 @@ pub fn recovery_csv(report: &RecoveryReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attack::{AttackScenario, AttackTarget, AttackVector};
+    use crate::attack::{AttackTarget, ScenarioSpec, Selection, VectorSpec};
     use crate::defense::VariantKind;
     use crate::eval::{BoxStats, RecoveryInterval, TrialResult, VariantOutcome};
 
-    fn scenario() -> AttackScenario {
-        AttackScenario {
-            vector: AttackVector::Hotspot,
-            target: AttackTarget::Both,
-            fraction: 0.05,
-            trial: 2,
-        }
+    fn scenario() -> ScenarioSpec {
+        ScenarioSpec::new(VectorSpec::Hotspot, AttackTarget::Both, 0.05, 2)
     }
 
     #[test]
@@ -100,16 +104,38 @@ mod tests {
                 TrialResult {
                     scenario: scenario(),
                     accuracy: 0.5,
+                    effective_fraction: 0.08,
                 },
                 TrialResult {
-                    scenario: scenario(),
+                    scenario: scenario().with_selection(Selection::Clustered),
                     accuracy: 0.6,
+                    effective_fraction: 0.08,
                 },
             ],
         };
         let csv = susceptibility_csv(&report);
         assert_eq!(csv.lines().count(), 4); // baseline + header + 2 rows
-        assert!(csv.contains("hotspot,CONV+FC,0.05,2,0.5"));
+        assert!(csv.contains("hotspot,uniform,CONV+FC,0.05,0.08,2,0.5"));
+        assert!(csv.contains("hotspot,clustered,CONV+FC,0.05,0.08,2,0.6"));
+    }
+
+    #[test]
+    fn susceptibility_csv_labels_stacked_vectors() {
+        let report = SusceptibilityReport {
+            baseline: 0.9,
+            trials: vec![TrialResult {
+                scenario: ScenarioSpec::stacked(
+                    vec![VectorSpec::Actuation, VectorSpec::Hotspot],
+                    AttackTarget::ConvBlock,
+                    0.01,
+                    0,
+                ),
+                accuracy: 0.4,
+                effective_fraction: 0.05,
+            }],
+        };
+        let csv = susceptibility_csv(&report);
+        assert!(csv.contains("actuation+hotspot,uniform,CONV,0.01,0.05,0,0.4"));
     }
 
     #[test]
@@ -131,7 +157,7 @@ mod tests {
             original_baseline: 0.9,
             robust_baseline: 0.92,
             intervals: vec![RecoveryInterval {
-                vector: AttackVector::Actuation,
+                vector: VectorSpec::Actuation,
                 fraction: 0.1,
                 original: (0.4, 0.5, 0.6),
                 robust: (0.6, 0.7, 0.8),

@@ -4,7 +4,7 @@
 use safelight_neuro::{accuracy, Dataset, Network};
 use safelight_onn::{corrupt_network, AcceleratorConfig, WeightMapping};
 
-use crate::attack::{inject, AttackScenario};
+use crate::attack::{inject_full, RingSalience, ScenarioSpec, Selection};
 use crate::eval::par_map;
 use crate::SafelightError;
 
@@ -12,9 +12,14 @@ use crate::SafelightError;
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialResult {
     /// The injected scenario.
-    pub scenario: AttackScenario,
+    pub scenario: ScenarioSpec,
     /// Post-attack classification accuracy in `[0, 1]`.
     pub accuracy: f64,
+    /// Fraction of the targeted blocks' rings under direct trojan control.
+    /// Bank-granular vectors clamp upward (a nominal 1 % hotspot can cover
+    /// a whole bank), so Fig. 7 data is labeled with what was *actually*
+    /// attacked.
+    pub effective_fraction: f64,
 }
 
 /// A full susceptibility sweep for one model.
@@ -46,7 +51,7 @@ impl SusceptibilityReport {
     /// group).
     pub fn filtered<F>(&self, predicate: F) -> Vec<&TrialResult>
     where
-        F: Fn(&AttackScenario) -> bool,
+        F: Fn(&ScenarioSpec) -> bool,
     {
         self.trials
             .iter()
@@ -55,22 +60,45 @@ impl SusceptibilityReport {
     }
 }
 
+/// One pre-injected scenario: the conditions plus the coverage actually
+/// achieved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedScenario {
+    /// The scenario that was injected.
+    pub scenario: ScenarioSpec,
+    /// The resulting fault conditions.
+    pub conditions: safelight_onn::ConditionMap,
+    /// Fraction of the targeted blocks' rings under direct trojan control.
+    pub effective_fraction: f64,
+}
+
+/// Whether any scenario in the slice needs a weight-salience map.
+pub(crate) fn needs_salience(scenarios: &[ScenarioSpec]) -> bool {
+    scenarios.iter().any(|s| s.selection == Selection::Targeted)
+}
+
 /// Pre-injects the fault conditions of every scenario (thermal solves for
 /// hotspots happen here), so several model variants can be evaluated
-/// against identical attacks without re-solving.
+/// against identical attacks without re-solving. `salience` is required
+/// when any scenario uses [`Selection::Targeted`].
 ///
 /// # Errors
 ///
 /// Propagates attack-injection errors.
 pub fn inject_all(
     config: &AcceleratorConfig,
-    scenarios: &[AttackScenario],
+    scenarios: &[ScenarioSpec],
+    salience: Option<&RingSalience>,
     seed: u64,
     threads: usize,
-) -> Result<Vec<(AttackScenario, safelight_onn::ConditionMap)>, SafelightError> {
+) -> Result<Vec<InjectedScenario>, SafelightError> {
     let outcomes = par_map(scenarios.to_vec(), threads, |scenario| {
-        let conditions = inject(&scenario, config, seed)?;
-        Ok::<_, SafelightError>((scenario, conditions))
+        let injection = inject_full(&scenario, config, salience, seed)?;
+        Ok::<_, SafelightError>(InjectedScenario {
+            scenario,
+            conditions: injection.conditions,
+            effective_fraction: injection.effective_fraction,
+        })
     });
     outcomes.into_iter().collect()
 }
@@ -86,17 +114,18 @@ pub fn evaluate_with_conditions<D: Dataset + Sync + ?Sized>(
     mapping: &WeightMapping,
     config: &AcceleratorConfig,
     test_data: &D,
-    injected: &[(AttackScenario, safelight_onn::ConditionMap)],
+    injected: &[InjectedScenario],
     threads: usize,
 ) -> Result<Vec<TrialResult>, SafelightError> {
     let items: Vec<usize> = (0..injected.len()).collect();
     let outcomes = par_map(items, threads, |i| {
-        let (scenario, conditions) = &injected[i];
-        let mut attacked = corrupt_network(network, mapping, conditions, config)?;
+        let entry = &injected[i];
+        let mut attacked = corrupt_network(network, mapping, &entry.conditions, config)?;
         let acc = accuracy(&mut attacked, test_data, 32)?;
         Ok::<TrialResult, SafelightError>(TrialResult {
-            scenario: *scenario,
+            scenario: entry.scenario.clone(),
             accuracy: acc,
+            effective_fraction: entry.effective_fraction,
         })
     });
     outcomes.into_iter().collect()
@@ -107,8 +136,10 @@ pub fn evaluate_with_conditions<D: Dataset + Sync + ?Sized>(
 /// accuracy on `test_data`.
 ///
 /// Trials are independent, so they are distributed over `threads` OS
-/// threads; results keep the input order. `seed` drives attack-site
-/// sampling (the network and data are fixed inputs).
+/// threads; results keep the input order and are bitwise independent of
+/// the thread count. `seed` drives attack-site sampling; targeted
+/// scenarios derive their salience map from `network` itself (the
+/// worst-case adversary knows the deployed weights).
 ///
 /// # Errors
 ///
@@ -118,7 +149,7 @@ pub fn run_susceptibility<D: Dataset + Sync + ?Sized>(
     mapping: &WeightMapping,
     config: &AcceleratorConfig,
     test_data: &D,
-    scenarios: &[AttackScenario],
+    scenarios: &[ScenarioSpec],
     seed: u64,
     threads: usize,
 ) -> Result<SusceptibilityReport, SafelightError> {
@@ -130,7 +161,14 @@ pub fn run_susceptibility<D: Dataset + Sync + ?Sized>(
         config,
     )?;
     let baseline = accuracy(&mut clean, test_data, 32)?;
-    let injected = inject_all(config, scenarios, seed, threads)?;
+    // One salience pass feeds every targeted scenario, keeping the sweep
+    // deterministic regardless of how trials are scheduled.
+    let salience = if needs_salience(scenarios) {
+        Some(RingSalience::from_network(network, mapping, config)?)
+    } else {
+        None
+    };
+    let injected = inject_all(config, scenarios, salience.as_ref(), seed, threads)?;
     let trials = evaluate_with_conditions(network, mapping, config, test_data, &injected, threads)?;
     Ok(SusceptibilityReport { baseline, trials })
 }
@@ -138,7 +176,7 @@ pub fn run_susceptibility<D: Dataset + Sync + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attack::{AttackTarget, AttackVector};
+    use crate::attack::{AttackTarget, VectorSpec};
     use crate::models::{build_model, ModelKind};
     use safelight_datasets::{digits, SyntheticSpec};
     use safelight_neuro::{Trainer, TrainerConfig};
@@ -173,18 +211,8 @@ mod tests {
     fn sweep_produces_one_result_per_scenario() {
         let (network, mapping, config, data) = trained_setup();
         let scenarios = vec![
-            AttackScenario {
-                vector: AttackVector::Actuation,
-                target: AttackTarget::ConvBlock,
-                fraction: 0.05,
-                trial: 0,
-            },
-            AttackScenario {
-                vector: AttackVector::Actuation,
-                target: AttackTarget::FcBlock,
-                fraction: 0.05,
-                trial: 1,
-            },
+            ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0),
+            ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::FcBlock, 0.05, 1),
         ];
         let report =
             run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2).unwrap();
@@ -192,18 +220,19 @@ mod tests {
         assert!(report.baseline > 0.3, "baseline {}", report.baseline);
         for t in &report.trials {
             assert!((0.0..=1.0).contains(&t.accuracy));
+            assert!((0.0..=1.0).contains(&t.effective_fraction));
         }
     }
 
     #[test]
     fn attacks_do_not_raise_accuracy_above_sane_bounds() {
         let (network, mapping, config, data) = trained_setup();
-        let scenarios = vec![AttackScenario {
-            vector: AttackVector::Hotspot,
-            target: AttackTarget::Both,
-            fraction: 0.10,
-            trial: 0,
-        }];
+        let scenarios = vec![ScenarioSpec::new(
+            VectorSpec::Hotspot,
+            AttackTarget::Both,
+            0.10,
+            0,
+        )];
         let report =
             run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
         assert!(report.worst_accuracy() <= report.baseline + 0.2);
@@ -213,20 +242,49 @@ mod tests {
     #[test]
     fn results_are_deterministic_across_thread_counts() {
         let (network, mapping, config, data) = trained_setup();
-        let scenarios: Vec<AttackScenario> = (0..3)
-            .map(|trial| AttackScenario {
-                vector: AttackVector::Actuation,
-                target: AttackTarget::ConvBlock,
-                fraction: 0.10,
-                trial,
+        // Mix the paper vectors with targeted/stacked scenarios: the whole
+        // enlarged grid must stay scenario-ordered and thread-independent.
+        let mut scenarios: Vec<ScenarioSpec> = (0..2)
+            .map(|trial| {
+                ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.10, trial)
             })
             .collect();
+        scenarios.push(
+            ScenarioSpec::new(VectorSpec::laser_default(), AttackTarget::FcBlock, 0.05, 0)
+                .with_selection(crate::attack::Selection::Targeted),
+        );
+        scenarios.push(ScenarioSpec::stacked(
+            vec![VectorSpec::Actuation, VectorSpec::Hotspot],
+            AttackTarget::Both,
+            0.05,
+            1,
+        ));
         let a =
             run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
         let b =
             run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2).unwrap();
         for (ta, tb) in a.trials.iter().zip(&b.trials) {
             assert_eq!(ta.accuracy, tb.accuracy);
+            assert_eq!(ta.effective_fraction, tb.effective_fraction);
         }
+    }
+
+    #[test]
+    fn hotspot_trials_report_bank_clamped_coverage() {
+        let (network, mapping, config, data) = trained_setup();
+        let scenarios = vec![ScenarioSpec::new(
+            VectorSpec::Hotspot,
+            AttackTarget::ConvBlock,
+            0.01,
+            0,
+        )];
+        let report =
+            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
+        // 1 % of the scaled CONV block rounds up to one whole bank (4 %).
+        assert!(
+            report.trials[0].effective_fraction > 0.03,
+            "effective {}",
+            report.trials[0].effective_fraction
+        );
     }
 }

@@ -8,7 +8,7 @@ use safelight_neuro::{Network, SimRng};
 use safelight_onn::{AcceleratorConfig, BlockKind, BlockLayout, WeightMapping};
 use safelight_thermal::{Heatmap, ThermalConfig};
 
-use crate::attack::scenario_grid;
+use crate::attack::{scenario_grid, scenario_grid_for, Selection, VectorSpec};
 use crate::defense::{fig8_variants, train_variant, TrainingRecipe, VariantKind};
 use crate::eval::{
     run_mitigation, run_recovery, run_susceptibility, MitigationReport, RecoveryReport,
@@ -38,6 +38,13 @@ pub struct ExperimentOptions {
     pub cache_dir: Option<PathBuf>,
     /// Worker threads for trial evaluation.
     pub threads: usize,
+    /// Vector stacks swept by the Fig. 7 susceptibility grid. Each entry is
+    /// one scenario column: a single vector, or several stacked into one
+    /// condition map. Defaults to the paper's pair.
+    pub vectors: Vec<Vec<VectorSpec>>,
+    /// Site-selection strategies swept by the Fig. 7 grid. Defaults to the
+    /// paper's uniform placement.
+    pub selections: Vec<Selection>,
 }
 
 impl Default for ExperimentOptions {
@@ -51,6 +58,8 @@ impl Default for ExperimentOptions {
             // (`configured_threads` reports the pool's size without
             // spawning it — constructing options stays side-effect free.)
             threads: safelight_neuro::parallel::configured_threads(),
+            vectors: VectorSpec::paper_pair().map(|v| vec![v]).into(),
+            selections: vec![Selection::Uniform],
         }
     }
 }
@@ -118,13 +127,16 @@ impl ExperimentOptions {
         vec![0.01, 0.05, 0.10]
     }
 
-    /// The accelerator profile used by the experiments.
+    /// The Fig. 7 scenario grid implied by these options: every configured
+    /// vector stack × selection × target × fraction, with `trials` trials.
     ///
-    /// # Errors
-    ///
-    /// Propagates configuration errors.
-    pub fn accelerator(&self) -> Result<AcceleratorConfig, SafelightError> {
-        Ok(AcceleratorConfig::scaled_experiment()?)
+    /// (The dead `accelerator()` helper that used to live here returned
+    /// `AcceleratorConfig::scaled_experiment`, silently diverging from the
+    /// per-model `matched_accelerator` profile [`workbench`] actually uses;
+    /// it has been removed rather than left as a trap.)
+    #[must_use]
+    pub fn fig7_grid(&self, trials: u64) -> Vec<crate::attack::ScenarioSpec> {
+        scenario_grid_for(&self.vectors, &self.selections, &self.fractions(), trials)
     }
 }
 
@@ -248,7 +260,7 @@ pub fn run_fig7(
     opts: &ExperimentOptions,
 ) -> Result<(ModelWorkbench, SusceptibilityReport), SafelightError> {
     let bench = workbench(kind, opts)?;
-    let scenarios = scenario_grid(&opts.fractions(), opts.fig7_trials());
+    let scenarios = opts.fig7_grid(opts.fig7_trials());
     let report = run_susceptibility(
         &bench.original,
         &bench.mapping,
@@ -261,16 +273,41 @@ pub fn run_fig7(
     Ok((bench, report))
 }
 
+/// The full Fig. 8 artifact: the shared workbench, every trained variant
+/// network, and the robustness report.
+///
+/// Carrying the trained networks out of [`run_fig8`] lets [`run_fig9`]
+/// reuse the winning variant instead of retraining it (with
+/// `cache_dir: None` the retrain used to double the most expensive step).
+#[derive(Debug, Clone)]
+pub struct Fig8Run {
+    /// Data, mapping and the original network.
+    pub workbench: ModelWorkbench,
+    /// Every Fig. 8 variant with its trained network, in axis order.
+    pub variants: Vec<(VariantKind, Network)>,
+    /// The robustness summary per variant.
+    pub report: MitigationReport,
+}
+
+impl Fig8Run {
+    /// The trained network of `variant`, if it was on the Fig. 8 axis.
+    #[must_use]
+    pub fn trained(&self, variant: VariantKind) -> Option<&Network> {
+        self.variants
+            .iter()
+            .find(|(v, _)| *v == variant)
+            .map(|(_, network)| network)
+    }
+}
+
 /// Reproduces one panel of Fig. 8: trains every variant on the Fig. 8 axis
-/// and summarizes each across the attack grid.
+/// and summarizes each across the attack grid. The trained variants ride
+/// along in the returned [`Fig8Run`] for downstream reuse.
 ///
 /// # Errors
 ///
 /// Propagates training and evaluation errors.
-pub fn run_fig8(
-    kind: ModelKind,
-    opts: &ExperimentOptions,
-) -> Result<(ModelWorkbench, MitigationReport), SafelightError> {
+pub fn run_fig8(kind: ModelKind, opts: &ExperimentOptions) -> Result<Fig8Run, SafelightError> {
     let bench = workbench(kind, opts)?;
     let recipe = opts.recipe(kind);
     let mut variants = Vec::new();
@@ -294,7 +331,48 @@ pub fn run_fig8(
         opts.seed,
         opts.threads,
     )?;
-    Ok((bench, report))
+    Ok(Fig8Run {
+        workbench: bench,
+        variants,
+        report,
+    })
+}
+
+/// The Fig. 9 comparison for an already-computed Fig. 8 run: picks the most
+/// robust variant *from the run's trained networks* and compares it against
+/// the original model at every attack intensity.
+///
+/// This function takes no training inputs at all — it cannot retrain, which
+/// is the point: the winner was just trained by [`run_fig8`].
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run_fig9_from(
+    fig8: &Fig8Run,
+    opts: &ExperimentOptions,
+) -> Result<(VariantKind, RecoveryReport), SafelightError> {
+    let best = fig8
+        .report
+        .most_robust()
+        .expect("fig8 axis is non-empty")
+        .variant;
+    let robust = fig8
+        .trained(best)
+        .expect("the most robust variant was trained in this run");
+    let bench = &fig8.workbench;
+    let report = run_recovery(
+        &bench.original,
+        robust,
+        &bench.mapping,
+        &bench.config,
+        &bench.data.test,
+        &opts.fractions(),
+        opts.fig7_trials(),
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((best, report))
 }
 
 /// Reproduces one panel of Fig. 9: picks the most robust Fig. 8 variant
@@ -309,27 +387,8 @@ pub fn run_fig9(
     kind: ModelKind,
     opts: &ExperimentOptions,
 ) -> Result<(VariantKind, RecoveryReport), SafelightError> {
-    let (bench, fig8) = run_fig8(kind, opts)?;
-    let best = fig8.most_robust().expect("fig8 axis is non-empty").variant;
-    let robust = train_variant(
-        kind,
-        best,
-        &bench.data,
-        &opts.recipe(kind),
-        opts.cache_dir.as_deref(),
-    )?;
-    let report = run_recovery(
-        &bench.original,
-        &robust,
-        &bench.mapping,
-        &bench.config,
-        &bench.data.test,
-        &opts.fractions(),
-        opts.fig7_trials(),
-        opts.seed,
-        opts.threads,
-    )?;
-    Ok((best, report))
+    let fig8 = run_fig8(kind, opts)?;
+    run_fig9_from(&fig8, opts)
 }
 
 #[cfg(test)]
@@ -342,6 +401,7 @@ mod tests {
             seed: 1,
             cache_dir: None,
             threads: 2,
+            ..ExperimentOptions::default()
         }
     }
 
@@ -373,5 +433,90 @@ mod tests {
         assert!(quick.fig7_trials() < full.fig7_trials());
         assert!(quick.data_spec(ModelKind::Cnn1).train < full.data_spec(ModelKind::Cnn1).train);
         assert!(quick.recipe(ModelKind::Cnn1).epochs < full.recipe(ModelKind::Cnn1).epochs);
+    }
+
+    #[test]
+    fn fig7_grid_scales_with_configured_vectors_and_selections() {
+        let opts = tiny_opts();
+        // Paper default: 2 stacks × 1 selection × 3 targets × 3 fractions.
+        assert_eq!(opts.fig7_grid(2).len(), 2 * 3 * 3 * 2);
+        let extended = ExperimentOptions {
+            vectors: vec![
+                vec![VectorSpec::Actuation],
+                vec![VectorSpec::laser_default()],
+                vec![VectorSpec::Actuation, VectorSpec::Hotspot],
+            ],
+            selections: vec![Selection::Uniform, Selection::Targeted],
+            ..tiny_opts()
+        };
+        let grid = extended.fig7_grid(1);
+        assert_eq!(grid.len(), 3 * 2 * 3 * 3);
+        assert!(grid.iter().any(|s| s.is_stacked()));
+    }
+
+    #[test]
+    fn fig9_reuses_the_fig8_winner_without_retraining() {
+        // Regression for the double-training bug: `run_fig9_from` has no
+        // access to training inputs, so the recovery comparison *must* run
+        // against the network trained during Fig. 8. Verify the lookup
+        // plumbing hands back the exact stored network.
+        use crate::defense::VariantKind;
+        use crate::models::build_model;
+
+        let data = safelight_datasets::generate(
+            crate::models::dataset_kind_for(ModelKind::Cnn1),
+            &SyntheticSpec {
+                train: 40,
+                test: 20,
+                seed: 5,
+                ..SyntheticSpec::default()
+            },
+        )
+        .unwrap();
+        let config = crate::models::matched_accelerator(ModelKind::Cnn1).unwrap();
+        let bundle = build_model(ModelKind::Cnn1, 7).unwrap();
+        let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+        let original = bundle.network.clone();
+        let better = build_model(ModelKind::Cnn1, 8).unwrap().network;
+        let fig8 = Fig8Run {
+            workbench: ModelWorkbench {
+                kind: ModelKind::Cnn1,
+                data,
+                config,
+                mapping,
+                original: original.clone(),
+            },
+            variants: vec![
+                (VariantKind::Original, original.clone()),
+                (VariantKind::L2Noise(3), better.clone()),
+            ],
+            report: MitigationReport {
+                outcomes: vec![
+                    crate::eval::VariantOutcome {
+                        variant: VariantKind::Original,
+                        baseline: 0.9,
+                        stats: crate::eval::BoxStats::from_values(&[0.5]).unwrap(),
+                    },
+                    crate::eval::VariantOutcome {
+                        variant: VariantKind::L2Noise(3),
+                        baseline: 0.9,
+                        stats: crate::eval::BoxStats::from_values(&[0.7]).unwrap(),
+                    },
+                ],
+            },
+        };
+        // The stored winner network is handed back by identity of values.
+        let stored = fig8.trained(VariantKind::L2Noise(3)).unwrap();
+        for (a, b) in stored.params().iter().zip(better.params().iter()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice());
+        }
+        // And the fig9 driver runs end-to-end against it.
+        let opts = ExperimentOptions {
+            threads: 1,
+            ..tiny_opts()
+        };
+        let (best, report) = run_fig9_from(&fig8, &opts).unwrap();
+        assert_eq!(best, VariantKind::L2Noise(3));
+        assert_eq!(report.intervals.len(), 2 * opts.fractions().len());
     }
 }

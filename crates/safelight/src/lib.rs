@@ -10,10 +10,13 @@
 //! * [`models`] — the paper's three CNN workloads (Table I): the
 //!   MNIST-style `CNN_1`, a ResNet-18-style residual network and a
 //!   VGG16-variant, each paired with its weight-stationary layer map;
-//! * [`attack`] — the two HT attack vectors of §III: **actuation attacks**
-//!   parking individual microrings off-resonance and **thermal hotspot
-//!   attacks** driving bank heaters through a real thermal solve, plus the
-//!   §IV scenario grid (1/5/10 % × CONV/FC/Both × trials);
+//! * [`attack`] — a composable attack-scenario engine. The paper's two HT
+//!   vectors (§III: **actuation attacks** parking individual microrings
+//!   off-resonance, **thermal hotspot attacks** driving bank heaters
+//!   through a real thermal solve) plus **laser power-degradation** and
+//!   **partial trim-drift** vectors, stackable into multi-vector scenarios,
+//!   with uniform/clustered/magnitude-targeted site selection and the §IV
+//!   scenario grid (1/5/10 % × CONV/FC/Both × trials);
 //! * [`defense`] — the §V software mitigations: L2-regularized and
 //!   Gaussian noise-aware trained model variants
 //!   (`Original`, `L2_reg`, `l2+n1` … `l2+n9`), with a disk cache;
@@ -28,7 +31,7 @@
 //! accuracy drop of a (tiny, demo-sized) CNN:
 //!
 //! ```
-//! use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+//! use safelight::attack::{inject, AttackTarget, ScenarioSpec, VectorSpec};
 //! use safelight::models::{build_model, ModelKind};
 //! use safelight_onn::{corrupt_network, AcceleratorConfig, WeightMapping};
 //!
@@ -37,12 +40,7 @@
 //! let bundle = build_model(ModelKind::Cnn1, 42)?;
 //! let mapping = WeightMapping::new(&config, &bundle.layer_specs)?;
 //!
-//! let scenario = AttackScenario {
-//!     vector: AttackVector::Actuation,
-//!     target: AttackTarget::ConvBlock,
-//!     fraction: 0.05,
-//!     trial: 0,
-//! };
+//! let scenario = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0);
 //! let conditions = inject(&scenario, &config, 7)?;
 //! let attacked = corrupt_network(&bundle.network, &mapping, &conditions, &config)?;
 //! assert_eq!(attacked.parameter_count(), bundle.network.parameter_count());
@@ -65,7 +63,9 @@ pub use error::SafelightError;
 /// Convenient re-exports for downstream binaries and examples.
 pub mod prelude {
     pub use crate::attack::{
-        inject, scenario_grid, AttackScenario, AttackTarget, AttackVector, HotspotOptions,
+        extended_scenario_grid, extended_stacks, inject, inject_full, scenario_grid,
+        scenario_grid_for, stacked_pair, AttackTarget, HotspotOptions, Injection, RingSalience,
+        ScenarioSpec, Selection, VectorSpec,
     };
     pub use crate::defense::{train_variant, TrainingRecipe, VariantKind};
     pub use crate::eval::{

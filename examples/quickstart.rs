@@ -47,14 +47,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = accuracy(&mut clean, &data.test, 32)?;
     println!("clean ONN accuracy: {:.1}%", baseline * 100.0);
 
-    // 5. One attack of each kind at 5% intensity.
-    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
-        let scenario = AttackScenario {
-            vector,
-            target: AttackTarget::Both,
-            fraction: 0.05,
-            trial: 0,
-        };
+    // 5. One attack of each paper vector at 5% intensity, plus a stacked
+    //    actuation+hotspot scenario.
+    let mut scenarios: Vec<ScenarioSpec> = VectorSpec::paper_pair()
+        .into_iter()
+        .map(|vector| ScenarioSpec::new(vector, AttackTarget::Both, 0.05, 0))
+        .collect();
+    scenarios.push(ScenarioSpec::stacked(
+        VectorSpec::paper_pair().to_vec(),
+        AttackTarget::Both,
+        0.05,
+        0,
+    ));
+    for scenario in scenarios {
         let conditions = inject(&scenario, &config, 7)?;
         let mut attacked = corrupt_network(&network, &mapping, &conditions, &config)?;
         let acc = accuracy(&mut attacked, &data.test, 32)?;

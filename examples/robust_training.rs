@@ -22,12 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mapping = WeightMapping::new(&config, &bundle.layer_specs)?;
     let recipe = safelight::defense::TrainingRecipe::for_model(kind);
 
-    let scenario = AttackScenario {
-        vector: AttackVector::Hotspot,
-        target: AttackTarget::Both,
-        fraction: 0.05,
-        trial: 1,
-    };
+    let scenario = ScenarioSpec::new(VectorSpec::Hotspot, AttackTarget::Both, 0.05, 1);
     let conditions = inject(&scenario, &config, 7)?;
 
     println!("{:<10} {:>10} {:>12}", "variant", "clean", "under attack");

@@ -1,0 +1,83 @@
+//! Tour of the composable attack-scenario engine: the paper's two trojan
+//! vectors next to the new laser power-degradation and trim-drift vectors,
+//! a stacked multi-vector scenario, and the three trojan-placement
+//! strategies (uniform / clustered / magnitude-targeted).
+//!
+//! ```sh
+//! cargo run --release --example scenario_engine
+//! ```
+
+use safelight::attack::RingSalience;
+use safelight::eval::{evaluate_with_conditions, inject_all};
+use safelight::prelude::*;
+use safelight_datasets::{digits, SyntheticSpec};
+use safelight_neuro::{accuracy, Trainer, TrainerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = digits(&SyntheticSpec {
+        train: 1200,
+        test: 300,
+        ..SyntheticSpec::default()
+    })?;
+    let bundle = build_model(ModelKind::Cnn1, 42)?;
+    let mut network = bundle.network;
+    Trainer::new(TrainerConfig {
+        epochs: 8,
+        learning_rate: 0.02,
+        lr_decay_epochs: 4,
+        ..TrainerConfig::default()
+    })
+    .fit(&mut network, &data.train)?;
+
+    let config = matched_accelerator(ModelKind::Cnn1)?;
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs)?;
+    let mut clean = corrupt_network(&network, &mapping, &ConditionMap::new(), &config)?;
+    let baseline = accuracy(&mut clean, &data.test, 32)?;
+    println!("clean ONN accuracy: {:.1}%\n", baseline * 100.0);
+
+    // Every scenario is a plain value and round-trips through its spec
+    // string, so grids can live in config files or CLI flags.
+    let mut scenarios = vec![
+        ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.05, 0),
+        ScenarioSpec::new(VectorSpec::Hotspot, AttackTarget::Both, 0.05, 0),
+        "laser:3/uniform/both/0.05/0".parse::<ScenarioSpec>()?,
+        "trim:0.4/uniform/both/0.05/0".parse::<ScenarioSpec>()?,
+        // Stacked: actuation + hotspot trojans in one condition map.
+        ScenarioSpec::stacked(
+            vec![VectorSpec::Actuation, VectorSpec::Hotspot],
+            AttackTarget::Both,
+            0.05,
+            0,
+        ),
+    ];
+    // The same actuation attack under each placement strategy: a clustered
+    // foundry trojan and a netlist-aware adversary that targets the rings
+    // carrying the largest |weights|.
+    for selection in Selection::all() {
+        scenarios.push(
+            ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.05, 0)
+                .with_selection(selection),
+        );
+    }
+
+    // Targeted selection needs the weight-salience map of the deployed
+    // network; one pass feeds every scenario.
+    let salience = RingSalience::from_network(&network, &mapping, &config)?;
+    let injected = inject_all(&config, &scenarios, Some(&salience), 7, 2)?;
+    let trials = evaluate_with_conditions(&network, &mapping, &config, &data.test, &injected, 2)?;
+
+    println!(
+        "{:<42} {:>6} {:>10} {:>8}",
+        "scenario", "eff%", "accuracy", "drop"
+    );
+    for t in &trials {
+        println!(
+            "{:<42} {:>5.1}% {:>9.1}% {:>7.1}",
+            t.scenario.to_spec_string(),
+            t.effective_fraction * 100.0,
+            t.accuracy * 100.0,
+            (baseline - t.accuracy) * 100.0
+        );
+    }
+    Ok(())
+}

@@ -21,10 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bench.mapping.rounds(BlockKind::Fc)
     );
     println!("baseline accuracy: {:.1}%", report.baseline * 100.0);
-    for vector in [AttackVector::Actuation, AttackVector::Hotspot] {
+    for vector in VectorSpec::paper_pair() {
         for fraction in opts.fractions() {
             let accs: Vec<f64> = report
-                .filtered(|s| s.vector == vector && (s.fraction - fraction).abs() < 1e-12)
+                .filtered(|s| s.has_vector(vector) && (s.fraction - fraction).abs() < 1e-12)
                 .iter()
                 .map(|t| t.accuracy)
                 .collect();

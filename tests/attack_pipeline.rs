@@ -1,7 +1,7 @@
 //! Attack-injection integration: scenarios -> conditions -> corrupted
 //! networks, checking the paper's qualitative claims.
 
-use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::attack::{inject, AttackTarget, ScenarioSpec, VectorSpec};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
 use safelight_datasets::{digits, SyntheticSpec};
 use safelight_neuro::{accuracy, Trainer, TrainerConfig};
@@ -45,7 +45,7 @@ fn trained_cnn1() -> Setup {
     }
 }
 
-fn accuracy_under(setup: &Setup, scenario: &AttackScenario, seed: u64) -> f64 {
+fn accuracy_under(setup: &Setup, scenario: &ScenarioSpec, seed: u64) -> f64 {
     let conditions = inject(scenario, &setup.config, seed).unwrap();
     let mut attacked =
         corrupt_network(&setup.network, &setup.mapping, &conditions, &setup.config).unwrap();
@@ -66,12 +66,12 @@ fn attacks_degrade_monotonically_with_intensity_on_average() {
             .map(|trial| {
                 accuracy_under(
                     &setup,
-                    &AttackScenario {
-                        vector: AttackVector::Actuation,
-                        target: AttackTarget::FcBlock,
+                    &ScenarioSpec::new(
+                        VectorSpec::Actuation,
+                        AttackTarget::FcBlock,
                         fraction,
                         trial,
-                    },
+                    ),
                     11,
                 )
             })
@@ -91,12 +91,7 @@ fn attacks_degrade_monotonically_with_intensity_on_average() {
 fn conditions_respect_target_blocks() {
     let config = matched_accelerator(ModelKind::Cnn1).unwrap();
     let conv_only = inject(
-        &AttackScenario {
-            vector: AttackVector::Actuation,
-            target: AttackTarget::ConvBlock,
-            fraction: 0.05,
-            trial: 0,
-        },
+        &ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0),
         &config,
         3,
     )
@@ -111,14 +106,9 @@ fn hotspot_attacks_touch_more_rings_than_actuation() {
     // nominal fraction they touch at least as many rings (insight 4's
     // mechanism).
     let config = matched_accelerator(ModelKind::Cnn1).unwrap();
-    let mk = |vector| AttackScenario {
-        vector,
-        target: AttackTarget::FcBlock,
-        fraction: 0.05,
-        trial: 2,
-    };
-    let actuation = inject(&mk(AttackVector::Actuation), &config, 9).unwrap();
-    let hotspot = inject(&mk(AttackVector::Hotspot), &config, 9).unwrap();
+    let mk = |vector| ScenarioSpec::new(vector, AttackTarget::FcBlock, 0.05, 2);
+    let actuation = inject(&mk(VectorSpec::Actuation), &config, 9).unwrap();
+    let hotspot = inject(&mk(VectorSpec::Hotspot), &config, 9).unwrap();
     assert!(
         hotspot.faulty_count(BlockKind::Fc) >= actuation.faulty_count(BlockKind::Fc),
         "hotspot {} < actuation {}",
@@ -137,12 +127,7 @@ fn cnn1_is_more_sensitive_to_fc_than_conv_attacks() {
             .map(|trial| {
                 accuracy_under(
                     &setup,
-                    &AttackScenario {
-                        vector: AttackVector::Actuation,
-                        target,
-                        fraction: 0.10,
-                        trial,
-                    },
+                    &ScenarioSpec::new(VectorSpec::Actuation, target, 0.10, trial),
                     13,
                 )
             })

@@ -2,7 +2,7 @@
 //! accelerator and attack layers.
 
 use proptest::prelude::*;
-use safelight::attack::{inject, AttackScenario, AttackTarget, AttackVector};
+use safelight::attack::{inject, AttackTarget, ScenarioSpec, VectorSpec};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
 use safelight_onn::{
     corrupt_network, effective_weight_row, AcceleratorConfig, BlockKind, ConditionMap,
@@ -64,12 +64,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let config = matched_accelerator(ModelKind::Cnn1).unwrap();
-        let scenario = AttackScenario {
-            vector: AttackVector::Actuation,
-            target: AttackTarget::Both,
-            fraction,
-            trial,
-        };
+        let scenario = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, fraction, trial);
         let a = inject(&scenario, &config, seed).unwrap();
         let b = inject(&scenario, &config, seed).unwrap();
         prop_assert_eq!(&a, &b);

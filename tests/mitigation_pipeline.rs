@@ -1,7 +1,7 @@
 //! Mitigation integration: variant training -> robustness evaluation ->
 //! recovery, checking the paper's SS V / SS VI claims qualitatively.
 
-use safelight::attack::{AttackScenario, AttackTarget, AttackVector};
+use safelight::attack::{AttackTarget, ScenarioSpec, VectorSpec};
 use safelight::defense::{fig8_variants, train_variant, TrainingRecipe, VariantKind};
 use safelight::eval::{run_mitigation, run_recovery};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
@@ -38,13 +38,8 @@ fn noise_aware_variant_is_more_robust_than_original() {
 
     // Actuation attacks zero individual weights; noise-aware training is
     // exactly the mitigation the paper proposes for this corruption.
-    let scenarios: Vec<AttackScenario> = (0..6)
-        .map(|trial| AttackScenario {
-            vector: AttackVector::Actuation,
-            target: AttackTarget::Both,
-            fraction: 0.10,
-            trial,
-        })
+    let scenarios: Vec<ScenarioSpec> = (0..6)
+        .map(|trial| ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.10, trial))
         .collect();
     let report = run_mitigation(
         &[

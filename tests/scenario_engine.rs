@@ -1,0 +1,247 @@
+//! Integration and property tests for the composable attack-scenario
+//! engine: new vectors, site-selection strategies and stacked scenarios
+//! must stay deterministic (scenario-ordered, thread-count independent)
+//! and must corrupt only the block(s) they target.
+
+use proptest::prelude::*;
+use safelight::attack::{
+    extended_scenario_grid, inject, inject_full, AttackTarget, RingSalience, ScenarioSpec,
+    Selection, VectorSpec,
+};
+use safelight::eval::{run_susceptibility, susceptibility_csv};
+use safelight::models::{build_model, ModelKind};
+use safelight_datasets::{digits, SplitDataset, SyntheticSpec};
+use safelight_neuro::{Network, Trainer, TrainerConfig};
+use safelight_onn::{AcceleratorConfig, BlockKind, WeightMapping};
+
+fn config() -> AcceleratorConfig {
+    AcceleratorConfig::scaled_experiment().unwrap()
+}
+
+/// All four single vectors, in grid order.
+fn all_vectors() -> [VectorSpec; 4] {
+    [
+        VectorSpec::Actuation,
+        VectorSpec::Hotspot,
+        VectorSpec::laser_default(),
+        VectorSpec::trim_default(),
+    ]
+}
+
+/// A lightly trained CNN_1 with its mapping and salience on the scaled
+/// accelerator (shared across the sweep tests).
+fn trained_setup() -> (Network, WeightMapping, AcceleratorConfig, SplitDataset) {
+    let data = digits(&SyntheticSpec {
+        train: 120,
+        test: 60,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
+    let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+    let mut network = bundle.network;
+    Trainer::new(TrainerConfig {
+        epochs: 2,
+        batch_size: 20,
+        ..TrainerConfig::default()
+    })
+    .fit(&mut network, &data.train)
+    .unwrap();
+    let config = config();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    (network, mapping, config, data)
+}
+
+#[test]
+fn every_vector_corrupts_only_its_targeted_block() {
+    let config = config();
+    for vector in all_vectors() {
+        for (target, hit, spared) in [
+            (
+                AttackTarget::ConvBlock,
+                BlockKind::Conv,
+                Some(BlockKind::Fc),
+            ),
+            (AttackTarget::FcBlock, BlockKind::Fc, Some(BlockKind::Conv)),
+            (AttackTarget::Both, BlockKind::Conv, None),
+        ] {
+            let spec = ScenarioSpec::new(vector, target, 0.05, 0);
+            let map = inject(&spec, &config, 7).unwrap();
+            assert!(
+                map.faulty_count(hit) > 0,
+                "{vector} on {target} left {hit:?} clean"
+            );
+            if let Some(spared) = spared {
+                assert_eq!(
+                    map.faulty_count(spared),
+                    0,
+                    "{vector} on {target} leaked into {spared:?}"
+                );
+            }
+            // Sites stay inside the block's ring range.
+            for kind in [BlockKind::Conv, BlockKind::Fc] {
+                let cap = config.block(kind).total_mrs();
+                for (mr, _) in map.iter(kind) {
+                    assert!(mr < cap, "{vector}: ring {mr} out of range");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stacked_scenarios_corrupt_only_their_targeted_block() {
+    let config = config();
+    let stacked = ScenarioSpec::stacked(
+        vec![VectorSpec::Actuation, VectorSpec::Hotspot],
+        AttackTarget::ConvBlock,
+        0.05,
+        0,
+    );
+    let map = inject(&stacked, &config, 7).unwrap();
+    assert!(map.faulty_count(BlockKind::Conv) > 0);
+    assert_eq!(map.faulty_count(BlockKind::Fc), 0);
+}
+
+#[test]
+fn susceptibility_csv_is_byte_identical_across_thread_counts() {
+    let (network, mapping, config, data) = trained_setup();
+    // A grid that exercises everything at once: all four vectors, a stack,
+    // and all three placement strategies (targeted included).
+    let scenarios = extended_scenario_grid(&[0.05], 1);
+    let sweep = |threads: usize| {
+        run_susceptibility(
+            &network, &mapping, &config, &data.test, &scenarios, 7, threads,
+        )
+        .unwrap()
+    };
+    let serial = sweep(1);
+    let pooled = sweep(3);
+    assert_eq!(
+        susceptibility_csv(&serial),
+        susceptibility_csv(&pooled),
+        "sweep output depends on thread count"
+    );
+    // And the report itself matches field-for-field.
+    assert_eq!(serial, pooled);
+}
+
+#[test]
+fn targeted_selection_is_deterministic_and_orderly() {
+    let (network, mapping, config, _) = trained_setup();
+    let salience = RingSalience::from_network(&network, &mapping, &config).unwrap();
+    let spec = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.05, 0)
+        .with_selection(Selection::Targeted);
+    let a = inject_full(&spec, &config, Some(&salience), 7).unwrap();
+    let b = inject_full(&spec, &config, Some(&salience), 7).unwrap();
+    assert_eq!(a, b, "targeted injection must be reproducible");
+    // Targeted selection ignores the trial stream entirely: the worst-case
+    // adversary's sites depend only on the weights.
+    let other_trial = ScenarioSpec { trial: 3, ..spec };
+    let c = inject_full(&other_trial, &config, Some(&salience), 7).unwrap();
+    assert_eq!(a.conditions, c.conditions);
+}
+
+#[test]
+fn selection_strategies_pick_distinct_site_sets() {
+    let (network, mapping, config, _) = trained_setup();
+    let salience = RingSalience::from_network(&network, &mapping, &config).unwrap();
+    let inject_with = |selection| {
+        let spec = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0)
+            .with_selection(selection);
+        inject_full(&spec, &config, Some(&salience), 7)
+            .unwrap()
+            .conditions
+    };
+    let uniform = inject_with(Selection::Uniform);
+    let clustered = inject_with(Selection::Clustered);
+    let targeted = inject_with(Selection::Targeted);
+    // Same site count per strategy, different placements.
+    assert_eq!(
+        uniform.faulty_count(BlockKind::Conv),
+        clustered.faulty_count(BlockKind::Conv)
+    );
+    assert_eq!(
+        uniform.faulty_count(BlockKind::Conv),
+        targeted.faulty_count(BlockKind::Conv)
+    );
+    assert_ne!(uniform, clustered);
+    assert_ne!(uniform, targeted);
+    // Clustered sites form one contiguous run.
+    let mut sites: Vec<u64> = clustered.iter(BlockKind::Conv).map(|(mr, _)| mr).collect();
+    sites.sort_unstable();
+    for pair in sites.windows(2) {
+        assert_eq!(pair[1], pair[0] + 1, "clustered sites not contiguous");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any single-vector or stacked scenario under any selection strategy
+    /// is deterministic in (scenario, seed) and never leaks outside its
+    /// targeted block(s). (Hotspot stays out of this hot loop: its thermal
+    /// solves are covered by the unit tests above.)
+    #[test]
+    fn injection_is_deterministic_and_scoped(
+        vector_index in 0usize..3,
+        stack in any::<bool>(),
+        selection_index in 0usize..3,
+        target_index in 0usize..3,
+        fraction in 0.01f64..0.12,
+        trial in 0u64..4,
+        seed in 0u64..500,
+    ) {
+        let config = config();
+        let vectors = [
+            VectorSpec::Actuation,
+            VectorSpec::laser_default(),
+            VectorSpec::trim_default(),
+        ];
+        let stack = if stack {
+            vec![vectors[vector_index], vectors[(vector_index + 1) % 3]]
+        } else {
+            vec![vectors[vector_index]]
+        };
+        let target = [AttackTarget::ConvBlock, AttackTarget::FcBlock, AttackTarget::Both]
+            [target_index];
+        let selection = Selection::all()[selection_index];
+        let spec = ScenarioSpec {
+            vectors: stack,
+            selection,
+            target,
+            fraction,
+            trial,
+        };
+        // Targeted selection needs a salience map; an untrained model's
+        // weights are fine for the site-scoping property.
+        let salience = if selection == Selection::Targeted {
+            let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+            let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+            Some(RingSalience::from_network(&bundle.network, &mapping, &config).unwrap())
+        } else {
+            None
+        };
+        let a = inject_full(&spec, &config, salience.as_ref(), seed).unwrap();
+        let b = inject_full(&spec, &config, salience.as_ref(), seed).unwrap();
+        prop_assert_eq!(&a, &b, "injection not reproducible");
+        prop_assert!(a.effective_fraction > 0.0 && a.effective_fraction <= 1.0);
+        for kind in [BlockKind::Conv, BlockKind::Fc] {
+            let targeted = spec.target.blocks().contains(&kind);
+            if !targeted {
+                prop_assert_eq!(a.conditions.faulty_count(kind), 0);
+            }
+            let cap = config.block(kind).total_mrs() as usize;
+            prop_assert!(a.conditions.faulty_count(kind) <= cap);
+        }
+    }
+
+    /// Spec strings round-trip for every grid the engine can generate.
+    #[test]
+    fn grid_spec_strings_round_trip(fraction in 0.01f64..0.2, trials in 1u64..3) {
+        for spec in extended_scenario_grid(&[fraction], trials) {
+            let text = spec.to_spec_string();
+            let parsed: ScenarioSpec = text.parse().unwrap();
+            prop_assert_eq!(parsed, spec, "`{}`", text);
+        }
+    }
+}
