@@ -10,7 +10,7 @@
 //! * range strategies over the primitive integers and floats
 //!   (`0usize..16`, `-20.0f64..20.0`, `0.0f64..=1.0`);
 //! * [`collection::vec`] with a fixed length or a length range;
-//! * [`any`] for types implementing the local [`Arbitrary`];
+//! * [`any`] for types implementing the local [`strategy::Arbitrary`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Unlike real proptest there is no shrinking: a failing case panics
