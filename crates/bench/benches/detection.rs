@@ -1,0 +1,104 @@
+//! Detection hot-path benchmarks: telemetry-probe construction, per-frame
+//! emission, and the calibrated detector suite scoring a frame stream —
+//! the inner loop every ROC point of `eval::detection` is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safelight::attack::{inject, AttackTarget, ScenarioSpec, VectorSpec};
+use safelight::detect::default_detectors;
+use safelight::models::{build_model, matched_accelerator, ModelKind};
+use safelight_onn::{ConditionMap, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe};
+
+fn setup() -> (
+    safelight_neuro::Network,
+    safelight_onn::WeightMapping,
+    safelight_onn::AcceleratorConfig,
+    SentinelPlan,
+) {
+    let bundle = build_model(ModelKind::Cnn1, 7).unwrap();
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let mapping = safelight_onn::WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let sentinels = SentinelPlan::new(&mapping, &config, 32, 0.7);
+    (bundle.network, mapping, config, sentinels)
+}
+
+fn bench_probe_construction(c: &mut Criterion) {
+    let (network, mapping, config, sentinels) = setup();
+    let attacked = inject(
+        &ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.10, 0),
+        &config,
+        7,
+    )
+    .unwrap();
+    c.bench_function("telemetry_probe_new_cnn1_10pct", |b| {
+        b.iter(|| {
+            TelemetryProbe::new(
+                &network,
+                &mapping,
+                &attacked,
+                &config,
+                &sentinels,
+                TapConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_frame_emission(c: &mut Criterion) {
+    let (network, mapping, config, sentinels) = setup();
+    let probe = TelemetryProbe::new(
+        &network,
+        &mapping,
+        &ConditionMap::new(),
+        &config,
+        &sentinels,
+        TapConfig::default(),
+    )
+    .unwrap();
+    let mut batch = 0u64;
+    c.bench_function("telemetry_frame_emit", |b| {
+        b.iter(|| {
+            batch = batch.wrapping_add(1);
+            probe.frame(batch, 42)
+        })
+    });
+}
+
+fn bench_detector_scoring(c: &mut Criterion) {
+    let (network, mapping, config, sentinels) = setup();
+    let probe = TelemetryProbe::new(
+        &network,
+        &mapping,
+        &ConditionMap::new(),
+        &config,
+        &sentinels,
+        TapConfig::default(),
+    )
+    .unwrap();
+    let calibration: Vec<TelemetryFrame> = (0..32).map(|b| probe.frame(b, 1)).collect();
+    let stream: Vec<TelemetryFrame> = (0..16).map(|b| probe.frame(b, 2)).collect();
+    let mut suite = default_detectors();
+    for d in &mut suite {
+        d.calibrate(&calibration).unwrap();
+    }
+    c.bench_function("detector_suite_score_16_frames", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for d in &mut suite {
+                d.reset();
+                for frame in &stream {
+                    total += d.score(frame);
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_probe_construction,
+    bench_frame_emission,
+    bench_detector_scoring
+);
+criterion_main!(benches);

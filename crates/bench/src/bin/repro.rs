@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] [--out-dir DIR]
-//!       [--vectors LIST] [--selections LIST]
-//!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--ablation] [--all]
+//!       [--vectors LIST] [--selections LIST] [--json]
+//!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--detection]
+//!       [--ablation] [--all]
 //! ```
 //!
 //! Each artifact prints the same rows/series the paper reports; the Fig. 6
@@ -14,12 +15,18 @@
 //! `trim[:DETUNE_REL]`, `stacked` (actuation+hotspot in one scenario) or
 //! `extended` (all of the above). `--selections` sweeps trojan-placement
 //! strategies: `uniform`, `clustered`, `targeted` or `all`.
+//!
+//! `--detection` runs the runtime trojan-detection evaluation (ROC,
+//! latency, per-vector detectability) over the same vectors/selections
+//! grid. `--json` writes machine-readable `.json` results next to every
+//! CSV, so downstream tooling doesn't scrape tables.
 
 use std::path::PathBuf;
 
 use safelight::defense::noise_ablation_variants;
 use safelight::experiment::{
-    run_fig6, run_fig7, run_fig9_from, workbench, ExperimentOptions, Fidelity,
+    run_detection_experiment, run_fig6, run_fig7, run_fig9_from, workbench, ExperimentOptions,
+    Fidelity,
 };
 use safelight::models::{table1, ModelKind};
 use safelight::prelude::*;
@@ -31,11 +38,13 @@ struct Args {
     out_dir: PathBuf,
     vectors: Vec<Vec<VectorSpec>>,
     selections: Vec<Selection>,
+    json: bool,
     table1: bool,
     fig6: bool,
     fig7: bool,
     fig8: bool,
     fig9: bool,
+    detection: bool,
     ablation: bool,
 }
 
@@ -69,11 +78,13 @@ fn parse_args() -> Result<Args, String> {
         out_dir: PathBuf::from("target/safelight-artifacts"),
         vectors: VectorSpec::paper_pair().map(|v| vec![v]).into(),
         selections: vec![Selection::Uniform],
+        json: false,
         table1: false,
         fig6: false,
         fig7: false,
         fig8: false,
         fig9: false,
+        detection: false,
         ablation: false,
     };
     let mut any = false;
@@ -122,6 +133,11 @@ fn parse_args() -> Result<Args, String> {
                 args.fig9 = true;
                 any = true;
             }
+            "--detection" => {
+                args.detection = true;
+                any = true;
+            }
+            "--json" => args.json = true,
             "--ablation" => {
                 args.ablation = true;
                 any = true;
@@ -132,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
                 args.fig7 = true;
                 args.fig8 = true;
                 args.fig9 = true;
+                args.detection = true;
                 args.ablation = true;
                 any = true;
             }
@@ -140,8 +157,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] \
                      [--out-dir DIR] [--vectors actuation,hotspot,laser[:DB],trim[:REL],\
                      stacked|extended] [--selections uniform,clustered,targeted|all] \
-                     [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
-                     [--ablation] [--all]"
+                     [--json] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
+                     [--detection] [--ablation] [--all]"
                 );
                 std::process::exit(0);
             }
@@ -158,6 +175,26 @@ fn parse_args() -> Result<Args, String> {
 
 fn pct(x: f64) -> String {
     format!("{:6.2}%", x * 100.0)
+}
+
+/// Writes `stem.csv` (and, when `json` is given, `stem.json`) under
+/// `out_dir`, reporting the paths on stdout.
+fn write_artifact(out_dir: &std::path::Path, stem: &str, csv: &str, json: Option<String>) {
+    std::fs::create_dir_all(out_dir).ok();
+    let csv_path = out_dir.join(format!("{stem}.csv"));
+    std::fs::write(&csv_path, csv).ok();
+    match json {
+        Some(body) => {
+            let json_path = out_dir.join(format!("{stem}.json"));
+            std::fs::write(&json_path, body).ok();
+            println!(
+                "series written to {} and {}",
+                csv_path.display(),
+                json_path.display()
+            );
+        }
+        None => println!("series written to {}", csv_path.display()),
+    }
 }
 
 fn print_table1() -> Result<(), SafelightError> {
@@ -204,6 +241,7 @@ fn print_fig7(
     kind: ModelKind,
     opts: &ExperimentOptions,
     out_dir: &std::path::Path,
+    json: bool,
 ) -> Result<(), SafelightError> {
     println!("\n=== Fig. 7 ({kind}): susceptibility to actuation & hotspot attacks ===");
     let (bench, report) = run_fig7(kind, opts)?;
@@ -256,10 +294,12 @@ fn print_fig7(
         "worst-case drop: {} (paper: 7.49% CNN_1 / 26.4% ResNet18 / 80.46% VGG16_v at 10% hotspot CONV+FC)",
         pct(report.worst_drop())
     );
-    std::fs::create_dir_all(out_dir).ok();
-    let csv = out_dir.join(format!("fig7_{}.csv", kind.label().to_lowercase()));
-    std::fs::write(&csv, safelight::eval::susceptibility_csv(&report)).ok();
-    println!("series written to {}", csv.display());
+    write_artifact(
+        out_dir,
+        &format!("fig7_{}", kind.label().to_lowercase()),
+        &safelight::eval::susceptibility_csv(&report),
+        json.then(|| safelight::eval::susceptibility_json(&report)),
+    );
     Ok(())
 }
 
@@ -267,6 +307,7 @@ fn print_fig8(
     kind: ModelKind,
     opts: &ExperimentOptions,
     out_dir: &std::path::Path,
+    json: bool,
 ) -> Result<safelight::experiment::Fig8Run, SafelightError> {
     println!("\n=== Fig. 8 ({kind}): robustness of mitigation-trained variants ===");
     let fig8 = safelight::experiment::run_fig8(kind, opts)?;
@@ -293,10 +334,12 @@ fn print_fig8(
             best.variant.label()
         );
     }
-    std::fs::create_dir_all(out_dir).ok();
-    let csv = out_dir.join(format!("fig8_{}.csv", kind.label().to_lowercase()));
-    std::fs::write(&csv, safelight::eval::mitigation_csv(report)).ok();
-    println!("series written to {}", csv.display());
+    write_artifact(
+        out_dir,
+        &format!("fig8_{}", kind.label().to_lowercase()),
+        &safelight::eval::mitigation_csv(report),
+        json.then(|| safelight::eval::mitigation_json(report)),
+    );
     Ok(fig8)
 }
 
@@ -304,6 +347,7 @@ fn print_fig9(
     kind: ModelKind,
     opts: &ExperimentOptions,
     out_dir: &std::path::Path,
+    json: bool,
     fig8: Option<safelight::experiment::Fig8Run>,
 ) -> Result<(), SafelightError> {
     println!("\n=== Fig. 9 ({kind}): robust vs original under CONV+FC attacks ===");
@@ -345,10 +389,66 @@ fn print_fig9(
             pct(i.worst_case_recovery())
         );
     }
-    std::fs::create_dir_all(out_dir).ok();
-    let csv = out_dir.join(format!("fig9_{}.csv", kind.label().to_lowercase()));
-    std::fs::write(&csv, safelight::eval::recovery_csv(&report)).ok();
-    println!("series written to {}", csv.display());
+    write_artifact(
+        out_dir,
+        &format!("fig9_{}", kind.label().to_lowercase()),
+        &safelight::eval::recovery_csv(&report),
+        json.then(|| safelight::eval::recovery_json(&report)),
+    );
+    Ok(())
+}
+
+fn print_detection(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    out_dir: &std::path::Path,
+    json: bool,
+) -> Result<(), SafelightError> {
+    println!("\n=== Detection ({kind}): runtime trojan detection over the scenario grid ===");
+    let (_, report) = run_detection_experiment(kind, opts)?;
+    println!("{:<12} {:>12} {:>10}", "detector", "threshold", "cal. FPR");
+    for op in &report.operating {
+        println!(
+            "{:<12} {:>12.4} {:>10}",
+            op.detector,
+            op.threshold,
+            pct(op.fpr)
+        );
+    }
+    println!(
+        "\n{:<12} {:<20} {:<10} {:<8} {:>5} {:>8} {:>8} {:>10}",
+        "detector", "vector", "selection", "target", "pct", "TPR", "AUC", "latency"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<12} {:<20} {:<10} {:<8} {:>4.0}% {:>8} {:>8.3} {:>10}",
+            c.detector,
+            c.vector,
+            c.selection,
+            c.target,
+            c.fraction * 100.0,
+            pct(c.tpr),
+            c.auc,
+            if c.mean_latency_frames.is_finite() {
+                format!("{:.1} fr", c.mean_latency_frames)
+            } else {
+                "—".into()
+            }
+        );
+    }
+    let stem = format!("detection_{}", kind.label().to_lowercase());
+    write_artifact(
+        out_dir,
+        &format!("{stem}_roc"),
+        &safelight::eval::detection_roc_csv(&report),
+        None,
+    );
+    write_artifact(
+        out_dir,
+        &format!("{stem}_summary"),
+        &safelight::eval::detection_summary_csv(&report),
+        json.then(|| safelight::eval::detection_json(&report)),
+    );
     Ok(())
 }
 
@@ -417,15 +517,18 @@ fn main() {
         }
         for &kind in &args.models {
             if args.fig7 {
-                print_fig7(kind, &opts, &args.out_dir)?;
+                print_fig7(kind, &opts, &args.out_dir, args.json)?;
             }
             let fig8 = if args.fig8 {
-                Some(print_fig8(kind, &opts, &args.out_dir)?)
+                Some(print_fig8(kind, &opts, &args.out_dir, args.json)?)
             } else {
                 None
             };
             if args.fig9 {
-                print_fig9(kind, &opts, &args.out_dir, fig8)?;
+                print_fig9(kind, &opts, &args.out_dir, args.json, fig8)?;
+            }
+            if args.detection {
+                print_detection(kind, &opts, &args.out_dir, args.json)?;
             }
             if args.ablation {
                 print_ablation(kind, &opts)?;

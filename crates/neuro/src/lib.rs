@@ -84,6 +84,9 @@ pub use metrics::{accuracy, confusion_matrix};
 pub use model::Network;
 pub use optim::{Sgd, SgdConfig};
 pub use rng::SimRng;
-pub use serialize::{load_network_params, save_network_params};
+pub use serialize::{
+    load_network_params, load_network_params_stamped, save_network_params,
+    save_network_params_stamped,
+};
 pub use tensor::Tensor;
 pub use train::{TrainReport, Trainer, TrainerConfig};

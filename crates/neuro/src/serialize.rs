@@ -2,8 +2,16 @@
 //!
 //! Trained model variants are cached on disk so the figure-reproduction
 //! binaries do not retrain on every run. The format is a simple
-//! little-endian stream — magic, version, parameter count, then per
-//! parameter its rank, dimensions and `f32` data.
+//! little-endian stream — magic, version, a caller-supplied 64-bit
+//! configuration stamp, parameter count, then per parameter its rank,
+//! dimensions and `f32` data.
+//!
+//! The stamp exists so checkpoints are rejected — not silently loaded —
+//! when anything upstream of the weights changed: the caller hashes
+//! whatever configuration the weights depend on (training recipe, model
+//! layout, accelerator profile) and the loader compares stamps before
+//! touching any tensor data. Files written by format version 1 (which had
+//! no stamp) are rejected outright for the same reason.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -13,7 +21,7 @@ use crate::model::Network;
 use crate::NeuroError;
 
 const MAGIC: &[u8; 4] = b"SLNN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Saves all parameter values of `network` to `path`.
 ///
@@ -34,10 +42,27 @@ const VERSION: u32 = 1;
 /// # }
 /// ```
 pub fn save_network_params<P: AsRef<Path>>(network: &Network, path: P) -> Result<(), NeuroError> {
+    save_network_params_stamped(network, path, 0)
+}
+
+/// Saves all parameter values of `network` to `path`, recording `stamp` —
+/// a caller-computed hash of every configuration the weights depend on —
+/// in the file header. [`load_network_params_stamped`] refuses to load the
+/// file under a different stamp.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::Io`] on filesystem errors.
+pub fn save_network_params_stamped<P: AsRef<Path>>(
+    network: &Network,
+    path: P,
+    stamp: u64,
+) -> Result<(), NeuroError> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&stamp.to_le_bytes())?;
     let params = network.params();
     w.write_all(&(params.len() as u32).to_le_bytes())?;
     for p in params {
@@ -68,6 +93,27 @@ pub fn load_network_params<P: AsRef<Path>>(
     network: &mut Network,
     path: P,
 ) -> Result<(), NeuroError> {
+    load_network_params_stamped(network, path, 0)
+}
+
+/// Loads parameter values from `path` into `network`, verifying that the
+/// file was saved under configuration stamp `expected_stamp`.
+///
+/// This is the cache-integrity gate: a checkpoint trained under an older
+/// recipe, model layout or accelerator profile carries a different stamp
+/// and is rejected *before* any weights are read, instead of silently
+/// loading stale data whose shapes happen to match.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::MalformedModelFile`] when the file does not match
+/// the network or the stamp (wrong magic, version, stamp, count or shapes)
+/// and [`NeuroError::Io`] on filesystem errors.
+pub fn load_network_params_stamped<P: AsRef<Path>>(
+    network: &mut Network,
+    path: P,
+    expected_stamp: u64,
+) -> Result<(), NeuroError> {
     let file = File::open(path)?;
     let mut r = BufReader::new(file);
 
@@ -82,6 +128,16 @@ pub fn load_network_params<P: AsRef<Path>>(
     if version != VERSION {
         return Err(NeuroError::MalformedModelFile {
             context: format!("unsupported version {version}"),
+        });
+    }
+    let stamp = read_u64(&mut r)?;
+    if stamp != expected_stamp {
+        return Err(NeuroError::MalformedModelFile {
+            context: format!(
+                "configuration stamp mismatch: file {stamp:#018x}, expected \
+                 {expected_stamp:#018x} (checkpoint was written under a different \
+                 recipe/layout — retrain instead of loading stale weights)"
+            ),
         });
     }
     let count = read_u32(&mut r)? as usize;
@@ -171,6 +227,52 @@ mod tests {
             load_network_params(&mut wrong, &path),
             Err(NeuroError::MalformedModelFile { .. })
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stamped_round_trip_verifies_the_stamp() {
+        let path = tmp_path("stamped");
+        let source = build_net(4);
+        save_network_params_stamped(&source, &path, 0xDEAD_BEEF).unwrap();
+        let mut target = build_net(5);
+        load_network_params_stamped(&mut target, &path, 0xDEAD_BEEF).unwrap();
+        for (a, b) in source.params().iter().zip(target.params().iter()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice());
+        }
+        // A different stamp — a checkpoint from another configuration — is
+        // rejected before any tensor data is read.
+        let err = load_network_params_stamped(&mut target, &path, 0xDEAD_BEE0).unwrap_err();
+        match err {
+            NeuroError::MalformedModelFile { context } => {
+                assert!(context.contains("stamp mismatch"), "{context}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The unstamped API implies stamp 0 and also refuses the file.
+        assert!(load_network_params(&mut target, &path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn version_one_files_are_rejected() {
+        // A syntactically valid version-1 header (magic + version + count):
+        // the pre-stamp format cannot prove which configuration produced
+        // it, so loading must fail rather than guess.
+        let path = tmp_path("v1");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SLNN");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let mut net = build_net(1);
+        let err = load_network_params(&mut net, &path).unwrap_err();
+        match err {
+            NeuroError::MalformedModelFile { context } => {
+                assert!(context.contains("unsupported version 1"), "{context}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
         std::fs::remove_file(path).ok();
     }
 

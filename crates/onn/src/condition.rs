@@ -171,6 +171,12 @@ impl ConditionMap {
     ///   the trojan that owns the control loop wins, matching
     ///   [`ConditionMap::add_heat`]'s dominance rule.
     pub fn stack(&mut self, kind: BlockKind, index: u64, condition: MrCondition) {
+        // Stacking "no fault" is the identity — it must never displace (or
+        // clear) a recorded trojan state, so stacking an empty map is a
+        // no-op and `stack_map` is idempotent on empty right-hand sides.
+        if !condition.is_faulty() {
+            return;
+        }
         let existing = self.condition(kind, index);
         let merged = match (existing, condition) {
             (MrCondition::Parked, _) => MrCondition::Parked,
@@ -214,6 +220,21 @@ impl ConditionMap {
             _ => condition,
         };
         self.set(kind, index, merged);
+    }
+
+    /// Stacks every entry of `other` into this map via
+    /// [`ConditionMap::stack`], in ascending index order per block (the
+    /// merge rules are order-sensitive only through `stack`'s own algebra,
+    /// so a deterministic order keeps composed injections reproducible).
+    /// Stacking an empty map is a no-op.
+    pub fn stack_map(&mut self, other: &ConditionMap) {
+        for kind in [BlockKind::Conv, BlockKind::Fc] {
+            let mut entries: Vec<(u64, MrCondition)> = other.iter(kind).collect();
+            entries.sort_unstable_by_key(|(index, _)| *index);
+            for (index, condition) in entries {
+                self.stack(kind, index, condition);
+            }
+        }
     }
 
     /// The condition of MR `index` (healthy when unset).
@@ -419,6 +440,48 @@ mod tests {
         // Onto a clean ring, stack is just set.
         map.stack(BlockKind::Conv, 5, MrCondition::Parked);
         assert_eq!(map.condition(BlockKind::Conv, 5), MrCondition::Parked);
+    }
+
+    #[test]
+    fn stacking_healthy_is_a_no_op() {
+        let mut map = ConditionMap::new();
+        map.add_heat(BlockKind::Conv, 3, 12.0);
+        map.stack(BlockKind::Conv, 3, MrCondition::Healthy);
+        assert_eq!(
+            map.condition(BlockKind::Conv, 3),
+            MrCondition::Heated { delta_kelvin: 12.0 }
+        );
+        map.stack(BlockKind::Fc, 9, MrCondition::Healthy);
+        assert_eq!(map.condition(BlockKind::Fc, 9), MrCondition::Healthy);
+    }
+
+    #[test]
+    fn stack_map_composes_whole_maps() {
+        let mut base = ConditionMap::new();
+        base.set(BlockKind::Conv, 1, MrCondition::Parked);
+        base.add_heat(BlockKind::Fc, 2, 5.0);
+        let mut incoming = ConditionMap::new();
+        incoming.set(
+            BlockKind::Conv,
+            1,
+            MrCondition::Attenuated {
+                factor: 0.5,
+                delta_kelvin: 0.0,
+            },
+        );
+        incoming.set(BlockKind::Fc, 7, MrCondition::Parked);
+        base.stack_map(&incoming);
+        // Per-site algebra applies: the tap cannot unpark ring 1.
+        assert_eq!(base.condition(BlockKind::Conv, 1), MrCondition::Parked);
+        assert_eq!(base.condition(BlockKind::Fc, 7), MrCondition::Parked);
+        assert_eq!(
+            base.condition(BlockKind::Fc, 2),
+            MrCondition::Heated { delta_kelvin: 5.0 }
+        );
+        // Stacking an empty map changes nothing.
+        let before = base.clone();
+        base.stack_map(&ConditionMap::new());
+        assert_eq!(base, before);
     }
 
     #[test]

@@ -179,6 +179,26 @@ impl OpticalVdp {
         weights: &[f64],
         conditions: &[MrCondition],
     ) -> Result<f64, OnnError> {
+        Ok(self.dot_with_tap(inputs, weights, conditions)?.0)
+    }
+
+    /// As [`OpticalVdp::dot`], but additionally reads the row's monitor
+    /// photocurrents off the detector bus — the physical counterpart of the
+    /// analytic [`TelemetryProbe`](crate::TelemetryProbe) drop-port taps.
+    /// The returned [`RowTap`] carries the per-rail summed photocurrents
+    /// the balanced detector subtracts, which a cheap monitor ADC can
+    /// sample without touching the inference datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MappingMismatch`] when slice lengths differ from
+    /// the row width.
+    pub fn dot_with_tap(
+        &mut self,
+        inputs: &[f64],
+        weights: &[f64],
+        conditions: &[MrCondition],
+    ) -> Result<(f64, RowTap), OnnError> {
         if inputs.len() != self.channels
             || weights.len() != self.channels
             || conditions.len() != self.channels
@@ -285,24 +305,50 @@ impl OpticalVdp {
         let current = self
             .pd
             .detect(pos_powers.iter().copied(), neg_powers.iter().copied());
+        let (positive_ma, negative_ma) = self
+            .pd
+            .monitor(pos_powers.iter().copied(), neg_powers.iter().copied());
+        let tap = RowTap {
+            positive_ma,
+            negative_ma,
+        };
         let (_, digitized) = self.adc.convert(current);
         let raw = digitized / (self.responsivity * p0);
 
         // Affine decode per encoding; the controller knows the Σw it
         // programmed, so constant terms calibrate out.
-        match p.encoding {
+        let dot = match p.encoding {
             crate::WeightEncoding::ThroughPort => {
                 // Σ T_in·(T⁺ − T⁻) = t_min·Δ·Σw + Δ²·Σ a·w.
-                Ok((raw - p.t_min * delta_in * signed_weight_sum) / (delta_in * delta_in))
+                (raw - p.t_min * delta_in * signed_weight_sum) / (delta_in * delta_in)
             }
             crate::WeightEncoding::DropPort => {
                 // D = (1 − t_min)·(l + m·(1 − l)) on the active rail, so
                 // Σ T_in·(D⁺ − D⁻) = K·(t_min·Σw + Δ·Σ a·w) with
                 // K = (1 − t_min)(1 − l).
                 let k = (1.0 - p.t_min) * (1.0 - p.drop_floor);
-                Ok((raw / k - p.t_min * signed_weight_sum) / delta_in)
+                (raw / k - p.t_min * signed_weight_sum) / delta_in
             }
-        }
+        };
+        Ok((dot, tap))
+    }
+}
+
+/// The monitor photocurrents of one VDP row, in milliamps: what the
+/// runtime-detection telemetry layer samples from the detector bus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowTap {
+    /// Summed photocurrent of the positive rail's detector.
+    pub positive_ma: f64,
+    /// Summed photocurrent of the negative rail's detector.
+    pub negative_ma: f64,
+}
+
+impl RowTap {
+    /// Total monitored photocurrent across both rails.
+    #[must_use]
+    pub fn total_ma(&self) -> f64 {
+        self.positive_ma + self.negative_ma
     }
 }
 
@@ -385,6 +431,31 @@ mod tests {
         assert!(
             (corrupted - clean).abs() > 0.3,
             "hotspot barely moved dot: {clean} → {corrupted}"
+        );
+    }
+
+    #[test]
+    fn tap_reads_the_rails_and_matches_dot() {
+        let mut v = vdp(4);
+        let inputs = [1.0, 1.0, 1.0, 1.0];
+        let weights = [0.5, -0.5, 0.5, 0.5];
+        let healthy = vec![MrCondition::Healthy; 4];
+        let (dot, tap) = v.dot_with_tap(&inputs, &weights, &healthy).unwrap();
+        assert_eq!(dot, v.dot(&inputs, &weights, &healthy).unwrap());
+        // Three positive-rail weights vs one negative: the positive monitor
+        // collects more light.
+        assert!(tap.positive_ma > tap.negative_ma);
+        assert!(tap.total_ma() > 0.0);
+        // Parking a positive-rail ring removes its drop-port contribution
+        // from the monitored current — the detection signature.
+        let mut attacked = healthy.clone();
+        attacked[0] = MrCondition::Parked;
+        let (_, tapped) = v.dot_with_tap(&inputs, &weights, &attacked).unwrap();
+        assert!(
+            tapped.positive_ma < tap.positive_ma - 1e-3,
+            "monitor current did not drop: {} vs {}",
+            tapped.positive_ma,
+            tap.positive_ma
         );
     }
 

@@ -30,6 +30,11 @@ pub enum OnnError {
         /// MRs in the block.
         capacity: u64,
     },
+    /// A serialized telemetry frame failed to parse.
+    TelemetryParse {
+        /// Description of the malformed record.
+        context: String,
+    },
     /// An underlying photonic device error.
     Photonics(PhotonicsError),
     /// An underlying thermal solver error.
@@ -51,6 +56,7 @@ impl fmt::Display for OnnError {
                     "microring index {index} out of range for block of {capacity}"
                 )
             }
+            Self::TelemetryParse { context } => write!(f, "telemetry parse error: {context}"),
             Self::Photonics(e) => write!(f, "photonics: {e}"),
             Self::Thermal(e) => write!(f, "thermal: {e}"),
             Self::Neuro(e) => write!(f, "neural network: {e}"),

@@ -153,8 +153,10 @@ impl EffectiveWeightParams {
     }
 
     /// Effective resonance offset (from the ring's own carrier) under a
-    /// fault condition, given the imprinted magnitude.
-    fn offset_under(&self, m: f64, condition: MrCondition) -> f64 {
+    /// fault condition, given the imprinted magnitude. Shared with the
+    /// telemetry probe, which models the monitor photodetectors reading the
+    /// same physical drop responses.
+    pub(crate) fn offset_under(&self, m: f64, condition: MrCondition) -> f64 {
         match condition {
             MrCondition::Healthy => self.detuning_for_magnitude(m),
             // A laser power-degradation fault lives upstream of the ring:
@@ -182,7 +184,7 @@ impl EffectiveWeightParams {
 
 /// Fraction of the nominal channel power reaching the ring's carrier under
 /// a fault condition (1 except for laser power-degradation faults).
-fn channel_power_factor(condition: MrCondition) -> f64 {
+pub(crate) fn channel_power_factor(condition: MrCondition) -> f64 {
     match condition {
         MrCondition::Attenuated { factor, .. } => factor.clamp(0.0, 1.0),
         _ => 1.0,

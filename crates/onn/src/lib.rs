@@ -23,7 +23,11 @@
 //!   (laser → imprint banks → balanced photodetector → ADC) used to validate
 //!   the fast path and for micro-benchmarks;
 //! * [`BlockLayout`] — physical placement of VDP banks on a thermal grid;
-//! * [`PowerModel`] — laser/tuning/converter energy and latency estimates.
+//! * [`PowerModel`] — laser/tuning/converter energy and latency estimates;
+//! * [`TelemetryFrame`] / [`TelemetryProbe`] — the runtime-detection sensor
+//!   taps: per-bank drop-port monitor photocurrents, thermal sensors,
+//!   laser-rail and trim-DAC readback, plus sentinel probe weights on idle
+//!   rings, emitted as one serializable frame per inference batch.
 //!
 //! # Example
 //!
@@ -55,12 +59,14 @@ mod executor;
 mod layout;
 mod mapping;
 mod power;
+mod telemetry;
 
 pub use condition::{ConditionMap, MrCondition};
 pub use config::{AcceleratorConfig, BlockConfig, BlockKind, WeightEncoding};
-pub use datapath::OpticalVdp;
+pub use datapath::{OpticalVdp, RowTap};
 pub use error::OnnError;
 pub use executor::{corrupt_network, effective_weight_row, EffectiveWeightParams};
 pub use layout::BlockLayout;
 pub use mapping::{LayerSpec, MappedParam, WeightMapping};
 pub use power::{PowerBreakdown, PowerModel};
+pub use telemetry::{BankTelemetry, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe};

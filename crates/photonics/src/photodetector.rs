@@ -137,6 +137,26 @@ impl BalancedPhotodetector {
     {
         self.positive.detect(positive_mw) - self.negative.detect(negative_mw)
     }
+
+    /// Per-rail monitor readout (mA): the `(positive, negative)` rail
+    /// photocurrents *before* subtraction.
+    ///
+    /// The balanced output only carries the difference, so a trojan that
+    /// darkens both rails equally is invisible there; a runtime monitor
+    /// tapping each rail's photocurrent individually (this readout) sees
+    /// the common-mode drop too. This is the device-level primitive behind
+    /// the detection subsystem's drop-port telemetry.
+    #[must_use]
+    pub fn monitor<P, N>(&self, positive_mw: P, negative_mw: N) -> (f64, f64)
+    where
+        P: IntoIterator<Item = f64>,
+        N: IntoIterator<Item = f64>,
+    {
+        (
+            self.positive.detect(positive_mw),
+            self.negative.detect(negative_mw),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +192,22 @@ mod tests {
         let pd = BalancedPhotodetector::new(1.0).unwrap();
         let i = pd.detect([1.0], [0.25]);
         assert!((i - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monitor_reads_rails_individually() {
+        let pd = BalancedPhotodetector::new(1.0).unwrap();
+        let (pos, neg) = pd.monitor([0.6, 0.2], [0.1, 0.3]);
+        assert!((pos - 0.8).abs() < 1e-12);
+        assert!((neg - 0.4).abs() < 1e-12);
+        // A common-mode drop is invisible to the balanced output but plain
+        // in the monitor readout.
+        let clean = pd.detect([0.5], [0.5]);
+        let tapped = pd.detect([0.25], [0.25]);
+        assert!((clean - tapped).abs() < 1e-12);
+        let (p1, _) = pd.monitor([0.5], [0.5]);
+        let (p2, _) = pd.monitor([0.25], [0.25]);
+        assert!(p1 > p2);
     }
 
     #[test]

@@ -461,14 +461,14 @@ impl std::str::FromStr for ScenarioSpec {
 }
 
 /// SplitMix64 finalizer: a full-avalanche 64-bit mix.
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
 /// Folds one field into a stream key with full avalanche per field.
-fn fold(h: u64, field: u64) -> u64 {
+pub(crate) fn fold(h: u64, field: u64) -> u64 {
     mix64(h.rotate_left(25) ^ field.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 

@@ -8,8 +8,11 @@ pub use variants::{fig8_variants, noise_ablation_variants, VariantKind};
 use std::path::{Path, PathBuf};
 
 use safelight_datasets::SplitDataset;
-use safelight_neuro::{load_network_params, save_network_params, Network, Trainer, TrainerConfig};
+use safelight_neuro::{
+    load_network_params_stamped, save_network_params_stamped, Network, Trainer, TrainerConfig,
+};
 
+use crate::attack::{fold, mix64};
 use crate::models::{build_model, ModelKind};
 use crate::SafelightError;
 
@@ -99,6 +102,49 @@ fn cache_file(
     ))
 }
 
+/// The cache-integrity stamp of one `(model, variant, recipe, layout)`
+/// configuration: every training knob and the model's layer layout is
+/// avalanche-mixed into a 64-bit hash recorded in the checkpoint header.
+/// `bundle` is the freshly built (untrained) model whose layout the stamp
+/// covers — passed in so the caller's existing build is reused.
+///
+/// The file *name* only encodes the epoch count and seed; the stamp covers
+/// everything else — so a checkpoint trained under an older learning rate,
+/// L2 strength, batch size or model architecture is rejected by
+/// [`safelight_neuro::load_network_params_stamped`] instead of silently
+/// loaded.
+fn cache_stamp(
+    kind: ModelKind,
+    variant: VariantKind,
+    recipe: &TrainingRecipe,
+    bundle: &crate::models::ModelBundle,
+) -> u64 {
+    let mut h = 0x5AFE_CAC4_E5A1_7ED5_u64;
+    for byte in kind.label().bytes() {
+        h = fold(h, u64::from(byte));
+    }
+    for byte in variant.file_tag().bytes() {
+        h = fold(h, u64::from(byte));
+    }
+    h = fold(h, recipe.epochs as u64);
+    h = fold(h, recipe.batch_size as u64);
+    h = fold(h, u64::from(recipe.learning_rate.to_bits()));
+    h = fold(h, u64::from(recipe.l2_lambda.to_bits()));
+    h = fold(h, recipe.seed);
+    // The model layout: shapes of every parameter tensor, so architecture
+    // changes (new layers, resized blocks) invalidate old checkpoints even
+    // when the total parameter count happens to line up.
+    for spec in &bundle.layer_specs {
+        h = fold(h, spec.weights as u64);
+    }
+    for p in bundle.network.params() {
+        for &dim in p.value.shape() {
+            h = fold(h, dim as u64);
+        }
+    }
+    mix64(h)
+}
+
 /// Trains (or loads from `cache_dir`, if given) one mitigation variant of
 /// `kind` on `data`, returning the trained network.
 ///
@@ -117,11 +163,15 @@ pub fn train_variant(
     cache_dir: Option<&Path>,
 ) -> Result<Network, SafelightError> {
     let bundle = build_model(kind, recipe.seed)?;
+    // Only computed when a cache participates; reuses the build above.
+    let stamp = cache_dir.map(|_| cache_stamp(kind, variant, recipe, &bundle));
     let mut network = bundle.network;
 
-    if let Some(dir) = cache_dir {
+    if let (Some(dir), Some(stamp)) = (cache_dir, stamp) {
         let path = cache_file(dir, kind, variant, recipe);
-        if path.exists() && load_network_params(&mut network, &path).is_ok() {
+        // A stamp mismatch (older recipe/layout/format) is a cache miss:
+        // the checkpoint is ignored and the variant retrained.
+        if path.exists() && load_network_params_stamped(&mut network, &path, stamp).is_ok() {
             return Ok(network);
         }
     }
@@ -129,11 +179,11 @@ pub fn train_variant(
     let trainer = Trainer::new(recipe.trainer_config(variant));
     trainer.fit(&mut network, &data.train)?;
 
-    if let Some(dir) = cache_dir {
+    if let (Some(dir), Some(stamp)) = (cache_dir, stamp) {
         if std::fs::create_dir_all(dir).is_ok() {
             let path = cache_file(dir, kind, variant, recipe);
             // Best-effort cache write; a failure only costs a retrain later.
-            let _ = save_network_params(&network, path);
+            let _ = save_network_params_stamped(&network, path, stamp);
         }
     }
     Ok(network)
@@ -184,6 +234,68 @@ mod tests {
         )
         .unwrap();
         assert!(net.parameter_count() > 10_000);
+    }
+
+    #[test]
+    fn stale_cache_configurations_are_rejected() {
+        // Regression for the silent-stale-load bug: the cache *file name*
+        // only carries epochs and seed, so two recipes differing in (say)
+        // the L2 strength collide on the same path. The header stamp must
+        // force a retrain instead of silently loading the old weights.
+        let dir = std::env::temp_dir().join(format!("safelight-stamp-test-{}", std::process::id()));
+        let data = tiny_data();
+        let recipe_a = tiny_recipe();
+        let recipe_b = TrainingRecipe {
+            l2_lambda: recipe_a.l2_lambda * 10.0,
+            ..recipe_a
+        };
+        assert_eq!(
+            cache_file(&dir, ModelKind::Cnn1, VariantKind::L2Only, &recipe_a),
+            cache_file(&dir, ModelKind::Cnn1, VariantKind::L2Only, &recipe_b),
+            "recipes must collide on the cache path for this test to bite"
+        );
+        let bundle = build_model(ModelKind::Cnn1, recipe_a.seed).unwrap();
+        assert_ne!(
+            cache_stamp(ModelKind::Cnn1, VariantKind::L2Only, &recipe_a, &bundle),
+            cache_stamp(ModelKind::Cnn1, VariantKind::L2Only, &recipe_b, &bundle)
+        );
+        let a = train_variant(
+            ModelKind::Cnn1,
+            VariantKind::L2Only,
+            &data,
+            &recipe_a,
+            Some(&dir),
+        )
+        .unwrap();
+        // Same path, different stamp: must retrain (different L2 ⇒
+        // different weights), then overwrite the checkpoint.
+        let b = train_variant(
+            ModelKind::Cnn1,
+            VariantKind::L2Only,
+            &data,
+            &recipe_b,
+            Some(&dir),
+        )
+        .unwrap();
+        let differs = a
+            .params()
+            .iter()
+            .zip(b.params().iter())
+            .any(|(pa, pb)| pa.value.as_slice() != pb.value.as_slice());
+        assert!(differs, "stale checkpoint was silently loaded");
+        // And the overwritten cache now round-trips under recipe B.
+        let c = train_variant(
+            ModelKind::Cnn1,
+            VariantKind::L2Only,
+            &data,
+            &recipe_b,
+            Some(&dir),
+        )
+        .unwrap();
+        for (pb, pc) in b.params().iter().zip(c.params().iter()) {
+            assert_eq!(pb.value.as_slice(), pc.value.as_slice());
+        }
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The EWMA-smoothed CUSUM change-point detector.
+
+use safelight_onn::{BlockKind, TelemetryFrame};
+
+use crate::detect::{require_frames, ChannelStat, Detector};
+use crate::SafelightError;
+
+/// Sequential change-point detection over the drop-port monitor stream.
+///
+/// Per frame, every bank's drop current is z-scored against its calibrated
+/// baseline and the z-scores are averaged across all banks of both blocks —
+/// averaging B banks shrinks the noise by √B, so shifts far below any
+/// single bank's guard band become visible once they persist. The mean is
+/// EWMA-smoothed,
+///
+/// ```text
+/// s_t = λ·z̄_t + (1 − λ)·s_{t−1}
+/// ```
+///
+/// and accumulated by a two-sided CUSUM with drift allowance `k`:
+///
+/// ```text
+/// c⁺_t = max(0, c⁺_{t−1} + s_t − k)     c⁻_t = max(0, c⁻_{t−1} − s_t − k)
+/// ```
+///
+/// The frame's score is `max(c⁺, c⁻)`. The trade-off against
+/// [`GuardBandDetector`](crate::detect::GuardBandDetector) is latency for
+/// sensitivity: a persistent 0.5 σ global shift is invisible per-frame but
+/// accumulates here within a handful of frames.
+#[derive(Debug, Clone)]
+pub struct EwmaCusumDetector {
+    /// EWMA smoothing factor λ in `(0, 1]` (1 disables smoothing).
+    pub lambda: f64,
+    /// CUSUM drift allowance `k` in σ units; shifts below it are absorbed.
+    pub drift: f64,
+    conv: Vec<ChannelStat>,
+    fc: Vec<ChannelStat>,
+    ewma: f64,
+    cusum_up: f64,
+    cusum_down: f64,
+}
+
+impl Default for EwmaCusumDetector {
+    fn default() -> Self {
+        Self {
+            lambda: 0.4,
+            drift: 0.25,
+            conv: Vec::new(),
+            fc: Vec::new(),
+            ewma: 0.0,
+            cusum_up: 0.0,
+            cusum_down: 0.0,
+        }
+    }
+}
+
+impl EwmaCusumDetector {
+    fn fit_block(frames: &[TelemetryFrame], kind: BlockKind) -> Vec<ChannelStat> {
+        let banks = frames.first().map_or(0, |f| f.banks(kind).len());
+        (0..banks)
+            .map(|bank| {
+                let values: Vec<f64> = frames
+                    .iter()
+                    .filter(|f| f.banks(kind).len() == banks)
+                    .map(|f| f.banks(kind)[bank].drop_current)
+                    .collect();
+                ChannelStat::fit(&values)
+            })
+            .collect()
+    }
+
+    /// Cross-bank mean drop-current z-score of `frame`.
+    fn mean_z(&self, frame: &TelemetryFrame) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (kind, stats) in [(BlockKind::Conv, &self.conv), (BlockKind::Fc, &self.fc)] {
+            for (bank, stat) in stats.iter().enumerate().take(frame.banks(kind).len()) {
+                sum += stat.z(frame.banks(kind)[bank].drop_current);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl Detector for EwmaCusumDetector {
+    fn name(&self) -> &'static str {
+        "ewma_cusum"
+    }
+
+    fn calibrate(&mut self, frames: &[TelemetryFrame]) -> Result<(), SafelightError> {
+        require_frames(frames)?;
+        self.conv = Self::fit_block(frames, BlockKind::Conv);
+        self.fc = Self::fit_block(frames, BlockKind::Fc);
+        self.reset();
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.ewma = 0.0;
+        self.cusum_up = 0.0;
+        self.cusum_down = 0.0;
+    }
+
+    fn score(&mut self, frame: &TelemetryFrame) -> f64 {
+        if self.conv.is_empty() && self.fc.is_empty() {
+            return 0.0;
+        }
+        let z = self.mean_z(frame);
+        self.ewma = self.lambda * z + (1.0 - self.lambda) * self.ewma;
+        self.cusum_up = (self.cusum_up + self.ewma - self.drift).max(0.0);
+        self.cusum_down = (self.cusum_down - self.ewma - self.drift).max(0.0);
+        self.cusum_up.max(self.cusum_down)
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::{frames, parked};
+    use safelight_onn::ConditionMap;
+
+    fn calibrated() -> EwmaCusumDetector {
+        let mut d = EwmaCusumDetector::default();
+        d.calibrate(&frames(&ConditionMap::new(), 32, 1)).unwrap();
+        d
+    }
+
+    #[test]
+    fn clean_streams_keep_the_cusum_low() {
+        let mut d = calibrated();
+        let max = frames(&ConditionMap::new(), 16, 42)
+            .iter()
+            .map(|f| d.score(f))
+            .fold(0.0f64, f64::max);
+        assert!(max < 3.0, "clean cusum peaked at {max}");
+    }
+
+    #[test]
+    fn persistent_shift_accumulates_and_reset_clears_it() {
+        let mut d = calibrated();
+        let attacked = frames(&parked(2), 12, 7);
+        let scores: Vec<f64> = attacked.iter().map(|f| d.score(f)).collect();
+        // The statistic grows with exposure time…
+        assert!(scores.last().unwrap() > &scores[1]);
+        assert!(scores.last().unwrap() > &3.0, "final {:?}", scores.last());
+        // …and reset clears the sequential state but not the calibration.
+        d.reset();
+        let fresh = d.score(&attacked[0]);
+        assert!(fresh < *scores.last().unwrap());
+    }
+
+    #[test]
+    fn uncalibrated_detector_scores_zero() {
+        let mut d = EwmaCusumDetector::default();
+        let f = frames(&ConditionMap::new(), 1, 0);
+        assert_eq!(d.score(&f[0]), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The calibrated per-bank guard-band detector.
+
+use safelight_onn::{BlockKind, TelemetryFrame};
+
+use crate::detect::{require_frames, ChannelStat, Detector};
+use crate::SafelightError;
+
+/// Per-bank calibrated threshold (guard-band) detection.
+///
+/// During calibration every sensor field of every bank — drop-port monitor
+/// current, thermal sensor, laser-rail readback and trim-DAC readback —
+/// gets its own mean/σ. At run time the frame's score is the largest
+/// absolute z-score across all banks and fields: the monitor fires when any
+/// single reading leaves its guard band. Memoryless, so detection latency
+/// is one frame whenever the shift clears the band.
+#[derive(Debug, Clone, Default)]
+pub struct GuardBandDetector {
+    /// Calibrated stats per block: `banks[bank][field]`.
+    conv: Vec<[ChannelStat; 4]>,
+    fc: Vec<[ChannelStat; 4]>,
+}
+
+/// The four bank-level sensor fields, in calibration order.
+fn fields(frame: &TelemetryFrame, kind: BlockKind, bank: usize) -> [f64; 4] {
+    let b = &frame.banks(kind)[bank];
+    [
+        b.drop_current,
+        b.delta_kelvin,
+        b.rail_power,
+        b.trim_offset_nm,
+    ]
+}
+
+impl GuardBandDetector {
+    fn fit_block(frames: &[TelemetryFrame], kind: BlockKind) -> Vec<[ChannelStat; 4]> {
+        let banks = frames.first().map_or(0, |f| f.banks(kind).len());
+        (0..banks)
+            .map(|bank| {
+                let mut stats = [ChannelStat::default(); 4];
+                for (field, stat) in stats.iter_mut().enumerate() {
+                    let values: Vec<f64> = frames
+                        .iter()
+                        .filter(|f| f.banks(kind).len() == banks)
+                        .map(|f| fields(f, kind, bank)[field])
+                        .collect();
+                    *stat = ChannelStat::fit(&values);
+                }
+                stats
+            })
+            .collect()
+    }
+
+    fn block_score(&self, frame: &TelemetryFrame, kind: BlockKind) -> f64 {
+        let stats = match kind {
+            BlockKind::Conv => &self.conv,
+            BlockKind::Fc => &self.fc,
+        };
+        let mut worst: f64 = 0.0;
+        for (bank, bank_stats) in stats.iter().enumerate().take(frame.banks(kind).len()) {
+            let values = fields(frame, kind, bank);
+            for (value, stat) in values.iter().zip(bank_stats) {
+                worst = worst.max(stat.z(*value).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl Detector for GuardBandDetector {
+    fn name(&self) -> &'static str {
+        "guard_band"
+    }
+
+    fn calibrate(&mut self, frames: &[TelemetryFrame]) -> Result<(), SafelightError> {
+        require_frames(frames)?;
+        self.conv = Self::fit_block(frames, BlockKind::Conv);
+        self.fc = Self::fit_block(frames, BlockKind::Fc);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        // Memoryless: nothing to clear.
+    }
+
+    fn score(&mut self, frame: &TelemetryFrame) -> f64 {
+        self.block_score(frame, BlockKind::Conv)
+            .max(self.block_score(frame, BlockKind::Fc))
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::{frames, parked};
+    use safelight_onn::ConditionMap;
+
+    #[test]
+    fn uncalibrated_detector_scores_zero() {
+        let mut d = GuardBandDetector::default();
+        let f = frames(&ConditionMap::new(), 1, 0);
+        assert_eq!(d.score(&f[0]), 0.0);
+    }
+
+    #[test]
+    fn clean_frames_stay_inside_the_band() {
+        let mut d = GuardBandDetector::default();
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        // Fresh noise seed, same clean distribution: scores stay modest.
+        for f in frames(&ConditionMap::new(), 8, 99) {
+            assert!(d.score(&f) < 6.0, "clean score {}", d.score(&f));
+        }
+    }
+
+    #[test]
+    fn parked_rings_blow_the_band_in_one_frame() {
+        let mut d = GuardBandDetector::default();
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        let clean_worst = frames(&ConditionMap::new(), 8, 99)
+            .iter()
+            .map(|f| d.score(f))
+            .fold(0.0f64, f64::max);
+        let attacked = frames(&parked(3), 1, 7);
+        let s = d.score(&attacked[0]);
+        assert!(
+            s > 2.0 * clean_worst,
+            "attack score {s} vs clean worst {clean_worst}"
+        );
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let mut d = GuardBandDetector::default();
+        assert!(d.calibrate(&[]).is_err());
+    }
+}

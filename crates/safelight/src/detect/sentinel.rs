@@ -1,0 +1,116 @@
+//! The sentinel-weight integrity detector.
+
+use safelight_onn::{BlockKind, TelemetryFrame};
+
+use crate::detect::{require_frames, ChannelStat, Detector};
+use crate::SafelightError;
+
+/// Integrity checking of sentinel probe weights on idle rings.
+///
+/// The controller imprints a known magnitude on rings the mapping leaves
+/// idle in its final reuse round ([`safelight_onn::SentinelPlan`]) and the
+/// telemetry layer reads each sentinel back through the same drop-port
+/// physics the model weights use. Calibration fits each sentinel's
+/// mean/σ; the frame score is the worst absolute z-score across all
+/// sentinels of both blocks.
+///
+/// Coverage is exact but partial: a fault is seen if and only if it (or
+/// its crosstalk/heat footprint) touches a sentinel ring, so the detection
+/// rate tracks the attacked fraction of the idle region — the evaluation
+/// report quantifies exactly that. On a block with no idle rings the
+/// detector is blind (and says so by scoring 0).
+#[derive(Debug, Clone, Default)]
+pub struct SentinelDetector {
+    conv: Vec<ChannelStat>,
+    fc: Vec<ChannelStat>,
+}
+
+impl SentinelDetector {
+    fn fit_block(frames: &[TelemetryFrame], kind: BlockKind) -> Vec<ChannelStat> {
+        let count = frames.first().map_or(0, |f| f.sentinels(kind).len());
+        (0..count)
+            .map(|i| {
+                let values: Vec<f64> = frames
+                    .iter()
+                    .filter(|f| f.sentinels(kind).len() == count)
+                    .map(|f| f.sentinels(kind)[i])
+                    .collect();
+                ChannelStat::fit(&values)
+            })
+            .collect()
+    }
+}
+
+impl Detector for SentinelDetector {
+    fn name(&self) -> &'static str {
+        "sentinel"
+    }
+
+    fn calibrate(&mut self, frames: &[TelemetryFrame]) -> Result<(), SafelightError> {
+        require_frames(frames)?;
+        self.conv = Self::fit_block(frames, BlockKind::Conv);
+        self.fc = Self::fit_block(frames, BlockKind::Fc);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        // Memoryless: nothing to clear.
+    }
+
+    fn score(&mut self, frame: &TelemetryFrame) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (kind, stats) in [(BlockKind::Conv, &self.conv), (BlockKind::Fc, &self.fc)] {
+            let readings = frame.sentinels(kind);
+            for (stat, value) in stats.iter().zip(readings) {
+                worst = worst.max(stat.z(*value).abs());
+            }
+        }
+        worst
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::{fixture, frames};
+    use safelight_onn::{ConditionMap, MrCondition};
+
+    #[test]
+    fn attacked_sentinel_ring_is_flagged() {
+        let (_, _, _, plan) = fixture();
+        let mut d = SentinelDetector::default();
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        let clean_worst = frames(&ConditionMap::new(), 8, 42)
+            .iter()
+            .map(|f| d.score(f))
+            .fold(0.0f64, f64::max);
+        // Park one sentinel ring of the idle CONV block.
+        let site = plan.sites(BlockKind::Conv)[0];
+        let mut attacked = ConditionMap::new();
+        attacked.set(BlockKind::Conv, site, MrCondition::Parked);
+        let s = d.score(&frames(&attacked, 1, 7)[0]);
+        assert!(s > 10.0 * clean_worst.max(1.0), "sentinel score {s}");
+    }
+
+    #[test]
+    fn faults_off_the_sentinels_are_invisible() {
+        // Coverage honesty: a fault on a busy (non-sentinel) ring of the FC
+        // block does not move the sentinel statistic beyond noise.
+        let mut d = SentinelDetector::default();
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        let mut attacked = ConditionMap::new();
+        attacked.set(BlockKind::Fc, 5, MrCondition::Parked);
+        let s = d.score(&frames(&attacked, 1, 7)[0]);
+        assert!(s < 6.0, "off-sentinel fault scored {s}");
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let mut d = SentinelDetector::default();
+        assert!(d.calibrate(&[]).is_err());
+    }
+}

@@ -1,13 +1,22 @@
-//! Evaluation pipelines behind the paper's Figs. 7–9.
+//! Evaluation pipelines behind the paper's Figs. 7–9, plus the
+//! runtime-detection ROC/latency pipeline ([`detection`]) that measures
+//! the [`crate::detect`] subsystem against the extended threat model.
 
+pub mod detection;
 mod mitigation;
 mod recovery;
 mod report;
 mod susceptibility;
 
+pub use detection::{
+    run_detection, CellSummary, DetectionOptions, DetectionReport, OperatingPoint, RocPoint,
+};
 pub use mitigation::{run_mitigation, MitigationReport, VariantOutcome};
 pub use recovery::{run_recovery, RecoveryInterval, RecoveryReport};
-pub use report::{mitigation_csv, recovery_csv, susceptibility_csv};
+pub use report::{
+    detection_json, detection_roc_csv, detection_summary_csv, mitigation_csv, mitigation_json,
+    recovery_csv, recovery_json, susceptibility_csv, susceptibility_json,
+};
 pub use susceptibility::{
     evaluate_with_conditions, inject_all, run_susceptibility, InjectedScenario,
     SusceptibilityReport, TrialResult,

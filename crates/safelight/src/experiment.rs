@@ -121,6 +121,34 @@ impl ExperimentOptions {
         }
     }
 
+    /// Attack trials per scenario cell for the detection sweep (each trial
+    /// is additionally replayed under several telemetry noise seeds, so
+    /// fewer site draws already give a well-populated TPR estimate).
+    #[must_use]
+    pub fn detection_trials(&self) -> u64 {
+        match self.fidelity {
+            Fidelity::Quick => 2,
+            Fidelity::Full => 3,
+        }
+    }
+
+    /// The detection-evaluation knobs at this fidelity.
+    #[must_use]
+    pub fn detection_options(&self) -> crate::eval::DetectionOptions {
+        let base = crate::eval::DetectionOptions::default();
+        match self.fidelity {
+            Fidelity::Quick => crate::eval::DetectionOptions {
+                frames: 16,
+                onset: 6,
+                calibration_frames: 32,
+                clean_runs: 24,
+                attack_runs: 3,
+                ..base
+            },
+            Fidelity::Full => base,
+        }
+    }
+
     /// The attack intensities of §IV.
     #[must_use]
     pub fn fractions(&self) -> Vec<f64> {
@@ -298,6 +326,33 @@ impl Fig8Run {
             .find(|(v, _)| *v == variant)
             .map(|(_, network)| network)
     }
+}
+
+/// Runs the runtime-detection evaluation for `kind`: trains (or loads) the
+/// original model, builds the scenario grid implied by the options'
+/// vectors/selections with [`ExperimentOptions::detection_trials`] trials,
+/// and measures the stock detector suite ([`crate::detect`]) against it.
+///
+/// # Errors
+///
+/// Propagates workbench and detection-evaluation errors.
+pub fn run_detection_experiment(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+) -> Result<(ModelWorkbench, crate::eval::DetectionReport), SafelightError> {
+    let bench = workbench(kind, opts)?;
+    let scenarios = opts.fig7_grid(opts.detection_trials());
+    let report = crate::eval::run_detection(
+        &bench.original,
+        &bench.mapping,
+        &bench.config,
+        &scenarios,
+        &crate::detect::default_detectors(),
+        &opts.detection_options(),
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((bench, report))
 }
 
 /// Reproduces one panel of Fig. 8: trains every variant on the Fig. 8 axis

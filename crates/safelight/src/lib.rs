@@ -19,9 +19,15 @@
 //!   scenario grid (1/5/10 % × CONV/FC/Both × trials);
 //! * [`defense`] — the §V software mitigations: L2-regularized and
 //!   Gaussian noise-aware trained model variants
-//!   (`Original`, `L2_reg`, `l2+n1` … `l2+n9`), with a disk cache;
+//!   (`Original`, `L2_reg`, `l2+n1` … `l2+n9`), with a version-stamped
+//!   disk cache;
+//! * [`detect`] — the runtime trojan-detection subsystem: pluggable
+//!   [`Detector`](detect::Detector)s (guard band, EWMA/CUSUM change-point,
+//!   sentinel-weight integrity) over the accelerator's telemetry taps
+//!   ([`safelight_onn::TelemetryProbe`]);
 //! * [`eval`] — the evaluation pipelines behind Fig. 7 (susceptibility),
-//!   Fig. 8 (variant robustness) and Fig. 9 (recovery);
+//!   Fig. 8 (variant robustness) and Fig. 9 (recovery), plus the
+//!   detection ROC/latency pipeline ([`eval::detection`]);
 //! * [`experiment`] — one driver per paper artifact, consumed by the
 //!   `repro` binary in `safelight-bench`.
 //!
@@ -53,6 +59,7 @@
 
 pub mod attack;
 pub mod defense;
+pub mod detect;
 mod error;
 pub mod eval;
 pub mod experiment;
@@ -68,9 +75,12 @@ pub mod prelude {
         ScenarioSpec, Selection, VectorSpec,
     };
     pub use crate::defense::{train_variant, TrainingRecipe, VariantKind};
+    pub use crate::detect::{
+        default_detectors, Detector, EwmaCusumDetector, GuardBandDetector, SentinelDetector,
+    };
     pub use crate::eval::{
-        run_mitigation, run_recovery, run_susceptibility, BoxStats, MitigationReport,
-        RecoveryReport, SusceptibilityReport,
+        run_detection, run_mitigation, run_recovery, run_susceptibility, BoxStats,
+        DetectionOptions, DetectionReport, MitigationReport, RecoveryReport, SusceptibilityReport,
     };
     pub use crate::experiment::{ExperimentOptions, Fidelity};
     pub use crate::models::{

@@ -199,6 +199,22 @@ impl Floorplan {
         Ok((placement.rect.x + col, placement.rect.y + row))
     }
 
+    /// One thermal-sensor site per bank, at the bank's centre cell, in
+    /// bank-index order.
+    ///
+    /// Real photonic dies embed a sparse grid of on-chip temperature
+    /// sensors next to the microring banks; sampling a solved
+    /// [`TemperatureField`](crate::TemperatureField) at these sites (see
+    /// [`TemperatureField::sample_delta`](crate::TemperatureField::sample_delta))
+    /// is the physical model behind the runtime-detection telemetry taps.
+    #[must_use]
+    pub fn sensor_sites(&self) -> Vec<(usize, usize)> {
+        self.banks
+            .iter()
+            .map(|p| (p.rect.x + p.rect.width / 2, p.rect.y + p.rect.height / 2))
+            .collect()
+    }
+
     /// The bank containing cell `(x, y)`, if any.
     #[must_use]
     pub fn bank_at(&self, x: usize, y: usize) -> Option<usize> {
@@ -296,6 +312,17 @@ mod tests {
         let plan = Floorplan::bank_grid(2, 2, 4, 4, 2).unwrap();
         assert!(plan.ring_cell(9, 0, 0).is_err());
         assert!(plan.ring_cell(0, 4, 0).is_err());
+    }
+
+    #[test]
+    fn sensor_sites_sit_one_per_bank_centre() {
+        let plan = Floorplan::bank_grid(2, 3, 5, 4, 2).unwrap();
+        let sites = plan.sensor_sites();
+        assert_eq!(sites.len(), plan.banks().len());
+        for (site, placement) in sites.iter().zip(plan.banks()) {
+            assert!(placement.rect.contains(site.0, site.1));
+            assert_eq!(plan.bank_at(site.0, site.1), Some(placement.bank));
+        }
     }
 
     #[test]

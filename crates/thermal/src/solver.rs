@@ -116,6 +116,18 @@ impl TemperatureField {
         &self.temperatures_k
     }
 
+    /// Samples the temperature rise over ambient at a list of sensor
+    /// `sites` (e.g. [`Floorplan::sensor_sites`](crate::Floorplan::sensor_sites)),
+    /// in site order — one on-chip thermal-sensor readout frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::CellOutOfBounds`] when any site lies outside
+    /// the grid.
+    pub fn sample_delta(&self, sites: &[(usize, usize)]) -> Result<Vec<f64>, ThermalError> {
+        sites.iter().map(|&(x, y)| self.delta_at(x, y)).collect()
+    }
+
     /// Superposes per-source solutions of the (linear) steady-state
     /// operator: `ΔT = Σ_i scale_i · ΔT_i` over ambient.
     ///
@@ -268,6 +280,20 @@ mod tests {
         let mut grid = ThermalGrid::new(size, size, ThermalConfig::default()).unwrap();
         grid.add_power(size / 2, size / 2, watts).unwrap();
         grid.solve().unwrap()
+    }
+
+    #[test]
+    fn sample_delta_reads_sites_in_order() {
+        let field = solve_point_source(16, 0.02);
+        let sites = [(8, 8), (0, 0), (15, 15)];
+        let samples = field.sample_delta(&sites).unwrap();
+        assert_eq!(samples.len(), 3);
+        for (s, &(x, y)) in samples.iter().zip(&sites) {
+            assert_eq!(*s, field.delta_at(x, y).unwrap());
+        }
+        // The sensor at the heater reads hotter than the corner sensors.
+        assert!(samples[0] > samples[1] && samples[0] > samples[2]);
+        assert!(field.sample_delta(&[(16, 0)]).is_err());
     }
 
     #[test]

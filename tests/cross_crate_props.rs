@@ -78,6 +78,97 @@ proptest! {
     }
 }
 
+/// Builds an arbitrary condition from primitive draws (the vendored
+/// proptest shim has no `prop_oneof`). Kelvin/nanometre parameters are
+/// dyadic (multiples of 0.25 / 0.125), so heat sums are exact in IEEE
+/// arithmetic and algebra properties can assert bitwise equality.
+fn condition_from(tag: u64, quarter_kelvin: u64, eighth_nm: u64) -> MrCondition {
+    let dk = quarter_kelvin as f64 * 0.25;
+    let nm = eighth_nm as f64 * 0.125;
+    match tag % 5 {
+        0 => MrCondition::Healthy,
+        1 => MrCondition::Parked,
+        2 => MrCondition::Heated { delta_kelvin: dk },
+        3 => MrCondition::Attenuated {
+            factor: 0.5,
+            delta_kelvin: dk,
+        },
+        _ => MrCondition::Detuned {
+            offset_nm: nm,
+            delta_kelvin: dk,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Parked` dominance: once an actuation trojan parks a ring, no stack
+    /// of further vectors — in any order, at any position — can weaken it.
+    #[test]
+    fn parked_dominates_any_stack_order(
+        tags in proptest::collection::vec(0u64..5, 1..6),
+        dks in proptest::collection::vec(0u64..120, 1..6),
+        position in 0u64..6,
+    ) {
+        let mut conditions: Vec<MrCondition> = tags
+            .iter()
+            .zip(&dks)
+            .map(|(&t, &q)| condition_from(t, q, q))
+            .collect();
+        let position = (position as usize) % (conditions.len() + 1);
+        conditions.insert(position, MrCondition::Parked);
+        let mut map = ConditionMap::new();
+        for c in conditions {
+            map.stack(BlockKind::Conv, 3, c);
+        }
+        prop_assert_eq!(map.condition(BlockKind::Conv, 3), MrCondition::Parked);
+    }
+
+    /// Spill-over heat accumulation commutes bitwise, whatever trojan state
+    /// the heat lands on.
+    #[test]
+    fn heat_accumulation_commutes(
+        tag in 0u64..5,
+        base_q in 0u64..120,
+        h1_q in 1u64..120,
+        h2_q in 1u64..120,
+    ) {
+        let seed_condition = condition_from(tag, base_q, base_q);
+        let heats = [h1_q as f64 * 0.25, h2_q as f64 * 0.25];
+        let apply = |order: [usize; 2]| {
+            let mut map = ConditionMap::new();
+            map.stack(BlockKind::Fc, 9, seed_condition);
+            for &i in &order {
+                map.add_heat(BlockKind::Fc, 9, heats[i]);
+            }
+            map.condition(BlockKind::Fc, 9)
+        };
+        prop_assert_eq!(apply([0, 1]), apply([1, 0]));
+    }
+
+    /// Stacking an empty map is the identity, in both directions: a map
+    /// absorbs an empty right-hand side unchanged, and an empty map
+    /// stacked with any map reproduces it exactly.
+    #[test]
+    fn stacking_an_empty_map_is_idempotent(
+        tags in proptest::collection::vec(0u64..5, 0..8),
+        dks in proptest::collection::vec(0u64..120, 0..8),
+    ) {
+        let mut map = ConditionMap::new();
+        for (i, (&t, &q)) in tags.iter().zip(&dks).enumerate() {
+            map.stack(BlockKind::Conv, i as u64, condition_from(t, q, q));
+            map.stack(BlockKind::Fc, (2 * i) as u64, condition_from(t.wrapping_add(1), q, q));
+        }
+        let before = map.clone();
+        map.stack_map(&ConditionMap::new());
+        prop_assert_eq!(&map, &before);
+        let mut from_empty = ConditionMap::new();
+        from_empty.stack_map(&before);
+        prop_assert_eq!(&from_empty, &before);
+    }
+}
+
 #[test]
 fn corruption_is_idempotent_for_clean_conditions() {
     // Quantization is a projection: applying the clean accelerator twice
