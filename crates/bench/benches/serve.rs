@@ -1,0 +1,247 @@
+//! Serving-path benchmarks: steady-state micro-batch latency with and
+//! without inline detection (the `< 10 %` overhead bar of the serving
+//! acceptance criteria), and the alarm path end to end — compromise →
+//! alarm → quarantine/remap → executor re-derivation → detector
+//! re-baseline.
+//!
+//! Besides the criterion timings, `emit_baseline` writes a
+//! `target/BENCH_serve.json` snapshot (steady-state batch latency,
+//! detection overhead fraction, alarm-path latency) so later PRs can
+//! diff serving-path regressions without parsing bench logs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safelight::detect::{default_detectors, Detector};
+use safelight::models::{build_model, dataset_kind_for, matched_accelerator, ModelKind};
+use safelight_datasets::SyntheticSpec;
+use safelight_neuro::Dataset;
+use safelight_onn::{
+    AcceleratorConfig, BlockKind, ConditionMap, MrCondition, SentinelPlan, TapConfig,
+    TelemetryProbe, WeightMapping,
+};
+use safelight_serve::eval::operating_thresholds;
+use safelight_serve::{Compromise, Fleet, FleetMember, PolicyConfig, Request};
+
+struct Setup {
+    network: safelight_neuro::Network,
+    mapping: WeightMapping,
+    config: AcceleratorConfig,
+    suite: Vec<Box<dyn safelight::detect::Detector>>,
+    guard: safelight::detect::GuardBandDetector,
+    thresholds: Vec<f64>,
+    requests: Vec<Request>,
+}
+
+fn setup() -> Setup {
+    let bundle = build_model(ModelKind::Cnn1, 7).unwrap();
+    let config = matched_accelerator(ModelKind::Cnn1).unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let sentinels = SentinelPlan::new(&mapping, &config, 32, 0.7);
+    let probe = TelemetryProbe::new(
+        &bundle.network,
+        &mapping,
+        &ConditionMap::new(),
+        &config,
+        &sentinels,
+        TapConfig::default(),
+    )
+    .unwrap();
+    let frames: Vec<_> = (0..32).map(|b| probe.frame(b, 0xBE7C)).collect();
+    let mut suite = default_detectors();
+    for d in &mut suite {
+        d.calibrate(&frames).unwrap();
+    }
+    let mut guard = safelight::detect::GuardBandDetector::default();
+    guard.calibrate(&frames).unwrap();
+    let thresholds = operating_thresholds(&probe, &mut suite, 16, 24, 0.05, 0xBE7C);
+    let data = safelight_datasets::generate(
+        dataset_kind_for(ModelKind::Cnn1),
+        &SyntheticSpec {
+            train: 16,
+            test: 64,
+            ..SyntheticSpec::default()
+        },
+    )
+    .unwrap();
+    let requests: Vec<Request> = (0..128)
+        .map(|i| {
+            let (input, label) = data.test.item(i % data.test.len()).unwrap();
+            Request {
+                id: i as u64,
+                input,
+                label,
+            }
+        })
+        .collect();
+    Setup {
+        network: bundle.network,
+        mapping,
+        config,
+        suite,
+        guard,
+        thresholds,
+        requests,
+    }
+}
+
+fn make_fleet(s: &Setup, size: usize, policy: PolicyConfig) -> Fleet {
+    let members = (0..size)
+        .map(|id| {
+            FleetMember::new(
+                id,
+                &s.network,
+                s.mapping.clone(),
+                s.config.clone(),
+                TapConfig::default(),
+                32,
+                0.7,
+                s.suite.iter().map(|d| d.clone_box()).collect(),
+                s.guard.clone(),
+            )
+            .unwrap()
+        })
+        .collect();
+    Fleet::new(members, policy).unwrap()
+}
+
+/// Steady-state serving: 8 micro-batches of 16 requests per iteration,
+/// with inline detection scoring every batch.
+fn bench_steady_state(c: &mut Criterion) {
+    let s = setup();
+    // Baseline policy: inline detection scores every batch (the cost we
+    // are measuring) but never responds — a mid-bench false alarm must
+    // not remap/recalibrate/fail over the fleet being timed.
+    let mut with_detection = make_fleet(&s, 2, PolicyConfig::baseline(s.thresholds.clone()));
+    let mut without = make_fleet(&s, 2, PolicyConfig::without_detection());
+    c.bench_function("serve_8x16_with_detection", |b| {
+        b.iter(|| {
+            with_detection
+                .serve_stream(&s.requests, 16, None, 0x5EED, 2)
+                .unwrap()
+        })
+    });
+    c.bench_function("serve_8x16_no_detection", |b| {
+        b.iter(|| {
+            without
+                .serve_stream(&s.requests, 16, None, 0x5EED, 2)
+                .unwrap()
+        })
+    });
+}
+
+/// The alarm path end to end: fresh fleet, compromise at batch 0, serve
+/// until the policy has detected, quarantined/remapped (or failed over)
+/// and re-baselined.
+fn bench_alarm_path(c: &mut Criterion) {
+    let s = setup();
+    // A clustered compromise of two CONV banks: localizable, remappable.
+    let mut attack = ConditionMap::new();
+    let per_bank = s.config.block(BlockKind::Conv).mrs_per_bank() as u64;
+    for ring in 0..2 * per_bank {
+        attack.set(BlockKind::Conv, ring, MrCondition::Parked);
+    }
+    c.bench_function("alarm_path_compromise_to_recovery", |b| {
+        b.iter(|| {
+            let mut fleet = make_fleet(&s, 2, PolicyConfig::new(s.thresholds.clone()));
+            fleet
+                .serve_stream(
+                    &s.requests[..64],
+                    16,
+                    Some(Compromise {
+                        member: 0,
+                        onset_batch: 0,
+                        conditions: &attack,
+                    }),
+                    0x5EED,
+                    2,
+                )
+                .unwrap()
+        })
+    });
+}
+
+/// Writes `target/BENCH_serve.json`: medians of the steady-state batch
+/// latency with/without detection, the implied inline-detection overhead
+/// fraction, and one alarm-path end-to-end latency sample.
+fn emit_baseline(c: &mut Criterion) {
+    let s = setup();
+    let batches = 8usize;
+    let time_stream = |fleet: &mut Fleet| -> f64 {
+        // One warm-up pass, then the median of 5 timed passes.
+        fleet
+            .serve_stream(&s.requests, 16, None, 0x5EED, 2)
+            .unwrap();
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                fleet
+                    .serve_stream(&s.requests, 16, None, 0x5EED, 2)
+                    .unwrap();
+                start.elapsed().as_secs_f64() / batches as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    // Same discipline as bench_steady_state: score inline, never respond,
+    // so the overhead fraction compares identical workloads.
+    let mut with_detection = make_fleet(&s, 2, PolicyConfig::baseline(s.thresholds.clone()));
+    let mut without = make_fleet(&s, 2, PolicyConfig::without_detection());
+    let batch_with = time_stream(&mut with_detection);
+    let batch_without = time_stream(&mut without);
+    let overhead = (batch_with - batch_without).max(0.0) / batch_without;
+
+    let mut attack = ConditionMap::new();
+    let per_bank = s.config.block(BlockKind::Conv).mrs_per_bank() as u64;
+    for ring in 0..2 * per_bank {
+        attack.set(BlockKind::Conv, ring, MrCondition::Parked);
+    }
+    let alarm_path = {
+        let mut fleet = make_fleet(&s, 2, PolicyConfig::new(s.thresholds.clone()));
+        let start = Instant::now();
+        fleet
+            .serve_stream(
+                &s.requests[..64],
+                16,
+                Some(Compromise {
+                    member: 0,
+                    onset_batch: 0,
+                    conditions: &attack,
+                }),
+                0x5EED,
+                2,
+            )
+            .unwrap();
+        start.elapsed().as_secs_f64()
+    };
+
+    let json = format!(
+        "{{\"model\":\"cnn1\",\"batch_size\":16,\"fleet\":2,\
+         \"steady_batch_seconds_with_detection\":{batch_with},\
+         \"steady_batch_seconds_no_detection\":{batch_without},\
+         \"inline_detection_overhead_fraction\":{overhead},\
+         \"alarm_path_seconds\":{alarm_path}}}\n"
+    );
+    // Benches run with the package directory as cwd; anchor the artifact
+    // in the workspace-level target/ regardless.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join("BENCH_serve.json");
+    std::fs::write(&out, &json).ok();
+    println!(
+        "BENCH_serve baseline: batch {:.3} ms w/ detection, {:.3} ms without \
+         (overhead {:.1} %), alarm path {:.1} ms → {}",
+        batch_with * 1e3,
+        batch_without * 1e3,
+        overhead * 100.0,
+        alarm_path * 1e3,
+        out.display()
+    );
+    // Keep the criterion harness happy with a trivial measured body.
+    c.bench_function("serve_baseline_emitted", |b| b.iter(|| overhead));
+}
+
+criterion_group!(benches, bench_steady_state, bench_alarm_path, emit_baseline);
+criterion_main!(benches);

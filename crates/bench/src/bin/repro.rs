@@ -4,7 +4,7 @@
 //! repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] [--out-dir DIR]
 //!       [--vectors LIST] [--selections LIST] [--json]
 //!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--detection]
-//!       [--ablation] [--all]
+//!       [--serve] [--ablation] [--all]
 //! ```
 //!
 //! Each artifact prints the same rows/series the paper reports; the Fig. 6
@@ -18,8 +18,12 @@
 //!
 //! `--detection` runs the runtime trojan-detection evaluation (ROC,
 //! latency, per-vector detectability) over the same vectors/selections
-//! grid. `--json` writes machine-readable `.json` results next to every
-//! CSV, so downstream tooling doesn't scrape tables.
+//! grid. `--serve` runs the secure serving-runtime evaluation: every
+//! scenario replayed as a request stream with mid-stream compromise
+//! against the closed-loop fleet (detect → quarantine/remap → failover)
+//! and a no-response baseline. `--json` writes machine-readable `.json`
+//! results next to every CSV, so downstream tooling doesn't scrape
+//! tables.
 
 use std::path::PathBuf;
 
@@ -45,6 +49,7 @@ struct Args {
     fig8: bool,
     fig9: bool,
     detection: bool,
+    serve: bool,
     ablation: bool,
 }
 
@@ -85,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         fig8: false,
         fig9: false,
         detection: false,
+        serve: false,
         ablation: false,
     };
     let mut any = false;
@@ -137,6 +143,10 @@ fn parse_args() -> Result<Args, String> {
                 args.detection = true;
                 any = true;
             }
+            "--serve" => {
+                args.serve = true;
+                any = true;
+            }
             "--json" => args.json = true,
             "--ablation" => {
                 args.ablation = true;
@@ -149,6 +159,7 @@ fn parse_args() -> Result<Args, String> {
                 args.fig8 = true;
                 args.fig9 = true;
                 args.detection = true;
+                args.serve = true;
                 args.ablation = true;
                 any = true;
             }
@@ -158,7 +169,7 @@ fn parse_args() -> Result<Args, String> {
                      [--out-dir DIR] [--vectors actuation,hotspot,laser[:DB],trim[:REL],\
                      stacked|extended] [--selections uniform,clustered,targeted|all] \
                      [--json] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
-                     [--detection] [--ablation] [--all]"
+                     [--detection] [--serve] [--ablation] [--all]"
                 );
                 std::process::exit(0);
             }
@@ -452,6 +463,80 @@ fn print_detection(
     Ok(())
 }
 
+fn print_serve(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    out_dir: &std::path::Path,
+    json: bool,
+) -> Result<(), SafelightError> {
+    println!("\n=== Serving ({kind}): closed-loop secure serving runtime ===");
+    let (_, report) = safelight_serve::eval::run_serving_experiment(kind, opts)?;
+    println!(
+        "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, onset at {}]",
+        pct(report.clean_accuracy),
+        report.fleet_size,
+        report.batch_size,
+        report.batches,
+        report.onset_batch
+    );
+    for (name, threshold) in report.detectors.iter().zip(&report.thresholds) {
+        println!("operating threshold {name:<12} {threshold:.4}");
+    }
+    println!(
+        "\n{:<20} {:<10} {:<8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:<16} {:>6}",
+        "vector",
+        "selection",
+        "target",
+        "pct",
+        "degraded",
+        "recovered",
+        "baseline",
+        "detect",
+        "recov",
+        "avail",
+        "action",
+        "remap"
+    );
+    for r in &report.rows {
+        let latency = |x: f64| {
+            if x.is_finite() {
+                format!("{x:.0} b")
+            } else {
+                "—".into()
+            }
+        };
+        let acc = |x: f64| {
+            if x.is_finite() {
+                pct(x)
+            } else {
+                "     —".into()
+            }
+        };
+        println!(
+            "{:<20} {:<10} {:<8} {:>4.0}% {:>9} {:>9} {:>9} {:>9} {:>7} {:>6.1}% {:<16} {:>6}",
+            r.scenario.vector_label(),
+            r.scenario.selection,
+            r.scenario.target,
+            r.scenario.fraction * 100.0,
+            acc(r.degraded_accuracy),
+            acc(r.recovered_accuracy),
+            acc(r.baseline_post_accuracy),
+            latency(r.detection_latency_batches),
+            latency(r.recovery_latency_batches),
+            r.availability * 100.0,
+            r.action,
+            r.remapped_rings
+        );
+    }
+    write_artifact(
+        out_dir,
+        &format!("serving_{}", kind.label().to_lowercase()),
+        &safelight_serve::report::serving_csv(&report),
+        json.then(|| safelight_serve::report::serving_json(&report)),
+    );
+    Ok(())
+}
+
 fn print_ablation(kind: ModelKind, opts: &ExperimentOptions) -> Result<(), SafelightError> {
     println!("\n=== Ablation ({kind}): noise-aware training without L2 ===");
     let bench = workbench(kind, opts)?;
@@ -529,6 +614,9 @@ fn main() {
             }
             if args.detection {
                 print_detection(kind, &opts, &args.out_dir, args.json)?;
+            }
+            if args.serve {
+                print_serve(kind, &opts, &args.out_dir, args.json)?;
             }
             if args.ablation {
                 print_ablation(kind, &opts)?;

@@ -183,6 +183,62 @@ impl Network {
             .map(|row| logits.argmax_range(row * classes, (row + 1) * classes))
             .collect())
     }
+
+    /// The batched forward entry point of the serving path: stacks the
+    /// per-request CHW `images` into one `[N, C, H, W]` batch, runs a
+    /// single forward pass and returns one class prediction per image, in
+    /// input order.
+    ///
+    /// Borrowed images are copied once, straight into the batch buffer —
+    /// callers holding tensors inside request structs don't need an
+    /// intermediate `Vec<Tensor>` clone. An empty input yields an empty
+    /// prediction vector without touching the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuroError::ShapeMismatch`] when the images disagree in
+    /// shape, and propagates forward-pass errors.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use safelight_neuro::{Flatten, Linear, Network, Tensor};
+    ///
+    /// # fn main() -> Result<(), safelight_neuro::NeuroError> {
+    /// let mut net = Network::new();
+    /// net.push(Flatten::new());
+    /// net.push(Linear::new(4, 2, 1)?);
+    /// let requests = vec![Tensor::zeros(vec![1, 2, 2]); 3];
+    /// assert_eq!(net.predict_many(&requests)?.len(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn predict_many<'a, I>(&mut self, images: I) -> Result<Vec<usize>, NeuroError>
+    where
+        I: IntoIterator<Item = &'a Tensor>,
+    {
+        let mut iter = images.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(Vec::new());
+        };
+        let shape = first.shape().to_vec();
+        let mut data = first.as_slice().to_vec();
+        let mut count = 1usize;
+        for img in iter {
+            if img.shape() != shape.as_slice() {
+                return Err(NeuroError::ShapeMismatch {
+                    context: "predict_many expects identically shaped images",
+                    expected: shape.clone(),
+                    actual: img.shape().to_vec(),
+                });
+            }
+            data.extend_from_slice(img.as_slice());
+            count += 1;
+        }
+        let mut batch_shape = vec![count];
+        batch_shape.extend_from_slice(&shape);
+        self.predict(&Tensor::from_vec(batch_shape, data)?)
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +314,30 @@ mod tests {
         net.push(fc);
         let x = Tensor::from_vec(vec![2, 2], vec![3.0, 1.0, 0.0, 2.0]).unwrap();
         assert_eq!(net.predict(&x).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn predict_many_matches_per_item_prediction() {
+        let mut net = toy_net();
+        let images: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::full(vec![1, 2, 2], 0.1 + i as f32 * 0.3))
+            .collect();
+        let batched = net.predict_many(&images).unwrap();
+        assert_eq!(batched.len(), 5);
+        for (img, &expected) in images.iter().zip(&batched) {
+            let mut batch_shape = vec![1usize];
+            batch_shape.extend_from_slice(img.shape());
+            let single = Tensor::from_vec(batch_shape, img.as_slice().to_vec()).unwrap();
+            assert_eq!(net.predict(&single).unwrap(), vec![expected]);
+        }
+        // Empty input short-circuits.
+        assert!(net
+            .predict_many(std::iter::empty::<&Tensor>())
+            .unwrap()
+            .is_empty());
+        // Ragged shapes are rejected.
+        let ragged = vec![Tensor::zeros(vec![1, 2, 2]), Tensor::zeros(vec![1, 3, 3])];
+        assert!(net.predict_many(&ragged).is_err());
     }
 
     #[test]

@@ -962,6 +962,61 @@ mod tests {
     }
 
     #[test]
+    fn remap_restores_a_quarantined_weight() {
+        // The closed-loop response primitive: park an attacked ring, remap
+        // its parameter onto a spare, and the re-derived effective network
+        // reads the weight back cleanly.
+        let (_, _, config) = tiny_setup();
+        // A 12-weight layer on the 16-ring FC block: rings 12..16 are spare.
+        let mut net12 = Network::new();
+        net12.push(Flatten::new());
+        let mut fc = Linear::new(4, 3, 3).unwrap();
+        fc.params_mut()[0].value = Tensor::from_vec(
+            vec![3, 4],
+            (0..12).map(|i| (i as f32 + 1.0) / 16.0).collect(),
+        )
+        .unwrap();
+        net12.push(fc);
+        let mut mapping =
+            WeightMapping::new(&config, &[LayerSpec::new("fc", BlockKind::Fc, 12)]).unwrap();
+        let mut conditions = ConditionMap::new();
+        conditions.set(BlockKind::Fc, 5, MrCondition::Parked);
+        let attacked = corrupt_network(&net12, &mapping, &conditions, &config).unwrap();
+        let w_attacked: Vec<f32> = attacked
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        assert!(w_attacked[5].abs() < 1e-5, "attack did not land");
+        // Respond: quarantine ring 5 and remap its parameter to a spare.
+        let outcome = mapping.remap_params(BlockKind::Fc, &[5]).unwrap();
+        assert!(outcome.fully_placed());
+        let recovered = corrupt_network(&net12, &mapping, &conditions, &config).unwrap();
+        let w_rec: Vec<f32> = recovered
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        let clean = corrupt_network(&net12, &mapping, &ConditionMap::new(), &config).unwrap();
+        let w_clean: Vec<f32> = clean
+            .params()
+            .iter()
+            .filter(|p| p.decay)
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        // The remapped weight reads back its clean (quantized) value again.
+        assert!(
+            (w_rec[5] - w_clean[5]).abs() < 1e-6,
+            "remapped weight reads {} vs clean {}",
+            w_rec[5],
+            w_clean[5]
+        );
+        assert!(w_rec[5].abs() > 0.1, "weight still zeroed after remap");
+    }
+
+    #[test]
     fn reuse_rounds_inherit_corruption() {
         // 16 weights on an 8-MR FC block ⇒ 2 rounds; parking MR 2 corrupts
         // weights 2 and 10.

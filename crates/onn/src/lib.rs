@@ -67,6 +67,6 @@ pub use datapath::{OpticalVdp, RowTap};
 pub use error::OnnError;
 pub use executor::{corrupt_network, effective_weight_row, EffectiveWeightParams};
 pub use layout::BlockLayout;
-pub use mapping::{LayerSpec, MappedParam, WeightMapping};
+pub use mapping::{LayerSpec, MappedParam, RemapOutcome, WeightMapping};
 pub use power::{PowerBreakdown, PowerModel};
 pub use telemetry::{BankTelemetry, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe};

@@ -9,6 +9,8 @@
 //! corrupts `⌈used/C⌉` parameters of a large model but at most one
 //! parameter of a model that fits in a single round.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use crate::config::{AcceleratorConfig, BlockConfig, BlockKind};
 use crate::OnnError;
 
@@ -89,6 +91,39 @@ pub struct WeightMapping {
     layers: Vec<MappedLayer>,
     used_slots_conv: u64,
     used_slots_fc: u64,
+    /// Ring relocation table per block, stored as a symmetric involution:
+    /// pairing `(l, s)` inserts both `l → s` and `s → l`, meaning logical
+    /// ring `l`'s parameter slots are physically imprinted on ring `s`
+    /// while `s`'s (idle) slot range moves onto `l`. Empty = identity.
+    reloc_conv: BTreeMap<u64, u64>,
+    reloc_fc: BTreeMap<u64, u64>,
+    /// Rings taken out of service by [`WeightMapping::remap_params`]; never
+    /// offered as spare capacity again.
+    retired_conv: BTreeSet<u64>,
+    retired_fc: BTreeSet<u64>,
+}
+
+/// The result of one [`WeightMapping::remap_params`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemapOutcome {
+    /// `(quarantined ring, spare ring)` pairs whose parameter slots were
+    /// relocated, in ascending quarantined-ring order.
+    pub remapped: Vec<(u64, u64)>,
+    /// Quarantined rings that carry parameters but could not be relocated
+    /// because the spare pool ran dry — the caller's cue to fail the shard
+    /// over to a healthy accelerator.
+    pub unplaced: Vec<u64>,
+    /// Rings newly retired from service by this call (parameter-carrying or
+    /// not), ascending.
+    pub retired: Vec<u64>,
+}
+
+impl RemapOutcome {
+    /// Whether every parameter-carrying quarantined ring found a spare.
+    #[must_use]
+    pub fn fully_placed(&self) -> bool {
+        self.unplaced.is_empty()
+    }
 }
 
 impl WeightMapping {
@@ -129,6 +164,10 @@ impl WeightMapping {
             layers: mapped,
             used_slots_conv: used_conv,
             used_slots_fc: used_fc,
+            reloc_conv: BTreeMap::new(),
+            reloc_fc: BTreeMap::new(),
+            retired_conv: BTreeSet::new(),
+            retired_fc: BTreeSet::new(),
         })
     }
 
@@ -137,6 +176,153 @@ impl WeightMapping {
             BlockKind::Conv => &self.conv_shape,
             BlockKind::Fc => &self.fc_shape,
         }
+    }
+
+    fn reloc(&self, kind: BlockKind) -> &BTreeMap<u64, u64> {
+        match kind {
+            BlockKind::Conv => &self.reloc_conv,
+            BlockKind::Fc => &self.reloc_fc,
+        }
+    }
+
+    fn reloc_mut(&mut self, kind: BlockKind) -> &mut BTreeMap<u64, u64> {
+        match kind {
+            BlockKind::Conv => &mut self.reloc_conv,
+            BlockKind::Fc => &mut self.reloc_fc,
+        }
+    }
+
+    fn retired(&self, kind: BlockKind) -> &BTreeSet<u64> {
+        match kind {
+            BlockKind::Conv => &self.retired_conv,
+            BlockKind::Fc => &self.retired_fc,
+        }
+    }
+
+    /// Whether any ring of `kind`'s block has been relocated — lets hot
+    /// paths skip the per-ring indirection lookup on pristine mappings.
+    #[must_use]
+    pub fn has_remaps(&self, kind: BlockKind) -> bool {
+        !self.reloc(kind).is_empty()
+    }
+
+    /// Whether physical ring `ring` was retired from service by
+    /// [`WeightMapping::remap_params`].
+    #[must_use]
+    pub fn is_retired(&self, kind: BlockKind, ring: u64) -> bool {
+        self.retired(kind).contains(&ring)
+    }
+
+    /// The physical ring realizing logical ring `ring` of `kind`'s block
+    /// (identity until [`WeightMapping::remap_params`] relocates it).
+    ///
+    /// The relocation table is a symmetric involution (relocations swap a
+    /// parameter ring with a spare), so the same lookup also answers the
+    /// inverse question — which logical ring physical ring `ring` carries.
+    #[must_use]
+    pub fn physical_ring(&self, kind: BlockKind, ring: u64) -> u64 {
+        self.reloc(kind).get(&ring).copied().unwrap_or(ring)
+    }
+
+    /// The logical ring whose parameter slots physical ring `ring`
+    /// currently carries (the inverse of [`WeightMapping::physical_ring`];
+    /// identical lookup because relocations are pairwise swaps).
+    fn logical_ring(&self, kind: BlockKind, ring: u64) -> u64 {
+        self.physical_ring(kind, ring)
+    }
+
+    /// The physical rings of `kind`'s block currently carrying no parameter
+    /// in any reuse round and not retired — the spare capacity
+    /// [`WeightMapping::remap_params`] can relocate onto. Empty whenever the
+    /// block wraps into more than one reuse round (every ring then carries
+    /// a round-0 parameter).
+    #[must_use]
+    pub fn idle_slots(&self, kind: BlockKind) -> Vec<u64> {
+        let cap = self.shape(kind).total_mrs();
+        let used = self.used_slots(kind);
+        if used >= cap {
+            return Vec::new();
+        }
+        (used..cap)
+            .map(|l| self.physical_ring(kind, l))
+            .filter(|p| !self.retired(kind).contains(p))
+            .collect()
+    }
+
+    /// Retires the `quarantined` physical rings of `kind`'s block and
+    /// relocates every parameter slot they carry onto the block's spare
+    /// (idle, un-retired) rings, allocating spares from the top of the idle
+    /// region downward — away from the low-index idle rings where sentinel
+    /// plans place their probe weights.
+    ///
+    /// Quarantined rings that carry no parameters are simply retired.
+    /// Parameter-carrying rings the spare pool cannot absorb are reported
+    /// in [`RemapOutcome::unplaced`] with their placement left unchanged,
+    /// so the caller can fall back to failing the whole accelerator over.
+    /// Re-quarantining a spare that absorbed an earlier relocation chains
+    /// correctly: the displaced parameters move again to a fresh spare.
+    ///
+    /// After a remap, [`WeightMapping::locate`] reports physical homes
+    /// through the relocation, and [`WeightMapping::params_on_mr`] /
+    /// [`WeightMapping::param_at_slot`] answer for physical rings — the
+    /// executor and telemetry probe re-derive correctly from the same
+    /// mapping object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MrOutOfRange`] when a quarantined index exceeds
+    /// the block's capacity; the mapping is untouched in that case.
+    pub fn remap_params(
+        &mut self,
+        kind: BlockKind,
+        quarantined: &[u64],
+    ) -> Result<RemapOutcome, OnnError> {
+        let cap = self.shape(kind).total_mrs();
+        for &q in quarantined {
+            if q >= cap {
+                return Err(OnnError::MrOutOfRange {
+                    index: q,
+                    capacity: cap,
+                });
+            }
+        }
+        let used = self.used_slots(kind);
+        let qset: BTreeSet<u64> = quarantined.iter().copied().collect();
+        // Spares available to this call: idle, never retired, and not
+        // themselves in the incoming quarantine set.
+        let mut spares: Vec<u64> = self
+            .idle_slots(kind)
+            .into_iter()
+            .filter(|s| !qset.contains(s))
+            .collect();
+        let mut out = RemapOutcome::default();
+        for &q in &qset {
+            let newly_retired = match kind {
+                BlockKind::Conv => self.retired_conv.insert(q),
+                BlockKind::Fc => self.retired_fc.insert(q),
+            };
+            if newly_retired {
+                out.retired.push(q);
+            }
+            let l = self.logical_ring(kind, q);
+            if l >= used {
+                continue; // the ring carries nothing — retiring suffices
+            }
+            let Some(s) = spares.pop() else {
+                out.unplaced.push(q);
+                continue;
+            };
+            // Undo any existing pairing involving q before re-pairing l
+            // with the fresh spare (q keeps identity and, being retired
+            // with an idle logical range, carries nothing afterwards).
+            if let Some(partner) = self.reloc_mut(kind).remove(&q) {
+                self.reloc_mut(kind).remove(&partner);
+            }
+            self.reloc_mut(kind).insert(l, s);
+            self.reloc_mut(kind).insert(s, l);
+            out.remapped.push((q, s));
+        }
+        Ok(out)
     }
 
     /// Number of layers mapped.
@@ -178,7 +364,8 @@ impl WeightMapping {
     }
 
     /// Physical home of parameter `offset` within mapped layer
-    /// `layer_index`.
+    /// `layer_index`, after any relocations applied by
+    /// [`WeightMapping::remap_params`].
     ///
     /// # Errors
     ///
@@ -202,7 +389,7 @@ impl WeightMapping {
         let slot = layer.start_slot + offset as u64;
         let shape = self.shape(layer.spec.kind);
         let cap = shape.total_mrs();
-        let mr_index = slot % cap;
+        let mr_index = self.physical_ring(layer.spec.kind, slot % cap);
         let round = slot / cap;
         let per_bank = shape.mrs_per_bank() as u64;
         let vdp = (mr_index / per_bank) as usize;
@@ -217,9 +404,11 @@ impl WeightMapping {
         })
     }
 
-    /// All `(layer_index, offset)` parameter slots carried by MR
-    /// `mr_index` of `kind`'s block — the set an attack on that ring
-    /// corrupts.
+    /// All `(layer_index, offset)` parameter slots carried by *physical*
+    /// MR `mr_index` of `kind`'s block — the set an attack on that ring
+    /// corrupts. After [`WeightMapping::remap_params`], a retired ring
+    /// answers with an empty set (its parameters moved to a spare) and the
+    /// spare answers with the relocated parameters.
     ///
     /// # Errors
     ///
@@ -239,7 +428,7 @@ impl WeightMapping {
         }
         let mut hits = Vec::new();
         let used = self.used_slots(kind);
-        let mut slot = mr_index;
+        let mut slot = self.logical_ring(kind, mr_index);
         while slot < used {
             // Find the layer owning this slot (layers are sorted by start).
             if let Some((li, layer)) = self
@@ -260,11 +449,19 @@ impl WeightMapping {
         Ok(hits)
     }
 
-    /// The `(layer_index, offset)` of the parameter occupying linear slot
-    /// `slot` of `kind`'s block, or `None` when the slot is beyond the used
-    /// range (the ring is calibrated to zero in that round).
+    /// The `(layer_index, offset)` of the parameter occupying *physical*
+    /// linear slot `slot` (round × capacity + physical ring) of `kind`'s
+    /// block, or `None` when the slot carries nothing (idle round range, or
+    /// a ring whose parameters were relocated away by
+    /// [`WeightMapping::remap_params`]).
     #[must_use]
     pub fn param_at_slot(&self, kind: BlockKind, slot: u64) -> Option<(usize, usize)> {
+        let cap = self.shape(kind).total_mrs();
+        let slot = if self.has_remaps(kind) {
+            (slot / cap) * cap + self.logical_ring(kind, slot % cap)
+        } else {
+            slot
+        };
         if slot >= self.used_slots(kind) {
             return None;
         }
@@ -399,5 +596,125 @@ mod tests {
         let cfg = small_config();
         assert!(WeightMapping::new(&cfg, &[]).is_err());
         assert!(WeightMapping::new(&cfg, &[LayerSpec::new("bad", BlockKind::Conv, 0)]).is_err());
+    }
+
+    /// 30 FC weights on a 50-ring block: rings 30..50 are spare.
+    fn spare_mapping() -> WeightMapping {
+        WeightMapping::new(&small_config(), &layers()).unwrap()
+    }
+
+    #[test]
+    fn idle_slots_cover_the_unused_tail() {
+        let mapping = spare_mapping();
+        // CONV wraps (3 rounds) ⇒ no spare capacity at all.
+        assert!(mapping.idle_slots(BlockKind::Conv).is_empty());
+        assert_eq!(
+            mapping.idle_slots(BlockKind::Fc),
+            (30..50).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn remap_moves_params_to_spares_and_updates_queries() {
+        let mut mapping = spare_mapping();
+        // FC ring 7 carries fc1 offset 7 (single round).
+        let before = mapping.locate(2, 7).unwrap();
+        assert_eq!(before.mr_index, 7);
+        let outcome = mapping.remap_params(BlockKind::Fc, &[7]).unwrap();
+        assert!(outcome.fully_placed());
+        // Spares allocate from the top of the idle region downward.
+        assert_eq!(outcome.remapped, vec![(7, 49)]);
+        assert_eq!(outcome.retired, vec![7]);
+        // locate reports the physical home…
+        let after = mapping.locate(2, 7).unwrap();
+        assert_eq!(after.mr_index, 49);
+        assert_eq!(after.round, 0);
+        // …and the physical-ring queries agree: the retired ring carries
+        // nothing, the spare carries the relocated parameter.
+        assert!(mapping.params_on_mr(BlockKind::Fc, 7).unwrap().is_empty());
+        assert_eq!(
+            mapping.params_on_mr(BlockKind::Fc, 49).unwrap(),
+            vec![(2, 7)]
+        );
+        assert_eq!(mapping.param_at_slot(BlockKind::Fc, 49), Some((2, 7)));
+        assert_eq!(mapping.param_at_slot(BlockKind::Fc, 7), None);
+        // The consumed spare and the retired ring both left the idle pool.
+        let idle = mapping.idle_slots(BlockKind::Fc);
+        assert!(!idle.contains(&49));
+        assert!(!idle.contains(&7));
+        assert_eq!(idle.len(), 19);
+    }
+
+    #[test]
+    fn locate_and_params_on_mr_round_trip_after_remap() {
+        let mut mapping = spare_mapping();
+        mapping.remap_params(BlockKind::Fc, &[0, 3, 11]).unwrap();
+        for off in 0..30 {
+            let home = mapping.locate(2, off).unwrap();
+            let back = mapping.params_on_mr(BlockKind::Fc, home.mr_index).unwrap();
+            assert!(back.contains(&(2, off)), "offset {off} lost in remap");
+            let recomposed = mapping
+                .mr_index_of(home.block, home.vdp, home.row, home.col)
+                .unwrap();
+            assert_eq!(recomposed, home.mr_index);
+        }
+    }
+
+    #[test]
+    fn remap_exhaustion_reports_unplaced() {
+        let mut mapping = spare_mapping();
+        // 20 spares, quarantine 25 parameter-carrying rings.
+        let quarantined: Vec<u64> = (0..25).collect();
+        let outcome = mapping.remap_params(BlockKind::Fc, &quarantined).unwrap();
+        assert_eq!(outcome.remapped.len(), 20);
+        assert_eq!(outcome.unplaced.len(), 5);
+        assert!(!outcome.fully_placed());
+        assert!(mapping.idle_slots(BlockKind::Fc).is_empty());
+        // An unplaced ring still carries its parameter — it was not lost.
+        let q = outcome.unplaced[0];
+        assert!(!mapping.params_on_mr(BlockKind::Fc, q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_round_blocks_have_no_spares_to_remap_onto() {
+        let mut mapping = spare_mapping();
+        let outcome = mapping.remap_params(BlockKind::Conv, &[2]).unwrap();
+        assert_eq!(outcome.unplaced, vec![2]);
+        assert!(outcome.remapped.is_empty());
+    }
+
+    #[test]
+    fn requarantining_a_spare_chains_the_relocation() {
+        let mut mapping = spare_mapping();
+        let first = mapping.remap_params(BlockKind::Fc, &[5]).unwrap();
+        assert_eq!(first.remapped, vec![(5, 49)]);
+        // The spare that absorbed ring 5's parameter fails next.
+        let second = mapping.remap_params(BlockKind::Fc, &[49]).unwrap();
+        assert_eq!(second.remapped, vec![(49, 48)]);
+        let home = mapping.locate(2, 5).unwrap();
+        assert_eq!(home.mr_index, 48);
+        assert!(mapping.params_on_mr(BlockKind::Fc, 49).unwrap().is_empty());
+        assert!(mapping.params_on_mr(BlockKind::Fc, 5).unwrap().is_empty());
+        // Retired rings never return to the pool.
+        let idle = mapping.idle_slots(BlockKind::Fc);
+        assert!(!idle.contains(&49) && !idle.contains(&5) && !idle.contains(&48));
+    }
+
+    #[test]
+    fn quarantining_an_idle_ring_just_retires_it() {
+        let mut mapping = spare_mapping();
+        let outcome = mapping.remap_params(BlockKind::Fc, &[40]).unwrap();
+        assert!(outcome.remapped.is_empty());
+        assert!(outcome.unplaced.is_empty());
+        assert_eq!(outcome.retired, vec![40]);
+        assert!(!mapping.idle_slots(BlockKind::Fc).contains(&40));
+    }
+
+    #[test]
+    fn out_of_range_quarantine_is_rejected_atomically() {
+        let mut mapping = spare_mapping();
+        let before = mapping.clone();
+        assert!(mapping.remap_params(BlockKind::Fc, &[1, 50]).is_err());
+        assert_eq!(mapping, before);
     }
 }

@@ -284,6 +284,28 @@ impl SentinelPlan {
         }
     }
 
+    /// Builds a plan from explicit sentinel sites per block (sorted and
+    /// deduplicated here), probing each with magnitude `magnitude`.
+    ///
+    /// This is the constructor the serving runtime uses after a
+    /// quarantine/remap cycle: the idle region computed from
+    /// `used_slots` alone no longer tells the truth once spares absorb
+    /// relocated parameters, so the caller provisions sentinels from
+    /// [`WeightMapping::idle_slots`](crate::WeightMapping::idle_slots)
+    /// instead.
+    #[must_use]
+    pub fn on_sites(mut conv: Vec<u64>, mut fc: Vec<u64>, magnitude: f64) -> Self {
+        conv.sort_unstable();
+        conv.dedup();
+        fc.sort_unstable();
+        fc.dedup();
+        Self {
+            conv,
+            fc,
+            magnitude: magnitude.clamp(0.0, 1.0),
+        }
+    }
+
     /// The sentinel ring indices of `kind`'s block, ascending.
     #[must_use]
     pub fn sites(&self, kind: BlockKind) -> &[u64] {
@@ -420,9 +442,20 @@ impl TelemetryProbe {
             // physical ring consistent).
             let sentinel_sites = sentinels.sites(kind);
             let m_sentinel = p.quantize(sentinels.magnitude());
+            // After a quarantine/remap cycle the mapping relocates logical
+            // rings onto physical spares; the sweep below walks logical
+            // slots (so the monotone layer cursor keeps working) and
+            // attributes each response to the ring that physically drops
+            // the light. Pristine mappings skip the indirection entirely.
+            let remapped = mapping.has_remaps(kind);
             let mut cursor = 0usize;
             for slot in 0..rounds * cap {
-                let ring = slot % cap;
+                let logical = slot % cap;
+                let ring = if remapped {
+                    mapping.physical_ring(kind, logical)
+                } else {
+                    logical
+                };
                 let cond = conds[ring as usize];
                 let m = if slot < used {
                     while cursor + 1 < block_layers.len() && block_layers[cursor + 1].0 <= slot {
@@ -744,6 +777,77 @@ mod tests {
             ),
             Err(OnnError::MappingMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn on_sites_sorts_and_dedups_for_binary_search() {
+        let plan = SentinelPlan::on_sites(vec![9, 2, 2, 5], vec![], 1.4);
+        assert_eq!(plan.sites(BlockKind::Conv), &[2, 5, 9]);
+        assert!(plan.sites(BlockKind::Fc).is_empty());
+        assert_eq!(plan.magnitude(), 1.0); // clamped
+    }
+
+    #[test]
+    fn probe_follows_parameter_relocation() {
+        // Map 16 FC weights onto bank 0+1 of a 4-bank block (8 rings each):
+        // plenty of idle capacity in banks 2..4 to remap onto.
+        let mut net = Network::new();
+        net.push(Flatten::new());
+        let mut fc = Linear::new(4, 4, 3).unwrap();
+        fc.params_mut()[0].value = Tensor::from_vec(vec![4, 4], vec![0.8; 16]).unwrap();
+        net.push(fc);
+        let config = AcceleratorConfig::custom(
+            BlockConfig {
+                vdp_units: 1,
+                bank_rows: 2,
+                bank_cols: 4,
+            },
+            BlockConfig {
+                vdp_units: 4,
+                bank_rows: 2,
+                bank_cols: 4,
+            },
+        )
+        .unwrap();
+        let mut mapping =
+            WeightMapping::new(&config, &[LayerSpec::new("fc", BlockKind::Fc, 16)]).unwrap();
+        let sentinels = SentinelPlan::on_sites(Vec::new(), Vec::new(), 0.7);
+        let probe = |mapping: &WeightMapping, conditions: &ConditionMap| {
+            TelemetryProbe::new(
+                &net,
+                mapping,
+                conditions,
+                &config,
+                &sentinels,
+                TapConfig::default(),
+            )
+            .unwrap()
+        };
+        let before = probe(&mapping, &ConditionMap::new()).noiseless(0);
+        // Banks 0/1 carry the uniform 0.8 weights, banks 2/3 idle.
+        assert!(before.fc[0].drop_current > before.fc[3].drop_current + 0.1);
+        // Quarantine all of bank 0 (rings 0..8): parameters relocate onto
+        // the idle tail (bank 3 first), and the parked quarantined rings
+        // darken bank 0.
+        let quarantined: Vec<u64> = (0..8).collect();
+        let outcome = mapping.remap_params(BlockKind::Fc, &quarantined).unwrap();
+        assert!(outcome.fully_placed());
+        let mut conditions = ConditionMap::new();
+        for &q in &quarantined {
+            conditions.set(BlockKind::Fc, q, MrCondition::Parked);
+        }
+        let after = probe(&mapping, &conditions).noiseless(0);
+        // Bank 0 reads near the drop floor; the relocated weights light up
+        // the spare banks that absorbed them.
+        assert!(after.fc[0].drop_current < before.fc[3].drop_current + 0.05);
+        let spare_total: f64 = after.fc[2].drop_current + after.fc[3].drop_current;
+        let idle_total: f64 = before.fc[2].drop_current + before.fc[3].drop_current;
+        assert!(
+            spare_total > idle_total + 0.1,
+            "relocated weights invisible: {spare_total} vs {idle_total}"
+        );
+        // Bank 1 (untouched parameters) is bit-identical.
+        assert_eq!(after.fc[1], before.fc[1]);
     }
 
     #[test]

@@ -467,8 +467,12 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Folds one field into a stream key with full avalanche per field.
-pub(crate) fn fold(h: u64, field: u64) -> u64 {
+/// Folds one field into a stream key with full avalanche per field — the
+/// workspace's shared discipline for deriving independent RNG streams
+/// from scenario specs, trial indices and member salts (also used by the
+/// serving runtime, so noise streams never alias across subsystems).
+#[must_use]
+pub fn fold(h: u64, field: u64) -> u64 {
     mix64(h.rotate_left(25) ^ field.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 

@@ -64,6 +64,30 @@ impl GuardBandDetector {
         }
         worst
     }
+
+    /// Per-bank worst absolute z-scores of `frame` against the calibrated
+    /// guard bands, as `(block, bank, score)` triples in block/bank order.
+    ///
+    /// This is the localization primitive of the closed-loop serving
+    /// runtime: when the suite alarms, the banks whose excursion exceeds
+    /// the implication threshold are the ones the response policy
+    /// quarantines and remaps. Empty before calibration.
+    #[must_use]
+    pub fn bank_excursions(&self, frame: &TelemetryFrame) -> Vec<(BlockKind, usize, f64)> {
+        let mut out = Vec::with_capacity(self.conv.len() + self.fc.len());
+        for (kind, stats) in [(BlockKind::Conv, &self.conv), (BlockKind::Fc, &self.fc)] {
+            for (bank, bank_stats) in stats.iter().enumerate().take(frame.banks(kind).len()) {
+                let values = fields(frame, kind, bank);
+                let worst = values
+                    .iter()
+                    .zip(bank_stats)
+                    .map(|(value, stat)| stat.z(*value).abs())
+                    .fold(0.0f64, f64::max);
+                out.push((kind, bank, worst));
+            }
+        }
+        out
+    }
 }
 
 impl Detector for GuardBandDetector {
@@ -135,5 +159,28 @@ mod tests {
     fn empty_calibration_is_rejected() {
         let mut d = GuardBandDetector::default();
         assert!(d.calibrate(&[]).is_err());
+    }
+
+    #[test]
+    fn bank_excursions_localize_the_attacked_bank() {
+        use safelight_onn::BlockKind;
+        let mut d = GuardBandDetector::default();
+        assert!(d
+            .bank_excursions(&frames(&ConditionMap::new(), 1, 0)[0])
+            .is_empty());
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        // The fixture parks FC rings 0..3 — all in FC bank 0 (8 rings/bank).
+        let attacked = frames(&parked(3), 1, 7);
+        let excursions = d.bank_excursions(&attacked[0]);
+        // One entry per bank of both blocks (2 + 2 in the fixture).
+        assert_eq!(excursions.len(), 4);
+        let worst = excursions
+            .iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            .unwrap();
+        assert_eq!((worst.0, worst.1), (BlockKind::Fc, 0));
+        // The frame score is exactly the worst excursion.
+        let score = d.score(&attacked[0]);
+        assert_eq!(score, worst.2);
     }
 }

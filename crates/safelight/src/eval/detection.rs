@@ -191,17 +191,21 @@ fn cell_key(spec: &ScenarioSpec) -> CellKey {
 /// Per-run scores of every detector: `scores[detector][frame]`.
 type RunScores = Vec<Vec<f64>>;
 
-/// Plays one run of `frames` through fresh clones of the calibrated
-/// detectors: batches `0..onset` from `clean`, the rest from `attacked`.
+/// Plays one run of `frames` through an already-calibrated `suite`:
+/// batches `0..onset` from `clean`, the rest from `attacked`.
+///
+/// The suite is [`Detector::reset`] at the start of every run, so one
+/// calibrated clone serves an arbitrary number of runs without
+/// reallocation — the same reuse discipline the serving loop applies to
+/// its per-accelerator suites.
 fn play_run(
-    detectors: &[Box<dyn Detector>],
+    suite: &mut [Box<dyn Detector>],
     clean: &TelemetryProbe,
     attacked: Option<&TelemetryProbe>,
     opts: &DetectionOptions,
     run_seed: u64,
 ) -> RunScores {
-    let mut suite: Vec<Box<dyn Detector>> = detectors.iter().map(|d| d.clone_box()).collect();
-    for d in &mut suite {
+    for d in suite.iter_mut() {
         d.reset();
     }
     let mut scores = vec![Vec::with_capacity(opts.frames); suite.len()];
@@ -287,13 +291,25 @@ pub fn run_detection(
     }
     let names: Vec<String> = calibrated.iter().map(|d| d.name().to_string()).collect();
 
-    // Attack-free runs: the false-positive population.
+    // Attack-free runs: the false-positive population. Seeds are chunked so
+    // each worker task clones the calibrated suite once and replays it via
+    // `reset` across its runs; run results are independent of chunking
+    // because every run starts from a reset suite.
     let clean_seeds: Vec<u64> = (0..opts.clean_runs as u64)
         .map(|r| fold(fold(seed, 0xC1EA_4095), r))
         .collect();
-    let clean_scores: Vec<RunScores> = par_map(clean_seeds, threads, |run_seed| {
-        play_run(&calibrated, &clean_probe, None, opts, run_seed)
-    });
+    let chunk = clean_seeds.len().div_ceil(threads.max(1)).max(1);
+    let seed_chunks: Vec<Vec<u64>> = clean_seeds.chunks(chunk).map(<[u64]>::to_vec).collect();
+    let clean_scores: Vec<RunScores> = par_map(seed_chunks, threads, |chunk_seeds| {
+        let mut suite: Vec<Box<dyn Detector>> = calibrated.iter().map(|d| d.clone_box()).collect();
+        chunk_seeds
+            .into_iter()
+            .map(|run_seed| play_run(&mut suite, &clean_probe, None, opts, run_seed))
+            .collect::<Vec<RunScores>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     // Per detector: the max score of every clean run (full run length — a
     // false positive at any frame counts).
     let clean_max: Vec<Vec<f64>> = (0..calibrated.len())
@@ -325,10 +341,13 @@ pub fn run_detection(
             )
             .map_err(SafelightError::from)?;
             let spec_key = spec_stream_key(&entry.scenario);
+            // One suite clone serves every run of this scenario via reset.
+            let mut suite: Vec<Box<dyn Detector>> =
+                calibrated.iter().map(|d| d.clone_box()).collect();
             Ok((0..opts.attack_runs as u64)
                 .map(|run| {
                     let run_seed = fold(fold(seed, spec_key), run);
-                    play_run(&calibrated, &clean_probe, Some(&probe), opts, run_seed)
+                    play_run(&mut suite, &clean_probe, Some(&probe), opts, run_seed)
                 })
                 .collect())
         });

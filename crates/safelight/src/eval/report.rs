@@ -144,7 +144,12 @@ pub fn detection_summary_csv(report: &DetectionReport) -> String {
 }
 
 /// Escapes a string for a JSON literal.
-fn json_str(s: &str) -> String {
+///
+/// Public (alongside [`json_num`]) so every hand-rolled JSON emitter in
+/// the workspace — including the serving report in `safelight-serve` —
+/// shares one escaping discipline instead of drifting copies.
+#[must_use]
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -161,8 +166,9 @@ fn json_str(s: &str) -> String {
 }
 
 /// A JSON number literal (`null` for non-finite values, which JSON cannot
-/// represent).
-fn json_num(x: f64) -> String {
+/// represent). See [`json_str`] for why this is public.
+#[must_use]
+pub fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {

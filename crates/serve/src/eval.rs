@@ -1,0 +1,568 @@
+//! The serving evaluation: every attack scenario replayed as a request
+//! stream with mid-stream compromise onset, against the closed-loop
+//! runtime *and* a no-response baseline.
+//!
+//! Methodology:
+//!
+//! 1. the detector suite and localization guard are calibrated once on
+//!    attack-free telemetry of the accelerator profile; operating
+//!    thresholds come from attack-free replay runs at a target
+//!    false-positive rate (same discipline as `eval::detection`);
+//! 2. a fixed request stream is derived from the test set (request `i`
+//!    is test item `i mod len`), partitioned into micro-batches;
+//! 3. per scenario, the stream is served twice on a fresh fleet — once
+//!    with the response policy live, once with response disabled — with
+//!    the injected conditions landing on member 0 at the onset batch;
+//! 4. the report slices accuracy into pre-onset / degraded / recovered
+//!    phases around the policy's own events and records
+//!    detection-to-recovery latency in batches, the action taken and the
+//!    availability of trustworthy service.
+//!
+//! Every noise draw derives from `(seed, scenario spec, batch)`, so the
+//! report — and its CSV/JSON renderings — are bitwise independent of the
+//! worker-thread count.
+
+use safelight::attack::ScenarioSpec;
+use safelight::detect::{Detector, GuardBandDetector};
+use safelight::eval::{inject_all, InjectedScenario};
+use safelight::experiment::{workbench, ExperimentOptions, Fidelity, ModelWorkbench};
+use safelight::models::ModelKind;
+use safelight::SafelightError;
+use safelight_neuro::parallel::par_map;
+use safelight_neuro::{Dataset, Network};
+use safelight_onn::{
+    AcceleratorConfig, ConditionMap, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe,
+    WeightMapping,
+};
+
+use crate::runtime::{
+    fold, Compromise, Fleet, FleetMember, PolicyConfig, ResponseAction, StreamOutcome,
+};
+use crate::scheduler::Request;
+
+/// Tuning knobs of the serving evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingOptions {
+    /// Requests per micro-batch.
+    pub batch_size: usize,
+    /// Micro-batches in the request stream.
+    pub batches: usize,
+    /// Global batch index at which the compromise activates.
+    pub onset_batch: u64,
+    /// Fleet members serving the stream (member 0 is compromised).
+    pub fleet_size: usize,
+    /// Attack-free frames the detectors are calibrated on.
+    pub calibration_frames: usize,
+    /// Attack-free replay runs behind the operating thresholds.
+    pub clean_runs: usize,
+    /// Per-run false-positive-rate target of the thresholds.
+    pub fpr_target: f64,
+    /// Guard-band excursion (σ) that implicates a bank.
+    pub implicate_z: f64,
+    /// Frames synthesized to re-baseline detectors after a remap.
+    pub recalibration_frames: usize,
+    /// Consecutive unlocalized alarms before failing over anyway.
+    pub unlocalized_patience: usize,
+    /// Sensor tap configuration.
+    pub tap: TapConfig,
+    /// Sentinel rings provisioned per block.
+    pub sentinels_per_block: usize,
+    /// Probe magnitude imprinted on sentinel rings.
+    pub sentinel_magnitude: f64,
+}
+
+impl Default for ServingOptions {
+    fn default() -> Self {
+        Self {
+            batch_size: 16,
+            batches: 36,
+            onset_batch: 12,
+            fleet_size: 2,
+            calibration_frames: 48,
+            clean_runs: 32,
+            fpr_target: 0.05,
+            implicate_z: 6.0,
+            recalibration_frames: 32,
+            unlocalized_patience: 3,
+            tap: TapConfig::default(),
+            sentinels_per_block: 32,
+            sentinel_magnitude: 0.7,
+        }
+    }
+}
+
+impl ServingOptions {
+    /// The serving knobs matched to an experiment fidelity.
+    #[must_use]
+    pub fn for_fidelity(fidelity: Fidelity) -> Self {
+        match fidelity {
+            Fidelity::Quick => Self {
+                batch_size: 8,
+                batches: 24,
+                onset_batch: 8,
+                calibration_frames: 32,
+                clean_runs: 24,
+                ..Self::default()
+            },
+            Fidelity::Full => Self::default(),
+        }
+    }
+}
+
+/// The serving outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioServing {
+    /// The injected scenario.
+    pub scenario: ScenarioSpec,
+    /// Fraction of the targeted blocks' rings actually compromised.
+    pub effective_fraction: f64,
+    /// Accuracy over the pre-onset batches (clean fleet).
+    pub pre_onset_accuracy: f64,
+    /// Accuracy from onset until recovery (stream end when never
+    /// recovered).
+    pub degraded_accuracy: f64,
+    /// Accuracy over the post-recovery batches (`NaN` when the policy
+    /// never remediated or no post-recovery batch remained).
+    pub recovered_accuracy: f64,
+    /// No-response baseline accuracy over every post-onset batch.
+    pub baseline_post_accuracy: f64,
+    /// Batches from onset to the first alarm/action, inclusive (`NaN`
+    /// when nothing fired).
+    pub detection_latency_batches: f64,
+    /// Batches from onset until remediated service resumed (`NaN` when it
+    /// never did).
+    pub recovery_latency_batches: f64,
+    /// The remediation applied: `remap`, `failover`, `alarm` (unlocalized
+    /// alarms only) or `none`, joined by `+` when several fired.
+    pub action: String,
+    /// Parameter-carrying rings relocated onto spares.
+    pub remapped_rings: usize,
+    /// Parameter-carrying rings the spare pool could not absorb.
+    pub unplaced_rings: usize,
+    /// Fraction of requests served by trustworthy (never-compromised or
+    /// remediated) members.
+    pub availability: f64,
+}
+
+/// The full serving-evaluation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Detector names, in suite order.
+    pub detectors: Vec<String>,
+    /// Operating thresholds, aligned with `detectors`.
+    pub thresholds: Vec<f64>,
+    /// Accuracy of the clean fleet over the whole reference stream.
+    pub clean_accuracy: f64,
+    /// Stream shape: micro-batches served.
+    pub batches: usize,
+    /// Stream shape: requests per micro-batch.
+    pub batch_size: usize,
+    /// Fleet members.
+    pub fleet_size: usize,
+    /// Compromise onset batch.
+    pub onset_batch: u64,
+    /// One row per scenario, in input order.
+    pub rows: Vec<ScenarioServing>,
+}
+
+impl ServingReport {
+    /// The row of the scenario equal to `spec`.
+    #[must_use]
+    pub fn row(&self, spec: &ScenarioSpec) -> Option<&ScenarioServing> {
+        self.rows.iter().find(|r| &r.scenario == spec)
+    }
+}
+
+/// Calibrates per-detector operating thresholds: the k-th largest
+/// max-score over `clean_runs` attack-free replay runs of `frames` frames
+/// each, with k chosen so the per-run false-positive rate stays below
+/// `fpr_target` (the same rule `eval::detection` applies).
+///
+/// The suite is reused across runs via [`Detector::reset`] — no
+/// per-run reallocation.
+#[must_use]
+pub fn operating_thresholds(
+    probe: &TelemetryProbe,
+    suite: &mut [Box<dyn Detector>],
+    clean_runs: usize,
+    frames: usize,
+    fpr_target: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let clean_runs = clean_runs.max(1);
+    let mut maxima: Vec<Vec<f64>> = vec![Vec::with_capacity(clean_runs); suite.len()];
+    for run in 0..clean_runs as u64 {
+        for d in suite.iter_mut() {
+            d.reset();
+        }
+        let run_seed = fold(fold(seed, 0xC1EA_4095), run);
+        let mut run_max = vec![0.0f64; suite.len()];
+        for batch in 0..frames as u64 {
+            let frame = probe.frame(batch, run_seed);
+            for (d, m) in suite.iter_mut().zip(&mut run_max) {
+                *m = m.max(d.score(&frame));
+            }
+        }
+        for (per, m) in maxima.iter_mut().zip(run_max) {
+            per.push(m);
+        }
+    }
+    for d in suite.iter_mut() {
+        d.reset();
+    }
+    let k = ((fpr_target * clean_runs as f64).floor() as usize).clamp(1, clean_runs);
+    maxima
+        .into_iter()
+        .map(|mut per| {
+            per.sort_by(|a, b| b.partial_cmp(a).expect("scores are finite"));
+            per[k - 1]
+        })
+        .collect()
+}
+
+/// Builds the evaluation's fixed request stream from `data`: request `i`
+/// is test item `i % len`, for `batches × batch_size` requests.
+fn request_stream<D: Dataset + ?Sized>(
+    data: &D,
+    opts: &ServingOptions,
+) -> Result<Vec<Request>, SafelightError> {
+    let total = opts.batches * opts.batch_size;
+    let len = data.len();
+    let mut requests = Vec::with_capacity(total);
+    for i in 0..total {
+        let (input, label) = data.item(i % len)?;
+        requests.push(Request {
+            id: i as u64,
+            input,
+            label,
+        });
+    }
+    Ok(requests)
+}
+
+/// Everything the per-scenario fleets share: calibrated detector suite,
+/// localization guard and thresholds.
+struct CalibratedParts {
+    suite: Vec<Box<dyn Detector>>,
+    guard: GuardBandDetector,
+    thresholds: Vec<f64>,
+    names: Vec<String>,
+}
+
+fn calibrate(
+    network: &Network,
+    mapping: &WeightMapping,
+    config: &AcceleratorConfig,
+    detectors: &[Box<dyn Detector>],
+    opts: &ServingOptions,
+    seed: u64,
+) -> Result<CalibratedParts, SafelightError> {
+    let sentinels = SentinelPlan::new(
+        mapping,
+        config,
+        opts.sentinels_per_block,
+        opts.sentinel_magnitude,
+    );
+    let probe = TelemetryProbe::new(
+        network,
+        mapping,
+        &ConditionMap::new(),
+        config,
+        &sentinels,
+        opts.tap,
+    )
+    .map_err(SafelightError::from)?;
+    let cal_seed = fold(seed, 0xCA11_B8A7);
+    let frames: Vec<TelemetryFrame> = (0..opts.calibration_frames as u64)
+        .map(|b| probe.frame(b, cal_seed))
+        .collect();
+    let mut suite: Vec<Box<dyn Detector>> = detectors.iter().map(|d| d.clone_box()).collect();
+    for d in &mut suite {
+        d.calibrate(&frames)?;
+    }
+    let mut guard = GuardBandDetector::default();
+    guard.calibrate(&frames)?;
+    let thresholds = operating_thresholds(
+        &probe,
+        &mut suite,
+        opts.clean_runs,
+        opts.batches,
+        opts.fpr_target,
+        seed,
+    );
+    let names = suite.iter().map(|d| d.name().to_string()).collect();
+    Ok(CalibratedParts {
+        suite,
+        guard,
+        thresholds,
+        names,
+    })
+}
+
+fn build_fleet(
+    network: &Network,
+    mapping: &WeightMapping,
+    config: &AcceleratorConfig,
+    parts: &CalibratedParts,
+    opts: &ServingOptions,
+    respond: bool,
+) -> Result<Fleet, SafelightError> {
+    // Identical hardware: derive the executor/probe state once and clone
+    // it across the fleet (members differ only by id and noise salt).
+    let prototype = FleetMember::new(
+        0,
+        network,
+        mapping.clone(),
+        config.clone(),
+        opts.tap,
+        opts.sentinels_per_block,
+        opts.sentinel_magnitude,
+        parts.suite.iter().map(|d| d.clone_box()).collect(),
+        parts.guard.clone(),
+    )?;
+    let mut members: Vec<FleetMember> = (1..opts.fleet_size.max(1))
+        .map(|id| prototype.clone_as(id))
+        .collect();
+    members.insert(0, prototype);
+    let mut policy = if respond {
+        PolicyConfig::new(parts.thresholds.clone())
+    } else {
+        PolicyConfig::baseline(parts.thresholds.clone())
+    };
+    policy.implicate_z = opts.implicate_z;
+    policy.recalibration_frames = opts.recalibration_frames;
+    policy.unlocalized_patience = opts.unlocalized_patience;
+    Fleet::new(members, policy)
+}
+
+/// A stable stream key of a scenario spec (all fields avalanche-mixed).
+fn spec_stream_key(spec: &ScenarioSpec) -> u64 {
+    let mut h = fold(0x5E4E_5742_EA11, spec.trial);
+    h = fold(h, spec.fraction.to_bits());
+    for byte in spec.to_spec_string().bytes() {
+        h = fold(h, u64::from(byte));
+    }
+    h
+}
+
+/// Slices the stream outcome of one scenario into the report row.
+fn summarize(
+    entry: &InjectedScenario,
+    compromised_member: usize,
+    with_response: &StreamOutcome,
+    baseline: &StreamOutcome,
+    opts: &ServingOptions,
+) -> ScenarioServing {
+    let onset = opts.onset_batch;
+    let end = opts.batches as u64;
+    let mut detect_batch: Option<u64> = None;
+    let mut recovery_batch: Option<u64> = None;
+    let mut actions: Vec<&str> = Vec::new();
+    let mut remapped = 0usize;
+    let mut unplaced = 0usize;
+    // Only post-onset events *on the compromised member* describe the
+    // attack's detection/response — a pre-onset event, or a post-onset
+    // event on an uncompromised peer, is a calibrated-rate false positive
+    // and must not masquerade as detection or shift the phase boundaries.
+    for e in with_response
+        .events
+        .iter()
+        .filter(|e| e.batch >= onset && e.member == compromised_member)
+    {
+        if detect_batch.is_none() {
+            detect_batch = Some(e.batch);
+        }
+        let label = match e.action {
+            ResponseAction::Alarm => "alarm",
+            ResponseAction::Remap {
+                remapped_rings,
+                unplaced_rings,
+                ..
+            } => {
+                remapped += remapped_rings;
+                unplaced += unplaced_rings;
+                if recovery_batch.is_none() {
+                    recovery_batch = Some(e.batch + 1);
+                }
+                "remap"
+            }
+            ResponseAction::Failover => {
+                if recovery_batch.is_none() {
+                    recovery_batch = Some(e.batch + 1);
+                }
+                "failover"
+            }
+        };
+        if !actions.contains(&label) {
+            actions.push(label);
+        }
+    }
+    let degraded_end = recovery_batch.unwrap_or(end);
+    ScenarioServing {
+        scenario: entry.scenario.clone(),
+        effective_fraction: entry.effective_fraction,
+        pre_onset_accuracy: with_response.accuracy_in(0..onset),
+        degraded_accuracy: with_response.accuracy_in(onset..degraded_end),
+        recovered_accuracy: recovery_batch.map_or(f64::NAN, |r| with_response.accuracy_in(r..end)),
+        baseline_post_accuracy: baseline.accuracy_in(onset..end),
+        detection_latency_batches: detect_batch
+            .map_or(f64::NAN, |b| (b.saturating_sub(onset) + 1) as f64),
+        recovery_latency_batches: recovery_batch
+            .map_or(f64::NAN, |b| b.saturating_sub(onset) as f64),
+        action: if actions.is_empty() {
+            "none".into()
+        } else {
+            actions.join("+")
+        },
+        remapped_rings: remapped,
+        unplaced_rings: unplaced,
+        availability: with_response.availability(),
+    }
+}
+
+/// Runs the full serving evaluation: calibrates the detector suite,
+/// measures the clean fleet's reference accuracy, then replays every
+/// scenario of `scenarios` as a mid-stream compromise against both the
+/// closed-loop runtime and the no-response baseline.
+///
+/// Scenario work fans out over `threads` workers of the shared pool (the
+/// fleets' per-member batches fan out again underneath); results are
+/// ordered by the input scenario order and bitwise independent of
+/// `threads`.
+///
+/// # Errors
+///
+/// Rejects degenerate options (zero batches/batch size, onset beyond the
+/// stream) and propagates injection, derivation and forward-pass errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving<D: Dataset + Sync + ?Sized>(
+    network: &Network,
+    mapping: &WeightMapping,
+    config: &AcceleratorConfig,
+    data: &D,
+    scenarios: &[ScenarioSpec],
+    detectors: &[Box<dyn Detector>],
+    opts: &ServingOptions,
+    seed: u64,
+    threads: usize,
+) -> Result<ServingReport, SafelightError> {
+    if opts.batches == 0 || opts.batch_size == 0 || opts.onset_batch >= opts.batches as u64 {
+        return Err(SafelightError::InvalidParameter {
+            name: "batches/onset",
+            value: opts.batches as f64,
+        });
+    }
+    if opts.fleet_size == 0 {
+        return Err(SafelightError::InvalidParameter {
+            name: "fleet size",
+            value: 0.0,
+        });
+    }
+    let parts = calibrate(network, mapping, config, detectors, opts, seed)?;
+    let requests = request_stream(data, opts)?;
+
+    // Clean reference: the whole stream on an uncompromised fleet. The
+    // score-but-never-respond baseline policy keeps a calibrated-rate
+    // false alarm from remapping (or failing over) the reference fleet
+    // mid-measurement.
+    let clean_accuracy = {
+        let mut fleet = build_fleet(network, mapping, config, &parts, opts, false)?;
+        let out = fleet.serve_stream(
+            &requests,
+            opts.batch_size,
+            None,
+            fold(seed, 0xC1EA),
+            threads,
+        )?;
+        out.accuracy_in(0..opts.batches as u64)
+    };
+
+    let needs_salience = scenarios
+        .iter()
+        .any(|s| s.selection == safelight::attack::Selection::Targeted);
+    let salience = if needs_salience {
+        Some(safelight::attack::RingSalience::from_network(
+            network, mapping, config,
+        )?)
+    } else {
+        None
+    };
+    let injected = inject_all(config, scenarios, salience.as_ref(), seed, threads)?;
+    // The compromise always lands on member 0; summarize() filters the
+    // policy events down to that member so a false alarm on a healthy
+    // peer never masquerades as the attack's detection.
+    let compromise_member = 0usize;
+    let rows: Vec<Result<ScenarioServing, SafelightError>> = par_map(injected, threads, |entry| {
+        let stream_seed = fold(seed, spec_stream_key(&entry.scenario));
+        let compromise = Compromise {
+            member: compromise_member,
+            onset_batch: opts.onset_batch,
+            conditions: &entry.conditions,
+        };
+        let mut fleet = build_fleet(network, mapping, config, &parts, opts, true)?;
+        let with_response = fleet.serve_stream(
+            &requests,
+            opts.batch_size,
+            Some(compromise.clone()),
+            stream_seed,
+            threads,
+        )?;
+        let mut base_fleet = build_fleet(network, mapping, config, &parts, opts, false)?;
+        let baseline = base_fleet.serve_stream(
+            &requests,
+            opts.batch_size,
+            Some(compromise),
+            stream_seed,
+            threads,
+        )?;
+        Ok(summarize(
+            &entry,
+            compromise_member,
+            &with_response,
+            &baseline,
+            opts,
+        ))
+    });
+    let rows = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    Ok(ServingReport {
+        detectors: parts.names,
+        thresholds: parts.thresholds,
+        clean_accuracy,
+        batches: opts.batches,
+        batch_size: opts.batch_size,
+        fleet_size: opts.fleet_size,
+        onset_batch: opts.onset_batch,
+        rows,
+    })
+}
+
+/// Runs the serving experiment for `kind`: trains (or loads) the original
+/// model through the shared [`workbench`], builds the scenario grid
+/// implied by the options' vectors/selections (one trial per cell — the
+/// serving loop replays each scenario against a full stream already) and
+/// evaluates the closed-loop runtime over it.
+///
+/// # Errors
+///
+/// Propagates workbench and serving-evaluation errors.
+pub fn run_serving_experiment(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+) -> Result<(ModelWorkbench, ServingReport), SafelightError> {
+    let bench = workbench(kind, opts)?;
+    let scenarios = opts.fig7_grid(1);
+    let serving_opts = ServingOptions::for_fidelity(opts.fidelity);
+    let report = run_serving(
+        &bench.original,
+        &bench.mapping,
+        &bench.config,
+        &bench.data.test,
+        &scenarios,
+        &safelight::detect::default_detectors(),
+        &serving_opts,
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((bench, report))
+}

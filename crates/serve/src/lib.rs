@@ -1,0 +1,93 @@
+//! The secure inference-serving runtime: where SafeLight's offline
+//! detection results become a *running system*.
+//!
+//! PR 3's detection subsystem answers "was this accelerator compromised?"
+//! after the fact. A production deployment has to keep serving traffic
+//! while it answers — and then *do something* about a positive answer.
+//! This crate layers that runtime on top of the existing stack:
+//!
+//! * [`scheduler`] — micro-batching of an ordered request stream:
+//!   contiguous, order-preserving partitions dispatched to accelerators,
+//!   with per-request outcomes reassembled in arrival order regardless of
+//!   worker-thread count;
+//! * [`runtime`] — the accelerator fleet. Each [`FleetMember`] is a full
+//!   simulated accelerator (clean weights + [`WeightMapping`] +
+//!   [`ConditionMap`] + derived effective executor network +
+//!   [`TelemetryProbe`]) carrying its own calibrated detector suite. The
+//!   fleet serves one micro-batch per active member per tick on the shared
+//!   worker pool, scores every batch's telemetry frame inline, and runs
+//!   the closed-loop response policy:
+//!
+//!   ```text
+//!   alarm ──▶ implicate banks (guard-band excursions)
+//!         ──▶ quarantine rings, remap parameters onto idle spares
+//!               │ spares exhausted / nothing to localize
+//!               ▼
+//!             fail the shard over to a healthy fleet member
+//!   ```
+//!
+//!   after which the member re-derives its executor network and telemetry
+//!   probe from the remapped [`WeightMapping`] and re-baselines its
+//!   detectors on a short recalibration window;
+//! * [`eval`] — [`eval::run_serving`] plays the attack-scenario grid as
+//!   request streams with mid-stream compromise onset and reports
+//!   end-to-end accuracy per phase, detection/recovery latency in batches
+//!   and availability per scenario, byte-identical across worker-thread
+//!   counts;
+//! * [`report`] — CSV/JSON emitters for the serving evaluation, wired
+//!   into `repro --serve [--json]`.
+//!
+//! See `docs/serving.md` for the fleet model, the scheduler's determinism
+//! argument and the response-policy state machine.
+//!
+//! [`WeightMapping`]: safelight_onn::WeightMapping
+//! [`ConditionMap`]: safelight_onn::ConditionMap
+//! [`TelemetryProbe`]: safelight_onn::TelemetryProbe
+//! [`FleetMember`]: runtime::FleetMember
+//!
+//! # Example
+//!
+//! Serve a short request stream on a two-member fleet and watch the
+//! closed loop recover from a mid-stream actuation attack:
+//!
+//! ```no_run
+//! use safelight::models::{build_model, matched_accelerator, ModelKind};
+//! use safelight::prelude::*;
+//! use safelight_serve::eval::{run_serving, ServingOptions};
+//!
+//! # fn main() -> Result<(), SafelightError> {
+//! let bundle = build_model(ModelKind::Cnn1, 7)?;
+//! let config = matched_accelerator(ModelKind::Cnn1)?;
+//! let mapping = WeightMapping::new(&config, &bundle.layer_specs)?;
+//! let data = safelight_datasets::generate(
+//!     safelight::models::dataset_kind_for(ModelKind::Cnn1),
+//!     &safelight_datasets::SyntheticSpec::default(),
+//! )?;
+//! let scenarios = vec![ScenarioSpec::new(
+//!     VectorSpec::Actuation, AttackTarget::Both, 0.10, 0,
+//! )];
+//! let report = run_serving(
+//!     &bundle.network, &mapping, &config, &data.test, &scenarios,
+//!     &default_detectors(), &ServingOptions::default(), 11, 2,
+//! )?;
+//! println!("{}", safelight_serve::report::serving_csv(&report));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod report;
+pub mod runtime;
+pub mod scheduler;
+
+pub use eval::{
+    run_serving, run_serving_experiment, ScenarioServing, ServingOptions, ServingReport,
+};
+pub use runtime::{
+    Compromise, Fleet, FleetMember, MemberState, PolicyConfig, PolicyEvent, ResponseAction,
+    ServedBatch, StreamOutcome,
+};
+pub use scheduler::{partition, Request, RequestOutcome};

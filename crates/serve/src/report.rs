@@ -1,0 +1,202 @@
+//! CSV and JSON renderers for the serving evaluation, mirroring the
+//! style of `safelight::eval`'s figure emitters: `f64` values print
+//! through `Display` (exact round-trip), `NaN` renders as an empty CSV
+//! field and a JSON `null`, and row order equals scenario input order —
+//! so the artifacts are byte-identical across worker-thread counts.
+
+use safelight::eval::{json_num, json_str};
+
+use crate::eval::ServingReport;
+
+fn csv_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        String::new()
+    }
+}
+
+/// Renders a serving report as CSV: `# clean_accuracy`, stream-shape and
+/// `# threshold` header lines, then one
+/// `vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,availability`
+/// row per scenario.
+///
+/// # Example
+///
+/// ```
+/// use safelight_serve::eval::ServingReport;
+/// use safelight_serve::report::serving_csv;
+///
+/// let report = ServingReport {
+///     detectors: vec!["guard_band".into()],
+///     thresholds: vec![4.5],
+///     clean_accuracy: 0.97,
+///     batches: 24,
+///     batch_size: 8,
+///     fleet_size: 2,
+///     onset_batch: 8,
+///     rows: vec![],
+/// };
+/// assert!(serving_csv(&report).starts_with("# clean_accuracy,0.97"));
+/// ```
+#[must_use]
+pub fn serving_csv(report: &ServingReport) -> String {
+    let mut out = format!("# clean_accuracy,{}\n", report.clean_accuracy);
+    out.push_str(&format!(
+        "# stream,batches,{},batch_size,{},fleet,{},onset,{}\n",
+        report.batches, report.batch_size, report.fleet_size, report.onset_batch
+    ));
+    for (name, threshold) in report.detectors.iter().zip(&report.thresholds) {
+        out.push_str(&format!("# threshold,{name},{threshold}\n"));
+    }
+    out.push_str(
+        "vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,\
+         recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,\
+         availability\n",
+    );
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.scenario.vector_label(),
+            r.scenario.selection,
+            r.scenario.target,
+            r.scenario.fraction,
+            r.scenario.trial,
+            r.effective_fraction,
+            csv_num(r.pre_onset_accuracy),
+            csv_num(r.degraded_accuracy),
+            csv_num(r.recovered_accuracy),
+            csv_num(r.baseline_post_accuracy),
+            csv_num(r.detection_latency_batches),
+            csv_num(r.recovery_latency_batches),
+            r.action,
+            r.remapped_rings,
+            r.unplaced_rings,
+            csv_num(r.availability),
+        ));
+    }
+    out
+}
+
+/// Renders a serving report as a JSON object mirroring
+/// [`serving_csv`]'s columns, with an `operating` array of
+/// detector/threshold pairs.
+#[must_use]
+pub fn serving_json(report: &ServingReport) -> String {
+    let operating: Vec<String> = report
+        .detectors
+        .iter()
+        .zip(&report.thresholds)
+        .map(|(name, threshold)| {
+            format!(
+                "{{\"detector\":{},\"threshold\":{}}}",
+                json_str(name),
+                json_num(*threshold)
+            )
+        })
+        .collect();
+    let rows: Vec<String> = report
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"vector\":{},\"selection\":{},\"target\":{},\"fraction\":{},\
+                 \"trial\":{},\"effective_fraction\":{},\"pre_onset\":{},\"degraded\":{},\
+                 \"recovered\":{},\"baseline_post\":{},\"detect_latency\":{},\
+                 \"recovery_latency\":{},\"action\":{},\"remapped\":{},\"unplaced\":{},\
+                 \"availability\":{}}}",
+                json_str(&r.scenario.vector_label()),
+                json_str(r.scenario.selection.label()),
+                json_str(&r.scenario.target.to_string()),
+                json_num(r.scenario.fraction),
+                r.scenario.trial,
+                json_num(r.effective_fraction),
+                json_num(r.pre_onset_accuracy),
+                json_num(r.degraded_accuracy),
+                json_num(r.recovered_accuracy),
+                json_num(r.baseline_post_accuracy),
+                json_num(r.detection_latency_batches),
+                json_num(r.recovery_latency_batches),
+                json_str(&r.action),
+                r.remapped_rings,
+                r.unplaced_rings,
+                json_num(r.availability),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"clean_accuracy\":{},\"batches\":{},\"batch_size\":{},\"fleet_size\":{},\
+         \"onset_batch\":{},\"operating\":[{}],\"rows\":[{}]}}",
+        json_num(report.clean_accuracy),
+        report.batches,
+        report.batch_size,
+        report.fleet_size,
+        report.onset_batch,
+        operating.join(","),
+        rows.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ScenarioServing;
+    use safelight::attack::{AttackTarget, ScenarioSpec, VectorSpec};
+
+    fn tiny_report() -> ServingReport {
+        ServingReport {
+            detectors: vec!["guard_band".into(), "ewma_cusum".into()],
+            thresholds: vec![4.5, 2.25],
+            clean_accuracy: 0.96,
+            batches: 24,
+            batch_size: 8,
+            fleet_size: 2,
+            onset_batch: 8,
+            rows: vec![ScenarioServing {
+                scenario: ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.1, 0),
+                effective_fraction: 0.1,
+                pre_onset_accuracy: 0.96,
+                degraded_accuracy: 0.7,
+                recovered_accuracy: 0.95,
+                baseline_post_accuracy: 0.72,
+                detection_latency_batches: 1.0,
+                recovery_latency_batches: 2.0,
+                action: "remap".into(),
+                remapped_rings: 120,
+                unplaced_rings: 0,
+                availability: 0.9,
+            }],
+        }
+    }
+
+    #[test]
+    fn csv_renders_headers_and_rows() {
+        let csv = serving_csv(&tiny_report());
+        assert!(csv.starts_with("# clean_accuracy,0.96\n"));
+        assert!(csv.contains("# stream,batches,24,batch_size,8,fleet,2,onset,8"));
+        assert!(csv.contains("# threshold,guard_band,4.5"));
+        assert!(csv.contains(
+            "actuation,uniform,CONV+FC,0.1,0,0.1,0.96,0.7,0.95,0.72,1,2,remap,120,0,0.9"
+        ));
+    }
+
+    #[test]
+    fn csv_renders_nan_as_empty_field() {
+        let mut report = tiny_report();
+        report.rows[0].recovered_accuracy = f64::NAN;
+        report.rows[0].recovery_latency_batches = f64::NAN;
+        let csv = serving_csv(&report);
+        assert!(csv.contains("0.7,,0.72,1,,remap"), "{csv}");
+    }
+
+    #[test]
+    fn json_mirrors_csv_with_nulls() {
+        let mut report = tiny_report();
+        report.rows[0].recovered_accuracy = f64::NAN;
+        let json = serving_json(&report);
+        assert!(json.starts_with("{\"clean_accuracy\":0.96"));
+        assert!(json.contains("\"recovered\":null"));
+        assert!(json.contains("\"detector\":\"guard_band\",\"threshold\":4.5"));
+        assert!(json.contains("\"action\":\"remap\""));
+    }
+}

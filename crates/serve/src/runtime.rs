@@ -1,0 +1,1194 @@
+//! The accelerator fleet and its closed-loop response policy.
+//!
+//! A [`FleetMember`] is one simulated accelerator: the clean trained
+//! weights, a [`WeightMapping`] (which learns relocations as the closed
+//! loop remaps), the ground-truth fault [`ConditionMap`], the derived
+//! *effective* executor network, the analytic [`TelemetryProbe`], and a
+//! calibrated detector suite of its own. A [`Fleet`] serves an ordered
+//! request stream one micro-batch per active member per tick, fanning the
+//! per-member work over the shared worker pool.
+//!
+//! # Response-policy state machine
+//!
+//! Per member and batch, the inline detectors score the batch's telemetry
+//! frame against the operating thresholds. On an alarm:
+//!
+//! 1. **Implicate** — the guard-band detector's per-bank excursions
+//!    localize the compromise to the banks whose worst z-score exceeds
+//!    [`PolicyConfig::implicate_z`].
+//! 2. **Quarantine + remap** — every ring of the implicated banks is
+//!    retired and its parameters relocated onto the mapping's idle spare
+//!    rings ([`WeightMapping::remap_params`]); the quarantined rings are
+//!    parked by an operator overlay so they stop contributing corrupted
+//!    responses, and the member re-derives its executor network, telemetry
+//!    probe and sentinel plan from the remapped state.
+//! 3. **Failover** — when the spare pool cannot absorb the quarantined
+//!    parameters (or the alarm persists without localizing), the shard
+//!    fails over: the member leaves the routing set and its traffic
+//!    redistributes to the healthy members.
+//! 4. **Re-baseline** — after a remap the member recalibrates its
+//!    detectors against the expected post-remediation sensor signature
+//!    (the operator knows the remap it just performed), restoring the
+//!    calibrated false-positive rate instead of re-alarming forever on
+//!    its own repair.
+//!
+//! Every decision derives from detector scores and deterministic seeds,
+//! so a served stream is byte-identical across worker-thread counts.
+
+use std::ops::Range;
+
+use safelight::detect::{Detector, GuardBandDetector};
+use safelight::SafelightError;
+use safelight_neuro::parallel::par_map;
+use safelight_neuro::Network;
+use safelight_onn::{
+    corrupt_network, AcceleratorConfig, BlockKind, ConditionMap, MrCondition, SentinelPlan,
+    TapConfig, TelemetryFrame, TelemetryProbe, WeightMapping,
+};
+
+use crate::scheduler::{partition, Request, RequestOutcome};
+
+/// The workspace's shared stream-key fold (full avalanche per field),
+/// used here to derive independent noise streams for members,
+/// recalibration windows and scenario replays.
+pub(crate) use safelight::attack::fold;
+
+/// Knobs of the closed-loop response policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyConfig {
+    /// Per-detector alarm thresholds, aligned with the member suites'
+    /// detector order (calibrated so the per-run false-positive rate stays
+    /// below a target; see [`crate::eval::operating_thresholds`]).
+    pub thresholds: Vec<f64>,
+    /// Guard-band excursion (in σ) above which a bank is implicated and
+    /// quarantined.
+    pub implicate_z: f64,
+    /// Frames synthesized from the post-remediation probe to re-baseline
+    /// the detectors after a remap.
+    pub recalibration_frames: usize,
+    /// Consecutive unlocalized alarms tolerated before the member fails
+    /// over anyway (a persistent alarm the guard bands cannot pin down).
+    pub unlocalized_patience: usize,
+    /// Whether the response policy acts on alarms at all (`false` = the
+    /// no-response baseline: detection still scores, nothing reacts).
+    pub respond: bool,
+    /// Whether telemetry frames are emitted and scored inline at all
+    /// (`false` strips the detection path entirely — the steady-state
+    /// baseline the overhead benchmark compares against).
+    pub inline_detection: bool,
+}
+
+impl PolicyConfig {
+    /// A responding policy with the given operating thresholds and default
+    /// knobs.
+    #[must_use]
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        Self {
+            thresholds,
+            implicate_z: 6.0,
+            recalibration_frames: 32,
+            unlocalized_patience: 3,
+            respond: true,
+            inline_detection: true,
+        }
+    }
+
+    /// The no-response baseline: scores frames, never acts.
+    #[must_use]
+    pub fn baseline(thresholds: Vec<f64>) -> Self {
+        Self {
+            respond: false,
+            ..Self::new(thresholds)
+        }
+    }
+
+    /// Serving without any inline detection (bench baseline).
+    #[must_use]
+    pub fn without_detection() -> Self {
+        Self {
+            inline_detection: false,
+            ..Self::baseline(Vec::new())
+        }
+    }
+}
+
+/// Routing state of one fleet member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// In the routing set, serving traffic.
+    Healthy,
+    /// Failed over: out of the routing set for good.
+    Failed,
+}
+
+/// What the policy did in response to one alarm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseAction {
+    /// An alarm the guard bands could not localize; no action taken yet.
+    Alarm,
+    /// Banks were quarantined and their parameters remapped onto spares.
+    Remap {
+        /// Banks quarantined (across both blocks).
+        quarantined_banks: usize,
+        /// Parameter-carrying rings successfully relocated.
+        remapped_rings: usize,
+        /// Parameter-carrying rings the spare pool could not absorb
+        /// (non-zero only when no healthy peer was left to fail over to —
+        /// their parameters are parked to zero instead of serving
+        /// corrupted values).
+        unplaced_rings: usize,
+    },
+    /// The member left the routing set; traffic redistributed to healthy
+    /// peers.
+    Failover,
+}
+
+/// One policy decision, stamped with when and where it happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEvent {
+    /// Global micro-batch index of the alarming frame.
+    pub batch: u64,
+    /// Member the event concerns.
+    pub member: usize,
+    /// The worst suite score at the alarm.
+    pub score: f64,
+    /// What the policy did.
+    pub action: ResponseAction,
+}
+
+/// The per-batch result a member hands back to the fleet loop.
+#[derive(Debug, Clone)]
+pub struct ServedBatch {
+    /// Member that served the batch.
+    pub member: usize,
+    /// Global micro-batch index.
+    pub batch: u64,
+    /// Per-request class predictions, in request order.
+    pub predictions: Vec<usize>,
+    /// Per-detector scores of the batch's telemetry frame (empty when
+    /// inline detection is off or the member is a fresh alarm cooldown).
+    pub scores: Vec<f64>,
+    /// Whether any score crossed its operating threshold.
+    pub alarmed: bool,
+    /// The telemetry frame (kept for bank implication), when detection ran.
+    pub frame: Option<TelemetryFrame>,
+    /// Ground truth: the member was compromised and not yet remediated.
+    pub degraded: bool,
+}
+
+/// One simulated accelerator of the serving fleet.
+pub struct FleetMember {
+    id: usize,
+    config: AcceleratorConfig,
+    mapping: WeightMapping,
+    clean: Network,
+    /// Injected trojan state (ground truth).
+    attack: ConditionMap,
+    /// Operator overlay: quarantined rings parked out of the datapath.
+    overlay: ConditionMap,
+    /// The derived effective executor network.
+    effective: Network,
+    probe: TelemetryProbe,
+    sentinels: SentinelPlan,
+    sentinel_magnitude: f64,
+    tap: TapConfig,
+    suite: Vec<Box<dyn Detector>>,
+    guard: GuardBandDetector,
+    state: MemberState,
+    frames_emitted: u64,
+    noise_salt: u64,
+    unlocalized_alarms: usize,
+    compromised: bool,
+    remediated: bool,
+    remediations: usize,
+}
+
+impl std::fmt::Debug for FleetMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetMember")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("compromised", &self.compromised)
+            .field("remediated", &self.remediated)
+            .field("remediations", &self.remediations)
+            .field("frames_emitted", &self.frames_emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetMember {
+    /// Builds a member from the clean trained `network`, deriving the
+    /// effective executor network, sentinel plan and telemetry probe.
+    ///
+    /// `suite` and `guard` must already be calibrated on attack-free
+    /// telemetry of this accelerator profile; the member takes ownership
+    /// and [`Detector::reset`]s them so one calibration pass serves any
+    /// number of members and streams without re-fitting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/derivation errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        network: &Network,
+        mapping: WeightMapping,
+        config: AcceleratorConfig,
+        tap: TapConfig,
+        sentinels_per_block: usize,
+        sentinel_magnitude: f64,
+        mut suite: Vec<Box<dyn Detector>>,
+        guard: GuardBandDetector,
+    ) -> Result<Self, SafelightError> {
+        let sentinels =
+            SentinelPlan::new(&mapping, &config, sentinels_per_block, sentinel_magnitude);
+        let effective = corrupt_network(network, &mapping, &ConditionMap::new(), &config)?;
+        let probe = TelemetryProbe::new(
+            network,
+            &mapping,
+            &ConditionMap::new(),
+            &config,
+            &sentinels,
+            tap,
+        )
+        .map_err(SafelightError::from)?;
+        for d in &mut suite {
+            d.reset();
+        }
+        Ok(Self {
+            id,
+            config,
+            mapping,
+            clean: network.clone(),
+            attack: ConditionMap::new(),
+            overlay: ConditionMap::new(),
+            effective,
+            probe,
+            sentinels,
+            sentinel_magnitude,
+            tap,
+            suite,
+            guard,
+            state: MemberState::Healthy,
+            frames_emitted: 0,
+            noise_salt: fold(0x0005_E4EF_1EE7, id as u64),
+            unlocalized_alarms: 0,
+            compromised: false,
+            remediated: false,
+            remediations: 0,
+        })
+    }
+
+    /// Clones this member as fleet index `id`: identical derived state
+    /// (effective network, probe, sentinels, calibrated detectors) with
+    /// its own noise stream. Building one prototype and cloning it for
+    /// the rest of an identical-hardware fleet skips the redundant
+    /// executor/probe derivations — the members differ only by id and
+    /// noise salt.
+    #[must_use]
+    pub fn clone_as(&self, id: usize) -> Self {
+        Self {
+            id,
+            config: self.config.clone(),
+            mapping: self.mapping.clone(),
+            clean: self.clean.clone(),
+            attack: self.attack.clone(),
+            overlay: self.overlay.clone(),
+            effective: self.effective.clone(),
+            probe: self.probe.clone(),
+            sentinels: self.sentinels.clone(),
+            sentinel_magnitude: self.sentinel_magnitude,
+            tap: self.tap,
+            suite: self.suite.clone(),
+            guard: self.guard.clone(),
+            state: self.state,
+            frames_emitted: self.frames_emitted,
+            noise_salt: fold(0x0005_E4EF_1EE7, id as u64),
+            unlocalized_alarms: self.unlocalized_alarms,
+            compromised: self.compromised,
+            remediated: self.remediated,
+            remediations: self.remediations,
+        }
+    }
+
+    /// The member's fleet index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current routing state.
+    #[must_use]
+    pub fn state(&self) -> MemberState {
+        self.state
+    }
+
+    /// Whether the member is in the routing set.
+    #[must_use]
+    pub fn serves(&self) -> bool {
+        self.state == MemberState::Healthy
+    }
+
+    /// Ground truth: compromised with no remediation applied yet. A
+    /// remediation clears this even when it only covered the implicated
+    /// banks — residual corruption on unimplicated rings is reported
+    /// through the post-recovery *accuracy* (measured against labels),
+    /// not through this flag.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.compromised && !self.remediated
+    }
+
+    /// Remediations (remaps) the member has performed.
+    #[must_use]
+    pub fn remediations(&self) -> usize {
+        self.remediations
+    }
+
+    /// Shared view of the member's (possibly remapped) mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &WeightMapping {
+        &self.mapping
+    }
+
+    /// The member's current sentinel plan.
+    #[must_use]
+    pub fn sentinels(&self) -> &SentinelPlan {
+        &self.sentinels
+    }
+
+    /// Re-derives the effective executor network, sentinel plan and
+    /// telemetry probe from the current mapping and fault state.
+    ///
+    /// The sentinel plan keeps its existing sites (the probe weights are
+    /// physically imprinted — they don't move when other rings do) minus
+    /// any site the closed loop retired or consumed as a relocation spare.
+    /// Rebuilding from `idle_slots` instead would silently drop every
+    /// sentinel of a multi-round block (whose final-round idle rings are
+    /// never *fully* idle), shifting the telemetry signature at
+    /// re-derivation time and tripping the guard bands on healthy banks.
+    fn rederive(&mut self) -> Result<(), SafelightError> {
+        let mut conditions = self.attack.clone();
+        conditions.stack_map(&self.overlay);
+        let surviving_sites = |kind: BlockKind| -> Vec<u64> {
+            self.sentinels
+                .sites(kind)
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    !self.mapping.is_retired(kind, s) && self.mapping.physical_ring(kind, s) == s
+                })
+                .collect()
+        };
+        self.sentinels = SentinelPlan::on_sites(
+            surviving_sites(BlockKind::Conv),
+            surviving_sites(BlockKind::Fc),
+            self.sentinel_magnitude,
+        );
+        self.effective = corrupt_network(&self.clean, &self.mapping, &conditions, &self.config)?;
+        self.probe = TelemetryProbe::new(
+            &self.clean,
+            &self.mapping,
+            &conditions,
+            &self.config,
+            &self.sentinels,
+            self.tap,
+        )
+        .map_err(SafelightError::from)?;
+        Ok(())
+    }
+
+    /// Injects (stacks) trojan `conditions` into the member mid-stream and
+    /// re-derives its executor and telemetry state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates derivation errors.
+    pub fn apply_compromise(&mut self, conditions: &ConditionMap) -> Result<(), SafelightError> {
+        self.attack.stack_map(conditions);
+        self.compromised = true;
+        self.remediated = false;
+        self.rederive()
+    }
+
+    /// Serves one micro-batch: a single batched forward pass through the
+    /// effective network, plus (when enabled) one telemetry frame scored
+    /// by the member's detector suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn serve_batch(
+        &mut self,
+        requests: &[Request],
+        batch: u64,
+        stream_seed: u64,
+        policy: &PolicyConfig,
+    ) -> Result<ServedBatch, SafelightError> {
+        let predictions = self
+            .effective
+            .predict_many(requests.iter().map(|r| &r.input))?;
+        let degraded = self.is_degraded();
+        let (scores, alarmed, frame) = if policy.inline_detection {
+            let frame = self
+                .probe
+                .frame(self.frames_emitted, fold(stream_seed, self.noise_salt));
+            self.frames_emitted += 1;
+            let scores: Vec<f64> = self.suite.iter_mut().map(|d| d.score(&frame)).collect();
+            let alarmed = scores.iter().zip(&policy.thresholds).any(|(s, t)| s > t);
+            (scores, alarmed, Some(frame))
+        } else {
+            (Vec::new(), false, None)
+        };
+        Ok(ServedBatch {
+            member: self.id,
+            batch,
+            predictions,
+            scores,
+            alarmed,
+            frame,
+            degraded,
+        })
+    }
+
+    /// Re-baselines the detector suite and localization guard against the
+    /// member's *current* (post-remediation) telemetry signature: the
+    /// operator knows the remap it just performed, so the expected sensor
+    /// means are the remediated probe's, not the factory calibration's.
+    fn recalibrate(&mut self, stream_seed: u64, frames: usize) -> Result<(), SafelightError> {
+        let seed = fold(
+            fold(stream_seed, self.noise_salt),
+            0xCA11_B8A7 ^ self.remediations as u64,
+        );
+        // Frame indices far above any serving stream keep the synthesized
+        // calibration noise disjoint from scored frames.
+        let base = 1u64 << 48;
+        let synth: Vec<TelemetryFrame> = (0..frames.max(1) as u64)
+            .map(|i| self.probe.frame(base + i, seed))
+            .collect();
+        for d in &mut self.suite {
+            d.calibrate(&synth)?;
+            d.reset();
+        }
+        self.guard.calibrate(&synth)?;
+        Ok(())
+    }
+
+    /// Quarantines every ring of the implicated `banks`, remaps the
+    /// parameters they carry onto spare rings, parks the quarantined rings
+    /// via the operator overlay, re-derives the executor/probe state and
+    /// re-baselines the detectors.
+    ///
+    /// Returns the applied action. `allow_partial` permits applying a
+    /// remap whose spare pool ran dry (last-member graceful degradation);
+    /// otherwise the caller is expected to fail the member over and the
+    /// mapping mutation is irrelevant because the member leaves service.
+    fn quarantine_and_remap(
+        &mut self,
+        banks: &[(BlockKind, usize)],
+        stream_seed: u64,
+        policy: &PolicyConfig,
+        allow_partial: bool,
+    ) -> Result<Option<ResponseAction>, SafelightError> {
+        let mut remapped = 0usize;
+        let mut unplaced = 0usize;
+        let mut quarantined: Vec<(BlockKind, u64)> = Vec::new();
+        for kind in [BlockKind::Conv, BlockKind::Fc] {
+            let per_bank = self.config.block(kind).mrs_per_bank() as u64;
+            let rings: Vec<u64> = banks
+                .iter()
+                .filter(|(k, _)| *k == kind)
+                .flat_map(|&(_, bank)| {
+                    let base = bank as u64 * per_bank;
+                    base..base + per_bank
+                })
+                .collect();
+            if rings.is_empty() {
+                continue;
+            }
+            let outcome = self.mapping.remap_params(kind, &rings)?;
+            remapped += outcome.remapped.len();
+            unplaced += outcome.unplaced.len();
+            quarantined.extend(rings.into_iter().map(|r| (kind, r)));
+        }
+        if unplaced > 0 && !allow_partial {
+            return Ok(None);
+        }
+        for (kind, ring) in quarantined {
+            self.overlay.stack(kind, ring, MrCondition::Parked);
+        }
+        self.remediated = true;
+        self.remediations += 1;
+        self.unlocalized_alarms = 0;
+        self.rederive()?;
+        self.recalibrate(stream_seed, policy.recalibration_frames)?;
+        Ok(Some(ResponseAction::Remap {
+            quarantined_banks: banks.len(),
+            remapped_rings: remapped,
+            unplaced_rings: unplaced,
+        }))
+    }
+}
+
+/// A mid-stream compromise: trojan conditions landing on one member at a
+/// given global batch index.
+#[derive(Debug, Clone)]
+pub struct Compromise<'a> {
+    /// Which member is compromised.
+    pub member: usize,
+    /// Global micro-batch index at which the trojan activates.
+    pub onset_batch: u64,
+    /// The injected fault conditions.
+    pub conditions: &'a ConditionMap,
+}
+
+/// Everything a served stream produced.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Per-request outcomes, in arrival order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Policy events, in decision order.
+    pub events: Vec<PolicyEvent>,
+    /// Requests left unserved because the routing set emptied out.
+    pub unserved: usize,
+}
+
+impl StreamOutcome {
+    /// Classification accuracy over the outcomes whose global batch index
+    /// lies in `batches`, or `NaN` when the range holds no requests.
+    #[must_use]
+    pub fn accuracy_in(&self, batches: Range<u64>) -> f64 {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for o in &self.outcomes {
+            if batches.contains(&o.batch) {
+                total += 1;
+                correct += usize::from(o.prediction == o.label);
+            }
+        }
+        if total == 0 {
+            f64::NAN
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Fraction of all requests (served and unserved) answered by a member
+    /// that was not compromised-and-unremediated at the time. Remediation
+    /// is what the operator *did*, not a claim the attack vanished: the
+    /// residual quality of remediated service shows up in the recovered
+    /// accuracy, which is measured against labels.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let total = self.outcomes.len() + self.unserved;
+        if total == 0 {
+            return 1.0;
+        }
+        let healthy = self.outcomes.iter().filter(|o| !o.degraded_service).count();
+        healthy as f64 / total as f64
+    }
+}
+
+/// A fleet of simulated accelerators serving one model behind the
+/// micro-batching scheduler.
+pub struct Fleet {
+    members: Vec<FleetMember>,
+    policy: PolicyConfig,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("members", &self.members)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Assembles a fleet. `members` must be non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SafelightError::InvalidParameter`] on an empty member
+    /// list.
+    pub fn new(members: Vec<FleetMember>, policy: PolicyConfig) -> Result<Self, SafelightError> {
+        if members.is_empty() {
+            return Err(SafelightError::InvalidParameter {
+                name: "fleet members",
+                value: 0.0,
+            });
+        }
+        Ok(Self { members, policy })
+    }
+
+    /// The fleet's members.
+    #[must_use]
+    pub fn members(&self) -> &[FleetMember] {
+        &self.members
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// Members currently in the routing set.
+    #[must_use]
+    pub fn active_members(&self) -> usize {
+        self.members.iter().filter(|m| m.serves()).count()
+    }
+
+    /// Serves `requests` as ordered micro-batches of `batch_size`.
+    ///
+    /// Each tick hands the next pending batches to the active members in
+    /// member order and runs them concurrently on the shared worker pool;
+    /// the policy then processes any alarms serially, so remediation takes
+    /// effect before the next tick. An optional [`Compromise`] lands on
+    /// its member at the given batch index. All scheduling, noise and
+    /// policy decisions are deterministic in `(requests, seed)` and
+    /// independent of `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass, derivation and recalibration errors.
+    pub fn serve_stream(
+        &mut self,
+        requests: &[Request],
+        batch_size: usize,
+        compromise: Option<Compromise<'_>>,
+        seed: u64,
+        threads: usize,
+    ) -> Result<StreamOutcome, SafelightError> {
+        if let Some(c) = &compromise {
+            if c.member >= self.members.len() {
+                return Err(SafelightError::InvalidParameter {
+                    name: "compromised member",
+                    value: c.member as f64,
+                });
+            }
+        }
+        let ranges = partition(requests.len(), batch_size);
+        let mut outcomes = Vec::with_capacity(requests.len());
+        let mut events = Vec::new();
+        let mut next = 0usize;
+        let mut compromise_pending = compromise;
+        // The policy is never mutated mid-stream; one clone outlives the
+        // member borrows the tick loop takes.
+        let policy = self.policy.clone();
+        while next < ranges.len() {
+            let remaining = ranges.len() - next;
+            if let Some(c) = &compromise_pending {
+                // Activate exactly when the compromised member's *own*
+                // next batch index reaches the onset — ticks hand out
+                // several batch indices at once, so gating on the tick
+                // start alone would slip the onset by up to
+                // `fleet_size − 1` batches on larger fleets.
+                let active_ids: Vec<usize> = self
+                    .members
+                    .iter()
+                    .filter(|m| m.serves())
+                    .take(remaining)
+                    .map(|m| m.id)
+                    .collect();
+                let due = match active_ids.iter().position(|&id| id == c.member) {
+                    Some(rank) => (next + rank) as u64 >= c.onset_batch,
+                    // The member serves nothing (failed, or out of work
+                    // this tick): fall back to the stream position.
+                    None => next as u64 >= c.onset_batch,
+                };
+                if due {
+                    self.members[c.member].apply_compromise(c.conditions)?;
+                    compromise_pending = None;
+                }
+            }
+            let tasks: Vec<(&mut FleetMember, u64, Range<usize>)> = self
+                .members
+                .iter_mut()
+                .filter(|m| m.serves())
+                .take(remaining)
+                .enumerate()
+                .map(|(i, m)| {
+                    let bi = (next + i) as u64;
+                    (m, bi, ranges[next + i].clone())
+                })
+                .collect();
+            if tasks.is_empty() {
+                break; // routing set exhausted — remaining requests unserved
+            }
+            let served = tasks.len();
+            let results: Vec<Result<ServedBatch, SafelightError>> =
+                par_map(tasks, threads, |(member, bi, range)| {
+                    member.serve_batch(&requests[range], bi, seed, &policy)
+                });
+            for (i, result) in results.into_iter().enumerate() {
+                let batch = result?;
+                let range = ranges[next + i].clone();
+                for (req, &prediction) in requests[range].iter().zip(&batch.predictions) {
+                    outcomes.push(RequestOutcome {
+                        id: req.id,
+                        label: req.label,
+                        prediction,
+                        member: batch.member,
+                        batch: batch.batch,
+                        degraded_service: batch.degraded,
+                    });
+                }
+                if batch.alarmed && self.policy.respond {
+                    self.respond(&batch, seed, &mut events)?;
+                } else if !batch.alarmed && !batch.scores.is_empty() {
+                    // A quiet scored batch breaks the run of *consecutive*
+                    // unlocalized alarms — isolated calibrated-rate false
+                    // positives must not accumulate into a failover.
+                    self.members[batch.member].unlocalized_alarms = 0;
+                }
+            }
+            next += served;
+        }
+        let unserved = requests.len() - outcomes.len();
+        Ok(StreamOutcome {
+            outcomes,
+            events,
+            unserved,
+        })
+    }
+
+    /// Handles one alarming batch: implicate, remap or fail over.
+    fn respond(
+        &mut self,
+        batch: &ServedBatch,
+        seed: u64,
+        events: &mut Vec<PolicyEvent>,
+    ) -> Result<(), SafelightError> {
+        let worst = batch.scores.iter().fold(0.0f64, |a, &s| a.max(s));
+        let healthy_peers = self
+            .members
+            .iter()
+            .filter(|m| m.id != batch.member && m.serves())
+            .count();
+        let policy = self.policy.clone();
+        let member = &mut self.members[batch.member];
+        let frame = batch
+            .frame
+            .as_ref()
+            .expect("an alarm implies a scored frame");
+        let implicated: Vec<(BlockKind, usize)> = member
+            .guard
+            .bank_excursions(frame)
+            .into_iter()
+            .filter(|&(_, _, z)| z >= policy.implicate_z)
+            .map(|(kind, bank, _)| (kind, bank))
+            .collect();
+        let action = if implicated.is_empty() {
+            member.unlocalized_alarms += 1;
+            if member.unlocalized_alarms >= policy.unlocalized_patience && healthy_peers > 0 {
+                member.state = MemberState::Failed;
+                ResponseAction::Failover
+            } else {
+                ResponseAction::Alarm
+            }
+        } else {
+            match member.quarantine_and_remap(&implicated, seed, &policy, healthy_peers == 0)? {
+                Some(action) => action,
+                None => {
+                    // Spares exhausted and a healthy peer exists: fail over.
+                    member.state = MemberState::Failed;
+                    ResponseAction::Failover
+                }
+            }
+        };
+        events.push(PolicyEvent {
+            batch: batch.batch,
+            member: batch.member,
+            score: worst,
+            action,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safelight::detect::default_detectors;
+    use safelight_neuro::{Flatten, Layer, Linear, Tensor};
+    use safelight_onn::{BlockConfig, LayerSpec};
+
+    /// A 4-class identity classifier whose 16 FC weights occupy the first
+    /// two banks of a 4-bank FC block — banks 2/3 are spare capacity.
+    fn fixture() -> (Network, WeightMapping, AcceleratorConfig) {
+        let mut net = Network::new();
+        net.push(Flatten::new());
+        let mut fc = Linear::new(4, 4, 3).unwrap();
+        let mut w = vec![0.05f32; 16];
+        for i in 0..4 {
+            w[i * 4 + i] = 0.9;
+        }
+        fc.params_mut()[0].value = Tensor::from_vec(vec![4, 4], w).unwrap();
+        net.push(fc);
+        let config = AcceleratorConfig::custom(
+            BlockConfig {
+                vdp_units: 2,
+                bank_rows: 2,
+                bank_cols: 4,
+            },
+            BlockConfig {
+                vdp_units: 4,
+                bank_rows: 2,
+                bank_cols: 4,
+            },
+        )
+        .unwrap();
+        let mapping =
+            WeightMapping::new(&config, &[LayerSpec::new("fc", BlockKind::Fc, 16)]).unwrap();
+        (net, mapping, config)
+    }
+
+    /// One-hot requests whose label equals the hot index: the clean
+    /// identity classifier answers them all correctly.
+    fn requests(count: usize) -> Vec<Request> {
+        (0..count)
+            .map(|i| {
+                let class = i % 4;
+                let mut data = vec![0.0f32; 4];
+                data[class] = 1.0;
+                Request {
+                    id: i as u64,
+                    input: Tensor::from_vec(vec![1, 2, 2], data).unwrap(),
+                    label: class,
+                }
+            })
+            .collect()
+    }
+
+    fn calibrated_parts(
+        net: &Network,
+        mapping: &WeightMapping,
+        config: &AcceleratorConfig,
+    ) -> (Vec<Box<dyn Detector>>, GuardBandDetector, Vec<f64>) {
+        let sentinels = SentinelPlan::new(mapping, config, 4, 0.7);
+        let probe = TelemetryProbe::new(
+            net,
+            mapping,
+            &ConditionMap::new(),
+            config,
+            &sentinels,
+            TapConfig::default(),
+        )
+        .unwrap();
+        let frames: Vec<TelemetryFrame> = (0..48).map(|b| probe.frame(b, 0xCA1)).collect();
+        let mut suite = default_detectors();
+        for d in &mut suite {
+            d.calibrate(&frames).unwrap();
+        }
+        let mut guard = GuardBandDetector::default();
+        guard.calibrate(&frames).unwrap();
+        let thresholds = crate::eval::operating_thresholds(&probe, &mut suite, 24, 24, 0.05, 0xCA1);
+        (suite, guard, thresholds)
+    }
+
+    fn make_fleet(size: usize, respond: bool) -> (Fleet, Vec<Request>) {
+        let (net, mapping, config) = fixture();
+        let (suite, guard, thresholds) = calibrated_parts(&net, &mapping, &config);
+        let members = (0..size)
+            .map(|id| {
+                FleetMember::new(
+                    id,
+                    &net,
+                    mapping.clone(),
+                    config.clone(),
+                    TapConfig::default(),
+                    4,
+                    0.7,
+                    suite.iter().map(|d| d.clone_box()).collect(),
+                    guard.clone(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let policy = if respond {
+            PolicyConfig::new(thresholds)
+        } else {
+            PolicyConfig::baseline(thresholds)
+        };
+        (Fleet::new(members, policy).unwrap(), requests(96))
+    }
+
+    /// Park every ring of FC bank 0 — a localized, devastating compromise.
+    fn bank0_attack() -> ConditionMap {
+        let mut map = ConditionMap::new();
+        for ring in 0..8 {
+            map.set(BlockKind::Fc, ring, MrCondition::Parked);
+        }
+        map
+    }
+
+    #[test]
+    fn clean_stream_serves_every_request_in_order() {
+        let (mut fleet, reqs) = make_fleet(2, true);
+        let out = fleet.serve_stream(&reqs, 8, None, 7, 2).unwrap();
+        assert_eq!(out.outcomes.len(), reqs.len());
+        assert_eq!(out.unserved, 0);
+        assert!(
+            out.events.is_empty(),
+            "clean stream alarmed: {:?}",
+            out.events
+        );
+        // Arrival order preserved, all correct, availability 1.
+        for (i, o) in out.outcomes.iter().enumerate() {
+            assert_eq!(o.id, i as u64);
+            assert_eq!(o.prediction, o.label);
+            assert!(!o.degraded_service);
+        }
+        assert_eq!(out.availability(), 1.0);
+    }
+
+    #[test]
+    fn closed_loop_remaps_and_recovers() {
+        let (mut fleet, reqs) = make_fleet(2, true);
+        let attack = bank0_attack();
+        let out = fleet
+            .serve_stream(
+                &reqs,
+                8,
+                Some(Compromise {
+                    member: 0,
+                    onset_batch: 4,
+                    conditions: &attack,
+                }),
+                7,
+                2,
+            )
+            .unwrap();
+        // The compromise is localized to one bank with spare capacity on
+        // the same die: the policy remaps instead of failing over.
+        let remap = out
+            .events
+            .iter()
+            .find(|e| matches!(e.action, ResponseAction::Remap { .. }))
+            .expect("no remap event");
+        assert_eq!(remap.member, 0);
+        assert!(remap.batch >= 4);
+        if let ResponseAction::Remap {
+            quarantined_banks,
+            remapped_rings,
+            unplaced_rings,
+        } = remap.action
+        {
+            assert_eq!(quarantined_banks, 1);
+            assert_eq!(remapped_rings, 8);
+            assert_eq!(unplaced_rings, 0);
+        }
+        assert_eq!(fleet.members()[0].remediations(), 1);
+        assert!(fleet.members()[0].serves());
+        // Post-recovery traffic is answered correctly again.
+        let recovered = out.accuracy_in(remap.batch + 1..u64::MAX);
+        assert!(
+            recovered > 0.99,
+            "post-remap accuracy {recovered} ({:?})",
+            out.events
+        );
+        // The degraded window is confined to member 0's pre-remap batches.
+        assert!(out.availability() < 1.0);
+        assert!(out.availability() > 0.8);
+    }
+
+    #[test]
+    fn baseline_policy_stays_degraded() {
+        let (mut fleet, reqs) = make_fleet(2, false);
+        let attack = bank0_attack();
+        let out = fleet
+            .serve_stream(
+                &reqs,
+                8,
+                Some(Compromise {
+                    member: 0,
+                    onset_batch: 4,
+                    conditions: &attack,
+                }),
+                7,
+                1,
+            )
+            .unwrap();
+        assert!(out.events.is_empty());
+        // Member 0 keeps mis-serving its share: post-onset accuracy stays
+        // well below the clean 1.0.
+        let post = out.accuracy_in(4..u64::MAX);
+        assert!(post < 0.95, "baseline post-onset accuracy {post}");
+        assert!(out.availability() < 0.8);
+    }
+
+    #[test]
+    fn spare_exhaustion_fails_over_to_the_healthy_peer() {
+        let (mut fleet, reqs) = make_fleet(2, true);
+        // Park *every* FC ring: quarantine wants the whole block, the
+        // spare pool cannot absorb it, and the shard must fail over.
+        let mut attack = ConditionMap::new();
+        for ring in 0..32 {
+            attack.set(BlockKind::Fc, ring, MrCondition::Parked);
+        }
+        let out = fleet
+            .serve_stream(
+                &reqs,
+                8,
+                Some(Compromise {
+                    member: 0,
+                    onset_batch: 4,
+                    conditions: &attack,
+                }),
+                7,
+                2,
+            )
+            .unwrap();
+        let failover = out
+            .events
+            .iter()
+            .find(|e| matches!(e.action, ResponseAction::Failover))
+            .expect("no failover event");
+        assert_eq!(failover.member, 0);
+        assert!(!fleet.members()[0].serves());
+        assert_eq!(fleet.active_members(), 1);
+        // Everything after the failover is served clean by member 1.
+        let recovered = out.accuracy_in(failover.batch + 1..u64::MAX);
+        assert!(recovered > 0.99, "post-failover accuracy {recovered}");
+        assert_eq!(out.unserved, 0);
+        let post_failover: Vec<_> = out
+            .outcomes
+            .iter()
+            .filter(|o| o.batch > failover.batch)
+            .collect();
+        assert!(post_failover.iter().all(|o| o.member == 1));
+        assert!(!post_failover.is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(8))]
+        /// The scheduler satellite property: for arbitrary stream lengths,
+        /// batch sizes and fleet shapes, serving preserves request order,
+        /// drops nothing, and produces byte-identical per-request outputs
+        /// at 1 vs N worker threads — compromise and closed loop included.
+        #[test]
+        fn serving_is_thread_count_invariant(
+            count in 1usize..120,
+            batch_size in 1usize..13,
+            fleet in 2usize..4,
+            onset in 0u64..6,
+        ) {
+            let attack = bank0_attack();
+            let run = |threads: usize| {
+                let (mut fleet_rt, _) = make_fleet(fleet, true);
+                let reqs = requests(count);
+                fleet_rt
+                    .serve_stream(
+                        &reqs,
+                        batch_size,
+                        Some(Compromise {
+                            member: 0,
+                            onset_batch: onset,
+                            conditions: &attack,
+                        }),
+                        13,
+                        threads,
+                    )
+                    .unwrap()
+            };
+            let a = run(1);
+            let b = run(4);
+            // Nothing dropped, order preserved.
+            proptest::prop_assert_eq!(a.outcomes.len() + a.unserved, count);
+            for (i, o) in a.outcomes.iter().enumerate() {
+                proptest::prop_assert_eq!(o.id, i as u64);
+            }
+            // Byte-identical at 1 vs N threads.
+            proptest::prop_assert_eq!(&a.outcomes, &b.outcomes);
+            proptest::prop_assert_eq!(&a.events, &b.events);
+            proptest::prop_assert_eq!(a.unserved, b.unserved);
+        }
+    }
+
+    #[test]
+    fn rederive_preserves_sentinels_on_multi_round_blocks() {
+        // A CONV block that wraps (10 weights on 8 rings ⇒ 2 rounds) has
+        // no *fully* idle rings, but SentinelPlan::new still provisions
+        // sentinels on the final round's idle region (rings 2..8). A
+        // regression here made rederive() rebuild the plan from
+        // idle_slots() — empty for wrapped blocks — so every compromise
+        // onset silently dropped the CONV sentinels and shifted the
+        // telemetry baseline of *unattacked* banks.
+        let mut net = Network::new();
+        let mut conv_like = Linear::new(2, 5, 3).unwrap(); // 10 weights
+        conv_like.params_mut()[0].value = Tensor::from_vec(vec![5, 2], vec![0.4; 10]).unwrap();
+        net.push(Flatten::new());
+        net.push(conv_like);
+        let config = AcceleratorConfig::custom(
+            BlockConfig {
+                vdp_units: 2,
+                bank_rows: 1,
+                bank_cols: 4,
+            }, // 8 CONV rings, wraps
+            BlockConfig {
+                vdp_units: 2,
+                bank_rows: 2,
+                bank_cols: 4,
+            },
+        )
+        .unwrap();
+        let mapping =
+            WeightMapping::new(&config, &[LayerSpec::new("conv", BlockKind::Conv, 10)]).unwrap();
+        let (suite, guard, _) = calibrated_parts(&net, &mapping, &config);
+        let mut member = FleetMember::new(
+            0,
+            &net,
+            mapping,
+            config,
+            TapConfig::default(),
+            4,
+            0.7,
+            suite,
+            guard,
+        )
+        .unwrap();
+        let factory_sites = member.sentinels().sites(BlockKind::Conv).to_vec();
+        assert!(
+            !factory_sites.is_empty(),
+            "fixture must provision CONV sentinels"
+        );
+        let baseline = member.probe.noiseless(0);
+        // An FC-only compromise must leave the CONV sentinels — and the
+        // CONV banks' telemetry means — exactly where they were.
+        let mut attack = ConditionMap::new();
+        attack.set(BlockKind::Fc, 1, MrCondition::Parked);
+        member.apply_compromise(&attack).unwrap();
+        assert_eq!(member.sentinels().sites(BlockKind::Conv), factory_sites);
+        let after = member.probe.noiseless(0);
+        assert_eq!(after.conv, baseline.conv, "CONV telemetry baseline moved");
+        assert_eq!(after.conv_sentinels, baseline.conv_sentinels);
+    }
+
+    #[test]
+    fn outcomes_are_byte_identical_across_thread_counts() {
+        let attack = bank0_attack();
+        let run = |threads: usize| {
+            let (mut fleet, reqs) = make_fleet(3, true);
+            fleet
+                .serve_stream(
+                    &reqs,
+                    8,
+                    Some(Compromise {
+                        member: 0,
+                        onset_batch: 3,
+                        conditions: &attack,
+                    }),
+                    11,
+                    threads,
+                )
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.unserved, b.unserved);
+    }
+}

@@ -1,0 +1,108 @@
+//! Micro-batching of an ordered request stream.
+//!
+//! The scheduler's contract is deliberately narrow and fully
+//! deterministic: requests are partitioned into contiguous, arrival-order
+//! micro-batches of at most `batch_size` requests, every request lands in
+//! exactly one batch, and per-request outcomes are reassembled in arrival
+//! order. Which *accelerator* runs a batch is decided by the fleet's
+//! routing (see [`crate::runtime`]), never by worker availability — that
+//! is what makes serving results byte-identical across worker-thread
+//! counts.
+
+use safelight_neuro::Tensor;
+
+/// One inference request in the stream.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Monotone arrival identifier (also the request's stream position).
+    pub id: u64,
+    /// The CHW input image.
+    pub input: Tensor,
+    /// Ground-truth label, carried for evaluation-time accuracy
+    /// bookkeeping only — the runtime never reads it before predicting.
+    pub label: usize,
+}
+
+/// The served result of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// The request's arrival identifier.
+    pub id: u64,
+    /// Ground-truth label (copied from the request).
+    pub label: usize,
+    /// The class the serving accelerator predicted.
+    pub prediction: usize,
+    /// Fleet member that served the request.
+    pub member: usize,
+    /// Global micro-batch index the request was served in.
+    pub batch: u64,
+    /// Whether the serving member was compromised with no remediation
+    /// applied yet when the batch ran — the bit behind the availability
+    /// metric. A remediation clears it even when partial (residual
+    /// corruption on unimplicated rings is visible in the post-recovery
+    /// accuracy instead, which is measured, not believed).
+    pub degraded_service: bool,
+}
+
+/// Partitions `count` requests into contiguous micro-batches of at most
+/// `batch_size` (minimum 1), in arrival order.
+///
+/// Every returned range is non-empty, the ranges are disjoint, ordered and
+/// cover `0..count` exactly.
+///
+/// # Example
+///
+/// ```
+/// let batches = safelight_serve::scheduler::partition(10, 4);
+/// assert_eq!(batches, vec![0..4, 4..8, 8..10]);
+/// ```
+#[must_use]
+pub fn partition(count: usize, batch_size: usize) -> Vec<std::ops::Range<usize>> {
+    let batch_size = batch_size.max(1);
+    let mut out = Vec::with_capacity(count.div_ceil(batch_size));
+    let mut start = 0;
+    while start < count {
+        let end = (start + batch_size).min(count);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_handles_edges() {
+        assert!(partition(0, 8).is_empty());
+        assert_eq!(partition(1, 8), vec![0..1]);
+        assert_eq!(partition(8, 8), vec![0..8]);
+        // A zero batch size clamps to one request per batch.
+        assert_eq!(partition(3, 0), vec![0..1, 1..2, 2..3]);
+    }
+
+    proptest! {
+        #[test]
+        fn partition_preserves_order_and_drops_nothing(
+            count in 0usize..500,
+            batch_size in 0usize..33,
+        ) {
+            let ranges = partition(count, batch_size);
+            // Contiguous, ordered, non-empty and exactly covering.
+            let mut cursor = 0usize;
+            for r in &ranges {
+                prop_assert_eq!(r.start, cursor);
+                prop_assert!(r.end > r.start);
+                prop_assert!(r.end - r.start <= batch_size.max(1));
+                cursor = r.end;
+            }
+            prop_assert_eq!(cursor, count);
+            // Only the tail batch may be short.
+            for r in ranges.iter().rev().skip(1) {
+                prop_assert_eq!(r.end - r.start, batch_size.max(1));
+            }
+        }
+    }
+}

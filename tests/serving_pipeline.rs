@@ -1,0 +1,190 @@
+//! End-to-end tests of the secure serving runtime: fleet + scheduler +
+//! inline detection + closed-loop response, including the serving
+//! acceptance criteria — on a mid-stream 10 % actuation compromise the
+//! runtime detects, remaps/fails over and recovers ≥ 95 % of clean
+//! accuracy on post-recovery batches while the no-response baseline stays
+//! degraded, and the serving CSV is byte-identical across worker-thread
+//! counts.
+
+use safelight::prelude::*;
+use safelight_datasets::{digits, SyntheticSpec};
+use safelight_neuro::{Network, Trainer, TrainerConfig};
+use safelight_onn::WeightMapping;
+use safelight_serve::eval::{run_serving, ServingOptions};
+use safelight_serve::report::serving_csv;
+
+/// A trained-enough CNN_1 on the scaled accelerator profile (the same
+/// trade the susceptibility tests make: debug-mode full-scale solves buy
+/// no extra coverage).
+fn trained_setup() -> (
+    Network,
+    WeightMapping,
+    AcceleratorConfig,
+    safelight_datasets::SplitDataset,
+) {
+    let data = digits(&SyntheticSpec {
+        train: 120,
+        test: 60,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
+    let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+    let mut network = bundle.network;
+    let cfg = TrainerConfig {
+        epochs: 3,
+        batch_size: 20,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
+    let config = AcceleratorConfig::scaled_experiment().unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    (network, mapping, config, data)
+}
+
+fn quick_opts() -> ServingOptions {
+    ServingOptions {
+        batch_size: 6,
+        batches: 18,
+        onset_batch: 6,
+        calibration_frames: 24,
+        clean_runs: 16,
+        ..ServingOptions::default()
+    }
+}
+
+#[test]
+fn closed_loop_recovers_while_the_baseline_stays_degraded() {
+    let (network, mapping, config, data) = trained_setup();
+    // The acceptance scenario: a 10 % actuation compromise with worst-case
+    // (magnitude-targeted) placement landing mid-stream on one member of a
+    // two-member fleet.
+    let scenario = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.10, 0)
+        .with_selection(Selection::Targeted);
+    let report = run_serving(
+        &network,
+        &mapping,
+        &config,
+        &data.test,
+        std::slice::from_ref(&scenario),
+        &default_detectors(),
+        &quick_opts(),
+        2025,
+        safelight_neuro::parallel::configured_threads(),
+    )
+    .unwrap();
+    let row = report.row(&scenario).expect("scenario evaluated");
+    // Detected promptly and acted (remap and/or failover — whichever the
+    // spare pool allowed).
+    assert!(
+        row.detection_latency_batches.is_finite(),
+        "compromise went undetected: {row:?}"
+    );
+    assert!(
+        row.action.contains("remap") || row.action.contains("failover"),
+        "no remediation in `{}`",
+        row.action
+    );
+    assert!(row.recovery_latency_batches.is_finite());
+    // Post-recovery batches are back at ≥ 95 % of the clean fleet's
+    // accuracy…
+    assert!(
+        row.recovered_accuracy >= 0.95 * report.clean_accuracy,
+        "recovered {} vs clean {}",
+        row.recovered_accuracy,
+        report.clean_accuracy
+    );
+    // …while the no-response baseline keeps mis-serving the compromised
+    // member's share of traffic.
+    assert!(
+        row.baseline_post_accuracy < report.clean_accuracy - 0.02,
+        "baseline not degraded: {} vs clean {}",
+        row.baseline_post_accuracy,
+        report.clean_accuracy
+    );
+    assert!(
+        row.recovered_accuracy > row.baseline_post_accuracy,
+        "closed loop ({}) not better than baseline ({})",
+        row.recovered_accuracy,
+        row.baseline_post_accuracy
+    );
+    // The degraded window is bounded: pre-onset traffic was clean and
+    // availability reflects only the onset-to-recovery window.
+    assert!(row.pre_onset_accuracy >= report.clean_accuracy - 0.05);
+    assert!(row.availability < 1.0);
+    assert!(row.availability > 0.5);
+}
+
+#[test]
+fn serving_csv_is_byte_identical_across_thread_counts() {
+    let (network, mapping, config, data) = trained_setup();
+    let scenarios = vec![
+        ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0),
+        ScenarioSpec::new(VectorSpec::Hotspot, AttackTarget::Both, 0.10, 0),
+        ScenarioSpec::new(VectorSpec::laser_default(), AttackTarget::FcBlock, 0.05, 1)
+            .with_selection(Selection::Clustered),
+    ];
+    let run = |threads: usize| {
+        run_serving(
+            &network,
+            &mapping,
+            &config,
+            &data.test,
+            &scenarios,
+            &default_detectors(),
+            &quick_opts(),
+            7,
+            threads,
+        )
+        .unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serving_csv(&serial), serving_csv(&parallel));
+    assert_eq!(
+        safelight_serve::report::serving_json(&serial),
+        safelight_serve::report::serving_json(&parallel)
+    );
+    // Every scenario produced a row, in input order.
+    assert_eq!(serial.rows.len(), scenarios.len());
+    for (row, spec) in serial.rows.iter().zip(&scenarios) {
+        assert_eq!(&row.scenario, spec);
+    }
+}
+
+#[test]
+fn degenerate_serving_options_are_rejected() {
+    let (network, mapping, config, data) = trained_setup();
+    let scenario = [ScenarioSpec::new(
+        VectorSpec::Actuation,
+        AttackTarget::ConvBlock,
+        0.05,
+        0,
+    )];
+    for opts in [
+        ServingOptions {
+            batches: 0,
+            ..quick_opts()
+        },
+        ServingOptions {
+            onset_batch: 18,
+            ..quick_opts()
+        },
+        ServingOptions {
+            fleet_size: 0,
+            ..quick_opts()
+        },
+    ] {
+        assert!(run_serving(
+            &network,
+            &mapping,
+            &config,
+            &data.test,
+            &scenario,
+            &default_detectors(),
+            &opts,
+            1,
+            1,
+        )
+        .is_err());
+    }
+}
