@@ -1,11 +1,11 @@
 //! Accelerator-layer benchmarks: weight-stationary mapping, effective-weight
 //! evaluation and the physical VDP datapath.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
 use safelight_onn::{
-    corrupt_network, effective_weight_row, AcceleratorConfig, ConditionMap, EffectiveWeightParams,
-    MrCondition, OpticalVdp, WeightMapping,
+    corrupt_network, effective_weight_row, AcceleratorConfig, BackendKind, BlockConfig, BlockKind,
+    ConditionMap, DropResponseModel, LayerSpec, MrCondition, OpticalVdp, WeightMapping,
 };
 
 fn bench_mapping_locate(c: &mut Criterion) {
@@ -22,7 +22,7 @@ fn bench_mapping_locate(c: &mut Criterion) {
 }
 
 fn bench_effective_row(c: &mut Criterion) {
-    let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper().unwrap());
+    let p = DropResponseModel::from_config(&AcceleratorConfig::paper().unwrap());
     let weights: Vec<f64> = (0..20).map(|i| (i as f64 / 20.0) - 0.5).collect();
     let mut conds = vec![MrCondition::Healthy; 20];
     conds[7] = MrCondition::Parked;
@@ -56,11 +56,53 @@ fn bench_optical_vdp(c: &mut Criterion) {
     });
 }
 
+/// The backend axis: the same attacked derivation through each
+/// [`InferenceBackend`](safelight_onn::InferenceBackend) — quantifies the
+/// fast-vs-optical-vs-quantized cost gap on a fixed small fixture.
+fn bench_backend_derive(c: &mut Criterion) {
+    let mut net = safelight_neuro::Network::new();
+    net.push(safelight_neuro::Flatten::new());
+    let fc = safelight_neuro::Linear::new(16, 8, 3).unwrap();
+    net.push(fc);
+    let config = AcceleratorConfig::custom(
+        BlockConfig {
+            vdp_units: 2,
+            bank_rows: 2,
+            bank_cols: 8,
+        },
+        BlockConfig {
+            vdp_units: 4,
+            bank_rows: 4,
+            bank_cols: 8,
+        },
+    )
+    .unwrap();
+    let mapping = WeightMapping::new(&config, &[LayerSpec::new("fc", BlockKind::Fc, 128)]).unwrap();
+    let mut conditions = ConditionMap::new();
+    for ring in [3u64, 17, 40, 77, 101] {
+        conditions.set(BlockKind::Fc, ring, MrCondition::Parked);
+    }
+    let mut group = c.benchmark_group("backend_derive");
+    group.sample_size(10);
+    for kind in BackendKind::all() {
+        let backend = kind.build(&config);
+        group.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
+            b.iter(|| {
+                backend
+                    .derive_network(black_box(&net), &mapping, &conditions)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mapping_locate,
     bench_effective_row,
     bench_corrupt_network_clean,
-    bench_optical_vdp
+    bench_optical_vdp,
+    bench_backend_derive
 );
 criterion_main!(benches);

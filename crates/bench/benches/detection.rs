@@ -95,10 +95,61 @@ fn bench_detector_scoring(c: &mut Criterion) {
     });
 }
 
+/// The backend axis: attacked-probe construction through each datapath
+/// backend on a reduced profile (the optical path simulates every slot).
+fn bench_probe_backends(c: &mut Criterion) {
+    use safelight_onn::{BackendKind, BlockConfig};
+    let bundle = build_model(ModelKind::Cnn1, 7).unwrap();
+    let config = safelight_onn::AcceleratorConfig::custom(
+        BlockConfig {
+            vdp_units: 4,
+            bank_rows: 4,
+            bank_cols: 8,
+        },
+        BlockConfig {
+            vdp_units: 8,
+            bank_rows: 16,
+            bank_cols: 16,
+        },
+    )
+    .unwrap();
+    let mapping = safelight_onn::WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let sentinels = SentinelPlan::new(&mapping, &config, 8, 0.7);
+    let attacked = inject(
+        &ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.10, 0),
+        &config,
+        7,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("probe_backend");
+    group.sample_size(10);
+    for kind in BackendKind::all() {
+        let backend = kind.build(&config);
+        group.bench_function(
+            criterion::BenchmarkId::from_parameter(backend.name()),
+            |b| {
+                b.iter(|| {
+                    backend
+                        .probe(
+                            &bundle.network,
+                            &mapping,
+                            &attacked,
+                            &sentinels,
+                            TapConfig::default(),
+                        )
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_probe_construction,
     bench_frame_emission,
-    bench_detector_scoring
+    bench_detector_scoring,
+    bench_probe_backends
 );
 criterion_main!(benches);

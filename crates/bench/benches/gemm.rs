@@ -6,6 +6,14 @@
 //! * `conv`-shaped products — CNN_1's and the VGG-variant's im2col shapes
 //!   (`M = out_channels`, `K = in_channels·k²`, `N = OH·OW`);
 //! * transposed variants — the backward-pass forms `A·Bᵀ` and `Aᵀ·B`.
+//!
+//! Besides the criterion timings, `emit_baseline` writes a
+//! `BENCH_gemm.json` snapshot (median 256³ latency for the tiled and
+//! reference kernels plus the implied speedup) at the repository root —
+//! NOT under `target/`, which `cargo clean` and CI cache eviction
+//! silently destroy — so the perf trajectory survives across PRs.
+
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use safelight_neuro::linalg::reference;
@@ -105,10 +113,60 @@ fn bench_transposed_variants(c: &mut Criterion) {
     group.finish();
 }
 
+/// Writes `BENCH_gemm.json` at the repository root: the median 256³
+/// per-call latency of the tiled engine and the seed reference kernels,
+/// plus the implied speedup.
+fn emit_baseline(c: &mut Criterion) {
+    let size = 256usize;
+    let a = fill(size * size, 1.0);
+    let b = fill(size * size, 2.0);
+    let mut out = vec![0.0f32; size * size];
+    type Kernel<'a> = &'a dyn Fn(&[f32], &[f32], &mut [f32]);
+    let mut time_kernel = |f: Kernel<'_>| -> f64 {
+        // One warm-up, then the median of 7 timed calls.
+        out.fill(0.0);
+        f(&a, &b, &mut out);
+        let mut samples: Vec<f64> = (0..7)
+            .map(|_| {
+                out.fill(0.0);
+                let start = Instant::now();
+                f(&a, &b, &mut out);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        samples[samples.len() / 2]
+    };
+    let tiled = time_kernel(&|a, b, out| matmul(a, b, out, size, size, size));
+    let reference = time_kernel(&|a, b, out| reference::matmul(a, b, out, size, size, size));
+    let speedup = reference / tiled.max(1e-12);
+    let json = format!(
+        "{{\"shape\":\"256x256x256\",\
+         \"tiled_seconds\":{tiled},\
+         \"reference_seconds\":{reference},\
+         \"speedup\":{speedup}}}\n"
+    );
+    // Benches run with the package directory as cwd; anchor the artifact
+    // at the repository root, where `cargo clean` cannot eat it.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_gemm.json");
+    std::fs::write(&path, &json).ok();
+    println!(
+        "BENCH_gemm baseline: tiled {:.3} ms, reference {:.3} ms ({speedup:.2}x) → {}",
+        tiled * 1e3,
+        reference * 1e3,
+        path.display()
+    );
+    // Keep the criterion harness happy with a trivial measured body.
+    c.bench_function("gemm_baseline_emitted", |bench| bench.iter(|| speedup));
+}
+
 criterion_group!(
     benches,
     bench_square,
     bench_conv_shapes,
-    bench_transposed_variants
+    bench_transposed_variants,
+    emit_baseline
 );
 criterion_main!(benches);

@@ -5,9 +5,11 @@
 //! re-baseline.
 //!
 //! Besides the criterion timings, `emit_baseline` writes a
-//! `target/BENCH_serve.json` snapshot (steady-state batch latency,
-//! detection overhead fraction, alarm-path latency) so later PRs can
-//! diff serving-path regressions without parsing bench logs.
+//! `BENCH_serve.json` snapshot (steady-state batch latency, detection
+//! overhead fraction, alarm-path latency) at the repository root — NOT
+//! under `target/`, which `cargo clean` and CI cache eviction silently
+//! destroy — so later PRs can diff serving-path regressions without
+//! parsing bench logs.
 
 use std::time::Instant;
 
@@ -17,8 +19,8 @@ use safelight::models::{build_model, dataset_kind_for, matched_accelerator, Mode
 use safelight_datasets::SyntheticSpec;
 use safelight_neuro::Dataset;
 use safelight_onn::{
-    AcceleratorConfig, BlockKind, ConditionMap, MrCondition, SentinelPlan, TapConfig,
-    TelemetryProbe, WeightMapping,
+    AcceleratorConfig, AnalyticBackend, BlockKind, ConditionMap, MrCondition, SentinelPlan,
+    TapConfig, TelemetryProbe, WeightMapping,
 };
 use safelight_serve::eval::operating_thresholds;
 use safelight_serve::{Compromise, Fleet, FleetMember, PolicyConfig, Request};
@@ -92,7 +94,7 @@ fn make_fleet(s: &Setup, size: usize, policy: PolicyConfig) -> Fleet {
                 id,
                 &s.network,
                 s.mapping.clone(),
-                s.config.clone(),
+                Box::new(AnalyticBackend::new(&s.config)),
                 TapConfig::default(),
                 32,
                 0.7,
@@ -161,9 +163,10 @@ fn bench_alarm_path(c: &mut Criterion) {
     });
 }
 
-/// Writes `target/BENCH_serve.json`: medians of the steady-state batch
-/// latency with/without detection, the implied inline-detection overhead
-/// fraction, and one alarm-path end-to-end latency sample.
+/// Writes `BENCH_serve.json` at the repository root: medians of the
+/// steady-state batch latency with/without detection, the implied
+/// inline-detection overhead fraction, and one alarm-path end-to-end
+/// latency sample.
 fn emit_baseline(c: &mut Criterion) {
     let s = setup();
     let batches = 8usize;
@@ -224,10 +227,9 @@ fn emit_baseline(c: &mut Criterion) {
          \"alarm_path_seconds\":{alarm_path}}}\n"
     );
     // Benches run with the package directory as cwd; anchor the artifact
-    // in the workspace-level target/ regardless.
+    // at the repository root, where `cargo clean` cannot eat it.
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("target")
         .join("BENCH_serve.json");
     std::fs::write(&out, &json).ok();
     println!(

@@ -12,7 +12,7 @@ use safelight::models::{build_model, ModelKind};
 use safelight_datasets::{digits, SyntheticSpec};
 use safelight_neuro::parallel::pool_size;
 use safelight_neuro::{Trainer, TrainerConfig};
-use safelight_onn::{AcceleratorConfig, WeightMapping};
+use safelight_onn::{AcceleratorConfig, AnalyticBackend, WeightMapping};
 
 fn scenario_grid() -> Vec<ScenarioSpec> {
     let mut scenarios = Vec::new();
@@ -67,13 +67,14 @@ fn bench_susceptibility_sweep(c: &mut Criterion) {
     Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
     let config = AcceleratorConfig::scaled_experiment().unwrap();
     let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    let backend = AnalyticBackend::new(&config);
     let scenarios = scenario_grid();
 
     let mut group = c.benchmark_group("susceptibility_sweep");
     group.sample_size(10);
     group.bench_function("cnn1_12_scenarios_serial", |b| {
         b.iter(|| {
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap()
+            run_susceptibility(&network, &mapping, &backend, &data.test, &scenarios, 7, 1).unwrap()
         })
     });
     group.bench_function(format!("cnn1_12_scenarios_pool{}", pool_size()), |b| {
@@ -81,7 +82,7 @@ fn bench_susceptibility_sweep(c: &mut Criterion) {
             run_susceptibility(
                 &network,
                 &mapping,
-                &config,
+                &backend,
                 &data.test,
                 &scenarios,
                 7,
@@ -102,7 +103,7 @@ fn bench_susceptibility_sweep(c: &mut Criterion) {
                 run_susceptibility(
                     &network,
                     &mapping,
-                    &config,
+                    &backend,
                     &data.test,
                     &extended,
                     7,

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] [--out-dir DIR]
 //!       [--vectors LIST] [--selections LIST] [--json]
+//!       [--backend fast|optical|quantized[:WBITS[:RBITS]]]
 //!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--detection]
 //!       [--serve] [--ablation] [--all]
 //! ```
@@ -15,6 +16,11 @@
 //! `trim[:DETUNE_REL]`, `stacked` (actuation+hotspot in one scenario) or
 //! `extended` (all of the above). `--selections` sweeps trojan-placement
 //! strategies: `uniform`, `clustered`, `targeted` or `all`.
+//!
+//! `--backend` selects which datapath evaluates every scenario: the fast
+//! analytic path (default), the slow device-level optical simulation, or
+//! the finite-bit-depth quantized converter model — the same grid runs
+//! against any of them unchanged.
 //!
 //! `--detection` runs the runtime trojan-detection evaluation (ROC,
 //! latency, per-vector detectability) over the same vectors/selections
@@ -34,7 +40,7 @@ use safelight::experiment::{
 };
 use safelight::models::{table1, ModelKind};
 use safelight::prelude::*;
-use safelight_onn::BlockKind;
+use safelight_onn::{BackendKind, BlockKind};
 
 struct Args {
     fidelity: Fidelity,
@@ -42,6 +48,7 @@ struct Args {
     out_dir: PathBuf,
     vectors: Vec<Vec<VectorSpec>>,
     selections: Vec<Selection>,
+    backend: BackendKind,
     json: bool,
     table1: bool,
     fig6: bool,
@@ -83,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         out_dir: PathBuf::from("target/safelight-artifacts"),
         vectors: VectorSpec::paper_pair().map(|v| vec![v]).into(),
         selections: vec![Selection::Uniform],
+        backend: BackendKind::Fast,
         json: false,
         table1: false,
         fig6: false,
@@ -115,6 +123,9 @@ fn parse_args() -> Result<Args, String> {
             "--selections" => {
                 args.selections =
                     parse_selections(&iter.next().ok_or("--selections needs a value")?)?;
+            }
+            "--backend" => {
+                args.backend = iter.next().ok_or("--backend needs a value")?.parse()?;
             }
             "--out-dir" => {
                 args.out_dir = PathBuf::from(iter.next().ok_or("--out-dir needs a value")?);
@@ -168,6 +179,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] \
                      [--out-dir DIR] [--vectors actuation,hotspot,laser[:DB],trim[:REL],\
                      stacked|extended] [--selections uniform,clustered,targeted|all] \
+                     [--backend fast|optical|quantized[:WBITS[:RBITS]]] \
                      [--json] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
                      [--detection] [--serve] [--ablation] [--all]"
                 );
@@ -556,7 +568,7 @@ fn print_ablation(kind: ModelKind, opts: &ExperimentOptions) -> Result<(), Safel
     let report = run_mitigation(
         &variants,
         &bench.mapping,
-        &bench.config,
+        bench.backend.as_ref(),
         &bench.data.test,
         &scenarios,
         opts.seed,
@@ -589,8 +601,10 @@ fn main() {
         fidelity: args.fidelity,
         vectors: args.vectors.clone(),
         selections: args.selections.clone(),
+        backend: args.backend,
         ..ExperimentOptions::default()
     };
+    eprintln!("datapath backend: {}", args.backend);
     let started = std::time::Instant::now();
 
     let run = || -> Result<(), SafelightError> {

@@ -99,8 +99,13 @@ impl GemmConfig {
 /// `true` when `SAFELIGHT_GEMM_IMPL=reference`: every public kernel then
 /// routes through [`reference`] instead of the tiled engine. This exists
 /// for apples-to-apples benchmarking against the seed kernels
-/// (`docs/perf.md`) and for bisecting numerical questions; checked once at
-/// startup.
+/// (`docs/perf.md`) and for bisecting numerical questions.
+///
+/// The environment lookup happens exactly once (first GEMM call); every
+/// later call pays only the `OnceLock` fast path — one atomic acquire
+/// load — and the `#[inline]` lets that fold into the kernel entry
+/// points instead of costing a function call per product on the hot path.
+#[inline]
 fn force_reference() -> bool {
     static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FORCE.get_or_init(|| {

@@ -11,7 +11,7 @@ use safelight_photonics::{Adc, BalancedPhotodetector, Laser, Microring, Microrin
 
 use crate::condition::MrCondition;
 use crate::config::AcceleratorConfig;
-use crate::executor::EffectiveWeightParams;
+use crate::response::DropResponseModel;
 use crate::OnnError;
 
 /// A physically simulated vector-dot-product row.
@@ -37,7 +37,7 @@ pub struct OpticalVdp {
     laser: Laser,
     pd: BalancedPhotodetector,
     adc: Adc,
-    params: EffectiveWeightParams,
+    params: DropResponseModel,
     channels: usize,
     responsivity: f64,
 }
@@ -61,10 +61,16 @@ impl OpticalVdp {
             laser,
             pd,
             adc,
-            params: EffectiveWeightParams::from_config(config),
+            params: DropResponseModel::from_config(config),
             channels,
             responsivity: config.pd_responsivity,
         })
+    }
+
+    /// The shared physics model this datapath was built from.
+    #[must_use]
+    pub fn model(&self) -> &DropResponseModel {
+        &self.params
     }
 
     /// Number of WDM channels (row length).
@@ -103,30 +109,7 @@ impl OpticalVdp {
             )?;
             let t = self.imprint_through_for(m);
             ring.imprint_transmission(t.clamp(ring.min_transmission(), ring.max_transmission()))?;
-            match cond {
-                MrCondition::Healthy => {}
-                MrCondition::Parked => ring.set_state(MicroringState::ParkedOffResonance),
-                MrCondition::Heated { delta_kelvin } => ring.set_temperature_delta(delta_kelvin),
-                // A trim-drift fault is a pinned resonance offset; apply it
-                // as the equivalent thermo-optic shift.
-                MrCondition::Detuned {
-                    offset_nm,
-                    delta_kelvin,
-                } => {
-                    ring.set_temperature_delta(
-                        offset_nm / self.params.shift_per_kelvin_nm + delta_kelvin,
-                    );
-                }
-                // A laser power-degradation fault lives upstream of the
-                // ring: the channel's launch power is scaled in `dot`, and
-                // only spill-over heat (intact thermal response) shifts the
-                // resonance.
-                MrCondition::Attenuated { delta_kelvin, .. } => {
-                    if delta_kelvin > 0.0 {
-                        ring.set_temperature_delta(delta_kelvin);
-                    }
-                }
-            }
+            apply_condition(&mut ring, cond, &self.params);
             bank.push(ring);
         }
         Ok(bank)
@@ -332,6 +315,122 @@ impl OpticalVdp {
         };
         Ok((dot, tap))
     }
+
+    /// Reads the row's *effective* signed weights back through the full
+    /// physical datapath: channel `c`'s effective weight is the dot product
+    /// with the one-hot activation `e_c` (laser → imprint banks → balanced
+    /// detection → ADC → affine decode), calibrated differentially against
+    /// the same measurement on the healthy row — real accelerators store
+    /// exactly that per-channel commissioning baseline, so static
+    /// Lorentzian-tail biases cancel and only the fault-induced deviation
+    /// survives.
+    ///
+    /// This is the physical counterpart of the analytic
+    /// [`effective_weight_row`](crate::effective_weight_row) and the
+    /// primitive behind [`PhysicalBackend`](crate::backend::PhysicalBackend):
+    /// it picks up every device-level effect the closed form approximates —
+    /// full Lorentzian crosstalk across the row, the balanced detector's
+    /// unclamped rail swing and the ADC's finite resolution — so agreement
+    /// is within tolerance, not bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MappingMismatch`] when slice lengths differ from
+    /// the row width.
+    pub fn effective_weight_readback(
+        &mut self,
+        weights: &[f64],
+        conditions: &[MrCondition],
+    ) -> Result<Vec<f64>, OnnError> {
+        (0..self.channels)
+            .map(|c| self.effective_weight_at(c, weights, conditions))
+            .collect()
+    }
+
+    /// One channel of [`OpticalVdp::effective_weight_readback`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::MappingMismatch`] when slice lengths differ from
+    /// the row width.
+    pub fn effective_weight_at(
+        &mut self,
+        channel: usize,
+        weights: &[f64],
+        conditions: &[MrCondition],
+    ) -> Result<f64, OnnError> {
+        let mut one_hot = vec![0.0f64; self.channels];
+        if channel >= self.channels {
+            return Err(OnnError::MrOutOfRange {
+                index: channel as u64,
+                capacity: self.channels as u64,
+            });
+        }
+        one_hot[channel] = 1.0;
+        let healthy = vec![MrCondition::Healthy; self.channels];
+        let faulty = self.dot(&one_hot, weights, conditions)?;
+        let baseline = self.dot(&one_hot, weights, &healthy)?;
+        let expected = {
+            let w = weights[channel];
+            w.signum() * self.params.quantize(w.abs())
+        };
+        Ok((expected + faulty - baseline).clamp(-1.0, 1.0))
+    }
+
+    /// The normalized drop-port response of one physically simulated ring
+    /// at its own carrier, imprinted with magnitude `m` under `condition` —
+    /// what the bank's monitor photodetector integrates per slot. The
+    /// launch-power scaling of an upstream tap is applied, matching the
+    /// per-channel scaling of [`OpticalVdp::dot`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates photonic device construction errors.
+    pub fn slot_monitor_response(&self, m: f64, condition: MrCondition) -> Result<f64, OnnError> {
+        let mut ring = Microring::with_geometry(
+            safelight_photonics::MicroringGeometry::default(),
+            &self.grid,
+            0,
+        )?;
+        let t = self.imprint_through_for(m);
+        ring.imprint_transmission(t.clamp(ring.min_transmission(), ring.max_transmission()))?;
+        apply_condition(&mut ring, condition, &self.params);
+        let lambda = self.grid.channel_wavelength(0).expect("channel 0 exists");
+        // drop = (1 − t_min)·L(δ); normalize to the on-resonance peak the
+        // analytic model reports, and scale by the surviving launch power.
+        let normalized = ring.drop_transmission(lambda) / (1.0 - self.params.t_min);
+        Ok(crate::response::channel_power_factor(condition) * normalized)
+    }
+}
+
+/// Applies an [`MrCondition`] to a physically simulated ring — the single
+/// condition→device-state mapping, shared by the dot-product bank builder
+/// and the per-slot monitor response so the two can never drift apart:
+///
+/// * `Parked` — the actuation trojan holds the ring at the modulator's
+///   maximum detuning;
+/// * `Heated` — the thermo-optic shift of the recorded ΔT;
+/// * `Detuned` — a pinned resonance offset, applied as the equivalent
+///   thermo-optic shift, plus any spill-over heat;
+/// * `Attenuated` — the fault lives *upstream* of the ring (the channel's
+///   launch power is scaled by the caller via
+///   [`channel_power_factor`](crate::channel_power_factor)); only
+///   spill-over heat (intact thermal response) shifts the resonance.
+fn apply_condition(ring: &mut Microring, condition: MrCondition, params: &DropResponseModel) {
+    match condition {
+        MrCondition::Healthy => {}
+        MrCondition::Parked => ring.set_state(MicroringState::ParkedOffResonance),
+        MrCondition::Heated { delta_kelvin } => ring.set_temperature_delta(delta_kelvin),
+        MrCondition::Detuned {
+            offset_nm,
+            delta_kelvin,
+        } => ring.set_temperature_delta(offset_nm / params.shift_per_kelvin_nm + delta_kelvin),
+        MrCondition::Attenuated { delta_kelvin, .. } => {
+            if delta_kelvin > 0.0 {
+                ring.set_temperature_delta(delta_kelvin);
+            }
+        }
+    }
 }
 
 /// The monitor photocurrents of one VDP row, in milliamps: what the
@@ -457,6 +556,64 @@ mod tests {
             tapped.positive_ma,
             tap.positive_ma
         );
+    }
+
+    #[test]
+    fn physical_readback_matches_analytic_row_within_tolerance() {
+        let mut v = vdp(5);
+        let p = *v.model();
+        let weights = [0.8, -0.4, 0.6, 0.0, -0.9];
+        let conds = [
+            MrCondition::Healthy,
+            MrCondition::Parked,
+            MrCondition::Heated { delta_kelvin: 4.0 },
+            MrCondition::Attenuated {
+                factor: 0.5,
+                delta_kelvin: 0.0,
+            },
+            MrCondition::Healthy,
+        ];
+        let physical = v.effective_weight_readback(&weights, &conds).unwrap();
+        let analytic = crate::executor::effective_weight_row(&weights, &conds, &p);
+        for (c, (a, b)) in physical.iter().zip(&analytic).enumerate() {
+            assert!(
+                (a - b).abs() < 0.05,
+                "channel {c}: physical {a} vs analytic {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_monitor_response_matches_the_analytic_model() {
+        let v = vdp(4);
+        let p = *v.model();
+        for (m, cond) in [
+            (0.7, MrCondition::Healthy),
+            (0.7, MrCondition::Parked),
+            (0.3, MrCondition::Heated { delta_kelvin: 6.0 }),
+            (
+                0.5,
+                MrCondition::Attenuated {
+                    factor: 0.5,
+                    delta_kelvin: 0.0,
+                },
+            ),
+            (
+                0.5,
+                MrCondition::Detuned {
+                    offset_nm: 0.1,
+                    delta_kelvin: 0.0,
+                },
+            ),
+        ] {
+            let physical = v.slot_monitor_response(m, cond).unwrap();
+            let analytic = crate::response::channel_power_factor(cond)
+                * p.drop_response(p.offset_under(p.quantize(m), cond));
+            assert!(
+                (physical - analytic).abs() < 0.01,
+                "m {m}, {cond:?}: physical {physical} vs analytic {analytic}"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! zero, and a balanced photodetector subtracts the rails. A fault applies
 //! to the ring that actually carries the weight (the active rail).
 //!
+//! All device physics (Lorentzian responses, encoding conventions, fault
+//! offsets, DAC steps) lives in the shared
+//! [`DropResponseModel`](crate::DropResponseModel) core; this module owns
+//! only the *row algebra* — how per-ring responses combine into effective
+//! channel weights — and the mapping-aware scaffolding that bakes them
+//! into a network clone.
+//!
 //! Two encoding conventions are modeled (see
 //! [`WeightEncoding`](crate::WeightEncoding)):
 //!
@@ -30,170 +37,72 @@
 //!
 //! Decoded magnitudes clamp to the accelerator's `[0, 1]` full scale per
 //! rail, exactly as the ADC saturates.
+//!
+//! The row-level evaluation is pluggable: [`corrupt_network`] uses the
+//! closed-form analytic evaluator, while [`corrupt_network_with`] accepts
+//! any [`RowEvaluator`] — the hook through which the physical and
+//! quantized backends ([`crate::backend`]) reuse the same mapping-aware
+//! scaffolding with a different per-channel physics evaluation.
 
 use safelight_neuro::Network;
 
 use crate::condition::{ConditionMap, MrCondition};
 use crate::config::{AcceleratorConfig, BlockKind, WeightEncoding};
 use crate::mapping::WeightMapping;
+use crate::response::{channel_power_factor, DropResponseModel};
 use crate::OnnError;
-
-/// Precomputed device constants for effective-weight evaluation.
-///
-/// Derived once per [`AcceleratorConfig`]; all lengths in nanometres.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EffectiveWeightParams {
-    /// Weight encoding convention.
-    pub encoding: WeightEncoding,
-    /// Extinction floor of the ring (through-port transmission at exact
-    /// resonance).
-    pub t_min: f64,
-    /// Through-port transmission at the modulator's maximum detuning.
-    pub t_max: f64,
-    /// Lorentzian full width at half maximum.
-    pub fwhm_nm: f64,
-    /// WDM channel spacing.
-    pub spacing_nm: f64,
-    /// Maximum imprint detuning of the modulation circuit.
-    pub max_detuning_nm: f64,
-    /// Residual (normalized) drop-port response at maximum detuning — the
-    /// drop-port encoding's zero level.
-    pub drop_floor: f64,
-    /// Thermo-optic shift per kelvin (eq. 2 slope).
-    pub shift_per_kelvin_nm: f64,
-    /// DAC quantization levels minus one (0 disables quantization).
-    pub dac_steps: u32,
-}
-
-impl EffectiveWeightParams {
-    /// Derives the constants from an accelerator configuration.
-    #[must_use]
-    pub fn from_config(config: &AcceleratorConfig) -> Self {
-        let g = &config.geometry;
-        let lambda = config.grid_start_nm;
-        let fwhm = lambda / g.q_factor;
-        let max_detuning = g.max_imprint_detuning_rel * config.channel_spacing_nm;
-        let t_min = g.extinction_floor;
-        let x = 2.0 * max_detuning / fwhm;
-        let lorentz_floor = 1.0 / (1.0 + x * x);
-        Self {
-            encoding: config.encoding,
-            t_min,
-            t_max: 1.0 - (1.0 - t_min) * lorentz_floor,
-            fwhm_nm: fwhm,
-            spacing_nm: config.channel_spacing_nm,
-            max_detuning_nm: max_detuning,
-            drop_floor: lorentz_floor,
-            shift_per_kelvin_nm: g.silicon.resonance_shift_per_kelvin_nm(lambda),
-            dac_steps: if config.dac_bits == 0 {
-                0
-            } else {
-                (1u32 << config.dac_bits) - 1
-            },
-        }
-    }
-
-    /// Normalized Lorentzian `L(δ) = 1 / (1 + (2δ/FWHM)²)`.
-    fn lorentzian(&self, delta_nm: f64) -> f64 {
-        let x = 2.0 * delta_nm / self.fwhm_nm;
-        1.0 / (1.0 + x * x)
-    }
-
-    /// Through-port transmission at detuning `delta_nm`.
-    #[must_use]
-    pub fn transmission(&self, delta_nm: f64) -> f64 {
-        1.0 - (1.0 - self.t_min) * self.lorentzian(delta_nm)
-    }
-
-    /// Drop-port response (normalized to its on-resonance peak) at detuning
-    /// `delta_nm`.
-    #[must_use]
-    pub fn drop_response(&self, delta_nm: f64) -> f64 {
-        self.lorentzian(delta_nm)
-    }
-
-    /// Imprint detuning that encodes magnitude `m ∈ [0, 1]` under the
-    /// configured encoding.
-    #[must_use]
-    pub fn detuning_for_magnitude(&self, m: f64) -> f64 {
-        let m = m.clamp(0.0, 1.0);
-        let target_lorentz = match self.encoding {
-            // Through port: T = 1 − (1−t_min)·L rises with detuning; m maps
-            // to T ∈ [t_min, t_max].
-            WeightEncoding::ThroughPort => {
-                let t = self.t_min + m * (self.t_max - self.t_min);
-                (1.0 - t) / (1.0 - self.t_min)
-            }
-            // Drop port: D ∝ L falls with detuning; m maps to
-            // L ∈ [drop_floor, 1].
-            WeightEncoding::DropPort => self.drop_floor + m * (1.0 - self.drop_floor),
-        };
-        let ratio = 1.0 / target_lorentz.clamp(1e-12, 1.0) - 1.0;
-        (0.5 * self.fwhm_nm * ratio.max(0.0).sqrt()).min(self.max_detuning_nm)
-    }
-
-    /// Decodes a rail's collected response back to a magnitude in `[0, 1]`.
-    #[must_use]
-    pub fn decode(&self, response: f64) -> f64 {
-        match self.encoding {
-            WeightEncoding::ThroughPort => (response - self.t_min) / (self.t_max - self.t_min),
-            WeightEncoding::DropPort => (response - self.drop_floor) / (1.0 - self.drop_floor),
-        }
-        .clamp(0.0, 1.0)
-    }
-
-    /// DAC-quantizes a magnitude.
-    #[must_use]
-    pub fn quantize(&self, m: f64) -> f64 {
-        if self.dac_steps == 0 {
-            return m.clamp(0.0, 1.0);
-        }
-        let steps = f64::from(self.dac_steps);
-        (m.clamp(0.0, 1.0) * steps).round() / steps
-    }
-
-    /// Effective resonance offset (from the ring's own carrier) under a
-    /// fault condition, given the imprinted magnitude. Shared with the
-    /// telemetry probe, which models the monitor photodetectors reading the
-    /// same physical drop responses.
-    pub(crate) fn offset_under(&self, m: f64, condition: MrCondition) -> f64 {
-        match condition {
-            MrCondition::Healthy => self.detuning_for_magnitude(m),
-            // A laser power-degradation fault lives upstream of the ring:
-            // the resonance keeps its calibrated imprint (the channel power
-            // scales via `channel_power_factor`) plus whatever spill-over
-            // heat reaches the ring's intact thermal response.
-            MrCondition::Attenuated { delta_kelvin, .. } => {
-                self.detuning_for_magnitude(m) + self.shift_per_kelvin_nm * delta_kelvin
-            }
-            MrCondition::Parked => self.max_detuning_nm,
-            MrCondition::Heated { delta_kelvin } => {
-                self.detuning_for_magnitude(m) + self.shift_per_kelvin_nm * delta_kelvin
-            }
-            // The trim DAC is pinned, but the thermo-optic shift is
-            // independent of it: recorded spill-over heat rides on top.
-            MrCondition::Detuned {
-                offset_nm,
-                delta_kelvin,
-            } => {
-                self.detuning_for_magnitude(m) + offset_nm + self.shift_per_kelvin_nm * delta_kelvin
-            }
-        }
-    }
-}
-
-/// Fraction of the nominal channel power reaching the ring's carrier under
-/// a fault condition (1 except for laser power-degradation faults).
-pub(crate) fn channel_power_factor(condition: MrCondition) -> f64 {
-    match condition {
-        MrCondition::Attenuated { factor, .. } => factor.clamp(0.0, 1.0),
-        _ => 1.0,
-    }
-}
 
 /// How many channels away a faulty ring can still meaningfully perturb a
 /// carrier (the Lorentzian tail is negligible beyond this).
-const CROSSTALK_WINDOW: isize = 2;
+pub(crate) const CROSSTALK_WINDOW: isize = 2;
+
+/// Evaluates the effective signed weight of one channel of a bank row.
+///
+/// `weights` and `conditions` describe the whole row (DAC-quantized signed
+/// normalized weights and active-rail fault states); implementations may
+/// read any channel but only the value at `col` is requested. The analytic
+/// evaluator computes the closed form; the physical evaluator reads the
+/// channel back through the simulated optical datapath; the quantized
+/// evaluator adds finite-resolution readout on top of the analytic form.
+pub trait RowEvaluator {
+    /// Effective signed weight on channel `col` of the row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-construction or datapath errors (the analytic
+    /// evaluator is infallible).
+    fn effective_channel(
+        &mut self,
+        col: usize,
+        weights: &[f64],
+        conditions: &[MrCondition],
+    ) -> Result<f64, OnnError>;
+}
+
+/// The closed-form analytic row evaluator (the fast path).
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticRows<'a> {
+    model: &'a DropResponseModel,
+}
+
+impl<'a> AnalyticRows<'a> {
+    /// Wraps a shared physics model.
+    #[must_use]
+    pub fn new(model: &'a DropResponseModel) -> Self {
+        Self { model }
+    }
+}
+
+impl RowEvaluator for AnalyticRows<'_> {
+    fn effective_channel(
+        &mut self,
+        col: usize,
+        weights: &[f64],
+        conditions: &[MrCondition],
+    ) -> Result<f64, OnnError> {
+        Ok(effective_channel(col, weights, conditions, self.model))
+    }
+}
 
 /// Effective *signed* weight on channel `c` of one bank row.
 ///
@@ -203,7 +112,7 @@ fn effective_channel(
     c: usize,
     weights: &[f64],
     conditions: &[MrCondition],
-    p: &EffectiveWeightParams,
+    p: &DropResponseModel,
 ) -> f64 {
     match p.encoding {
         WeightEncoding::ThroughPort => effective_channel_through(c, weights, conditions, p),
@@ -215,7 +124,7 @@ fn effective_channel_through(
     c: usize,
     weights: &[f64],
     conditions: &[MrCondition],
-    p: &EffectiveWeightParams,
+    p: &DropResponseModel,
 ) -> f64 {
     let m_c = weights[c].abs();
     let sign = if weights[c] < 0.0 { -1.0 } else { 1.0 };
@@ -248,7 +157,7 @@ fn effective_channel_drop(
     c: usize,
     weights: &[f64],
     conditions: &[MrCondition],
-    p: &EffectiveWeightParams,
+    p: &DropResponseModel,
 ) -> f64 {
     // Per-rail additive collection. The active rail of ring r is chosen by
     // sign(w_r); the inactive rail ring idles at zero imprint (maximum
@@ -314,11 +223,11 @@ fn effective_channel_drop(
 ///
 /// ```
 /// use safelight_onn::{
-///     AcceleratorConfig, effective_weight_row, EffectiveWeightParams, MrCondition,
+///     AcceleratorConfig, effective_weight_row, DropResponseModel, MrCondition,
 /// };
 ///
 /// # fn main() -> Result<(), safelight_onn::OnnError> {
-/// let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper()?);
+/// let p = DropResponseModel::from_config(&AcceleratorConfig::paper()?);
 /// let clean = [0.25, -0.5, 0.75];
 /// let healthy = [MrCondition::Healthy; 3];
 /// let out = effective_weight_row(&clean, &healthy, &p);
@@ -333,7 +242,7 @@ fn effective_channel_drop(
 pub fn effective_weight_row(
     weights: &[f64],
     conditions: &[MrCondition],
-    params: &EffectiveWeightParams,
+    params: &DropResponseModel,
 ) -> Vec<f64> {
     assert_eq!(
         weights.len(),
@@ -346,7 +255,8 @@ pub fn effective_weight_row(
 }
 
 /// Produces a clone of `network` whose weights are the *effective* values a
-/// faulty accelerator computes with, per the module-level physical model.
+/// faulty accelerator computes with, per the module-level physical model,
+/// using the closed-form analytic row evaluation.
 ///
 /// The i-th decayed (weight) parameter tensor of the network must
 /// correspond to the i-th [`LayerSpec`](crate::LayerSpec) of `mapping`.
@@ -363,7 +273,38 @@ pub fn corrupt_network(
     conditions: &ConditionMap,
     config: &AcceleratorConfig,
 ) -> Result<Network, OnnError> {
-    let p = EffectiveWeightParams::from_config(config);
+    let model = DropResponseModel::from_config(config);
+    corrupt_network_with(
+        network,
+        mapping,
+        conditions,
+        config,
+        &model,
+        &mut AnalyticRows::new(&model),
+    )
+}
+
+/// As [`corrupt_network`], but with an explicit physics `model` (whose DAC
+/// steps quantize the imprinted weights) and a pluggable [`RowEvaluator`]
+/// deciding how each affected channel's effective weight is computed.
+///
+/// This is the scaffolding every [`InferenceBackend`](crate::backend)
+/// shares: mapping validation, per-layer calibration scales, in-place DAC
+/// quantization and the batched per-row gathering of affected sites are
+/// identical across backends; only the per-channel evaluation differs.
+///
+/// # Errors
+///
+/// Returns [`OnnError::MappingMismatch`] when the network's weight tensors
+/// do not line up with the mapping, and propagates evaluator errors.
+pub fn corrupt_network_with(
+    network: &Network,
+    mapping: &WeightMapping,
+    conditions: &ConditionMap,
+    config: &AcceleratorConfig,
+    p: &DropResponseModel,
+    rows_eval: &mut dyn RowEvaluator,
+) -> Result<Network, OnnError> {
     let mut out = network.clone();
 
     // Validate that the weight tensors line up with the mapping.
@@ -498,22 +439,31 @@ pub fn corrupt_network(
         let mut needed = vec![false; row_len];
         for ((round, row_base), sites) in rows {
             // Only columns within the crosstalk window of some affected
-            // site are ever read; gather exactly that union once (≤ one
-            // lookup per column, versus one per site-window entry before).
+            // site are ever read by the analytic evaluator; gather exactly
+            // that union once (≤ one lookup per column, versus one per
+            // site-window entry before). Columns outside the union are
+            // reset to zero/healthy so evaluators that read the whole row
+            // (the physical datapath read-back) never see a stale gather
+            // from the previous row.
             needed.fill(false);
             for &(col, _, _) in &sites {
                 let lo = col.saturating_sub(CROSSTALK_WINDOW as usize);
                 let hi = (col + CROSSTALK_WINDOW as usize).min(row_len - 1);
                 needed[lo..=hi].fill(true);
             }
-            for (c, _) in needed.iter().enumerate().filter(|(_, &want)| want) {
-                let ring = row_base + c as u64;
-                let w = weight_at_slot(kind, round * cap + ring);
-                row_weights[c] = w.signum() * p.quantize(w.abs());
-                conds[c] = conditions.condition(kind, ring);
+            for (c, &want) in needed.iter().enumerate() {
+                if want {
+                    let ring = row_base + c as u64;
+                    let w = weight_at_slot(kind, round * cap + ring);
+                    row_weights[c] = w.signum() * p.quantize(w.abs());
+                    conds[c] = conditions.condition(kind, ring);
+                } else {
+                    row_weights[c] = 0.0;
+                    conds[c] = MrCondition::Healthy;
+                }
             }
             for (col, li, off) in sites {
-                let w_eff = effective_channel(col, &row_weights, &conds, &p) as f32;
+                let w_eff = rows_eval.effective_channel(col, &row_weights, &conds)? as f32;
                 let scale = scales[li];
                 if scale > 0.0 {
                     weights[li].value.as_mut_slice()[off] = w_eff * scale;
@@ -531,13 +481,13 @@ mod tests {
     use crate::mapping::LayerSpec;
     use safelight_neuro::{Flatten, Layer, Linear, Network, Tensor};
 
-    fn params_for(encoding: WeightEncoding) -> EffectiveWeightParams {
+    fn params_for(encoding: WeightEncoding) -> DropResponseModel {
         let mut config = AcceleratorConfig::paper().unwrap();
         config.encoding = encoding;
-        EffectiveWeightParams::from_config(&config)
+        DropResponseModel::from_config(&config)
     }
 
-    fn params() -> EffectiveWeightParams {
+    fn params() -> DropResponseModel {
         params_for(WeightEncoding::DropPort)
     }
 

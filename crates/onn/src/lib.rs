@@ -16,12 +16,18 @@
 //!   insight that larger models degrade faster under attack);
 //! * [`MrCondition`] / [`ConditionMap`] — the per-device fault state that
 //!   attack injectors produce (healthy, actuation-parked, or heated by ΔT);
+//! * [`DropResponseModel`] — the *single* drop-response/condition physics
+//!   core every datapath implementation consumes;
+//! * [`backend`] — the [`InferenceBackend`] abstraction unifying the
+//!   three datapaths (fast analytic, slow physical, finite-bit-depth
+//!   quantized) behind one trait the attack, detection and serving
+//!   layers consume;
 //! * [`corrupt_network`] — the fast evaluation path: derive the *effective*
 //!   weights a faulty accelerator applies (including thermal channel-slide
 //!   crosstalk) and bake them into a [`safelight_neuro::Network`] clone;
 //! * [`OpticalVdp`] — the slow, fully physical dot-product datapath
-//!   (laser → imprint banks → balanced photodetector → ADC) used to validate
-//!   the fast path and for micro-benchmarks;
+//!   (laser → imprint banks → balanced photodetector → ADC), usable
+//!   end-to-end via [`backend::PhysicalBackend`] and for micro-benchmarks;
 //! * [`BlockLayout`] — physical placement of VDP banks on a thermal grid;
 //! * [`PowerModel`] — laser/tuning/converter energy and latency estimates;
 //! * [`TelemetryFrame`] / [`TelemetryProbe`] — the runtime-detection sensor
@@ -51,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod condition;
 mod config;
 mod datapath;
@@ -59,14 +66,21 @@ mod executor;
 mod layout;
 mod mapping;
 mod power;
+mod response;
 mod telemetry;
 
+pub use backend::{
+    AnalyticBackend, BackendKind, InferenceBackend, PhysicalBackend, QuantizedBackend,
+};
 pub use condition::{ConditionMap, MrCondition};
 pub use config::{AcceleratorConfig, BlockConfig, BlockKind, WeightEncoding};
 pub use datapath::{OpticalVdp, RowTap};
 pub use error::OnnError;
-pub use executor::{corrupt_network, effective_weight_row, EffectiveWeightParams};
+pub use executor::{
+    corrupt_network, corrupt_network_with, effective_weight_row, AnalyticRows, RowEvaluator,
+};
 pub use layout::BlockLayout;
 pub use mapping::{LayerSpec, MappedParam, RemapOutcome, WeightMapping};
 pub use power::{PowerBreakdown, PowerModel};
+pub use response::{channel_power_factor, DropResponseModel};
 pub use telemetry::{BankTelemetry, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe};

@@ -1,0 +1,296 @@
+//! The single drop-response/condition physics core shared by every
+//! datapath implementation.
+//!
+//! [`DropResponseModel`] is the one place that knows how a microring's
+//! Lorentzian response, the weight-encoding conventions, DAC quantization
+//! and the fault conditions of [`MrCondition`] combine into the response a
+//! detector (or monitor tap) reads. The fast analytic executor
+//! (`crate::executor`), the slow physical datapath ([`crate::OpticalVdp`])
+//! and the telemetry probe ([`crate::TelemetryProbe`]) all consume this
+//! model — none carries its own copy of the physics. Backends
+//! ([`crate::backend`]) differ in *how* they evaluate the model (closed
+//! form, device-level simulation, or finite-resolution converters), never
+//! in *what* the model says.
+
+use crate::condition::MrCondition;
+use crate::config::{AcceleratorConfig, WeightEncoding};
+
+/// Precomputed device constants for drop-response evaluation.
+///
+/// Derived once per [`AcceleratorConfig`]; all lengths in nanometres.
+///
+/// # Example
+///
+/// ```
+/// use safelight_onn::{AcceleratorConfig, DropResponseModel, MrCondition};
+///
+/// # fn main() -> Result<(), safelight_onn::OnnError> {
+/// let model = DropResponseModel::from_config(&AcceleratorConfig::paper()?);
+/// // A healthy ring's drop response decodes back to its imprint.
+/// let m = 0.4;
+/// let response = model.drop_response(model.offset_under(m, MrCondition::Healthy));
+/// assert!((model.decode(response) - m).abs() < 1e-9);
+/// // A parked ring sits at the drop floor — its weight reads as zero.
+/// let parked = model.drop_response(model.offset_under(m, MrCondition::Parked));
+/// assert!(model.decode(parked) < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropResponseModel {
+    /// Weight encoding convention.
+    pub encoding: WeightEncoding,
+    /// Extinction floor of the ring (through-port transmission at exact
+    /// resonance).
+    pub t_min: f64,
+    /// Through-port transmission at the modulator's maximum detuning.
+    pub t_max: f64,
+    /// Lorentzian full width at half maximum.
+    pub fwhm_nm: f64,
+    /// WDM channel spacing.
+    pub spacing_nm: f64,
+    /// Maximum imprint detuning of the modulation circuit.
+    pub max_detuning_nm: f64,
+    /// Residual (normalized) drop-port response at maximum detuning — the
+    /// drop-port encoding's zero level.
+    pub drop_floor: f64,
+    /// Thermo-optic shift per kelvin (eq. 2 slope).
+    pub shift_per_kelvin_nm: f64,
+    /// DAC quantization levels minus one (0 disables quantization).
+    pub dac_steps: u32,
+}
+
+impl DropResponseModel {
+    /// Derives the constants from an accelerator configuration.
+    #[must_use]
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        let g = &config.geometry;
+        let lambda = config.grid_start_nm;
+        let fwhm = lambda / g.q_factor;
+        let max_detuning = g.max_imprint_detuning_rel * config.channel_spacing_nm;
+        let t_min = g.extinction_floor;
+        let x = 2.0 * max_detuning / fwhm;
+        let lorentz_floor = 1.0 / (1.0 + x * x);
+        Self {
+            encoding: config.encoding,
+            t_min,
+            t_max: 1.0 - (1.0 - t_min) * lorentz_floor,
+            fwhm_nm: fwhm,
+            spacing_nm: config.channel_spacing_nm,
+            max_detuning_nm: max_detuning,
+            drop_floor: lorentz_floor,
+            shift_per_kelvin_nm: g.silicon.resonance_shift_per_kelvin_nm(lambda),
+            dac_steps: Self::steps_from_bits(config.dac_bits),
+        }
+    }
+
+    /// As [`DropResponseModel::from_config`], but with the DAC resolution
+    /// overridden to `dac_bits` — the hook the quantized backend uses to
+    /// model coarser weight converters on otherwise identical hardware.
+    #[must_use]
+    pub fn with_dac_bits(config: &AcceleratorConfig, dac_bits: u8) -> Self {
+        let mut model = Self::from_config(config);
+        model.dac_steps = Self::steps_from_bits(dac_bits);
+        model
+    }
+
+    /// Quantization step count of a converter with `bits` of resolution:
+    /// `2^bits − 1` uniform levels, `0` (quantization disabled) for
+    /// zero-bit converters, saturating at 31 bits so pathological depths
+    /// cannot overflow the shift. Every bits→steps derivation in the
+    /// workspace goes through here.
+    #[must_use]
+    pub fn steps_from_bits(bits: u8) -> u32 {
+        if bits == 0 {
+            0
+        } else {
+            (1u32 << u32::from(bits).min(31)) - 1
+        }
+    }
+
+    /// Snaps `x ∈ [0, 1]` to `steps` uniform levels (clamp-only when
+    /// `steps` is 0). The single snap-to-grid implementation behind DAC
+    /// weight quantization and the quantized backend's readout model.
+    #[must_use]
+    pub fn snap_unit(x: f64, steps: u32) -> f64 {
+        if steps == 0 {
+            return x.clamp(0.0, 1.0);
+        }
+        let steps = f64::from(steps);
+        (x.clamp(0.0, 1.0) * steps).round() / steps
+    }
+
+    /// Snaps a signed value in `[−1, 1]` to `steps` uniform magnitude
+    /// levels per sign (clamp-only when `steps` is 0).
+    #[must_use]
+    pub fn snap_signed(x: f64, steps: u32) -> f64 {
+        if steps == 0 {
+            return x.clamp(-1.0, 1.0);
+        }
+        let steps = f64::from(steps);
+        (x.clamp(-1.0, 1.0) * steps).round() / steps
+    }
+
+    /// Normalized Lorentzian `L(δ) = 1 / (1 + (2δ/FWHM)²)`.
+    fn lorentzian(&self, delta_nm: f64) -> f64 {
+        let x = 2.0 * delta_nm / self.fwhm_nm;
+        1.0 / (1.0 + x * x)
+    }
+
+    /// Through-port transmission at detuning `delta_nm`.
+    #[must_use]
+    pub fn transmission(&self, delta_nm: f64) -> f64 {
+        1.0 - (1.0 - self.t_min) * self.lorentzian(delta_nm)
+    }
+
+    /// Drop-port response (normalized to its on-resonance peak) at detuning
+    /// `delta_nm`.
+    #[must_use]
+    pub fn drop_response(&self, delta_nm: f64) -> f64 {
+        self.lorentzian(delta_nm)
+    }
+
+    /// Imprint detuning that encodes magnitude `m ∈ [0, 1]` under the
+    /// configured encoding.
+    #[must_use]
+    pub fn detuning_for_magnitude(&self, m: f64) -> f64 {
+        let m = m.clamp(0.0, 1.0);
+        let target_lorentz = match self.encoding {
+            // Through port: T = 1 − (1−t_min)·L rises with detuning; m maps
+            // to T ∈ [t_min, t_max].
+            WeightEncoding::ThroughPort => {
+                let t = self.t_min + m * (self.t_max - self.t_min);
+                (1.0 - t) / (1.0 - self.t_min)
+            }
+            // Drop port: D ∝ L falls with detuning; m maps to
+            // L ∈ [drop_floor, 1].
+            WeightEncoding::DropPort => self.drop_floor + m * (1.0 - self.drop_floor),
+        };
+        let ratio = 1.0 / target_lorentz.clamp(1e-12, 1.0) - 1.0;
+        (0.5 * self.fwhm_nm * ratio.max(0.0).sqrt()).min(self.max_detuning_nm)
+    }
+
+    /// Decodes a rail's collected response back to a magnitude in `[0, 1]`.
+    #[must_use]
+    pub fn decode(&self, response: f64) -> f64 {
+        match self.encoding {
+            WeightEncoding::ThroughPort => (response - self.t_min) / (self.t_max - self.t_min),
+            WeightEncoding::DropPort => (response - self.drop_floor) / (1.0 - self.drop_floor),
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// DAC-quantizes a magnitude.
+    #[must_use]
+    pub fn quantize(&self, m: f64) -> f64 {
+        Self::snap_unit(m, self.dac_steps)
+    }
+
+    /// Effective resonance offset (from the ring's own carrier) under a
+    /// fault condition, given the imprinted magnitude. Every consumer of
+    /// the model — the fast executor, the physical datapath's ring
+    /// construction and the telemetry probe — answers "where is this ring's
+    /// resonance under this fault?" through this one function.
+    #[must_use]
+    pub fn offset_under(&self, m: f64, condition: MrCondition) -> f64 {
+        match condition {
+            MrCondition::Healthy => self.detuning_for_magnitude(m),
+            // A laser power-degradation fault lives upstream of the ring:
+            // the resonance keeps its calibrated imprint (the channel power
+            // scales via `channel_power_factor`) plus whatever spill-over
+            // heat reaches the ring's intact thermal response.
+            MrCondition::Attenuated { delta_kelvin, .. } => {
+                self.detuning_for_magnitude(m) + self.shift_per_kelvin_nm * delta_kelvin
+            }
+            MrCondition::Parked => self.max_detuning_nm,
+            MrCondition::Heated { delta_kelvin } => {
+                self.detuning_for_magnitude(m) + self.shift_per_kelvin_nm * delta_kelvin
+            }
+            // The trim DAC is pinned, but the thermo-optic shift is
+            // independent of it: recorded spill-over heat rides on top.
+            MrCondition::Detuned {
+                offset_nm,
+                delta_kelvin,
+            } => {
+                self.detuning_for_magnitude(m) + offset_nm + self.shift_per_kelvin_nm * delta_kelvin
+            }
+        }
+    }
+}
+
+/// Fraction of the nominal channel power reaching the ring's carrier under
+/// a fault condition (1 except for laser power-degradation faults).
+#[must_use]
+pub fn channel_power_factor(condition: MrCondition) -> f64 {
+    match condition {
+        MrCondition::Attenuated { factor, .. } => factor.clamp(0.0, 1.0),
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DropResponseModel {
+        DropResponseModel::from_config(&AcceleratorConfig::paper().unwrap())
+    }
+
+    #[test]
+    fn healthy_imprint_round_trips_through_decode() {
+        let p = model();
+        for m in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let response = p.drop_response(p.offset_under(m, MrCondition::Healthy));
+            assert!((p.decode(response) - m).abs() < 1e-9, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn parked_offset_is_max_detuning_regardless_of_imprint() {
+        let p = model();
+        assert_eq!(p.offset_under(0.0, MrCondition::Parked), p.max_detuning_nm);
+        assert_eq!(p.offset_under(1.0, MrCondition::Parked), p.max_detuning_nm);
+    }
+
+    #[test]
+    fn heat_adds_the_thermo_optic_shift() {
+        let p = model();
+        let base = p.offset_under(0.5, MrCondition::Healthy);
+        let hot = p.offset_under(0.5, MrCondition::Heated { delta_kelvin: 10.0 });
+        assert!((hot - base - 10.0 * p.shift_per_kelvin_nm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_factor_only_responds_to_attenuation() {
+        assert_eq!(channel_power_factor(MrCondition::Healthy), 1.0);
+        assert_eq!(channel_power_factor(MrCondition::Parked), 1.0);
+        assert_eq!(
+            channel_power_factor(MrCondition::Attenuated {
+                factor: 0.25,
+                delta_kelvin: 3.0
+            }),
+            0.25
+        );
+        // Out-of-range factors clamp.
+        assert_eq!(
+            channel_power_factor(MrCondition::Attenuated {
+                factor: 7.0,
+                delta_kelvin: 0.0
+            }),
+            1.0
+        );
+    }
+
+    #[test]
+    fn with_dac_bits_overrides_only_the_quantizer() {
+        let config = AcceleratorConfig::paper().unwrap();
+        let fine = DropResponseModel::from_config(&config);
+        let coarse = DropResponseModel::with_dac_bits(&config, 2);
+        assert_eq!(coarse.dac_steps, 3);
+        assert_eq!(coarse.fwhm_nm, fine.fwhm_nm);
+        assert_eq!(coarse.drop_floor, fine.drop_floor);
+        let off = DropResponseModel::with_dac_bits(&config, 0);
+        assert_eq!(off.dac_steps, 0);
+        assert_eq!(off.quantize(0.123_456), 0.123_456);
+    }
+}

@@ -32,9 +32,15 @@ use safelight_neuro::{Network, SimRng};
 
 use crate::condition::{ConditionMap, MrCondition};
 use crate::config::{AcceleratorConfig, BlockKind};
-use crate::executor::{channel_power_factor, EffectiveWeightParams};
 use crate::mapping::WeightMapping;
+use crate::response::{channel_power_factor, DropResponseModel};
 use crate::OnnError;
+
+/// How one (magnitude, condition) slot turns into a monitor response: the
+/// analytic closed form of the shared [`DropResponseModel`], or a custom
+/// evaluator supplied by a backend (device-level simulation, quantized
+/// readout).
+pub(crate) type SlotResponseFn<'a> = &'a mut dyn FnMut(f64, MrCondition) -> Result<f64, OnnError>;
 
 /// Configuration of the optional sensor taps: which read-noise levels the
 /// monitor ADCs add, and how many sentinel rings are provisioned.
@@ -363,7 +369,29 @@ impl TelemetryProbe {
         sentinels: &SentinelPlan,
         tap: TapConfig,
     ) -> Result<Self, OnnError> {
-        let p = EffectiveWeightParams::from_config(config);
+        let model = DropResponseModel::from_config(config);
+        Self::new_with(
+            network, mapping, conditions, config, sentinels, tap, &model, None,
+        )
+    }
+
+    /// As [`TelemetryProbe::new`], but with an explicit physics `model`
+    /// (whose DAC steps quantize imprinted magnitudes) and an optional
+    /// custom per-slot response evaluator. With `response: None` the
+    /// analytic closed forms of the shared model apply — the fast path;
+    /// backends pass `Some` to read each slot through their own physics
+    /// (device simulation, finite-resolution monitor ADCs).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_with(
+        network: &Network,
+        mapping: &WeightMapping,
+        conditions: &ConditionMap,
+        config: &AcceleratorConfig,
+        sentinels: &SentinelPlan,
+        tap: TapConfig,
+        p: &DropResponseModel,
+        mut response: Option<SlotResponseFn<'_>>,
+    ) -> Result<Self, OnnError> {
         let drop_port = p.encoding == crate::config::WeightEncoding::DropPort;
 
         // Normalized, quantized |weight| snapshot per layer, mirroring the
@@ -403,7 +431,7 @@ impl TelemetryProbe {
             });
         }
 
-        let means_for = |kind: BlockKind| -> Result<BlockMeans, OnnError> {
+        let mut means_for = |kind: BlockKind| -> Result<BlockMeans, OnnError> {
             let shape = *config.block(kind);
             let cap = shape.total_mrs();
             let per_bank = shape.mrs_per_bank() as u64;
@@ -468,19 +496,25 @@ impl TelemetryProbe {
                 } else {
                     0.0
                 };
-                // Fast paths for the two exact closed forms: under the
-                // drop-port encoding a healthy ring's drop response is the
-                // encoding target itself (`detuning_for_magnitude` is its
-                // inverse), and a parked ring sits at max detuning — i.e.
-                // exactly the drop floor, whatever the encoding. Most rings
-                // hit one of these, skipping the sqrt/Lorentzian round-trip
-                // that dominates probe construction in sweeps.
-                let response = match cond {
-                    MrCondition::Healthy if drop_port => p.drop_floor + m * (1.0 - p.drop_floor),
-                    MrCondition::Parked => p.drop_floor,
-                    _ => channel_power_factor(cond) * p.drop_response(p.offset_under(m, cond)),
+                let slot_response = match &mut response {
+                    Some(eval) => eval(m, cond)?,
+                    // Fast paths for the two exact closed forms: under the
+                    // drop-port encoding a healthy ring's drop response is
+                    // the encoding target itself (`detuning_for_magnitude`
+                    // is its inverse), and a parked ring sits at max
+                    // detuning — i.e. exactly the drop floor, whatever the
+                    // encoding. Most rings hit one of these, skipping the
+                    // sqrt/Lorentzian round-trip that dominates probe
+                    // construction in sweeps.
+                    None => match cond {
+                        MrCondition::Healthy if drop_port => {
+                            p.drop_floor + m * (1.0 - p.drop_floor)
+                        }
+                        MrCondition::Parked => p.drop_floor,
+                        _ => channel_power_factor(cond) * p.drop_response(p.offset_under(m, cond)),
+                    },
                 };
-                drop_sum[(ring / per_bank) as usize] += response;
+                drop_sum[(ring / per_bank) as usize] += slot_response;
             }
             // Thermal / rail / trim readbacks are per-ring, independent of
             // the imprinted weights.
@@ -516,14 +550,15 @@ impl TelemetryProbe {
             // Sentinel readback: the decoded magnitude of the known probe
             // weight on each sentinel ring, through the same physics.
             let m = p.quantize(sentinels.magnitude());
-            let readbacks = sentinels
-                .sites(kind)
-                .iter()
-                .map(|&ring| {
-                    let cond = conditions.condition(kind, ring);
-                    p.decode(channel_power_factor(cond) * p.drop_response(p.offset_under(m, cond)))
-                })
-                .collect();
+            let mut readbacks = Vec::with_capacity(sentinels.sites(kind).len());
+            for &ring in sentinels.sites(kind) {
+                let cond = conditions.condition(kind, ring);
+                let slot_response = match &mut response {
+                    Some(eval) => eval(m, cond)?,
+                    None => channel_power_factor(cond) * p.drop_response(p.offset_under(m, cond)),
+                };
+                readbacks.push(p.decode(slot_response));
+            }
             Ok(BlockMeans {
                 banks,
                 sentinels: readbacks,

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use safelight_onn::{
-    effective_weight_row, AcceleratorConfig, BlockConfig, BlockKind, EffectiveWeightParams,
-    LayerSpec, MrCondition, OpticalVdp, WeightMapping,
+    effective_weight_row, AcceleratorConfig, BlockConfig, BlockKind, DropResponseModel, LayerSpec,
+    MrCondition, OpticalVdp, WeightMapping,
 };
 
 fn paper_config() -> AcceleratorConfig {
@@ -51,7 +51,7 @@ proptest! {
         let mut vdp = OpticalVdp::new(&config, 5).unwrap();
         let physical = vdp.dot(&inputs, &weights, &conds).unwrap();
 
-        let p = EffectiveWeightParams::from_config(&config);
+        let p = DropResponseModel::from_config(&config);
         let effective = effective_weight_row(&weights, &conds, &p);
         let predicted: f64 = inputs.iter().zip(&effective).map(|(a, w)| a * w).sum();
 
@@ -98,7 +98,7 @@ proptest! {
     fn quantization_is_projection(bits in 1u8..16, m in 0.0f64..1.0) {
         let mut config = paper_config();
         config.dac_bits = bits;
-        let p = EffectiveWeightParams::from_config(&config);
+        let p = DropResponseModel::from_config(&config);
         let q1 = p.quantize(m);
         let q2 = p.quantize(q1);
         prop_assert_eq!(q1, q2);

@@ -22,7 +22,7 @@
 
 use safelight_neuro::Network;
 use safelight_onn::{
-    AcceleratorConfig, ConditionMap, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe,
+    ConditionMap, InferenceBackend, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe,
     WeightMapping,
 };
 
@@ -245,7 +245,7 @@ fn post_onset_max(scores: &[f64], onset: usize) -> f64 {
 pub fn run_detection(
     network: &Network,
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     scenarios: &[ScenarioSpec],
     detectors: &[Box<dyn Detector>],
     opts: &DetectionOptions,
@@ -264,21 +264,16 @@ pub fn run_detection(
             value: 0.0,
         });
     }
+    let config = backend.config();
     let sentinels = SentinelPlan::new(
         mapping,
         config,
         opts.sentinels_per_block,
         opts.sentinel_magnitude,
     );
-    let clean_probe = TelemetryProbe::new(
-        network,
-        mapping,
-        &ConditionMap::new(),
-        config,
-        &sentinels,
-        opts.tap,
-    )
-    .map_err(SafelightError::from)?;
+    let clean_probe = backend
+        .probe(network, mapping, &ConditionMap::new(), &sentinels, opts.tap)
+        .map_err(SafelightError::from)?;
 
     // Calibrate the suite once on a dedicated attack-free stream.
     let cal_seed = fold(seed, 0xCA11_B8A7);
@@ -331,15 +326,9 @@ pub fn run_detection(
     let injected = inject_all(config, scenarios, salience.as_ref(), seed, threads)?;
     let per_scenario: Vec<Result<Vec<RunScores>, SafelightError>> =
         par_map(injected, threads, |entry| {
-            let probe = TelemetryProbe::new(
-                network,
-                mapping,
-                &entry.conditions,
-                config,
-                &sentinels,
-                opts.tap,
-            )
-            .map_err(SafelightError::from)?;
+            let probe = backend
+                .probe(network, mapping, &entry.conditions, &sentinels, opts.tap)
+                .map_err(SafelightError::from)?;
             let spec_key = spec_stream_key(&entry.scenario);
             // One suite clone serves every run of this scenario via reset.
             let mut suite: Vec<Box<dyn Detector>> =
@@ -496,12 +485,13 @@ mod tests {
     use crate::attack::{AttackTarget, Selection, VectorSpec};
     use crate::detect::default_detectors;
     use crate::models::{build_model, matched_accelerator, ModelKind};
+    use safelight_onn::AnalyticBackend;
 
-    fn setup() -> (Network, WeightMapping, AcceleratorConfig) {
+    fn setup() -> (Network, WeightMapping, AnalyticBackend) {
         let bundle = build_model(ModelKind::Cnn1, 7).unwrap();
         let config = matched_accelerator(ModelKind::Cnn1).unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
-        (bundle.network, mapping, config)
+        (bundle.network, mapping, AnalyticBackend::new(&config))
     }
 
     fn quick_opts() -> DetectionOptions {
@@ -518,7 +508,7 @@ mod tests {
 
     #[test]
     fn report_covers_every_cell_and_detector() {
-        let (network, mapping, config) = setup();
+        let (network, mapping, backend) = setup();
         let scenarios = vec![
             ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.10, 0),
             ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.10, 1),
@@ -528,7 +518,7 @@ mod tests {
         let report = run_detection(
             &network,
             &mapping,
-            &config,
+            &backend,
             &scenarios,
             &default_detectors(),
             &quick_opts(),
@@ -557,12 +547,12 @@ mod tests {
 
     #[test]
     fn strong_actuation_is_detected_with_low_latency() {
-        let (network, mapping, config) = setup();
+        let (network, mapping, backend) = setup();
         let spec = ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.10, 0);
         let report = run_detection(
             &network,
             &mapping,
-            &config,
+            &backend,
             std::slice::from_ref(&spec),
             &default_detectors(),
             &quick_opts(),
@@ -579,7 +569,7 @@ mod tests {
 
     #[test]
     fn results_are_identical_across_thread_counts() {
-        let (network, mapping, config) = setup();
+        let (network, mapping, backend) = setup();
         let scenarios = vec![
             ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0),
             ScenarioSpec::new(VectorSpec::trim_default(), AttackTarget::Both, 0.05, 0),
@@ -588,7 +578,7 @@ mod tests {
             run_detection(
                 &network,
                 &mapping,
-                &config,
+                &backend,
                 &scenarios,
                 &default_detectors(),
                 &quick_opts(),
@@ -607,7 +597,7 @@ mod tests {
 
     #[test]
     fn degenerate_options_are_rejected() {
-        let (network, mapping, config) = setup();
+        let (network, mapping, backend) = setup();
         let scenarios = [ScenarioSpec::new(
             VectorSpec::Actuation,
             AttackTarget::ConvBlock,
@@ -628,7 +618,7 @@ mod tests {
             assert!(run_detection(
                 &network,
                 &mapping,
-                &config,
+                &backend,
                 &scenarios,
                 &default_detectors(),
                 &opts,

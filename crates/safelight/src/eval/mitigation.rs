@@ -2,10 +2,10 @@
 //! every trained variant across all attack scenarios.
 
 use safelight_neuro::{Dataset, Network};
-use safelight_onn::{AcceleratorConfig, WeightMapping};
+use safelight_onn::WeightMapping;
 
 use safelight_neuro::accuracy;
-use safelight_onn::{corrupt_network, ConditionMap};
+use safelight_onn::{ConditionMap, InferenceBackend};
 
 use crate::attack::{RingSalience, ScenarioSpec};
 use crate::defense::VariantKind;
@@ -68,7 +68,7 @@ impl MitigationReport {
 pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
     variants: &[(VariantKind, Network)],
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     test_data: &D,
     scenarios: &[ScenarioSpec],
     seed: u64,
@@ -86,6 +86,7 @@ pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
             value: 0.0,
         });
     }
+    let config = backend.config();
     let salience = if needs_salience(scenarios) {
         Some(RingSalience::from_network(&variants[0].1, mapping, config)?)
     } else {
@@ -94,10 +95,10 @@ pub fn run_mitigation<D: Dataset + Sync + ?Sized>(
     let injected = inject_all(config, scenarios, salience.as_ref(), seed, threads)?;
     let mut outcomes = Vec::with_capacity(variants.len());
     for (variant, network) in variants {
-        let mut clean = corrupt_network(network, mapping, &ConditionMap::new(), config)?;
+        let mut clean = backend.derive_network(network, mapping, &ConditionMap::new())?;
         let baseline = accuracy(&mut clean, test_data, 32)?;
         let trials =
-            evaluate_with_conditions(network, mapping, config, test_data, &injected, threads)?;
+            evaluate_with_conditions(network, mapping, backend, test_data, &injected, threads)?;
         let accuracies: Vec<f64> = trials.iter().map(|t| t.accuracy).collect();
         let stats = BoxStats::from_values(&accuracies)
             .expect("non-empty scenarios produce non-empty accuracies");
@@ -117,6 +118,7 @@ mod tests {
     use crate::models::{build_model, ModelKind};
     use safelight_datasets::{digits, SyntheticSpec};
     use safelight_neuro::{Trainer, TrainerConfig};
+    use safelight_onn::{AcceleratorConfig, AnalyticBackend};
 
     fn outcome(variant: VariantKind, median: f64) -> VariantOutcome {
         VariantOutcome {
@@ -190,8 +192,16 @@ mod tests {
         let scenarios: Vec<ScenarioSpec> = (0..2)
             .map(|trial| ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.05, trial))
             .collect();
-        let report =
-            run_mitigation(&variants, &mapping, &config, &data.test, &scenarios, 11, 2).unwrap();
+        let report = run_mitigation(
+            &variants,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenarios,
+            11,
+            2,
+        )
+        .unwrap();
         assert_eq!(report.outcomes.len(), 2);
         for o in &report.outcomes {
             assert!(o.stats.min <= o.stats.median && o.stats.median <= o.stats.max);
@@ -211,6 +221,15 @@ mod tests {
         let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
         let variants = vec![(VariantKind::Original, bundle.network.clone())];
-        assert!(run_mitigation(&variants, &mapping, &config, &data.test, &[], 1, 1).is_err());
+        assert!(run_mitigation(
+            &variants,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &[],
+            1,
+            1
+        )
+        .is_err());
     }
 }

@@ -3,7 +3,7 @@
 //! attack-induced drop the robust model recovers.
 
 use safelight_neuro::{accuracy, Dataset, Network};
-use safelight_onn::{corrupt_network, AcceleratorConfig, ConditionMap, WeightMapping};
+use safelight_onn::{ConditionMap, InferenceBackend, WeightMapping};
 
 use crate::attack::{AttackTarget, ScenarioSpec, VectorSpec};
 use crate::eval::par_map;
@@ -70,7 +70,7 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
     original: &Network,
     robust: &Network,
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     test_data: &D,
     fractions: &[f64],
     trials: u64,
@@ -107,7 +107,7 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
     // models instead of being recomputed per model as the seed did. The
     // Fig. 9 grid uses uniform site selection, so no salience map is
     // needed.
-    let injected = inject_all(config, &scenarios, None, seed, threads)?;
+    let injected = inject_all(backend.config(), &scenarios, None, seed, threads)?;
 
     // Both clean baselines and both models' full trial sets are
     // independent work items; evaluate all of them in one flat fan-out
@@ -119,18 +119,14 @@ pub fn run_recovery<D: Dataset + Sync + ?Sized>(
     let items: Vec<usize> = (0..2 + 2 * n_scenarios).collect();
     let outcomes = par_map(items, threads, |i| {
         if i < 2 {
-            let mut clean = corrupt_network(networks[i], mapping, &ConditionMap::new(), config)?;
+            let mut clean = backend.derive_network(networks[i], mapping, &ConditionMap::new())?;
             let acc = accuracy(&mut clean, test_data, 32)?;
             return Ok::<f64, SafelightError>(acc);
         }
         let i = i - 2;
         let entry = &injected[i % n_scenarios];
-        let mut attacked = corrupt_network(
-            networks[i / n_scenarios],
-            mapping,
-            &entry.conditions,
-            config,
-        )?;
+        let mut attacked =
+            backend.derive_network(networks[i / n_scenarios], mapping, &entry.conditions)?;
         Ok(accuracy(&mut attacked, test_data, 32)?)
     });
     let mut accuracies = Vec::with_capacity(outcomes.len());
@@ -184,6 +180,7 @@ mod tests {
     use crate::models::{build_model, ModelKind};
     use safelight_datasets::{digits, SyntheticSpec};
     use safelight_neuro::{Trainer, TrainerConfig};
+    use safelight_onn::{AcceleratorConfig, AnalyticBackend};
 
     #[test]
     fn recovery_report_has_one_interval_per_cell() {
@@ -215,7 +212,7 @@ mod tests {
             &original,
             &robust,
             &mapping,
-            &config,
+            &AnalyticBackend::new(&config),
             &data.test,
             &[0.01, 0.10],
             2,
@@ -243,7 +240,29 @@ mod tests {
         let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
         let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
         let net = bundle.network;
-        assert!(run_recovery(&net, &net, &mapping, &config, &data.test, &[], 2, 1, 1).is_err());
-        assert!(run_recovery(&net, &net, &mapping, &config, &data.test, &[0.01], 0, 1, 1).is_err());
+        assert!(run_recovery(
+            &net,
+            &net,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &[],
+            2,
+            1,
+            1
+        )
+        .is_err());
+        assert!(run_recovery(
+            &net,
+            &net,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &[0.01],
+            0,
+            1,
+            1
+        )
+        .is_err());
     }
 }

@@ -2,7 +2,7 @@
 //! every attack scenario.
 
 use safelight_neuro::{accuracy, Dataset, Network};
-use safelight_onn::{corrupt_network, AcceleratorConfig, WeightMapping};
+use safelight_onn::{AcceleratorConfig, InferenceBackend, WeightMapping};
 
 use crate::attack::{inject_full, RingSalience, ScenarioSpec, Selection};
 use crate::eval::par_map;
@@ -104,7 +104,10 @@ pub fn inject_all(
 }
 
 /// Evaluates one network against pre-injected conditions, returning one
-/// trial result per entry (input order preserved).
+/// trial result per entry (input order preserved). The effective network
+/// of every trial is derived through `backend`, so the same sweep runs
+/// against the fast analytic path, the physical datapath or a quantized
+/// converter budget unchanged.
 ///
 /// # Errors
 ///
@@ -112,7 +115,7 @@ pub fn inject_all(
 pub fn evaluate_with_conditions<D: Dataset + Sync + ?Sized>(
     network: &Network,
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     test_data: &D,
     injected: &[InjectedScenario],
     threads: usize,
@@ -120,7 +123,7 @@ pub fn evaluate_with_conditions<D: Dataset + Sync + ?Sized>(
     let items: Vec<usize> = (0..injected.len()).collect();
     let outcomes = par_map(items, threads, |i| {
         let entry = &injected[i];
-        let mut attacked = corrupt_network(network, mapping, &entry.conditions, config)?;
+        let mut attacked = backend.derive_network(network, mapping, &entry.conditions)?;
         let acc = accuracy(&mut attacked, test_data, 32)?;
         Ok::<TrialResult, SafelightError>(TrialResult {
             scenario: entry.scenario.clone(),
@@ -147,19 +150,16 @@ pub fn evaluate_with_conditions<D: Dataset + Sync + ?Sized>(
 pub fn run_susceptibility<D: Dataset + Sync + ?Sized>(
     network: &Network,
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     test_data: &D,
     scenarios: &[ScenarioSpec],
     seed: u64,
     threads: usize,
 ) -> Result<SusceptibilityReport, SafelightError> {
-    // Baseline: clean accelerator (DAC quantization only).
-    let mut clean = corrupt_network(
-        network,
-        mapping,
-        &safelight_onn::ConditionMap::new(),
-        config,
-    )?;
+    let config = backend.config();
+    // Baseline: clean accelerator (converter quantization only).
+    let mut clean =
+        backend.derive_network(network, mapping, &safelight_onn::ConditionMap::new())?;
     let baseline = accuracy(&mut clean, test_data, 32)?;
     // One salience pass feeds every targeted scenario, keeping the sweep
     // deterministic regardless of how trials are scheduled.
@@ -169,7 +169,8 @@ pub fn run_susceptibility<D: Dataset + Sync + ?Sized>(
         None
     };
     let injected = inject_all(config, scenarios, salience.as_ref(), seed, threads)?;
-    let trials = evaluate_with_conditions(network, mapping, config, test_data, &injected, threads)?;
+    let trials =
+        evaluate_with_conditions(network, mapping, backend, test_data, &injected, threads)?;
     Ok(SusceptibilityReport { baseline, trials })
 }
 
@@ -180,6 +181,7 @@ mod tests {
     use crate::models::{build_model, ModelKind};
     use safelight_datasets::{digits, SyntheticSpec};
     use safelight_neuro::{Trainer, TrainerConfig};
+    use safelight_onn::AnalyticBackend;
 
     /// A trained-enough CNN_1 plus its mapping on the scaled accelerator.
     fn trained_setup() -> (
@@ -214,8 +216,16 @@ mod tests {
             ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0),
             ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::FcBlock, 0.05, 1),
         ];
-        let report =
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2).unwrap();
+        let report = run_susceptibility(
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenarios,
+            7,
+            2,
+        )
+        .unwrap();
         assert_eq!(report.trials.len(), 2);
         assert!(report.baseline > 0.3, "baseline {}", report.baseline);
         for t in &report.trials {
@@ -233,8 +243,16 @@ mod tests {
             0.10,
             0,
         )];
-        let report =
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
+        let report = run_susceptibility(
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenarios,
+            7,
+            1,
+        )
+        .unwrap();
         assert!(report.worst_accuracy() <= report.baseline + 0.2);
         assert!(report.worst_drop() >= -0.2);
     }
@@ -259,10 +277,26 @@ mod tests {
             0.05,
             1,
         ));
-        let a =
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
-        let b =
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 2).unwrap();
+        let a = run_susceptibility(
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenarios,
+            7,
+            1,
+        )
+        .unwrap();
+        let b = run_susceptibility(
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenarios,
+            7,
+            2,
+        )
+        .unwrap();
         for (ta, tb) in a.trials.iter().zip(&b.trials) {
             assert_eq!(ta.accuracy, tb.accuracy);
             assert_eq!(ta.effective_fraction, tb.effective_fraction);
@@ -278,8 +312,16 @@ mod tests {
             0.01,
             0,
         )];
-        let report =
-            run_susceptibility(&network, &mapping, &config, &data.test, &scenarios, 7, 1).unwrap();
+        let report = run_susceptibility(
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenarios,
+            7,
+            1,
+        )
+        .unwrap();
         // 1 % of the scaled CONV block rounds up to one whole bank (4 %).
         assert!(
             report.trials[0].effective_fraction > 0.03,

@@ -5,7 +5,9 @@ use std::path::PathBuf;
 
 use safelight_datasets::{generate, SplitDataset, SyntheticSpec};
 use safelight_neuro::{Network, SimRng};
-use safelight_onn::{AcceleratorConfig, BlockKind, BlockLayout, WeightMapping};
+use safelight_onn::{
+    AcceleratorConfig, BackendKind, BlockKind, BlockLayout, InferenceBackend, WeightMapping,
+};
 use safelight_thermal::{Heatmap, ThermalConfig};
 
 use crate::attack::{scenario_grid, scenario_grid_for, Selection, VectorSpec};
@@ -45,6 +47,9 @@ pub struct ExperimentOptions {
     /// Site-selection strategies swept by the Fig. 7 grid. Defaults to the
     /// paper's uniform placement.
     pub selections: Vec<Selection>,
+    /// Which datapath backend evaluates every scenario (the `repro
+    /// --backend` axis). Defaults to the fast analytic path.
+    pub backend: BackendKind,
 }
 
 impl Default for ExperimentOptions {
@@ -60,6 +65,7 @@ impl Default for ExperimentOptions {
             threads: safelight_neuro::parallel::configured_threads(),
             vectors: VectorSpec::paper_pair().map(|v| vec![v]).into(),
             selections: vec![Selection::Uniform],
+            backend: BackendKind::Fast,
         }
     }
 }
@@ -182,6 +188,9 @@ pub struct ModelWorkbench {
     pub mapping: WeightMapping,
     /// The trained `Original` (no-mitigation) network.
     pub original: Network,
+    /// The datapath backend the experiment evaluates through (resolved
+    /// from [`ExperimentOptions::backend`] for this model's accelerator).
+    pub backend: Box<dyn InferenceBackend>,
 }
 
 /// Builds the shared workbench for `kind`: generates data, trains the
@@ -205,12 +214,14 @@ pub fn workbench(
         &opts.recipe(kind),
         opts.cache_dir.as_deref(),
     )?;
+    let backend = opts.backend.build(&config);
     Ok(ModelWorkbench {
         kind,
         data,
         config,
         mapping,
         original,
+        backend,
     })
 }
 
@@ -292,7 +303,7 @@ pub fn run_fig7(
     let report = run_susceptibility(
         &bench.original,
         &bench.mapping,
-        &bench.config,
+        bench.backend.as_ref(),
         &bench.data.test,
         &scenarios,
         opts.seed,
@@ -345,7 +356,7 @@ pub fn run_detection_experiment(
     let report = crate::eval::run_detection(
         &bench.original,
         &bench.mapping,
-        &bench.config,
+        bench.backend.as_ref(),
         &scenarios,
         &crate::detect::default_detectors(),
         &opts.detection_options(),
@@ -380,7 +391,7 @@ pub fn run_fig8(kind: ModelKind, opts: &ExperimentOptions) -> Result<Fig8Run, Sa
     let report = run_mitigation(
         &variants,
         &bench.mapping,
-        &bench.config,
+        bench.backend.as_ref(),
         &bench.data.test,
         &scenarios,
         opts.seed,
@@ -420,7 +431,7 @@ pub fn run_fig9_from(
         &bench.original,
         robust,
         &bench.mapping,
-        &bench.config,
+        bench.backend.as_ref(),
         &bench.data.test,
         &opts.fractions(),
         opts.fig7_trials(),
@@ -536,6 +547,7 @@ mod tests {
         let fig8 = Fig8Run {
             workbench: ModelWorkbench {
                 kind: ModelKind::Cnn1,
+                backend: safelight_onn::BackendKind::Fast.build(&config),
                 data,
                 config,
                 mapping,

@@ -31,7 +31,7 @@ use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
 use safelight_neuro::{Dataset, Network};
 use safelight_onn::{
-    AcceleratorConfig, ConditionMap, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe,
+    ConditionMap, InferenceBackend, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe,
     WeightMapping,
 };
 
@@ -252,26 +252,20 @@ struct CalibratedParts {
 fn calibrate(
     network: &Network,
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     detectors: &[Box<dyn Detector>],
     opts: &ServingOptions,
     seed: u64,
 ) -> Result<CalibratedParts, SafelightError> {
     let sentinels = SentinelPlan::new(
         mapping,
-        config,
+        backend.config(),
         opts.sentinels_per_block,
         opts.sentinel_magnitude,
     );
-    let probe = TelemetryProbe::new(
-        network,
-        mapping,
-        &ConditionMap::new(),
-        config,
-        &sentinels,
-        opts.tap,
-    )
-    .map_err(SafelightError::from)?;
+    let probe = backend
+        .probe(network, mapping, &ConditionMap::new(), &sentinels, opts.tap)
+        .map_err(SafelightError::from)?;
     let cal_seed = fold(seed, 0xCA11_B8A7);
     let frames: Vec<TelemetryFrame> = (0..opts.calibration_frames as u64)
         .map(|b| probe.frame(b, cal_seed))
@@ -302,7 +296,7 @@ fn calibrate(
 fn build_fleet(
     network: &Network,
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     parts: &CalibratedParts,
     opts: &ServingOptions,
     respond: bool,
@@ -313,7 +307,7 @@ fn build_fleet(
         0,
         network,
         mapping.clone(),
-        config.clone(),
+        backend.clone_box(),
         opts.tap,
         opts.sentinels_per_block,
         opts.sentinel_magnitude,
@@ -438,7 +432,7 @@ fn summarize(
 pub fn run_serving<D: Dataset + Sync + ?Sized>(
     network: &Network,
     mapping: &WeightMapping,
-    config: &AcceleratorConfig,
+    backend: &dyn InferenceBackend,
     data: &D,
     scenarios: &[ScenarioSpec],
     detectors: &[Box<dyn Detector>],
@@ -458,7 +452,7 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             value: 0.0,
         });
     }
-    let parts = calibrate(network, mapping, config, detectors, opts, seed)?;
+    let parts = calibrate(network, mapping, backend, detectors, opts, seed)?;
     let requests = request_stream(data, opts)?;
 
     // Clean reference: the whole stream on an uncompromised fleet. The
@@ -466,7 +460,7 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
     // false alarm from remapping (or failing over) the reference fleet
     // mid-measurement.
     let clean_accuracy = {
-        let mut fleet = build_fleet(network, mapping, config, &parts, opts, false)?;
+        let mut fleet = build_fleet(network, mapping, backend, &parts, opts, false)?;
         let out = fleet.serve_stream(
             &requests,
             opts.batch_size,
@@ -482,12 +476,20 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
         .any(|s| s.selection == safelight::attack::Selection::Targeted);
     let salience = if needs_salience {
         Some(safelight::attack::RingSalience::from_network(
-            network, mapping, config,
+            network,
+            mapping,
+            backend.config(),
         )?)
     } else {
         None
     };
-    let injected = inject_all(config, scenarios, salience.as_ref(), seed, threads)?;
+    let injected = inject_all(
+        backend.config(),
+        scenarios,
+        salience.as_ref(),
+        seed,
+        threads,
+    )?;
     // The compromise always lands on member 0; summarize() filters the
     // policy events down to that member so a false alarm on a healthy
     // peer never masquerades as the attack's detection.
@@ -499,7 +501,7 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             onset_batch: opts.onset_batch,
             conditions: &entry.conditions,
         };
-        let mut fleet = build_fleet(network, mapping, config, &parts, opts, true)?;
+        let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
         let with_response = fleet.serve_stream(
             &requests,
             opts.batch_size,
@@ -507,7 +509,7 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             stream_seed,
             threads,
         )?;
-        let mut base_fleet = build_fleet(network, mapping, config, &parts, opts, false)?;
+        let mut base_fleet = build_fleet(network, mapping, backend, &parts, opts, false)?;
         let baseline = base_fleet.serve_stream(
             &requests,
             opts.batch_size,
@@ -556,7 +558,7 @@ pub fn run_serving_experiment(
     let report = run_serving(
         &bench.original,
         &bench.mapping,
-        &bench.config,
+        bench.backend.as_ref(),
         &bench.data.test,
         &scenarios,
         &safelight::detect::default_detectors(),

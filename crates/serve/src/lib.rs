@@ -66,8 +66,9 @@
 //! let scenarios = vec![ScenarioSpec::new(
 //!     VectorSpec::Actuation, AttackTarget::Both, 0.10, 0,
 //! )];
+//! let backend = safelight_onn::AnalyticBackend::new(&config);
 //! let report = run_serving(
-//!     &bundle.network, &mapping, &config, &data.test, &scenarios,
+//!     &bundle.network, &mapping, &backend, &data.test, &scenarios,
 //!     &default_detectors(), &ServingOptions::default(), 11, 2,
 //! )?;
 //! println!("{}", safelight_serve::report::serving_csv(&report));

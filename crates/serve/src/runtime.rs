@@ -40,10 +40,10 @@ use std::ops::Range;
 use safelight::detect::{Detector, GuardBandDetector};
 use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
-use safelight_neuro::Network;
+use safelight_neuro::{Network, Tensor};
 use safelight_onn::{
-    corrupt_network, AcceleratorConfig, BlockKind, ConditionMap, MrCondition, SentinelPlan,
-    TapConfig, TelemetryFrame, TelemetryProbe, WeightMapping,
+    BlockKind, ConditionMap, InferenceBackend, MrCondition, SentinelPlan, TapConfig,
+    TelemetryFrame, TelemetryProbe, WeightMapping,
 };
 
 use crate::scheduler::{partition, Request, RequestOutcome};
@@ -179,7 +179,10 @@ pub struct ServedBatch {
 /// One simulated accelerator of the serving fleet.
 pub struct FleetMember {
     id: usize,
-    config: AcceleratorConfig,
+    /// The datapath implementation this member simulates — boxed, so one
+    /// fleet can mix backends (e.g. a physical-model canary next to fast
+    /// analytic members).
+    backend: Box<dyn InferenceBackend>,
     mapping: WeightMapping,
     clean: Network,
     /// Injected trojan state (ground truth).
@@ -218,7 +221,8 @@ impl std::fmt::Debug for FleetMember {
 
 impl FleetMember {
     /// Builds a member from the clean trained `network`, deriving the
-    /// effective executor network, sentinel plan and telemetry probe.
+    /// effective executor network, sentinel plan and telemetry probe
+    /// through `backend` (which also fixes the accelerator profile).
     ///
     /// `suite` and `guard` must already be calibrated on attack-free
     /// telemetry of this accelerator profile; the member takes ownership
@@ -233,31 +237,29 @@ impl FleetMember {
         id: usize,
         network: &Network,
         mapping: WeightMapping,
-        config: AcceleratorConfig,
+        backend: Box<dyn InferenceBackend>,
         tap: TapConfig,
         sentinels_per_block: usize,
         sentinel_magnitude: f64,
         mut suite: Vec<Box<dyn Detector>>,
         guard: GuardBandDetector,
     ) -> Result<Self, SafelightError> {
-        let sentinels =
-            SentinelPlan::new(&mapping, &config, sentinels_per_block, sentinel_magnitude);
-        let effective = corrupt_network(network, &mapping, &ConditionMap::new(), &config)?;
-        let probe = TelemetryProbe::new(
-            network,
+        let sentinels = SentinelPlan::new(
             &mapping,
-            &ConditionMap::new(),
-            &config,
-            &sentinels,
-            tap,
-        )
-        .map_err(SafelightError::from)?;
+            backend.config(),
+            sentinels_per_block,
+            sentinel_magnitude,
+        );
+        let effective = backend.derive_network(network, &mapping, &ConditionMap::new())?;
+        let probe = backend
+            .probe(network, &mapping, &ConditionMap::new(), &sentinels, tap)
+            .map_err(SafelightError::from)?;
         for d in &mut suite {
             d.reset();
         }
         Ok(Self {
             id,
-            config,
+            backend,
             mapping,
             clean: network.clone(),
             attack: ConditionMap::new(),
@@ -289,7 +291,7 @@ impl FleetMember {
     pub fn clone_as(&self, id: usize) -> Self {
         Self {
             id,
-            config: self.config.clone(),
+            backend: self.backend.clone_box(),
             mapping: self.mapping.clone(),
             clean: self.clean.clone(),
             attack: self.attack.clone(),
@@ -351,6 +353,12 @@ impl FleetMember {
         &self.mapping
     }
 
+    /// The member's datapath backend.
+    #[must_use]
+    pub fn backend(&self) -> &dyn InferenceBackend {
+        self.backend.as_ref()
+    }
+
     /// The member's current sentinel plan.
     #[must_use]
     pub fn sentinels(&self) -> &SentinelPlan {
@@ -385,16 +393,19 @@ impl FleetMember {
             surviving_sites(BlockKind::Fc),
             self.sentinel_magnitude,
         );
-        self.effective = corrupt_network(&self.clean, &self.mapping, &conditions, &self.config)?;
-        self.probe = TelemetryProbe::new(
-            &self.clean,
-            &self.mapping,
-            &conditions,
-            &self.config,
-            &self.sentinels,
-            self.tap,
-        )
-        .map_err(SafelightError::from)?;
+        self.effective = self
+            .backend
+            .derive_network(&self.clean, &self.mapping, &conditions)?;
+        self.probe = self
+            .backend
+            .probe(
+                &self.clean,
+                &self.mapping,
+                &conditions,
+                &self.sentinels,
+                self.tap,
+            )
+            .map_err(SafelightError::from)?;
         Ok(())
     }
 
@@ -425,9 +436,8 @@ impl FleetMember {
         stream_seed: u64,
         policy: &PolicyConfig,
     ) -> Result<ServedBatch, SafelightError> {
-        let predictions = self
-            .effective
-            .predict_many(requests.iter().map(|r| &r.input))?;
+        let inputs: Vec<&Tensor> = requests.iter().map(|r| &r.input).collect();
+        let predictions = self.backend.predict_batch(&mut self.effective, &inputs)?;
         let degraded = self.is_degraded();
         let (scores, alarmed, frame) = if policy.inline_detection {
             let frame = self
@@ -494,7 +504,7 @@ impl FleetMember {
         let mut unplaced = 0usize;
         let mut quarantined: Vec<(BlockKind, u64)> = Vec::new();
         for kind in [BlockKind::Conv, BlockKind::Fc] {
-            let per_bank = self.config.block(kind).mrs_per_bank() as u64;
+            let per_bank = self.backend.config().block(kind).mrs_per_bank() as u64;
             let rings: Vec<u64> = banks
                 .iter()
                 .filter(|(k, _)| *k == kind)
@@ -812,8 +822,8 @@ impl Fleet {
 mod tests {
     use super::*;
     use safelight::detect::default_detectors;
-    use safelight_neuro::{Flatten, Layer, Linear, Tensor};
-    use safelight_onn::{BlockConfig, LayerSpec};
+    use safelight_neuro::{Flatten, Layer, Linear};
+    use safelight_onn::{AcceleratorConfig, AnalyticBackend, BlockConfig, LayerSpec};
 
     /// A 4-class identity classifier whose 16 FC weights occupy the first
     /// two banks of a 4-bank FC block — banks 2/3 are spare capacity.
@@ -897,7 +907,7 @@ mod tests {
                     id,
                     &net,
                     mapping.clone(),
-                    config.clone(),
+                    Box::new(AnalyticBackend::new(&config)),
                     TapConfig::default(),
                     4,
                     0.7,
@@ -1141,7 +1151,7 @@ mod tests {
             0,
             &net,
             mapping,
-            config,
+            Box::new(AnalyticBackend::new(&config)),
             TapConfig::default(),
             4,
             0.7,

@@ -64,7 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // network; one pass feeds every scenario.
     let salience = RingSalience::from_network(&network, &mapping, &config)?;
     let injected = inject_all(&config, &scenarios, Some(&salience), 7, 2)?;
-    let trials = evaluate_with_conditions(&network, &mapping, &config, &data.test, &injected, 2)?;
+    let backend = safelight_onn::AnalyticBackend::new(&config);
+    let trials = evaluate_with_conditions(&network, &mapping, &backend, &data.test, &injected, 2)?;
 
     println!(
         "{:<42} {:>6} {:>10} {:>8}",

@@ -55,7 +55,7 @@ fn main() -> Result<(), SafelightError> {
     let report = run_serving(
         &network,
         &mapping,
-        &config,
+        &safelight_onn::AnalyticBackend::new(&config),
         &data.test,
         &scenarios,
         &default_detectors(),

@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = run_detection(
         &bundle.network,
         &mapping,
-        &config,
+        &safelight_onn::AnalyticBackend::new(&config),
         &scenarios,
         &default_detectors(),
         &DetectionOptions {

@@ -6,7 +6,7 @@ use safelight::attack::{inject, AttackTarget, ScenarioSpec, VectorSpec};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
 use safelight_onn::{
     corrupt_network, effective_weight_row, AcceleratorConfig, BlockKind, ConditionMap,
-    EffectiveWeightParams, MrCondition, WeightMapping,
+    DropResponseModel, MrCondition, WeightMapping,
 };
 
 proptest! {
@@ -20,7 +20,7 @@ proptest! {
         park_mask in proptest::collection::vec(any::<bool>(), 3..8),
         dt in 0.0f64..40.0,
     ) {
-        let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper().unwrap());
+        let p = DropResponseModel::from_config(&AcceleratorConfig::paper().unwrap());
         let n = w.len().min(park_mask.len());
         let w = &w[..n];
         let conds: Vec<MrCondition> = park_mask[..n]
@@ -46,7 +46,7 @@ proptest! {
     fn healthy_rows_are_faithful(
         w in proptest::collection::vec(-1.0f64..1.0, 3..10),
     ) {
-        let p = EffectiveWeightParams::from_config(&AcceleratorConfig::paper().unwrap());
+        let p = DropResponseModel::from_config(&AcceleratorConfig::paper().unwrap());
         let conds = vec![MrCondition::Healthy; w.len()];
         let out = effective_weight_row(&w, &conds, &p);
         let lsb = 1.0 / f64::from(p.dac_steps.max(1));

@@ -8,7 +8,7 @@ use safelight::attack::extended_scenario_grid;
 use safelight::eval::{detection_roc_csv, detection_summary_csv, run_detection, DetectionOptions};
 use safelight::prelude::*;
 use safelight_neuro::Network;
-use safelight_onn::WeightMapping;
+use safelight_onn::{AnalyticBackend, WeightMapping};
 
 fn setup() -> (Network, WeightMapping, AcceleratorConfig) {
     // Detection watches the sensors, not the classification accuracy, so
@@ -41,11 +41,12 @@ fn roc_csv_covers_the_full_extended_grid_and_is_thread_independent() {
     // threat model (one trial per cell keeps the test fast; the cells are
     // what coverage is about).
     let scenarios = extended_scenario_grid(&[0.01, 0.05, 0.10], 1);
+    let backend = AnalyticBackend::new(&config);
     let run = |threads: usize| {
         run_detection(
             &network,
             &mapping,
-            &config,
+            &backend,
             &scenarios,
             &default_detectors(),
             &quick_opts(),
@@ -98,7 +99,7 @@ fn ten_percent_actuation_is_detected_above_the_bar() {
     let report = run_detection(
         &network,
         &mapping,
-        &config,
+        &AnalyticBackend::new(&config),
         &scenarios,
         &default_detectors(),
         &opts,

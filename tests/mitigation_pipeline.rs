@@ -6,7 +6,7 @@ use safelight::defense::{fig8_variants, train_variant, TrainingRecipe, VariantKi
 use safelight::eval::{run_mitigation, run_recovery};
 use safelight::models::{build_model, matched_accelerator, ModelKind};
 use safelight_datasets::{digits, SyntheticSpec};
-use safelight_onn::WeightMapping;
+use safelight_onn::{AnalyticBackend, WeightMapping};
 
 #[test]
 fn fig8_axis_matches_paper() {
@@ -47,7 +47,7 @@ fn noise_aware_variant_is_more_robust_than_original() {
             (VariantKind::L2Noise(3), robust),
         ],
         &mapping,
-        &config,
+        &AnalyticBackend::new(&config),
         &data.test,
         &scenarios,
         21,
@@ -87,7 +87,7 @@ fn recovery_report_is_internally_consistent() {
         &original,
         &robust,
         &mapping,
-        &config,
+        &AnalyticBackend::new(&config),
         &data.test,
         &[0.01, 0.05],
         3,

@@ -12,7 +12,7 @@ use safelight::eval::{run_susceptibility, susceptibility_csv};
 use safelight::models::{build_model, ModelKind};
 use safelight_datasets::{digits, SplitDataset, SyntheticSpec};
 use safelight_neuro::{Network, Trainer, TrainerConfig};
-use safelight_onn::{AcceleratorConfig, BlockKind, WeightMapping};
+use safelight_onn::{AcceleratorConfig, AnalyticBackend, BlockKind, WeightMapping};
 
 fn config() -> AcceleratorConfig {
     AcceleratorConfig::scaled_experiment().unwrap()
@@ -110,7 +110,13 @@ fn susceptibility_csv_is_byte_identical_across_thread_counts() {
     let scenarios = extended_scenario_grid(&[0.05], 1);
     let sweep = |threads: usize| {
         run_susceptibility(
-            &network, &mapping, &config, &data.test, &scenarios, 7, threads,
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenarios,
+            7,
+            threads,
         )
         .unwrap()
     };

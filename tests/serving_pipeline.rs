@@ -9,7 +9,7 @@
 use safelight::prelude::*;
 use safelight_datasets::{digits, SyntheticSpec};
 use safelight_neuro::{Network, Trainer, TrainerConfig};
-use safelight_onn::WeightMapping;
+use safelight_onn::{AnalyticBackend, WeightMapping};
 use safelight_serve::eval::{run_serving, ServingOptions};
 use safelight_serve::report::serving_csv;
 
@@ -63,7 +63,7 @@ fn closed_loop_recovers_while_the_baseline_stays_degraded() {
     let report = run_serving(
         &network,
         &mapping,
-        &config,
+        &AnalyticBackend::new(&config),
         &data.test,
         std::slice::from_ref(&scenario),
         &default_detectors(),
@@ -127,7 +127,7 @@ fn serving_csv_is_byte_identical_across_thread_counts() {
         run_serving(
             &network,
             &mapping,
-            &config,
+            &AnalyticBackend::new(&config),
             &data.test,
             &scenarios,
             &default_detectors(),
@@ -177,7 +177,7 @@ fn degenerate_serving_options_are_rejected() {
         assert!(run_serving(
             &network,
             &mapping,
-            &config,
+            &AnalyticBackend::new(&config),
             &data.test,
             &scenario,
             &default_detectors(),
