@@ -1,20 +1,22 @@
 //! Serving-path benchmarks: steady-state micro-batch latency with and
 //! without inline detection (the `< 10 %` overhead bar of the serving
-//! acceptance criteria), and the alarm path end to end — compromise →
-//! alarm → quarantine/remap → executor re-derivation → detector
-//! re-baseline.
+//! acceptance criteria), the alarm path end to end — compromise → alarm
+//! → quarantine/remap → executor re-derivation → detector re-baseline —
+//! and the fault path: member crash → restart window → version-stamped
+//! cache recovery → detector re-baseline → rejoin.
 //!
 //! Besides the criterion timings, `emit_baseline` writes a
 //! `BENCH_serve.json` snapshot (steady-state batch latency, detection
-//! overhead fraction, alarm-path latency) at the repository root — NOT
-//! under `target/`, which `cargo clean` and CI cache eviction silently
-//! destroy — so later PRs can diff serving-path regressions without
-//! parsing bench logs.
+//! overhead fraction, alarm-path and fault-path latency) at the
+//! repository root — NOT under `target/`, which `cargo clean` and CI
+//! cache eviction silently destroy — so later PRs can diff serving-path
+//! regressions without parsing bench logs.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use safelight::detect::{default_detectors, Detector};
+use safelight::fault::FaultPlan;
 use safelight::models::{build_model, dataset_kind_for, matched_accelerator, ModelKind};
 use safelight_datasets::SyntheticSpec;
 use safelight_neuro::Dataset;
@@ -23,7 +25,7 @@ use safelight_onn::{
     TapConfig, TelemetryProbe, WeightMapping,
 };
 use safelight_serve::eval::operating_thresholds;
-use safelight_serve::{Compromise, Fleet, FleetMember, PolicyConfig, Request};
+use safelight_serve::{Compromise, Fleet, FleetMember, MemberFault, PolicyConfig, Request};
 
 struct Setup {
     network: safelight_neuro::Network,
@@ -163,10 +165,41 @@ fn bench_alarm_path(c: &mut Criterion) {
     });
 }
 
+/// The fault path end to end: fresh fleet, member crash at batch 0,
+/// serve until the member has waited out its restart window, recovered
+/// from the version-stamped model cache, re-baselined its detectors and
+/// rejoined the routing set.
+fn bench_fault_path(c: &mut Criterion) {
+    let s = setup();
+    let plan = FaultPlan {
+        onset_batch: 0,
+        sensors: Vec::new(),
+        crash: true,
+    };
+    c.bench_function("fault_path_crash_to_cache_recovery", |b| {
+        b.iter(|| {
+            let mut fleet = make_fleet(&s, 2, PolicyConfig::new(s.thresholds.clone()));
+            fleet
+                .serve_stream_with_faults(
+                    &s.requests[..64],
+                    16,
+                    None,
+                    Some(MemberFault {
+                        member: 0,
+                        plan: &plan,
+                    }),
+                    0x5EED,
+                    2,
+                )
+                .unwrap()
+        })
+    });
+}
+
 /// Writes `BENCH_serve.json` at the repository root: medians of the
 /// steady-state batch latency with/without detection, the implied
-/// inline-detection overhead fraction, and one alarm-path end-to-end
-/// latency sample.
+/// inline-detection overhead fraction, and one alarm-path and one
+/// fault-path end-to-end latency sample.
 fn emit_baseline(c: &mut Criterion) {
     let s = setup();
     let batches = 8usize;
@@ -219,12 +252,37 @@ fn emit_baseline(c: &mut Criterion) {
         start.elapsed().as_secs_f64()
     };
 
+    let fault_path = {
+        let plan = FaultPlan {
+            onset_batch: 0,
+            sensors: Vec::new(),
+            crash: true,
+        };
+        let mut fleet = make_fleet(&s, 2, PolicyConfig::new(s.thresholds.clone()));
+        let start = Instant::now();
+        fleet
+            .serve_stream_with_faults(
+                &s.requests[..64],
+                16,
+                None,
+                Some(MemberFault {
+                    member: 0,
+                    plan: &plan,
+                }),
+                0x5EED,
+                2,
+            )
+            .unwrap();
+        start.elapsed().as_secs_f64()
+    };
+
     let json = format!(
         "{{\"model\":\"cnn1\",\"batch_size\":16,\"fleet\":2,\
          \"steady_batch_seconds_with_detection\":{batch_with},\
          \"steady_batch_seconds_no_detection\":{batch_without},\
          \"inline_detection_overhead_fraction\":{overhead},\
-         \"alarm_path_seconds\":{alarm_path}}}\n"
+         \"alarm_path_seconds\":{alarm_path},\
+         \"fault_path_seconds\":{fault_path}}}\n"
     );
     // Benches run with the package directory as cwd; anchor the artifact
     // at the repository root, where `cargo clean` cannot eat it.
@@ -234,16 +292,23 @@ fn emit_baseline(c: &mut Criterion) {
     std::fs::write(&out, &json).ok();
     println!(
         "BENCH_serve baseline: batch {:.3} ms w/ detection, {:.3} ms without \
-         (overhead {:.1} %), alarm path {:.1} ms → {}",
+         (overhead {:.1} %), alarm path {:.1} ms, fault path {:.1} ms → {}",
         batch_with * 1e3,
         batch_without * 1e3,
         overhead * 100.0,
         alarm_path * 1e3,
+        fault_path * 1e3,
         out.display()
     );
     // Keep the criterion harness happy with a trivial measured body.
     c.bench_function("serve_baseline_emitted", |b| b.iter(|| overhead));
 }
 
-criterion_group!(benches, bench_steady_state, bench_alarm_path, emit_baseline);
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_alarm_path,
+    bench_fault_path,
+    emit_baseline
+);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!       [--vectors LIST] [--selections LIST] [--json]
 //!       [--backend fast|optical|quantized[:WBITS[:RBITS]]]
 //!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--detection]
-//!       [--serve] [--ablation] [--all]
+//!       [--serve] [--chaos] [--ablation] [--all]
 //! ```
 //!
 //! Each artifact prints the same rows/series the paper reports; the Fig. 6
@@ -27,9 +27,12 @@
 //! grid. `--serve` runs the secure serving-runtime evaluation: every
 //! scenario replayed as a request stream with mid-stream compromise
 //! against the closed-loop fleet (detect → quarantine/remap → failover)
-//! and a no-response baseline. `--json` writes machine-readable `.json`
-//! results next to every CSV, so downstream tooling doesn't scrape
-//! tables.
+//! and a no-response baseline. `--chaos` runs the chaos evaluation grid
+//! (benign faults alone, trojans alone, fault+trojan overlap) against the
+//! fault-tolerant runtime and reports the spurious-quarantine rate,
+//! trojan TPR under fault discrimination and crash-recovery latency.
+//! `--json` writes machine-readable `.json` results next to every CSV, so
+//! downstream tooling doesn't scrape tables.
 
 use std::path::PathBuf;
 
@@ -57,6 +60,7 @@ struct Args {
     fig9: bool,
     detection: bool,
     serve: bool,
+    chaos: bool,
     ablation: bool,
 }
 
@@ -99,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
         fig9: false,
         detection: false,
         serve: false,
+        chaos: false,
         ablation: false,
     };
     let mut any = false;
@@ -158,6 +163,10 @@ fn parse_args() -> Result<Args, String> {
                 args.serve = true;
                 any = true;
             }
+            "--chaos" => {
+                args.chaos = true;
+                any = true;
+            }
             "--json" => args.json = true,
             "--ablation" => {
                 args.ablation = true;
@@ -171,6 +180,7 @@ fn parse_args() -> Result<Args, String> {
                 args.fig9 = true;
                 args.detection = true;
                 args.serve = true;
+                args.chaos = true;
                 args.ablation = true;
                 any = true;
             }
@@ -181,7 +191,7 @@ fn parse_args() -> Result<Args, String> {
                      stacked|extended] [--selections uniform,clustered,targeted|all] \
                      [--backend fast|optical|quantized[:WBITS[:RBITS]]] \
                      [--json] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
-                     [--detection] [--serve] [--ablation] [--all]"
+                     [--detection] [--serve] [--chaos] [--ablation] [--all]"
                 );
                 std::process::exit(0);
             }
@@ -549,6 +559,85 @@ fn print_serve(
     Ok(())
 }
 
+fn print_chaos(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    out_dir: &std::path::Path,
+    json: bool,
+) -> Result<(), SafelightError> {
+    println!("\n=== Chaos ({kind}): benign faults vs trojans on the fault-tolerant runtime ===");
+    let (_, report) = safelight_serve::chaos::run_chaos_experiment(kind, opts)?;
+    println!(
+        "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, trojan onset at {}]",
+        pct(report.clean_accuracy),
+        report.fleet_size,
+        report.batch_size,
+        report.batches,
+        report.onset_batch
+    );
+    println!(
+        "spurious-quarantine rate: {}   trojan TPR: {}   overlap missed: {}   mean crash recovery: {}",
+        pct(report.spurious_quarantine_rate),
+        pct(report.trojan_tpr),
+        pct(report.overlap_missed_rate),
+        if report.mean_crash_recovery_batches.is_finite() {
+            format!("{:.1} b", report.mean_crash_recovery_batches)
+        } else {
+            "—".into()
+        }
+    );
+    println!(
+        "\n{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>7} {:<24}",
+        "kind",
+        "fault",
+        "scenario",
+        "trojan",
+        "spurious",
+        "maint",
+        "crash",
+        "post_acc",
+        "avail",
+        "action"
+    );
+    for r in &report.rows {
+        let acc = |x: f64| {
+            if x.is_finite() {
+                pct(x)
+            } else {
+                "     —".into()
+            }
+        };
+        println!(
+            "{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>6.1}% {:<24}",
+            r.kind,
+            if r.fault.is_empty() { "—" } else { &r.fault },
+            if r.scenario.is_empty() {
+                "—"
+            } else {
+                &r.scenario
+            },
+            if r.trojan_detected { "yes" } else { "no" },
+            if r.spurious_quarantine { "YES" } else { "no" },
+            r.maintenance_events,
+            if r.crash_recovery_batches.is_finite() {
+                format!("{:.0} b", r.crash_recovery_batches)
+            } else {
+                "—".into()
+            },
+            acc(r.post_accuracy),
+            r.availability * 100.0,
+            r.action
+        );
+    }
+    write_artifact(
+        out_dir,
+        &format!("chaos_{}", kind.label().to_lowercase()),
+        &safelight_serve::report::chaos_csv(&report),
+        json.then(|| safelight_serve::report::chaos_json(&report)),
+    );
+    Ok(())
+}
+
 fn print_ablation(kind: ModelKind, opts: &ExperimentOptions) -> Result<(), SafelightError> {
     println!("\n=== Ablation ({kind}): noise-aware training without L2 ===");
     let bench = workbench(kind, opts)?;
@@ -631,6 +720,9 @@ fn main() {
             }
             if args.serve {
                 print_serve(kind, &opts, &args.out_dir, args.json)?;
+            }
+            if args.chaos {
+                print_chaos(kind, &opts, &args.out_dir, args.json)?;
             }
             if args.ablation {
                 print_ablation(kind, &opts)?;

@@ -8,7 +8,7 @@ use crate::OnnError;
 ///
 /// The paper's accelerator (Fig. 3) splits the substrate into a CONV block
 /// for convolution layers and an FC block for fully connected layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BlockKind {
     /// The convolution block.

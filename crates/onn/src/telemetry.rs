@@ -71,6 +71,57 @@ impl Default for TapConfig {
     }
 }
 
+/// One addressable sensor channel of a telemetry frame: the four bank-level
+/// taps plus the sentinel readbacks. The fault-injection and sensor-health
+/// layers address individual readings through this enum (see
+/// [`TelemetryFrame::channel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SensorChannel {
+    /// A bank's drop-port monitor photocurrent.
+    DropCurrent,
+    /// A bank's thermal sensor.
+    DeltaKelvin,
+    /// A bank's laser-rail readback.
+    RailPower,
+    /// A bank's trim-DAC readback.
+    TrimOffsetNm,
+    /// A sentinel magnitude readback (indexed in plan order, not by bank).
+    Sentinel,
+}
+
+impl SensorChannel {
+    /// Stable short token used in fault-spec strings and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::DropCurrent => "drop",
+            Self::DeltaKelvin => "temp",
+            Self::RailPower => "rail",
+            Self::TrimOffsetNm => "trim",
+            Self::Sentinel => "sentinel",
+        }
+    }
+
+    /// Parses the token [`SensorChannel::label`] emits.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "drop" => Some(Self::DropCurrent),
+            "temp" => Some(Self::DeltaKelvin),
+            "rail" => Some(Self::RailPower),
+            "trim" => Some(Self::TrimOffsetNm),
+            "sentinel" => Some(Self::Sentinel),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SensorChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One bank's sensor readings within a [`TelemetryFrame`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BankTelemetry {
@@ -131,6 +182,24 @@ fn block_token(kind: BlockKind) -> &'static str {
     }
 }
 
+/// Canonical CSV form of one sensor reading. Finite values print through
+/// `Display` (exact round-trip); non-finite values get the fixed tokens
+/// `nan`, `inf` and `-inf`, which `f64::from_str` parses back bit-exactly
+/// (every NaN canonicalizes to the quiet NaN) — so faulted frames survive
+/// the byte-equality discipline instead of serializing as whatever
+/// `Display` happens to print.
+fn fmt_reading(x: f64) -> String {
+    if x.is_nan() {
+        "nan".into()
+    } else if x == f64::INFINITY {
+        "inf".into()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".into()
+    } else {
+        format!("{x}")
+    }
+}
+
 impl TelemetryFrame {
     /// The per-bank readings of `kind`'s block.
     #[must_use]
@@ -150,9 +219,69 @@ impl TelemetryFrame {
         }
     }
 
+    /// Reads one addressed sensor: bank `index`'s tap for the four bank
+    /// channels, or sentinel `index`'s readback for
+    /// [`SensorChannel::Sentinel`]. `None` when `index` is out of range.
+    #[must_use]
+    pub fn channel(&self, kind: BlockKind, index: usize, channel: SensorChannel) -> Option<f64> {
+        match channel {
+            SensorChannel::Sentinel => self.sentinels(kind).get(index).copied(),
+            _ => self.banks(kind).get(index).map(|b| match channel {
+                SensorChannel::DropCurrent => b.drop_current,
+                SensorChannel::DeltaKelvin => b.delta_kelvin,
+                SensorChannel::RailPower => b.rail_power,
+                SensorChannel::TrimOffsetNm => b.trim_offset_nm,
+                SensorChannel::Sentinel => unreachable!(),
+            }),
+        }
+    }
+
+    /// Overwrites one addressed sensor reading (the fault injectors' write
+    /// path). Returns `false` when `index` is out of range.
+    pub fn set_channel(
+        &mut self,
+        kind: BlockKind,
+        index: usize,
+        channel: SensorChannel,
+        value: f64,
+    ) -> bool {
+        let sentinels = match kind {
+            BlockKind::Conv => &mut self.conv_sentinels,
+            BlockKind::Fc => &mut self.fc_sentinels,
+        };
+        if let SensorChannel::Sentinel = channel {
+            return match sentinels.get_mut(index) {
+                Some(s) => {
+                    *s = value;
+                    true
+                }
+                None => false,
+            };
+        }
+        let banks = match kind {
+            BlockKind::Conv => &mut self.conv,
+            BlockKind::Fc => &mut self.fc,
+        };
+        match banks.get_mut(index) {
+            Some(b) => {
+                match channel {
+                    SensorChannel::DropCurrent => b.drop_current = value,
+                    SensorChannel::DeltaKelvin => b.delta_kelvin = value,
+                    SensorChannel::RailPower => b.rail_power = value,
+                    SensorChannel::TrimOffsetNm => b.trim_offset_nm = value,
+                    SensorChannel::Sentinel => unreachable!(),
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Serializes the frame as CSV: a `# batch` header, one `bank,…` row
-    /// per bank and one `sentinel,…` row per sentinel. `f64` values
-    /// round-trip exactly through their `Display` form.
+    /// per bank and one `sentinel,…` row per sentinel. Finite `f64` values
+    /// round-trip exactly through their `Display` form; non-finite readings
+    /// (faulted sensors) serialize as the canonical tokens `nan`, `inf` and
+    /// `-inf`.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = format!("# batch,{}\n", self.batch);
@@ -162,16 +291,20 @@ impl TelemetryFrame {
                 out.push_str(&format!(
                     "bank,{},{i},{},{},{},{}\n",
                     block_token(kind),
-                    b.drop_current,
-                    b.delta_kelvin,
-                    b.rail_power,
-                    b.trim_offset_nm
+                    fmt_reading(b.drop_current),
+                    fmt_reading(b.delta_kelvin),
+                    fmt_reading(b.rail_power),
+                    fmt_reading(b.trim_offset_nm)
                 ));
             }
         }
         for kind in [BlockKind::Conv, BlockKind::Fc] {
             for (i, s) in self.sentinels(kind).iter().enumerate() {
-                out.push_str(&format!("sentinel,{},{i},{s},0,0,0\n", block_token(kind)));
+                out.push_str(&format!(
+                    "sentinel,{},{i},{},0,0,0\n",
+                    block_token(kind),
+                    fmt_reading(*s)
+                ));
             }
         }
         out
@@ -793,6 +926,81 @@ mod tests {
         ] {
             assert!(TelemetryFrame::from_csv(bad).is_err(), "`{bad}` parsed");
         }
+    }
+
+    #[test]
+    fn csv_round_trips_non_finite_readings() {
+        let p = probe(&ConditionMap::new());
+        let mut frame = p.frame(3, 11);
+        // A dead drop monitor, a railed-out thermal sensor, a sentinel
+        // readback gone to -inf: the canonical tokens must survive a full
+        // serialize/parse/serialize cycle byte-identically, and the NaN
+        // must come back as a NaN (PartialEq can't see that).
+        assert!(frame.set_channel(BlockKind::Fc, 0, SensorChannel::DropCurrent, f64::NAN));
+        assert!(frame.set_channel(BlockKind::Fc, 1, SensorChannel::DeltaKelvin, f64::INFINITY));
+        assert!(frame.set_channel(
+            BlockKind::Conv,
+            0,
+            SensorChannel::Sentinel,
+            f64::NEG_INFINITY
+        ));
+        let text = frame.to_csv();
+        assert!(text.contains(",nan,"), "{text}");
+        assert!(text.contains(",inf,"), "{text}");
+        assert!(text.contains(",-inf,"), "{text}");
+        let back = TelemetryFrame::from_csv(&text).unwrap();
+        assert!(back
+            .channel(BlockKind::Fc, 0, SensorChannel::DropCurrent)
+            .unwrap()
+            .is_nan());
+        assert_eq!(
+            back.channel(BlockKind::Fc, 1, SensorChannel::DeltaKelvin),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(
+            back.channel(BlockKind::Conv, 0, SensorChannel::Sentinel),
+            Some(f64::NEG_INFINITY)
+        );
+        assert_eq!(back.to_csv(), text, "second serialization diverged");
+    }
+
+    #[test]
+    fn channel_accessors_address_every_sensor() {
+        let p = probe(&ConditionMap::new());
+        let mut frame = p.noiseless(0);
+        for kind in [BlockKind::Conv, BlockKind::Fc] {
+            for (i, b) in frame.banks(kind).to_vec().iter().enumerate() {
+                assert_eq!(
+                    frame.channel(kind, i, SensorChannel::DropCurrent),
+                    Some(b.drop_current)
+                );
+                assert_eq!(
+                    frame.channel(kind, i, SensorChannel::TrimOffsetNm),
+                    Some(b.trim_offset_nm)
+                );
+            }
+        }
+        assert!(frame.set_channel(BlockKind::Fc, 1, SensorChannel::RailPower, 0.25));
+        assert_eq!(
+            frame.channel(BlockKind::Fc, 1, SensorChannel::RailPower),
+            Some(0.25)
+        );
+        // Out-of-range indices are rejected, not silently dropped.
+        assert!(frame
+            .channel(BlockKind::Fc, 99, SensorChannel::DropCurrent)
+            .is_none());
+        assert!(!frame.set_channel(BlockKind::Fc, 99, SensorChannel::Sentinel, 1.0));
+        // Label round-trip for every channel.
+        for ch in [
+            SensorChannel::DropCurrent,
+            SensorChannel::DeltaKelvin,
+            SensorChannel::RailPower,
+            SensorChannel::TrimOffsetNm,
+            SensorChannel::Sentinel,
+        ] {
+            assert_eq!(SensorChannel::from_label(ch.label()), Some(ch));
+        }
+        assert_eq!(SensorChannel::from_label("voltage"), None);
     }
 
     #[test]

@@ -248,7 +248,10 @@ impl AttackTarget {
         }
     }
 
-    fn stream_word(self) -> u64 {
+    /// Word folded into RNG stream keys (also by the benign-fault specs in
+    /// [`crate::fault`], which share the attack engine's derivation
+    /// discipline).
+    pub(crate) fn stream_word(self) -> u64 {
         match self {
             Self::ConvBlock => 0x1000,
             Self::FcBlock => 0x2000,
@@ -282,7 +285,7 @@ impl std::str::FromStr for AttackTarget {
     }
 }
 
-fn target_token(target: AttackTarget) -> &'static str {
+pub(crate) fn target_token(target: AttackTarget) -> &'static str {
     match target {
         AttackTarget::ConvBlock => "conv",
         AttackTarget::FcBlock => "fc",

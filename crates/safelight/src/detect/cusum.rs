@@ -69,14 +69,20 @@ impl EwmaCusumDetector {
             .collect()
     }
 
-    /// Cross-bank mean drop-current z-score of `frame`.
+    /// Cross-bank mean drop-current z-score of `frame`, over the banks with
+    /// finite z only. A single NaN monitor reading would otherwise make the
+    /// mean NaN, the EWMA NaN, and then `(cusum + NaN).max(0.0) = 0.0` —
+    /// silently zeroing the detector for the rest of the stream.
     fn mean_z(&self, frame: &TelemetryFrame) -> f64 {
         let mut sum = 0.0;
         let mut n = 0usize;
         for (kind, stats) in [(BlockKind::Conv, &self.conv), (BlockKind::Fc, &self.fc)] {
             for (bank, stat) in stats.iter().enumerate().take(frame.banks(kind).len()) {
-                sum += stat.z(frame.banks(kind)[bank].drop_current);
-                n += 1;
+                let z = stat.z(frame.banks(kind)[bank].drop_current);
+                if z.is_finite() {
+                    sum += z;
+                    n += 1;
+                }
             }
         }
         if n == 0 {
@@ -163,5 +169,32 @@ mod tests {
         let mut d = EwmaCusumDetector::default();
         let f = frames(&ConditionMap::new(), 1, 0);
         assert_eq!(d.score(&f[0]), 0.0);
+    }
+
+    #[test]
+    fn nan_reading_does_not_zero_the_cusum_forever() {
+        use safelight_onn::{BlockKind, SensorChannel};
+        // Regression for the non-finite poisoning bug: one NaN drop reading
+        // used to turn the EWMA NaN, after which `(NaN).max(0.0)` pinned
+        // both CUSUM arms to 0 for the rest of the stream — the attack
+        // below would never alarm again.
+        let mut poisoned = calibrated();
+        let mut clean = calibrated();
+        let attacked = frames(&parked(2), 12, 7);
+        for (i, f) in attacked.iter().enumerate() {
+            if i == 1 {
+                let mut dead = f.clone();
+                dead.set_channel(BlockKind::Fc, 1, SensorChannel::DropCurrent, f64::NAN);
+                poisoned.score(&dead);
+                clean.score(f);
+                continue;
+            }
+            let p = poisoned.score(f);
+            let c = clean.score(f);
+            assert!(p.is_finite(), "frame {i}: score {p}");
+            if i + 1 == attacked.len() {
+                assert!(p > 3.0, "poisoned cusum never recovered: {p} (clean {c})");
+            }
+        }
     }
 }

@@ -59,7 +59,14 @@ impl GuardBandDetector {
         for (bank, bank_stats) in stats.iter().enumerate().take(frame.banks(kind).len()) {
             let values = fields(frame, kind, bank);
             for (value, stat) in values.iter().zip(bank_stats) {
-                worst = worst.max(stat.z(*value).abs());
+                let z = stat.z(*value).abs();
+                // A non-finite z (dead sensor reaching the detector) must
+                // not poison the max — `f64::max` would silently drop a NaN
+                // operand, and an ∞ would pin the score. The sensor-health
+                // screen reports the channel; scoring skips it.
+                if z.is_finite() {
+                    worst = worst.max(z);
+                }
             }
         }
         worst
@@ -82,11 +89,66 @@ impl GuardBandDetector {
                     .iter()
                     .zip(bank_stats)
                     .map(|(value, stat)| stat.z(*value).abs())
+                    .filter(|z| z.is_finite())
                     .fold(0.0f64, f64::max);
                 out.push((kind, bank, worst));
             }
         }
         out
+    }
+
+    /// Per-bank absolute z-scores of every sensor field, as
+    /// `(block, bank, [z_drop, z_temp, z_rail, z_trim])` in block/bank
+    /// order (non-finite z reported as 0 — the health screen owns those
+    /// channels). Where [`GuardBandDetector::bank_excursions`] answers
+    /// *which bank*, this answers *which sensor of that bank* — the
+    /// fault-vs-trojan discrimination primitive: a trojan moving the
+    /// physics shows up on the compute-coupled drop channel (usually with
+    /// a correlated thermal/rail/trim signature), while a single broken
+    /// readback excurses on exactly one non-drop field.
+    #[must_use]
+    pub fn field_excursions(&self, frame: &TelemetryFrame) -> Vec<(BlockKind, usize, [f64; 4])> {
+        let mut out = Vec::with_capacity(self.conv.len() + self.fc.len());
+        for (kind, stats) in [(BlockKind::Conv, &self.conv), (BlockKind::Fc, &self.fc)] {
+            for (bank, bank_stats) in stats.iter().enumerate().take(frame.banks(kind).len()) {
+                let values = fields(frame, kind, bank);
+                let mut zs = [0.0f64; 4];
+                for (slot, (value, stat)) in values.iter().zip(bank_stats).enumerate() {
+                    let z = stat.z(*value).abs();
+                    if z.is_finite() {
+                        zs[slot] = z;
+                    }
+                }
+                out.push((kind, bank, zs));
+            }
+        }
+        out
+    }
+
+    /// The coherent laser-rail shift of `frame`: for each block, the
+    /// *smallest* absolute rail z-score across its banks, maximized over
+    /// blocks. A supply-side transient (laser-rail glitch) darkens every
+    /// bank of a block at once, so even the least-moved bank excurses;
+    /// a trojan tapping a fraction of the rings leaves some bank near
+    /// baseline and this statistic stays small. `0.0` before calibration.
+    #[must_use]
+    pub fn coherent_rail_shift(&self, frame: &TelemetryFrame) -> f64 {
+        let mut worst_block = 0.0f64;
+        for (kind, stats) in [(BlockKind::Conv, &self.conv), (BlockKind::Fc, &self.fc)] {
+            let banks = stats.len().min(frame.banks(kind).len());
+            if banks == 0 {
+                continue;
+            }
+            let mut least = f64::INFINITY;
+            for (bank, bank_stats) in stats.iter().enumerate().take(banks) {
+                let z = bank_stats[2].z(fields(frame, kind, bank)[2]).abs();
+                least = least.min(if z.is_finite() { z } else { 0.0 });
+            }
+            if least.is_finite() {
+                worst_block = worst_block.max(least);
+            }
+        }
+        worst_block
     }
 }
 
@@ -159,6 +221,88 @@ mod tests {
     fn empty_calibration_is_rejected() {
         let mut d = GuardBandDetector::default();
         assert!(d.calibrate(&[]).is_err());
+    }
+
+    #[test]
+    fn non_finite_reading_does_not_poison_the_score() {
+        use safelight_onn::{BlockKind, SensorChannel};
+        let mut d = GuardBandDetector::default();
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        // A real attack plus one dead sensor: the attack must still score.
+        let mut f = frames(&parked(3), 1, 7).remove(0);
+        let with_attack = d.score(&f);
+        assert!(with_attack > 6.0, "attack score {with_attack}");
+        f.set_channel(BlockKind::Conv, 0, SensorChannel::DeltaKelvin, f64::NAN);
+        f.set_channel(BlockKind::Conv, 1, SensorChannel::RailPower, f64::INFINITY);
+        let s = d.score(&f);
+        assert!(s.is_finite(), "NaN leaked into the score");
+        assert_eq!(s, with_attack, "dead sensors changed the attack score");
+        // Excursions stay finite too.
+        for (_, _, z) in d.bank_excursions(&f) {
+            assert!(z.is_finite());
+        }
+    }
+
+    #[test]
+    fn field_excursions_name_the_moved_sensor() {
+        use safelight_onn::{BlockKind, SensorChannel};
+        let mut d = GuardBandDetector::default();
+        assert!(d
+            .field_excursions(&frames(&ConditionMap::new(), 1, 0)[0])
+            .is_empty());
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        // Parked rings darken the drop channel of FC bank 0: the drop field
+        // dominates its row.
+        let attacked = frames(&parked(3), 1, 7);
+        let rows = d.field_excursions(&attacked[0]);
+        assert_eq!(rows.len(), 4);
+        let (_, _, zs) = rows
+            .iter()
+            .find(|(k, b, _)| (*k, *b) == (BlockKind::Fc, 0))
+            .unwrap();
+        assert!(zs[0] > zs[1] && zs[0] > zs[2], "{zs:?}");
+        // A lone trim-readback shift excurses only field 3 of its bank.
+        let mut f = frames(&ConditionMap::new(), 1, 9).remove(0);
+        f.set_channel(BlockKind::Fc, 1, SensorChannel::TrimOffsetNm, 0.4);
+        let rows = d.field_excursions(&f);
+        let (_, _, zs) = rows
+            .iter()
+            .find(|(k, b, _)| (*k, *b) == (BlockKind::Fc, 1))
+            .unwrap();
+        assert!(zs[3] > 50.0 && zs[0] < 8.0, "{zs:?}");
+    }
+
+    #[test]
+    fn coherent_rail_shift_separates_glitches_from_taps() {
+        use safelight_onn::{BlockKind, SensorChannel};
+        let mut d = GuardBandDetector::default();
+        assert_eq!(
+            d.coherent_rail_shift(&frames(&ConditionMap::new(), 1, 0)[0]),
+            0.0
+        );
+        d.calibrate(&frames(&ConditionMap::new(), 24, 1)).unwrap();
+        // Clean frames: tiny coherent shift.
+        let clean = frames(&ConditionMap::new(), 1, 99).remove(0);
+        assert!(d.coherent_rail_shift(&clean) < 4.0);
+        // A supply glitch drops the rail on EVERY bank of both blocks.
+        let mut glitched = frames(&ConditionMap::new(), 1, 7).remove(0);
+        for kind in [BlockKind::Conv, BlockKind::Fc] {
+            for bank in 0..2 {
+                let rail = glitched
+                    .channel(kind, bank, SensorChannel::RailPower)
+                    .unwrap();
+                glitched.set_channel(kind, bank, SensorChannel::RailPower, rail - 0.3);
+            }
+        }
+        assert!(d.coherent_rail_shift(&glitched) > 20.0);
+        // A tap on one bank only is NOT coherent: the untouched bank keeps
+        // the block minimum small.
+        let mut tapped = frames(&ConditionMap::new(), 1, 7).remove(0);
+        let rail = tapped
+            .channel(BlockKind::Fc, 0, SensorChannel::RailPower)
+            .unwrap();
+        tapped.set_channel(BlockKind::Fc, 0, SensorChannel::RailPower, rail - 0.3);
+        assert!(d.coherent_rail_shift(&tapped) < 4.0);
     }
 
     #[test]

@@ -27,10 +27,12 @@
 
 mod cusum;
 mod guard;
+mod health;
 mod sentinel;
 
 pub use cusum::EwmaCusumDetector;
 pub use guard::GuardBandDetector;
+pub use health::{FrameHealth, HealthReason, MaskedChannel, SensorHealthScreen};
 pub use sentinel::SentinelDetector;
 
 use safelight_onn::TelemetryFrame;
@@ -94,15 +96,30 @@ pub(crate) struct ChannelStat {
 pub(crate) const SIGMA_FLOOR: f64 = 1e-9;
 
 impl ChannelStat {
-    /// Fits mean/σ over `values` (population σ; calibration runs are the
-    /// whole population of attack-free behaviour we get to see).
+    /// Fits mean/σ over the *finite* entries of `values` (population σ;
+    /// calibration runs are the whole population of attack-free behaviour
+    /// we get to see). A NaN or ±∞ in the calibration window — a sensor
+    /// already faulted at baseline time — would otherwise poison the mean
+    /// and make every later z-score NaN, which compares false against any
+    /// threshold and silently suppresses alarms. A channel with no finite
+    /// calibration sample at all gets `{mean: 0, sigma: ∞}`: it z-scores
+    /// ≈ 0 for any finite reading, i.e. it abstains rather than alarms
+    /// (the sensor-health screen reports it separately). σ is floored at
+    /// [`SIGMA_FLOOR`] so a zero-variance channel still yields finite z.
     pub(crate) fn fit(values: &[f64]) -> Self {
-        let n = values.len().max(1) as f64;
-        let mean = values.iter().sum::<f64>() / n;
-        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Self {
+                mean: 0.0,
+                sigma: f64::INFINITY,
+            };
+        }
+        let n = finite.len() as f64;
+        let mean = finite.iter().sum::<f64>() / n;
+        let var = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
         Self {
             mean,
-            sigma: var.sqrt(),
+            sigma: var.sqrt().max(SIGMA_FLOOR),
         }
     }
 
@@ -205,6 +222,33 @@ mod tests {
         // by zero.
         let flat = ChannelStat::fit(&[0.5, 0.5]);
         assert!(flat.z(0.5 + 1e-6).is_finite());
+    }
+
+    #[test]
+    fn channel_stat_ignores_non_finite_calibration_samples() {
+        // A NaN baseline sample must not poison the fit: the finite samples
+        // alone define the channel.
+        let s = ChannelStat::fit(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.sigma, 1.0);
+        assert_eq!(s.z(4.0), 2.0);
+        // An all-non-finite channel abstains: z ≈ 0 for finite readings,
+        // never NaN (a NaN z would compare false against every threshold
+        // and silently suppress alarms).
+        let dead = ChannelStat::fit(&[f64::NAN, f64::NAN]);
+        assert_eq!(dead.z(123.0), 0.0);
+        assert!(dead.z(0.0).is_finite());
+    }
+
+    #[test]
+    fn zero_variance_calibration_yields_finite_z() {
+        // Regression: a zero-variance baseline used to produce 0/0 = NaN
+        // z-scores in degenerate paths; the σ floor guarantees finite z.
+        let s = ChannelStat::fit(&[0.7; 16]);
+        assert!(s.sigma >= SIGMA_FLOOR);
+        let z = s.z(0.7);
+        assert!(z.is_finite() && z.abs() < 1.0, "z {z}");
+        assert!(s.z(0.7 + 1e-6).is_finite());
     }
 
     #[test]

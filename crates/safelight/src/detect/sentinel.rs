@@ -62,7 +62,12 @@ impl Detector for SentinelDetector {
         for (kind, stats) in [(BlockKind::Conv, &self.conv), (BlockKind::Fc, &self.fc)] {
             let readings = frame.sentinels(kind);
             for (stat, value) in stats.iter().zip(readings) {
-                worst = worst.max(stat.z(*value).abs());
+                let z = stat.z(*value).abs();
+                // Skip non-finite z (dead readback): the health screen owns
+                // that channel; the surviving sentinels still score.
+                if z.is_finite() {
+                    worst = worst.max(z);
+                }
             }
         }
         worst

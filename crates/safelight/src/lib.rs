@@ -24,7 +24,13 @@
 //! * [`detect`] — the runtime trojan-detection subsystem: pluggable
 //!   [`Detector`](detect::Detector)s (guard band, EWMA/CUSUM change-point,
 //!   sentinel-weight integrity) over the accelerator's telemetry taps
-//!   ([`safelight_onn::TelemetryProbe`]);
+//!   ([`safelight_onn::TelemetryProbe`]), fronted by a per-sensor health
+//!   screen ([`detect::SensorHealthScreen`]) that masks broken channels so
+//!   a dead sensor raises a maintenance flag instead of a trojan alarm;
+//! * [`fault`] — the benign-fault model mirroring the attack engine:
+//!   serializable [`FaultSpec`](fault::FaultSpec)s for dead/stuck/drifting
+//!   sensors, transient laser-rail glitches and member crashes, replayable
+//!   via the in-tree RNG for the chaos evaluation grid;
 //! * [`eval`] — the evaluation pipelines behind Fig. 7 (susceptibility),
 //!   Fig. 8 (variant robustness) and Fig. 9 (recovery), plus the
 //!   detection ROC/latency pipeline ([`eval::detection`]);
@@ -63,6 +69,7 @@ pub mod detect;
 mod error;
 pub mod eval;
 pub mod experiment;
+pub mod fault;
 pub mod models;
 
 pub use error::SafelightError;
@@ -76,13 +83,17 @@ pub mod prelude {
     };
     pub use crate::defense::{train_variant, TrainingRecipe, VariantKind};
     pub use crate::detect::{
-        default_detectors, Detector, EwmaCusumDetector, GuardBandDetector, SentinelDetector,
+        default_detectors, Detector, EwmaCusumDetector, FrameHealth, GuardBandDetector,
+        HealthReason, MaskedChannel, SensorHealthScreen, SentinelDetector,
     };
     pub use crate::eval::{
         run_detection, run_mitigation, run_recovery, run_susceptibility, BoxStats,
         DetectionOptions, DetectionReport, MitigationReport, RecoveryReport, SusceptibilityReport,
     };
     pub use crate::experiment::{ExperimentOptions, Fidelity};
+    pub use crate::fault::{
+        inject_fault, FaultMode, FaultPlan, FaultSpec, FaultState, FaultVector, SensorFault,
+    };
     pub use crate::models::{
         build_model, dataset_kind_for, matched_accelerator, table1, ModelBundle, ModelKind,
     };

@@ -1,0 +1,610 @@
+//! The chaos evaluation grid: benign hardware faults alone, trojans
+//! alone, and fault+trojan overlap, each replayed as a request stream
+//! against the fault-tolerant closed-loop runtime.
+//!
+//! Where [`eval`](crate::eval) asks *"does the policy catch and survive
+//! the attack?"*, this module asks the complementary robustness
+//! questions:
+//!
+//! * **fault-only** — does a dead/stuck/drifting sensor, a supply
+//!   glitch or a member crash stay a *maintenance* event, or does the
+//!   policy spuriously quarantine banks (spending spares) or fail the
+//!   member over? The spurious-quarantine rate over these rows is the
+//!   headline number;
+//! * **trojan-only** — with the fault-discrimination logic in the loop,
+//!   does the trojan true-positive rate survive? (A policy that explains
+//!   every alarm away as a sensor fault would score zero here);
+//! * **overlap** — a fault and a trojan active on the *same* member:
+//!   does the benign fault mask the attack?
+//!
+//! One deliberate gap: a *drifting drop-current* sensor is excluded from
+//! the grid because it is observationally indistinguishable from an
+//! actuation trojan (both present as a persistent drop-power excursion).
+//! The policy fails secure there — it quarantines — and the docs call
+//! that out rather than the grid papering over it.
+//!
+//! Every noise draw derives from `(seed, fault spec, scenario spec,
+//! batch)`, so the report and its CSV/JSON renderings are bitwise
+//! independent of the worker-thread count.
+
+use safelight::attack::{AttackTarget, ScenarioSpec, Selection, VectorSpec};
+use safelight::detect::Detector;
+use safelight::eval::{inject_all, InjectedScenario};
+use safelight::experiment::{workbench, ExperimentOptions, ModelWorkbench};
+use safelight::fault::{inject_fault, FaultSpec, FaultVector};
+use safelight::models::ModelKind;
+use safelight::SafelightError;
+use safelight_neuro::parallel::par_map;
+use safelight_neuro::{Dataset, Network};
+use safelight_onn::{BlockKind, InferenceBackend, SensorChannel, SentinelPlan, WeightMapping};
+
+use crate::eval::{build_fleet, calibrate, request_stream, spec_stream_key, ServingOptions};
+use crate::runtime::{fold, Compromise, MemberFault, ResponseAction, StreamOutcome};
+
+/// One cell of the chaos grid: an optional benign fault and an optional
+/// trojan scenario, both landing on member 0 of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCase {
+    /// The benign fault, when this case injects one.
+    pub fault: Option<FaultSpec>,
+    /// The trojan scenario, when this case injects one.
+    pub scenario: Option<ScenarioSpec>,
+}
+
+impl ChaosCase {
+    /// A fault-only case.
+    #[must_use]
+    pub fn fault(spec: FaultSpec) -> Self {
+        Self {
+            fault: Some(spec),
+            scenario: None,
+        }
+    }
+
+    /// A trojan-only case.
+    #[must_use]
+    pub fn trojan(spec: ScenarioSpec) -> Self {
+        Self {
+            fault: None,
+            scenario: Some(spec),
+        }
+    }
+
+    /// A fault+trojan overlap case.
+    #[must_use]
+    pub fn overlap(fault: FaultSpec, scenario: ScenarioSpec) -> Self {
+        Self {
+            fault: Some(fault),
+            scenario: Some(scenario),
+        }
+    }
+
+    /// The case's kind label: `fault`, `trojan` or `overlap`.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match (&self.fault, &self.scenario) {
+            (Some(_), None) => "fault",
+            (None, Some(_)) => "trojan",
+            (Some(_), Some(_)) => "overlap",
+            (None, None) => "clean",
+        }
+    }
+}
+
+/// The canonical chaos grid with fault onset `onset` (the trojan onset is
+/// always [`ServingOptions::onset_batch`]; the crash-under-attack case
+/// crashes two batches after the trojan lands, the hardest ordering — the
+/// compromised member recovers its *clean* cache while the physical
+/// trojan persists).
+#[must_use]
+pub fn chaos_grid(onset: u64) -> Vec<ChaosCase> {
+    let dead = |channel, target, fraction| {
+        FaultSpec::new(FaultVector::DeadSensor { channel }, target, fraction, onset)
+    };
+    let targeted = |fraction| ScenarioSpec {
+        selection: Selection::Targeted,
+        ..ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, fraction, 0)
+    };
+    vec![
+        // Benign faults alone: none of these should cost a spare.
+        ChaosCase::fault(dead(SensorChannel::DropCurrent, AttackTarget::FcBlock, 0.5)),
+        ChaosCase::fault(dead(SensorChannel::DeltaKelvin, AttackTarget::Both, 1.0)),
+        ChaosCase::fault(dead(SensorChannel::Sentinel, AttackTarget::ConvBlock, 0.5)),
+        ChaosCase::fault(FaultSpec::new(
+            FaultVector::StuckSensor {
+                channel: SensorChannel::DropCurrent,
+            },
+            AttackTarget::FcBlock,
+            0.5,
+            onset,
+        )),
+        ChaosCase::fault(FaultSpec::new(
+            FaultVector::DriftSensor {
+                channel: SensorChannel::DeltaKelvin,
+                per_batch: 0.05,
+                noise: 0.01,
+            },
+            AttackTarget::FcBlock,
+            0.25,
+            onset,
+        )),
+        ChaosCase::fault(FaultSpec::new(
+            FaultVector::DriftSensor {
+                channel: SensorChannel::RailPower,
+                per_batch: -0.002,
+                noise: 0.0005,
+            },
+            AttackTarget::Both,
+            0.5,
+            onset,
+        )),
+        ChaosCase::fault(FaultSpec::new(
+            FaultVector::RailGlitch {
+                depth: 0.3,
+                duration: 2,
+            },
+            AttackTarget::Both,
+            1.0,
+            onset,
+        )),
+        ChaosCase::fault(FaultSpec::new(
+            FaultVector::Crash,
+            AttackTarget::Both,
+            0.0,
+            onset,
+        )),
+        // Trojans alone: the discrimination logic must not explain these
+        // away. The 10 % targeted actuation row is the acceptance case.
+        ChaosCase::trojan(targeted(0.10)),
+        ChaosCase::trojan(ScenarioSpec::new(
+            VectorSpec::Actuation,
+            AttackTarget::FcBlock,
+            0.05,
+            0,
+        )),
+        ChaosCase::trojan(ScenarioSpec::new(
+            VectorSpec::Actuation,
+            AttackTarget::ConvBlock,
+            0.10,
+            0,
+        )),
+        // Overlap: fault and trojan on the same member.
+        ChaosCase::overlap(
+            dead(SensorChannel::DropCurrent, AttackTarget::FcBlock, 0.5),
+            targeted(0.10),
+        ),
+        ChaosCase::overlap(
+            FaultSpec::new(FaultVector::Crash, AttackTarget::Both, 0.0, onset + 2),
+            targeted(0.10),
+        ),
+        ChaosCase::overlap(
+            FaultSpec::new(
+                FaultVector::RailGlitch {
+                    depth: 0.3,
+                    duration: 2,
+                },
+                AttackTarget::Both,
+                1.0,
+                onset,
+            ),
+            ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.10, 0),
+        ),
+    ]
+}
+
+/// The chaos outcome of one grid case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRow {
+    /// Case kind: `fault`, `trojan` or `overlap`.
+    pub kind: String,
+    /// The fault spec string, empty when the case injects no fault.
+    pub fault: String,
+    /// The scenario spec string, empty when the case injects no trojan.
+    pub scenario: String,
+    /// Whether the trojan was detected (post-onset alarm, remap or
+    /// failover on the compromised member). `false` on fault-only rows.
+    pub trojan_detected: bool,
+    /// Whether spares were spent (or the member failed over) with no
+    /// trojan to justify it: any remap/failover on a fault-only row, or
+    /// one before the trojan onset on an overlap row.
+    pub spurious_quarantine: bool,
+    /// Maintenance events raised on the faulted member.
+    pub maintenance_events: usize,
+    /// Batches from crash to cache recovery (`NaN` when no crash fired).
+    pub crash_recovery_batches: f64,
+    /// Accuracy after the last remediation/recovery settled (from the
+    /// earliest onset when nothing fired).
+    pub post_accuracy: f64,
+    /// Fraction of requests served by trustworthy members.
+    pub availability: f64,
+    /// Policy actions observed, joined by `+` (`none` when quiet).
+    pub action: String,
+}
+
+/// The full chaos-evaluation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Detector names, in suite order.
+    pub detectors: Vec<String>,
+    /// Operating thresholds, aligned with `detectors`.
+    pub thresholds: Vec<f64>,
+    /// Accuracy of the clean fleet over the whole reference stream.
+    pub clean_accuracy: f64,
+    /// Stream shape: micro-batches served.
+    pub batches: usize,
+    /// Stream shape: requests per micro-batch.
+    pub batch_size: usize,
+    /// Fleet members.
+    pub fleet_size: usize,
+    /// Trojan onset batch (fault onsets live in each case's spec).
+    pub onset_batch: u64,
+    /// One row per grid case, in input order.
+    pub rows: Vec<ChaosRow>,
+    /// Fraction of fault-carrying rows with a spurious quarantine.
+    pub spurious_quarantine_rate: f64,
+    /// Fraction of trojan-only rows detected.
+    pub trojan_tpr: f64,
+    /// Fraction of overlap rows whose trojan went undetected.
+    pub overlap_missed_rate: f64,
+    /// Mean crash-to-recovery latency in batches (`NaN` when no row
+    /// crashed).
+    pub mean_crash_recovery_batches: f64,
+}
+
+impl ChaosReport {
+    /// The rows of kind `kind` (`fault`, `trojan` or `overlap`).
+    pub fn rows_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a ChaosRow> {
+        self.rows.iter().filter(move |r| r.kind == kind)
+    }
+}
+
+/// A stable stream key of a chaos case: the fault and scenario keys
+/// avalanche-mixed under a constant distinct from either engine's, so a
+/// case's stream can never alias a plain serving or fault stream.
+fn case_stream_key(case: &ChaosCase) -> u64 {
+    let mut h = 0xC4A0_5ABC_D0D0_5EEDu64;
+    if let Some(f) = &case.fault {
+        h = fold(h, f.stream_key());
+    }
+    if let Some(s) = &case.scenario {
+        h = fold(h, spec_stream_key(s));
+    }
+    h
+}
+
+/// Slices the stream outcome of one chaos case into its report row.
+fn summarize_chaos(case: &ChaosCase, out: &StreamOutcome, opts: &ServingOptions) -> ChaosRow {
+    let member = 0usize;
+    let end = opts.batches as u64;
+    let trojan_onset = opts.onset_batch;
+    // The earliest instant anything lands on the member: the accuracy
+    // window of a quiet row starts here.
+    let first_onset = match (&case.fault, &case.scenario) {
+        (Some(f), Some(_)) => f.onset_batch.min(trojan_onset),
+        (Some(f), None) => f.onset_batch,
+        _ => trojan_onset,
+    };
+    let mut actions: Vec<&str> = Vec::new();
+    let mut trojan_detected = false;
+    let mut spurious = false;
+    let mut maintenance = 0usize;
+    let mut crash_batch: Option<u64> = None;
+    let mut recover_batch: Option<u64> = None;
+    let mut settle: Option<u64> = None;
+    for e in out.events.iter().filter(|e| e.member == member) {
+        let label = match e.action {
+            ResponseAction::Alarm => "alarm",
+            ResponseAction::Remap { .. } => "remap",
+            ResponseAction::Failover => "failover",
+            ResponseAction::Maintenance { .. } => {
+                maintenance += 1;
+                "maintenance"
+            }
+            ResponseAction::Crash => {
+                crash_batch.get_or_insert(e.batch);
+                "crash"
+            }
+            ResponseAction::Recover => {
+                recover_batch.get_or_insert(e.batch);
+                settle = Some(settle.map_or(e.batch + 1, |s| s.max(e.batch + 1)));
+                "recover"
+            }
+        };
+        let quarantine = matches!(
+            e.action,
+            ResponseAction::Remap { .. } | ResponseAction::Failover
+        );
+        if quarantine {
+            settle = Some(settle.map_or(e.batch + 1, |s| s.max(e.batch + 1)));
+            if case.scenario.is_none() || e.batch < trojan_onset {
+                spurious = true;
+            }
+        }
+        if case.scenario.is_some()
+            && e.batch >= trojan_onset
+            && (quarantine || e.action == ResponseAction::Alarm)
+        {
+            trojan_detected = true;
+        }
+        if !actions.contains(&label) {
+            actions.push(label);
+        }
+    }
+    let post_start = settle.unwrap_or(first_onset).min(end);
+    let crash_recovery = match (crash_batch, recover_batch) {
+        (Some(c), Some(r)) => (r.saturating_sub(c)) as f64,
+        _ => f64::NAN,
+    };
+    ChaosRow {
+        kind: case.kind().to_string(),
+        fault: case
+            .fault
+            .as_ref()
+            .map(FaultSpec::to_spec_string)
+            .unwrap_or_default(),
+        scenario: case
+            .scenario
+            .as_ref()
+            .map(ScenarioSpec::to_spec_string)
+            .unwrap_or_default(),
+        trojan_detected,
+        spurious_quarantine: spurious,
+        maintenance_events: maintenance,
+        crash_recovery_batches: crash_recovery,
+        post_accuracy: out.accuracy_in(post_start..end),
+        availability: out.availability(),
+        action: if actions.is_empty() {
+            "none".into()
+        } else {
+            actions.join("+")
+        },
+    }
+}
+
+/// Runs the chaos evaluation: calibrates the detector suite once,
+/// measures the clean fleet's reference accuracy, then replays every
+/// grid case — fault, trojan or both landing on member 0 — against the
+/// responding closed-loop fleet and aggregates the robustness rates.
+///
+/// Case work fans out over `threads` workers of the shared pool (the
+/// fleets' per-member batches fan out again underneath); rows are ordered
+/// by the input case order and bitwise independent of `threads`.
+///
+/// # Errors
+///
+/// Rejects degenerate options (zero batches/batch size, onset beyond the
+/// stream, empty fleet) and propagates injection, derivation and
+/// forward-pass errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos<D: Dataset + Sync + ?Sized>(
+    network: &Network,
+    mapping: &WeightMapping,
+    backend: &dyn InferenceBackend,
+    data: &D,
+    cases: &[ChaosCase],
+    detectors: &[Box<dyn Detector>],
+    opts: &ServingOptions,
+    seed: u64,
+    threads: usize,
+) -> Result<ChaosReport, SafelightError> {
+    if opts.batches == 0 || opts.batch_size == 0 || opts.onset_batch >= opts.batches as u64 {
+        return Err(SafelightError::InvalidParameter {
+            name: "batches/onset",
+            value: opts.batches as f64,
+        });
+    }
+    if opts.fleet_size == 0 {
+        return Err(SafelightError::InvalidParameter {
+            name: "fleet size",
+            value: 0.0,
+        });
+    }
+    let parts = calibrate(network, mapping, backend, detectors, opts, seed)?;
+    let requests = request_stream(data, opts)?;
+
+    let clean_accuracy = {
+        let mut fleet = build_fleet(network, mapping, backend, &parts, opts, false)?;
+        let out = fleet.serve_stream(
+            &requests,
+            opts.batch_size,
+            None,
+            fold(seed, 0xC1EA),
+            threads,
+        )?;
+        out.accuracy_in(0..opts.batches as u64)
+    };
+
+    // Fault plans index sentinel readbacks by slot, so injection needs the
+    // per-block sentinel population of the provisioning the members use.
+    let sentinel_counts = {
+        let plan = SentinelPlan::new(
+            mapping,
+            backend.config(),
+            opts.sentinels_per_block,
+            opts.sentinel_magnitude,
+        );
+        (
+            plan.sites(BlockKind::Conv).len(),
+            plan.sites(BlockKind::Fc).len(),
+        )
+    };
+
+    // Trojan conditions are injected once up front (salience derivation is
+    // the expensive part); each case then references its entry by slot.
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let slots: Vec<Option<usize>> = cases
+        .iter()
+        .map(|c| {
+            c.scenario.as_ref().map(|s| {
+                specs.push(s.clone());
+                specs.len() - 1
+            })
+        })
+        .collect();
+    let needs_salience = specs.iter().any(|s| s.selection == Selection::Targeted);
+    let salience = if needs_salience {
+        Some(safelight::attack::RingSalience::from_network(
+            network,
+            mapping,
+            backend.config(),
+        )?)
+    } else {
+        None
+    };
+    let injected = inject_all(backend.config(), &specs, salience.as_ref(), seed, threads)?;
+
+    let items: Vec<(&ChaosCase, Option<&InjectedScenario>)> = cases
+        .iter()
+        .zip(&slots)
+        .map(|(c, slot)| (c, slot.map(|i| &injected[i])))
+        .collect();
+    let rows: Vec<Result<ChaosRow, SafelightError>> = par_map(items, threads, |(case, entry)| {
+        let stream_seed = fold(seed, case_stream_key(case));
+        let plan = case
+            .fault
+            .as_ref()
+            .map(|spec| inject_fault(spec, backend.config(), sentinel_counts, seed))
+            .transpose()?;
+        let compromise = entry.map(|e| Compromise {
+            member: 0,
+            onset_batch: opts.onset_batch,
+            conditions: &e.conditions,
+        });
+        let fault = plan.as_ref().map(|p| MemberFault { member: 0, plan: p });
+        let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
+        let out = fleet.serve_stream_with_faults(
+            &requests,
+            opts.batch_size,
+            compromise,
+            fault,
+            stream_seed,
+            threads,
+        )?;
+        Ok(summarize_chaos(case, &out, opts))
+    });
+    let rows = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    let rate = |num: usize, den: usize| {
+        if den == 0 {
+            f64::NAN
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    let faulted = rows.iter().filter(|r| !r.fault.is_empty()).count();
+    let spurious = rows
+        .iter()
+        .filter(|r| !r.fault.is_empty() && r.spurious_quarantine)
+        .count();
+    let trojan_rows = rows.iter().filter(|r| r.kind == "trojan").count();
+    let detected = rows
+        .iter()
+        .filter(|r| r.kind == "trojan" && r.trojan_detected)
+        .count();
+    let overlap_rows = rows.iter().filter(|r| r.kind == "overlap").count();
+    let missed = rows
+        .iter()
+        .filter(|r| r.kind == "overlap" && !r.trojan_detected)
+        .count();
+    let recoveries: Vec<f64> = rows
+        .iter()
+        .map(|r| r.crash_recovery_batches)
+        .filter(|b| b.is_finite())
+        .collect();
+    let mean_recovery = if recoveries.is_empty() {
+        f64::NAN
+    } else {
+        recoveries.iter().sum::<f64>() / recoveries.len() as f64
+    };
+
+    Ok(ChaosReport {
+        detectors: parts.names,
+        thresholds: parts.thresholds,
+        clean_accuracy,
+        batches: opts.batches,
+        batch_size: opts.batch_size,
+        fleet_size: opts.fleet_size,
+        onset_batch: opts.onset_batch,
+        rows,
+        spurious_quarantine_rate: rate(spurious, faulted),
+        trojan_tpr: rate(detected, trojan_rows),
+        overlap_missed_rate: rate(missed, overlap_rows),
+        mean_crash_recovery_batches: mean_recovery,
+    })
+}
+
+/// Runs the chaos experiment for `kind`: trains (or loads) the original
+/// model through the shared [`workbench`], builds the canonical
+/// [`chaos_grid`] at the fidelity's onset batch and evaluates the
+/// fault-tolerant runtime over it.
+///
+/// # Errors
+///
+/// Propagates workbench and chaos-evaluation errors.
+pub fn run_chaos_experiment(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+) -> Result<(ModelWorkbench, ChaosReport), SafelightError> {
+    let bench = workbench(kind, opts)?;
+    let serving_opts = ServingOptions::for_fidelity(opts.fidelity);
+    let cases = chaos_grid(serving_opts.onset_batch);
+    let report = run_chaos(
+        &bench.original,
+        &bench.mapping,
+        bench.backend.as_ref(),
+        &bench.data.test,
+        &cases,
+        &safelight::detect::default_detectors(),
+        &serving_opts,
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((bench, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_three_kinds_without_drop_drift() {
+        let grid = chaos_grid(12);
+        let count = |k: &str| grid.iter().filter(|c| c.kind() == k).count();
+        assert_eq!(count("fault"), 8);
+        assert_eq!(count("trojan"), 3);
+        assert_eq!(count("overlap"), 3);
+        assert_eq!(count("clean"), 0);
+        // The undecidable case stays out of the grid: a drifting
+        // drop-current sensor is indistinguishable from actuation and the
+        // policy fails secure on it.
+        assert!(grid.iter().filter_map(|c| c.fault.as_ref()).all(|f| {
+            !matches!(
+                f.vector,
+                FaultVector::DriftSensor {
+                    channel: SensorChannel::DropCurrent,
+                    ..
+                }
+            )
+        }));
+        // Every fault-only onset honors the requested batch; the
+        // crash-under-attack overlap lands two batches after the trojan.
+        assert!(grid.iter().filter(|c| c.kind() == "fault").all(|c| c
+            .fault
+            .as_ref()
+            .unwrap()
+            .onset_batch
+            == 12));
+        assert!(grid.iter().any(
+            |c| c.kind() == "overlap" && c.fault.as_ref().is_some_and(|f| f.onset_batch == 14)
+        ));
+    }
+
+    #[test]
+    fn case_stream_keys_never_alias() {
+        let grid = chaos_grid(8);
+        let mut keys: Vec<u64> = grid.iter().map(case_stream_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), grid.len(), "chaos cases share an RNG stream");
+    }
+}

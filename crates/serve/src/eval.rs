@@ -63,6 +63,15 @@ pub struct ServingOptions {
     pub recalibration_frames: usize,
     /// Consecutive unlocalized alarms before failing over anyway.
     pub unlocalized_patience: usize,
+    /// Batches a crashed member spends restarting before cache recovery.
+    pub restart_batches: u64,
+    /// Failed remap attempts retried (with backoff) before failover.
+    pub remap_retries: usize,
+    /// Backoff after a failed remap attempt, doubled per failure.
+    pub remap_backoff_batches: u64,
+    /// Coherent rail excursion (σ) classifying an alarm as a supply
+    /// transient instead of a trojan.
+    pub rail_glitch_z: f64,
     /// Sensor tap configuration.
     pub tap: TapConfig,
     /// Sentinel rings provisioned per block.
@@ -84,6 +93,10 @@ impl Default for ServingOptions {
             implicate_z: 6.0,
             recalibration_frames: 32,
             unlocalized_patience: 3,
+            restart_batches: 2,
+            remap_retries: 1,
+            remap_backoff_batches: 2,
+            rail_glitch_z: 4.0,
             tap: TapConfig::default(),
             sentinels_per_block: 32,
             sentinel_magnitude: 0.7,
@@ -222,7 +235,7 @@ pub fn operating_thresholds(
 
 /// Builds the evaluation's fixed request stream from `data`: request `i`
 /// is test item `i % len`, for `batches × batch_size` requests.
-fn request_stream<D: Dataset + ?Sized>(
+pub(crate) fn request_stream<D: Dataset + ?Sized>(
     data: &D,
     opts: &ServingOptions,
 ) -> Result<Vec<Request>, SafelightError> {
@@ -242,14 +255,14 @@ fn request_stream<D: Dataset + ?Sized>(
 
 /// Everything the per-scenario fleets share: calibrated detector suite,
 /// localization guard and thresholds.
-struct CalibratedParts {
-    suite: Vec<Box<dyn Detector>>,
-    guard: GuardBandDetector,
-    thresholds: Vec<f64>,
-    names: Vec<String>,
+pub(crate) struct CalibratedParts {
+    pub(crate) suite: Vec<Box<dyn Detector>>,
+    pub(crate) guard: GuardBandDetector,
+    pub(crate) thresholds: Vec<f64>,
+    pub(crate) names: Vec<String>,
 }
 
-fn calibrate(
+pub(crate) fn calibrate(
     network: &Network,
     mapping: &WeightMapping,
     backend: &dyn InferenceBackend,
@@ -293,7 +306,7 @@ fn calibrate(
     })
 }
 
-fn build_fleet(
+pub(crate) fn build_fleet(
     network: &Network,
     mapping: &WeightMapping,
     backend: &dyn InferenceBackend,
@@ -326,11 +339,15 @@ fn build_fleet(
     policy.implicate_z = opts.implicate_z;
     policy.recalibration_frames = opts.recalibration_frames;
     policy.unlocalized_patience = opts.unlocalized_patience;
+    policy.restart_batches = opts.restart_batches;
+    policy.remap_retries = opts.remap_retries;
+    policy.remap_backoff_batches = opts.remap_backoff_batches;
+    policy.rail_glitch_z = opts.rail_glitch_z;
     Fleet::new(members, policy)
 }
 
 /// A stable stream key of a scenario spec (all fields avalanche-mixed).
-fn spec_stream_key(spec: &ScenarioSpec) -> u64 {
+pub(crate) fn spec_stream_key(spec: &ScenarioSpec) -> u64 {
     let mut h = fold(0x5E4E_5742_EA11, spec.trial);
     h = fold(h, spec.fraction.to_bits());
     for byte in spec.to_spec_string().bytes() {
@@ -363,10 +380,13 @@ fn summarize(
         .iter()
         .filter(|e| e.batch >= onset && e.member == compromised_member)
     {
-        if detect_batch.is_none() {
-            detect_batch = Some(e.batch);
-        }
         let label = match e.action {
+            // Maintenance flags and crash/recovery transitions are not
+            // trojan detections — they must not start the latency clock
+            // or shift the phase boundaries.
+            ResponseAction::Maintenance { .. }
+            | ResponseAction::Crash
+            | ResponseAction::Recover => continue,
             ResponseAction::Alarm => "alarm",
             ResponseAction::Remap {
                 remapped_rings,
@@ -387,6 +407,9 @@ fn summarize(
                 "failover"
             }
         };
+        if detect_batch.is_none() {
+            detect_batch = Some(e.batch);
+        }
         if !actions.contains(&label) {
             actions.push(label);
         }

@@ -34,8 +34,13 @@
 //!   end-to-end accuracy per phase, detection/recovery latency in batches
 //!   and availability per scenario, byte-identical across worker-thread
 //!   counts;
-//! * [`report`] — CSV/JSON emitters for the serving evaluation, wired
-//!   into `repro --serve [--json]`.
+//! * [`chaos`] — [`chaos::run_chaos`] replays the benign-fault grid
+//!   (dead/stuck/drifting sensors, supply glitches, member crashes) alone,
+//!   trojans alone, and fault+trojan overlap, reporting the
+//!   spurious-quarantine rate, trojan TPR under discrimination, overlap
+//!   missed-detection rate and crash-recovery latency;
+//! * [`report`] — CSV/JSON emitters for the serving and chaos
+//!   evaluations, wired into `repro --serve` / `repro --chaos` (`--json`).
 //!
 //! See `docs/serving.md` for the fleet model, the scheduler's determinism
 //! argument and the response-policy state machine.
@@ -79,16 +84,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod eval;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
 
+pub use chaos::{chaos_grid, run_chaos, run_chaos_experiment, ChaosCase, ChaosReport, ChaosRow};
 pub use eval::{
     run_serving, run_serving_experiment, ScenarioServing, ServingOptions, ServingReport,
 };
 pub use runtime::{
-    Compromise, Fleet, FleetMember, MemberState, PolicyConfig, PolicyEvent, ResponseAction,
-    ServedBatch, StreamOutcome,
+    Compromise, Fleet, FleetMember, MemberFault, MemberState, PolicyConfig, PolicyEvent,
+    ResponseAction, ServedBatch, StreamOutcome,
 };
 pub use scheduler::{partition, Request, RequestOutcome};

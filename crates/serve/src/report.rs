@@ -1,11 +1,13 @@
-//! CSV and JSON renderers for the serving evaluation, mirroring the
-//! style of `safelight::eval`'s figure emitters: `f64` values print
-//! through `Display` (exact round-trip), `NaN` renders as an empty CSV
-//! field and a JSON `null`, and row order equals scenario input order —
-//! so the artifacts are byte-identical across worker-thread counts.
+//! CSV and JSON renderers for the serving and chaos evaluations,
+//! mirroring the style of `safelight::eval`'s figure emitters: `f64`
+//! values print through `Display` (exact round-trip), `NaN` renders as an
+//! empty CSV field and a JSON `null`, and row order equals case input
+//! order — so the artifacts are byte-identical across worker-thread
+//! counts.
 
 use safelight::eval::{json_num, json_str};
 
+use crate::chaos::ChaosReport;
 use crate::eval::ServingReport;
 
 fn csv_num(x: f64) -> String {
@@ -137,9 +139,109 @@ pub fn serving_json(report: &ServingReport) -> String {
     )
 }
 
+/// Renders a chaos report as CSV: `# clean_accuracy`, stream-shape,
+/// `# threshold` and `# rate` header lines, then one
+/// `kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,crash_recovery,post_accuracy,availability,action`
+/// row per grid case.
+#[must_use]
+pub fn chaos_csv(report: &ChaosReport) -> String {
+    let mut out = format!("# clean_accuracy,{}\n", report.clean_accuracy);
+    out.push_str(&format!(
+        "# stream,batches,{},batch_size,{},fleet,{},onset,{}\n",
+        report.batches, report.batch_size, report.fleet_size, report.onset_batch
+    ));
+    for (name, threshold) in report.detectors.iter().zip(&report.thresholds) {
+        out.push_str(&format!("# threshold,{name},{threshold}\n"));
+    }
+    out.push_str(&format!(
+        "# rate,spurious_quarantine,{},trojan_tpr,{},overlap_missed,{},mean_crash_recovery,{}\n",
+        csv_num(report.spurious_quarantine_rate),
+        csv_num(report.trojan_tpr),
+        csv_num(report.overlap_missed_rate),
+        csv_num(report.mean_crash_recovery_batches),
+    ));
+    out.push_str(
+        "kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,\
+         crash_recovery,post_accuracy,availability,action\n",
+    );
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            r.kind,
+            r.fault,
+            r.scenario,
+            u8::from(r.trojan_detected),
+            u8::from(r.spurious_quarantine),
+            r.maintenance_events,
+            csv_num(r.crash_recovery_batches),
+            csv_num(r.post_accuracy),
+            csv_num(r.availability),
+            r.action,
+        ));
+    }
+    out
+}
+
+/// Renders a chaos report as a JSON object mirroring [`chaos_csv`]'s
+/// columns, with an `operating` array of detector/threshold pairs and a
+/// `rates` object of the headline robustness rates.
+#[must_use]
+pub fn chaos_json(report: &ChaosReport) -> String {
+    let operating: Vec<String> = report
+        .detectors
+        .iter()
+        .zip(&report.thresholds)
+        .map(|(name, threshold)| {
+            format!(
+                "{{\"detector\":{},\"threshold\":{}}}",
+                json_str(name),
+                json_num(*threshold)
+            )
+        })
+        .collect();
+    let rows: Vec<String> = report
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"kind\":{},\"fault\":{},\"scenario\":{},\"trojan_detected\":{},\
+                 \"spurious_quarantine\":{},\"maintenance_events\":{},\"crash_recovery\":{},\
+                 \"post_accuracy\":{},\"availability\":{},\"action\":{}}}",
+                json_str(&r.kind),
+                json_str(&r.fault),
+                json_str(&r.scenario),
+                r.trojan_detected,
+                r.spurious_quarantine,
+                r.maintenance_events,
+                json_num(r.crash_recovery_batches),
+                json_num(r.post_accuracy),
+                json_num(r.availability),
+                json_str(&r.action),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"clean_accuracy\":{},\"batches\":{},\"batch_size\":{},\"fleet_size\":{},\
+         \"onset_batch\":{},\"rates\":{{\"spurious_quarantine\":{},\"trojan_tpr\":{},\
+         \"overlap_missed\":{},\"mean_crash_recovery\":{}}},\"operating\":[{}],\"rows\":[{}]}}",
+        json_num(report.clean_accuracy),
+        report.batches,
+        report.batch_size,
+        report.fleet_size,
+        report.onset_batch,
+        json_num(report.spurious_quarantine_rate),
+        json_num(report.trojan_tpr),
+        json_num(report.overlap_missed_rate),
+        json_num(report.mean_crash_recovery_batches),
+        operating.join(","),
+        rows.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosRow;
     use crate::eval::ScenarioServing;
     use safelight::attack::{AttackTarget, ScenarioSpec, VectorSpec};
 
@@ -198,5 +300,74 @@ mod tests {
         assert!(json.contains("\"recovered\":null"));
         assert!(json.contains("\"detector\":\"guard_band\",\"threshold\":4.5"));
         assert!(json.contains("\"action\":\"remap\""));
+    }
+
+    fn tiny_chaos_report() -> ChaosReport {
+        ChaosReport {
+            detectors: vec!["guard_band".into()],
+            thresholds: vec![4.5],
+            clean_accuracy: 0.96,
+            batches: 24,
+            batch_size: 8,
+            fleet_size: 2,
+            onset_batch: 8,
+            rows: vec![
+                ChaosRow {
+                    kind: "fault".into(),
+                    fault: "dead:drop/fc/0.5/8/0".into(),
+                    scenario: String::new(),
+                    trojan_detected: false,
+                    spurious_quarantine: false,
+                    maintenance_events: 2,
+                    crash_recovery_batches: f64::NAN,
+                    post_accuracy: 0.95,
+                    availability: 1.0,
+                    action: "maintenance".into(),
+                },
+                ChaosRow {
+                    kind: "overlap".into(),
+                    fault: "crash/both/0/10/0".into(),
+                    scenario: "actuation/targeted/both/0.1/0".into(),
+                    trojan_detected: true,
+                    spurious_quarantine: false,
+                    maintenance_events: 0,
+                    crash_recovery_batches: 2.0,
+                    post_accuracy: 0.94,
+                    availability: 0.8,
+                    action: "crash+recover+alarm+remap".into(),
+                },
+            ],
+            spurious_quarantine_rate: 0.0,
+            trojan_tpr: 1.0,
+            overlap_missed_rate: 0.0,
+            mean_crash_recovery_batches: 2.0,
+        }
+    }
+
+    #[test]
+    fn chaos_csv_renders_rates_and_rows() {
+        let csv = chaos_csv(&tiny_chaos_report());
+        assert!(csv.starts_with("# clean_accuracy,0.96\n"));
+        assert!(csv.contains(
+            "# rate,spurious_quarantine,0,trojan_tpr,1,overlap_missed,0,mean_crash_recovery,2"
+        ));
+        assert!(csv.contains("fault,dead:drop/fc/0.5/8/0,,0,0,2,,0.95,1,maintenance"));
+        assert!(csv.contains(
+            "overlap,crash/both/0/10/0,actuation/targeted/both/0.1/0,1,0,0,2,0.94,0.8,\
+             crash+recover+alarm+remap"
+        ));
+    }
+
+    #[test]
+    fn chaos_json_mirrors_csv_with_nulls_and_booleans() {
+        let json = chaos_json(&tiny_chaos_report());
+        assert!(json.starts_with("{\"clean_accuracy\":0.96"));
+        assert!(json.contains(
+            "\"rates\":{\"spurious_quarantine\":0,\"trojan_tpr\":1,\"overlap_missed\":0,\
+             \"mean_crash_recovery\":2}"
+        ));
+        assert!(json.contains("\"trojan_detected\":true"));
+        assert!(json.contains("\"crash_recovery\":null"));
+        assert!(json.contains("\"action\":\"crash+recover+alarm+remap\""));
     }
 }

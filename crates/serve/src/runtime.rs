@@ -37,12 +37,13 @@
 
 use std::ops::Range;
 
-use safelight::detect::{Detector, GuardBandDetector};
+use safelight::detect::{Detector, GuardBandDetector, MaskedChannel, SensorHealthScreen};
+use safelight::fault::{FaultPlan, FaultState};
 use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
 use safelight_neuro::{Network, Tensor};
 use safelight_onn::{
-    BlockKind, ConditionMap, InferenceBackend, MrCondition, SentinelPlan, TapConfig,
+    BlockKind, ConditionMap, InferenceBackend, MrCondition, SensorChannel, SentinelPlan, TapConfig,
     TelemetryFrame, TelemetryProbe, WeightMapping,
 };
 
@@ -69,6 +70,21 @@ pub struct PolicyConfig {
     /// Consecutive unlocalized alarms tolerated before the member fails
     /// over anyway (a persistent alarm the guard bands cannot pin down).
     pub unlocalized_patience: usize,
+    /// Batches a crashed member spends in [`MemberState::Restarting`]
+    /// before cache recovery brings it back into the routing set.
+    pub restart_batches: u64,
+    /// Failed remap attempts retried (with backoff) before the member
+    /// fails over. 0 restores the pre-fault-tolerance behaviour of failing
+    /// over on the first exhausted spare pool.
+    pub remap_retries: usize,
+    /// Batches to back off after a failed remap attempt (doubled per
+    /// consecutive failure).
+    pub remap_backoff_batches: u64,
+    /// Coherent rail excursion (in σ, per [`GuardBandDetector::coherent_rail_shift`])
+    /// above which an alarm is classified as a supply-side transient
+    /// (maintenance) instead of a trojan: a glitch dims every bank of a
+    /// block at once, a tap on a fraction of the rings cannot.
+    pub rail_glitch_z: f64,
     /// Whether the response policy acts on alarms at all (`false` = the
     /// no-response baseline: detection still scores, nothing reacts).
     pub respond: bool,
@@ -88,6 +104,10 @@ impl PolicyConfig {
             implicate_z: 6.0,
             recalibration_frames: 32,
             unlocalized_patience: 3,
+            restart_batches: 2,
+            remap_retries: 1,
+            remap_backoff_batches: 2,
+            rail_glitch_z: 4.0,
             respond: true,
             inline_detection: true,
         }
@@ -117,14 +137,26 @@ impl PolicyConfig {
 pub enum MemberState {
     /// In the routing set, serving traffic.
     Healthy,
+    /// In the routing set with a maintenance flag raised: one or more of
+    /// its sensors are masked as faulty (or a supply transient is in
+    /// progress). The member keeps serving — a broken *sensor* does not
+    /// degrade the *datapath* — but the flag tells the operator which
+    /// hardware to service. Clears back to [`MemberState::Healthy`] when
+    /// the masks clear.
+    Suspect,
+    /// Crashed: out of the routing set while cache recovery re-derives the
+    /// member's state; returns to the routing set after
+    /// [`PolicyConfig::restart_batches`].
+    Restarting,
     /// Failed over: out of the routing set for good.
     Failed,
 }
 
-/// What the policy did in response to one alarm.
+/// What the policy did in response to one alarm (or fault event).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResponseAction {
-    /// An alarm the guard bands could not localize; no action taken yet.
+    /// An alarm the guard bands could not localize (or a remap waiting out
+    /// its retry backoff); no remediation taken yet.
     Alarm,
     /// Banks were quarantined and their parameters remapped onto spares.
     Remap {
@@ -141,6 +173,19 @@ pub enum ResponseAction {
     /// The member left the routing set; traffic redistributed to healthy
     /// peers.
     Failover,
+    /// A sensor-health verdict: channels were masked (or an alarm was
+    /// classified as a benign sensor fault / supply transient) and the
+    /// member was flagged for maintenance — *no* spares were spent.
+    Maintenance {
+        /// Channels currently masked on the member (0 for a pure supply
+        /// transient, which masks nothing).
+        masked_channels: usize,
+    },
+    /// The member crashed and left the routing set for recovery.
+    Crash,
+    /// The member recovered from the version-stamped model cache and
+    /// rejoined the routing set with re-baselined detectors.
+    Recover,
 }
 
 /// One policy decision, stamped with when and where it happened.
@@ -170,8 +215,12 @@ pub struct ServedBatch {
     pub scores: Vec<f64>,
     /// Whether any score crossed its operating threshold.
     pub alarmed: bool,
-    /// The telemetry frame (kept for bank implication), when detection ran.
+    /// The *sanitized* telemetry frame the detectors scored (masked
+    /// channels replaced by their calibrated means; kept for bank
+    /// implication), when detection ran.
     pub frame: Option<TelemetryFrame>,
+    /// Channels the sensor-health screen masked on the raw frame.
+    pub masked: Vec<MaskedChannel>,
     /// Ground truth: the member was compromised and not yet remediated.
     pub degraded: bool,
 }
@@ -204,6 +253,59 @@ pub struct FleetMember {
     compromised: bool,
     remediated: bool,
     remediations: usize,
+    /// Per-sensor health screen masking broken channels ahead of scoring.
+    screen: SensorHealthScreen,
+    /// Version stamp of the clean model held by the recovery cache.
+    cache_stamp: u64,
+    /// Factory mapping snapshot the recovery cache restores.
+    cache_mapping: WeightMapping,
+    /// Factory sentinel plan the recovery cache restores.
+    cache_sentinels: SentinelPlan,
+    /// Armed benign-fault plan corrupting this member's raw telemetry.
+    fault: Option<FaultPlan>,
+    fault_state: FaultState,
+    /// Global batch index at which a crashed member rejoins the routing
+    /// set.
+    restart_until: Option<u64>,
+    restarts: usize,
+    /// Consecutive failed remap attempts (drives the retry backoff).
+    remap_attempts: usize,
+    /// Global batch index before which remap retries back off.
+    retry_after_batch: u64,
+    /// Masked channels already reported, deduping maintenance events.
+    flagged: Vec<(BlockKind, usize, SensorChannel)>,
+}
+
+/// The four bank-level sensor fields in [`GuardBandDetector::field_excursions`]
+/// order.
+const FIELD_CHANNELS: [SensorChannel; 4] = [
+    SensorChannel::DropCurrent,
+    SensorChannel::DeltaKelvin,
+    SensorChannel::RailPower,
+    SensorChannel::TrimOffsetNm,
+];
+
+/// Fixed seed and frame base of the sensor-health screen's factory
+/// calibration — deliberately *not* member-salted, so a prototype and its
+/// [`FleetMember::clone_as`] clones carry bit-identical screens.
+const SCREEN_CAL_SEED: u64 = 0x5C4E_E27A_B1E5;
+const SCREEN_CAL_BASE: u64 = 1 << 47;
+const SCREEN_CAL_FRAMES: u64 = 32;
+
+/// Version stamp of a clean model for the crash-recovery cache: every
+/// parameter tensor's shape and exact bit pattern, avalanche-folded. A
+/// member only restores from a cache whose stamp matches its clean model.
+fn model_stamp(network: &Network) -> u64 {
+    let mut h = 0x5AFE_C4A5_4EC0_7E41_u64;
+    for p in network.params() {
+        for &dim in p.value.shape() {
+            h = fold(h, dim as u64);
+        }
+        for &w in p.value.as_slice() {
+            h = fold(h, u64::from(w.to_bits()));
+        }
+    }
+    h
 }
 
 impl std::fmt::Debug for FleetMember {
@@ -257,9 +359,19 @@ impl FleetMember {
         for d in &mut suite {
             d.reset();
         }
+        // Factory calibration of the sensor-health screen, on synthesized
+        // attack-free frames of this member's own probe.
+        let mut screen = SensorHealthScreen::default();
+        let screen_frames: Vec<TelemetryFrame> = (0..SCREEN_CAL_FRAMES)
+            .map(|i| probe.frame(SCREEN_CAL_BASE + i, SCREEN_CAL_SEED))
+            .collect();
+        screen.calibrate(&screen_frames)?;
         Ok(Self {
             id,
             backend,
+            cache_stamp: model_stamp(network),
+            cache_mapping: mapping.clone(),
+            cache_sentinels: sentinels.clone(),
             mapping,
             clean: network.clone(),
             attack: ConditionMap::new(),
@@ -278,6 +390,14 @@ impl FleetMember {
             compromised: false,
             remediated: false,
             remediations: 0,
+            screen,
+            fault: None,
+            fault_state: FaultState::default(),
+            restart_until: None,
+            restarts: 0,
+            remap_attempts: 0,
+            retry_after_batch: 0,
+            flagged: Vec::new(),
         })
     }
 
@@ -310,6 +430,17 @@ impl FleetMember {
             compromised: self.compromised,
             remediated: self.remediated,
             remediations: self.remediations,
+            screen: self.screen.clone(),
+            cache_stamp: self.cache_stamp,
+            cache_mapping: self.cache_mapping.clone(),
+            cache_sentinels: self.cache_sentinels.clone(),
+            fault: self.fault.clone(),
+            fault_state: self.fault_state.clone(),
+            restart_until: self.restart_until,
+            restarts: self.restarts,
+            remap_attempts: self.remap_attempts,
+            retry_after_batch: self.retry_after_batch,
+            flagged: self.flagged.clone(),
         }
     }
 
@@ -325,10 +456,12 @@ impl FleetMember {
         self.state
     }
 
-    /// Whether the member is in the routing set.
+    /// Whether the member is in the routing set. A [`MemberState::Suspect`]
+    /// member still serves — its maintenance flag concerns a sensor, not
+    /// the datapath.
     #[must_use]
     pub fn serves(&self) -> bool {
-        self.state == MemberState::Healthy
+        matches!(self.state, MemberState::Healthy | MemberState::Suspect)
     }
 
     /// Ground truth: compromised with no remediation applied yet. A
@@ -345,6 +478,28 @@ impl FleetMember {
     #[must_use]
     pub fn remediations(&self) -> usize {
         self.remediations
+    }
+
+    /// Crash recoveries the member has performed.
+    #[must_use]
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Sensor channels the response policy has quarantined on this member
+    /// (maintenance inventory; distinct from bank quarantines, which spend
+    /// spare rings).
+    #[must_use]
+    pub fn quarantined_sensors(&self) -> &[(BlockKind, usize, SensorChannel)] {
+        self.screen.quarantined_channels()
+    }
+
+    /// Arms a benign-fault plan: from its onset batch the plan corrupts
+    /// this member's *raw telemetry* (sensors lying about a healthy
+    /// datapath — the optical physics is untouched).
+    pub fn arm_fault(&mut self, plan: &FaultPlan) {
+        self.fault_state = FaultState::for_plan(plan);
+        self.fault = Some(plan.clone());
     }
 
     /// Shared view of the member's (possibly remapped) mapping.
@@ -439,16 +594,28 @@ impl FleetMember {
         let inputs: Vec<&Tensor> = requests.iter().map(|r| &r.input).collect();
         let predictions = self.backend.predict_batch(&mut self.effective, &inputs)?;
         let degraded = self.is_degraded();
-        let (scores, alarmed, frame) = if policy.inline_detection {
-            let frame = self
+        let (scores, alarmed, frame, masked) = if policy.inline_detection {
+            let mut raw = self
                 .probe
                 .frame(self.frames_emitted, fold(stream_seed, self.noise_salt));
             self.frames_emitted += 1;
+            // Any armed benign fault corrupts the raw readings first —
+            // the screen and detectors see what the broken sensors report.
+            if let Some(plan) = &self.fault {
+                plan.corrupt(
+                    &mut raw,
+                    batch,
+                    &mut self.fault_state,
+                    fold(stream_seed, self.noise_salt),
+                );
+            }
+            let health = self.screen.screen(&raw);
+            let frame = self.screen.sanitize(&raw, &health);
             let scores: Vec<f64> = self.suite.iter_mut().map(|d| d.score(&frame)).collect();
             let alarmed = scores.iter().zip(&policy.thresholds).any(|(s, t)| s > t);
-            (scores, alarmed, Some(frame))
+            (scores, alarmed, Some(frame), health.masked)
         } else {
-            (Vec::new(), false, None)
+            (Vec::new(), false, None, Vec::new())
         };
         Ok(ServedBatch {
             member: self.id,
@@ -457,6 +624,7 @@ impl FleetMember {
             scores,
             alarmed,
             frame,
+            masked,
             degraded,
         })
     }
@@ -481,6 +649,10 @@ impl FleetMember {
             d.reset();
         }
         self.guard.calibrate(&synth)?;
+        // The screen re-baselines too (a remap moves sensor means), keeping
+        // its operator quarantines — re-baselining does not un-break a
+        // sensor.
+        self.screen.calibrate(&synth)?;
         Ok(())
     }
 
@@ -500,6 +672,10 @@ impl FleetMember {
         policy: &PolicyConfig,
         allow_partial: bool,
     ) -> Result<Option<ResponseAction>, SafelightError> {
+        // Snapshot for rollback: a refused partial remap must leave the
+        // mapping untouched, or the retry (and the eventual failover
+        // accounting) would start from a half-consumed spare pool.
+        let snapshot = self.mapping.clone();
         let mut remapped = 0usize;
         let mut unplaced = 0usize;
         let mut quarantined: Vec<(BlockKind, u64)> = Vec::new();
@@ -522,6 +698,7 @@ impl FleetMember {
             quarantined.extend(rings.into_iter().map(|r| (kind, r)));
         }
         if unplaced > 0 && !allow_partial {
+            self.mapping = snapshot;
             return Ok(None);
         }
         for (kind, ring) in quarantined {
@@ -530,6 +707,8 @@ impl FleetMember {
         self.remediated = true;
         self.remediations += 1;
         self.unlocalized_alarms = 0;
+        self.remap_attempts = 0;
+        self.retry_after_batch = 0;
         self.rederive()?;
         self.recalibrate(stream_seed, policy.recalibration_frames)?;
         Ok(Some(ResponseAction::Remap {
@@ -537,6 +716,64 @@ impl FleetMember {
             remapped_rings: remapped,
             unplaced_rings: unplaced,
         }))
+    }
+
+    /// Brings a crashed member back from the version-stamped model cache:
+    /// verifies the stamp, restores the factory mapping and sentinel plan,
+    /// drops the operator overlay, and re-derives the executor and probe.
+    /// The trojan map is deliberately *kept* — a restart does not exorcise
+    /// hardware that is physically present — and the detectors, guard and
+    /// screen re-baseline on frames synthesized from the cached *clean*
+    /// state, so a trojan that survives the crash re-alarms instead of
+    /// being baselined into the post-recovery calibration.
+    fn recover_from_cache(
+        &mut self,
+        stream_seed: u64,
+        recalibration_frames: usize,
+    ) -> Result<(), SafelightError> {
+        if model_stamp(&self.clean) != self.cache_stamp {
+            return Err(SafelightError::InvalidParameter {
+                name: "recovery cache stamp",
+                value: self.cache_stamp as f64,
+            });
+        }
+        self.mapping = self.cache_mapping.clone();
+        self.overlay = ConditionMap::new();
+        self.sentinels = self.cache_sentinels.clone();
+        self.remediated = false;
+        self.restarts += 1;
+        self.unlocalized_alarms = 0;
+        self.remap_attempts = 0;
+        self.retry_after_batch = 0;
+        self.flagged.clear();
+        self.rederive()?;
+        let clean_probe = self
+            .backend
+            .probe(
+                &self.clean,
+                &self.mapping,
+                &ConditionMap::new(),
+                &self.sentinels,
+                self.tap,
+            )
+            .map_err(SafelightError::from)?;
+        let seed = fold(
+            fold(stream_seed, self.noise_salt),
+            0x4EC0_7E4A ^ self.restarts as u64,
+        );
+        let base = 1u64 << 46;
+        let synth: Vec<TelemetryFrame> = (0..recalibration_frames.max(1) as u64)
+            .map(|i| clean_probe.frame(base + i, seed))
+            .collect();
+        for d in &mut self.suite {
+            d.calibrate(&synth)?;
+            d.reset();
+        }
+        self.guard.calibrate(&synth)?;
+        self.screen.calibrate(&synth)?;
+        self.state = MemberState::Healthy;
+        self.restart_until = None;
+        Ok(())
     }
 }
 
@@ -550,6 +787,17 @@ pub struct Compromise<'a> {
     pub onset_batch: u64,
     /// The injected fault conditions.
     pub conditions: &'a ConditionMap,
+}
+
+/// A benign fault landing on one member: a fully expanded [`FaultPlan`]
+/// (sensor corruption, a crash, or both — the plan says which).
+#[derive(Debug, Clone)]
+pub struct MemberFault<'a> {
+    /// Which member the fault hits.
+    pub member: usize,
+    /// The expanded plan. Its `onset_batch` is a *global* micro-batch
+    /// index, like [`Compromise::onset_batch`].
+    pub plan: &'a FaultPlan,
 }
 
 /// Everything a served stream produced.
@@ -671,6 +919,29 @@ impl Fleet {
         seed: u64,
         threads: usize,
     ) -> Result<StreamOutcome, SafelightError> {
+        self.serve_stream_with_faults(requests, batch_size, compromise, None, seed, threads)
+    }
+
+    /// [`Fleet::serve_stream`] plus an optional benign [`MemberFault`]:
+    /// sensor faults are armed on their member up front (the plan gates
+    /// itself on its onset batch), and a crash plan takes the member
+    /// through [`MemberState::Restarting`] and cache recovery mid-stream.
+    /// Faults and compromises compose — the chaos grid's overlap cases
+    /// land both on one fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass, derivation and recalibration errors, and
+    /// rejects out-of-range member indices.
+    pub fn serve_stream_with_faults(
+        &mut self,
+        requests: &[Request],
+        batch_size: usize,
+        compromise: Option<Compromise<'_>>,
+        fault: Option<MemberFault<'_>>,
+        seed: u64,
+        threads: usize,
+    ) -> Result<StreamOutcome, SafelightError> {
         if let Some(c) = &compromise {
             if c.member >= self.members.len() {
                 return Err(SafelightError::InvalidParameter {
@@ -679,16 +950,81 @@ impl Fleet {
                 });
             }
         }
+        if let Some(f) = &fault {
+            if f.member >= self.members.len() {
+                return Err(SafelightError::InvalidParameter {
+                    name: "faulted member",
+                    value: f.member as f64,
+                });
+            }
+        }
         let ranges = partition(requests.len(), batch_size);
         let mut outcomes = Vec::with_capacity(requests.len());
         let mut events = Vec::new();
         let mut next = 0usize;
         let mut compromise_pending = compromise;
+        // Sensor faults arm up front — FaultPlan::corrupt gates itself on
+        // the onset batch. The crash (if any) is activated by the tick
+        // loop, so the member's last pre-crash batches still serve.
+        let mut crash_pending: Option<(usize, u64)> = None;
+        if let Some(f) = &fault {
+            self.members[f.member].arm_fault(f.plan);
+            if f.plan.crash {
+                crash_pending = Some((f.member, f.plan.onset_batch));
+            }
+        }
         // The policy is never mutated mid-stream; one clone outlives the
         // member borrows the tick loop takes.
         let policy = self.policy.clone();
         while next < ranges.len() {
             let remaining = ranges.len() - next;
+            // Recoveries due this tick: a restarting member whose window
+            // elapsed rejoins from the model cache before work is dealt.
+            for i in 0..self.members.len() {
+                let due = self.members[i].state == MemberState::Restarting
+                    && self.members[i]
+                        .restart_until
+                        .is_some_and(|until| next as u64 >= until);
+                if due {
+                    self.members[i].recover_from_cache(seed, policy.recalibration_frames)?;
+                    events.push(PolicyEvent {
+                        batch: next as u64,
+                        member: i,
+                        score: 0.0,
+                        action: ResponseAction::Recover,
+                    });
+                }
+            }
+            if let Some((member_id, onset)) = crash_pending {
+                // Same rank gating as the compromise below: the crash
+                // lands when the member's own next batch index reaches
+                // the onset.
+                let active_ids: Vec<usize> = self
+                    .members
+                    .iter()
+                    .filter(|m| m.serves())
+                    .take(remaining)
+                    .map(|m| m.id)
+                    .collect();
+                let due_at = match active_ids.iter().position(|&id| id == member_id) {
+                    Some(rank) => (next + rank) as u64,
+                    None => next as u64,
+                };
+                if due_at >= onset {
+                    let member = &mut self.members[member_id];
+                    if member.state != MemberState::Failed {
+                        member.state = MemberState::Restarting;
+                        member.restart_until = Some(due_at + policy.restart_batches);
+                        events.push(PolicyEvent {
+                            batch: due_at,
+                            member: member_id,
+                            score: 0.0,
+                            action: ResponseAction::Crash,
+                        });
+                    }
+                    crash_pending = None;
+                }
+            }
             if let Some(c) = &compromise_pending {
                 // Activate exactly when the compromised member's *own*
                 // next batch index reaches the onset — ticks hand out
@@ -713,6 +1049,32 @@ impl Fleet {
                     compromise_pending = None;
                 }
             }
+            if self.active_members() == 0 {
+                let restarting: Vec<usize> = self
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.state == MemberState::Restarting)
+                    .map(|(i, _)| i)
+                    .collect();
+                if restarting.is_empty() {
+                    break; // routing set exhausted — remaining requests unserved
+                }
+                // The entire routing set is down but members are coming
+                // back: the stream simply waits out the restart window (no
+                // request could be served during it either way), so the
+                // recovery is fast-forwarded instead of spinning.
+                for i in restarting {
+                    self.members[i].recover_from_cache(seed, policy.recalibration_frames)?;
+                    events.push(PolicyEvent {
+                        batch: next as u64,
+                        member: i,
+                        score: 0.0,
+                        action: ResponseAction::Recover,
+                    });
+                }
+                continue;
+            }
             let tasks: Vec<(&mut FleetMember, u64, Range<usize>)> = self
                 .members
                 .iter_mut()
@@ -724,9 +1086,6 @@ impl Fleet {
                     (m, bi, ranges[next + i].clone())
                 })
                 .collect();
-            if tasks.is_empty() {
-                break; // routing set exhausted — remaining requests unserved
-            }
             let served = tasks.len();
             let results: Vec<Result<ServedBatch, SafelightError>> =
                 par_map(tasks, threads, |(member, bi, range)| {
@@ -745,13 +1104,8 @@ impl Fleet {
                         degraded_service: batch.degraded,
                     });
                 }
-                if batch.alarmed && self.policy.respond {
-                    self.respond(&batch, seed, &mut events)?;
-                } else if !batch.alarmed && !batch.scores.is_empty() {
-                    // A quiet scored batch breaks the run of *consecutive*
-                    // unlocalized alarms — isolated calibrated-rate false
-                    // positives must not accumulate into a failover.
-                    self.members[batch.member].unlocalized_alarms = 0;
+                if self.policy.respond && !batch.scores.is_empty() {
+                    self.process_batch(&batch, seed, &mut events)?;
                 }
             }
             next += served;
@@ -764,8 +1118,12 @@ impl Fleet {
         })
     }
 
-    /// Handles one alarming batch: implicate, remap or fail over.
-    fn respond(
+    /// Processes one scored batch: sensor-health bookkeeping first, then —
+    /// on an alarm — the fault-vs-trojan discrimination rule, cheapest
+    /// benign explanation first. Only a bank whose *physics* moved (drop
+    /// current, or several sensor fields together) spends spares; a lone
+    /// broken readback or a coherent supply transient raises maintenance.
+    fn process_batch(
         &mut self,
         batch: &ServedBatch,
         seed: u64,
@@ -779,32 +1137,168 @@ impl Fleet {
             .count();
         let policy = self.policy.clone();
         let member = &mut self.members[batch.member];
+
+        // --- Sensor-health bookkeeping, independent of the trojan verdict.
+        let newly_masked: Vec<(BlockKind, usize, SensorChannel)> = batch
+            .masked
+            .iter()
+            .map(|m| (m.block, m.index, m.channel))
+            .filter(|key| !member.flagged.contains(key))
+            .collect();
+        if !newly_masked.is_empty() {
+            member.flagged.extend(newly_masked);
+            if member.state == MemberState::Healthy {
+                member.state = MemberState::Suspect;
+            }
+            // The sequential detectors may have integrated corrupt
+            // pre-mask readings (a stuck sensor takes a few frames to
+            // catch): drop that state rather than let it decay into a
+            // late false alarm.
+            for d in &mut member.suite {
+                d.reset();
+            }
+            events.push(PolicyEvent {
+                batch: batch.batch,
+                member: batch.member,
+                score: worst,
+                action: ResponseAction::Maintenance {
+                    masked_channels: batch.masked.len(),
+                },
+            });
+        } else if batch.masked.is_empty() && member.state == MemberState::Suspect && !batch.alarmed
+        {
+            // Every mask cleared (e.g. a transient ended) and the
+            // detectors are quiet: drop the maintenance flag.
+            member.state = MemberState::Healthy;
+            member.flagged.clear();
+        }
+
+        if !batch.alarmed {
+            // A quiet scored batch breaks the run of *consecutive*
+            // unlocalized alarms — isolated calibrated-rate false
+            // positives must not accumulate into a failover.
+            member.unlocalized_alarms = 0;
+            return Ok(());
+        }
         let frame = batch
             .frame
             .as_ref()
             .expect("an alarm implies a scored frame");
-        let implicated: Vec<(BlockKind, usize)> = member
-            .guard
-            .bank_excursions(frame)
-            .into_iter()
-            .filter(|&(_, _, z)| z >= policy.implicate_z)
-            .map(|(kind, bank, _)| (kind, bank))
+
+        // 1. A coherent rail dip across *every* bank of a block is a
+        //    supply-side transient: a trojan tapping a fraction of the
+        //    rings cannot dim them all at once.
+        if member.guard.coherent_rail_shift(frame) >= policy.rail_glitch_z {
+            if member.state == MemberState::Healthy {
+                member.state = MemberState::Suspect;
+            }
+            for d in &mut member.suite {
+                d.reset();
+            }
+            events.push(PolicyEvent {
+                batch: batch.batch,
+                member: batch.member,
+                score: worst,
+                action: ResponseAction::Maintenance {
+                    masked_channels: batch.masked.len(),
+                },
+            });
+            return Ok(());
+        }
+
+        // 2. Bank implication: the compute-coupled drop channel moved, or
+        //    at least two sensor fields moved together. One lone non-drop
+        //    field is a sensor story, not a physics story.
+        let fields = member.guard.field_excursions(frame);
+        let implicated: Vec<(BlockKind, usize)> = fields
+            .iter()
+            .filter(|(_, _, zs)| {
+                zs[0] >= policy.implicate_z
+                    || zs.iter().filter(|&&z| z >= policy.implicate_z).count() >= 2
+            })
+            .map(|&(kind, bank, _)| (kind, bank))
             .collect();
-        let action = if implicated.is_empty() {
-            member.unlocalized_alarms += 1;
-            if member.unlocalized_alarms >= policy.unlocalized_patience && healthy_peers > 0 {
-                member.state = MemberState::Failed;
-                ResponseAction::Failover
-            } else {
+        let action = if !implicated.is_empty() {
+            if batch.batch < member.retry_after_batch {
+                // Backing off a failed remap attempt: keep alarming
+                // without spending spares until the retry window opens.
                 ResponseAction::Alarm
+            } else {
+                match member.quarantine_and_remap(&implicated, seed, &policy, healthy_peers == 0)? {
+                    Some(action) => action,
+                    None => {
+                        member.remap_attempts += 1;
+                        if member.remap_attempts > policy.remap_retries {
+                            // Spares exhausted beyond patience and a
+                            // healthy peer exists: fail over.
+                            member.state = MemberState::Failed;
+                            ResponseAction::Failover
+                        } else {
+                            member.retry_after_batch = batch.batch
+                                + (policy.remap_backoff_batches << (member.remap_attempts - 1));
+                            ResponseAction::Alarm
+                        }
+                    }
+                }
             }
         } else {
-            match member.quarantine_and_remap(&implicated, seed, &policy, healthy_peers == 0)? {
-                Some(action) => action,
-                None => {
-                    // Spares exhausted and a healthy peer exists: fail over.
+            // 3. Single-sensor stories: exactly one non-drop field of a
+            //    bank excursed — quarantine the *sensor*, flag
+            //    maintenance, spend no spares. The attribution threshold
+            //    is half the implication threshold: a detector already
+            //    fired, so *something* moved — a drifting readback alarms
+            //    while its z is still between the operating threshold and
+            //    `implicate_z`, and waiting for full implication would
+            //    burn the unlocalized-alarm patience on a benign sensor.
+            //    A sensor story can only explain a *guard-band* alarm:
+            //    the sentinel integrity channel and the drop-mean CUSUM
+            //    watch the computation itself (dead/stuck sentinels are
+            //    masked by the health screen before scoring), so when
+            //    either of those is the detector alarming, a broken
+            //    readback cannot be the cause and the alarm falls through
+            //    to the fail-secure path below.
+            let guard_only_alarm = member
+                .suite
+                .iter()
+                .zip(&batch.scores)
+                .zip(&policy.thresholds)
+                .all(|((d, &s), &t)| s <= t || d.name() == "guard_band");
+            let sensor_z = policy.implicate_z * 0.5;
+            let mut suspects: Vec<(BlockKind, usize, SensorChannel)> = Vec::new();
+            if guard_only_alarm {
+                for &(kind, bank, zs) in &fields {
+                    let hot: Vec<usize> = (0..4).filter(|&f| zs[f] >= sensor_z).collect();
+                    if let [field] = hot.as_slice() {
+                        if *field != 0 {
+                            suspects.push((kind, bank, FIELD_CHANNELS[*field]));
+                        }
+                    }
+                }
+            }
+            if suspects.is_empty() {
+                // 4. Unlocalized alarm: patience, then failover.
+                member.unlocalized_alarms += 1;
+                if member.unlocalized_alarms >= policy.unlocalized_patience && healthy_peers > 0 {
                     member.state = MemberState::Failed;
                     ResponseAction::Failover
+                } else {
+                    ResponseAction::Alarm
+                }
+            } else {
+                for &(kind, index, channel) in &suspects {
+                    member.screen.quarantine_channel(kind, index, channel);
+                    if !member.flagged.contains(&(kind, index, channel)) {
+                        member.flagged.push((kind, index, channel));
+                    }
+                }
+                if member.state == MemberState::Healthy {
+                    member.state = MemberState::Suspect;
+                }
+                for d in &mut member.suite {
+                    d.reset();
+                }
+                ResponseAction::Maintenance {
+                    masked_channels: batch.masked.len() + suspects.len(),
                 }
             }
         };
@@ -1070,6 +1564,145 @@ mod tests {
             .collect();
         assert!(post_failover.iter().all(|o| o.member == 1));
         assert!(!post_failover.is_empty());
+    }
+
+    #[test]
+    fn last_member_degrades_gracefully_when_every_member_is_compromised() {
+        let (mut fleet, reqs) = make_fleet(2, true);
+        // Park *every* FC ring on *every* member: no remap can fully place,
+        // and there is no clean peer to hide behind.
+        let mut attack = ConditionMap::new();
+        for ring in 0..32 {
+            attack.set(BlockKind::Fc, ring, MrCondition::Parked);
+        }
+        for member in &mut fleet.members {
+            member.apply_compromise(&attack).unwrap();
+        }
+        let out = fleet.serve_stream(&reqs, 8, None, 7, 2).unwrap();
+        // One member exhausts its remap retries and fails over...
+        let failover = out
+            .events
+            .iter()
+            .find(|e| matches!(e.action, ResponseAction::Failover))
+            .expect("no failover event");
+        // ...but the last member must NOT fail over into an empty routing
+        // set: it takes the partial-remap graceful-degradation branch
+        // (parking unplaced parameters) and keeps serving.
+        let partial = out
+            .events
+            .iter()
+            .find(|e| {
+                matches!(
+                    e.action,
+                    ResponseAction::Remap {
+                        unplaced_rings, ..
+                    } if unplaced_rings > 0
+                )
+            })
+            .expect("no partial remap event");
+        assert_ne!(partial.member, failover.member);
+        assert_eq!(fleet.active_members(), 1);
+        assert_eq!(out.unserved, 0, "graceful degradation dropped requests");
+        assert_eq!(out.outcomes.len(), reqs.len());
+    }
+
+    #[test]
+    fn dead_sensors_raise_maintenance_not_quarantine() {
+        use safelight::fault::{inject_fault, FaultSpec};
+        let (mut fleet, reqs) = make_fleet(2, true);
+        let (_, mapping, config) = fixture();
+        let sentinels = SentinelPlan::new(&mapping, &config, 4, 0.7);
+        let counts = (
+            sentinels.sites(BlockKind::Conv).len(),
+            sentinels.sites(BlockKind::Fc).len(),
+        );
+        let spec: FaultSpec = "dead:drop/fc/0.5/2/0".parse().unwrap();
+        let plan = inject_fault(&spec, &config, counts, 7).unwrap();
+        let out = fleet
+            .serve_stream_with_faults(
+                &reqs,
+                8,
+                None,
+                Some(MemberFault {
+                    member: 0,
+                    plan: &plan,
+                }),
+                7,
+                2,
+            )
+            .unwrap();
+        // The dead drop-port monitors are masked and flagged for
+        // maintenance — never treated as a trojan.
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e.action, ResponseAction::Maintenance { masked_channels } if masked_channels > 0)),
+            "no maintenance event: {:?}",
+            out.events
+        );
+        assert!(
+            !out.events.iter().any(|e| matches!(
+                e.action,
+                ResponseAction::Remap { .. } | ResponseAction::Failover
+            )),
+            "benign sensor fault spent spares: {:?}",
+            out.events
+        );
+        // The member keeps serving (Suspect, not Failed), with full
+        // accuracy: a broken sensor does not degrade the datapath.
+        assert_eq!(fleet.members()[0].state(), MemberState::Suspect);
+        assert_eq!(fleet.active_members(), 2);
+        assert_eq!(out.unserved, 0);
+        assert_eq!(out.accuracy_in(0..u64::MAX), 1.0);
+        assert_eq!(out.availability(), 1.0);
+    }
+
+    #[test]
+    fn crash_recovers_from_cache_and_rejoins() {
+        let (mut fleet, reqs) = make_fleet(2, true);
+        let plan = FaultPlan {
+            onset_batch: 4,
+            sensors: Vec::new(),
+            crash: true,
+        };
+        let out = fleet
+            .serve_stream_with_faults(
+                &reqs,
+                8,
+                None,
+                Some(MemberFault {
+                    member: 0,
+                    plan: &plan,
+                }),
+                7,
+                2,
+            )
+            .unwrap();
+        let crash = out
+            .events
+            .iter()
+            .find(|e| matches!(e.action, ResponseAction::Crash))
+            .expect("no crash event");
+        let recover = out
+            .events
+            .iter()
+            .find(|e| matches!(e.action, ResponseAction::Recover))
+            .expect("no recover event");
+        assert_eq!(crash.member, 0);
+        assert_eq!(recover.member, 0);
+        assert!(recover.batch >= crash.batch + 2, "{:?}", out.events);
+        assert_eq!(fleet.members()[0].restarts(), 1);
+        assert!(fleet.members()[0].serves());
+        // No request is lost to the crash (the peer absorbs the traffic),
+        // and the recovered member serves clean again.
+        assert_eq!(out.unserved, 0);
+        assert_eq!(out.accuracy_in(0..u64::MAX), 1.0);
+        assert!(
+            out.outcomes
+                .iter()
+                .any(|o| o.member == 0 && o.batch > recover.batch),
+            "member 0 never served after recovery"
+        );
     }
 
     proptest::proptest! {
