@@ -7,10 +7,13 @@
 //!
 //! Besides the criterion timings, `emit_baseline` writes a
 //! `BENCH_serve.json` snapshot (steady-state batch latency, detection
-//! overhead fraction, alarm-path and fault-path latency) at the
-//! repository root — NOT under `target/`, which `cargo clean` and CI
-//! cache eviction silently destroy — so later PRs can diff serving-path
-//! regressions without parsing bench logs.
+//! overhead fraction, alarm-path and fault-path latency, and the
+//! open-loop throughput-vs-p99 saturation sweep) at the repository root
+//! — NOT under `target/`, which `cargo clean` and CI cache eviction
+//! silently destroy — so later PRs can diff serving-path regressions
+//! without parsing bench logs. The open-loop curve is measured in
+//! *virtual* ticks, so it is deterministic in the seed and CI-gateable
+//! without machine noise.
 
 use std::time::Instant;
 
@@ -24,7 +27,8 @@ use safelight_onn::{
     AcceleratorConfig, AnalyticBackend, BlockKind, ConditionMap, MrCondition, SentinelPlan,
     TapConfig, TelemetryProbe, WeightMapping,
 };
-use safelight_serve::eval::operating_thresholds;
+use safelight_serve::eval::{operating_thresholds, run_rate_sweep, ServingOptions};
+use safelight_serve::report::rate_sweep_json;
 use safelight_serve::{Compromise, Fleet, FleetMember, MemberFault, PolicyConfig, Request};
 
 struct Setup {
@@ -35,6 +39,7 @@ struct Setup {
     guard: safelight::detect::GuardBandDetector,
     thresholds: Vec<f64>,
     requests: Vec<Request>,
+    data: safelight_datasets::SplitDataset,
 }
 
 fn setup() -> Setup {
@@ -70,11 +75,11 @@ fn setup() -> Setup {
     .unwrap();
     let requests: Vec<Request> = (0..128)
         .map(|i| {
-            let (input, label) = data.test.item(i % data.test.len()).unwrap();
+            let (input, _) = data.test.item(i % data.test.len()).unwrap();
             Request {
                 id: i as u64,
                 input,
-                label,
+                arrived_at: 0.0,
             }
         })
         .collect();
@@ -86,6 +91,7 @@ fn setup() -> Setup {
         guard,
         thresholds,
         requests,
+        data,
     }
 }
 
@@ -276,13 +282,42 @@ fn emit_baseline(c: &mut Criterion) {
         start.elapsed().as_secs_f64()
     };
 
+    // Open-loop saturation sweep in virtual time: a 2-member fleet of
+    // 16-request micro-batches drains at most 32 requests per tick, so
+    // sweep rates bracketing that capacity. The queue is pinned to one
+    // tick of drain (32) rather than the generous default (128) so a
+    // supra-capacity rate actually sheds within the 192-request stream
+    // instead of parking its whole backlog in the queue. Virtual-tick
+    // percentiles are deterministic in the seed — this part of the
+    // snapshot carries no machine noise and is regression-gated exactly
+    // in CI.
+    let sweep_rates = [8.0, 16.0, 24.0, 40.0];
+    let sweep = run_rate_sweep(
+        &s.network,
+        &s.mapping,
+        &AnalyticBackend::new(&s.config),
+        &s.data.test,
+        &s.suite,
+        &ServingOptions {
+            batches: 12,
+            queue_capacity: 32,
+            ..ServingOptions::default()
+        },
+        &sweep_rates,
+        0x5EED,
+        2,
+    )
+    .unwrap();
+
     let json = format!(
         "{{\"model\":\"cnn1\",\"batch_size\":16,\"fleet\":2,\
          \"steady_batch_seconds_with_detection\":{batch_with},\
          \"steady_batch_seconds_no_detection\":{batch_without},\
          \"inline_detection_overhead_fraction\":{overhead},\
          \"alarm_path_seconds\":{alarm_path},\
-         \"fault_path_seconds\":{fault_path}}}\n"
+         \"fault_path_seconds\":{fault_path},\
+         \"open_loop\":{}}}\n",
+        rate_sweep_json(&sweep)
     );
     // Benches run with the package directory as cwd; anchor the artifact
     // at the repository root, where `cargo clean` cannot eat it.
@@ -292,12 +327,14 @@ fn emit_baseline(c: &mut Criterion) {
     std::fs::write(&out, &json).ok();
     println!(
         "BENCH_serve baseline: batch {:.3} ms w/ detection, {:.3} ms without \
-         (overhead {:.1} %), alarm path {:.1} ms, fault path {:.1} ms → {}",
+         (overhead {:.1} %), alarm path {:.1} ms, fault path {:.1} ms, \
+         open-loop saturation at rate {} → {}",
         batch_with * 1e3,
         batch_without * 1e3,
         overhead * 100.0,
         alarm_path * 1e3,
         fault_path * 1e3,
+        sweep.saturation_rate,
         out.display()
     );
     // Keep the criterion harness happy with a trivial measured body.

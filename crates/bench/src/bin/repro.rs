@@ -4,6 +4,7 @@
 //! repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] [--out-dir DIR]
 //!       [--vectors LIST] [--selections LIST] [--json]
 //!       [--backend fast|optical|quantized[:WBITS[:RBITS]]]
+//!       [--rate R|inf] [--arrival closed|poisson:R|bursty:R[:B]]
 //!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--detection]
 //!       [--serve] [--chaos] [--ablation] [--all]
 //! ```
@@ -27,7 +28,13 @@
 //! grid. `--serve` runs the secure serving-runtime evaluation: every
 //! scenario replayed as a request stream with mid-stream compromise
 //! against the closed-loop fleet (detect → quarantine/remap → failover)
-//! and a no-response baseline. `--chaos` runs the chaos evaluation grid
+//! and a no-response baseline. `--rate R` (or the more general
+//! `--arrival MODEL`) replays the serving and chaos streams open-loop
+//! through the request plane at a finite arrival rate (requests per
+//! virtual tick), reporting per-scenario p50/p99/p999 service latency,
+//! sustained throughput and shed rate; at a finite rate `--serve` also
+//! runs the throughput-vs-p99 rate sweep and writes
+//! `serving_<model>_sweep.csv`. `--chaos` runs the chaos evaluation grid
 //! (benign faults alone, trojans alone, fault+trojan overlap) against the
 //! fault-tolerant runtime and reports the spurious-quarantine rate,
 //! trojan TPR under fault discrimination and crash-recovery latency.
@@ -44,6 +51,7 @@ use safelight::experiment::{
 use safelight::models::{table1, ModelKind};
 use safelight::prelude::*;
 use safelight_onn::{BackendKind, BlockKind};
+use safelight_serve::ArrivalModel;
 
 struct Args {
     fidelity: Fidelity,
@@ -52,6 +60,7 @@ struct Args {
     vectors: Vec<Vec<VectorSpec>>,
     selections: Vec<Selection>,
     backend: BackendKind,
+    arrival: ArrivalModel,
     json: bool,
     table1: bool,
     fig6: bool,
@@ -95,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
         vectors: VectorSpec::paper_pair().map(|v| vec![v]).into(),
         selections: vec![Selection::Uniform],
         backend: BackendKind::Fast,
+        arrival: ArrivalModel::Closed,
         json: false,
         table1: false,
         fig6: false,
@@ -131,6 +141,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--backend" => {
                 args.backend = iter.next().ok_or("--backend needs a value")?.parse()?;
+            }
+            "--rate" => {
+                let value = iter.next().ok_or("--rate needs a value")?;
+                args.arrival = match value.as_str() {
+                    "inf" | "infinite" | "closed" => ArrivalModel::Closed,
+                    rate => ArrivalModel::Poisson {
+                        rate: rate
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad --rate `{rate}`"))?,
+                    },
+                };
+            }
+            "--arrival" => {
+                args.arrival = iter.next().ok_or("--arrival needs a value")?.parse()?;
             }
             "--out-dir" => {
                 args.out_dir = PathBuf::from(iter.next().ok_or("--out-dir needs a value")?);
@@ -190,6 +214,7 @@ fn parse_args() -> Result<Args, String> {
                      [--out-dir DIR] [--vectors actuation,hotspot,laser[:DB],trim[:REL],\
                      stacked|extended] [--selections uniform,clustered,targeted|all] \
                      [--backend fast|optical|quantized[:WBITS[:RBITS]]] \
+                     [--rate R|inf] [--arrival closed|poisson:R|bursty:R[:B]] \
                      [--json] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
                      [--detection] [--serve] [--chaos] [--ablation] [--all]"
                 );
@@ -490,16 +515,19 @@ fn print_serve(
     opts: &ExperimentOptions,
     out_dir: &std::path::Path,
     json: bool,
+    arrival: ArrivalModel,
 ) -> Result<(), SafelightError> {
     println!("\n=== Serving ({kind}): closed-loop secure serving runtime ===");
-    let (_, report) = safelight_serve::eval::run_serving_experiment(kind, opts)?;
+    let (_, report) = safelight_serve::eval::run_serving_experiment(kind, opts, arrival)?;
     println!(
-        "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, onset at {}]",
+        "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, onset at {}, \
+         arrival {}]",
         pct(report.clean_accuracy),
         report.fleet_size,
         report.batch_size,
         report.batches,
-        report.onset_batch
+        report.onset_batch,
+        report.arrival
     );
     for (name, threshold) in report.detectors.iter().zip(&report.thresholds) {
         println!("operating threshold {name:<12} {threshold:.4}");
@@ -550,12 +578,70 @@ fn print_serve(
             r.remapped_rings
         );
     }
+    println!(
+        "\nrequest-plane service latency (virtual ticks) per scenario:\n\
+         {:<20} {:<10} {:>5} {:>8} {:>8} {:>8} {:>10} {:>7}",
+        "vector", "selection", "pct", "p50", "p99", "p999", "thpt/tick", "shed"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<20} {:<10} {:>4.0}% {:>8.1} {:>8.1} {:>8.1} {:>10.2} {:>6.1}%",
+            r.scenario.vector_label(),
+            r.scenario.selection,
+            r.scenario.fraction * 100.0,
+            r.p50_latency,
+            r.p99_latency,
+            r.p999_latency,
+            r.throughput,
+            r.shed_rate * 100.0
+        );
+    }
     write_artifact(
         out_dir,
         &format!("serving_{}", kind.label().to_lowercase()),
         &safelight_serve::report::serving_csv(&report),
         json.then(|| safelight_serve::report::serving_json(&report)),
     );
+    // At a finite arrival rate, also sweep offered rates around the
+    // fleet's per-tick drain capacity and locate the saturation point.
+    let rate = report.arrival.rate();
+    if rate.is_finite() {
+        let capacity = (report.fleet_size * report.batch_size) as f64;
+        let mut rates = vec![0.25 * capacity, 0.5 * capacity, 0.75 * capacity, rate];
+        rates.sort_by(f64::total_cmp);
+        rates.dedup();
+        let (_, sweep) = safelight_serve::eval::run_rate_sweep_experiment(kind, opts, &rates)?;
+        println!(
+            "\nthroughput-vs-p99 sweep (clean fleet, saturation at rate {}):",
+            if sweep.saturation_rate.is_finite() {
+                format!("{}", sweep.saturation_rate)
+            } else {
+                "— (all swept rates saturate)".into()
+            }
+        );
+        println!(
+            "{:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8}",
+            "rate", "offered", "served", "thpt/tick", "p50", "p99", "shed"
+        );
+        for p in &sweep.rows {
+            println!(
+                "{:>8.2} {:>8} {:>8} {:>10.2} {:>8.1} {:>8.1} {:>7.1}%",
+                p.rate,
+                p.offered,
+                p.served,
+                p.throughput,
+                p.p50_latency,
+                p.p99_latency,
+                p.shed_rate * 100.0
+            );
+        }
+        write_artifact(
+            out_dir,
+            &format!("serving_{}_sweep", kind.label().to_lowercase()),
+            &safelight_serve::report::rate_sweep_csv(&sweep),
+            json.then(|| safelight_serve::report::rate_sweep_json(&sweep)),
+        );
+    }
     Ok(())
 }
 
@@ -564,16 +650,19 @@ fn print_chaos(
     opts: &ExperimentOptions,
     out_dir: &std::path::Path,
     json: bool,
+    arrival: ArrivalModel,
 ) -> Result<(), SafelightError> {
     println!("\n=== Chaos ({kind}): benign faults vs trojans on the fault-tolerant runtime ===");
-    let (_, report) = safelight_serve::chaos::run_chaos_experiment(kind, opts)?;
+    let (_, report) = safelight_serve::chaos::run_chaos_experiment(kind, opts, arrival)?;
     println!(
-        "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, trojan onset at {}]",
+        "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, trojan onset at {}, \
+         arrival {}]",
         pct(report.clean_accuracy),
         report.fleet_size,
         report.batch_size,
         report.batches,
-        report.onset_batch
+        report.onset_batch,
+        report.arrival
     );
     println!(
         "spurious-quarantine rate: {}   trojan TPR: {}   overlap missed: {}   mean crash recovery: {}",
@@ -587,7 +676,7 @@ fn print_chaos(
         }
     );
     println!(
-        "\n{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>7} {:<24}",
+        "\n{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>7} {:>7} {:>6} {:<24}",
         "kind",
         "fault",
         "scenario",
@@ -597,6 +686,8 @@ fn print_chaos(
         "crash",
         "post_acc",
         "avail",
+        "p99",
+        "shed",
         "action"
     );
     for r in &report.rows {
@@ -608,7 +699,7 @@ fn print_chaos(
             }
         };
         println!(
-            "{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>6.1}% {:<24}",
+            "{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>6.1}% {:>7.1} {:>5.1}% {:<24}",
             r.kind,
             if r.fault.is_empty() { "—" } else { &r.fault },
             if r.scenario.is_empty() {
@@ -626,6 +717,8 @@ fn print_chaos(
             },
             acc(r.post_accuracy),
             r.availability * 100.0,
+            r.p99_latency,
+            r.shed_rate * 100.0,
             r.action
         );
     }
@@ -719,10 +812,10 @@ fn main() {
                 print_detection(kind, &opts, &args.out_dir, args.json)?;
             }
             if args.serve {
-                print_serve(kind, &opts, &args.out_dir, args.json)?;
+                print_serve(kind, &opts, &args.out_dir, args.json, args.arrival)?;
             }
             if args.chaos {
-                print_chaos(kind, &opts, &args.out_dir, args.json)?;
+                print_chaos(kind, &opts, &args.out_dir, args.json, args.arrival)?;
             }
             if args.ablation {
                 print_ablation(kind, &opts)?;

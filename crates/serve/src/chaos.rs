@@ -40,6 +40,7 @@ use safelight_onn::{BlockKind, InferenceBackend, SensorChannel, SentinelPlan, We
 
 use crate::eval::{build_fleet, calibrate, request_stream, spec_stream_key, ServingOptions};
 use crate::runtime::{fold, Compromise, MemberFault, ResponseAction, StreamOutcome};
+use crate::scheduler::{percentile, ArrivalModel};
 
 /// One cell of the chaos grid: an optional benign fault and an optional
 /// trojan scenario, both landing on member 0 of the fleet.
@@ -219,6 +220,12 @@ pub struct ChaosRow {
     pub availability: f64,
     /// Policy actions observed, joined by `+` (`none` when quiet).
     pub action: String,
+    /// 99th-percentile service latency in virtual ticks.
+    pub p99_latency: f64,
+    /// Sustained throughput in requests per virtual tick.
+    pub throughput: f64,
+    /// Fraction of offered requests shed at admission.
+    pub shed_rate: f64,
 }
 
 /// The full chaos-evaluation report.
@@ -238,6 +245,8 @@ pub struct ChaosReport {
     pub fleet_size: usize,
     /// Trojan onset batch (fault onsets live in each case's spec).
     pub onset_batch: u64,
+    /// The arrival process the streams were replayed through.
+    pub arrival: ArrivalModel,
     /// One row per grid case, in input order.
     pub rows: Vec<ChaosRow>,
     /// Fraction of fault-carrying rows with a spurious quarantine.
@@ -273,9 +282,17 @@ fn case_stream_key(case: &ChaosCase) -> u64 {
 }
 
 /// Slices the stream outcome of one chaos case into its report row.
-fn summarize_chaos(case: &ChaosCase, out: &StreamOutcome, opts: &ServingOptions) -> ChaosRow {
+/// `labels` is the eval-side answer key, indexed by request id.
+fn summarize_chaos(
+    case: &ChaosCase,
+    out: &StreamOutcome,
+    labels: &[usize],
+    opts: &ServingOptions,
+) -> ChaosRow {
     let member = 0usize;
-    let end = opts.batches as u64;
+    // Continuous batching can form more (smaller) batches than the
+    // closed loop's `opts.batches`; "stream end" is open-ended.
+    let end = u64::MAX;
     let trojan_onset = opts.onset_batch;
     // The earliest instant anything lands on the member: the accuracy
     // window of a quiet row starts here.
@@ -335,6 +352,7 @@ fn summarize_chaos(case: &ChaosCase, out: &StreamOutcome, opts: &ServingOptions)
         (Some(c), Some(r)) => (r.saturating_sub(c)) as f64,
         _ => f64::NAN,
     };
+    let latencies = out.sorted_latencies();
     ChaosRow {
         kind: case.kind().to_string(),
         fault: case
@@ -351,13 +369,16 @@ fn summarize_chaos(case: &ChaosCase, out: &StreamOutcome, opts: &ServingOptions)
         spurious_quarantine: spurious,
         maintenance_events: maintenance,
         crash_recovery_batches: crash_recovery,
-        post_accuracy: out.accuracy_in(post_start..end),
+        post_accuracy: out.accuracy_in(post_start..end, labels),
         availability: out.availability(),
         action: if actions.is_empty() {
             "none".into()
         } else {
             actions.join("+")
         },
+        p99_latency: percentile(&latencies, 0.99),
+        throughput: out.throughput(),
+        shed_rate: out.shed_rate(),
     }
 }
 
@@ -399,19 +420,28 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
             value: 0.0,
         });
     }
+    if !opts.arrival.is_valid() {
+        return Err(SafelightError::InvalidParameter {
+            name: "arrival rate",
+            value: opts.arrival.rate(),
+        });
+    }
     let parts = calibrate(network, mapping, backend, detectors, opts, seed)?;
-    let requests = request_stream(data, opts)?;
+    let (requests, labels) = request_stream(data, opts, seed)?;
+    let capacity = opts.effective_queue_capacity();
 
     let clean_accuracy = {
         let mut fleet = build_fleet(network, mapping, backend, &parts, opts, false)?;
-        let out = fleet.serve_stream(
+        let out = fleet.serve_queue(
             &requests,
             opts.batch_size,
+            capacity,
+            None,
             None,
             fold(seed, 0xC1EA),
             threads,
         )?;
-        out.accuracy_in(0..opts.batches as u64)
+        out.accuracy_in(0..u64::MAX, &labels)
     };
 
     // Fault plans index sentinel readbacks by slot, so injection needs the
@@ -472,15 +502,16 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
         });
         let fault = plan.as_ref().map(|p| MemberFault { member: 0, plan: p });
         let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
-        let out = fleet.serve_stream_with_faults(
+        let out = fleet.serve_queue(
             &requests,
             opts.batch_size,
+            capacity,
             compromise,
             fault,
             stream_seed,
             threads,
         )?;
-        Ok(summarize_chaos(case, &out, opts))
+        Ok(summarize_chaos(case, &out, &labels, opts))
     });
     let rows = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
 
@@ -525,6 +556,7 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
         batch_size: opts.batch_size,
         fleet_size: opts.fleet_size,
         onset_batch: opts.onset_batch,
+        arrival: opts.arrival,
         rows,
         spurious_quarantine_rate: rate(spurious, faulted),
         trojan_tpr: rate(detected, trojan_rows),
@@ -536,7 +568,8 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
 /// Runs the chaos experiment for `kind`: trains (or loads) the original
 /// model through the shared [`workbench`], builds the canonical
 /// [`chaos_grid`] at the fidelity's onset batch and evaluates the
-/// fault-tolerant runtime over it.
+/// fault-tolerant runtime over it, with the streams replayed through
+/// `arrival` ([`ArrivalModel::Closed`] = the pre-request-plane loop).
 ///
 /// # Errors
 ///
@@ -544,9 +577,13 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
 pub fn run_chaos_experiment(
     kind: ModelKind,
     opts: &ExperimentOptions,
+    arrival: ArrivalModel,
 ) -> Result<(ModelWorkbench, ChaosReport), SafelightError> {
     let bench = workbench(kind, opts)?;
-    let serving_opts = ServingOptions::for_fidelity(opts.fidelity);
+    let serving_opts = ServingOptions {
+        arrival,
+        ..ServingOptions::for_fidelity(opts.fidelity)
+    };
     let cases = chaos_grid(serving_opts.onset_batch);
     let report = run_chaos(
         &bench.original,

@@ -38,7 +38,7 @@ use safelight_onn::{
 use crate::runtime::{
     fold, Compromise, Fleet, FleetMember, PolicyConfig, ResponseAction, StreamOutcome,
 };
-use crate::scheduler::Request;
+use crate::scheduler::{percentile, ArrivalModel, Request};
 
 /// Tuning knobs of the serving evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +78,13 @@ pub struct ServingOptions {
     pub sentinels_per_block: usize,
     /// Probe magnitude imprinted on sentinel rings.
     pub sentinel_magnitude: f64,
+    /// The arrival process replaying the stream through the request
+    /// plane ([`ArrivalModel::Closed`] = the pre-request-plane closed
+    /// loop: everything arrives before serving starts).
+    pub arrival: ArrivalModel,
+    /// Admission-queue capacity; `0` picks the default — unbounded for
+    /// closed-loop arrivals, `4 × fleet × batch_size` at a finite rate.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServingOptions {
@@ -100,6 +107,8 @@ impl Default for ServingOptions {
             tap: TapConfig::default(),
             sentinels_per_block: 32,
             sentinel_magnitude: 0.7,
+            arrival: ArrivalModel::Closed,
+            queue_capacity: 0,
         }
     }
 }
@@ -118,6 +127,22 @@ impl ServingOptions {
                 ..Self::default()
             },
             Fidelity::Full => Self::default(),
+        }
+    }
+
+    /// The admission-queue capacity the evaluation actually uses: the
+    /// explicit `queue_capacity` when set, otherwise unbounded for the
+    /// closed loop and `4 × fleet × batch_size` at a finite rate (deep
+    /// enough to ride a burst out, shallow enough that overload sheds
+    /// instead of growing the tail without bound).
+    #[must_use]
+    pub fn effective_queue_capacity(&self) -> usize {
+        if self.queue_capacity > 0 {
+            self.queue_capacity
+        } else if self.arrival == ArrivalModel::Closed {
+            usize::MAX
+        } else {
+            4 * self.fleet_size.max(1) * self.batch_size.max(1)
         }
     }
 }
@@ -155,6 +180,17 @@ pub struct ScenarioServing {
     /// Fraction of requests served by trustworthy (never-compromised or
     /// remediated) members.
     pub availability: f64,
+    /// Median per-request service latency in virtual ticks (closed-loop
+    /// response run).
+    pub p50_latency: f64,
+    /// 99th-percentile service latency in virtual ticks.
+    pub p99_latency: f64,
+    /// 99.9th-percentile service latency in virtual ticks.
+    pub p999_latency: f64,
+    /// Sustained throughput in requests per virtual tick.
+    pub throughput: f64,
+    /// Fraction of offered requests shed at admission.
+    pub shed_rate: f64,
 }
 
 /// The full serving-evaluation report.
@@ -174,6 +210,8 @@ pub struct ServingReport {
     pub fleet_size: usize,
     /// Compromise onset batch.
     pub onset_batch: u64,
+    /// The arrival process the stream was replayed through.
+    pub arrival: ArrivalModel,
     /// One row per scenario, in input order.
     pub rows: Vec<ScenarioServing>,
 }
@@ -234,23 +272,31 @@ pub fn operating_thresholds(
 }
 
 /// Builds the evaluation's fixed request stream from `data`: request `i`
-/// is test item `i % len`, for `batches × batch_size` requests.
+/// is test item `i % len`, for `batches × batch_size` requests, stamped
+/// with arrival times drawn once from `opts.arrival` — every scenario
+/// replays the *same* arrivals. Ground truth stays out of the stream:
+/// the returned label vector (indexed by request id) is the evaluation's
+/// answer key.
 pub(crate) fn request_stream<D: Dataset + ?Sized>(
     data: &D,
     opts: &ServingOptions,
-) -> Result<Vec<Request>, SafelightError> {
+    seed: u64,
+) -> Result<(Vec<Request>, Vec<usize>), SafelightError> {
     let total = opts.batches * opts.batch_size;
     let len = data.len();
+    let schedule = opts.arrival.schedule(total, seed);
     let mut requests = Vec::with_capacity(total);
-    for i in 0..total {
+    let mut labels = Vec::with_capacity(total);
+    for (i, &arrived_at) in schedule.iter().enumerate() {
         let (input, label) = data.item(i % len)?;
         requests.push(Request {
             id: i as u64,
             input,
-            label,
+            arrived_at,
         });
+        labels.push(label);
     }
-    Ok(requests)
+    Ok((requests, labels))
 }
 
 /// Everything the per-scenario fleets share: calibrated detector suite,
@@ -357,15 +403,20 @@ pub(crate) fn spec_stream_key(spec: &ScenarioSpec) -> u64 {
 }
 
 /// Slices the stream outcome of one scenario into the report row.
+/// `labels` is the eval-side answer key, indexed by request id.
 fn summarize(
     entry: &InjectedScenario,
     compromised_member: usize,
     with_response: &StreamOutcome,
     baseline: &StreamOutcome,
+    labels: &[usize],
     opts: &ServingOptions,
 ) -> ScenarioServing {
     let onset = opts.onset_batch;
-    let end = opts.batches as u64;
+    // Continuous batching can form more (smaller) batches than the
+    // closed loop's `opts.batches`, so "stream end" is open-ended; at
+    // rate ∞ the indices still top out at `opts.batches`.
+    let end = u64::MAX;
     let mut detect_batch: Option<u64> = None;
     let mut recovery_batch: Option<u64> = None;
     let mut actions: Vec<&str> = Vec::new();
@@ -415,13 +466,15 @@ fn summarize(
         }
     }
     let degraded_end = recovery_batch.unwrap_or(end);
+    let latencies = with_response.sorted_latencies();
     ScenarioServing {
         scenario: entry.scenario.clone(),
         effective_fraction: entry.effective_fraction,
-        pre_onset_accuracy: with_response.accuracy_in(0..onset),
-        degraded_accuracy: with_response.accuracy_in(onset..degraded_end),
-        recovered_accuracy: recovery_batch.map_or(f64::NAN, |r| with_response.accuracy_in(r..end)),
-        baseline_post_accuracy: baseline.accuracy_in(onset..end),
+        pre_onset_accuracy: with_response.accuracy_in(0..onset, labels),
+        degraded_accuracy: with_response.accuracy_in(onset..degraded_end, labels),
+        recovered_accuracy: recovery_batch
+            .map_or(f64::NAN, |r| with_response.accuracy_in(r..end, labels)),
+        baseline_post_accuracy: baseline.accuracy_in(onset..end, labels),
         detection_latency_batches: detect_batch
             .map_or(f64::NAN, |b| (b.saturating_sub(onset) + 1) as f64),
         recovery_latency_batches: recovery_batch
@@ -434,6 +487,11 @@ fn summarize(
         remapped_rings: remapped,
         unplaced_rings: unplaced,
         availability: with_response.availability(),
+        p50_latency: percentile(&latencies, 0.50),
+        p99_latency: percentile(&latencies, 0.99),
+        p999_latency: percentile(&latencies, 0.999),
+        throughput: with_response.throughput(),
+        shed_rate: with_response.shed_rate(),
     }
 }
 
@@ -475,8 +533,15 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             value: 0.0,
         });
     }
+    if !opts.arrival.is_valid() {
+        return Err(SafelightError::InvalidParameter {
+            name: "arrival rate",
+            value: opts.arrival.rate(),
+        });
+    }
     let parts = calibrate(network, mapping, backend, detectors, opts, seed)?;
-    let requests = request_stream(data, opts)?;
+    let (requests, labels) = request_stream(data, opts, seed)?;
+    let capacity = opts.effective_queue_capacity();
 
     // Clean reference: the whole stream on an uncompromised fleet. The
     // score-but-never-respond baseline policy keeps a calibrated-rate
@@ -484,14 +549,16 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
     // mid-measurement.
     let clean_accuracy = {
         let mut fleet = build_fleet(network, mapping, backend, &parts, opts, false)?;
-        let out = fleet.serve_stream(
+        let out = fleet.serve_queue(
             &requests,
             opts.batch_size,
+            capacity,
+            None,
             None,
             fold(seed, 0xC1EA),
             threads,
         )?;
-        out.accuracy_in(0..opts.batches as u64)
+        out.accuracy_in(0..u64::MAX, &labels)
     };
 
     let needs_salience = scenarios
@@ -525,18 +592,22 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             conditions: &entry.conditions,
         };
         let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
-        let with_response = fleet.serve_stream(
+        let with_response = fleet.serve_queue(
             &requests,
             opts.batch_size,
+            capacity,
             Some(compromise.clone()),
+            None,
             stream_seed,
             threads,
         )?;
         let mut base_fleet = build_fleet(network, mapping, backend, &parts, opts, false)?;
-        let baseline = base_fleet.serve_stream(
+        let baseline = base_fleet.serve_queue(
             &requests,
             opts.batch_size,
+            capacity,
             Some(compromise),
+            None,
             stream_seed,
             threads,
         )?;
@@ -545,6 +616,7 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             compromise_member,
             &with_response,
             &baseline,
+            &labels,
             opts,
         ))
     });
@@ -558,7 +630,150 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
         batch_size: opts.batch_size,
         fleet_size: opts.fleet_size,
         onset_batch: opts.onset_batch,
+        arrival: opts.arrival,
         rows,
+    })
+}
+
+/// One operating point of the throughput-vs-latency sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatePoint {
+    /// Offered Poisson arrival rate in requests per tick.
+    pub rate: f64,
+    /// Requests offered over the stream.
+    pub offered: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Fraction of offered requests shed at admission.
+    pub shed_rate: f64,
+    /// Sustained throughput in requests per virtual tick.
+    pub throughput: f64,
+    /// Median service latency in virtual ticks.
+    pub p50_latency: f64,
+    /// 99th-percentile service latency in virtual ticks.
+    pub p99_latency: f64,
+    /// 99.9th-percentile service latency in virtual ticks.
+    pub p999_latency: f64,
+}
+
+/// The throughput-vs-p99 sweep: one clean-fleet operating point per
+/// offered rate, plus the located saturation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSweepReport {
+    /// Requests per micro-batch.
+    pub batch_size: usize,
+    /// Fleet members serving.
+    pub fleet_size: usize,
+    /// Admission-queue capacity used at every point.
+    pub queue_capacity: usize,
+    /// One point per swept rate, in input order.
+    pub rows: Vec<RatePoint>,
+    /// The highest swept rate the fleet sustains — shed rate ≤ 1 % and
+    /// p99 latency within 3× of the least-loaded swept point's. `NaN`
+    /// when even the lowest rate saturates.
+    pub saturation_rate: f64,
+}
+
+/// Whether a sweep point is sustained relative to the least-loaded
+/// point's p99 (`baseline_p99`): (almost) nothing shed at admission
+/// and no tail-latency blow-up from queue growth. With a bounded queue
+/// overload shows up as shedding; with a generous capacity it shows up
+/// as p99 far above the uncongested baseline — the 3× guard catches
+/// both. Deliberately NOT `throughput ≥ 0.95 × rate`: `served / ticks`
+/// on a finite stream undershoots the nominal rate even when perfectly
+/// healthy, because the tick count includes the post-arrival drain and
+/// the seeded stream's empirical pace wanders around the nominal one.
+fn sustains(p: &RatePoint, baseline_p99: f64) -> bool {
+    p.shed_rate <= 0.01 && (!baseline_p99.is_finite() || p.p99_latency <= 3.0 * baseline_p99)
+}
+
+/// Sweeps the clean serving fleet across Poisson arrival `rates` (requests
+/// per tick) and records the throughput-vs-latency curve: per rate, the
+/// stream is replayed open-loop through a bounded admission queue on a
+/// score-but-never-respond fleet, and the report locates the saturation
+/// point — the highest rate still sustained (see [`RateSweepReport`]).
+/// Virtual-time latency percentiles are fully deterministic in `(opts,
+/// seed)`, which is what makes the sweep CI-gateable without machine
+/// noise.
+///
+/// # Errors
+///
+/// Rejects an empty or non-positive rate grid and degenerate options;
+/// propagates calibration and forward-pass errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rate_sweep<D: Dataset + Sync + ?Sized>(
+    network: &Network,
+    mapping: &WeightMapping,
+    backend: &dyn InferenceBackend,
+    data: &D,
+    detectors: &[Box<dyn Detector>],
+    opts: &ServingOptions,
+    rates: &[f64],
+    seed: u64,
+    threads: usize,
+) -> Result<RateSweepReport, SafelightError> {
+    if rates.is_empty() || rates.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+        return Err(SafelightError::InvalidParameter {
+            name: "sweep rates",
+            value: rates.first().copied().unwrap_or(0.0),
+        });
+    }
+    if opts.batches == 0 || opts.batch_size == 0 || opts.fleet_size == 0 {
+        return Err(SafelightError::InvalidParameter {
+            name: "batches/fleet",
+            value: opts.batches as f64,
+        });
+    }
+    let parts = calibrate(network, mapping, backend, detectors, opts, seed)?;
+    let mut rows = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let point_opts = ServingOptions {
+            arrival: ArrivalModel::Poisson { rate },
+            ..*opts
+        };
+        let capacity = point_opts.effective_queue_capacity();
+        let (requests, _) = request_stream(data, &point_opts, seed)?;
+        let mut fleet = build_fleet(network, mapping, backend, &parts, &point_opts, false)?;
+        let out = fleet.serve_queue(
+            &requests,
+            point_opts.batch_size,
+            capacity,
+            None,
+            None,
+            fold(seed, rate.to_bits()),
+            threads,
+        )?;
+        let latencies = out.sorted_latencies();
+        rows.push(RatePoint {
+            rate,
+            offered: requests.len(),
+            served: out.outcomes.len(),
+            shed_rate: out.shed_rate(),
+            throughput: out.throughput(),
+            p50_latency: percentile(&latencies, 0.50),
+            p99_latency: percentile(&latencies, 0.99),
+            p999_latency: percentile(&latencies, 0.999),
+        });
+    }
+    let baseline_p99 = rows
+        .iter()
+        .min_by(|a, b| a.rate.total_cmp(&b.rate))
+        .map_or(f64::NAN, |p| p.p99_latency);
+    let saturation_rate = rows
+        .iter()
+        .filter(|p| sustains(p, baseline_p99))
+        .map(|p| p.rate)
+        .fold(f64::NAN, |a, r| if a.is_nan() || r > a { r } else { a });
+    let point_opts = ServingOptions {
+        arrival: ArrivalModel::Poisson { rate: rates[0] },
+        ..*opts
+    };
+    Ok(RateSweepReport {
+        batch_size: opts.batch_size,
+        fleet_size: opts.fleet_size,
+        queue_capacity: point_opts.effective_queue_capacity(),
+        rows,
+        saturation_rate,
     })
 }
 
@@ -566,7 +781,9 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
 /// model through the shared [`workbench`], builds the scenario grid
 /// implied by the options' vectors/selections (one trial per cell — the
 /// serving loop replays each scenario against a full stream already) and
-/// evaluates the closed-loop runtime over it.
+/// evaluates the closed-loop runtime over it, with the stream replayed
+/// through `arrival` (pass [`ArrivalModel::Closed`] for the
+/// pre-request-plane behaviour).
 ///
 /// # Errors
 ///
@@ -574,10 +791,14 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
 pub fn run_serving_experiment(
     kind: ModelKind,
     opts: &ExperimentOptions,
+    arrival: ArrivalModel,
 ) -> Result<(ModelWorkbench, ServingReport), SafelightError> {
     let bench = workbench(kind, opts)?;
     let scenarios = opts.fig7_grid(1);
-    let serving_opts = ServingOptions::for_fidelity(opts.fidelity);
+    let serving_opts = ServingOptions {
+        arrival,
+        ..ServingOptions::for_fidelity(opts.fidelity)
+    };
     let report = run_serving(
         &bench.original,
         &bench.mapping,
@@ -586,6 +807,33 @@ pub fn run_serving_experiment(
         &scenarios,
         &safelight::detect::default_detectors(),
         &serving_opts,
+        opts.seed,
+        opts.threads,
+    )?;
+    Ok((bench, report))
+}
+
+/// Runs the throughput-vs-p99 sweep for `kind` over `rates` on the shared
+/// [`workbench`] model (see [`run_rate_sweep`]).
+///
+/// # Errors
+///
+/// Propagates workbench and sweep errors.
+pub fn run_rate_sweep_experiment(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    rates: &[f64],
+) -> Result<(ModelWorkbench, RateSweepReport), SafelightError> {
+    let bench = workbench(kind, opts)?;
+    let serving_opts = ServingOptions::for_fidelity(opts.fidelity);
+    let report = run_rate_sweep(
+        &bench.original,
+        &bench.mapping,
+        bench.backend.as_ref(),
+        &bench.data.test,
+        &safelight::detect::default_detectors(),
+        &serving_opts,
+        rates,
         opts.seed,
         opts.threads,
     )?;

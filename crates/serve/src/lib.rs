@@ -6,9 +6,13 @@
 //! while it answers — and then *do something* about a positive answer.
 //! This crate layers that runtime on top of the existing stack:
 //!
-//! * [`scheduler`] — micro-batching of an ordered request stream:
-//!   contiguous, order-preserving partitions dispatched to accelerators,
-//!   with per-request outcomes reassembled in arrival order regardless of
+//! * [`scheduler`] — the request plane: virtual-time open-loop arrival
+//!   models ([`ArrivalModel`] — closed-loop, Poisson or bursty, replayable
+//!   from the in-tree RNG), a bounded FIFO [`AdmissionQueue`] with
+//!   load-shedding backpressure, and the [`partition`] helper for the
+//!   degenerate closed-loop (rate = ∞) case. Continuous batching fills
+//!   each tick's micro-batches from whatever has arrived, with
+//!   per-request outcomes reassembled in arrival order regardless of
 //!   worker-thread count;
 //! * [`runtime`] — the accelerator fleet. Each [`FleetMember`] is a full
 //!   simulated accelerator (clean weights + [`WeightMapping`] +
@@ -31,9 +35,11 @@
 //!   detectors on a short recalibration window;
 //! * [`eval`] — [`eval::run_serving`] plays the attack-scenario grid as
 //!   request streams with mid-stream compromise onset and reports
-//!   end-to-end accuracy per phase, detection/recovery latency in batches
-//!   and availability per scenario, byte-identical across worker-thread
-//!   counts;
+//!   end-to-end accuracy per phase, detection/recovery latency in batches,
+//!   availability and service-latency percentiles (p50/p99/p999) per
+//!   scenario, byte-identical across worker-thread counts;
+//!   [`eval::run_rate_sweep`] records the throughput-vs-p99 curve across
+//!   offered arrival rates and locates the saturation point;
 //! * [`chaos`] — [`chaos::run_chaos`] replays the benign-fault grid
 //!   (dead/stuck/drifting sensors, supply glitches, member crashes) alone,
 //!   trojans alone, and fault+trojan overlap, reporting the
@@ -49,6 +55,9 @@
 //! [`ConditionMap`]: safelight_onn::ConditionMap
 //! [`TelemetryProbe`]: safelight_onn::TelemetryProbe
 //! [`FleetMember`]: runtime::FleetMember
+//! [`ArrivalModel`]: scheduler::ArrivalModel
+//! [`AdmissionQueue`]: scheduler::AdmissionQueue
+//! [`partition`]: scheduler::partition
 //!
 //! # Example
 //!
@@ -92,10 +101,11 @@ pub mod scheduler;
 
 pub use chaos::{chaos_grid, run_chaos, run_chaos_experiment, ChaosCase, ChaosReport, ChaosRow};
 pub use eval::{
-    run_serving, run_serving_experiment, ScenarioServing, ServingOptions, ServingReport,
+    run_rate_sweep, run_rate_sweep_experiment, run_serving, run_serving_experiment, RatePoint,
+    RateSweepReport, ScenarioServing, ServingOptions, ServingReport,
 };
 pub use runtime::{
     Compromise, Fleet, FleetMember, MemberFault, MemberState, PolicyConfig, PolicyEvent,
     ResponseAction, ServedBatch, StreamOutcome,
 };
-pub use scheduler::{partition, Request, RequestOutcome};
+pub use scheduler::{partition, percentile, AdmissionQueue, ArrivalModel, Request, RequestOutcome};

@@ -8,7 +8,7 @@
 use safelight::eval::{json_num, json_str};
 
 use crate::chaos::ChaosReport;
-use crate::eval::ServingReport;
+use crate::eval::{RateSweepReport, ServingReport};
 
 fn csv_num(x: f64) -> String {
     if x.is_finite() {
@@ -18,9 +18,9 @@ fn csv_num(x: f64) -> String {
     }
 }
 
-/// Renders a serving report as CSV: `# clean_accuracy`, stream-shape and
-/// `# threshold` header lines, then one
-/// `vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,availability`
+/// Renders a serving report as CSV: `# clean_accuracy`, stream-shape,
+/// `# arrival` and `# threshold` header lines, then one
+/// `vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,availability,p50_latency,p99_latency,p999_latency,throughput,shed_rate`
 /// row per scenario.
 ///
 /// # Example
@@ -28,6 +28,7 @@ fn csv_num(x: f64) -> String {
 /// ```
 /// use safelight_serve::eval::ServingReport;
 /// use safelight_serve::report::serving_csv;
+/// use safelight_serve::scheduler::ArrivalModel;
 ///
 /// let report = ServingReport {
 ///     detectors: vec!["guard_band".into()],
@@ -37,6 +38,7 @@ fn csv_num(x: f64) -> String {
 ///     batch_size: 8,
 ///     fleet_size: 2,
 ///     onset_batch: 8,
+///     arrival: ArrivalModel::Closed,
 ///     rows: vec![],
 /// };
 /// assert!(serving_csv(&report).starts_with("# clean_accuracy,0.97"));
@@ -48,17 +50,18 @@ pub fn serving_csv(report: &ServingReport) -> String {
         "# stream,batches,{},batch_size,{},fleet,{},onset,{}\n",
         report.batches, report.batch_size, report.fleet_size, report.onset_batch
     ));
+    out.push_str(&format!("# arrival,{}\n", report.arrival));
     for (name, threshold) in report.detectors.iter().zip(&report.thresholds) {
         out.push_str(&format!("# threshold,{name},{threshold}\n"));
     }
     out.push_str(
         "vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,\
          recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,\
-         availability\n",
+         availability,p50_latency,p99_latency,p999_latency,throughput,shed_rate\n",
     );
     for r in &report.rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.scenario.vector_label(),
             r.scenario.selection,
             r.scenario.target,
@@ -75,6 +78,11 @@ pub fn serving_csv(report: &ServingReport) -> String {
             r.remapped_rings,
             r.unplaced_rings,
             csv_num(r.availability),
+            csv_num(r.p50_latency),
+            csv_num(r.p99_latency),
+            csv_num(r.p999_latency),
+            csv_num(r.throughput),
+            csv_num(r.shed_rate),
         ));
     }
     out
@@ -106,7 +114,8 @@ pub fn serving_json(report: &ServingReport) -> String {
                  \"trial\":{},\"effective_fraction\":{},\"pre_onset\":{},\"degraded\":{},\
                  \"recovered\":{},\"baseline_post\":{},\"detect_latency\":{},\
                  \"recovery_latency\":{},\"action\":{},\"remapped\":{},\"unplaced\":{},\
-                 \"availability\":{}}}",
+                 \"availability\":{},\"p50_latency\":{},\"p99_latency\":{},\
+                 \"p999_latency\":{},\"throughput\":{},\"shed_rate\":{}}}",
                 json_str(&r.scenario.vector_label()),
                 json_str(r.scenario.selection.label()),
                 json_str(&r.scenario.target.to_string()),
@@ -123,25 +132,31 @@ pub fn serving_json(report: &ServingReport) -> String {
                 r.remapped_rings,
                 r.unplaced_rings,
                 json_num(r.availability),
+                json_num(r.p50_latency),
+                json_num(r.p99_latency),
+                json_num(r.p999_latency),
+                json_num(r.throughput),
+                json_num(r.shed_rate),
             )
         })
         .collect();
     format!(
         "{{\"clean_accuracy\":{},\"batches\":{},\"batch_size\":{},\"fleet_size\":{},\
-         \"onset_batch\":{},\"operating\":[{}],\"rows\":[{}]}}",
+         \"onset_batch\":{},\"arrival\":{},\"operating\":[{}],\"rows\":[{}]}}",
         json_num(report.clean_accuracy),
         report.batches,
         report.batch_size,
         report.fleet_size,
         report.onset_batch,
+        json_str(&report.arrival.to_string()),
         operating.join(","),
         rows.join(",")
     )
 }
 
 /// Renders a chaos report as CSV: `# clean_accuracy`, stream-shape,
-/// `# threshold` and `# rate` header lines, then one
-/// `kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,crash_recovery,post_accuracy,availability,action`
+/// `# arrival`, `# threshold` and `# rate` header lines, then one
+/// `kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,crash_recovery,post_accuracy,availability,action,p99_latency,throughput,shed_rate`
 /// row per grid case.
 #[must_use]
 pub fn chaos_csv(report: &ChaosReport) -> String {
@@ -150,6 +165,7 @@ pub fn chaos_csv(report: &ChaosReport) -> String {
         "# stream,batches,{},batch_size,{},fleet,{},onset,{}\n",
         report.batches, report.batch_size, report.fleet_size, report.onset_batch
     ));
+    out.push_str(&format!("# arrival,{}\n", report.arrival));
     for (name, threshold) in report.detectors.iter().zip(&report.thresholds) {
         out.push_str(&format!("# threshold,{name},{threshold}\n"));
     }
@@ -162,11 +178,11 @@ pub fn chaos_csv(report: &ChaosReport) -> String {
     ));
     out.push_str(
         "kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,\
-         crash_recovery,post_accuracy,availability,action\n",
+         crash_recovery,post_accuracy,availability,action,p99_latency,throughput,shed_rate\n",
     );
     for r in &report.rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.kind,
             r.fault,
             r.scenario,
@@ -177,6 +193,9 @@ pub fn chaos_csv(report: &ChaosReport) -> String {
             csv_num(r.post_accuracy),
             csv_num(r.availability),
             r.action,
+            csv_num(r.p99_latency),
+            csv_num(r.throughput),
+            csv_num(r.shed_rate),
         ));
     }
     out
@@ -206,7 +225,8 @@ pub fn chaos_json(report: &ChaosReport) -> String {
             format!(
                 "{{\"kind\":{},\"fault\":{},\"scenario\":{},\"trojan_detected\":{},\
                  \"spurious_quarantine\":{},\"maintenance_events\":{},\"crash_recovery\":{},\
-                 \"post_accuracy\":{},\"availability\":{},\"action\":{}}}",
+                 \"post_accuracy\":{},\"availability\":{},\"action\":{},\"p99_latency\":{},\
+                 \"throughput\":{},\"shed_rate\":{}}}",
                 json_str(&r.kind),
                 json_str(&r.fault),
                 json_str(&r.scenario),
@@ -217,18 +237,23 @@ pub fn chaos_json(report: &ChaosReport) -> String {
                 json_num(r.post_accuracy),
                 json_num(r.availability),
                 json_str(&r.action),
+                json_num(r.p99_latency),
+                json_num(r.throughput),
+                json_num(r.shed_rate),
             )
         })
         .collect();
     format!(
         "{{\"clean_accuracy\":{},\"batches\":{},\"batch_size\":{},\"fleet_size\":{},\
-         \"onset_batch\":{},\"rates\":{{\"spurious_quarantine\":{},\"trojan_tpr\":{},\
-         \"overlap_missed\":{},\"mean_crash_recovery\":{}}},\"operating\":[{}],\"rows\":[{}]}}",
+         \"onset_batch\":{},\"arrival\":{},\"rates\":{{\"spurious_quarantine\":{},\
+         \"trojan_tpr\":{},\"overlap_missed\":{},\"mean_crash_recovery\":{}}},\
+         \"operating\":[{}],\"rows\":[{}]}}",
         json_num(report.clean_accuracy),
         report.batches,
         report.batch_size,
         report.fleet_size,
         report.onset_batch,
+        json_str(&report.arrival.to_string()),
         json_num(report.spurious_quarantine_rate),
         json_num(report.trojan_tpr),
         json_num(report.overlap_missed_rate),
@@ -238,11 +263,77 @@ pub fn chaos_json(report: &ChaosReport) -> String {
     )
 }
 
+/// Renders a rate sweep as CSV: `# sweep` and `# saturation_rate` header
+/// lines, then one
+/// `rate,offered,served,shed_rate,throughput,p50_latency,p99_latency,p999_latency`
+/// row per swept rate.
+#[must_use]
+pub fn rate_sweep_csv(report: &RateSweepReport) -> String {
+    let mut out = format!(
+        "# sweep,batch_size,{},fleet,{},queue_capacity,{}\n",
+        report.batch_size, report.fleet_size, report.queue_capacity
+    );
+    out.push_str(&format!(
+        "# saturation_rate,{}\n",
+        csv_num(report.saturation_rate)
+    ));
+    out.push_str("rate,offered,served,shed_rate,throughput,p50_latency,p99_latency,p999_latency\n");
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.rate,
+            r.offered,
+            r.served,
+            csv_num(r.shed_rate),
+            csv_num(r.throughput),
+            csv_num(r.p50_latency),
+            csv_num(r.p99_latency),
+            csv_num(r.p999_latency),
+        ));
+    }
+    out
+}
+
+/// Renders a rate sweep as a JSON object mirroring [`rate_sweep_csv`]'s
+/// columns, with the located `saturation_rate` (`null` when even the
+/// lowest swept rate saturates).
+#[must_use]
+pub fn rate_sweep_json(report: &RateSweepReport) -> String {
+    let rows: Vec<String> = report
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"rate\":{},\"offered\":{},\"served\":{},\"shed_rate\":{},\
+                 \"throughput\":{},\"p50_latency\":{},\"p99_latency\":{},\"p999_latency\":{}}}",
+                json_num(r.rate),
+                r.offered,
+                r.served,
+                json_num(r.shed_rate),
+                json_num(r.throughput),
+                json_num(r.p50_latency),
+                json_num(r.p99_latency),
+                json_num(r.p999_latency),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"batch_size\":{},\"fleet_size\":{},\"queue_capacity\":{},\"saturation_rate\":{},\
+         \"rows\":[{}]}}",
+        report.batch_size,
+        report.fleet_size,
+        report.queue_capacity,
+        json_num(report.saturation_rate),
+        rows.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::chaos::ChaosRow;
-    use crate::eval::ScenarioServing;
+    use crate::eval::{RatePoint, ScenarioServing};
+    use crate::scheduler::ArrivalModel;
     use safelight::attack::{AttackTarget, ScenarioSpec, VectorSpec};
 
     fn tiny_report() -> ServingReport {
@@ -254,6 +345,7 @@ mod tests {
             batch_size: 8,
             fleet_size: 2,
             onset_batch: 8,
+            arrival: ArrivalModel::Closed,
             rows: vec![ScenarioServing {
                 scenario: ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::Both, 0.1, 0),
                 effective_fraction: 0.1,
@@ -267,6 +359,11 @@ mod tests {
                 remapped_rings: 120,
                 unplaced_rings: 0,
                 availability: 0.9,
+                p50_latency: 1.0,
+                p99_latency: 2.0,
+                p999_latency: 2.0,
+                throughput: 16.0,
+                shed_rate: 0.0,
             }],
         }
     }
@@ -276,9 +373,11 @@ mod tests {
         let csv = serving_csv(&tiny_report());
         assert!(csv.starts_with("# clean_accuracy,0.96\n"));
         assert!(csv.contains("# stream,batches,24,batch_size,8,fleet,2,onset,8"));
+        assert!(csv.contains("# arrival,closed"));
         assert!(csv.contains("# threshold,guard_band,4.5"));
         assert!(csv.contains(
-            "actuation,uniform,CONV+FC,0.1,0,0.1,0.96,0.7,0.95,0.72,1,2,remap,120,0,0.9"
+            "actuation,uniform,CONV+FC,0.1,0,0.1,0.96,0.7,0.95,0.72,1,2,remap,120,0,0.9,\
+             1,2,2,16,0"
         ));
     }
 
@@ -297,9 +396,12 @@ mod tests {
         report.rows[0].recovered_accuracy = f64::NAN;
         let json = serving_json(&report);
         assert!(json.starts_with("{\"clean_accuracy\":0.96"));
+        assert!(json.contains("\"arrival\":\"closed\""));
         assert!(json.contains("\"recovered\":null"));
         assert!(json.contains("\"detector\":\"guard_band\",\"threshold\":4.5"));
         assert!(json.contains("\"action\":\"remap\""));
+        assert!(json.contains("\"p50_latency\":1,\"p99_latency\":2,\"p999_latency\":2"));
+        assert!(json.contains("\"throughput\":16,\"shed_rate\":0"));
     }
 
     fn tiny_chaos_report() -> ChaosReport {
@@ -311,6 +413,7 @@ mod tests {
             batch_size: 8,
             fleet_size: 2,
             onset_batch: 8,
+            arrival: ArrivalModel::Closed,
             rows: vec![
                 ChaosRow {
                     kind: "fault".into(),
@@ -323,6 +426,9 @@ mod tests {
                     post_accuracy: 0.95,
                     availability: 1.0,
                     action: "maintenance".into(),
+                    p99_latency: 1.0,
+                    throughput: 16.0,
+                    shed_rate: 0.0,
                 },
                 ChaosRow {
                     kind: "overlap".into(),
@@ -335,6 +441,9 @@ mod tests {
                     post_accuracy: 0.94,
                     availability: 0.8,
                     action: "crash+recover+alarm+remap".into(),
+                    p99_latency: 3.0,
+                    throughput: 12.8,
+                    shed_rate: 0.05,
                 },
             ],
             spurious_quarantine_rate: 0.0,
@@ -351,10 +460,11 @@ mod tests {
         assert!(csv.contains(
             "# rate,spurious_quarantine,0,trojan_tpr,1,overlap_missed,0,mean_crash_recovery,2"
         ));
-        assert!(csv.contains("fault,dead:drop/fc/0.5/8/0,,0,0,2,,0.95,1,maintenance"));
+        assert!(csv.contains("# arrival,closed"));
+        assert!(csv.contains("fault,dead:drop/fc/0.5/8/0,,0,0,2,,0.95,1,maintenance,1,16,0"));
         assert!(csv.contains(
             "overlap,crash/both/0/10/0,actuation/targeted/both/0.1/0,1,0,0,2,0.94,0.8,\
-             crash+recover+alarm+remap"
+             crash+recover+alarm+remap,3,12.8,0.05"
         ));
     }
 
@@ -362,6 +472,7 @@ mod tests {
     fn chaos_json_mirrors_csv_with_nulls_and_booleans() {
         let json = chaos_json(&tiny_chaos_report());
         assert!(json.starts_with("{\"clean_accuracy\":0.96"));
+        assert!(json.contains("\"arrival\":\"closed\""));
         assert!(json.contains(
             "\"rates\":{\"spurious_quarantine\":0,\"trojan_tpr\":1,\"overlap_missed\":0,\
              \"mean_crash_recovery\":2}"
@@ -369,5 +480,68 @@ mod tests {
         assert!(json.contains("\"trojan_detected\":true"));
         assert!(json.contains("\"crash_recovery\":null"));
         assert!(json.contains("\"action\":\"crash+recover+alarm+remap\""));
+        assert!(json.contains("\"p99_latency\":3,\"throughput\":12.8,\"shed_rate\":0.05"));
+    }
+
+    fn tiny_sweep() -> RateSweepReport {
+        RateSweepReport {
+            batch_size: 8,
+            fleet_size: 2,
+            queue_capacity: 64,
+            rows: vec![
+                RatePoint {
+                    rate: 8.0,
+                    offered: 96,
+                    served: 96,
+                    shed_rate: 0.0,
+                    throughput: 8.0,
+                    p50_latency: 1.0,
+                    p99_latency: 2.0,
+                    p999_latency: 2.0,
+                },
+                RatePoint {
+                    rate: 64.0,
+                    offered: 96,
+                    served: 80,
+                    shed_rate: 0.25,
+                    throughput: 16.0,
+                    p50_latency: 3.0,
+                    p99_latency: 5.0,
+                    p999_latency: 5.0,
+                },
+            ],
+            saturation_rate: 8.0,
+        }
+    }
+
+    #[test]
+    fn rate_sweep_csv_renders_headers_and_rows() {
+        let csv = rate_sweep_csv(&tiny_sweep());
+        assert!(csv.starts_with("# sweep,batch_size,8,fleet,2,queue_capacity,64\n"));
+        assert!(csv.contains("# saturation_rate,8\n"));
+        assert!(csv.contains(
+            "rate,offered,served,shed_rate,throughput,p50_latency,p99_latency,p999_latency\n"
+        ));
+        assert!(csv.contains("8,96,96,0,8,1,2,2\n"));
+        assert!(csv.contains("64,96,80,0.25,16,3,5,5\n"));
+    }
+
+    #[test]
+    fn rate_sweep_csv_renders_nan_saturation_as_empty() {
+        let mut sweep = tiny_sweep();
+        sweep.saturation_rate = f64::NAN;
+        assert!(rate_sweep_csv(&sweep).contains("# saturation_rate,\n"));
+        assert!(rate_sweep_json(&sweep).contains("\"saturation_rate\":null"));
+    }
+
+    #[test]
+    fn rate_sweep_json_mirrors_csv() {
+        let json = rate_sweep_json(&tiny_sweep());
+        assert!(json.starts_with("{\"batch_size\":8,\"fleet_size\":2,\"queue_capacity\":64"));
+        assert!(json.contains("\"saturation_rate\":8"));
+        assert!(json.contains(
+            "{\"rate\":8,\"offered\":96,\"served\":96,\"shed_rate\":0,\"throughput\":8,\
+             \"p50_latency\":1,\"p99_latency\":2,\"p999_latency\":2}"
+        ));
     }
 }

@@ -6,7 +6,14 @@
 //! *effective* executor network, the analytic [`TelemetryProbe`], and a
 //! calibrated detector suite of its own. A [`Fleet`] serves an ordered
 //! request stream one micro-batch per active member per tick, fanning the
-//! per-member work over the shared worker pool.
+//! per-member work over the shared worker pool. Ticks are units of
+//! *virtual time*: requests become eligible when their
+//! [`Request::arrived_at`] stamp is reached, wait in a bounded
+//! [`AdmissionQueue`], and the continuous batcher fills each tick's
+//! micro-batches from whatever has arrived ([`Fleet::serve_queue`]).
+//! With every request stamped `0.0` this degenerates to the closed loop
+//! ([`Fleet::serve_stream`]), which reproduces the pre-request-plane
+//! contiguous partition byte-for-byte.
 //!
 //! # Response-policy state machine
 //!
@@ -47,7 +54,7 @@ use safelight_onn::{
     TelemetryFrame, TelemetryProbe, WeightMapping,
 };
 
-use crate::scheduler::{partition, Request, RequestOutcome};
+use crate::scheduler::{AdmissionQueue, Request, RequestOutcome};
 
 /// The workspace's shared stream-key fold (full avalanche per field),
 /// used here to derive independent noise streams for members,
@@ -577,9 +584,11 @@ impl FleetMember {
         self.rederive()
     }
 
-    /// Serves one micro-batch: a single batched forward pass through the
-    /// effective network, plus (when enabled) one telemetry frame scored
-    /// by the member's detector suite.
+    /// Serves one micro-batch — the requests at stream positions `ids`
+    /// (in admission order; shedding can make them non-contiguous) — as a
+    /// single batched forward pass through the effective network, plus
+    /// (when enabled) one telemetry frame scored by the member's detector
+    /// suite.
     ///
     /// # Errors
     ///
@@ -587,11 +596,12 @@ impl FleetMember {
     pub fn serve_batch(
         &mut self,
         requests: &[Request],
+        ids: &[usize],
         batch: u64,
         stream_seed: u64,
         policy: &PolicyConfig,
     ) -> Result<ServedBatch, SafelightError> {
-        let inputs: Vec<&Tensor> = requests.iter().map(|r| &r.input).collect();
+        let inputs: Vec<&Tensor> = ids.iter().map(|&i| &requests[i].input).collect();
         let predictions = self.backend.predict_batch(&mut self.effective, &inputs)?;
         let degraded = self.is_degraded();
         let (scores, alarmed, frame, masked) = if policy.inline_detection {
@@ -809,19 +819,27 @@ pub struct StreamOutcome {
     pub events: Vec<PolicyEvent>,
     /// Requests left unserved because the routing set emptied out.
     pub unserved: usize,
+    /// Requests shed at admission (the bounded queue was full).
+    pub shed: usize,
+    /// Virtual ticks the stream spanned, idle gaps included.
+    pub ticks: u64,
 }
 
 impl StreamOutcome {
     /// Classification accuracy over the outcomes whose global batch index
     /// lies in `batches`, or `NaN` when the range holds no requests.
+    ///
+    /// Ground truth lives with the *evaluation*, not the runtime: `labels`
+    /// is indexed by request id (the stream position), so the hot-path
+    /// outcome never carries the answer key.
     #[must_use]
-    pub fn accuracy_in(&self, batches: Range<u64>) -> f64 {
+    pub fn accuracy_in(&self, batches: Range<u64>, labels: &[usize]) -> f64 {
         let mut total = 0usize;
         let mut correct = 0usize;
         for o in &self.outcomes {
             if batches.contains(&o.batch) {
                 total += 1;
-                correct += usize::from(o.prediction == o.label);
+                correct += usize::from(labels.get(o.id as usize) == Some(&o.prediction));
             }
         }
         if total == 0 {
@@ -831,19 +849,50 @@ impl StreamOutcome {
         }
     }
 
-    /// Fraction of all requests (served and unserved) answered by a member
-    /// that was not compromised-and-unremediated at the time. Remediation
-    /// is what the operator *did*, not a claim the attack vanished: the
-    /// residual quality of remediated service shows up in the recovered
-    /// accuracy, which is measured against labels.
+    /// Fraction of all requests (served, unserved and shed) answered by a
+    /// member that was not compromised-and-unremediated at the time.
+    /// Remediation is what the operator *did*, not a claim the attack
+    /// vanished: the residual quality of remediated service shows up in
+    /// the recovered accuracy, which is measured against labels.
     #[must_use]
     pub fn availability(&self) -> f64 {
-        let total = self.outcomes.len() + self.unserved;
+        let total = self.outcomes.len() + self.unserved + self.shed;
         if total == 0 {
             return 1.0;
         }
         let healthy = self.outcomes.iter().filter(|o| !o.degraded_service).count();
         healthy as f64 / total as f64
+    }
+
+    /// Ascending-sorted per-request service latencies in virtual ticks,
+    /// ready for [`crate::scheduler::percentile`].
+    #[must_use]
+    pub fn sorted_latencies(&self) -> Vec<f64> {
+        let mut latencies: Vec<f64> = self.outcomes.iter().map(|o| o.service_latency).collect();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        latencies
+    }
+
+    /// Sustained throughput in requests per virtual tick (`NaN` when no
+    /// tick elapsed).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.ticks == 0 {
+            f64::NAN
+        } else {
+            self.outcomes.len() as f64 / self.ticks as f64
+        }
+    }
+
+    /// Fraction of offered requests shed at admission.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.outcomes.len() + self.unserved + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
     }
 }
 
@@ -898,7 +947,11 @@ impl Fleet {
         self.members.iter().filter(|m| m.serves()).count()
     }
 
-    /// Serves `requests` as ordered micro-batches of `batch_size`.
+    /// Serves `requests` closed-loop as ordered micro-batches of
+    /// `batch_size`: the admission queue is unbounded, so nothing is shed
+    /// and the continuous batcher degenerates to the contiguous
+    /// [`crate::scheduler::partition`] schedule (arrival rate = ∞ when
+    /// every request is stamped `arrived_at = 0.0`).
     ///
     /// Each tick hands the next pending batches to the active members in
     /// member order and runs them concurrently on the shared worker pool;
@@ -919,7 +972,15 @@ impl Fleet {
         seed: u64,
         threads: usize,
     ) -> Result<StreamOutcome, SafelightError> {
-        self.serve_stream_with_faults(requests, batch_size, compromise, None, seed, threads)
+        self.serve_queue(
+            requests,
+            batch_size,
+            usize::MAX,
+            compromise,
+            None,
+            seed,
+            threads,
+        )
     }
 
     /// [`Fleet::serve_stream`] plus an optional benign [`MemberFault`]:
@@ -942,6 +1003,53 @@ impl Fleet {
         seed: u64,
         threads: usize,
     ) -> Result<StreamOutcome, SafelightError> {
+        self.serve_queue(
+            requests,
+            batch_size,
+            usize::MAX,
+            compromise,
+            fault,
+            seed,
+            threads,
+        )
+    }
+
+    /// The open-loop request plane: serves `requests` through a bounded
+    /// admission queue in virtual time.
+    ///
+    /// Tick `t` spans virtual time `[t, t+1)`. At the start of each tick
+    /// every request whose [`Request::arrived_at`] stamp has been reached
+    /// is offered to the admission queue in stream order — admission
+    /// never reorders — and shed (counted, never served) when the queue
+    /// holds `queue_capacity` requests. The continuous batcher then pops
+    /// up to `batch_size` requests per active member off the queue front,
+    /// so each tick's micro-batches hold whatever has arrived instead of
+    /// a pre-partitioned chunk. A batch dispatched at tick `t` completes
+    /// at `t + 1`; per-request queue delay and service latency are
+    /// recorded on the outcome in tick units. When the queue runs empty
+    /// the clock jumps to the next arrival instead of spinning.
+    ///
+    /// Response-policy time (compromise/crash onsets, restart windows,
+    /// remap backoff) stays in *dispatched-batch* units, exactly as in
+    /// the closed loop, so PR 4–6 acceptance numbers remain comparable.
+    /// Everything — arrivals, routing, noise, policy — is deterministic
+    /// in `(requests, seed)` and independent of `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass, derivation and recalibration errors, and
+    /// rejects out-of-range member indices.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_queue(
+        &mut self,
+        requests: &[Request],
+        batch_size: usize,
+        queue_capacity: usize,
+        compromise: Option<Compromise<'_>>,
+        fault: Option<MemberFault<'_>>,
+        seed: u64,
+        threads: usize,
+    ) -> Result<StreamOutcome, SafelightError> {
         if let Some(c) = &compromise {
             if c.member >= self.members.len() {
                 return Err(SafelightError::InvalidParameter {
@@ -958,10 +1066,15 @@ impl Fleet {
                 });
             }
         }
-        let ranges = partition(requests.len(), batch_size);
+        let mut queue = AdmissionQueue::new(queue_capacity);
         let mut outcomes = Vec::with_capacity(requests.len());
         let mut events = Vec::new();
-        let mut next = 0usize;
+        // `next_batch` is the global dispatched-batch counter — the same
+        // clock the closed loop called `next`, so every policy gating
+        // formula below is unchanged. `tick` is the virtual-time clock.
+        let mut next_batch = 0usize;
+        let mut tick = 0u64;
+        let mut next_arrival = 0usize;
         let mut compromise_pending = compromise;
         // Sensor faults arm up front — FaultPlan::corrupt gates itself on
         // the onset batch. The crash (if any) is activated by the tick
@@ -976,19 +1089,38 @@ impl Fleet {
         // The policy is never mutated mid-stream; one clone outlives the
         // member borrows the tick loop takes.
         let policy = self.policy.clone();
-        while next < ranges.len() {
-            let remaining = ranges.len() - next;
+        loop {
+            // Admission: offer everything that has arrived by this tick,
+            // in stream order. The queue sheds beyond its capacity.
+            while next_arrival < requests.len() && requests[next_arrival].arrived_at <= tick as f64
+            {
+                queue.offer(next_arrival);
+                next_arrival += 1;
+            }
+            if queue.is_empty() {
+                if next_arrival >= requests.len() {
+                    break; // stream drained
+                }
+                // Idle: jump the virtual clock to the next arrival
+                // instead of burning empty ticks.
+                tick = (requests[next_arrival].arrived_at.ceil() as u64).max(tick + 1);
+                continue;
+            }
+            // Pending work in batch units, the closed loop's `remaining`:
+            // it caps how many members are dealt a batch this tick and
+            // anchors the rank-based onset gating below.
+            let remaining = queue.len().div_ceil(batch_size.max(1));
             // Recoveries due this tick: a restarting member whose window
             // elapsed rejoins from the model cache before work is dealt.
             for i in 0..self.members.len() {
                 let due = self.members[i].state == MemberState::Restarting
                     && self.members[i]
                         .restart_until
-                        .is_some_and(|until| next as u64 >= until);
+                        .is_some_and(|until| next_batch as u64 >= until);
                 if due {
                     self.members[i].recover_from_cache(seed, policy.recalibration_frames)?;
                     events.push(PolicyEvent {
-                        batch: next as u64,
+                        batch: next_batch as u64,
                         member: i,
                         score: 0.0,
                         action: ResponseAction::Recover,
@@ -1007,8 +1139,8 @@ impl Fleet {
                     .map(|m| m.id)
                     .collect();
                 let due_at = match active_ids.iter().position(|&id| id == member_id) {
-                    Some(rank) => (next + rank) as u64,
-                    None => next as u64,
+                    Some(rank) => (next_batch + rank) as u64,
+                    None => next_batch as u64,
                 };
                 if due_at >= onset {
                     let member = &mut self.members[member_id];
@@ -1039,10 +1171,10 @@ impl Fleet {
                     .map(|m| m.id)
                     .collect();
                 let due = match active_ids.iter().position(|&id| id == c.member) {
-                    Some(rank) => (next + rank) as u64 >= c.onset_batch,
+                    Some(rank) => (next_batch + rank) as u64 >= c.onset_batch,
                     // The member serves nothing (failed, or out of work
                     // this tick): fall back to the stream position.
-                    None => next as u64 >= c.onset_batch,
+                    None => next_batch as u64 >= c.onset_batch,
                 };
                 if due {
                     self.members[c.member].apply_compromise(c.conditions)?;
@@ -1067,7 +1199,7 @@ impl Fleet {
                 for i in restarting {
                     self.members[i].recover_from_cache(seed, policy.recalibration_frames)?;
                     events.push(PolicyEvent {
-                        batch: next as u64,
+                        batch: next_batch as u64,
                         member: i,
                         score: 0.0,
                         action: ResponseAction::Recover,
@@ -1075,46 +1207,60 @@ impl Fleet {
                 }
                 continue;
             }
-            let tasks: Vec<(&mut FleetMember, u64, Range<usize>)> = self
+            // Continuous batching: pop one micro-batch per active member
+            // (member order) off the queue front. With everything arrived
+            // at time 0 this deals exactly the contiguous partition.
+            let dealt: Vec<Vec<usize>> = self
+                .members
+                .iter()
+                .filter(|m| m.serves())
+                .take(remaining)
+                .map(|_| queue.take_batch(batch_size))
+                .collect();
+            let tasks: Vec<(&mut FleetMember, u64, Vec<usize>)> = self
                 .members
                 .iter_mut()
                 .filter(|m| m.serves())
-                .take(remaining)
+                .zip(dealt)
                 .enumerate()
-                .map(|(i, m)| {
-                    let bi = (next + i) as u64;
-                    (m, bi, ranges[next + i].clone())
-                })
+                .map(|(i, (m, ids))| (m, (next_batch + i) as u64, ids))
                 .collect();
             let served = tasks.len();
-            let results: Vec<Result<ServedBatch, SafelightError>> =
-                par_map(tasks, threads, |(member, bi, range)| {
-                    member.serve_batch(&requests[range], bi, seed, &policy)
+            let results: Vec<Result<(ServedBatch, Vec<usize>), SafelightError>> =
+                par_map(tasks, threads, |(member, bi, ids)| {
+                    let batch = member.serve_batch(requests, &ids, bi, seed, &policy)?;
+                    Ok((batch, ids))
                 });
-            for (i, result) in results.into_iter().enumerate() {
-                let batch = result?;
-                let range = ranges[next + i].clone();
-                for (req, &prediction) in requests[range].iter().zip(&batch.predictions) {
+            for result in results {
+                let (batch, ids) = result?;
+                for (&idx, &prediction) in ids.iter().zip(&batch.predictions) {
+                    let req = &requests[idx];
+                    let queue_delay = tick as f64 - req.arrived_at;
                     outcomes.push(RequestOutcome {
                         id: req.id,
-                        label: req.label,
                         prediction,
                         member: batch.member,
                         batch: batch.batch,
                         degraded_service: batch.degraded,
+                        queue_delay,
+                        service_latency: queue_delay + 1.0,
                     });
                 }
                 if self.policy.respond && !batch.scores.is_empty() {
                     self.process_batch(&batch, seed, &mut events)?;
                 }
             }
-            next += served;
+            next_batch += served;
+            tick += 1;
         }
-        let unserved = requests.len() - outcomes.len();
+        let shed = queue.shed();
+        let unserved = requests.len() - outcomes.len() - shed;
         Ok(StreamOutcome {
             outcomes,
             events,
             unserved,
+            shed,
+            ticks: tick,
         })
     }
 
@@ -1349,8 +1495,9 @@ mod tests {
         (net, mapping, config)
     }
 
-    /// One-hot requests whose label equals the hot index: the clean
-    /// identity classifier answers them all correctly.
+    /// One-hot requests whose ground-truth class equals the hot index:
+    /// the clean identity classifier answers them all correctly. Ground
+    /// truth lives in [`labels`], not on the request.
     fn requests(count: usize) -> Vec<Request> {
         (0..count)
             .map(|i| {
@@ -1360,10 +1507,15 @@ mod tests {
                 Request {
                     id: i as u64,
                     input: Tensor::from_vec(vec![1, 2, 2], data).unwrap(),
-                    label: class,
+                    arrived_at: 0.0,
                 }
             })
             .collect()
+    }
+
+    /// The answer key for [`requests`], indexed by request id.
+    fn labels(count: usize) -> Vec<usize> {
+        (0..count).map(|i| i % 4).collect()
     }
 
     fn calibrated_parts(
@@ -1440,12 +1592,20 @@ mod tests {
             out.events
         );
         // Arrival order preserved, all correct, availability 1.
+        let key = labels(reqs.len());
         for (i, o) in out.outcomes.iter().enumerate() {
             assert_eq!(o.id, i as u64);
-            assert_eq!(o.prediction, o.label);
+            assert_eq!(o.prediction, key[i]);
             assert!(!o.degraded_service);
+            // Closed loop: everything arrived at time 0, so the service
+            // latency is the dispatch tick plus the one execution tick.
+            assert_eq!(o.queue_delay, (o.batch / 2) as f64);
+            assert_eq!(o.service_latency, o.queue_delay + 1.0);
         }
         assert_eq!(out.availability(), 1.0);
+        assert_eq!(out.shed, 0);
+        assert_eq!(out.ticks, 6); // 12 batches over 2 members
+        assert_eq!(out.throughput(), 16.0);
     }
 
     #[test]
@@ -1487,7 +1647,7 @@ mod tests {
         assert_eq!(fleet.members()[0].remediations(), 1);
         assert!(fleet.members()[0].serves());
         // Post-recovery traffic is answered correctly again.
-        let recovered = out.accuracy_in(remap.batch + 1..u64::MAX);
+        let recovered = out.accuracy_in(remap.batch + 1..u64::MAX, &labels(reqs.len()));
         assert!(
             recovered > 0.99,
             "post-remap accuracy {recovered} ({:?})",
@@ -1518,7 +1678,7 @@ mod tests {
         assert!(out.events.is_empty());
         // Member 0 keeps mis-serving its share: post-onset accuracy stays
         // well below the clean 1.0.
-        let post = out.accuracy_in(4..u64::MAX);
+        let post = out.accuracy_in(4..u64::MAX, &labels(reqs.len()));
         assert!(post < 0.95, "baseline post-onset accuracy {post}");
         assert!(out.availability() < 0.8);
     }
@@ -1554,7 +1714,7 @@ mod tests {
         assert!(!fleet.members()[0].serves());
         assert_eq!(fleet.active_members(), 1);
         // Everything after the failover is served clean by member 1.
-        let recovered = out.accuracy_in(failover.batch + 1..u64::MAX);
+        let recovered = out.accuracy_in(failover.batch + 1..u64::MAX, &labels(reqs.len()));
         assert!(recovered > 0.99, "post-failover accuracy {recovered}");
         assert_eq!(out.unserved, 0);
         let post_failover: Vec<_> = out
@@ -1653,7 +1813,7 @@ mod tests {
         assert_eq!(fleet.members()[0].state(), MemberState::Suspect);
         assert_eq!(fleet.active_members(), 2);
         assert_eq!(out.unserved, 0);
-        assert_eq!(out.accuracy_in(0..u64::MAX), 1.0);
+        assert_eq!(out.accuracy_in(0..u64::MAX, &labels(reqs.len())), 1.0);
         assert_eq!(out.availability(), 1.0);
     }
 
@@ -1696,7 +1856,7 @@ mod tests {
         // No request is lost to the crash (the peer absorbs the traffic),
         // and the recovered member serves clean again.
         assert_eq!(out.unserved, 0);
-        assert_eq!(out.accuracy_in(0..u64::MAX), 1.0);
+        assert_eq!(out.accuracy_in(0..u64::MAX, &labels(reqs.len())), 1.0);
         assert!(
             out.outcomes
                 .iter()
@@ -1833,5 +1993,101 @@ mod tests {
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.events, b.events);
         assert_eq!(a.unserved, b.unserved);
+    }
+
+    /// The satellite regression: at arrival rate ∞ the continuous
+    /// batcher reproduces `scheduler::partition` byte-for-byte — same
+    /// contiguous batch membership, same global batch indices, same
+    /// member round-robin — with the compromise onset and closed loop in
+    /// play, so PR 4–6 acceptance numbers remain comparable.
+    #[test]
+    fn infinite_rate_reproduces_the_closed_loop_partition() {
+        use crate::scheduler::partition;
+        let attack = bank0_attack();
+        for (count, batch_size, fleet_size) in [(96usize, 8usize, 2usize), (50, 7, 3)] {
+            let (mut fleet, _) = make_fleet(fleet_size, true);
+            let reqs = requests(count);
+            let out = fleet
+                .serve_queue(
+                    &reqs,
+                    batch_size,
+                    usize::MAX,
+                    Some(Compromise {
+                        member: 0,
+                        onset_batch: 3,
+                        conditions: &attack,
+                    }),
+                    None,
+                    11,
+                    2,
+                )
+                .unwrap();
+            assert_eq!(out.shed, 0, "an unbounded queue shed load");
+            // Group served requests by global batch index and compare
+            // against the pre-partitioned schedule.
+            let ranges = partition(count, batch_size);
+            let mut by_batch: Vec<Vec<u64>> = vec![Vec::new(); ranges.len()];
+            let mut batch_member: Vec<Option<usize>> = vec![None; ranges.len()];
+            for o in &out.outcomes {
+                by_batch[o.batch as usize].push(o.id);
+                assert!(batch_member[o.batch as usize].is_none_or(|m| m == o.member));
+                batch_member[o.batch as usize] = Some(o.member);
+            }
+            for (b, range) in ranges.iter().enumerate() {
+                let expected: Vec<u64> = (range.start as u64..range.end as u64).collect();
+                assert_eq!(by_batch[b], expected, "batch {b} membership diverged");
+            }
+            // No member serves two batches in one tick, and batches are
+            // dealt to active members in member order within a tick.
+            let active = fleet.members().iter().filter(|m| m.serves()).count();
+            assert!(active >= 1);
+        }
+    }
+
+    /// Open-loop serving at a finite rate: admission preserves order,
+    /// the bounded queue sheds exactly the overflow, latency fields are
+    /// consistent, and the result is thread-count invariant.
+    #[test]
+    fn finite_rate_stream_sheds_and_stays_deterministic() {
+        use crate::scheduler::ArrivalModel;
+        let model = ArrivalModel::Bursty {
+            rate: 24.0,
+            burst: 12,
+        };
+        let schedule = model.schedule(96, 11);
+        let mut reqs = requests(96);
+        for (r, t) in reqs.iter_mut().zip(&schedule) {
+            r.arrived_at = *t;
+        }
+        let run = |threads: usize| {
+            let (mut fleet, _) = make_fleet(2, true);
+            fleet
+                .serve_queue(&reqs, 8, 10, None, None, 7, threads)
+                .unwrap()
+        };
+        let out = run(1);
+        // Heavy bursts into a 10-deep queue on a 16-requests-per-tick
+        // fleet must shed something, and everything admitted is served.
+        assert!(out.shed > 0, "burst load never overflowed the queue");
+        assert_eq!(out.outcomes.len() + out.shed, 96);
+        assert_eq!(out.unserved, 0);
+        assert!((out.shed_rate() - out.shed as f64 / 96.0).abs() < 1e-12);
+        // Admitted requests come back in admission order with sane
+        // latency accounting.
+        for w in out.outcomes.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+        for o in &out.outcomes {
+            assert!(o.queue_delay >= 0.0);
+            assert_eq!(o.service_latency, o.queue_delay + 1.0);
+        }
+        assert!(out.ticks > 0);
+        let sorted = out.sorted_latencies();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        // Byte-identical across worker-thread counts at a finite rate.
+        let other = run(4);
+        assert_eq!(out.outcomes, other.outcomes);
+        assert_eq!(out.events, other.events);
+        assert_eq!((out.shed, out.ticks), (other.shed, other.ticks));
     }
 }

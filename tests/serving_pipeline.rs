@@ -12,6 +12,7 @@ use safelight_neuro::{Network, Trainer, TrainerConfig};
 use safelight_onn::{AnalyticBackend, WeightMapping};
 use safelight_serve::eval::{run_serving, ServingOptions};
 use safelight_serve::report::serving_csv;
+use safelight_serve::ArrivalModel;
 
 /// A trained-enough CNN_1 on the scaled accelerator profile (the same
 /// trade the susceptibility tests make: debug-mode full-scale solves buy
@@ -152,6 +153,104 @@ fn serving_csv_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn serving_artifacts_are_byte_identical_at_every_arrival_rate() {
+    let (network, mapping, config, data) = trained_setup();
+    let scenarios = vec![
+        ScenarioSpec::new(VectorSpec::Actuation, AttackTarget::ConvBlock, 0.05, 0),
+        ScenarioSpec::new(VectorSpec::Hotspot, AttackTarget::Both, 0.10, 0),
+    ];
+    // The arrival grid: an under-loaded Poisson stream, an overloaded one
+    // (sheds through the bounded queue) and a bursty stream.
+    for arrival in [
+        ArrivalModel::Poisson { rate: 4.0 },
+        ArrivalModel::Poisson { rate: 30.0 },
+        ArrivalModel::Bursty {
+            rate: 12.0,
+            burst: 4,
+        },
+    ] {
+        let opts = ServingOptions {
+            arrival,
+            ..quick_opts()
+        };
+        let run = |threads: usize| {
+            run_serving(
+                &network,
+                &mapping,
+                &AnalyticBackend::new(&config),
+                &data.test,
+                &scenarios,
+                &default_detectors(),
+                &opts,
+                7,
+                threads,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(
+            serving_csv(&serial),
+            serving_csv(&parallel),
+            "CSV diverged across thread counts at arrival {arrival}"
+        );
+        assert_eq!(
+            safelight_serve::report::serving_json(&serial),
+            safelight_serve::report::serving_json(&parallel),
+            "JSON diverged across thread counts at arrival {arrival}"
+        );
+    }
+}
+
+#[test]
+fn finite_rate_serving_reports_latency_percentiles_and_shedding() {
+    let (network, mapping, config, data) = trained_setup();
+    let scenario = [ScenarioSpec::new(
+        VectorSpec::Actuation,
+        AttackTarget::Both,
+        0.10,
+        0,
+    )];
+    let run = |arrival| {
+        run_serving(
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &scenario,
+            &default_detectors(),
+            &ServingOptions {
+                arrival,
+                ..quick_opts()
+            },
+            2025,
+            safelight_neuro::parallel::configured_threads(),
+        )
+        .unwrap()
+    };
+    // Lightly loaded: a 2-member fleet of 6-request batches drains up to
+    // 12 requests per tick, so at rate 6 nothing sheds and the queue
+    // stays shallow.
+    let light = run(ArrivalModel::Poisson { rate: 6.0 });
+    let row = &light.rows[0];
+    for p in [row.p50_latency, row.p99_latency, row.p999_latency] {
+        assert!(p.is_finite() && p >= 1.0, "degenerate percentile {p}");
+    }
+    assert!(row.p50_latency <= row.p99_latency);
+    assert!(row.p99_latency <= row.p999_latency);
+    assert!(row.throughput > 0.0);
+    assert_eq!(row.shed_rate, 0.0, "under-loaded stream shed requests");
+    // Overloaded: arrivals outpace the drain by 4× and overflow the
+    // default bounded queue, so admission sheds and the served tail
+    // saturates at the queue depth.
+    let heavy = run(ArrivalModel::Poisson { rate: 48.0 });
+    let row = &heavy.rows[0];
+    assert!(row.shed_rate > 0.0, "overloaded stream never shed");
+    assert!(row.shed_rate < 1.0);
+    assert!(row.p99_latency >= light.rows[0].p99_latency);
+}
+
+#[test]
 fn degenerate_serving_options_are_rejected() {
     let (network, mapping, config, data) = trained_setup();
     let scenario = [ScenarioSpec::new(
@@ -171,6 +270,10 @@ fn degenerate_serving_options_are_rejected() {
         },
         ServingOptions {
             fleet_size: 0,
+            ..quick_opts()
+        },
+        ServingOptions {
+            arrival: ArrivalModel::Poisson { rate: 0.0 },
             ..quick_opts()
         },
     ] {
