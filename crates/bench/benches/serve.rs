@@ -7,8 +7,10 @@
 //!
 //! Besides the criterion timings, `emit_baseline` writes a
 //! `BENCH_serve.json` snapshot (steady-state batch latency, detection
-//! overhead fraction, alarm-path and fault-path latency, and the
-//! open-loop throughput-vs-p99 saturation sweep) at the repository root
+//! overhead fraction, the observability-plane instrumentation overhead
+//! with a `ServeObserver` attached and profiling on, alarm-path and
+//! fault-path latency, and the open-loop throughput-vs-p99 saturation
+//! sweep) at the repository root
 //! — NOT under `target/`, which `cargo clean` and CI cache eviction
 //! silently destroy — so later PRs can diff serving-path regressions
 //! without parsing bench logs. The open-loop curve is measured in
@@ -23,13 +25,16 @@ use safelight::fault::FaultPlan;
 use safelight::models::{build_model, dataset_kind_for, matched_accelerator, ModelKind};
 use safelight_datasets::SyntheticSpec;
 use safelight_neuro::Dataset;
+use safelight_obs::set_profile_enabled;
 use safelight_onn::{
     AcceleratorConfig, AnalyticBackend, BlockKind, ConditionMap, MrCondition, SentinelPlan,
     TapConfig, TelemetryProbe, WeightMapping,
 };
 use safelight_serve::eval::{operating_thresholds, run_rate_sweep, ServingOptions};
 use safelight_serve::report::rate_sweep_json;
-use safelight_serve::{Compromise, Fleet, FleetMember, MemberFault, PolicyConfig, Request};
+use safelight_serve::{
+    Compromise, Fleet, FleetMember, MemberFault, PolicyConfig, Request, ServeObserver,
+};
 
 struct Setup {
     network: safelight_neuro::Network,
@@ -234,6 +239,16 @@ fn emit_baseline(c: &mut Criterion) {
     let batch_without = time_stream(&mut without);
     let overhead = (batch_with - batch_without).max(0.0) / batch_without;
 
+    // Observability-plane overhead: the same detection workload with a
+    // ServeObserver attached (structured trace + metrics on every tick)
+    // and the profiling hooks enabled — the ≤ 3 % bar CI gates on.
+    let mut instrumented = make_fleet(&s, 2, PolicyConfig::baseline(s.thresholds.clone()));
+    instrumented.set_observer(Some(std::sync::Arc::new(ServeObserver::default())));
+    set_profile_enabled(true);
+    let batch_instrumented = time_stream(&mut instrumented);
+    set_profile_enabled(false);
+    let instrumentation_overhead = (batch_instrumented - batch_with).max(0.0) / batch_with;
+
     let mut attack = ConditionMap::new();
     let per_bank = s.config.block(BlockKind::Conv).mrs_per_bank() as u64;
     for ring in 0..2 * per_bank {
@@ -314,6 +329,8 @@ fn emit_baseline(c: &mut Criterion) {
          \"steady_batch_seconds_with_detection\":{batch_with},\
          \"steady_batch_seconds_no_detection\":{batch_without},\
          \"inline_detection_overhead_fraction\":{overhead},\
+         \"steady_batch_seconds_instrumented\":{batch_instrumented},\
+         \"instrumentation_overhead_fraction\":{instrumentation_overhead},\
          \"alarm_path_seconds\":{alarm_path},\
          \"fault_path_seconds\":{fault_path},\
          \"open_loop\":{}}}\n",
@@ -327,11 +344,14 @@ fn emit_baseline(c: &mut Criterion) {
     std::fs::write(&out, &json).ok();
     println!(
         "BENCH_serve baseline: batch {:.3} ms w/ detection, {:.3} ms without \
-         (overhead {:.1} %), alarm path {:.1} ms, fault path {:.1} ms, \
+         (overhead {:.1} %), instrumented {:.3} ms (obs overhead {:.1} %), \
+         alarm path {:.1} ms, fault path {:.1} ms, \
          open-loop saturation at rate {} → {}",
         batch_with * 1e3,
         batch_without * 1e3,
         overhead * 100.0,
+        batch_instrumented * 1e3,
+        instrumentation_overhead * 100.0,
         alarm_path * 1e3,
         fault_path * 1e3,
         sweep.saturation_rate,

@@ -1,37 +1,45 @@
-//! Ad-hoc per-layer forward timing probe (dev tool).
+//! Ad-hoc per-layer forward timing probe (dev tool), built on the
+//! `safelight-obs` profiling hooks: every layer forward runs under a
+//! [`profile_span`] and the summary is the same per-phase table `repro
+//! --profile` prints — including the per-shape-class GEMM phases the
+//! linalg kernels record underneath the conv/fc layers.
 use safelight_neuro::{Conv2d, Layer, Linear, MaxPool2d, Relu, Tensor};
-use std::time::Instant;
+use safelight_obs::{
+    profile_phases, profile_reset, profile_span, render_table, result, set_profile_enabled,
+};
 
-fn time_layer(label: &str, layer: &mut dyn Layer, x: &Tensor) -> Tensor {
+fn time_layer(label: &'static str, layer: &mut dyn Layer, x: &Tensor) -> Tensor {
+    // One untimed warmup, then 50 profiled repetitions per layer.
     let y = layer.forward(x, false).unwrap();
-    let reps = 50;
-    let start = Instant::now();
-    for _ in 0..reps {
+    for _ in 0..50 {
+        let _span = profile_span(label);
         layer.forward(x, false).unwrap();
     }
-    println!("{label:<28} {:?}", start.elapsed() / reps);
     y
 }
 
 fn main() {
+    set_profile_enabled(true);
+    profile_reset();
     let x = Tensor::from_vec(
         vec![32, 1, 28, 28],
         (0..32 * 28 * 28).map(|i| (i as f32 * 0.01).sin()).collect(),
     )
     .unwrap();
     let mut conv1 = Conv2d::new(1, 8, 5, 1).unwrap();
-    let y = time_layer("conv1 1->8 k5 @28", &mut conv1, &x);
+    let y = time_layer("layer:conv1 1->8 k5 @28", &mut conv1, &x);
     let mut relu = Relu::new();
-    let y = time_layer("relu", &mut relu, &y);
+    let y = time_layer("layer:relu", &mut relu, &y);
     let mut pool1 = MaxPool2d::new(2).unwrap();
-    let y = time_layer("maxpool 28->14", &mut pool1, &y);
+    let y = time_layer("layer:maxpool 28->14", &mut pool1, &y);
     let mut conv2 = Conv2d::new(8, 16, 3, 2).unwrap();
-    let y = time_layer("conv2 8->16 k3 @14", &mut conv2, &y);
+    let y = time_layer("layer:conv2 8->16 k3 @14", &mut conv2, &y);
     let mut pool2 = MaxPool2d::new(2).unwrap();
-    let y = time_layer("maxpool 14->7", &mut pool2, &y);
+    let y = time_layer("layer:maxpool 14->7", &mut pool2, &y);
     let y = Tensor::from_vec(vec![32, 784], y.as_slice().to_vec()).unwrap();
     let mut fc1 = Linear::new(784, 48, 3).unwrap();
-    let y = time_layer("fc1 784->48", &mut fc1, &y);
+    let y = time_layer("layer:fc1 784->48", &mut fc1, &y);
     let mut fc2 = Linear::new(48, 24, 4).unwrap();
-    let _ = time_layer("fc2 48->24", &mut fc2, &y);
+    let _ = time_layer("layer:fc2 48->24", &mut fc2, &y);
+    result!("{}", render_table(&profile_phases()).trim_end());
 }

@@ -5,6 +5,7 @@
 //!       [--vectors LIST] [--selections LIST] [--json]
 //!       [--backend fast|optical|quantized[:WBITS[:RBITS]]]
 //!       [--rate R|inf] [--arrival closed|poisson:R|bursty:R[:B]]
+//!       [--profile] [--quiet] [--verbose]
 //!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--detection]
 //!       [--serve] [--chaos] [--ablation] [--all]
 //! ```
@@ -40,6 +41,14 @@
 //! trojan TPR under fault discrimination and crash-recovery latency.
 //! `--json` writes machine-readable `.json` results next to every CSV, so
 //! downstream tooling doesn't scrape tables.
+//!
+//! `--profile` turns on the `safelight-obs` observability plane for the
+//! `--serve`/`--chaos` evaluations: the committed (deterministic) audit
+//! trace, the wall-clock profile sidecar and the metrics snapshot are
+//! written next to the report artifacts, and a per-phase timing table is
+//! printed at the end of the run. `--quiet` suppresses progress chatter
+//! (result tables still print); `--verbose` adds debug detail. See
+//! `docs/observability.md`.
 
 use std::path::PathBuf;
 
@@ -50,8 +59,12 @@ use safelight::experiment::{
 };
 use safelight::models::{table1, ModelKind};
 use safelight::prelude::*;
+use safelight_obs::{
+    debug, error, info, profile_phases, profile_reset, render_table, result, set_max_level,
+    set_profile_enabled, Level,
+};
 use safelight_onn::{BackendKind, BlockKind};
-use safelight_serve::ArrivalModel;
+use safelight_serve::{ArrivalModel, ObsArtifacts};
 
 struct Args {
     fidelity: Fidelity,
@@ -62,6 +75,7 @@ struct Args {
     backend: BackendKind,
     arrival: ArrivalModel,
     json: bool,
+    profile: bool,
     table1: bool,
     fig6: bool,
     fig7: bool,
@@ -106,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         backend: BackendKind::Fast,
         arrival: ArrivalModel::Closed,
         json: false,
+        profile: false,
         table1: false,
         fig6: false,
         fig7: false,
@@ -192,6 +207,9 @@ fn parse_args() -> Result<Args, String> {
                 any = true;
             }
             "--json" => args.json = true,
+            "--profile" => args.profile = true,
+            "--quiet" => set_max_level(Level::Warn),
+            "--verbose" => set_max_level(Level::Debug),
             "--ablation" => {
                 args.ablation = true;
                 any = true;
@@ -209,13 +227,14 @@ fn parse_args() -> Result<Args, String> {
                 any = true;
             }
             "--help" | "-h" => {
-                println!(
+                result!(
                     "usage: repro [--quick|--full] [--model cnn1|resnet18|vgg16|all] \
                      [--out-dir DIR] [--vectors actuation,hotspot,laser[:DB],trim[:REL],\
                      stacked|extended] [--selections uniform,clustered,targeted|all] \
                      [--backend fast|optical|quantized[:WBITS[:RBITS]]] \
                      [--rate R|inf] [--arrival closed|poisson:R|bursty:R[:B]] \
-                     [--json] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
+                     [--json] [--profile] [--quiet] [--verbose] \
+                     [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
                      [--detection] [--serve] [--chaos] [--ablation] [--all]"
                 );
                 std::process::exit(0);
@@ -245,24 +264,56 @@ fn write_artifact(out_dir: &std::path::Path, stem: &str, csv: &str, json: Option
         Some(body) => {
             let json_path = out_dir.join(format!("{stem}.json"));
             std::fs::write(&json_path, body).ok();
-            println!(
+            result!(
                 "series written to {} and {}",
                 csv_path.display(),
                 json_path.display()
             );
         }
-        None => println!("series written to {}", csv_path.display()),
+        None => result!("series written to {}", csv_path.display()),
     }
 }
 
+/// Writes the observability artifacts of a `--profile` run under
+/// `out_dir`: the committed (deterministic) trace, the wall-clock profile
+/// sidecar and the metrics snapshot in Prometheus/CSV (and, with
+/// `--json`, JSON) renderings.
+fn write_obs_artifacts(out_dir: &std::path::Path, stem: &str, obs: &ObsArtifacts, json: bool) {
+    std::fs::create_dir_all(out_dir).ok();
+    let write = |suffix: &str, body: &str| {
+        let path = out_dir.join(format!("{stem}{suffix}"));
+        std::fs::write(&path, body).ok();
+        debug!("wrote {} ({} bytes)", path.display(), body.len());
+        path
+    };
+    let trace = write("_trace.txt", &obs.trace);
+    write("_profile.txt", &obs.profile);
+    let prom = write("_metrics.prom", &obs.metrics.prometheus());
+    write("_metrics.csv", &obs.metrics.csv());
+    if json {
+        write("_metrics.json", &obs.metrics.json());
+    }
+    result!(
+        "observability artifacts written to {} and {}",
+        trace.display(),
+        prom.display()
+    );
+}
+
 fn print_table1() -> Result<(), SafelightError> {
-    println!("\n=== Table I: CNN model parameters (paper → this reproduction) ===");
-    println!(
+    result!("\n=== Table I: CNN model parameters (paper → this reproduction) ===");
+    result!(
         "{:<10} {:<26} {:>12} {:>22} {:>10} {:>26} {:>26}",
-        "Model", "Dataset", "CONV layers", "CONV params", "FC layers", "FC params", "Total"
+        "Model",
+        "Dataset",
+        "CONV layers",
+        "CONV params",
+        "FC layers",
+        "FC params",
+        "Total"
     );
     for row in table1()? {
-        println!(
+        result!(
             "{:<10} {:<26} {:>12} {:>22} {:>10} {:>26} {:>26}",
             row.model,
             format!("{} → {}", row.dataset.0, row.dataset.1),
@@ -277,11 +328,11 @@ fn print_table1() -> Result<(), SafelightError> {
 }
 
 fn print_fig6(opts: &ExperimentOptions, out_dir: &std::path::Path) -> Result<(), SafelightError> {
-    println!("\n=== Fig. 6: CONV-block heatmap under hotspot attacks ===");
+    result!("\n=== Fig. 6: CONV-block heatmap under hotspot attacks ===");
     let artifact = run_fig6(opts)?;
-    println!("attacked banks: {:?}", artifact.attacked_banks);
-    println!("peak ΔT: {:.1} K", artifact.peak_delta_kelvin);
-    println!(
+    result!("attacked banks: {:?}", artifact.attacked_banks);
+    result!("peak ΔT: {:.1} K", artifact.peak_delta_kelvin);
+    result!(
         "mean ΔT across non-attacked banks (spill-over): {:.2} K",
         artifact.neighbour_mean_delta_kelvin
     );
@@ -290,8 +341,8 @@ fn print_fig6(opts: &ExperimentOptions, out_dir: &std::path::Path) -> Result<(),
     let pgm = out_dir.join("fig6_heatmap.pgm");
     std::fs::write(&csv, artifact.heatmap.to_csv()).ok();
     std::fs::write(&pgm, artifact.heatmap.to_pgm()).ok();
-    println!("heatmap written to {} and {}", csv.display(), pgm.display());
-    println!("{}", artifact.heatmap.to_ascii());
+    result!("heatmap written to {} and {}", csv.display(), pgm.display());
+    result!("{}", artifact.heatmap.to_ascii());
     Ok(())
 }
 
@@ -301,17 +352,24 @@ fn print_fig7(
     out_dir: &std::path::Path,
     json: bool,
 ) -> Result<(), SafelightError> {
-    println!("\n=== Fig. 7 ({kind}): susceptibility to actuation & hotspot attacks ===");
+    result!("\n=== Fig. 7 ({kind}): susceptibility to actuation & hotspot attacks ===");
     let (bench, report) = run_fig7(kind, opts)?;
-    println!(
+    result!(
         "baseline (clean accelerator) accuracy: {}   [CONV rounds: {}, FC rounds: {}]",
         pct(report.baseline),
         bench.mapping.rounds(BlockKind::Conv),
         bench.mapping.rounds(BlockKind::Fc),
     );
-    println!(
+    result!(
         "{:<20} {:<10} {:<8} {:>6} {:>6} {:>10} {:>10} {:>10}",
-        "vector", "selection", "target", "pct", "eff%", "min", "mean", "max"
+        "vector",
+        "selection",
+        "target",
+        "pct",
+        "eff%",
+        "min",
+        "mean",
+        "max"
     );
     // Group trials by scenario cell in input order — the grid may carry
     // any mix of vectors, stacks and selection strategies.
@@ -336,7 +394,7 @@ fn print_fig7(
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
         let effective =
             trials.iter().map(|t| t.effective_fraction).sum::<f64>() / trials.len() as f64;
-        println!(
+        result!(
             "{:<20} {:<10} {:<8} {:>5.0}% {:>5.1}% {:>10} {:>10} {:>10}",
             vector,
             selection,
@@ -348,7 +406,7 @@ fn print_fig7(
             pct(max)
         );
     }
-    println!(
+    result!(
         "worst-case drop: {} (paper: 7.49% CNN_1 / 26.4% ResNet18 / 80.46% VGG16_v at 10% hotspot CONV+FC)",
         pct(report.worst_drop())
     );
@@ -367,15 +425,21 @@ fn print_fig8(
     out_dir: &std::path::Path,
     json: bool,
 ) -> Result<safelight::experiment::Fig8Run, SafelightError> {
-    println!("\n=== Fig. 8 ({kind}): robustness of mitigation-trained variants ===");
+    result!("\n=== Fig. 8 ({kind}): robustness of mitigation-trained variants ===");
     let fig8 = safelight::experiment::run_fig8(kind, opts)?;
     let report = &fig8.report;
-    println!(
+    result!(
         "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "variant", "baseline", "min", "q1", "median", "q3", "max"
+        "variant",
+        "baseline",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max"
     );
     for o in &report.outcomes {
-        println!(
+        result!(
             "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
             o.variant.label(),
             pct(o.baseline),
@@ -387,7 +451,7 @@ fn print_fig8(
         );
     }
     if let Some(best) = report.most_robust() {
-        println!(
+        result!(
             "most robust variant: {} (paper found l2+n3 / l2+n5 / l2+n2 for its three models)",
             best.variant.label()
         );
@@ -408,7 +472,7 @@ fn print_fig9(
     json: bool,
     fig8: Option<safelight::experiment::Fig8Run>,
 ) -> Result<(), SafelightError> {
-    println!("\n=== Fig. 9 ({kind}): robust vs original under CONV+FC attacks ===");
+    result!("\n=== Fig. 9 ({kind}): robust vs original under CONV+FC attacks ===");
     // Fig. 9 needs Fig. 8's winner; reuse the run `--fig8` just produced
     // (the whole point of `Fig8Run`) and compute it only when Fig. 9 runs
     // alone.
@@ -417,18 +481,22 @@ fn print_fig9(
         None => safelight::experiment::run_fig8(kind, opts)?,
     };
     let (best, report) = run_fig9_from(&fig8, opts)?;
-    println!(
+    result!(
         "robust variant: {}   original baseline {}   robust baseline {}",
         best.label(),
         pct(report.original_baseline),
         pct(report.robust_baseline)
     );
-    println!(
+    result!(
         "{:<10} {:>6} {:>30} {:>30} {:>10}",
-        "vector", "pct", "original (min/mean/max)", "robust (min/mean/max)", "recovery"
+        "vector",
+        "pct",
+        "original (min/mean/max)",
+        "robust (min/mean/max)",
+        "recovery"
     );
     for i in &report.intervals {
-        println!(
+        result!(
             "{:<10} {:>5.0}% {:>30} {:>30} {:>10}",
             i.vector.to_string(),
             i.fraction * 100.0,
@@ -462,23 +530,30 @@ fn print_detection(
     out_dir: &std::path::Path,
     json: bool,
 ) -> Result<(), SafelightError> {
-    println!("\n=== Detection ({kind}): runtime trojan detection over the scenario grid ===");
+    result!("\n=== Detection ({kind}): runtime trojan detection over the scenario grid ===");
     let (_, report) = run_detection_experiment(kind, opts)?;
-    println!("{:<12} {:>12} {:>10}", "detector", "threshold", "cal. FPR");
+    result!("{:<12} {:>12} {:>10}", "detector", "threshold", "cal. FPR");
     for op in &report.operating {
-        println!(
+        result!(
             "{:<12} {:>12.4} {:>10}",
             op.detector,
             op.threshold,
             pct(op.fpr)
         );
     }
-    println!(
+    result!(
         "\n{:<12} {:<20} {:<10} {:<8} {:>5} {:>8} {:>8} {:>10}",
-        "detector", "vector", "selection", "target", "pct", "TPR", "AUC", "latency"
+        "detector",
+        "vector",
+        "selection",
+        "target",
+        "pct",
+        "TPR",
+        "AUC",
+        "latency"
     );
     for c in &report.cells {
-        println!(
+        result!(
             "{:<12} {:<20} {:<10} {:<8} {:>4.0}% {:>8} {:>8.3} {:>10}",
             c.detector,
             c.vector,
@@ -516,10 +591,12 @@ fn print_serve(
     out_dir: &std::path::Path,
     json: bool,
     arrival: ArrivalModel,
+    profile: bool,
 ) -> Result<(), SafelightError> {
-    println!("\n=== Serving ({kind}): closed-loop secure serving runtime ===");
-    let (_, report) = safelight_serve::eval::run_serving_experiment(kind, opts, arrival)?;
-    println!(
+    result!("\n=== Serving ({kind}): closed-loop secure serving runtime ===");
+    let (_, report, obs) =
+        safelight_serve::eval::run_serving_experiment_observed(kind, opts, arrival, profile)?;
+    result!(
         "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, onset at {}, \
          arrival {}]",
         pct(report.clean_accuracy),
@@ -530,9 +607,9 @@ fn print_serve(
         report.arrival
     );
     for (name, threshold) in report.detectors.iter().zip(&report.thresholds) {
-        println!("operating threshold {name:<12} {threshold:.4}");
+        result!("operating threshold {name:<12} {threshold:.4}");
     }
-    println!(
+    result!(
         "\n{:<20} {:<10} {:<8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:<16} {:>6}",
         "vector",
         "selection",
@@ -562,7 +639,7 @@ fn print_serve(
                 "     —".into()
             }
         };
-        println!(
+        result!(
             "{:<20} {:<10} {:<8} {:>4.0}% {:>9} {:>9} {:>9} {:>9} {:>7} {:>6.1}% {:<16} {:>6}",
             r.scenario.vector_label(),
             r.scenario.selection,
@@ -578,13 +655,20 @@ fn print_serve(
             r.remapped_rings
         );
     }
-    println!(
+    result!(
         "\nrequest-plane service latency (virtual ticks) per scenario:\n\
          {:<20} {:<10} {:>5} {:>8} {:>8} {:>8} {:>10} {:>7}",
-        "vector", "selection", "pct", "p50", "p99", "p999", "thpt/tick", "shed"
+        "vector",
+        "selection",
+        "pct",
+        "p50",
+        "p99",
+        "p999",
+        "thpt/tick",
+        "shed"
     );
     for r in &report.rows {
-        println!(
+        result!(
             "{:<20} {:<10} {:>4.0}% {:>8.1} {:>8.1} {:>8.1} {:>10.2} {:>6.1}%",
             r.scenario.vector_label(),
             r.scenario.selection,
@@ -602,6 +686,14 @@ fn print_serve(
         &safelight_serve::report::serving_csv(&report),
         json.then(|| safelight_serve::report::serving_json(&report)),
     );
+    if let Some(obs) = &obs {
+        write_obs_artifacts(
+            out_dir,
+            &format!("serving_{}", kind.label().to_lowercase()),
+            obs,
+            json,
+        );
+    }
     // At a finite arrival rate, also sweep offered rates around the
     // fleet's per-tick drain capacity and locate the saturation point.
     let rate = report.arrival.rate();
@@ -611,7 +703,7 @@ fn print_serve(
         rates.sort_by(f64::total_cmp);
         rates.dedup();
         let (_, sweep) = safelight_serve::eval::run_rate_sweep_experiment(kind, opts, &rates)?;
-        println!(
+        result!(
             "\nthroughput-vs-p99 sweep (clean fleet, saturation at rate {}):",
             if sweep.saturation_rate.is_finite() {
                 format!("{}", sweep.saturation_rate)
@@ -619,12 +711,18 @@ fn print_serve(
                 "— (all swept rates saturate)".into()
             }
         );
-        println!(
+        result!(
             "{:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8}",
-            "rate", "offered", "served", "thpt/tick", "p50", "p99", "shed"
+            "rate",
+            "offered",
+            "served",
+            "thpt/tick",
+            "p50",
+            "p99",
+            "shed"
         );
         for p in &sweep.rows {
-            println!(
+            result!(
                 "{:>8.2} {:>8} {:>8} {:>10.2} {:>8.1} {:>8.1} {:>7.1}%",
                 p.rate,
                 p.offered,
@@ -651,10 +749,12 @@ fn print_chaos(
     out_dir: &std::path::Path,
     json: bool,
     arrival: ArrivalModel,
+    profile: bool,
 ) -> Result<(), SafelightError> {
-    println!("\n=== Chaos ({kind}): benign faults vs trojans on the fault-tolerant runtime ===");
-    let (_, report) = safelight_serve::chaos::run_chaos_experiment(kind, opts, arrival)?;
-    println!(
+    result!("\n=== Chaos ({kind}): benign faults vs trojans on the fault-tolerant runtime ===");
+    let (_, report, obs) =
+        safelight_serve::chaos::run_chaos_experiment_observed(kind, opts, arrival, profile)?;
+    result!(
         "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, trojan onset at {}, \
          arrival {}]",
         pct(report.clean_accuracy),
@@ -664,7 +764,7 @@ fn print_chaos(
         report.onset_batch,
         report.arrival
     );
-    println!(
+    result!(
         "spurious-quarantine rate: {}   trojan TPR: {}   overlap missed: {}   mean crash recovery: {}",
         pct(report.spurious_quarantine_rate),
         pct(report.trojan_tpr),
@@ -675,7 +775,7 @@ fn print_chaos(
             "—".into()
         }
     );
-    println!(
+    result!(
         "\n{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>7} {:>7} {:>6} {:<24}",
         "kind",
         "fault",
@@ -698,7 +798,7 @@ fn print_chaos(
                 "     —".into()
             }
         };
-        println!(
+        result!(
             "{:<8} {:<34} {:<30} {:>6} {:>8} {:>6} {:>7} {:>9} {:>6.1}% {:>7.1} {:>5.1}% {:<24}",
             r.kind,
             if r.fault.is_empty() { "—" } else { &r.fault },
@@ -728,11 +828,19 @@ fn print_chaos(
         &safelight_serve::report::chaos_csv(&report),
         json.then(|| safelight_serve::report::chaos_json(&report)),
     );
+    if let Some(obs) = &obs {
+        write_obs_artifacts(
+            out_dir,
+            &format!("chaos_{}", kind.label().to_lowercase()),
+            obs,
+            json,
+        );
+    }
     Ok(())
 }
 
 fn print_ablation(kind: ModelKind, opts: &ExperimentOptions) -> Result<(), SafelightError> {
-    println!("\n=== Ablation ({kind}): noise-aware training without L2 ===");
+    result!("\n=== Ablation ({kind}): noise-aware training without L2 ===");
     let bench = workbench(kind, opts)?;
     let recipe = opts.recipe(kind);
     let mut variants = vec![(VariantKind::Original, bench.original.clone())];
@@ -756,12 +864,14 @@ fn print_ablation(kind: ModelKind, opts: &ExperimentOptions) -> Result<(), Safel
         opts.seed,
         opts.threads,
     )?;
-    println!(
+    result!(
         "{:<10} {:>10} {:>26}",
-        "variant", "baseline", "median under 5% attacks"
+        "variant",
+        "baseline",
+        "median under 5% attacks"
     );
     for o in &report.outcomes {
-        println!(
+        result!(
             "{:<10} {:>10} {:>26}",
             o.variant.label(),
             pct(o.baseline),
@@ -775,7 +885,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            error!("{e}");
             std::process::exit(2);
         }
     };
@@ -786,7 +896,18 @@ fn main() {
         backend: args.backend,
         ..ExperimentOptions::default()
     };
-    eprintln!("datapath backend: {}", args.backend);
+    if args.profile {
+        set_profile_enabled(true);
+        profile_reset();
+    }
+    info!("datapath backend: {}", args.backend);
+    debug!(
+        "fidelity {:?}, {} model(s), arrival {}, out-dir {}",
+        args.fidelity,
+        args.models.len(),
+        args.arrival,
+        args.out_dir.display()
+    );
     let started = std::time::Instant::now();
 
     let run = || -> Result<(), SafelightError> {
@@ -812,10 +933,24 @@ fn main() {
                 print_detection(kind, &opts, &args.out_dir, args.json)?;
             }
             if args.serve {
-                print_serve(kind, &opts, &args.out_dir, args.json, args.arrival)?;
+                print_serve(
+                    kind,
+                    &opts,
+                    &args.out_dir,
+                    args.json,
+                    args.arrival,
+                    args.profile,
+                )?;
             }
             if args.chaos {
-                print_chaos(kind, &opts, &args.out_dir, args.json, args.arrival)?;
+                print_chaos(
+                    kind,
+                    &opts,
+                    &args.out_dir,
+                    args.json,
+                    args.arrival,
+                    args.profile,
+                )?;
             }
             if args.ablation {
                 print_ablation(kind, &opts)?;
@@ -824,8 +959,17 @@ fn main() {
         Ok(())
     };
     if let Err(e) = run() {
-        eprintln!("error: {e}");
+        error!("{e}");
         std::process::exit(1);
     }
-    eprintln!("\ncompleted in {:.1} s", started.elapsed().as_secs_f64());
+    if args.profile {
+        let phases = profile_phases();
+        if phases.is_empty() {
+            info!("profiling enabled but no phases recorded");
+        } else {
+            result!("\n=== Profile: per-phase wall-clock (machine-dependent) ===");
+            result!("{}", render_table(&phases).trim_end());
+        }
+    }
+    info!("completed in {:.1} s", started.elapsed().as_secs_f64());
 }

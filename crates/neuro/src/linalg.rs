@@ -30,6 +30,7 @@
 
 use crate::parallel;
 use crate::scratch::{self, Slot};
+use safelight_obs::profile_span_class;
 
 /// Micro-kernel rows: C is updated `MR` rows at a time.
 const MR: usize = 4;
@@ -141,6 +142,7 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     if force_reference() {
+        let _span = profile_span_class("gemm_matmul", "reference");
         return reference::matmul(a, b, c, m, k, n);
     }
     gemm(
@@ -158,6 +160,7 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
             cs: 1,
         },
         c,
+        "gemm_matmul",
     );
 }
 
@@ -172,6 +175,7 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     if force_reference() {
+        let _span = profile_span_class("gemm_matmul_a_bt", "reference");
         return reference::matmul_a_bt(a, b, c, m, k, n);
     }
     gemm(
@@ -190,6 +194,7 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
             cs: k,
         },
         c,
+        "gemm_matmul_a_bt",
     );
 }
 
@@ -204,6 +209,7 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     if force_reference() {
+        let _span = profile_span_class("gemm_matmul_at_b", "reference");
         return reference::matmul_at_b(a, b, c, m, k, n);
     }
     gemm(
@@ -222,6 +228,7 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
             cs: 1,
         },
         c,
+        "gemm_matmul_at_b",
     );
 }
 
@@ -235,13 +242,22 @@ const PARALLEL_MIN_MADDS: usize = 1 << 20;
 /// sweep over B is faster and still vectorizes on the contiguous rows.
 const DIRECT_MAX_A_ELEMS: usize = 2048;
 
-fn gemm(m: usize, k: usize, n: usize, a: View<'_>, b: View<'_>, c: &mut [f32]) {
+fn gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: View<'_>,
+    b: View<'_>,
+    c: &mut [f32],
+    phase: &'static str,
+) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
     // Skinny products (small weight matrix × wide activation panel — the
     // shape every small-CNN conv layer produces) take the direct path.
     if m * k <= DIRECT_MAX_A_ELEMS && b.cs == 1 {
+        let _span = profile_span_class(phase, "direct");
         for i in 0..m {
             let c_row = &mut c[i * n..(i + 1) * n];
             for p in 0..k {
@@ -265,6 +281,7 @@ fn gemm(m: usize, k: usize, n: usize, a: View<'_>, b: View<'_>, c: &mut [f32]) {
     let madds = m.saturating_mul(k).saturating_mul(n);
     let row_blocks = m.div_ceil(cfg.mc);
     if row_blocks > 1 && madds >= PARALLEL_MIN_MADDS && !on_pool_worker {
+        let _span = profile_span_class(phase, "parallel");
         // Split C into disjoint row-block slices so tasks can write
         // concurrently; the per-block work is identical to the serial
         // path, so numerics do not depend on the split.
@@ -288,6 +305,7 @@ fn gemm(m: usize, k: usize, n: usize, a: View<'_>, b: View<'_>, c: &mut [f32]) {
         });
         return;
     }
+    let _span = profile_span_class(phase, "serial");
     gemm_serial(m, k, n, a, b, c, cfg);
 }
 

@@ -175,7 +175,7 @@ impl Trainer {
             let mean_loss = (epoch_loss / batches.max(1) as f64) as f32;
             epoch_losses.push(mean_loss);
             if cfg.verbose {
-                eprintln!(
+                safelight_obs::info!(
                     "epoch {:>3}: loss {:.4} (lr {:.4})",
                     epoch + 1,
                     mean_loss,

@@ -1,0 +1,168 @@
+//! Leveled logging for human-facing diagnostics.
+//!
+//! SafeLight library crates never print directly: they report through the
+//! [`error!`](crate::error)/[`warn!`](crate::warn)/[`info!`](crate::info)/
+//! [`debug!`](crate::debug) macros and the hosting binary decides how much
+//! of it reaches the terminal ([`set_max_level`]). `Info` and below go to
+//! stdout, `Warn` and `Error` to stderr, so result tables survive shell
+//! redirection while diagnostics stay visible.
+//!
+//! The level gate is a single relaxed atomic load and the macros skip
+//! formatting entirely when the level is disabled, so a `debug!` in a warm
+//! loop costs a couple of nanoseconds when quiet.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity of a log line, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable problems; always worth surfacing.
+    Error = 0,
+    /// Suspicious conditions the run survives (shed requests, fallbacks).
+    Warn = 1,
+    /// Normal progress and result reporting. The default ceiling.
+    Info = 2,
+    /// Extra detail for debugging (`repro --verbose`).
+    Debug = 3,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+
+    /// Lower-case tag used as a line prefix for stderr levels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the most verbose level that will be emitted.
+///
+/// `repro` maps `--quiet` to [`Level::Warn`] (results still print — see
+/// [`result`]) and `--verbose` to [`Level::Debug`].
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current verbosity ceiling.
+pub fn max_level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at `level` would be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emit a pre-formatted message at `level`. Prefer the macros, which skip
+/// formatting when the level is disabled.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    match level {
+        Level::Error | Level::Warn => eprintln!("{}: {args}", level.tag()),
+        Level::Info => println!("{args}"),
+        Level::Debug => println!("[debug] {args}"),
+    }
+}
+
+/// Emit primary result output (tables, artifact paths) to stdout.
+///
+/// Results are the *product* of a run, not commentary on it, so they
+/// bypass the verbosity ceiling: `--quiet` silences progress chatter but
+/// still prints the table the user asked for.
+pub fn result(args: std::fmt::Arguments<'_>) {
+    println!("{args}");
+}
+
+/// Log an unrecoverable problem (always emitted unless filtered).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log a survivable but suspicious condition.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log normal progress (suppressed by `--quiet`).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log debugging detail (only with `--verbose`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Print primary result output (tables, summaries) regardless of level.
+#[macro_export]
+macro_rules! result {
+    ($($arg:tt)*) => {
+        $crate::log::result(format_args!($($arg)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn enabled_respects_ceiling() {
+        let prev = max_level();
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_max_level(prev);
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(Level::Error.tag(), "error");
+        assert_eq!(Level::Debug.tag(), "debug");
+    }
+}

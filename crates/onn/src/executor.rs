@@ -305,6 +305,7 @@ pub fn corrupt_network_with(
     p: &DropResponseModel,
     rows_eval: &mut dyn RowEvaluator,
 ) -> Result<Network, OnnError> {
+    let _span = safelight_obs::profile_span("derive_network");
     let mut out = network.clone();
 
     // Validate that the weight tensors line up with the mapping.

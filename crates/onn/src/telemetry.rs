@@ -525,6 +525,7 @@ impl TelemetryProbe {
         p: &DropResponseModel,
         mut response: Option<SlotResponseFn<'_>>,
     ) -> Result<Self, OnnError> {
+        let _span = safelight_obs::profile_span("probe_build");
         let drop_port = p.encoding == crate::config::WeightEncoding::DropPort;
 
         // Normalized, quantized |weight| snapshot per layer, mirroring the
@@ -728,6 +729,7 @@ impl TelemetryProbe {
     /// independent of how frames are scheduled across threads.
     #[must_use]
     pub fn frame(&self, batch: u64, seed: u64) -> TelemetryFrame {
+        let _span = safelight_obs::profile_span("probe_frame");
         let mut rng = SimRng::seed_from(seed).derive(0x7E1E_F4A3 ^ batch);
         let mut frame = self.noiseless(batch);
         for banks in [&mut frame.conv, &mut frame.fc] {

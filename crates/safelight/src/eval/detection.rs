@@ -216,6 +216,7 @@ fn play_run(
         };
         let frame = probe.frame(batch as u64, run_seed);
         for (d, out) in suite.iter_mut().zip(&mut scores) {
+            let _span = safelight_obs::profile_span_class("detector_score", d.name());
             out.push(d.score(&frame));
         }
     }

@@ -27,6 +27,8 @@
 //! batch)`, so the report and its CSV/JSON renderings are bitwise
 //! independent of the worker-thread count.
 
+use std::sync::Arc;
+
 use safelight::attack::{AttackTarget, ScenarioSpec, Selection, VectorSpec};
 use safelight::detect::Detector;
 use safelight::eval::{inject_all, InjectedScenario};
@@ -36,9 +38,11 @@ use safelight::models::ModelKind;
 use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
 use safelight_neuro::{Dataset, Network};
+use safelight_obs::MetricsRegistry;
 use safelight_onn::{BlockKind, InferenceBackend, SensorChannel, SentinelPlan, WeightMapping};
 
 use crate::eval::{build_fleet, calibrate, request_stream, spec_stream_key, ServingOptions};
+use crate::observe::{ObsArtifacts, ServeObserver};
 use crate::runtime::{fold, Compromise, MemberFault, ResponseAction, StreamOutcome};
 use crate::scheduler::{percentile, ArrivalModel};
 
@@ -408,6 +412,38 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
     seed: u64,
     threads: usize,
 ) -> Result<ChaosReport, SafelightError> {
+    run_chaos_observed(
+        network, mapping, backend, data, cases, detectors, opts, seed, threads, false,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`run_chaos`] with the observability plane attached when `observe` is
+/// true: each grid case runs under its own [`ServeObserver`] (scoped
+/// `case="NN"` metric labels, private tracer), and the returned
+/// [`ObsArtifacts`] concatenate the per-case committed traces in
+/// input-case order — byte-identical across worker-thread counts — plus
+/// the wall-clock profile sidecar and the merged metrics snapshot. The
+/// committed trace is the audit log: every quarantine, remap, failover,
+/// maintenance verdict, crash and recovery of every case, with the
+/// decision inputs inline.
+///
+/// # Errors
+///
+/// Same as [`run_chaos`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_observed<D: Dataset + Sync + ?Sized>(
+    network: &Network,
+    mapping: &WeightMapping,
+    backend: &dyn InferenceBackend,
+    data: &D,
+    cases: &[ChaosCase],
+    detectors: &[Box<dyn Detector>],
+    opts: &ServingOptions,
+    seed: u64,
+    threads: usize,
+    observe: bool,
+) -> Result<(ChaosReport, Option<ObsArtifacts>), SafelightError> {
     if opts.batches == 0 || opts.batch_size == 0 || opts.onset_batch >= opts.batches as u64 {
         return Err(SafelightError::InvalidParameter {
             name: "batches/onset",
@@ -483,37 +519,85 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
     };
     let injected = inject_all(backend.config(), &specs, salience.as_ref(), seed, threads)?;
 
-    let items: Vec<(&ChaosCase, Option<&InjectedScenario>)> = cases
+    let items: Vec<(usize, &ChaosCase, Option<&InjectedScenario>)> = cases
         .iter()
         .zip(&slots)
-        .map(|(c, slot)| (c, slot.map(|i| &injected[i])))
+        .enumerate()
+        .map(|(i, (c, slot))| (i, c, slot.map(|s| &injected[s])))
         .collect();
-    let rows: Vec<Result<ChaosRow, SafelightError>> = par_map(items, threads, |(case, entry)| {
-        let stream_seed = fold(seed, case_stream_key(case));
-        let plan = case
-            .fault
-            .as_ref()
-            .map(|spec| inject_fault(spec, backend.config(), sentinel_counts, seed))
-            .transpose()?;
-        let compromise = entry.map(|e| Compromise {
-            member: 0,
-            onset_batch: opts.onset_batch,
-            conditions: &e.conditions,
+    // One shared registry; each case's observer namespaces its series
+    // with a `case` label, so every series has a single (serial) writer
+    // and the merged snapshot is thread-count independent.
+    let registry = observe.then(|| Arc::new(MetricsRegistry::new()));
+    type ObservedRow = (ChaosRow, Option<(String, String)>);
+    let rows: Vec<Result<ObservedRow, SafelightError>> =
+        par_map(items, threads, |(idx, case, entry)| {
+            let stream_seed = fold(seed, case_stream_key(case));
+            let plan = case
+                .fault
+                .as_ref()
+                .map(|spec| inject_fault(spec, backend.config(), sentinel_counts, seed))
+                .transpose()?;
+            let compromise = entry.map(|e| Compromise {
+                member: 0,
+                onset_batch: opts.onset_batch,
+                conditions: &e.conditions,
+            });
+            let fault = plan.as_ref().map(|p| MemberFault { member: 0, plan: p });
+            let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
+            let observer = registry.as_ref().map(|reg| {
+                Arc::new(ServeObserver::with_scope(
+                    reg.clone(),
+                    &[("case", &format!("{idx:02}"))],
+                ))
+            });
+            fleet.set_observer(observer.clone());
+            let out = fleet.serve_queue(
+                &requests,
+                opts.batch_size,
+                capacity,
+                compromise,
+                fault,
+                stream_seed,
+                threads,
+            )?;
+            let sections = observer.as_ref().map(|o| {
+                o.drain(&[format!(
+                    "case={idx:02} kind={} fault={} scenario={} trojan_onset={}",
+                    case.kind(),
+                    case.fault
+                        .as_ref()
+                        .map(FaultSpec::to_spec_string)
+                        .unwrap_or_default(),
+                    case.scenario
+                        .as_ref()
+                        .map(ScenarioSpec::to_spec_string)
+                        .unwrap_or_default(),
+                    opts.onset_batch,
+                )])
+            });
+            Ok((summarize_chaos(case, &out, &labels, opts), sections))
         });
-        let fault = plan.as_ref().map(|p| MemberFault { member: 0, plan: p });
-        let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
-        let out = fleet.serve_queue(
-            &requests,
-            opts.batch_size,
-            capacity,
-            compromise,
-            fault,
-            stream_seed,
-            threads,
-        )?;
-        Ok(summarize_chaos(case, &out, &labels, opts))
-    });
     let rows = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+    // Per-case trace sections concatenate in input-case order — par_map
+    // returns results in task order, so the artifact is independent of
+    // which worker ran which case.
+    let artifacts = registry.map(|reg| {
+        let mut trace = String::new();
+        let mut profile = String::new();
+        for (_, sections) in &rows {
+            if let Some((committed, wall)) = sections {
+                trace.push_str(committed);
+                profile.push_str(wall);
+            }
+        }
+        ObsArtifacts {
+            trace,
+            profile,
+            metrics: reg.snapshot(),
+        }
+    });
+    let rows: Vec<ChaosRow> = rows.into_iter().map(|(row, _)| row).collect();
 
     let rate = |num: usize, den: usize| {
         if den == 0 {
@@ -548,21 +632,24 @@ pub fn run_chaos<D: Dataset + Sync + ?Sized>(
         recoveries.iter().sum::<f64>() / recoveries.len() as f64
     };
 
-    Ok(ChaosReport {
-        detectors: parts.names,
-        thresholds: parts.thresholds,
-        clean_accuracy,
-        batches: opts.batches,
-        batch_size: opts.batch_size,
-        fleet_size: opts.fleet_size,
-        onset_batch: opts.onset_batch,
-        arrival: opts.arrival,
-        rows,
-        spurious_quarantine_rate: rate(spurious, faulted),
-        trojan_tpr: rate(detected, trojan_rows),
-        overlap_missed_rate: rate(missed, overlap_rows),
-        mean_crash_recovery_batches: mean_recovery,
-    })
+    Ok((
+        ChaosReport {
+            detectors: parts.names,
+            thresholds: parts.thresholds,
+            clean_accuracy,
+            batches: opts.batches,
+            batch_size: opts.batch_size,
+            fleet_size: opts.fleet_size,
+            onset_batch: opts.onset_batch,
+            arrival: opts.arrival,
+            rows,
+            spurious_quarantine_rate: rate(spurious, faulted),
+            trojan_tpr: rate(detected, trojan_rows),
+            overlap_missed_rate: rate(missed, overlap_rows),
+            mean_crash_recovery_batches: mean_recovery,
+        },
+        artifacts,
+    ))
 }
 
 /// Runs the chaos experiment for `kind`: trains (or loads) the original
@@ -579,13 +666,29 @@ pub fn run_chaos_experiment(
     opts: &ExperimentOptions,
     arrival: ArrivalModel,
 ) -> Result<(ModelWorkbench, ChaosReport), SafelightError> {
+    run_chaos_experiment_observed(kind, opts, arrival, false)
+        .map(|(bench, report, _)| (bench, report))
+}
+
+/// [`run_chaos_experiment`] with the observability plane attached when
+/// `observe` is true (see [`run_chaos_observed`]).
+///
+/// # Errors
+///
+/// Propagates workbench and chaos-evaluation errors.
+pub fn run_chaos_experiment_observed(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    arrival: ArrivalModel,
+    observe: bool,
+) -> Result<(ModelWorkbench, ChaosReport, Option<ObsArtifacts>), SafelightError> {
     let bench = workbench(kind, opts)?;
     let serving_opts = ServingOptions {
         arrival,
         ..ServingOptions::for_fidelity(opts.fidelity)
     };
     let cases = chaos_grid(serving_opts.onset_batch);
-    let report = run_chaos(
+    let (report, artifacts) = run_chaos_observed(
         &bench.original,
         &bench.mapping,
         bench.backend.as_ref(),
@@ -595,8 +698,9 @@ pub fn run_chaos_experiment(
         &serving_opts,
         opts.seed,
         opts.threads,
+        observe,
     )?;
-    Ok((bench, report))
+    Ok((bench, report, artifacts))
 }
 
 #[cfg(test)]

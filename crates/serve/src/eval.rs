@@ -22,6 +22,8 @@
 //! report — and its CSV/JSON renderings — are bitwise independent of the
 //! worker-thread count.
 
+use std::sync::Arc;
+
 use safelight::attack::ScenarioSpec;
 use safelight::detect::{Detector, GuardBandDetector};
 use safelight::eval::{inject_all, InjectedScenario};
@@ -30,11 +32,13 @@ use safelight::models::ModelKind;
 use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
 use safelight_neuro::{Dataset, Network};
+use safelight_obs::MetricsRegistry;
 use safelight_onn::{
     ConditionMap, InferenceBackend, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe,
     WeightMapping,
 };
 
+use crate::observe::{ObsArtifacts, ServeObserver};
 use crate::runtime::{
     fold, Compromise, Fleet, FleetMember, PolicyConfig, ResponseAction, StreamOutcome,
 };
@@ -521,6 +525,36 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
     seed: u64,
     threads: usize,
 ) -> Result<ServingReport, SafelightError> {
+    run_serving_observed(
+        network, mapping, backend, data, scenarios, detectors, opts, seed, threads, false,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`run_serving`] with the observability plane attached when `observe`
+/// is true: each scenario's with-response stream runs under its own
+/// [`ServeObserver`] (scoped `scenario="<spec>"` metric labels, private
+/// tracer), and the returned [`ObsArtifacts`] concatenate the per-scenario
+/// committed traces in input-scenario order — byte-identical across
+/// worker-thread counts — plus the wall-clock profile sidecar and the
+/// merged metrics snapshot.
+///
+/// # Errors
+///
+/// Same as [`run_serving`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving_observed<D: Dataset + Sync + ?Sized>(
+    network: &Network,
+    mapping: &WeightMapping,
+    backend: &dyn InferenceBackend,
+    data: &D,
+    scenarios: &[ScenarioSpec],
+    detectors: &[Box<dyn Detector>],
+    opts: &ServingOptions,
+    seed: u64,
+    threads: usize,
+    observe: bool,
+) -> Result<(ServingReport, Option<ObsArtifacts>), SafelightError> {
     if opts.batches == 0 || opts.batch_size == 0 || opts.onset_batch >= opts.batches as u64 {
         return Err(SafelightError::InvalidParameter {
             name: "batches/onset",
@@ -584,7 +618,12 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
     // policy events down to that member so a false alarm on a healthy
     // peer never masquerades as the attack's detection.
     let compromise_member = 0usize;
-    let rows: Vec<Result<ScenarioServing, SafelightError>> = par_map(injected, threads, |entry| {
+    // One shared registry; each scenario's observer namespaces its series
+    // with a `scenario` label, so every series has a single (serial)
+    // writer and the merged snapshot is thread-count independent.
+    let registry = observe.then(|| Arc::new(MetricsRegistry::new()));
+    type ObservedRow = (ScenarioServing, Option<(String, String)>);
+    let rows: Vec<Result<ObservedRow, SafelightError>> = par_map(injected, threads, |entry| {
         let stream_seed = fold(seed, spec_stream_key(&entry.scenario));
         let compromise = Compromise {
             member: compromise_member,
@@ -592,6 +631,14 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             conditions: &entry.conditions,
         };
         let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
+        let spec = entry.scenario.to_spec_string();
+        let observer = registry.as_ref().map(|reg| {
+            Arc::new(ServeObserver::with_scope(
+                reg.clone(),
+                &[("scenario", &spec)],
+            ))
+        });
+        fleet.set_observer(observer.clone());
         let with_response = fleet.serve_queue(
             &requests,
             opts.batch_size,
@@ -601,6 +648,12 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             stream_seed,
             threads,
         )?;
+        let sections = observer.as_ref().map(|o| {
+            o.drain(&[format!(
+                "scenario={spec} onset={} arrival={:?}",
+                opts.onset_batch, opts.arrival
+            )])
+        });
         let mut base_fleet = build_fleet(network, mapping, backend, &parts, opts, false)?;
         let baseline = base_fleet.serve_queue(
             &requests,
@@ -611,28 +664,53 @@ pub fn run_serving<D: Dataset + Sync + ?Sized>(
             stream_seed,
             threads,
         )?;
-        Ok(summarize(
-            &entry,
-            compromise_member,
-            &with_response,
-            &baseline,
-            &labels,
-            opts,
+        Ok((
+            summarize(
+                &entry,
+                compromise_member,
+                &with_response,
+                &baseline,
+                &labels,
+                opts,
+            ),
+            sections,
         ))
     });
     let rows = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+    // Per-scenario trace sections concatenate in input-scenario order —
+    // par_map returns results in task order, so the artifact is
+    // independent of which worker ran which scenario.
+    let artifacts = registry.map(|reg| {
+        let mut trace = String::new();
+        let mut profile = String::new();
+        for (_, sections) in &rows {
+            if let Some((committed, wall)) = sections {
+                trace.push_str(committed);
+                profile.push_str(wall);
+            }
+        }
+        ObsArtifacts {
+            trace,
+            profile,
+            metrics: reg.snapshot(),
+        }
+    });
+    let rows = rows.into_iter().map(|(row, _)| row).collect();
 
-    Ok(ServingReport {
-        detectors: parts.names,
-        thresholds: parts.thresholds,
-        clean_accuracy,
-        batches: opts.batches,
-        batch_size: opts.batch_size,
-        fleet_size: opts.fleet_size,
-        onset_batch: opts.onset_batch,
-        arrival: opts.arrival,
-        rows,
-    })
+    Ok((
+        ServingReport {
+            detectors: parts.names,
+            thresholds: parts.thresholds,
+            clean_accuracy,
+            batches: opts.batches,
+            batch_size: opts.batch_size,
+            fleet_size: opts.fleet_size,
+            onset_batch: opts.onset_batch,
+            arrival: opts.arrival,
+            rows,
+        },
+        artifacts,
+    ))
 }
 
 /// One operating point of the throughput-vs-latency sweep.
@@ -793,13 +871,29 @@ pub fn run_serving_experiment(
     opts: &ExperimentOptions,
     arrival: ArrivalModel,
 ) -> Result<(ModelWorkbench, ServingReport), SafelightError> {
+    run_serving_experiment_observed(kind, opts, arrival, false)
+        .map(|(bench, report, _)| (bench, report))
+}
+
+/// [`run_serving_experiment`] with the observability plane attached when
+/// `observe` is true (see [`run_serving_observed`]).
+///
+/// # Errors
+///
+/// Propagates workbench and serving-evaluation errors.
+pub fn run_serving_experiment_observed(
+    kind: ModelKind,
+    opts: &ExperimentOptions,
+    arrival: ArrivalModel,
+    observe: bool,
+) -> Result<(ModelWorkbench, ServingReport, Option<ObsArtifacts>), SafelightError> {
     let bench = workbench(kind, opts)?;
     let scenarios = opts.fig7_grid(1);
     let serving_opts = ServingOptions {
         arrival,
         ..ServingOptions::for_fidelity(opts.fidelity)
     };
-    let report = run_serving(
+    let (report, artifacts) = run_serving_observed(
         &bench.original,
         &bench.mapping,
         bench.backend.as_ref(),
@@ -809,8 +903,9 @@ pub fn run_serving_experiment(
         &serving_opts,
         opts.seed,
         opts.threads,
+        observe,
     )?;
-    Ok((bench, report))
+    Ok((bench, report, artifacts))
 }
 
 /// Runs the throughput-vs-p99 sweep for `kind` over `rates` on the shared

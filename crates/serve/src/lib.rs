@@ -45,6 +45,12 @@
 //!   trojans alone, and fault+trojan overlap, reporting the
 //!   spurious-quarantine rate, trojan TPR under discrimination, overlap
 //!   missed-detection rate and crash-recovery latency;
+//! * [`observe`] — the bridge to the `safelight-obs` observability
+//!   plane: a per-stream [`ServeObserver`] turns every admission tick,
+//!   served batch and response-policy decision into structured trace
+//!   events (deterministic, byte-identical across worker-thread counts)
+//!   and scoped metrics, so a committed trace reconstructs the policy's
+//!   decision sequence — see `docs/observability.md`;
 //! * [`report`] — CSV/JSON emitters for the serving and chaos
 //!   evaluations, wired into `repro --serve` / `repro --chaos` (`--json`).
 //!
@@ -95,15 +101,21 @@
 
 pub mod chaos;
 pub mod eval;
+pub mod observe;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
 
-pub use chaos::{chaos_grid, run_chaos, run_chaos_experiment, ChaosCase, ChaosReport, ChaosRow};
-pub use eval::{
-    run_rate_sweep, run_rate_sweep_experiment, run_serving, run_serving_experiment, RatePoint,
-    RateSweepReport, ScenarioServing, ServingOptions, ServingReport,
+pub use chaos::{
+    chaos_grid, run_chaos, run_chaos_experiment, run_chaos_experiment_observed, run_chaos_observed,
+    ChaosCase, ChaosReport, ChaosRow,
 };
+pub use eval::{
+    run_rate_sweep, run_rate_sweep_experiment, run_serving, run_serving_experiment,
+    run_serving_experiment_observed, run_serving_observed, RatePoint, RateSweepReport,
+    ScenarioServing, ServingOptions, ServingReport,
+};
+pub use observe::{ObsArtifacts, ServeObserver};
 pub use runtime::{
     Compromise, Fleet, FleetMember, MemberFault, MemberState, PolicyConfig, PolicyEvent,
     ResponseAction, ServedBatch, StreamOutcome,

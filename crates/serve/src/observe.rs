@@ -1,0 +1,494 @@
+//! The serving-plane observer: the bridge between [`crate::runtime`] and
+//! the `safelight-obs` tracing/metrics plane.
+//!
+//! A [`ServeObserver`] is attached to a [`crate::Fleet`] for the duration
+//! of one served stream (one chaos case, one serving scenario). It owns a
+//! [`Tracer`] of its own — so per-case traces never interleave even when
+//! cases run concurrently — and shares a [`MetricsRegistry`] with its
+//! sibling observers, namespacing every series it touches with its scope
+//! labels (e.g. `case="03"`). Within one observer, every metric is
+//! recorded from the stream's *serial* control path (admission, the
+//! results loop, the response policy), so the merged snapshot is
+//! byte-identical across worker-thread counts; trace events may
+//! additionally be emitted from pool workers because the tracer's
+//! committed rendering sorts on a total `(virtual time, stage, sequence,
+//! text)` key.
+//!
+//! The trace vocabulary mirrors the response-policy state machine: every
+//! quarantine, remap, failover, maintenance verdict, crash and recovery
+//! appears as a `policy`/`crash`/`recover` event carrying the *inputs* of
+//! the decision (worst suite score, rail-glitch z, implicated banks with
+//! their excursions, masked channels, retry state), so a committed trace
+//! reconstructs the decision sequence without re-running the stream.
+
+use std::sync::Arc;
+
+use safelight_obs::{labeled, Histogram, HistogramConfig, MetricsRegistry, Stage, Tracer};
+use safelight_onn::{BlockKind, SensorChannel};
+
+use crate::runtime::ServedBatch;
+
+/// Rendered observability artifacts of one observed run: the committed
+/// trace (deterministic, byte-identical across thread counts), the
+/// wall-clock profile section (measurement, machine-dependent) and the
+/// metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct ObsArtifacts {
+    /// Committed trace: `# `-prefixed headers plus canonical event lines.
+    pub trace: String,
+    /// Wall-clock sidecar: the same events' `wall_ns` timings, uncommitted.
+    pub profile: String,
+    /// Metrics snapshot at end of run.
+    pub metrics: safelight_obs::MetricsSnapshot,
+}
+
+/// Per-stream observer: a private tracer plus scoped handles into a
+/// shared metrics registry.
+pub struct ServeObserver {
+    tracer: Tracer,
+    metrics: Arc<MetricsRegistry>,
+    /// Labels stamped on every metric series this observer touches.
+    scope: Vec<(String, String)>,
+}
+
+impl std::fmt::Debug for ServeObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeObserver")
+            .field("scope", &self.scope)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Formats one implicated bank with its worst field excursion, e.g.
+/// `conv:1(z=7.123)`.
+fn bank_tag(kind: BlockKind, bank: usize, zs: &[f64; 4]) -> String {
+    let worst = zs.iter().fold(f64::NEG_INFINITY, |a, &z| a.max(z));
+    format!("{kind}:{bank}(z={worst:.3})")
+}
+
+/// Formats one sensor-channel key, e.g. `fc:1:DeltaKelvin`.
+fn channel_tag(kind: BlockKind, index: usize, channel: SensorChannel) -> String {
+    format!("{kind}:{index}:{channel:?}")
+}
+
+impl ServeObserver {
+    /// An observer with its own fresh registry and no scope labels.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_scope(Arc::new(MetricsRegistry::new()), &[])
+    }
+
+    /// An observer over a shared `metrics` registry, stamping `scope`
+    /// labels (e.g. `[("case", "03")]`) on every series it records.
+    #[must_use]
+    pub fn with_scope(metrics: Arc<MetricsRegistry>, scope: &[(&str, &str)]) -> Self {
+        Self {
+            tracer: Tracer::new(),
+            metrics,
+            scope: scope
+                .iter()
+                .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+                .collect(),
+        }
+    }
+
+    /// The observer's private tracer.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A metric name carrying the observer's scope labels plus `extra`.
+    fn name(&self, base: &str, extra: &[(&str, &str)]) -> String {
+        let mut pairs: Vec<(&str, &str)> = self
+            .scope
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        pairs.extend_from_slice(extra);
+        labeled(base, &pairs)
+    }
+
+    fn inc(&self, base: &str, by: u64) {
+        self.metrics.counter(&self.name(base, &[])).add(by);
+    }
+
+    fn latency_hist(&self, base: &str) -> Arc<Histogram> {
+        self.metrics
+            .histogram(&self.name(base, &[]), HistogramConfig::latency_ticks())
+    }
+
+    // --- Tick-loop events (serial path). -------------------------------
+
+    /// Admission outcome of one tick: `admitted`/`shed` are this tick's
+    /// deltas, `depth` the queue depth after admission.
+    pub(crate) fn admission(&self, tick: u64, admitted: u64, shed: u64, depth: usize) {
+        if admitted > 0 || shed > 0 {
+            self.tracer.event(
+                tick,
+                Stage::Admission,
+                tick,
+                format!("event=admit admitted={admitted} shed={shed} depth={depth}"),
+            );
+        }
+        if admitted > 0 {
+            self.inc("serve_admitted_total", admitted);
+        }
+        if shed > 0 {
+            self.inc("serve_shed_total", shed);
+        }
+        self.metrics
+            .gauge(&self.name("serve_queue_depth", &[]))
+            .set(depth as f64);
+        self.metrics
+            .histogram(
+                &self.name("serve_queue_depth_ticks", &[]),
+                HistogramConfig::latency_ticks(),
+            )
+            .observe(depth as f64);
+    }
+
+    /// A member crashed out of the routing set.
+    pub(crate) fn crash(&self, tick: u64, batch: u64, member: usize, restart_until: u64) {
+        self.tracer.event(
+            tick,
+            Stage::Crash,
+            member as u64,
+            format!("event=crash member={member} batch={batch} restart_until={restart_until}"),
+        );
+        self.inc("serve_crashes_total", 1);
+    }
+
+    /// A member recovered from the model cache and rejoined.
+    pub(crate) fn recover(&self, tick: u64, batch: u64, member: usize, latency_batches: u64) {
+        self.tracer.event(
+            tick,
+            Stage::Recover,
+            member as u64,
+            format!(
+                "event=recover member={member} batch={batch} latency_batches={latency_batches}"
+            ),
+        );
+        self.inc("serve_recoveries_total", 1);
+        self.latency_hist("serve_crash_recovery_latency_batches")
+            .observe(latency_batches as f64);
+    }
+
+    /// A pending compromise activated on its member.
+    pub(crate) fn compromise(&self, tick: u64, batch: u64, member: usize) {
+        self.tracer.event(
+            tick,
+            Stage::Compromise,
+            member as u64,
+            format!("event=compromise member={member} batch={batch}"),
+        );
+        self.inc("serve_compromises_total", 1);
+    }
+
+    /// One served micro-batch. Called from pool workers — trace only, no
+    /// metrics (worker-side metric updates would be order-dependent).
+    pub(crate) fn batch_served(&self, tick: u64, batch: &ServedBatch, size: usize, wall_ns: u64) {
+        let worst = batch.scores.iter().fold(0.0f64, |a, &s| a.max(s));
+        let text = if batch.scores.is_empty() {
+            format!(
+                "event=batch member={} size={size} degraded={}",
+                batch.member, batch.degraded
+            )
+        } else {
+            format!(
+                "event=batch member={} size={size} worst={worst:.4} alarmed={} masked={} degraded={}",
+                batch.member,
+                batch.alarmed,
+                batch.masked.len(),
+                batch.degraded
+            )
+        };
+        self.tracer
+            .event_timed(tick, Stage::Serve, batch.batch, text, wall_ns);
+    }
+
+    /// Serial per-batch accounting from the results loop: request count,
+    /// per-member batch counters, latency histograms, detector scores.
+    pub(crate) fn batch_outcomes(&self, batch: &ServedBatch, delays: &[(f64, f64)]) {
+        let member = batch.member.to_string();
+        self.metrics
+            .counter(&self.name("serve_batches_total", &[("member", &member)]))
+            .inc();
+        self.inc("serve_requests_total", delays.len() as u64);
+        let queue_delay = self.latency_hist("serve_queue_delay_ticks");
+        let latency = self.latency_hist("serve_latency_ticks");
+        for &(qd, sl) in delays {
+            queue_delay.observe(qd);
+            latency.observe(sl);
+        }
+        if !batch.scores.is_empty() {
+            let worst = batch.scores.iter().fold(0.0f64, |a, &s| a.max(s));
+            self.metrics
+                .histogram(
+                    &self.name("serve_detector_worst_score", &[]),
+                    HistogramConfig {
+                        lo: 0.125,
+                        growth: 2.0,
+                        buckets: 16,
+                    },
+                )
+                .observe(worst);
+            if batch.alarmed {
+                self.inc("serve_alarmed_batches_total", 1);
+            }
+        }
+    }
+
+    // --- Response-policy audit events (serial path). --------------------
+    //
+    // One event per decision, carrying the decision's inputs. `seq` is the
+    // global batch index of the alarming frame; the member id is in the
+    // text (one member can only produce one decision per batch).
+
+    fn policy(&self, tick: u64, batch: u64, text: String) {
+        self.tracer.event(tick, Stage::Policy, batch, text);
+    }
+
+    /// Sensor-health screen masked new channels: maintenance verdict.
+    pub(crate) fn sensor_mask(
+        &self,
+        tick: u64,
+        batch: u64,
+        member: usize,
+        newly: &[(BlockKind, usize, SensorChannel)],
+        total_masked: usize,
+        score: f64,
+    ) {
+        let masked: Vec<String> = newly
+            .iter()
+            .map(|&(k, i, c)| channel_tag(k, i, c))
+            .collect();
+        self.policy(
+            tick,
+            batch,
+            format!(
+                "event=sensor_mask member={member} masked=[{}] total={total_masked} \
+                 score={score:.4} action=maintenance",
+                masked.join(",")
+            ),
+        );
+        self.inc("serve_maintenance_total", 1);
+        self.inc("serve_masked_channels_total", newly.len() as u64);
+    }
+
+    /// Every mask cleared and the detectors went quiet: flag dropped.
+    pub(crate) fn mask_clear(&self, tick: u64, batch: u64, member: usize) {
+        self.policy(tick, batch, format!("event=mask_clear member={member}"));
+    }
+
+    /// An alarm classified as a coherent supply transient.
+    pub(crate) fn rail_glitch(
+        &self,
+        tick: u64,
+        batch: u64,
+        member: usize,
+        rail_z: f64,
+        threshold: f64,
+        score: f64,
+    ) {
+        self.policy(
+            tick,
+            batch,
+            format!(
+                "event=rail_glitch member={member} rail_z={rail_z:.3} threshold={threshold} \
+                 score={score:.4} action=maintenance"
+            ),
+        );
+        self.inc("serve_maintenance_total", 1);
+        self.inc("serve_rail_glitches_total", 1);
+    }
+
+    /// Banks implicated; the policy's disposition is in `action` (one of
+    /// `remap`, `backoff`, `remap_failed`, `failover`) with `detail`
+    /// appended verbatim.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn implicate(
+        &self,
+        tick: u64,
+        batch: u64,
+        member: usize,
+        banks: &[(BlockKind, usize, [f64; 4])],
+        score: f64,
+        action: &str,
+        detail: &str,
+    ) {
+        let tags: Vec<String> = banks
+            .iter()
+            .map(|(k, b, zs)| bank_tag(*k, *b, zs))
+            .collect();
+        self.policy(
+            tick,
+            batch,
+            format!(
+                "event=implicate member={member} banks=[{}] score={score:.4} \
+                 action={action}{detail}",
+                tags.join(",")
+            ),
+        );
+        self.inc("serve_implications_total", 1);
+    }
+
+    /// A remap was applied: spare accounting.
+    pub(crate) fn remap_applied(
+        &self,
+        quarantined_banks: usize,
+        remapped: usize,
+        unplaced: usize,
+        member: usize,
+        spare_level: usize,
+    ) {
+        self.inc("serve_remaps_total", 1);
+        self.inc("serve_quarantined_banks_total", quarantined_banks as u64);
+        self.inc("serve_remapped_rings_total", remapped as u64);
+        self.inc("serve_unplaced_rings_total", unplaced as u64);
+        let member = member.to_string();
+        self.metrics
+            .gauge(&self.name("serve_spare_rings", &[("member", &member)]))
+            .set(spare_level as f64);
+    }
+
+    /// A remap attempt was refused (spares dry) and will be retried.
+    pub(crate) fn remap_retry(&self) {
+        self.inc("serve_remap_retries_total", 1);
+    }
+
+    /// A lone-sensor verdict: quarantine the sensor, not the bank.
+    pub(crate) fn sensor_quarantine(
+        &self,
+        tick: u64,
+        batch: u64,
+        member: usize,
+        suspects: &[(BlockKind, usize, SensorChannel)],
+        score: f64,
+    ) {
+        let tags: Vec<String> = suspects
+            .iter()
+            .map(|&(k, i, c)| channel_tag(k, i, c))
+            .collect();
+        self.policy(
+            tick,
+            batch,
+            format!(
+                "event=sensor_quarantine member={member} suspects=[{}] score={score:.4} \
+                 action=maintenance",
+                tags.join(",")
+            ),
+        );
+        self.inc("serve_maintenance_total", 1);
+        self.inc("serve_sensor_quarantines_total", suspects.len() as u64);
+    }
+
+    /// An unlocalized alarm: patience counting toward failover.
+    pub(crate) fn unlocalized(
+        &self,
+        tick: u64,
+        batch: u64,
+        member: usize,
+        consecutive: usize,
+        score: f64,
+        action: &str,
+    ) {
+        self.policy(
+            tick,
+            batch,
+            format!(
+                "event=unlocalized member={member} consecutive={consecutive} score={score:.4} \
+                 action={action}"
+            ),
+        );
+        self.inc("serve_alarms_total", 1);
+        if action == "failover" {
+            self.inc("serve_failovers_total", 1);
+        }
+    }
+
+    /// A failover decided on the implication path (spares exhausted).
+    pub(crate) fn failover(&self) {
+        self.inc("serve_failovers_total", 1);
+    }
+
+    /// End-of-stream summary event.
+    pub(crate) fn stream_end(&self, tick: u64, served: usize, unserved: usize, shed: usize) {
+        self.tracer.event(
+            tick,
+            Stage::Summary,
+            0,
+            format!(
+                "event=stream_end served={served} unserved={unserved} shed={shed} ticks={tick}"
+            ),
+        );
+    }
+
+    /// Drains the tracer and renders both trace sections under `header`
+    /// lines, leaving the observer's registry untouched (the caller
+    /// snapshots the shared registry once all observers are drained).
+    /// Committed rendering is invalidated (annotated) if the tracer
+    /// overflowed and dropped events.
+    #[must_use]
+    pub fn drain(&self, header: &[String]) -> (String, String) {
+        let dropped = self.tracer.dropped();
+        let events = self.tracer.drain_sorted();
+        let mut header = header.to_vec();
+        if dropped > 0 {
+            header.push(format!("WARNING dropped={dropped} (trace incomplete)"));
+        }
+        let committed = safelight_obs::render_committed(&header, &events);
+        let profile = safelight_obs::render_profile(&events);
+        (committed, profile)
+    }
+}
+
+impl Default for ServeObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_metric_names_carry_labels() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = ServeObserver::with_scope(reg.clone(), &[("case", "03")]);
+        obs.inc("serve_admitted_total", 2);
+        let snap = reg.snapshot();
+        let text = snap.prometheus();
+        assert!(
+            text.contains("serve_admitted_total{case=\"03\"} 2"),
+            "missing scoped counter in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn drain_renders_header_and_sorted_events() {
+        let obs = ServeObserver::new();
+        obs.tracer()
+            .event(3, Stage::Serve, 1, "event=batch member=0".into());
+        obs.tracer().event(
+            1,
+            Stage::Admission,
+            1,
+            "event=admit admitted=4 shed=0 depth=4".into(),
+        );
+        let (committed, profile) = obs.drain(&["case=00 kind=fault".into()]);
+        assert!(committed.starts_with("# case=00 kind=fault\n"));
+        let lines: Vec<&str> = committed.lines().collect();
+        assert!(lines[1].contains("admission"), "{committed}");
+        assert!(lines[2].contains("serve"), "{committed}");
+        // No timed events: the profile section is just its header line.
+        assert_eq!(profile.lines().count(), 1, "{profile}");
+    }
+}

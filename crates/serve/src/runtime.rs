@@ -43,17 +43,21 @@
 //! so a served stream is byte-identical across worker-thread counts.
 
 use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
 
 use safelight::detect::{Detector, GuardBandDetector, MaskedChannel, SensorHealthScreen};
 use safelight::fault::{FaultPlan, FaultState};
 use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
 use safelight_neuro::{Network, Tensor};
+use safelight_obs::profile_span;
 use safelight_onn::{
     BlockKind, ConditionMap, InferenceBackend, MrCondition, SensorChannel, SentinelPlan, TapConfig,
     TelemetryFrame, TelemetryProbe, WeightMapping,
 };
 
+use crate::observe::ServeObserver;
 use crate::scheduler::{AdmissionQueue, Request, RequestOutcome};
 
 /// The workspace's shared stream-key fold (full avalanche per field),
@@ -602,9 +606,13 @@ impl FleetMember {
         policy: &PolicyConfig,
     ) -> Result<ServedBatch, SafelightError> {
         let inputs: Vec<&Tensor> = ids.iter().map(|&i| &requests[i].input).collect();
-        let predictions = self.backend.predict_batch(&mut self.effective, &inputs)?;
+        let predictions = {
+            let _span = profile_span("serve_predict");
+            self.backend.predict_batch(&mut self.effective, &inputs)?
+        };
         let degraded = self.is_degraded();
         let (scores, alarmed, frame, masked) = if policy.inline_detection {
+            let _span = profile_span("serve_detect");
             let mut raw = self
                 .probe
                 .frame(self.frames_emitted, fold(stream_seed, self.noise_salt));
@@ -644,6 +652,7 @@ impl FleetMember {
     /// operator knows the remap it just performed, so the expected sensor
     /// means are the remediated probe's, not the factory calibration's.
     fn recalibrate(&mut self, stream_seed: u64, frames: usize) -> Result<(), SafelightError> {
+        let _span = profile_span("recalibrate");
         let seed = fold(
             fold(stream_seed, self.noise_salt),
             0xCA11_B8A7 ^ self.remediations as u64,
@@ -682,6 +691,7 @@ impl FleetMember {
         policy: &PolicyConfig,
         allow_partial: bool,
     ) -> Result<Option<ResponseAction>, SafelightError> {
+        let _span = profile_span("remap");
         // Snapshot for rollback: a refused partial remap must leave the
         // mapping untouched, or the retry (and the eventual failover
         // accounting) would start from a half-consumed spare pool.
@@ -741,6 +751,7 @@ impl FleetMember {
         stream_seed: u64,
         recalibration_frames: usize,
     ) -> Result<(), SafelightError> {
+        let _span = profile_span("cache_recovery");
         if model_stamp(&self.clean) != self.cache_stamp {
             return Err(SafelightError::InvalidParameter {
                 name: "recovery cache stamp",
@@ -901,6 +912,9 @@ impl StreamOutcome {
 pub struct Fleet {
     members: Vec<FleetMember>,
     policy: PolicyConfig,
+    /// Optional observability sink: when attached, the tick loop and the
+    /// response policy emit structured trace events and metrics to it.
+    observer: Option<Arc<ServeObserver>>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -926,7 +940,24 @@ impl Fleet {
                 value: 0.0,
             });
         }
-        Ok(Self { members, policy })
+        Ok(Self {
+            members,
+            policy,
+            observer: None,
+        })
+    }
+
+    /// Attaches (or detaches, with `None`) an observability sink. The
+    /// observer's lifetime should span exactly one served stream: its
+    /// tracer accumulates events until [`ServeObserver::drain`].
+    pub fn set_observer(&mut self, observer: Option<Arc<ServeObserver>>) {
+        self.observer = observer;
+    }
+
+    /// The attached observability sink, if any.
+    #[must_use]
+    pub fn observer(&self) -> Option<&ServeObserver> {
+        self.observer.as_deref()
     }
 
     /// The fleet's members.
@@ -1089,13 +1120,22 @@ impl Fleet {
         // The policy is never mutated mid-stream; one clone outlives the
         // member borrows the tick loop takes.
         let policy = self.policy.clone();
+        let obs = self.observer.clone();
+        let mut prev_shed = 0usize;
         loop {
             // Admission: offer everything that has arrived by this tick,
             // in stream order. The queue sheds beyond its capacity.
+            let arrivals_before = next_arrival;
             while next_arrival < requests.len() && requests[next_arrival].arrived_at <= tick as f64
             {
                 queue.offer(next_arrival);
                 next_arrival += 1;
+            }
+            if let Some(o) = &obs {
+                let shed_now = queue.shed() - prev_shed;
+                prev_shed = queue.shed();
+                let admitted = (next_arrival - arrivals_before - shed_now) as u64;
+                o.admission(tick, admitted, shed_now as u64, queue.len());
             }
             if queue.is_empty() {
                 if next_arrival >= requests.len() {
@@ -1118,6 +1158,16 @@ impl Fleet {
                         .restart_until
                         .is_some_and(|until| next_batch as u64 >= until);
                 if due {
+                    if let Some(o) = &obs {
+                        let until = self.members[i].restart_until.unwrap_or(next_batch as u64);
+                        let crash_at = until.saturating_sub(policy.restart_batches);
+                        o.recover(
+                            tick,
+                            next_batch as u64,
+                            i,
+                            (next_batch as u64).saturating_sub(crash_at),
+                        );
+                    }
                     self.members[i].recover_from_cache(seed, policy.recalibration_frames)?;
                     events.push(PolicyEvent {
                         batch: next_batch as u64,
@@ -1147,6 +1197,9 @@ impl Fleet {
                     if member.state != MemberState::Failed {
                         member.state = MemberState::Restarting;
                         member.restart_until = Some(due_at + policy.restart_batches);
+                        if let Some(o) = &obs {
+                            o.crash(tick, due_at, member_id, due_at + policy.restart_batches);
+                        }
                         events.push(PolicyEvent {
                             batch: due_at,
                             member: member_id,
@@ -1178,6 +1231,9 @@ impl Fleet {
                 };
                 if due {
                     self.members[c.member].apply_compromise(c.conditions)?;
+                    if let Some(o) = &obs {
+                        o.compromise(tick, next_batch as u64, c.member);
+                    }
                     compromise_pending = None;
                 }
             }
@@ -1197,6 +1253,14 @@ impl Fleet {
                 // request could be served during it either way), so the
                 // recovery is fast-forwarded instead of spinning.
                 for i in restarting {
+                    if let Some(o) = &obs {
+                        let until = self.members[i].restart_until.unwrap_or(next_batch as u64);
+                        let crash_at = until.saturating_sub(policy.restart_batches);
+                        // The window is fast-forwarded, so the recovery
+                        // latency is the full restart window, not the
+                        // batches that happened to elapse.
+                        o.recover(tick, next_batch as u64, i, until.saturating_sub(crash_at));
+                    }
                     self.members[i].recover_from_cache(seed, policy.recalibration_frames)?;
                     events.push(PolicyEvent {
                         batch: next_batch as u64,
@@ -1228,14 +1292,26 @@ impl Fleet {
             let served = tasks.len();
             let results: Vec<Result<(ServedBatch, Vec<usize>), SafelightError>> =
                 par_map(tasks, threads, |(member, bi, ids)| {
+                    // Wall-clock is read only when observed; the timing
+                    // rides the trace's uncommitted profile section, so
+                    // the committed artifact stays machine-independent.
+                    let start = obs.is_some().then(Instant::now);
                     let batch = member.serve_batch(requests, &ids, bi, seed, &policy)?;
+                    if let Some(o) = &obs {
+                        let wall = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+                        o.batch_served(tick, &batch, ids.len(), wall);
+                    }
                     Ok((batch, ids))
                 });
             for result in results {
                 let (batch, ids) = result?;
+                let mut delays = obs.as_ref().map(|_| Vec::with_capacity(ids.len()));
                 for (&idx, &prediction) in ids.iter().zip(&batch.predictions) {
                     let req = &requests[idx];
                     let queue_delay = tick as f64 - req.arrived_at;
+                    if let Some(d) = &mut delays {
+                        d.push((queue_delay, queue_delay + 1.0));
+                    }
                     outcomes.push(RequestOutcome {
                         id: req.id,
                         prediction,
@@ -1246,8 +1322,11 @@ impl Fleet {
                         service_latency: queue_delay + 1.0,
                     });
                 }
+                if let Some(o) = &obs {
+                    o.batch_outcomes(&batch, delays.as_deref().unwrap_or(&[]));
+                }
                 if self.policy.respond && !batch.scores.is_empty() {
-                    self.process_batch(&batch, seed, &mut events)?;
+                    self.process_batch(&batch, tick, seed, &mut events)?;
                 }
             }
             next_batch += served;
@@ -1255,6 +1334,9 @@ impl Fleet {
         }
         let shed = queue.shed();
         let unserved = requests.len() - outcomes.len() - shed;
+        if let Some(o) = &obs {
+            o.stream_end(tick, outcomes.len(), unserved, shed);
+        }
         Ok(StreamOutcome {
             outcomes,
             events,
@@ -1272,9 +1354,11 @@ impl Fleet {
     fn process_batch(
         &mut self,
         batch: &ServedBatch,
+        tick: u64,
         seed: u64,
         events: &mut Vec<PolicyEvent>,
     ) -> Result<(), SafelightError> {
+        let _span = profile_span("process_batch");
         let worst = batch.scores.iter().fold(0.0f64, |a, &s| a.max(s));
         let healthy_peers = self
             .members
@@ -1282,6 +1366,7 @@ impl Fleet {
             .filter(|m| m.id != batch.member && m.serves())
             .count();
         let policy = self.policy.clone();
+        let obs = self.observer.clone();
         let member = &mut self.members[batch.member];
 
         // --- Sensor-health bookkeeping, independent of the trojan verdict.
@@ -1292,6 +1377,16 @@ impl Fleet {
             .filter(|key| !member.flagged.contains(key))
             .collect();
         if !newly_masked.is_empty() {
+            if let Some(o) = &obs {
+                o.sensor_mask(
+                    tick,
+                    batch.batch,
+                    batch.member,
+                    &newly_masked,
+                    batch.masked.len(),
+                    worst,
+                );
+            }
             member.flagged.extend(newly_masked);
             if member.state == MemberState::Healthy {
                 member.state = MemberState::Suspect;
@@ -1317,6 +1412,9 @@ impl Fleet {
             // detectors are quiet: drop the maintenance flag.
             member.state = MemberState::Healthy;
             member.flagged.clear();
+            if let Some(o) = &obs {
+                o.mask_clear(tick, batch.batch, batch.member);
+            }
         }
 
         if !batch.alarmed {
@@ -1334,7 +1432,18 @@ impl Fleet {
         // 1. A coherent rail dip across *every* bank of a block is a
         //    supply-side transient: a trojan tapping a fraction of the
         //    rings cannot dim them all at once.
-        if member.guard.coherent_rail_shift(frame) >= policy.rail_glitch_z {
+        let rail_z = member.guard.coherent_rail_shift(frame);
+        if rail_z >= policy.rail_glitch_z {
+            if let Some(o) = &obs {
+                o.rail_glitch(
+                    tick,
+                    batch.batch,
+                    batch.member,
+                    rail_z,
+                    policy.rail_glitch_z,
+                    worst,
+                );
+            }
             if member.state == MemberState::Healthy {
                 member.state = MemberState::Suspect;
             }
@@ -1356,32 +1465,107 @@ impl Fleet {
         //    at least two sensor fields moved together. One lone non-drop
         //    field is a sensor story, not a physics story.
         let fields = member.guard.field_excursions(frame);
-        let implicated: Vec<(BlockKind, usize)> = fields
+        let implicated_full: Vec<(BlockKind, usize, [f64; 4])> = fields
             .iter()
             .filter(|(_, _, zs)| {
                 zs[0] >= policy.implicate_z
                     || zs.iter().filter(|&&z| z >= policy.implicate_z).count() >= 2
             })
+            .copied()
+            .collect();
+        let implicated: Vec<(BlockKind, usize)> = implicated_full
+            .iter()
             .map(|&(kind, bank, _)| (kind, bank))
             .collect();
         let action = if !implicated.is_empty() {
             if batch.batch < member.retry_after_batch {
                 // Backing off a failed remap attempt: keep alarming
                 // without spending spares until the retry window opens.
+                if let Some(o) = &obs {
+                    o.implicate(
+                        tick,
+                        batch.batch,
+                        batch.member,
+                        &implicated_full,
+                        worst,
+                        "backoff",
+                        &format!(" retry_after={}", member.retry_after_batch),
+                    );
+                }
                 ResponseAction::Alarm
             } else {
                 match member.quarantine_and_remap(&implicated, seed, &policy, healthy_peers == 0)? {
-                    Some(action) => action,
+                    Some(action) => {
+                        if let (
+                            Some(o),
+                            ResponseAction::Remap {
+                                quarantined_banks,
+                                remapped_rings,
+                                unplaced_rings,
+                            },
+                        ) = (&obs, &action)
+                        {
+                            let spares = member.mapping.idle_slots(BlockKind::Conv).len()
+                                + member.mapping.idle_slots(BlockKind::Fc).len();
+                            o.implicate(
+                                tick,
+                                batch.batch,
+                                batch.member,
+                                &implicated_full,
+                                worst,
+                                "remap",
+                                &format!(
+                                    " quarantined={quarantined_banks} \
+                                     remapped={remapped_rings} unplaced={unplaced_rings}"
+                                ),
+                            );
+                            o.remap_applied(
+                                *quarantined_banks,
+                                *remapped_rings,
+                                *unplaced_rings,
+                                batch.member,
+                                spares,
+                            );
+                        }
+                        action
+                    }
                     None => {
                         member.remap_attempts += 1;
                         if member.remap_attempts > policy.remap_retries {
                             // Spares exhausted beyond patience and a
                             // healthy peer exists: fail over.
                             member.state = MemberState::Failed;
+                            if let Some(o) = &obs {
+                                o.implicate(
+                                    tick,
+                                    batch.batch,
+                                    batch.member,
+                                    &implicated_full,
+                                    worst,
+                                    "failover",
+                                    " reason=spares_exhausted",
+                                );
+                                o.failover();
+                            }
                             ResponseAction::Failover
                         } else {
                             member.retry_after_batch = batch.batch
                                 + (policy.remap_backoff_batches << (member.remap_attempts - 1));
+                            if let Some(o) = &obs {
+                                o.implicate(
+                                    tick,
+                                    batch.batch,
+                                    batch.member,
+                                    &implicated_full,
+                                    worst,
+                                    "remap_failed",
+                                    &format!(
+                                        " attempts={} retry_after={}",
+                                        member.remap_attempts, member.retry_after_batch
+                                    ),
+                                );
+                                o.remap_retry();
+                            }
                             ResponseAction::Alarm
                         }
                     }
@@ -1424,13 +1608,28 @@ impl Fleet {
             if suspects.is_empty() {
                 // 4. Unlocalized alarm: patience, then failover.
                 member.unlocalized_alarms += 1;
-                if member.unlocalized_alarms >= policy.unlocalized_patience && healthy_peers > 0 {
+                let failing =
+                    member.unlocalized_alarms >= policy.unlocalized_patience && healthy_peers > 0;
+                if let Some(o) = &obs {
+                    o.unlocalized(
+                        tick,
+                        batch.batch,
+                        batch.member,
+                        member.unlocalized_alarms,
+                        worst,
+                        if failing { "failover" } else { "alarm" },
+                    );
+                }
+                if failing {
                     member.state = MemberState::Failed;
                     ResponseAction::Failover
                 } else {
                     ResponseAction::Alarm
                 }
             } else {
+                if let Some(o) = &obs {
+                    o.sensor_quarantine(tick, batch.batch, batch.member, &suspects, worst);
+                }
                 for &(kind, index, channel) in &suspects {
                     member.screen.quarantine_channel(kind, index, channel);
                     if !member.flagged.contains(&(kind, index, channel)) {
@@ -2089,5 +2288,48 @@ mod tests {
         assert_eq!(out.outcomes, other.outcomes);
         assert_eq!(out.events, other.events);
         assert_eq!((out.shed, out.ticks), (other.shed, other.ticks));
+    }
+
+    /// The obs histogram's percentile estimate on real serving latencies
+    /// stays within one log-bucket width of the exact nearest-rank
+    /// [`crate::scheduler::percentile`] — the accuracy contract the
+    /// serving metrics (`serve_latency_ticks` et al.) rely on.
+    #[test]
+    fn histogram_percentiles_track_exact_on_serving_latencies() {
+        use crate::scheduler::{percentile, ArrivalModel};
+        use safelight_obs::{Histogram, HistogramConfig};
+        let model = ArrivalModel::Bursty {
+            rate: 24.0,
+            burst: 12,
+        };
+        let schedule = model.schedule(96, 11);
+        let mut reqs = requests(96);
+        for (r, t) in reqs.iter_mut().zip(&schedule) {
+            r.arrived_at = *t;
+        }
+        let (mut fleet, _) = make_fleet(2, true);
+        let out = fleet.serve_queue(&reqs, 8, 10, None, None, 7, 2).unwrap();
+        let sorted = out.sorted_latencies();
+        assert!(sorted.len() >= 16, "want a real latency spread");
+        assert!(sorted.last() > sorted.first(), "latencies all equal");
+        let hist = Histogram::new(HistogramConfig::latency_ticks());
+        for &v in &sorted {
+            hist.observe(v);
+        }
+        let config = hist.config();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = percentile(&sorted, q);
+            let est = hist.percentile(q);
+            let bucket = config.bucket_of(exact);
+            let width = if bucket == 0 {
+                config.upper_bound(0)
+            } else {
+                config.upper_bound(bucket) - config.upper_bound(bucket - 1)
+            };
+            assert!(
+                est >= exact && est - exact <= width,
+                "q={q}: est {est} vs exact {exact} (bucket width {width})"
+            );
+        }
     }
 }
