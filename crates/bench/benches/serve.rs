@@ -8,9 +8,10 @@
 //! Besides the criterion timings, `emit_baseline` writes a
 //! `BENCH_serve.json` snapshot (steady-state batch latency, detection
 //! overhead fraction, the observability-plane instrumentation overhead
-//! with a `ServeObserver` attached and profiling on, alarm-path and
-//! fault-path latency, and the open-loop throughput-vs-p99 saturation
-//! sweep) at the repository root
+//! with a `ServeObserver` attached and profiling on, the SLO
+//! alert-evaluation path cost, alarm-path and fault-path latency, and
+//! the open-loop throughput-vs-p99 saturation sweep) at the repository
+//! root
 //! — NOT under `target/`, which `cargo clean` and CI cache eviction
 //! silently destroy — so later PRs can diff serving-path regressions
 //! without parsing bench logs. The open-loop curve is measured in
@@ -25,7 +26,7 @@ use safelight::fault::FaultPlan;
 use safelight::models::{build_model, dataset_kind_for, matched_accelerator, ModelKind};
 use safelight_datasets::SyntheticSpec;
 use safelight_neuro::Dataset;
-use safelight_obs::set_profile_enabled;
+use safelight_obs::{set_profile_enabled, MetricsRegistry, SloSpec};
 use safelight_onn::{
     AcceleratorConfig, AnalyticBackend, BlockKind, ConditionMap, MrCondition, SentinelPlan,
     TapConfig, TelemetryProbe, WeightMapping,
@@ -249,6 +250,35 @@ fn emit_baseline(c: &mut Criterion) {
     set_profile_enabled(false);
     let instrumentation_overhead = (batch_instrumented - batch_with).max(0.0) / batch_with;
 
+    // Alert-evaluation path: the same instrumented workload with an SLO
+    // attached; `alert_path_seconds` times the end-of-stream rule
+    // evaluation itself (snapshot + threshold + burn-rate rules) and the
+    // implied per-stream overhead fraction is the ≤ 3 % bar CI gates on.
+    let slo = SloSpec::default();
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let observer = std::sync::Arc::new(ServeObserver::with_scope_slo(
+        registry,
+        &[("bench", "alert")],
+        Some(&slo),
+    ));
+    let mut judged = make_fleet(&s, 2, PolicyConfig::baseline(s.thresholds.clone()));
+    judged.set_observer(Some(observer.clone()));
+    judged
+        .serve_stream(&s.requests, 16, None, 0x5EED, 2)
+        .unwrap();
+    let alert_path = {
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let _ = observer.evaluate_alerts();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    let alert_overhead = alert_path / (batch_with * batches as f64);
+
     let mut attack = ConditionMap::new();
     let per_bank = s.config.block(BlockKind::Conv).mrs_per_bank() as u64;
     for ring in 0..2 * per_bank {
@@ -331,6 +361,8 @@ fn emit_baseline(c: &mut Criterion) {
          \"inline_detection_overhead_fraction\":{overhead},\
          \"steady_batch_seconds_instrumented\":{batch_instrumented},\
          \"instrumentation_overhead_fraction\":{instrumentation_overhead},\
+         \"alert_path_seconds\":{alert_path},\
+         \"alert_evaluation_overhead_fraction\":{alert_overhead},\
          \"alarm_path_seconds\":{alarm_path},\
          \"fault_path_seconds\":{fault_path},\
          \"open_loop\":{}}}\n",
@@ -345,6 +377,7 @@ fn emit_baseline(c: &mut Criterion) {
     println!(
         "BENCH_serve baseline: batch {:.3} ms w/ detection, {:.3} ms without \
          (overhead {:.1} %), instrumented {:.3} ms (obs overhead {:.1} %), \
+         alert evaluation {:.3} ms ({:.2} % of stream), \
          alarm path {:.1} ms, fault path {:.1} ms, \
          open-loop saturation at rate {} → {}",
         batch_with * 1e3,
@@ -352,6 +385,8 @@ fn emit_baseline(c: &mut Criterion) {
         overhead * 100.0,
         batch_instrumented * 1e3,
         instrumentation_overhead * 100.0,
+        alert_path * 1e3,
+        alert_overhead * 100.0,
         alarm_path * 1e3,
         fault_path * 1e3,
         sweep.saturation_rate,

@@ -5,7 +5,7 @@
 //!       [--vectors LIST] [--selections LIST] [--json]
 //!       [--backend fast|optical|quantized[:WBITS[:RBITS]]]
 //!       [--rate R|inf] [--arrival closed|poisson:R|bursty:R[:B]]
-//!       [--profile] [--quiet] [--verbose]
+//!       [--slo SPEC] [--profile] [--quiet] [--verbose]
 //!       [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--detection]
 //!       [--serve] [--chaos] [--ablation] [--all]
 //! ```
@@ -46,7 +46,14 @@
 //! `--serve`/`--chaos` evaluations: the committed (deterministic) audit
 //! trace, the wall-clock profile sidecar and the metrics snapshot are
 //! written next to the report artifacts, and a per-phase timing table is
-//! printed at the end of the run. `--quiet` suppresses progress chatter
+//! printed at the end of the run. `--slo SPEC` attaches a service-level
+//! objective to those evaluations (`default`, or comma-separated
+//! overrides like `avail=0.9,p99=16,p999=32,shed=0.05,spurious=0`):
+//! every serving/chaos row gains SLO verdict columns, the virtual-time
+//! alert rules are evaluated over the metric streams (firings land in
+//! the audit trace and metrics snapshot), and incident forensics
+//! reconstructs one report per injected fault/attack, written as
+//! `<stem>_incidents.txt`/`.json`. `--quiet` suppresses progress chatter
 //! (result tables still print); `--verbose` adds debug detail. See
 //! `docs/observability.md`.
 
@@ -61,7 +68,7 @@ use safelight::models::{table1, ModelKind};
 use safelight::prelude::*;
 use safelight_obs::{
     debug, error, info, profile_phases, profile_reset, render_table, result, set_max_level,
-    set_profile_enabled, Level,
+    set_profile_enabled, Level, SloSpec,
 };
 use safelight_onn::{BackendKind, BlockKind};
 use safelight_serve::{ArrivalModel, ObsArtifacts};
@@ -74,6 +81,7 @@ struct Args {
     selections: Vec<Selection>,
     backend: BackendKind,
     arrival: ArrivalModel,
+    slo: Option<SloSpec>,
     json: bool,
     profile: bool,
     table1: bool,
@@ -119,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
         selections: vec![Selection::Uniform],
         backend: BackendKind::Fast,
         arrival: ArrivalModel::Closed,
+        slo: None,
         json: false,
         profile: false,
         table1: false,
@@ -170,6 +179,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--arrival" => {
                 args.arrival = iter.next().ok_or("--arrival needs a value")?.parse()?;
+            }
+            "--slo" => {
+                args.slo = Some(iter.next().ok_or("--slo needs a value")?.parse()?);
             }
             "--out-dir" => {
                 args.out_dir = PathBuf::from(iter.next().ok_or("--out-dir needs a value")?);
@@ -233,6 +245,7 @@ fn parse_args() -> Result<Args, String> {
                      stacked|extended] [--selections uniform,clustered,targeted|all] \
                      [--backend fast|optical|quantized[:WBITS[:RBITS]]] \
                      [--rate R|inf] [--arrival closed|poisson:R|bursty:R[:B]] \
+                     [--slo default|avail=A,p99=T,p999=T,shed=S,spurious=N] \
                      [--json] [--profile] [--quiet] [--verbose] \
                      [--table1] [--fig6] [--fig7] [--fig8] [--fig9] \
                      [--detection] [--serve] [--chaos] [--ablation] [--all]"
@@ -274,10 +287,11 @@ fn write_artifact(out_dir: &std::path::Path, stem: &str, csv: &str, json: Option
     }
 }
 
-/// Writes the observability artifacts of a `--profile` run under
+/// Writes the observability artifacts of a `--profile`/`--slo` run under
 /// `out_dir`: the committed (deterministic) trace, the wall-clock profile
-/// sidecar and the metrics snapshot in Prometheus/CSV (and, with
-/// `--json`, JSON) renderings.
+/// sidecar, the metrics snapshot in Prometheus/CSV (and, with `--json`,
+/// JSON) renderings, and — when an SLO judged the run — the incident
+/// forensics reports.
 fn write_obs_artifacts(out_dir: &std::path::Path, stem: &str, obs: &ObsArtifacts, json: bool) {
     std::fs::create_dir_all(out_dir).ok();
     let write = |suffix: &str, body: &str| {
@@ -298,6 +312,53 @@ fn write_obs_artifacts(out_dir: &std::path::Path, stem: &str, obs: &ObsArtifacts
         trace.display(),
         prom.display()
     );
+    if !obs.incidents.is_empty() {
+        let txt = write(
+            "_incidents.txt",
+            &safelight_serve::incidents_txt(&obs.incidents),
+        );
+        if json {
+            write(
+                "_incidents.json",
+                &safelight_serve::incidents_json(&obs.incidents),
+            );
+        }
+        let matched = obs.incidents.iter().filter(|i| i.root_cause_match).count();
+        result!(
+            "incident forensics: {} incident(s), {} root-cause matched, written to {}",
+            obs.incidents.len(),
+            matched,
+            txt.display()
+        );
+    }
+}
+
+/// Prints the per-row SLO verdict table shared by `--serve` and `--chaos`
+/// (`rows` pairs a row label with its verdict, if any).
+fn print_slo_verdicts<'a>(
+    rows: impl Iterator<Item = (String, Option<&'a safelight_obs::SloVerdict>)>,
+) {
+    result!(
+        "\nSLO verdicts:\n{:<44} {:>5} {:>12} {:<40}",
+        "row",
+        "pass",
+        "burn",
+        "violations"
+    );
+    for (label, verdict) in rows {
+        let Some(v) = verdict else { continue };
+        result!(
+            "{:<44} {:>5} {:>12.3} {:<40}",
+            label,
+            if v.pass { "ok" } else { "FAIL" },
+            v.budget_burn,
+            if v.violated.is_empty() {
+                "none".to_string()
+            } else {
+                v.violated.join("+")
+            }
+        );
+    }
 }
 
 fn print_table1() -> Result<(), SafelightError> {
@@ -592,10 +653,12 @@ fn print_serve(
     json: bool,
     arrival: ArrivalModel,
     profile: bool,
+    slo: Option<SloSpec>,
 ) -> Result<(), SafelightError> {
     result!("\n=== Serving ({kind}): closed-loop secure serving runtime ===");
+    let observe = profile || slo.is_some();
     let (_, report, obs) =
-        safelight_serve::eval::run_serving_experiment_observed(kind, opts, arrival, profile)?;
+        safelight_serve::eval::run_serving_experiment_observed(kind, opts, arrival, observe, slo)?;
     result!(
         "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, onset at {}, \
          arrival {}]",
@@ -680,6 +743,19 @@ fn print_serve(
             r.shed_rate * 100.0
         );
     }
+    if report.rows.iter().any(|r| r.slo.is_some()) {
+        print_slo_verdicts(report.rows.iter().map(|r| {
+            (
+                format!(
+                    "{} {} {:.0}%",
+                    r.scenario.vector_label(),
+                    r.scenario.selection,
+                    r.scenario.fraction * 100.0
+                ),
+                r.slo.as_ref(),
+            )
+        }));
+    }
     write_artifact(
         out_dir,
         &format!("serving_{}", kind.label().to_lowercase()),
@@ -750,10 +826,12 @@ fn print_chaos(
     json: bool,
     arrival: ArrivalModel,
     profile: bool,
+    slo: Option<SloSpec>,
 ) -> Result<(), SafelightError> {
     result!("\n=== Chaos ({kind}): benign faults vs trojans on the fault-tolerant runtime ===");
+    let observe = profile || slo.is_some();
     let (_, report, obs) =
-        safelight_serve::chaos::run_chaos_experiment_observed(kind, opts, arrival, profile)?;
+        safelight_serve::chaos::run_chaos_experiment_observed(kind, opts, arrival, observe, slo)?;
     result!(
         "clean fleet accuracy: {}   [fleet {} × batch {} × {} batches, trojan onset at {}, \
          arrival {}]",
@@ -821,6 +899,22 @@ fn print_chaos(
             r.shed_rate * 100.0,
             r.action
         );
+    }
+    if report.rows.iter().any(|r| r.slo.is_some()) {
+        print_slo_verdicts(report.rows.iter().map(|r| {
+            (
+                format!(
+                    "{} {}",
+                    r.kind,
+                    if r.fault.is_empty() {
+                        &r.scenario
+                    } else {
+                        &r.fault
+                    }
+                ),
+                r.slo.as_ref(),
+            )
+        }));
     }
     write_artifact(
         out_dir,
@@ -940,6 +1034,7 @@ fn main() {
                     args.json,
                     args.arrival,
                     args.profile,
+                    args.slo,
                 )?;
             }
             if args.chaos {
@@ -950,6 +1045,7 @@ fn main() {
                     args.json,
                     args.arrival,
                     args.profile,
+                    args.slo,
                 )?;
             }
             if args.ablation {

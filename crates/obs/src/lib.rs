@@ -7,6 +7,10 @@
 //! - [`log`] — a leveled logger for human-facing diagnostics. Library
 //!   crates report through it instead of printing; binaries pick the
 //!   verbosity (`--quiet`/`--verbose` on `repro`).
+//! - [`alert`] — the judgment layer: serializable SLO specs plus
+//!   threshold and multi-window burn-rate alerting rules, evaluated
+//!   against metric snapshots on virtual time only, so alert firings are
+//!   byte-identical across worker-thread counts.
 //! - [`trace`] — deterministic structured tracing. Events carry the serve
 //!   plane's *virtual-time* tick plus a stable sequence key; the merge
 //!   step orders them `(virtual time, key, payload)` so the committed
@@ -28,11 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use crate::alert::{
+    default_rules, error_budget_burn, AlertEngine, AlertFiring, AlertKind, AlertRule, Cmp,
+    SloInput, SloSpec, SloVerdict,
+};
 pub use crate::log::{max_level, set_max_level, Level};
 pub use crate::metrics::{
     labeled, Counter, Gauge, Histogram, HistogramConfig, MetricsRegistry, MetricsSnapshot,

@@ -13,8 +13,14 @@
 //! emitter style as `serve::report`.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Largest number of observations a [`Histogram`] keeps as exact samples.
+/// At or below this count `percentile` answers exactly (nearest rank over
+/// the sorted reservoir); beyond it the reservoir spills and estimates
+/// fall back to bucket upper bounds, exact to within one bucket width.
+pub const EXACT_SAMPLE_CAP: usize = 1024;
 
 /// Monotonic counter.
 #[derive(Debug, Default)]
@@ -111,12 +117,21 @@ impl HistogramConfig {
     }
 }
 
-/// Log-bucketed histogram with atomic bucket counts.
+/// Log-bucketed histogram with atomic bucket counts and a bounded
+/// reservoir of exact samples.
 ///
-/// Percentile estimates are exact to within one bucket width of the
-/// nearest-rank percentile of the recorded samples (tested against
-/// `serve::scheduler::percentile`). Merging adds bucket counts, which is
-/// associative and commutative.
+/// Up to [`EXACT_SAMPLE_CAP`] finite observations are retained verbatim,
+/// so `percentile` is *exact* on short streams (the 192-request serving
+/// streams SLO verdicts depend on). Past the cap — or on any non-finite
+/// observation — the reservoir spills and estimates fall back to bucket
+/// upper bounds, exact to within one bucket width of the nearest-rank
+/// percentile (tested against `serve::scheduler::percentile`). Whether
+/// the reservoir spills depends only on the total observation count and
+/// finiteness, never on thread interleaving, and the retained multiset
+/// is order-independent, so percentiles stay deterministic artifacts.
+/// Merging adds bucket counts, which is associative and commutative;
+/// reservoirs concatenate while the union fits and spill otherwise,
+/// which preserves associativity of the merged state.
 #[derive(Debug)]
 pub struct Histogram {
     config: HistogramConfig,
@@ -125,6 +140,9 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    /// Exact samples until `spilled`; cleared on spill.
+    samples: Mutex<Vec<f64>>,
+    spilled: AtomicBool,
 }
 
 impl Histogram {
@@ -136,6 +154,8 @@ impl Histogram {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            samples: Mutex::new(Vec::new()),
+            spilled: AtomicBool::new(false),
         }
     }
 
@@ -156,6 +176,27 @@ impl Histogram {
         fold_f64(&self.sum_bits, v, |acc, v| acc + v);
         fold_f64(&self.min_bits, v, f64::min);
         fold_f64(&self.max_bits, v, f64::max);
+        self.note_sample(v);
+    }
+
+    /// Feed the exact-sample reservoir; spill (and free) it on the first
+    /// non-finite observation or when the cap is exceeded. `spilled` is
+    /// only ever set under the samples lock, so the double check is safe.
+    fn note_sample(&self, v: f64) {
+        if self.spilled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut s = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if self.spilled.load(Ordering::Relaxed) {
+            return;
+        }
+        if !v.is_finite() || s.len() >= EXACT_SAMPLE_CAP {
+            self.spilled.store(true, Ordering::Relaxed);
+            s.clear();
+            s.shrink_to_fit();
+        } else {
+            s.push(v);
+        }
     }
 
     /// Total number of observations.
@@ -196,12 +237,28 @@ impl Histogram {
             .collect()
     }
 
-    /// Nearest-rank percentile estimate for `q` in `(0, 1]`: the upper
-    /// bound of the bucket holding the rank-`⌈q·n⌉` sample (the recorded
-    /// max for the overflow bucket, so the estimate never exceeds it).
+    /// Nearest-rank percentile for `q` in `(0, 1]`. While the exact
+    /// reservoir holds (≤ [`EXACT_SAMPLE_CAP`] finite samples) this is
+    /// the rank-`⌈q·n⌉` sample itself — exact, matching
+    /// `scheduler::percentile`. After a spill it is the upper bound of
+    /// the bucket holding that rank (the recorded max for the overflow
+    /// bucket, so the estimate never exceeds it).
     ///
     /// NaN on an empty histogram, matching `scheduler::percentile`.
     pub fn percentile(&self, q: f64) -> f64 {
+        if !self.spilled.load(Ordering::Relaxed) {
+            let s = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+            if !self.spilled.load(Ordering::Relaxed) {
+                if s.is_empty() {
+                    return f64::NAN;
+                }
+                let mut sorted = s.clone();
+                sorted.sort_by(f64::total_cmp);
+                let n = sorted.len();
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                return sorted[rank - 1];
+            }
+        }
         let counts = self.bucket_counts();
         let n: u64 = counts.iter().sum();
         if n == 0 {
@@ -244,6 +301,32 @@ impl Histogram {
             f64::from_bits(other.max_bits.load(Ordering::Relaxed)),
             f64::max,
         );
+        // Reservoirs concatenate while both sides are exact and the union
+        // still fits; otherwise this side spills. The final spilled state
+        // depends only on the total count and per-part spill flags, never
+        // on merge grouping, so merging stays associative.
+        let theirs = {
+            let o = other.samples.lock().unwrap_or_else(|e| e.into_inner());
+            if other.spilled.load(Ordering::Relaxed) {
+                None
+            } else {
+                Some(o.clone())
+            }
+        };
+        let mut mine = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        match theirs {
+            Some(os)
+                if !self.spilled.load(Ordering::Relaxed)
+                    && mine.len() + os.len() <= EXACT_SAMPLE_CAP =>
+            {
+                mine.extend_from_slice(&os);
+            }
+            _ => {
+                self.spilled.store(true, Ordering::Relaxed);
+                mine.clear();
+                mine.shrink_to_fit();
+            }
+        }
     }
 }
 
@@ -333,6 +416,7 @@ impl MetricsRegistry {
                         max: h.max(),
                         p50: h.percentile(0.50),
                         p99: h.percentile(0.99),
+                        p999: h.percentile(0.999),
                     },
                 };
                 (name.clone(), value)
@@ -344,13 +428,33 @@ impl MetricsRegistry {
 
 /// Compose a metric name with `label="value"` pairs,
 /// Prometheus-style: `labeled("x_total", &[("member", "1")])` →
-/// `x_total{member="1"}`.
+/// `x_total{member="1"}`. Label values are escaped (backslash, double
+/// quote, newline — the Prometheus text-format rules), so a hostile
+/// value cannot break out of its quotes or inject exposition lines.
 pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
     }
-    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
     format!("{name}{{{}}}", body.join(","))
+}
+
+/// Backslash-escape `\`, `"`, and newline in a label value (the escape
+/// set of the Prometheus text exposition format).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Point-in-time value of one metric.
@@ -377,6 +481,8 @@ pub enum SnapshotValue {
         p50: f64,
         /// 99th-percentile estimate.
         p99: f64,
+        /// 99.9th-percentile estimate.
+        p999: f64,
     },
 }
 
@@ -416,10 +522,22 @@ fn csv_num(v: f64) -> String {
 }
 
 /// Split `name{labels}` into (base, labels-with-braces-stripped).
-fn split_labels(name: &str) -> (&str, Option<&str>) {
+pub(crate) fn split_labels(name: &str) -> (&str, Option<&str>) {
     match name.split_once('{') {
         Some((base, rest)) => (base, rest.strip_suffix('}')),
         None => (name, None),
+    }
+}
+
+/// A raw newline or carriage return in a metric *name* would break the
+/// line-oriented exposition; escape it visibly. Label values are already
+/// escaped upstream in [`labeled`], so this only fires on hostile base
+/// names.
+fn prom_name(name: &str) -> String {
+    if name.contains(['\n', '\r']) {
+        name.replace('\r', "\\r").replace('\n', "\\n")
+    } else {
+        name.to_string()
     }
 }
 
@@ -429,6 +547,8 @@ impl MetricsSnapshot {
         let mut out = String::new();
         let mut last_typed: Option<String> = None;
         for (name, value) in &self.entries {
+            let name = prom_name(name);
+            let name = name.as_str();
             let (base, _) = split_labels(name);
             let ty = match value {
                 SnapshotValue::Counter(_) => "counter",
@@ -494,17 +614,19 @@ impl MetricsSnapshot {
                     max,
                     p50,
                     p99,
+                    p999,
                     ..
                 } => {
                     let rendered: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
                     format!(
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"bucket_counts\":[{}]}}",
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"bucket_counts\":[{}]}}",
                         counts.iter().sum::<u64>(),
                         json_num(*sum),
                         json_num(*min),
                         json_num(*max),
                         json_num(*p50),
                         json_num(*p99),
+                        json_num(*p999),
                         rendered.join(",")
                     )
                 }
@@ -514,17 +636,20 @@ impl MetricsSnapshot {
         format!("{{{}}}\n", parts.join(","))
     }
 
-    /// CSV: `# name,type,value,count,sum,min,max,p50,p99` header comment
-    /// then one row per metric (histogram rows fill every column).
+    /// CSV: `# name,type,value,count,sum,min,max,p50,p99,p999` header
+    /// comment then one row per metric (histogram rows fill every
+    /// column). Names containing commas, quotes, or newlines — labeled
+    /// series always do — are RFC 4180-quoted so the rows stay parseable.
     pub fn csv(&self) -> String {
-        let mut out = String::from("# name,type,value,count,sum,min,max,p50,p99\n");
+        let mut out = String::from("# name,type,value,count,sum,min,max,p50,p99,p999\n");
         for (name, value) in &self.entries {
+            let name = csv_field(name);
             let row = match value {
                 SnapshotValue::Counter(v) => {
-                    format!("{name},counter,{v},,,,,,")
+                    format!("{name},counter,{v},,,,,,,")
                 }
                 SnapshotValue::Gauge(v) => {
-                    format!("{name},gauge,{},,,,,,", csv_num(*v))
+                    format!("{name},gauge,{},,,,,,,", csv_num(*v))
                 }
                 SnapshotValue::Histogram {
                     counts,
@@ -533,16 +658,18 @@ impl MetricsSnapshot {
                     max,
                     p50,
                     p99,
+                    p999,
                     ..
                 } => {
                     format!(
-                        "{name},histogram,,{},{},{},{},{},{}",
+                        "{name},histogram,,{},{},{},{},{},{},{}",
                         counts.iter().sum::<u64>(),
                         csv_num(*sum),
                         csv_num(*min),
                         csv_num(*max),
                         csv_num(*p50),
-                        csv_num(*p99)
+                        csv_num(*p99),
+                        csv_num(*p999)
                     )
                 }
             };
@@ -550,6 +677,16 @@ impl MetricsSnapshot {
             out.push('\n');
         }
         out
+    }
+}
+
+/// RFC 4180 quoting for one CSV field: wrap in double quotes (doubling
+/// embedded quotes) when the field contains a comma, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -718,8 +855,8 @@ mod tests {
         assert!(json.ends_with("}\n"));
 
         let csv = snap.csv();
-        assert!(csv.starts_with("# name,type,value,count,sum,min,max,p50,p99\n"));
-        assert!(csv.contains("z_total,counter,2,,,,,,"));
+        assert!(csv.starts_with("# name,type,value,count,sum,min,max,p50,p99,p999\n"));
+        assert!(csv.contains("z_total,counter,2,,,,,,,\n"));
     }
 
     #[test]
@@ -742,5 +879,120 @@ mod tests {
         assert!(prom.contains("lat_ticks_bucket{member=\"0\",le=\"1\"} 0"));
         assert!(prom.contains("lat_ticks_sum{member=\"0\"} 2"));
         assert!(prom.contains("# TYPE lat_ticks histogram"));
+    }
+
+    /// The deterministic sample shape shared by the reservoir tests:
+    /// mostly small queue delays with a heavy tail.
+    fn tick_samples(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let i = i as f64;
+                (1.0 + (i * i * 0.017) % 97.0).floor()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentile_is_exact_below_reservoir_cap() {
+        let samples = tick_samples(500);
+        let h = Histogram::new(HistogramConfig::latency_ticks());
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            assert_eq!(h.percentile(q), sorted[rank - 1], "q={q} not exact");
+        }
+    }
+
+    #[test]
+    fn percentile_falls_back_to_buckets_past_cap() {
+        let samples = tick_samples(2 * EXACT_SAMPLE_CAP);
+        let h = Histogram::new(HistogramConfig::latency_ticks());
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cfg = h.config();
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.percentile(q);
+            let b = cfg.bucket_of(exact);
+            let width = if b == 0 {
+                cfg.lo
+            } else {
+                cfg.upper_bound(b) - cfg.upper_bound(b - 1)
+            };
+            assert!(
+                (est - exact).abs() <= width,
+                "q={q}: est {est} vs exact {exact}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_observation_spills_reservoir() {
+        let h = Histogram::new(HistogramConfig::latency_ticks());
+        h.observe(3.0);
+        h.observe(f64::INFINITY);
+        h.observe(5.0);
+        // Spilled: rank-2 of {3, 5, +inf} lands in the (4, 8] bucket, so
+        // the estimate is the bucket upper bound, not the exact sample.
+        assert_eq!(h.percentile(0.5), 8.0);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_concatenates_exact_reservoirs() {
+        let cfg = HistogramConfig::latency_ticks();
+        let a = Histogram::new(cfg);
+        let b = Histogram::new(cfg);
+        for v in [5.0, 1.0, 9.0] {
+            a.observe(v);
+        }
+        for v in [2.0, 7.0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        // Exact nearest-rank over the union {1, 2, 5, 7, 9}.
+        assert_eq!(a.percentile(0.2), 1.0);
+        assert_eq!(a.percentile(0.5), 5.0);
+        assert_eq!(a.percentile(1.0), 9.0);
+    }
+
+    #[test]
+    fn hostile_label_values_escape_in_all_formats() {
+        let hostile = "a\"b\\c\nd";
+        let name = labeled("hostile_total", &[("scenario", hostile)]);
+        // The composed series name carries no raw newline or bare quote.
+        assert_eq!(name, "hostile_total{scenario=\"a\\\"b\\\\c\\nd\"}");
+
+        let reg = MetricsRegistry::new();
+        reg.counter(&name).add(1);
+        reg.counter("bad\nname_total").add(2);
+        let snap = reg.snapshot();
+
+        let prom = snap.prometheus();
+        // Two TYPE lines + two sample lines: nothing injected a line.
+        assert_eq!(prom.lines().count(), 4, "prom:\n{prom}");
+        assert!(prom.contains("scenario=\"a\\\"b\\\\c\\nd\"} 1"));
+        assert!(prom.contains("bad\\nname_total 2"));
+
+        let json = snap.json();
+        assert_eq!(json.lines().count(), 1, "json stays one line");
+        assert!(json.contains(&json_string(&name)));
+
+        let csv = snap.csv();
+        let quoted = csv
+            .lines()
+            .find(|l| l.contains("hostile_total"))
+            .expect("hostile row present");
+        assert!(quoted.starts_with('"'), "labeled name quoted: {quoted}");
+        assert!(quoted.contains("\"\""), "embedded quotes doubled: {quoted}");
+        assert!(csv.contains("\"bad\nname_total\""), "newline name quoted");
     }
 }

@@ -70,6 +70,9 @@ pub enum Stage {
     Policy = 5,
     /// End-of-stream summary records.
     Summary = 6,
+    /// An alert rule firing (virtual-time SLO engine), emitted after the
+    /// stream summary when the rule set is evaluated.
+    Alert = 7,
 }
 
 impl Stage {
@@ -83,6 +86,7 @@ impl Stage {
             Stage::Serve => "serve",
             Stage::Policy => "policy",
             Stage::Summary => "summary",
+            Stage::Alert => "alert",
         }
     }
 }

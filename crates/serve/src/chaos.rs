@@ -38,7 +38,7 @@ use safelight::models::ModelKind;
 use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
 use safelight_neuro::{Dataset, Network};
-use safelight_obs::MetricsRegistry;
+use safelight_obs::{MetricsRegistry, SloInput, SloSpec, SloVerdict};
 use safelight_onn::{BlockKind, InferenceBackend, SensorChannel, SentinelPlan, WeightMapping};
 
 use crate::eval::{build_fleet, calibrate, request_stream, spec_stream_key, ServingOptions};
@@ -230,6 +230,9 @@ pub struct ChaosRow {
     pub throughput: f64,
     /// Fraction of offered requests shed at admission.
     pub shed_rate: f64,
+    /// The SLO verdict for this case, when the options carry a spec
+    /// (spurious quarantines count against the spec's budget).
+    pub slo: Option<SloVerdict>,
 }
 
 /// The full chaos-evaluation report.
@@ -383,6 +386,15 @@ fn summarize_chaos(
         p99_latency: percentile(&latencies, 0.99),
         throughput: out.throughput(),
         shed_rate: out.shed_rate(),
+        slo: opts.slo.map(|spec| {
+            spec.verdict(&SloInput {
+                availability: out.availability(),
+                p99_latency: percentile(&latencies, 0.99),
+                p999_latency: percentile(&latencies, 0.999),
+                shed_rate: out.shed_rate(),
+                spurious_quarantines: u64::from(spurious),
+            })
+        }),
     }
 }
 
@@ -546,9 +558,10 @@ pub fn run_chaos_observed<D: Dataset + Sync + ?Sized>(
             let fault = plan.as_ref().map(|p| MemberFault { member: 0, plan: p });
             let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
             let observer = registry.as_ref().map(|reg| {
-                Arc::new(ServeObserver::with_scope(
+                Arc::new(ServeObserver::with_scope_slo(
                     reg.clone(),
                     &[("case", &format!("{idx:02}"))],
+                    opts.slo.as_ref(),
                 ))
             });
             fleet.set_observer(observer.clone());
@@ -561,6 +574,11 @@ pub fn run_chaos_observed<D: Dataset + Sync + ?Sized>(
                 stream_seed,
                 threads,
             )?;
+            // Scoped to this case's series: deterministic even while
+            // sibling cases are still writing theirs.
+            if let Some(o) = &observer {
+                o.evaluate_alerts();
+            }
             let sections = observer.as_ref().map(|o| {
                 o.drain(&[format!(
                     "case={idx:02} kind={} fault={} scenario={} trojan_onset={}",
@@ -591,10 +609,16 @@ pub fn run_chaos_observed<D: Dataset + Sync + ?Sized>(
                 profile.push_str(wall);
             }
         }
+        let incidents = opts
+            .slo
+            .as_ref()
+            .map(|s| crate::incident::incidents_from_trace(&trace, s))
+            .unwrap_or_default();
         ObsArtifacts {
             trace,
             profile,
             metrics: reg.snapshot(),
+            incidents,
         }
     });
     let rows: Vec<ChaosRow> = rows.into_iter().map(|(row, _)| row).collect();
@@ -666,12 +690,14 @@ pub fn run_chaos_experiment(
     opts: &ExperimentOptions,
     arrival: ArrivalModel,
 ) -> Result<(ModelWorkbench, ChaosReport), SafelightError> {
-    run_chaos_experiment_observed(kind, opts, arrival, false)
+    run_chaos_experiment_observed(kind, opts, arrival, false, None)
         .map(|(bench, report, _)| (bench, report))
 }
 
 /// [`run_chaos_experiment`] with the observability plane attached when
-/// `observe` is true (see [`run_chaos_observed`]).
+/// `observe` is true (see [`run_chaos_observed`]) and an optional SLO
+/// spec judging every case (verdict columns, alert firings, incident
+/// reconstruction).
 ///
 /// # Errors
 ///
@@ -681,10 +707,12 @@ pub fn run_chaos_experiment_observed(
     opts: &ExperimentOptions,
     arrival: ArrivalModel,
     observe: bool,
+    slo: Option<SloSpec>,
 ) -> Result<(ModelWorkbench, ChaosReport, Option<ObsArtifacts>), SafelightError> {
     let bench = workbench(kind, opts)?;
     let serving_opts = ServingOptions {
         arrival,
+        slo,
         ..ServingOptions::for_fidelity(opts.fidelity)
     };
     let cases = chaos_grid(serving_opts.onset_batch);

@@ -32,7 +32,7 @@ use safelight::models::ModelKind;
 use safelight::SafelightError;
 use safelight_neuro::parallel::par_map;
 use safelight_neuro::{Dataset, Network};
-use safelight_obs::MetricsRegistry;
+use safelight_obs::{MetricsRegistry, SloInput, SloSpec, SloVerdict};
 use safelight_onn::{
     ConditionMap, InferenceBackend, SentinelPlan, TapConfig, TelemetryFrame, TelemetryProbe,
     WeightMapping,
@@ -89,6 +89,10 @@ pub struct ServingOptions {
     /// Admission-queue capacity; `0` picks the default — unbounded for
     /// closed-loop arrivals, `4 × fleet × batch_size` at a finite rate.
     pub queue_capacity: usize,
+    /// The SLO every stream is judged against, when set: rows gain an
+    /// [`SloVerdict`], observers evaluate the virtual-time alert rules,
+    /// and observed runs reconstruct incident reports from the trace.
+    pub slo: Option<SloSpec>,
 }
 
 impl Default for ServingOptions {
@@ -113,6 +117,7 @@ impl Default for ServingOptions {
             sentinel_magnitude: 0.7,
             arrival: ArrivalModel::Closed,
             queue_capacity: 0,
+            slo: None,
         }
     }
 }
@@ -195,6 +200,8 @@ pub struct ScenarioServing {
     pub throughput: f64,
     /// Fraction of offered requests shed at admission.
     pub shed_rate: f64,
+    /// The SLO verdict for this stream, when the options carry a spec.
+    pub slo: Option<SloVerdict>,
 }
 
 /// The full serving-evaluation report.
@@ -496,6 +503,17 @@ fn summarize(
         p999_latency: percentile(&latencies, 0.999),
         throughput: with_response.throughput(),
         shed_rate: with_response.shed_rate(),
+        // Serving rows always inject a real trojan, so a quarantine here
+        // is never spurious.
+        slo: opts.slo.map(|spec| {
+            spec.verdict(&SloInput {
+                availability: with_response.availability(),
+                p99_latency: percentile(&latencies, 0.99),
+                p999_latency: percentile(&latencies, 0.999),
+                shed_rate: with_response.shed_rate(),
+                spurious_quarantines: 0,
+            })
+        }),
     }
 }
 
@@ -633,9 +651,10 @@ pub fn run_serving_observed<D: Dataset + Sync + ?Sized>(
         let mut fleet = build_fleet(network, mapping, backend, &parts, opts, true)?;
         let spec = entry.scenario.to_spec_string();
         let observer = registry.as_ref().map(|reg| {
-            Arc::new(ServeObserver::with_scope(
+            Arc::new(ServeObserver::with_scope_slo(
                 reg.clone(),
                 &[("scenario", &spec)],
+                opts.slo.as_ref(),
             ))
         });
         fleet.set_observer(observer.clone());
@@ -648,6 +667,12 @@ pub fn run_serving_observed<D: Dataset + Sync + ?Sized>(
             stream_seed,
             threads,
         )?;
+        // Alert evaluation reads only this observer's scoped series, so
+        // running it mid-experiment (while sibling scenarios still write
+        // their own series) stays deterministic.
+        if let Some(o) = &observer {
+            o.evaluate_alerts();
+        }
         let sections = observer.as_ref().map(|o| {
             o.drain(&[format!(
                 "scenario={spec} onset={} arrival={:?}",
@@ -689,10 +714,16 @@ pub fn run_serving_observed<D: Dataset + Sync + ?Sized>(
                 profile.push_str(wall);
             }
         }
+        let incidents = opts
+            .slo
+            .as_ref()
+            .map(|s| crate::incident::incidents_from_trace(&trace, s))
+            .unwrap_or_default();
         ObsArtifacts {
             trace,
             profile,
             metrics: reg.snapshot(),
+            incidents,
         }
     });
     let rows = rows.into_iter().map(|(row, _)| row).collect();
@@ -871,12 +902,14 @@ pub fn run_serving_experiment(
     opts: &ExperimentOptions,
     arrival: ArrivalModel,
 ) -> Result<(ModelWorkbench, ServingReport), SafelightError> {
-    run_serving_experiment_observed(kind, opts, arrival, false)
+    run_serving_experiment_observed(kind, opts, arrival, false, None)
         .map(|(bench, report, _)| (bench, report))
 }
 
 /// [`run_serving_experiment`] with the observability plane attached when
-/// `observe` is true (see [`run_serving_observed`]).
+/// `observe` is true (see [`run_serving_observed`]) and an optional SLO
+/// spec judging every row (verdict columns, alert firings, incident
+/// reconstruction).
 ///
 /// # Errors
 ///
@@ -886,11 +919,13 @@ pub fn run_serving_experiment_observed(
     opts: &ExperimentOptions,
     arrival: ArrivalModel,
     observe: bool,
+    slo: Option<SloSpec>,
 ) -> Result<(ModelWorkbench, ServingReport, Option<ObsArtifacts>), SafelightError> {
     let bench = workbench(kind, opts)?;
     let scenarios = opts.fig7_grid(1);
     let serving_opts = ServingOptions {
         arrival,
+        slo,
         ..ServingOptions::for_fidelity(opts.fidelity)
     };
     let (report, artifacts) = run_serving_observed(

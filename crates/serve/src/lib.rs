@@ -50,7 +50,14 @@
 //!   served batch and response-policy decision into structured trace
 //!   events (deterministic, byte-identical across worker-thread counts)
 //!   and scoped metrics, so a committed trace reconstructs the policy's
-//!   decision sequence — see `docs/observability.md`;
+//!   decision sequence; with an SLO spec attached it also evaluates the
+//!   virtual-time alert rules at end of stream — see
+//!   `docs/observability.md`;
+//! * [`incident`] — automated forensics over the audit trace: one
+//!   [`IncidentReport`] per injected
+//!   fault/attack, with causal timeline (detection → discrimination →
+//!   remediation → recovery), root-cause classification checked against
+//!   the injected ground truth, latencies and SLO impact;
 //! * [`report`] — CSV/JSON emitters for the serving and chaos
 //!   evaluations, wired into `repro --serve` / `repro --chaos` (`--json`).
 //!
@@ -101,6 +108,7 @@
 
 pub mod chaos;
 pub mod eval;
+pub mod incident;
 pub mod observe;
 pub mod report;
 pub mod runtime;
@@ -114,6 +122,9 @@ pub use eval::{
     run_rate_sweep, run_rate_sweep_experiment, run_serving, run_serving_experiment,
     run_serving_experiment_observed, run_serving_observed, RatePoint, RateSweepReport,
     ScenarioServing, ServingOptions, ServingReport,
+};
+pub use incident::{
+    incidents_from_trace, incidents_json, incidents_txt, IncidentReport, Milestone, RootCauseKind,
 };
 pub use observe::{ObsArtifacts, ServeObserver};
 pub use runtime::{

@@ -21,11 +21,16 @@
 //! their excursions, masked channels, retry state), so a committed trace
 //! reconstructs the decision sequence without re-running the stream.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-use safelight_obs::{labeled, Histogram, HistogramConfig, MetricsRegistry, Stage, Tracer};
+use safelight_obs::{
+    default_rules, labeled, AlertEngine, AlertFiring, Histogram, HistogramConfig, MetricsRegistry,
+    SloSpec, Stage, Tracer,
+};
 use safelight_onn::{BlockKind, SensorChannel};
 
+use crate::incident::IncidentReport;
 use crate::runtime::ServedBatch;
 
 /// Rendered observability artifacts of one observed run: the committed
@@ -40,6 +45,9 @@ pub struct ObsArtifacts {
     pub profile: String,
     /// Metrics snapshot at end of run.
     pub metrics: safelight_obs::MetricsSnapshot,
+    /// Incident reports reconstructed from the committed trace, one per
+    /// injected fault/attack; empty when no SLO was attached.
+    pub incidents: Vec<IncidentReport>,
 }
 
 /// Per-stream observer: a private tracer plus scoped handles into a
@@ -49,6 +57,11 @@ pub struct ServeObserver {
     metrics: Arc<MetricsRegistry>,
     /// Labels stamped on every metric series this observer touches.
     scope: Vec<(String, String)>,
+    /// Virtual-time alert engine, present when an SLO spec was attached.
+    /// Fed from the serial admission path; locked, never contended.
+    alerts: Option<Mutex<AlertEngine>>,
+    /// Last stream-end tick, the evaluation instant for threshold rules.
+    end_vt: AtomicU64,
 }
 
 impl std::fmt::Debug for ServeObserver {
@@ -82,6 +95,19 @@ impl ServeObserver {
     /// labels (e.g. `[("case", "03")]`) on every series it records.
     #[must_use]
     pub fn with_scope(metrics: Arc<MetricsRegistry>, scope: &[(&str, &str)]) -> Self {
+        Self::with_scope_slo(metrics, scope, None)
+    }
+
+    /// [`Self::with_scope`] with a virtual-time alert engine attached:
+    /// the observer feeds the engine per-tick admission samples and
+    /// evaluates [`default_rules`] for `slo` at end of stream (see
+    /// [`Self::evaluate_alerts`]).
+    #[must_use]
+    pub fn with_scope_slo(
+        metrics: Arc<MetricsRegistry>,
+        scope: &[(&str, &str)],
+        slo: Option<&SloSpec>,
+    ) -> Self {
         Self {
             tracer: Tracer::new(),
             metrics,
@@ -89,6 +115,8 @@ impl ServeObserver {
                 .iter()
                 .map(|&(k, v)| (k.to_owned(), v.to_owned()))
                 .collect(),
+            alerts: slo.map(|s| Mutex::new(AlertEngine::new(default_rules(s)))),
+            end_vt: AtomicU64::new(0),
         }
     }
 
@@ -142,6 +170,17 @@ impl ServeObserver {
         }
         if shed > 0 {
             self.inc("serve_shed_total", shed);
+        }
+        if admitted + shed > 0 {
+            self.inc("serve_offered_total", admitted + shed);
+        }
+        if let Some(engine) = &self.alerts {
+            // Every tick gets a sample, including quiet ones: burn-rate
+            // windows measure trailing rates, so the cumulative log needs
+            // the flat stretches too.
+            let mut engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+            engine.record(tick, "serve_offered_total", (admitted + shed) as f64);
+            engine.record(tick, "serve_shed_total", shed as f64);
         }
         self.metrics
             .gauge(&self.name("serve_queue_depth", &[]))
@@ -418,16 +457,84 @@ impl ServeObserver {
         self.inc("serve_failovers_total", 1);
     }
 
-    /// End-of-stream summary event.
-    pub(crate) fn stream_end(&self, tick: u64, served: usize, unserved: usize, shed: usize) {
+    /// End-of-stream summary event plus the end-of-stream SLO gauges
+    /// (`serve_availability`, `serve_shed_rate`) the threshold rules
+    /// judge. `healthy` counts the requests served undegraded.
+    pub(crate) fn stream_end(
+        &self,
+        tick: u64,
+        served: usize,
+        unserved: usize,
+        shed: usize,
+        healthy: usize,
+    ) {
+        let total = served + unserved + shed;
+        let availability = if total == 0 {
+            1.0
+        } else {
+            healthy as f64 / total as f64
+        };
+        let shed_rate = if total == 0 {
+            0.0
+        } else {
+            shed as f64 / total as f64
+        };
         self.tracer.event(
             tick,
             Stage::Summary,
             0,
             format!(
-                "event=stream_end served={served} unserved={unserved} shed={shed} ticks={tick}"
+                "event=stream_end served={served} unserved={unserved} shed={shed} \
+                 healthy={healthy} ticks={tick}"
             ),
         );
+        self.metrics
+            .gauge(&self.name("serve_availability", &[]))
+            .set(availability);
+        self.metrics
+            .gauge(&self.name("serve_shed_rate", &[]))
+            .set(shed_rate);
+        self.end_vt.store(tick, Ordering::Relaxed);
+    }
+
+    /// Whether a labeled metric name belongs to this observer's scope
+    /// (every scope pair appears among its labels).
+    fn in_scope(&self, name: &str) -> bool {
+        self.scope
+            .iter()
+            .all(|(k, v)| name.contains(&format!("{k}=\"{v}\"")))
+    }
+
+    /// Evaluate the attached alert rules against this observer's slice of
+    /// the shared registry, as of the stream-end tick. Each firing is
+    /// committed to the trace (`alert` stage, at the firing's virtual
+    /// tick) and counted in `serve_alerts_fired_total{rule=...}`. Returns
+    /// the firings; empty when no SLO was attached. Call after the stream
+    /// ends and before [`Self::drain`].
+    pub fn evaluate_alerts(&self) -> Vec<AlertFiring> {
+        let Some(engine) = &self.alerts else {
+            return Vec::new();
+        };
+        let engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snapshot = self.metrics.snapshot();
+        snapshot.entries.retain(|(name, _)| self.in_scope(name));
+        let end_vt = self.end_vt.load(Ordering::Relaxed);
+        let firings = engine.evaluate(&snapshot, end_vt);
+        for (i, f) in firings.iter().enumerate() {
+            self.tracer.event(
+                f.vt,
+                Stage::Alert,
+                i as u64,
+                format!(
+                    "event=alert_firing rule={} series={} value={:.4} threshold={}",
+                    f.rule, f.series, f.value, f.threshold
+                ),
+            );
+            self.metrics
+                .counter(&self.name("serve_alerts_fired_total", &[("rule", &f.rule)]))
+                .inc();
+        }
+        firings
     }
 
     /// Drains the tracer and renders both trace sections under `header`

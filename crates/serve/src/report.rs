@@ -6,6 +6,7 @@
 //! counts.
 
 use safelight::eval::{json_num, json_str};
+use safelight_obs::SloVerdict;
 
 use crate::chaos::ChaosReport;
 use crate::eval::{RateSweepReport, ServingReport};
@@ -18,10 +19,48 @@ fn csv_num(x: f64) -> String {
     }
 }
 
+/// The violated-objective list as one CSV/JSON token (`none` when clean).
+fn slo_violations(v: &SloVerdict) -> String {
+    if v.violated.is_empty() {
+        "none".to_string()
+    } else {
+        v.violated.join("+")
+    }
+}
+
+/// The three SLO verdict CSV fields (`pass,violations,budget_burn`),
+/// empty when no spec was attached. Infinite burn renders empty like NaN.
+fn slo_csv(slo: &Option<SloVerdict>) -> String {
+    match slo {
+        Some(v) => format!(
+            "{},{},{}",
+            u8::from(v.pass),
+            slo_violations(v),
+            csv_num(v.budget_burn)
+        ),
+        None => ",,".to_string(),
+    }
+}
+
+/// The SLO verdict JSON keys with a leading comma, `null`s when no spec
+/// was attached.
+fn slo_json(slo: &Option<SloVerdict>) -> String {
+    match slo {
+        Some(v) => format!(
+            ",\"slo_pass\":{},\"slo_violations\":{},\"slo_budget_burn\":{}",
+            v.pass,
+            json_str(&slo_violations(v)),
+            json_num(v.budget_burn)
+        ),
+        None => ",\"slo_pass\":null,\"slo_violations\":null,\"slo_budget_burn\":null".to_string(),
+    }
+}
+
 /// Renders a serving report as CSV: `# clean_accuracy`, stream-shape,
 /// `# arrival` and `# threshold` header lines, then one
-/// `vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,availability,p50_latency,p99_latency,p999_latency,throughput,shed_rate`
-/// row per scenario.
+/// `vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,availability,p50_latency,p99_latency,p999_latency,throughput,shed_rate,slo_pass,slo_violations,slo_budget_burn`
+/// row per scenario (the three SLO fields are empty when no spec was
+/// attached).
 ///
 /// # Example
 ///
@@ -57,11 +96,12 @@ pub fn serving_csv(report: &ServingReport) -> String {
     out.push_str(
         "vector,selection,target,fraction,trial,effective_fraction,pre_onset,degraded,\
          recovered,baseline_post,detect_latency,recovery_latency,action,remapped,unplaced,\
-         availability,p50_latency,p99_latency,p999_latency,throughput,shed_rate\n",
+         availability,p50_latency,p99_latency,p999_latency,throughput,shed_rate,\
+         slo_pass,slo_violations,slo_budget_burn\n",
     );
     for r in &report.rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.scenario.vector_label(),
             r.scenario.selection,
             r.scenario.target,
@@ -83,6 +123,7 @@ pub fn serving_csv(report: &ServingReport) -> String {
             csv_num(r.p999_latency),
             csv_num(r.throughput),
             csv_num(r.shed_rate),
+            slo_csv(&r.slo),
         ));
     }
     out
@@ -115,7 +156,7 @@ pub fn serving_json(report: &ServingReport) -> String {
                  \"recovered\":{},\"baseline_post\":{},\"detect_latency\":{},\
                  \"recovery_latency\":{},\"action\":{},\"remapped\":{},\"unplaced\":{},\
                  \"availability\":{},\"p50_latency\":{},\"p99_latency\":{},\
-                 \"p999_latency\":{},\"throughput\":{},\"shed_rate\":{}}}",
+                 \"p999_latency\":{},\"throughput\":{},\"shed_rate\":{}{}}}",
                 json_str(&r.scenario.vector_label()),
                 json_str(r.scenario.selection.label()),
                 json_str(&r.scenario.target.to_string()),
@@ -137,6 +178,7 @@ pub fn serving_json(report: &ServingReport) -> String {
                 json_num(r.p999_latency),
                 json_num(r.throughput),
                 json_num(r.shed_rate),
+                slo_json(&r.slo),
             )
         })
         .collect();
@@ -156,8 +198,9 @@ pub fn serving_json(report: &ServingReport) -> String {
 
 /// Renders a chaos report as CSV: `# clean_accuracy`, stream-shape,
 /// `# arrival`, `# threshold` and `# rate` header lines, then one
-/// `kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,crash_recovery,post_accuracy,availability,action,p99_latency,throughput,shed_rate`
-/// row per grid case.
+/// `kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,crash_recovery,post_accuracy,availability,action,p99_latency,throughput,shed_rate,slo_pass,slo_violations,slo_budget_burn`
+/// row per grid case (the three SLO fields are empty when no spec was
+/// attached).
 #[must_use]
 pub fn chaos_csv(report: &ChaosReport) -> String {
     let mut out = format!("# clean_accuracy,{}\n", report.clean_accuracy);
@@ -178,11 +221,12 @@ pub fn chaos_csv(report: &ChaosReport) -> String {
     ));
     out.push_str(
         "kind,fault,scenario,trojan_detected,spurious_quarantine,maintenance_events,\
-         crash_recovery,post_accuracy,availability,action,p99_latency,throughput,shed_rate\n",
+         crash_recovery,post_accuracy,availability,action,p99_latency,throughput,shed_rate,\
+         slo_pass,slo_violations,slo_budget_burn\n",
     );
     for r in &report.rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.kind,
             r.fault,
             r.scenario,
@@ -196,6 +240,7 @@ pub fn chaos_csv(report: &ChaosReport) -> String {
             csv_num(r.p99_latency),
             csv_num(r.throughput),
             csv_num(r.shed_rate),
+            slo_csv(&r.slo),
         ));
     }
     out
@@ -226,7 +271,7 @@ pub fn chaos_json(report: &ChaosReport) -> String {
                 "{{\"kind\":{},\"fault\":{},\"scenario\":{},\"trojan_detected\":{},\
                  \"spurious_quarantine\":{},\"maintenance_events\":{},\"crash_recovery\":{},\
                  \"post_accuracy\":{},\"availability\":{},\"action\":{},\"p99_latency\":{},\
-                 \"throughput\":{},\"shed_rate\":{}}}",
+                 \"throughput\":{},\"shed_rate\":{}{}}}",
                 json_str(&r.kind),
                 json_str(&r.fault),
                 json_str(&r.scenario),
@@ -240,6 +285,7 @@ pub fn chaos_json(report: &ChaosReport) -> String {
                 json_num(r.p99_latency),
                 json_num(r.throughput),
                 json_num(r.shed_rate),
+                slo_json(&r.slo),
             )
         })
         .collect();
@@ -364,6 +410,7 @@ mod tests {
                 p999_latency: 2.0,
                 throughput: 16.0,
                 shed_rate: 0.0,
+                slo: None,
             }],
         }
     }
@@ -429,6 +476,11 @@ mod tests {
                     p99_latency: 1.0,
                     throughput: 16.0,
                     shed_rate: 0.0,
+                    slo: Some(SloVerdict {
+                        pass: true,
+                        violated: vec![],
+                        budget_burn: 0.0,
+                    }),
                 },
                 ChaosRow {
                     kind: "overlap".into(),
@@ -444,6 +496,11 @@ mod tests {
                     p99_latency: 3.0,
                     throughput: 12.8,
                     shed_rate: 0.05,
+                    slo: Some(SloVerdict {
+                        pass: false,
+                        violated: vec!["availability", "shed_rate"],
+                        budget_burn: 2.0,
+                    }),
                 },
             ],
             spurious_quarantine_rate: 0.0,
@@ -461,10 +518,12 @@ mod tests {
             "# rate,spurious_quarantine,0,trojan_tpr,1,overlap_missed,0,mean_crash_recovery,2"
         ));
         assert!(csv.contains("# arrival,closed"));
-        assert!(csv.contains("fault,dead:drop/fc/0.5/8/0,,0,0,2,,0.95,1,maintenance,1,16,0"));
+        assert!(
+            csv.contains("fault,dead:drop/fc/0.5/8/0,,0,0,2,,0.95,1,maintenance,1,16,0,1,none,0")
+        );
         assert!(csv.contains(
             "overlap,crash/both/0/10/0,actuation/targeted/both/0.1/0,1,0,0,2,0.94,0.8,\
-             crash+recover+alarm+remap,3,12.8,0.05"
+             crash+recover+alarm+remap,3,12.8,0.05,0,availability+shed_rate,2"
         ));
     }
 

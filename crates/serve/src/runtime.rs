@@ -1335,7 +1335,8 @@ impl Fleet {
         let shed = queue.shed();
         let unserved = requests.len() - outcomes.len() - shed;
         if let Some(o) = &obs {
-            o.stream_end(tick, outcomes.len(), unserved, shed);
+            let healthy = outcomes.iter().filter(|o| !o.degraded_service).count();
+            o.stream_end(tick, outcomes.len(), unserved, shed, healthy);
         }
         Ok(StreamOutcome {
             outcomes,

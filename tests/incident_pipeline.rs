@@ -1,0 +1,241 @@
+//! End-to-end tests of the incident-forensics layer: the full chaos grid
+//! replayed under a [`safelight_serve::ServeObserver`] with an SLO spec
+//! attached must reconstruct exactly one [`IncidentReport`] per injected
+//! fault/attack, with the root cause matching the injected ground truth,
+//! a causally ordered timeline, and every committed artifact (trace,
+//! metrics, incident renderings) byte-identical across thread counts.
+
+use safelight::prelude::*;
+use safelight_datasets::{digits, SyntheticSpec};
+use safelight_neuro::{Network, Trainer, TrainerConfig};
+use safelight_obs::SloSpec;
+use safelight_onn::{AnalyticBackend, WeightMapping};
+use safelight_serve::chaos::{chaos_grid, run_chaos_observed};
+use safelight_serve::eval::{run_serving_observed, ServingOptions};
+use safelight_serve::{incidents_json, incidents_txt, IncidentReport};
+
+/// A trained-enough CNN_1 on the scaled accelerator profile (the same
+/// trade the serving/chaos/observability tests make).
+fn trained_setup() -> (
+    Network,
+    WeightMapping,
+    AcceleratorConfig,
+    safelight_datasets::SplitDataset,
+) {
+    let data = digits(&SyntheticSpec {
+        train: 120,
+        test: 60,
+        ..SyntheticSpec::default()
+    })
+    .unwrap();
+    let bundle = build_model(ModelKind::Cnn1, 3).unwrap();
+    let mut network = bundle.network;
+    let cfg = TrainerConfig {
+        epochs: 3,
+        batch_size: 20,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg).fit(&mut network, &data.train).unwrap();
+    let config = AcceleratorConfig::scaled_experiment().unwrap();
+    let mapping = WeightMapping::new(&config, &bundle.layer_specs).unwrap();
+    (network, mapping, config, data)
+}
+
+fn slo_opts() -> ServingOptions {
+    ServingOptions {
+        batch_size: 6,
+        batches: 18,
+        onset_batch: 6,
+        calibration_frames: 24,
+        clean_runs: 16,
+        slo: Some(SloSpec::default()),
+        ..ServingOptions::default()
+    }
+}
+
+fn assert_timeline_ordered(inc: &IncidentReport) {
+    let detected = inc
+        .detected
+        .as_ref()
+        .unwrap_or_else(|| panic!("{}: no detection milestone\n{inc:#?}", inc.id));
+    let discriminated = inc
+        .discriminated
+        .as_ref()
+        .unwrap_or_else(|| panic!("{}: no discrimination milestone\n{inc:#?}", inc.id));
+    let remediated = inc
+        .remediated
+        .as_ref()
+        .unwrap_or_else(|| panic!("{}: no remediation milestone\n{inc:#?}", inc.id));
+    let recovered = inc
+        .recovered
+        .as_ref()
+        .unwrap_or_else(|| panic!("{}: no recovery milestone\n{inc:#?}", inc.id));
+    assert!(
+        detected.vt <= discriminated.vt
+            && discriminated.vt <= remediated.vt
+            && remediated.vt <= recovered.vt,
+        "{}: timeline out of order\n{inc:#?}",
+        inc.id
+    );
+}
+
+#[test]
+fn chaos_grid_yields_one_matching_incident_per_injected_case() {
+    let (network, mapping, config, data) = trained_setup();
+    let opts = slo_opts();
+    let cases = chaos_grid(opts.onset_batch);
+    let (report, artifacts) = run_chaos_observed(
+        &network,
+        &mapping,
+        &AnalyticBackend::new(&config),
+        &data.test,
+        &cases,
+        &default_detectors(),
+        &opts,
+        2025,
+        safelight_neuro::parallel::configured_threads(),
+        true,
+    )
+    .unwrap();
+    let artifacts = artifacts.expect("observe=true returns artifacts");
+
+    // Every grid case injects a fault and/or a trojan, so the forensics
+    // pass must reconstruct exactly one incident per case, in case order.
+    assert_eq!(
+        artifacts.incidents.len(),
+        cases.len(),
+        "one incident per injected case\n{:#?}",
+        artifacts.incidents
+    );
+    for (idx, inc) in artifacts.incidents.iter().enumerate() {
+        assert_eq!(inc.id, format!("case={idx:02}"), "incidents out of order");
+        assert!(
+            inc.root_cause_match,
+            "{}: root cause mismatch: expected {:?}, observed {:?}\n{inc:#?}",
+            inc.id, inc.expected, inc.observed
+        );
+        assert_timeline_ordered(inc);
+        assert!(
+            inc.detection_latency_batches.is_finite() && inc.detection_latency_batches >= 0.0,
+            "{}: bad detection latency\n{inc:#?}",
+            inc.id
+        );
+    }
+
+    // Every case carries an SLO verdict column and the incident renderers
+    // cover every incident.
+    for row in &report.rows {
+        assert!(row.slo.is_some(), "chaos row missing SLO verdict");
+    }
+    let txt = incidents_txt(&artifacts.incidents);
+    let json = incidents_json(&artifacts.incidents);
+    for inc in &artifacts.incidents {
+        assert!(txt.contains(&inc.id), "{}: missing from txt", inc.id);
+        assert!(
+            json.contains(&format!("\"id\": \"{}\"", inc.id)),
+            "{}: missing from json",
+            inc.id
+        );
+    }
+    // Alert firings from the per-case engines land in the audit trace.
+    assert!(
+        artifacts.trace.contains("event=alert_firing"),
+        "no alert firings in a grid full of faults"
+    );
+}
+
+#[test]
+fn incident_artifacts_are_byte_identical_across_thread_counts() {
+    let (network, mapping, config, data) = trained_setup();
+    let opts = slo_opts();
+    // A small mixed slice keeps the determinism check cheap: one sensor
+    // fault, one crash-overlap, one trojan.
+    let grid = chaos_grid(opts.onset_batch);
+    let cases: Vec<_> = vec![grid[0].clone(), grid[8].clone(), grid[12].clone()];
+    let run = |threads: usize| {
+        run_chaos_observed(
+            &network,
+            &mapping,
+            &AnalyticBackend::new(&config),
+            &data.test,
+            &cases,
+            &default_detectors(),
+            &opts,
+            7,
+            threads,
+            true,
+        )
+        .unwrap()
+        .1
+        .expect("observe=true returns artifacts")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.trace, parallel.trace);
+    assert_eq!(serial.metrics.prometheus(), parallel.metrics.prometheus());
+    assert_eq!(
+        incidents_txt(&serial.incidents),
+        incidents_txt(&parallel.incidents)
+    );
+    assert_eq!(
+        incidents_json(&serial.incidents),
+        incidents_json(&parallel.incidents)
+    );
+}
+
+#[test]
+fn serving_rows_gain_slo_verdicts_and_incidents() {
+    let (network, mapping, config, data) = trained_setup();
+    let opts = slo_opts();
+    let scenarios = vec![ScenarioSpec::new(
+        VectorSpec::Actuation,
+        AttackTarget::Both,
+        0.10,
+        0,
+    )];
+    let (report, artifacts) = run_serving_observed(
+        &network,
+        &mapping,
+        &AnalyticBackend::new(&config),
+        &data.test,
+        &scenarios,
+        &default_detectors(),
+        &opts,
+        11,
+        safelight_neuro::parallel::configured_threads(),
+        true,
+    )
+    .unwrap();
+    let artifacts = artifacts.expect("observe=true returns artifacts");
+    assert_eq!(report.rows.len(), 1);
+    let verdict = report.rows[0].slo.as_ref().expect("SLO verdict present");
+    assert!(verdict.budget_burn.is_finite() || verdict.budget_burn.is_infinite());
+    // The scenario injects a real trojan, so forensics reconstructs one
+    // incident classifying it as such.
+    assert_eq!(artifacts.incidents.len(), 1, "{:#?}", artifacts.incidents);
+    let inc = &artifacts.incidents[0];
+    assert!(
+        inc.root_cause_match,
+        "expected {:?}, observed {:?}\n{inc:#?}",
+        inc.expected, inc.observed
+    );
+    assert_timeline_ordered(inc);
+
+    // SLO off → no verdicts, no incidents, identical rows otherwise.
+    let plain = ServingOptions { slo: None, ..opts };
+    let (unjudged, arts) = run_serving_observed(
+        &network,
+        &mapping,
+        &AnalyticBackend::new(&config),
+        &data.test,
+        &scenarios,
+        &default_detectors(),
+        &plain,
+        11,
+        safelight_neuro::parallel::configured_threads(),
+        true,
+    )
+    .unwrap();
+    assert!(unjudged.rows[0].slo.is_none());
+    assert!(arts.unwrap().incidents.is_empty());
+}
