@@ -1067,5 +1067,16 @@ fn main() {
             result!("{}", render_table(&phases).trim_end());
         }
     }
+    // Which GEMM/conv kernel classes actually served the run: the dispatch
+    // decision tree (docs/perf.md) in observable form. Cheap enough to
+    // print unconditionally — it is the ground truth when a perf number
+    // looks off ("did the SIMD tier actually engage on this machine?").
+    let tier = safelight_neuro::GemmImpl::active();
+    info!(
+        "gemm tier: {} [{}]; kernels executed: {}",
+        tier.name(),
+        tier.isa(),
+        safelight_neuro::linalg::kernel_stats::report()
+    );
     info!("completed in {:.1} s", started.elapsed().as_secs_f64());
 }

@@ -1,0 +1,366 @@
+//! In-tree radix-2 FFT for the frequency-domain convolution path.
+//!
+//! Convolution by pointwise spectrum multiplication needs only modest
+//! machinery: a power-of-two complex FFT plus the classic *two-for-one*
+//! real-transform trick (two real rows packed into one complex transform
+//! and untangled by Hermitian symmetry — and, on the way back, two real
+//! rows recovered from one inverse transform). The 2-D transforms are
+//! built row-by-row then column-by-column from the 1-D kernel.
+//!
+//! Everything here is allocation-light and deterministic: twiddle factors
+//! are computed once per [`Fft`] plan in `f64` and rounded to `f32`, the
+//! transforms are plain iterative decimation-in-time loops, and no result
+//! depends on thread count. The convolution layer
+//! (`crate::layers::Conv2d`) drives these kernels through the thread-local
+//! scratch arena; this module owns only the math.
+//!
+//! Complex data is stored interleaved: `buf[2*i]` is the real part of
+//! element `i`, `buf[2*i + 1]` the imaginary part.
+
+/// A radix-2 FFT plan: size, bit-reversal permutation and twiddle table.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Bit-reversal target index per position.
+    rev: Vec<u32>,
+    /// Forward twiddles `exp(-2πi·j/n)` for `j < n/2`, interleaved re/im.
+    twiddles: Vec<f32>,
+}
+
+impl Fft {
+    /// Builds a plan for transform size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 2.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "FFT size must be a power of two >= 2"
+        );
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        let mut twiddles = Vec::with_capacity(n);
+        for j in 0..n / 2 {
+            let angle = -2.0 * std::f64::consts::PI * j as f64 / n as f64;
+            twiddles.push(angle.cos() as f32);
+            twiddles.push(angle.sin() as f32);
+        }
+        Self { n, rev, twiddles }
+    }
+
+    /// Transform size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false — plans of size < 2 cannot be constructed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform of `n` interleaved complex values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buf.len() != 2 * n`.
+    pub fn forward(&self, buf: &mut [f32]) {
+        self.transform(buf, false);
+    }
+
+    /// In-place inverse transform (including the `1/n` normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buf.len() != 2 * n`.
+    pub fn inverse(&self, buf: &mut [f32]) {
+        self.transform(buf, true);
+        let scale = 1.0 / self.n as f32;
+        for v in buf.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    fn transform(&self, buf: &mut [f32], invert: bool) {
+        let n = self.n;
+        assert_eq!(
+            buf.len(),
+            2 * n,
+            "complex buffer must hold n interleaved values"
+        );
+        // Bit-reversal permutation (swap once per pair).
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(2 * i, 2 * j);
+                buf.swap(2 * i + 1, 2 * j + 1);
+            }
+        }
+        // Iterative DIT butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for base in (0..n).step_by(len) {
+                for j in 0..half {
+                    let (wr, wi0) = {
+                        let t = 2 * j * step;
+                        (self.twiddles[t], self.twiddles[t + 1])
+                    };
+                    let wi = if invert { -wi0 } else { wi0 };
+                    let p = 2 * (base + j);
+                    let q = 2 * (base + j + half);
+                    let (ar, ai) = (buf[p], buf[p + 1]);
+                    let (br, bi) = (buf[q], buf[q + 1]);
+                    let tr = br * wr - bi * wi;
+                    let ti = br * wi + bi * wr;
+                    buf[p] = ar + tr;
+                    buf[p + 1] = ai + ti;
+                    buf[q] = ar - tr;
+                    buf[q + 1] = ai - ti;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// Forward 2-D transform of an `n×n` real tile into `n×n` interleaved
+/// complex spectrum (row-major). Rows are transformed two at a time via
+/// the two-for-one real trick, then columns as plain complex transforms.
+///
+/// `scratch` must hold at least `4*n` floats (two complex rows / one
+/// complex column working set).
+///
+/// # Panics
+///
+/// Panics when buffer sizes do not match the plan size.
+pub fn fft2_forward_real(plan: &Fft, src: &[f32], dst: &mut [f32], scratch: &mut [f32]) {
+    let n = plan.len();
+    assert_eq!(src.len(), n * n);
+    assert_eq!(dst.len(), 2 * n * n);
+    assert!(scratch.len() >= 4 * n);
+    let (z, rest) = scratch.split_at_mut(2 * n);
+    // Rows, two real rows per complex transform.
+    for r in (0..n).step_by(2) {
+        let row0 = &src[r * n..(r + 1) * n];
+        let row1 = &src[(r + 1) * n..(r + 2) * n];
+        for i in 0..n {
+            z[2 * i] = row0[i];
+            z[2 * i + 1] = row1[i];
+        }
+        plan.forward(z);
+        // Untangle: X0[k] = (Z[k] + conj(Z[-k]))/2, X1[k] = -i(Z[k] - conj(Z[-k]))/2.
+        for k in 0..n {
+            let km = (n - k) % n;
+            let (zr, zi) = (z[2 * k], z[2 * k + 1]);
+            let (mr, mi) = (z[2 * km], -z[2 * km + 1]);
+            let x0r = 0.5 * (zr + mr);
+            let x0i = 0.5 * (zi + mi);
+            let x1r = 0.5 * (zi - mi);
+            let x1i = -0.5 * (zr - mr);
+            dst[2 * (r * n + k)] = x0r;
+            dst[2 * (r * n + k) + 1] = x0i;
+            dst[2 * ((r + 1) * n + k)] = x1r;
+            dst[2 * ((r + 1) * n + k) + 1] = x1i;
+        }
+    }
+    // Columns, plain complex transforms through a contiguous staging row.
+    let col = &mut rest[..2 * n];
+    for c in 0..n {
+        for r in 0..n {
+            col[2 * r] = dst[2 * (r * n + c)];
+            col[2 * r + 1] = dst[2 * (r * n + c) + 1];
+        }
+        plan.forward(col);
+        for r in 0..n {
+            dst[2 * (r * n + c)] = col[2 * r];
+            dst[2 * (r * n + c) + 1] = col[2 * r + 1];
+        }
+    }
+}
+
+/// Inverse 2-D transform of an `n×n` complex spectrum (consumed in place)
+/// into an `n×n` real tile. The spectrum must be Hermitian — i.e. come
+/// from real data through forward transforms and pointwise products of
+/// such spectra — so that pairs of rows can be recovered from single
+/// inverse transforms.
+///
+/// `scratch` must hold at least `4*n` floats.
+///
+/// # Panics
+///
+/// Panics when buffer sizes do not match the plan size.
+pub fn fft2_inverse_real(plan: &Fft, spectrum: &mut [f32], dst: &mut [f32], scratch: &mut [f32]) {
+    let n = plan.len();
+    assert_eq!(spectrum.len(), 2 * n * n);
+    assert_eq!(dst.len(), n * n);
+    assert!(scratch.len() >= 4 * n);
+    let (col, rest) = scratch.split_at_mut(2 * n);
+    // Columns first (undo the forward order).
+    for c in 0..n {
+        for r in 0..n {
+            col[2 * r] = spectrum[2 * (r * n + c)];
+            col[2 * r + 1] = spectrum[2 * (r * n + c) + 1];
+        }
+        plan.inverse(col);
+        for r in 0..n {
+            spectrum[2 * (r * n + c)] = col[2 * r];
+            spectrum[2 * (r * n + c) + 1] = col[2 * r + 1];
+        }
+    }
+    // Rows: pack two Hermitian row spectra into one inverse transform;
+    // the real/imag parts of the result are the two real rows.
+    let w = &mut rest[..2 * n];
+    for r in (0..n).step_by(2) {
+        for k in 0..n {
+            let (y0r, y0i) = (spectrum[2 * (r * n + k)], spectrum[2 * (r * n + k) + 1]);
+            let (y1r, y1i) = (
+                spectrum[2 * ((r + 1) * n + k)],
+                spectrum[2 * ((r + 1) * n + k) + 1],
+            );
+            w[2 * k] = y0r - y1i;
+            w[2 * k + 1] = y0i + y1r;
+        }
+        plan.inverse(w);
+        for i in 0..n {
+            dst[r * n + i] = w[2 * i];
+            dst[(r + 1) * n + i] = w[2 * i + 1];
+        }
+    }
+}
+
+/// `acc += x · h` over interleaved complex spectra (pointwise complex
+/// multiply-accumulate) — the per-channel-pair inner loop of the
+/// frequency-domain convolution.
+///
+/// # Panics
+///
+/// Panics when the three buffers differ in length or have odd length.
+pub fn spectrum_mul_acc(acc: &mut [f32], x: &[f32], h: &[f32]) {
+    assert_eq!(acc.len(), x.len());
+    assert_eq!(acc.len(), h.len());
+    assert_eq!(acc.len() % 2, 0);
+    for ((a, xv), hv) in acc
+        .chunks_exact_mut(2)
+        .zip(x.chunks_exact(2))
+        .zip(h.chunks_exact(2))
+    {
+        a[0] += xv[0] * hv[0] - xv[1] * hv[1];
+        a[1] += xv[0] * hv[1] + xv[1] * hv[0];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(input: &[f32]) -> Vec<(f64, f64)> {
+        let n = input.len() / 2;
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (j, c) in input.chunks_exact(2).enumerate() {
+                    let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    let (s, cs) = angle.sin_cos();
+                    re += f64::from(c[0]) * cs - f64::from(c[1]) * s;
+                    im += f64::from(c[0]) * s + f64::from(c[1]) * cs;
+                }
+                (re, im)
+            })
+            .collect()
+    }
+
+    fn signal(n: usize, salt: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 * 0.91 + salt).sin()) * 0.8)
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_naive_dft() {
+        for n in [2usize, 4, 8, 32] {
+            let plan = Fft::new(n);
+            let mut buf = signal(2 * n, 1.5);
+            let expected = naive_dft(&buf);
+            plan.forward(&mut buf);
+            for (k, &(er, ei)) in expected.iter().enumerate() {
+                assert!(
+                    (f64::from(buf[2 * k]) - er).abs() < 1e-3 * n as f64,
+                    "n={n} k={k} re {} vs {er}",
+                    buf[2 * k]
+                );
+                assert!((f64::from(buf[2 * k + 1]) - ei).abs() < 1e-3 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [4usize, 16, 64] {
+            let plan = Fft::new(n);
+            let original = signal(2 * n, 2.5);
+            let mut buf = original.clone();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            for (a, b) in buf.iter().zip(&original) {
+                assert!((a - b).abs() < 1e-4, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_2d_round_trips() {
+        for n in [4usize, 8, 16] {
+            let plan = Fft::new(n);
+            let tile = signal(n * n, 3.5);
+            let mut spec = vec![0.0; 2 * n * n];
+            let mut scratch = vec![0.0; 4 * n];
+            fft2_forward_real(&plan, &tile, &mut spec, &mut scratch);
+            let mut back = vec![0.0; n * n];
+            fft2_inverse_real(&plan, &mut spec, &mut back, &mut scratch);
+            for (a, b) in back.iter().zip(&tile) {
+                assert!((a - b).abs() < 1e-4, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_product_is_circular_convolution() {
+        // Circular conv of x and h via spectra must match the direct sum.
+        let n = 8usize;
+        let plan = Fft::new(n);
+        let x = signal(n * n, 4.0);
+        let h: Vec<f32> = (0..n * n)
+            .map(|i| if i < 9 { (i as f32 - 4.0) * 0.1 } else { 0.0 })
+            .collect();
+        let mut xs = vec![0.0; 2 * n * n];
+        let mut hs = vec![0.0; 2 * n * n];
+        let mut scratch = vec![0.0; 4 * n];
+        fft2_forward_real(&plan, &x, &mut xs, &mut scratch);
+        fft2_forward_real(&plan, &h, &mut hs, &mut scratch);
+        let mut prod = vec![0.0; 2 * n * n];
+        spectrum_mul_acc(&mut prod, &xs, &hs);
+        let mut got = vec![0.0; n * n];
+        fft2_inverse_real(&plan, &mut prod, &mut got, &mut scratch);
+        for r in 0..n {
+            for c in 0..n {
+                let mut want = 0.0f64;
+                for u in 0..n {
+                    for v in 0..n {
+                        want += f64::from(x[u * n + v])
+                            * f64::from(h[((r + n - u) % n) * n + ((c + n - v) % n)]);
+                    }
+                }
+                let gotv = f64::from(got[r * n + c]);
+                assert!((gotv - want).abs() < 1e-3, "({r},{c}): {gotv} vs {want}");
+            }
+        }
+    }
+}

@@ -1,9 +1,11 @@
 //! Fully connected (dense) layer.
 
 use crate::init::he_normal;
-use crate::layers::{Layer, Param};
+use crate::layers::{IntSpec, Layer, Param};
+use crate::linalg::int as intgemm;
 use crate::linalg::{matmul, matmul_a_bt, matmul_at_b};
 use crate::rng::SimRng;
+use crate::scratch::{self, SlotI16, SlotI32};
 use crate::{NeuroError, Tensor};
 
 /// A fully connected layer `y = x·Wᵀ + b` over `[N, in]` batches.
@@ -30,6 +32,7 @@ use crate::{NeuroError, Tensor};
 pub struct Linear {
     in_features: usize,
     out_features: usize,
+    int_mode: Option<IntSpec>,
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
@@ -54,6 +57,7 @@ impl Linear {
         Ok(Self {
             in_features,
             out_features,
+            int_mode: None,
             weight: Param::new(weight, true),
             bias: Param::new(Tensor::zeros(vec![out_features]), false),
             cached_input: None,
@@ -89,6 +93,34 @@ impl Linear {
         }
         Ok(shape[0])
     }
+
+    /// Integer-datapath forward: quantize activations and weights onto
+    /// their converter grids, run the exact `i16×i16→i32` GEMM, and
+    /// dequantize once on store (fusing the bias add).
+    fn forward_int(&self, input: &Tensor, spec: IntSpec, n: usize) -> Vec<f32> {
+        let (m, k, out) = (n, self.in_features, self.out_features);
+        scratch::with_buffer_i16(SlotI16::Act, |xq| {
+            scratch::with_buffer_i16(SlotI16::Weight, |wq| {
+                scratch::with_buffer_i32(SlotI32::Acc, |acc| {
+                    let scale_x = intgemm::quantize_i16(input.as_slice(), spec.act_steps, xq);
+                    let scale_w =
+                        intgemm::quantize_i16(self.weight.value.as_slice(), spec.weight_steps, wq);
+                    acc.clear();
+                    acc.resize(m * out, 0);
+                    intgemm::matmul_i16_a_bt(xq, wq, acc, m, k, out);
+                    let scale = scale_x * scale_w;
+                    let bias = self.bias.value.as_slice();
+                    let mut y = vec![0.0f32; m * out];
+                    for (row, acc_row) in y.chunks_exact_mut(out).zip(acc.chunks_exact(out)) {
+                        for ((v, &a), &b) in row.iter_mut().zip(acc_row).zip(bias) {
+                            *v = a as f32 * scale + b;
+                        }
+                    }
+                    y
+                })
+            })
+        })
+    }
 }
 
 impl Layer for Linear {
@@ -96,8 +128,17 @@ impl Layer for Linear {
         "linear"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NeuroError> {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NeuroError> {
         let n = self.check_input(input)?;
+        if !train {
+            if let Some(spec) = self.int_mode {
+                if spec.is_valid() && spec.accumulator_safe(self.in_features) {
+                    let out = self.forward_int(input, spec, n);
+                    self.cached_input = Some(input.clone());
+                    return Tensor::from_vec(vec![n, self.out_features], out);
+                }
+            }
+        }
         let mut out = vec![0.0f32; n * self.out_features];
         // y = x · Wᵀ  (W stored [out, in])
         matmul_a_bt(
@@ -172,11 +213,54 @@ impl Layer for Linear {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn set_int_mode(&mut self, spec: Option<IntSpec>) {
+        self.int_mode = spec;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn int_mode_approximates_float_forward() {
+        let mut float_fc = Linear::new(16, 8, 9).unwrap();
+        let mut int_fc = float_fc.clone();
+        int_fc.set_int_mode(Some(IntSpec {
+            act_steps: 2047,
+            weight_steps: 2047,
+        }));
+        let x = Tensor::from_vec(
+            vec![4, 16],
+            (0..64).map(|i| ((i as f32) * 0.31).sin()).collect(),
+        )
+        .unwrap();
+        let yf = float_fc.forward(&x, false).unwrap();
+        let yi = int_fc.forward(&x, false).unwrap();
+        for (a, b) in yf.as_slice().iter().zip(yi.as_slice()) {
+            assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+        }
+        // Training always runs the float path, bit for bit.
+        let yt = int_fc.forward(&x, true).unwrap();
+        assert_eq!(yf.as_slice(), yt.as_slice());
+    }
+
+    #[test]
+    fn int_mode_falls_back_when_unsafe() {
+        // Steps so deep the i32 accumulator could wrap: gate must route to
+        // the float path rather than risk overflow.
+        let mut fc = Linear::new(8, 4, 3).unwrap();
+        let x = Tensor::from_vec(vec![2, 8], (0..16).map(|i| i as f32 * 0.1).collect()).unwrap();
+        let expected = fc.forward(&x, false).unwrap();
+        fc.set_int_mode(Some(IntSpec {
+            act_steps: 32_767,
+            weight_steps: 32_767,
+        }));
+        // 32767² · 8 ≥ 2³¹ ⇒ float fallback.
+        let got = fc.forward(&x, false).unwrap();
+        assert_eq!(expected.as_slice(), got.as_slice());
+    }
 
     #[test]
     fn forward_matches_hand_computation() {

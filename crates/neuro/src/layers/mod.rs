@@ -7,7 +7,7 @@ mod norm;
 mod pool;
 mod residual;
 
-pub use conv::Conv2d;
+pub use conv::{Conv2d, ConvImpl};
 pub use global_pool::GlobalAvgPool2d;
 pub use linear::Linear;
 pub use norm::BatchNorm2d;
@@ -15,6 +15,44 @@ pub use pool::MaxPool2d;
 pub use residual::ResidualBlock;
 
 use crate::{NeuroError, Tensor};
+
+/// Quantization geometry for the integer inference datapath.
+///
+/// The quantized accelerator backend models finite converters: an input
+/// DAC with `act_steps` uniform signed levels per side and a readout grid
+/// with `weight_steps` levels per side. When a layer runs in integer
+/// mode it quantizes activations and weights onto those grids, executes
+/// the matrix product in exact integer arithmetic
+/// ([`crate::linalg::int`]), and dequantizes once on store — replacing
+/// the seed behaviour of snapping to the grid and then multiplying in
+/// floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntSpec {
+    /// Signed quantization levels per side for activations (input DAC).
+    pub act_steps: u32,
+    /// Signed quantization levels per side for weights (readout grid).
+    pub weight_steps: u32,
+}
+
+impl IntSpec {
+    /// Whether both grids fit the `i16` code range (and are non-trivial).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let ok = |s: u32| (1..=i16::MAX as u32).contains(&s);
+        ok(self.act_steps) && ok(self.weight_steps)
+    }
+
+    /// Whether a dot product of length `k` at these bit depths cannot
+    /// overflow the `i32` accumulator (see the overflow contract in
+    /// [`crate::linalg::int`]).
+    #[must_use]
+    pub fn accumulator_safe(&self, k: usize) -> bool {
+        (u64::from(self.act_steps))
+            .saturating_mul(u64::from(self.weight_steps))
+            .saturating_mul(k as u64)
+            < 1 << 31
+    }
+}
 
 /// A trainable parameter: value plus accumulated gradient.
 ///
@@ -87,6 +125,13 @@ pub trait Layer: Send + Sync {
     /// Clones the layer into a boxed trait object (enables `Clone` for
     /// networks of heterogeneous layers).
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Enables (`Some`) or disables (`None`) the integer inference
+    /// datapath for layers that implement one (`Conv2d`, `Linear`).
+    /// Layers without an integer implementation ignore the call; the
+    /// training path (`forward` with `train == true`) always runs in
+    /// floating point regardless.
+    fn set_int_mode(&mut self, _spec: Option<IntSpec>) {}
 }
 
 impl Clone for Box<dyn Layer> {

@@ -49,14 +49,16 @@
 //! # }
 //! ```
 
-// `deny` rather than `forbid`: the worker pool in `parallel` contains the
-// workspace's single, documented `unsafe` block (scoped-job lifetime
-// erasure) behind a local `allow`.
+// `deny` rather than `forbid`: three modules carry documented `unsafe`
+// behind local `allow`s — the worker pool in `parallel` (scoped-job
+// lifetime erasure) and the runtime-detected SIMD kernels in `simd` and
+// `linalg::int` (arch intrinsics guarded by CPU feature detection).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod data;
 mod error;
+pub mod fft;
 mod init;
 pub mod layers;
 pub mod linalg;
@@ -68,6 +70,7 @@ pub mod parallel;
 mod rng;
 mod scratch;
 mod serialize;
+mod simd;
 mod tensor;
 mod train;
 
@@ -75,10 +78,10 @@ pub use data::{Dataset, InMemoryDataset, Subset};
 pub use error::NeuroError;
 pub use init::{he_normal, xavier_uniform};
 pub use layers::{
-    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, Layer, Linear, MaxPool2d, Param, Relu,
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, IntSpec, Layer, Linear, MaxPool2d, Param, Relu,
     ResidualBlock,
 };
-pub use linalg::{matmul, matmul_a_bt, matmul_at_b};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b, matmul_with, GemmImpl};
 pub use loss::{softmax, softmax_cross_entropy};
 pub use metrics::{accuracy, confusion_matrix};
 pub use model::Network;

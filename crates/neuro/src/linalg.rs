@@ -11,16 +11,35 @@
 //! All three lower onto one BLIS-style core: the operand matrices are
 //! described by (row, column) strides, panels of A and B are packed into
 //! contiguous, zero-padded micro-panels held in the thread-local scratch
-//! arena (`crate::scratch`), and an `MR×NR` register-blocked micro-kernel
-//! runs over the packed data. Cache blocking follows the classical
-//! `MC/KC/NC` scheme: a `KC×NC` panel of B is packed once and reused by
-//! every `MC×KC` block of A.
+//! arena (`crate::scratch`), and a register-blocked micro-kernel runs over
+//! the packed data. Cache blocking follows the classical `MC/KC/NC`
+//! scheme: a `KC×NC` panel of B is packed once and reused by every
+//! `MC×KC` block of A.
+//!
+//! # Kernel tiers
+//!
+//! Which micro-kernel runs is a three-way dispatch, resolved once per
+//! process (see [`GemmImpl`]):
+//!
+//! * `reference` — the straight-ported seed loop nests ([`mod@reference`]),
+//!   kept as the correctness oracle and benchmark baseline;
+//! * `tiled` — the portable packed engine with the scalar `4×16` kernel;
+//! * `simd` — the packed engine with an explicit FMA micro-kernel from
+//!   the private `simd` module (`6×16` AVX2+FMA or `6×32` AVX-512F,
+//!   chosen by runtime CPU detection; unavailable ISAs fall back to
+//!   `tiled`).
+//!
+//! The `SAFELIGHT_GEMM_IMPL` environment variable pins the dispatch
+//! (`reference` / `tiled` / `simd` / `auto`); the default `auto` picks
+//! `simd` whenever the machine supports it. Every entry point also bumps a
+//! per-kernel-class counter ([`kernel_stats`]) so a run can report which
+//! kernels actually executed.
 //!
 //! Large products are additionally split across the shared worker pool
 //! ([`crate::parallel`]) by row block. Each task writes a disjoint row
 //! range of `C` and the block layout depends only on the matrix shape and
 //! the tile configuration — never on the worker count — so results are
-//! **bitwise identical across thread counts**.
+//! **bitwise identical across thread counts** for every kernel tier.
 //!
 //! The seed kernels carried an `a == 0.0` skip branch in two of the three
 //! variants; it paid off only for sparse inputs and cost a branch per
@@ -30,21 +49,23 @@
 
 use crate::parallel;
 use crate::scratch::{self, Slot};
+use crate::simd::{self, MicroKernel};
 use safelight_obs::profile_span_class;
 
-/// Micro-kernel rows: C is updated `MR` rows at a time.
-const MR: usize = 4;
-/// Micro-kernel columns; 16 f32 lanes = two AVX2 (or four NEON) vectors.
-const NR: usize = 16;
+/// The integer (i8/i16 × i32-accumulate) GEMM kernels used by the
+/// quantized inference datapath.
+#[path = "linalg_int.rs"]
+pub mod int;
 
 /// Cache-blocking tile sizes, fixed at first use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmConfig {
-    /// Rows of A packed per block (multiple of the micro-kernel's `MR`).
+    /// Rows of A packed per block (rounded up to the micro-kernel's `MR`).
     pub mc: usize,
     /// Depth of the packed A/B panels.
     pub kc: usize,
-    /// Columns of B packed per panel (multiple of the micro-kernel's `NR`).
+    /// Columns of B packed per panel (rounded up to the micro-kernel's
+    /// `NR`).
     pub nc: usize,
 }
 
@@ -52,8 +73,8 @@ impl Default for GemmConfig {
     fn default() -> Self {
         // Sized for the ubiquitous 32 KiB L1 / ≥256 KiB L2 class of x86-64
         // and ARM cores: the KC×NR B micro-panel (256·16·4 B = 16 KiB)
-        // fits L1 alongside the A micro-panel (256·4·4 B = 4 KiB); the
-        // MC×KC packed A block (128·256·4 B = 128 KiB) fits L2.
+        // fits L1 alongside the A micro-panel (256·6·4 B = 6 KiB); the
+        // MC×KC packed A block (≈128·256·4 B = 128 KiB) fits L2.
         Self {
             mc: 128,
             kc: 256,
@@ -63,19 +84,20 @@ impl Default for GemmConfig {
 }
 
 impl GemmConfig {
-    /// Rounds the configuration to legal micro-kernel multiples.
-    fn normalized(self) -> Self {
+    /// Rounds the configuration to legal multiples of a micro-kernel's
+    /// tile shape.
+    fn normalized_for(self, mr: usize, nr: usize) -> Self {
         Self {
-            mc: self.mc.max(MR).div_ceil(MR) * MR,
+            mc: self.mc.max(mr).div_ceil(mr) * mr,
             kc: self.kc.max(1),
-            nc: self.nc.max(NR).div_ceil(NR) * NR,
+            nc: self.nc.max(nr).div_ceil(nr) * nr,
         }
     }
 
     /// The active configuration: the compiled default unless overridden at
     /// startup through `SAFELIGHT_GEMM_MC` / `_KC` / `_NC` (useful for
     /// re-tuning on machines with unusual cache hierarchies without a
-    /// rebuild).
+    /// rebuild). Values are rounded per kernel at use.
     #[must_use]
     pub fn active() -> Self {
         static ACTIVE: std::sync::OnceLock<GemmConfig> = std::sync::OnceLock::new();
@@ -92,27 +114,220 @@ impl GemmConfig {
                 kc: env("SAFELIGHT_GEMM_KC", d.kc),
                 nc: env("SAFELIGHT_GEMM_NC", d.nc),
             }
-            .normalized()
         })
     }
 }
 
-/// `true` when `SAFELIGHT_GEMM_IMPL=reference`: every public kernel then
-/// routes through [`reference`] instead of the tiled engine. This exists
-/// for apples-to-apples benchmarking against the seed kernels
-/// (`docs/perf.md`) and for bisecting numerical questions.
+/// The f32 kernel-tier selector behind `SAFELIGHT_GEMM_IMPL`.
 ///
-/// The environment lookup happens exactly once (first GEMM call); every
-/// later call pays only the `OnceLock` fast path — one atomic acquire
-/// load — and the `#[inline]` lets that fold into the kernel entry
-/// points instead of costing a function call per product on the hot path.
-#[inline]
-fn force_reference() -> bool {
-    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *FORCE.get_or_init(|| {
-        std::env::var("SAFELIGHT_GEMM_IMPL").is_ok_and(|v| v.eq_ignore_ascii_case("reference"))
-    })
+/// | value                | kernel                                        |
+/// |----------------------|-----------------------------------------------|
+/// | `reference`          | straight-ported seed loops ([`mod@reference`])|
+/// | `tiled` (or `scalar`)| packed engine, portable `4×16` kernel         |
+/// | `simd`               | packed engine, FMA kernel (falls back to `tiled` when the CPU lacks AVX2+FMA) |
+/// | `auto` (or unset)    | `simd` when available, else `tiled`           |
+///
+/// The lookup and CPU detection happen exactly once (first GEMM call);
+/// every later call pays only the `OnceLock` fast path, and the resolved
+/// tier is global — it cannot differ between worker threads, so results
+/// are bitwise stable across thread counts for every tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmImpl {
+    /// The straight-ported seed loop nests.
+    Reference,
+    /// The packed engine with the portable scalar micro-kernel.
+    Tiled,
+    /// The packed engine with the runtime-detected SIMD micro-kernel.
+    Simd,
 }
+
+impl GemmImpl {
+    /// Every tier, in escalation order.
+    #[must_use]
+    pub fn all() -> [Self; 3] {
+        [Self::Reference, Self::Tiled, Self::Simd]
+    }
+
+    /// Stable lowercase label (CLI/report/bench row key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Reference => "reference",
+            Self::Tiled => "tiled",
+            Self::Simd => "simd",
+        }
+    }
+
+    /// Whether this tier can run on the current machine. `Reference` and
+    /// `Tiled` always can; `Simd` requires a detected vector ISA.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            Self::Reference | Self::Tiled => true,
+            Self::Simd => MicroKernel::detect_simd().is_some(),
+        }
+    }
+
+    /// Instruction-set label of the micro-kernel this tier runs
+    /// (`"avx2+fma"`, `"avx512f"`, or `"scalar"`).
+    #[must_use]
+    pub fn isa(self) -> &'static str {
+        match self {
+            Self::Reference | Self::Tiled => "scalar",
+            Self::Simd => MicroKernel::detect_simd().map_or("scalar", MicroKernel::isa_name),
+        }
+    }
+
+    /// The tier every public GEMM entry point dispatches to, resolved once
+    /// from `SAFELIGHT_GEMM_IMPL` plus CPU feature detection.
+    #[must_use]
+    pub fn active() -> Self {
+        static ACTIVE: std::sync::OnceLock<GemmImpl> = std::sync::OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let simd_or_tiled = || {
+                if GemmImpl::Simd.is_available() {
+                    GemmImpl::Simd
+                } else {
+                    GemmImpl::Tiled
+                }
+            };
+            match std::env::var("SAFELIGHT_GEMM_IMPL") {
+                Ok(v) if v.eq_ignore_ascii_case("reference") => GemmImpl::Reference,
+                Ok(v) if v.eq_ignore_ascii_case("tiled") || v.eq_ignore_ascii_case("scalar") => {
+                    GemmImpl::Tiled
+                }
+                // An explicit `simd` request on a machine without the ISA
+                // degrades to `tiled` (the kernel report records what ran).
+                Ok(v) if v.eq_ignore_ascii_case("simd") => simd_or_tiled(),
+                _ => simd_or_tiled(),
+            }
+        })
+    }
+
+    /// The micro-kernel this tier lowers onto ([`GemmImpl::Reference`] has
+    /// none — it never reaches the packed engine).
+    fn micro_kernel(self) -> MicroKernel {
+        match self {
+            Self::Reference | Self::Tiled => MicroKernel::Scalar,
+            Self::Simd => MicroKernel::detect_simd().unwrap_or(MicroKernel::Scalar),
+        }
+    }
+}
+
+/// Per-process counters recording which GEMM kernel classes actually
+/// executed — the data behind the `repro` kernel report, so a run can
+/// state which tiers served it rather than which were requested.
+///
+/// Counting costs one relaxed atomic increment per kernel *entry call*
+/// (not per tile), which is noise next to any product large enough to
+/// matter.
+pub mod kernel_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// One observable kernel class per dispatch outcome.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum KernelClass {
+        /// Seed reference loops (env-forced).
+        Reference,
+        /// Direct row-AXPY path for tiny A operands.
+        Direct,
+        /// Packed engine, scalar kernel, calling thread only.
+        Tiled,
+        /// Packed engine, scalar kernel, row blocks across the pool.
+        TiledParallel,
+        /// Packed engine, SIMD kernel, calling thread only.
+        Simd,
+        /// Packed engine, SIMD kernel, row blocks across the pool.
+        SimdParallel,
+        /// Integer (i8/i16 → i32) quantized-datapath GEMM.
+        Int,
+        /// Convolution forward served by im2col + GEMM.
+        Im2colConv,
+        /// Convolution forward served by the FFT overlap-add path.
+        FftConv,
+    }
+
+    const CLASSES: [KernelClass; 9] = [
+        KernelClass::Reference,
+        KernelClass::Direct,
+        KernelClass::Tiled,
+        KernelClass::TiledParallel,
+        KernelClass::Simd,
+        KernelClass::SimdParallel,
+        KernelClass::Int,
+        KernelClass::Im2colConv,
+        KernelClass::FftConv,
+    ];
+
+    impl KernelClass {
+        /// Stable label used in reports.
+        #[must_use]
+        pub fn name(self) -> &'static str {
+            match self {
+                Self::Reference => "reference",
+                Self::Direct => "direct",
+                Self::Tiled => "tiled",
+                Self::TiledParallel => "tiled_parallel",
+                Self::Simd => "simd",
+                Self::SimdParallel => "simd_parallel",
+                Self::Int => "int",
+                Self::Im2colConv => "conv_im2col",
+                Self::FftConv => "conv_fft",
+            }
+        }
+    }
+
+    static COUNTS: [AtomicU64; 9] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    /// Bumps the counter for `class`.
+    #[inline]
+    pub fn record(class: KernelClass) {
+        COUNTS[class as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every class counter, in declaration order.
+    #[must_use]
+    pub fn snapshot() -> Vec<(&'static str, u64)> {
+        CLASSES
+            .iter()
+            .map(|&c| (c.name(), COUNTS[c as usize].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// One-line report of the classes that executed (all-zero → "none").
+    #[must_use]
+    pub fn report() -> String {
+        let parts: Vec<String> = snapshot()
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect();
+        if parts.is_empty() {
+            "none".to_owned()
+        } else {
+            parts.join(" ")
+        }
+    }
+
+    /// Zeroes every counter (tests and per-phase reporting).
+    pub fn reset() {
+        for c in &COUNTS {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+use kernel_stats::KernelClass;
 
 /// Strided read-only view of a logical `rows × cols` matrix.
 #[derive(Clone, Copy)]
@@ -141,8 +356,10 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    if force_reference() {
+    let imp = GemmImpl::active();
+    if imp == GemmImpl::Reference {
         let _span = profile_span_class("gemm_matmul", "reference");
+        kernel_stats::record(KernelClass::Reference);
         return reference::matmul(a, b, c, m, k, n);
     }
     gemm(
@@ -161,6 +378,8 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
         },
         c,
         "gemm_matmul",
+        imp,
+        true,
     );
 }
 
@@ -174,8 +393,10 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    if force_reference() {
+    let imp = GemmImpl::active();
+    if imp == GemmImpl::Reference {
         let _span = profile_span_class("gemm_matmul_a_bt", "reference");
+        kernel_stats::record(KernelClass::Reference);
         return reference::matmul_a_bt(a, b, c, m, k, n);
     }
     gemm(
@@ -195,6 +416,8 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
         },
         c,
         "gemm_matmul_a_bt",
+        imp,
+        true,
     );
 }
 
@@ -208,8 +431,10 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    if force_reference() {
+    let imp = GemmImpl::active();
+    if imp == GemmImpl::Reference {
         let _span = profile_span_class("gemm_matmul_at_b", "reference");
+        kernel_stats::record(KernelClass::Reference);
         return reference::matmul_at_b(a, b, c, m, k, n);
     }
     gemm(
@@ -229,6 +454,58 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
         },
         c,
         "gemm_matmul_at_b",
+        imp,
+        true,
+    );
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]` through an explicitly chosen kernel tier,
+/// ignoring `SAFELIGHT_GEMM_IMPL` and the tiny-operand direct path.
+///
+/// This is the benchmark/test entry point: per-kernel rows in
+/// `BENCH_gemm.json` and the cross-kernel agreement proptests need to run
+/// a *specific* tier regardless of environment. A `Simd` request on a
+/// machine without a vector ISA degrades to the scalar kernel (check
+/// [`GemmImpl::is_available`] first when that matters).
+///
+/// # Panics
+///
+/// Panics (debug assertions) when the buffer lengths do not match the
+/// stated dimensions.
+pub fn matmul_with(
+    imp: GemmImpl,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if imp == GemmImpl::Reference {
+        kernel_stats::record(KernelClass::Reference);
+        return reference::matmul(a, b, c, m, k, n);
+    }
+    gemm(
+        m,
+        k,
+        n,
+        View {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        View {
+            data: b,
+            rs: n,
+            cs: 1,
+        },
+        c,
+        "gemm_matmul",
+        imp,
+        false,
     );
 }
 
@@ -242,6 +519,7 @@ const PARALLEL_MIN_MADDS: usize = 1 << 20;
 /// sweep over B is faster and still vectorizes on the contiguous rows.
 const DIRECT_MAX_A_ELEMS: usize = 2048;
 
+#[allow(clippy::too_many_arguments)]
 fn gemm(
     m: usize,
     k: usize,
@@ -250,14 +528,17 @@ fn gemm(
     b: View<'_>,
     c: &mut [f32],
     phase: &'static str,
+    imp: GemmImpl,
+    allow_direct: bool,
 ) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
     // Skinny products (small weight matrix × wide activation panel — the
     // shape every small-CNN conv layer produces) take the direct path.
-    if m * k <= DIRECT_MAX_A_ELEMS && b.cs == 1 {
+    if allow_direct && m * k <= DIRECT_MAX_A_ELEMS && b.cs == 1 {
         let _span = profile_span_class(phase, "direct");
+        kernel_stats::record(KernelClass::Direct);
         for i in 0..m {
             let c_row = &mut c[i * n..(i + 1) * n];
             for p in 0..k {
@@ -270,7 +551,8 @@ fn gemm(
         }
         return;
     }
-    let cfg = GemmConfig::active();
+    let kern = imp.micro_kernel();
+    let cfg = GemmConfig::active().normalized_for(kern.mr(), kern.nr());
 
     // Row-block parallelism: worth it only for large products, and skipped
     // on pool workers — there the batch dimension above us is already
@@ -281,7 +563,19 @@ fn gemm(
     let madds = m.saturating_mul(k).saturating_mul(n);
     let row_blocks = m.div_ceil(cfg.mc);
     if row_blocks > 1 && madds >= PARALLEL_MIN_MADDS && !on_pool_worker {
-        let _span = profile_span_class(phase, "parallel");
+        let _span = profile_span_class(
+            phase,
+            if imp == GemmImpl::Simd {
+                "simd_parallel"
+            } else {
+                "parallel"
+            },
+        );
+        kernel_stats::record(if imp == GemmImpl::Simd {
+            KernelClass::SimdParallel
+        } else {
+            KernelClass::TiledParallel
+        });
         // Split C into disjoint row-block slices so tasks can write
         // concurrently; the per-block work is identical to the serial
         // path, so numerics do not depend on the split.
@@ -301,16 +595,29 @@ fn gemm(
                 rs: a.rs,
                 cs: a.cs,
             };
-            gemm_serial(rows, k, n, a_block, b, c_block, cfg);
+            gemm_serial(rows, k, n, a_block, b, c_block, cfg, kern);
         });
         return;
     }
-    let _span = profile_span_class(phase, "serial");
-    gemm_serial(m, k, n, a, b, c, cfg);
+    let _span = profile_span_class(
+        phase,
+        if imp == GemmImpl::Simd {
+            "simd"
+        } else {
+            "serial"
+        },
+    );
+    kernel_stats::record(if imp == GemmImpl::Simd {
+        KernelClass::Simd
+    } else {
+        KernelClass::Tiled
+    });
+    gemm_serial(m, k, n, a, b, c, cfg, kern);
 }
 
 /// The single-threaded blocked core: loops NC → KC → MC with B packed per
 /// (KC, NC) panel and A packed per (MC, KC) block.
+#[allow(clippy::too_many_arguments)]
 fn gemm_serial(
     m: usize,
     k: usize,
@@ -319,6 +626,7 @@ fn gemm_serial(
     b: View<'_>,
     c: &mut [f32],
     cfg: GemmConfig,
+    kern: MicroKernel,
 ) {
     scratch::with_buffer(Slot::PackB, |pack_b| {
         scratch::with_buffer(Slot::PackA, |pack_a| {
@@ -326,11 +634,11 @@ fn gemm_serial(
                 let nc = cfg.nc.min(n - jc);
                 for pc in (0..k).step_by(cfg.kc) {
                     let kc = cfg.kc.min(k - pc);
-                    pack_b_panel(b, pc, jc, kc, nc, pack_b);
+                    pack_b_panel(b, pc, jc, kc, nc, pack_b, kern.nr());
                     for ic in (0..m).step_by(cfg.mc) {
                         let mc = cfg.mc.min(m - ic);
-                        pack_a_block(a, ic, pc, mc, kc, pack_a);
-                        macro_kernel(mc, kc, nc, pack_a, pack_b, c, ic, jc, n);
+                        pack_a_block(a, ic, pc, mc, kc, pack_a, kern.mr());
+                        macro_kernel(kern, mc, kc, nc, pack_a, pack_b, c, ic, jc, n);
                     }
                 }
             }
@@ -340,25 +648,33 @@ fn gemm_serial(
 
 /// Packs `B[pc..pc+kc][jc..jc+nc]` into NR-wide micro-panels:
 /// `pack[jb][p*NR + j]`, zero-padded to a multiple of NR columns.
-fn pack_b_panel(b: View<'_>, pc: usize, jc: usize, kc: usize, nc: usize, pack: &mut Vec<f32>) {
-    let panels = nc.div_ceil(NR);
+fn pack_b_panel(
+    b: View<'_>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    pack: &mut Vec<f32>,
+    nr: usize,
+) {
+    let panels = nc.div_ceil(nr);
     pack.clear();
-    pack.resize(panels * kc * NR, 0.0);
+    pack.resize(panels * kc * nr, 0.0);
     for jb in 0..panels {
-        let j0 = jb * NR;
-        let width = NR.min(nc - j0);
-        let dst_panel = &mut pack[jb * kc * NR..(jb + 1) * kc * NR];
+        let j0 = jb * nr;
+        let width = nr.min(nc - j0);
+        let dst_panel = &mut pack[jb * kc * nr..(jb + 1) * kc * nr];
         if b.cs == 1 {
             // Contiguous source rows: copy slice-wise.
             for p in 0..kc {
                 let src_base = (pc + p) * b.rs + (jc + j0);
-                dst_panel[p * NR..p * NR + width]
+                dst_panel[p * nr..p * nr + width]
                     .copy_from_slice(&b.data[src_base..src_base + width]);
             }
         } else {
             for p in 0..kc {
                 for j in 0..width {
-                    dst_panel[p * NR + j] = b.at(pc + p, jc + j0 + j);
+                    dst_panel[p * nr + j] = b.at(pc + p, jc + j0 + j);
                 }
             }
         }
@@ -367,26 +683,37 @@ fn pack_b_panel(b: View<'_>, pc: usize, jc: usize, kc: usize, nc: usize, pack: &
 
 /// Packs `A[ic..ic+mc][pc..pc+kc]` into MR-tall micro-panels:
 /// `pack[ib][p*MR + i]`, zero-padded to a multiple of MR rows.
-fn pack_a_block(a: View<'_>, ic: usize, pc: usize, mc: usize, kc: usize, pack: &mut Vec<f32>) {
-    let panels = mc.div_ceil(MR);
+fn pack_a_block(
+    a: View<'_>,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    pack: &mut Vec<f32>,
+    mr: usize,
+) {
+    let panels = mc.div_ceil(mr);
     pack.clear();
-    pack.resize(panels * kc * MR, 0.0);
+    pack.resize(panels * kc * mr, 0.0);
     for ib in 0..panels {
-        let i0 = ib * MR;
-        let height = MR.min(mc - i0);
-        let dst_panel = &mut pack[ib * kc * MR..(ib + 1) * kc * MR];
+        let i0 = ib * mr;
+        let height = mr.min(mc - i0);
+        let dst_panel = &mut pack[ib * kc * mr..(ib + 1) * kc * mr];
         for p in 0..kc {
             for i in 0..height {
-                dst_panel[p * MR + i] = a.at(ic + i0 + i, pc + p);
+                dst_panel[p * mr + i] = a.at(ic + i0 + i, pc + p);
             }
         }
     }
 }
 
 /// Runs the micro-kernel over every `MR×NR` tile of one packed
-/// `(mc × kc) · (kc × nc)` block product, accumulating into `C`.
+/// `(mc × kc) · (kc × nc)` block product, accumulating into `C`. Full
+/// tiles accumulate straight into `C`; edge tiles go through a dense
+/// stack buffer and scatter only the valid region.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    kern: MicroKernel,
     mc: usize,
     kc: usize,
     nc: usize,
@@ -397,42 +724,23 @@ fn macro_kernel(
     jc: usize,
     n: usize,
 ) {
-    for (ib, a_panel) in pack_a.chunks_exact(kc * MR).enumerate() {
-        let i0 = ib * MR;
-        let rows = MR.min(mc - i0);
-        for (jb, b_panel) in pack_b.chunks_exact(kc * NR).enumerate() {
-            let j0 = jb * NR;
-            let cols = NR.min(nc - j0);
-            let acc = micro_kernel(kc, a_panel, b_panel);
-            // Scatter the valid portion of the tile into C.
-            for i in 0..rows {
-                let c_row = &mut c[(ic + i0 + i) * n + jc + j0..][..cols];
-                for (c_val, acc_val) in c_row.iter_mut().zip(&acc[i][..cols]) {
-                    *c_val += acc_val;
-                }
+    let (mr, nr) = (kern.mr(), kern.nr());
+    for (ib, a_panel) in pack_a.chunks_exact(kc * mr).enumerate() {
+        let i0 = ib * mr;
+        let rows = mr.min(mc - i0);
+        for (jb, b_panel) in pack_b.chunks_exact(kc * nr).enumerate() {
+            let j0 = jb * nr;
+            let cols = nr.min(nc - j0);
+            let c_base = (ic + i0) * n + jc + j0;
+            if rows == mr && cols == nr && kern != MicroKernel::Scalar {
+                kern.full_tile(kc, a_panel, b_panel, &mut c[c_base..], n);
+            } else {
+                let mut tile = [0.0f32; simd::MAX_MR * simd::MAX_NR];
+                kern.edge_tile(kc, a_panel, b_panel, &mut tile);
+                simd::scatter_add(&tile, &mut c[c_base..], n, rows, cols, simd::MAX_NR);
             }
         }
     }
-}
-
-/// The register-blocked `MR×NR` kernel: a rank-`kc` update of one tile,
-/// fully in local arrays so the compiler keeps the accumulators in vector
-/// registers.
-#[inline]
-fn micro_kernel(kc: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kc {
-        let a_col: &[f32] = &a_panel[p * MR..(p + 1) * MR];
-        let b_row: &[f32] = &b_panel[p * NR..(p + 1) * NR];
-        for i in 0..MR {
-            let a_ip = a_col[i];
-            let acc_row = &mut acc[i];
-            for j in 0..NR {
-                acc_row[j] += a_ip * b_row[j];
-            }
-        }
-    }
-    acc
 }
 
 /// The straight-ported seed kernels, kept as the correctness oracle for
@@ -595,72 +903,116 @@ mod tests {
     }
 
     #[test]
-    fn tiled_crosses_every_blocking_boundary() {
+    fn every_kernel_tier_crosses_every_blocking_boundary() {
         // Dimensions straddling MR/NR/MC/KC/NC edges, including primes.
         let cfg = GemmConfig::active();
         let dims = [
             (1, 1, 1),
-            (MR - 1, 3, NR - 1),
-            (MR + 1, cfg.kc + 3, NR + 1),
-            (cfg.mc + 5, 7, 2 * NR + 3),
+            (3, 3, 15),
+            (5, cfg.kc + 3, 17),
+            (cfg.mc + 5, 7, 2 * 32 + 3),
             (17, cfg.kc - 1, 33),
         ];
-        for (m, k, n) in dims {
-            let a = deterministic_matrix(m, k, 0.3);
-            let b = deterministic_matrix(k, n, 0.7);
-            let mut c = vec![0.0; m * n];
-            matmul(&a, &b, &mut c, m, k, n);
-            let expected = naive(&a, &b, m, k, n);
-            for (i, (x, y)) in c.iter().zip(&expected).enumerate() {
-                assert!(
-                    (x - y).abs() < 1e-3,
-                    "({m},{k},{n}) mismatch at {i}: {x} vs {y}"
-                );
+        for imp in [GemmImpl::Tiled, GemmImpl::Simd] {
+            for (m, k, n) in dims {
+                let a = deterministic_matrix(m, k, 0.3);
+                let b = deterministic_matrix(k, n, 0.7);
+                let mut c = vec![0.0; m * n];
+                matmul_with(imp, &a, &b, &mut c, m, k, n);
+                let expected = naive(&a, &b, m, k, n);
+                for (i, (x, y)) in c.iter().zip(&expected).enumerate() {
+                    assert!(
+                        (x - y).abs() < 1e-3,
+                        "{imp:?} ({m},{k},{n}) mismatch at {i}: {x} vs {y}"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn large_parallel_product_matches_reference_bitwise_per_call() {
+    fn large_parallel_product_matches_serial_bitwise_per_tier() {
         // Big enough to trip the row-block parallel path: results must be
-        // identical to the serial blocked path, call after call.
+        // identical to the serial blocked path, call after call, for every
+        // kernel tier.
         let (m, k, n) = (3 * GemmConfig::active().mc + 7, 64, 96);
         let a = deterministic_matrix(m, k, 1.1);
         let b = deterministic_matrix(k, n, 2.2);
-        let mut c_par = vec![0.0; m * n];
-        matmul(&a, &b, &mut c_par, m, k, n);
-        let mut c_serial = vec![0.0; m * n];
-        gemm_serial(
-            m,
-            k,
-            n,
-            View {
-                data: &a,
-                rs: k,
-                cs: 1,
-            },
-            View {
-                data: &b,
-                rs: n,
-                cs: 1,
-            },
-            &mut c_serial,
-            GemmConfig::active(),
-        );
-        assert_eq!(c_par, c_serial, "parallel row blocking changed numerics");
+        for imp in [GemmImpl::Tiled, GemmImpl::Simd] {
+            let kern = imp.micro_kernel();
+            let mut c_par = vec![0.0; m * n];
+            matmul_with(imp, &a, &b, &mut c_par, m, k, n);
+            let mut c_serial = vec![0.0; m * n];
+            gemm_serial(
+                m,
+                k,
+                n,
+                View {
+                    data: &a,
+                    rs: k,
+                    cs: 1,
+                },
+                View {
+                    data: &b,
+                    rs: n,
+                    cs: 1,
+                },
+                &mut c_serial,
+                GemmConfig::active().normalized_for(kern.mr(), kern.nr()),
+                kern,
+            );
+            assert_eq!(
+                c_par, c_serial,
+                "{imp:?}: parallel row blocking changed numerics"
+            );
+        }
     }
 
     #[test]
     fn config_normalization_respects_micro_kernel() {
-        let cfg = GemmConfig {
-            mc: 1,
-            kc: 0,
-            nc: 1,
+        let mut kerns = vec![MicroKernel::Scalar];
+        kerns.extend(MicroKernel::detect_simd());
+        for kern in kerns {
+            let cfg = GemmConfig {
+                mc: 1,
+                kc: 0,
+                nc: 1,
+            }
+            .normalized_for(kern.mr(), kern.nr());
+            assert_eq!(cfg.mc % kern.mr(), 0);
+            assert_eq!(cfg.nc % kern.nr(), 0);
+            assert!(cfg.kc >= 1);
+            assert!(cfg.mc >= kern.mr() && cfg.nc >= kern.nr());
         }
-        .normalized();
-        assert_eq!(cfg.mc % MR, 0);
-        assert_eq!(cfg.nc % NR, 0);
-        assert!(cfg.kc >= 1);
-        assert!(cfg.mc >= MR && cfg.nc >= NR);
+    }
+
+    #[test]
+    fn tier_metadata_is_consistent() {
+        assert_eq!(GemmImpl::Reference.name(), "reference");
+        assert!(GemmImpl::Tiled.is_available());
+        assert_eq!(GemmImpl::Tiled.isa(), "scalar");
+        // Simd either resolves to a real ISA or honestly reports scalar
+        // fallback.
+        let simd = GemmImpl::Simd;
+        if simd.is_available() {
+            assert_ne!(simd.isa(), "scalar");
+        } else {
+            assert_eq!(simd.isa(), "scalar");
+        }
+        // The active tier must itself be runnable.
+        assert!(GemmImpl::active().is_available());
+    }
+
+    #[test]
+    fn kernel_stats_record_entry_calls() {
+        let (m, k, n) = (64, 64, 64);
+        let a = deterministic_matrix(m, k, 0.1);
+        let b = deterministic_matrix(k, n, 0.2);
+        let mut c = vec![0.0; m * n];
+        let before: u64 = kernel_stats::snapshot().iter().map(|&(_, v)| v).sum();
+        matmul_with(GemmImpl::Tiled, &a, &b, &mut c, m, k, n);
+        let after: u64 = kernel_stats::snapshot().iter().map(|&(_, v)| v).sum();
+        assert!(after > before, "no kernel class recorded");
+        assert!(!kernel_stats::report().is_empty());
     }
 }

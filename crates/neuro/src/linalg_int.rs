@@ -1,0 +1,517 @@
+//! Integer GEMM kernels for the quantized inference datapath.
+//!
+//! The quantized backend models finite DAC/ADC converters: weights and
+//! activations live on uniform signed grids with a known number of steps
+//! per side. Once both operands are integer codes, the matrix product is
+//! *exact integer arithmetic* — `i8`/`i16` multiplies accumulated in
+//! `i32` — and the only float work left is one fused scale multiply on
+//! store. That replaces the seed behaviour of snapping to the grid and
+//! then running the full product in floating point.
+//!
+//! Kernels come in A·Bᵀ row-dot form (both operands row-major over the
+//! shared `k` axis) because that is the natural layout for both consumers:
+//! linear layers store `W[out][in]`, and the integer convolution gathers a
+//! *transposed* im2col patch matrix `[ncols][kdim]`. On AVX2 the inner
+//! loop runs `_mm256_madd_epi16` — 16 multiply-adds per instruction,
+//! twice the f32 FMA rate — with a portable scalar fallback chosen at
+//! runtime. Integer addition is associative, so every implementation
+//! produces bit-identical results; the [`mod@reference`] kernels widen the
+//! accumulator to `i64` and serve as the exactness oracle in tests.
+//!
+//! # Overflow contract
+//!
+//! Callers must keep `k · max|a| · max|b| < 2³¹` so the `i32` accumulator
+//! cannot wrap (the layer-level gate enforces this before enabling the
+//! integer path). A single `madd` pair is always safe:
+//! `2 · 32767² < 2³¹`.
+
+#![allow(unsafe_code)]
+
+use super::kernel_stats::{self, KernelClass};
+
+/// Quantizes `src` onto a uniform signed grid with `steps` levels per
+/// side, writing the codes to `dst` and returning the per-step scale
+/// (`max|src| / steps`). All-zero input yields scale `0.0` and all-zero
+/// codes. `round` ties away from zero, matching the response model's
+/// snapping convention.
+pub fn quantize_i16(src: &[f32], steps: u32, dst: &mut Vec<i16>) -> f32 {
+    debug_assert!(steps >= 1 && steps <= i16::MAX as u32);
+    dst.clear();
+    let max_abs = max_abs(src);
+    if max_abs == 0.0 {
+        dst.resize(src.len(), 0);
+        return 0.0;
+    }
+    let scale = max_abs / steps as f32;
+    let inv = steps as f32 / max_abs;
+    let bound = steps as f32;
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        dst.resize(src.len(), 0);
+        // SAFETY: AVX2 support verified at runtime just above.
+        unsafe { x86::encode_i16_avx2(src, inv, bound, dst) };
+        return scale;
+    }
+    dst.extend(src.iter().map(|&x| encode_i16(x, inv, bound)));
+    scale
+}
+
+/// One activation/weight code: clamp + signed half-offset + truncating
+/// cast ≡ round ties away from zero, without `f32::round` — which lowers
+/// to a libm call on targets without SSE4.1's `roundss` and would
+/// dominate the whole integer forward. The AVX2 encoder performs the
+/// identical operation sequence, so both paths emit bitwise-equal codes
+/// for finite input.
+#[inline(always)]
+fn encode_i16(x: f32, inv: f32, bound: f32) -> i16 {
+    let v = (x * inv).clamp(-bound, bound);
+    (v + 0.5f32.copysign(v)) as i16
+}
+
+fn max_abs(src: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support verified at runtime just above.
+        return unsafe { x86::max_abs_avx2(src) };
+    }
+    src.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ` where `B` is `n×k` row-major, `i16` codes,
+/// exact `i32` accumulation. Overwrites `C` (no accumulate — the fused
+/// dequantize on store adds bias instead).
+///
+/// # Panics
+///
+/// Panics (debug assertions) when the buffer lengths do not match the
+/// stated dimensions.
+pub fn matmul_i16_a_bt(a: &[i16], b: &[i16], c: &mut [i32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    kernel_stats::record(KernelClass::Int);
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support verified at runtime just above.
+        unsafe { x86::matmul_i16_a_bt_avx2(a, b, c, m, k, n) };
+        return;
+    }
+    matmul_i16_a_bt_scalar(a, b, c, m, k, n);
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ` where `B` is `n×k` row-major, `i8` codes, exact
+/// `i32` accumulation. Overwrites `C`.
+///
+/// # Panics
+///
+/// Panics (debug assertions) when the buffer lengths do not match the
+/// stated dimensions.
+pub fn matmul_i8_a_bt(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    kernel_stats::record(KernelClass::Int);
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support verified at runtime just above.
+        unsafe { x86::matmul_i8_a_bt_avx2(a, b, c, m, k, n) };
+        return;
+    }
+    matmul_i8_a_bt_scalar(a, b, c, m, k, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// The `i16` lane count of the active integer kernel: 16 when the AVX2
+/// `madd` path is live, 1 for the scalar fallback. Callers with freedom
+/// over their `k` layout (the integer convolution's patch gather) pad the
+/// shared axis to a multiple of this so tiny depths — a 3×3 single-channel
+/// layer has `k = 9` — still run entirely inside the vector loop; the
+/// padding codes are zero and contribute nothing to the exact sum.
+#[must_use]
+pub fn vector_width() -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        return 16;
+    }
+    1
+}
+
+fn matmul_i16_a_bt_scalar(a: &[i16], b: &[i16], c: &mut [i32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += i32::from(x) * i32::from(y);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+fn matmul_i8_a_bt_scalar(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += i32::from(x) * i32::from(y);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of eight `i32` lanes.
+    #[inline(always)]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        // SAFETY: caller runs under an AVX2 target_feature scope.
+        unsafe {
+            let lo = _mm256_castsi256_si128(v);
+            let hi = _mm256_extracti128_si256::<1>(v);
+            let s = _mm_add_epi32(lo, hi);
+            let s = _mm_add_epi32(s, _mm_srli_si128::<8>(s));
+            let s = _mm_add_epi32(s, _mm_srli_si128::<4>(s));
+            _mm_cvtsi128_si32(s)
+        }
+    }
+
+    /// Dot products of one A row against four B rows at once, reusing
+    /// each 16-lane A load across all four accumulators.
+    #[inline(always)]
+    unsafe fn dot4_i16(
+        a: &[i16],
+        b0: &[i16],
+        b1: &[i16],
+        b2: &[i16],
+        b3: &[i16],
+        k: usize,
+    ) -> [i32; 4] {
+        // SAFETY: caller runs under an AVX2 target_feature scope and
+        // guarantees every slice holds at least `k` elements.
+        unsafe {
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut acc2 = _mm256_setzero_si256();
+            let mut acc3 = _mm256_setzero_si256();
+            let chunks = k / 16;
+            for ch in 0..chunks {
+                let off = ch * 16;
+                let av = _mm256_loadu_si256(a.as_ptr().add(off).cast());
+                let m0 = _mm256_madd_epi16(av, _mm256_loadu_si256(b0.as_ptr().add(off).cast()));
+                let m1 = _mm256_madd_epi16(av, _mm256_loadu_si256(b1.as_ptr().add(off).cast()));
+                let m2 = _mm256_madd_epi16(av, _mm256_loadu_si256(b2.as_ptr().add(off).cast()));
+                let m3 = _mm256_madd_epi16(av, _mm256_loadu_si256(b3.as_ptr().add(off).cast()));
+                acc0 = _mm256_add_epi32(acc0, m0);
+                acc1 = _mm256_add_epi32(acc1, m1);
+                acc2 = _mm256_add_epi32(acc2, m2);
+                acc3 = _mm256_add_epi32(acc3, m3);
+            }
+            // Combined 4-way reduction: two hadd rounds interleave the four
+            // accumulators into per-output partial sums within each 128-bit
+            // half, and one cross-lane add finishes all four dots at once —
+            // a fraction of four independent horizontal sums, which matters
+            // when `k` is small (the integer convolution pads tiny patch
+            // depths to a single 16-lane chunk).
+            let h01 = _mm256_hadd_epi32(acc0, acc1);
+            let h23 = _mm256_hadd_epi32(acc2, acc3);
+            let h = _mm256_hadd_epi32(h01, h23);
+            let s = _mm_add_epi32(_mm256_castsi256_si128(h), _mm256_extracti128_si256::<1>(h));
+            let mut out = [0i32; 4];
+            _mm_storeu_si128(out.as_mut_ptr().cast(), s);
+            for p in chunks * 16..k {
+                let x = i32::from(*a.get_unchecked(p));
+                out[0] += x * i32::from(*b0.get_unchecked(p));
+                out[1] += x * i32::from(*b1.get_unchecked(p));
+                out[2] += x * i32::from(*b2.get_unchecked(p));
+                out[3] += x * i32::from(*b3.get_unchecked(p));
+            }
+            out
+        }
+    }
+
+    /// Single-row i16 dot product.
+    #[inline(always)]
+    unsafe fn dot1_i16(a: &[i16], b: &[i16], k: usize) -> i32 {
+        // SAFETY: caller runs under an AVX2 target_feature scope and
+        // guarantees both slices hold at least `k` elements.
+        unsafe {
+            let mut acc = _mm256_setzero_si256();
+            let chunks = k / 16;
+            for ch in 0..chunks {
+                let off = ch * 16;
+                let av = _mm256_loadu_si256(a.as_ptr().add(off).cast());
+                let bv = _mm256_loadu_si256(b.as_ptr().add(off).cast());
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+            }
+            let mut out = hsum_epi32(acc);
+            for p in chunks * 16..k {
+                out += i32::from(*a.get_unchecked(p)) * i32::from(*b.get_unchecked(p));
+            }
+            out
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_i16_a_bt_avx2(
+        a: &[i16],
+        b: &[i16],
+        c: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        // SAFETY: slice bounds checked by the public wrapper's debug
+        // asserts and honored by the chunked loops below.
+        unsafe {
+            // Block the B rows so one ~16 KiB panel stays L1-resident
+            // across all `m` A rows. The convolution calls this with a
+            // small `m` (out_channels) and a huge `n` (every output
+            // pixel); without the blocking the whole B matrix streams
+            // from memory `m` times over.
+            let jb_cols = (8192 / k.max(1)).max(4);
+            let mut jb = 0;
+            while jb < n {
+                let jend = (jb + jb_cols).min(n);
+                for i in 0..m {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    let mut j = jb;
+                    while j + 4 <= jend {
+                        let d = dot4_i16(
+                            a_row,
+                            &b[j * k..],
+                            &b[(j + 1) * k..],
+                            &b[(j + 2) * k..],
+                            &b[(j + 3) * k..],
+                            k,
+                        );
+                        c_row[j..j + 4].copy_from_slice(&d);
+                        j += 4;
+                    }
+                    while j < jend {
+                        c_row[j] = dot1_i16(a_row, &b[j * k..], k);
+                        j += 1;
+                    }
+                }
+                jb = jend;
+            }
+        }
+    }
+
+    /// i8 dot product: sign-extend 16 codes per side to i16, then madd.
+    #[inline(always)]
+    unsafe fn dot1_i8(a: &[i8], b: &[i8], k: usize) -> i32 {
+        // SAFETY: caller runs under an AVX2 target_feature scope and
+        // guarantees both slices hold at least `k` elements.
+        unsafe {
+            let mut acc = _mm256_setzero_si256();
+            let chunks = k / 16;
+            for ch in 0..chunks {
+                let off = ch * 16;
+                let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(off).cast()));
+                let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(off).cast()));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+            }
+            let mut out = hsum_epi32(acc);
+            for p in chunks * 16..k {
+                out += i32::from(*a.get_unchecked(p)) * i32::from(*b.get_unchecked(p));
+            }
+            out
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_i8_a_bt_avx2(
+        a: &[i8],
+        b: &[i8],
+        c: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        // SAFETY: slice bounds checked by the public wrapper's debug
+        // asserts and honored by the chunked loops.
+        unsafe {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (j, c_ij) in c_row.iter_mut().enumerate() {
+                    *c_ij = dot1_i8(a_row, &b[j * k..], k);
+                }
+            }
+        }
+    }
+
+    /// Max `|x|` over the slice, eight lanes at a time. `max` is
+    /// associative and commutative over the finite activations/weights the
+    /// quantizer feeds it, so the result matches the scalar fold exactly.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn max_abs_avx2(src: &[f32]) -> f32 {
+        // SAFETY: AVX2 verified by the caller; every load stays inside
+        // the `chunks * 8` prefix of `src`.
+        unsafe {
+            let mask = _mm256_set1_ps(f32::from_bits(0x7fff_ffff));
+            let mut m = _mm256_setzero_ps();
+            let chunks = src.len() / 8;
+            for ch in 0..chunks {
+                let v = _mm256_loadu_ps(src.as_ptr().add(ch * 8));
+                m = _mm256_max_ps(m, _mm256_and_ps(v, mask));
+            }
+            let s = _mm_max_ps(_mm256_castps256_ps128(m), _mm256_extractf128_ps::<1>(m));
+            let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_max_ss(s, _mm_shuffle_ps::<1>(s, s));
+            let mut out = _mm_cvtss_f32(s);
+            for p in chunks * 8..src.len() {
+                out = out.max(src.get_unchecked(p).abs());
+            }
+            out
+        }
+    }
+
+    /// Vectorized quantizer body: the identical operation sequence to the
+    /// scalar [`super::encode_i16`] (clamp, signed half-offset, truncating
+    /// convert), eight codes per iteration, so both paths emit bitwise
+    /// equal codes for finite input. `dst` must hold `src.len()` elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn encode_i16_avx2(src: &[f32], inv: f32, bound: f32, dst: &mut [i16]) {
+        debug_assert_eq!(src.len(), dst.len());
+        // SAFETY: AVX2 verified by the caller; loads and stores stay
+        // inside the `chunks * 8` prefixes of `src`/`dst`.
+        unsafe {
+            let vinv = _mm256_set1_ps(inv);
+            let vlo = _mm256_set1_ps(-bound);
+            let vhi = _mm256_set1_ps(bound);
+            let vhalf = _mm256_set1_ps(0.5);
+            let vsign = _mm256_set1_ps(-0.0);
+            let chunks = src.len() / 8;
+            for ch in 0..chunks {
+                let v = _mm256_mul_ps(_mm256_loadu_ps(src.as_ptr().add(ch * 8)), vinv);
+                let v = _mm256_min_ps(_mm256_max_ps(v, vlo), vhi);
+                let half = _mm256_or_ps(vhalf, _mm256_and_ps(v, vsign));
+                let vi = _mm256_cvttps_epi32(_mm256_add_ps(v, half));
+                // |v| ≤ bound + 0.5 ≤ 32767.5, so the i32 → i16 pack
+                // never saturates.
+                let packed = _mm_packs_epi32(
+                    _mm256_castsi256_si128(vi),
+                    _mm256_extracti128_si256::<1>(vi),
+                );
+                _mm_storeu_si128(dst.as_mut_ptr().add(ch * 8).cast(), packed);
+            }
+            for p in chunks * 8..src.len() {
+                *dst.get_unchecked_mut(p) = super::encode_i16(*src.get_unchecked(p), inv, bound);
+            }
+        }
+    }
+}
+
+/// Widened-accumulator (`i64`) scalar kernels: the exactness oracle the
+/// production `i32` kernels are tested against.
+pub mod reference {
+    /// `C[m×n] = A[m×k] · Bᵀ`, `i16` codes, `i64` accumulation.
+    pub fn matmul_i16_a_bt(a: &[i16], b: &[i16], c: &mut [i64], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for p in 0..k {
+                    acc += i64::from(a[i * k + p]) * i64::from(b[j * k + p]);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// `C[m×n] = A[m×k] · Bᵀ`, `i8` codes, `i64` accumulation.
+    pub fn matmul_i8_a_bt(a: &[i8], b: &[i8], c: &mut [i64], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for p in 0..k {
+                    acc += i64::from(a[i * k + p]) * i64::from(b[j * k + p]);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_i16(len: usize, bound: i16, salt: u64) -> Vec<i16> {
+        // Simple deterministic LCG spread over [-bound, bound].
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let span = i64::from(bound) * 2 + 1;
+                ((state >> 33) as i64 % span - i64::from(bound)) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn i16_kernel_matches_widened_reference_exactly() {
+        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (4, 33, 9), (5, 64, 8), (2, 129, 3)] {
+            let a = codes_i16(m * k, 255, 1);
+            let b = codes_i16(n * k, 255, 2);
+            let mut c = vec![0i32; m * n];
+            matmul_i16_a_bt(&a, &b, &mut c, m, k, n);
+            let mut expected = vec![0i64; m * n];
+            reference::matmul_i16_a_bt(&a, &b, &mut expected, m, k, n);
+            for (idx, (&got, &want)) in c.iter().zip(&expected).enumerate() {
+                assert_eq!(i64::from(got), want, "({m},{k},{n}) idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_kernel_matches_widened_reference_exactly() {
+        for (m, k, n) in [(1, 1, 1), (3, 17, 5), (4, 48, 9), (2, 130, 6)] {
+            let a: Vec<i8> = codes_i16(m * k, 127, 3).iter().map(|&x| x as i8).collect();
+            let b: Vec<i8> = codes_i16(n * k, 127, 4).iter().map(|&x| x as i8).collect();
+            let mut c = vec![0i32; m * n];
+            matmul_i8_a_bt(&a, &b, &mut c, m, k, n);
+            let mut expected = vec![0i64; m * n];
+            reference::matmul_i8_a_bt(&a, &b, &mut expected, m, k, n);
+            for (idx, (&got, &want)) in c.iter().zip(&expected).enumerate() {
+                assert_eq!(i64::from(got), want, "({m},{k},{n}) idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_round_trips_grid_points() {
+        // Values already on the grid must quantize losslessly.
+        let steps = 31u32;
+        let scale_in = 0.04f32;
+        let src: Vec<f32> = (-31..=31).map(|c| c as f32 * scale_in).collect();
+        let mut codes = Vec::new();
+        let scale = quantize_i16(&src, steps, &mut codes);
+        for (&x, &c) in src.iter().zip(&codes) {
+            assert!((f32::from(c) * scale - x).abs() < 1e-6, "{x} -> {c}");
+        }
+    }
+
+    #[test]
+    fn quantize_handles_zero_input() {
+        let mut codes = Vec::new();
+        let scale = quantize_i16(&[0.0, 0.0, 0.0], 15, &mut codes);
+        assert_eq!(scale, 0.0);
+        assert_eq!(codes, vec![0, 0, 0]);
+    }
+}

@@ -123,6 +123,16 @@ impl Network {
         }
     }
 
+    /// Enables (`Some`) or disables (`None`) the integer inference
+    /// datapath on every layer that implements one (see
+    /// [`crate::layers::Layer::set_int_mode`]). Training passes are
+    /// unaffected; layers without an integer path ignore the call.
+    pub fn set_int_mode(&mut self, spec: Option<crate::layers::IntSpec>) {
+        for layer in &mut self.layers {
+            layer.set_int_mode(spec);
+        }
+    }
+
     /// Total number of trainable scalar parameters.
     #[must_use]
     pub fn parameter_count(&self) -> usize {

@@ -1,10 +1,11 @@
 //! Thread-local scratch-buffer arena.
 //!
-//! The hot paths (GEMM packing panels, conv's im2col/col2im buffers) need
-//! large temporary `f32` buffers on every call. Allocating them fresh per
-//! call costs a page-zeroing `memset` and allocator traffic per sample;
-//! this arena instead keeps one buffer per [`Slot`] per thread and hands it
-//! out on demand, so a training epoch or attack sweep reuses the same
+//! The hot paths (GEMM packing panels, conv's im2col/col2im buffers, the
+//! FFT convolution's spectra, the integer datapath's code buffers) need
+//! large temporary buffers on every call. Allocating them fresh per call
+//! costs a page-zeroing `memset` and allocator traffic per sample; this
+//! arena instead keeps one buffer per slot per thread and hands it out on
+//! demand, so a training epoch or attack sweep reuses the same
 //! allocations across every batch item processed by a given worker.
 //!
 //! The arena uses *take/put* semantics rather than scoped borrows: a
@@ -12,10 +13,14 @@
 //! when a pool thread helps run another task while blocked — see
 //! [`crate::parallel`]) simply allocates a fresh buffer instead of
 //! panicking, and the larger of the two is kept on return.
+//!
+//! Buffers come in three element types — `f32` ([`Slot`]), `i16`
+//! ([`SlotI16`]) and `i32` ([`SlotI32`]) — each with its own independent
+//! per-thread arena.
 
 use std::cell::RefCell;
 
-/// Named scratch buffers; one live buffer per slot per thread.
+/// Named `f32` scratch buffers; one live buffer per slot per thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Slot {
     /// GEMM packed A panel.
@@ -30,46 +35,66 @@ pub(crate) enum Slot {
     OutBlock,
     /// Conv backward gathered-`dY` staging buffer.
     YBlock,
+    /// FFT conv: padded input-tile spectrum workspace.
+    FftImage,
+    /// FFT conv: accumulated output-tile spectrum / inverse staging.
+    FftStage,
 }
 
-const SLOTS: usize = 6;
-
-thread_local! {
-    static ARENA: RefCell<[Option<Vec<f32>>; SLOTS]> =
-        const { RefCell::new([None, None, None, None, None, None]) };
+/// Named `i16` scratch buffers for the integer datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotI16 {
+    /// Quantized activation codes (whole input tensor or batch rows).
+    Act,
+    /// Quantized weight codes.
+    Weight,
+    /// Transposed im2col patch codes (`[ncols][kdim]`).
+    Col,
 }
 
-fn take(slot: Slot) -> Vec<f32> {
-    ARENA
-        .with(|arena| arena.borrow_mut()[slot as usize].take())
-        .unwrap_or_default()
+/// Named `i32` scratch buffers for the integer datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotI32 {
+    /// Integer GEMM accumulator block.
+    Acc,
 }
 
-fn put(slot: Slot, buffer: Vec<f32>) {
-    ARENA.with(|arena| {
-        let cell = &mut arena.borrow_mut()[slot as usize];
-        let keep = match cell.as_ref() {
-            Some(existing) => existing.capacity() < buffer.capacity(),
-            None => true,
-        };
-        if keep {
-            *cell = Some(buffer);
+macro_rules! typed_arena {
+    ($arena:ident, $ty:ty, $slot:ty, $count:expr, $with:ident) => {
+        thread_local! {
+            static $arena: RefCell<[Option<Vec<$ty>>; $count]> =
+                const { RefCell::new([const { None }; $count]) };
         }
-    });
+
+        /// Runs `f` with the thread's buffer for `slot`.
+        ///
+        /// The buffer arrives with whatever length/contents the previous
+        /// user left; callers must `clear`/`resize` it themselves. It
+        /// returns to the arena afterwards (if `f` panics the buffer is
+        /// merely dropped, never corrupted).
+        pub(crate) fn $with<R>(slot: $slot, f: impl FnOnce(&mut Vec<$ty>) -> R) -> R {
+            let mut buffer = $arena
+                .with(|arena| arena.borrow_mut()[slot as usize].take())
+                .unwrap_or_default();
+            let result = f(&mut buffer);
+            $arena.with(|arena| {
+                let cell = &mut arena.borrow_mut()[slot as usize];
+                let keep = match cell.as_ref() {
+                    Some(existing) => existing.capacity() < buffer.capacity(),
+                    None => true,
+                };
+                if keep {
+                    *cell = Some(buffer);
+                }
+            });
+            result
+        }
+    };
 }
 
-/// Runs `f` with the thread's buffer for `slot`.
-///
-/// The buffer arrives with whatever length/contents the previous user left;
-/// callers must `clear`/`resize` it themselves. It returns to the arena
-/// afterwards (even if `f` panics the buffer is merely dropped, never
-/// corrupted).
-pub(crate) fn with_buffer<R>(slot: Slot, f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
-    let mut buffer = take(slot);
-    let result = f(&mut buffer);
-    put(slot, buffer);
-    result
-}
+typed_arena!(ARENA, f32, Slot, 8, with_buffer);
+typed_arena!(ARENA_I16, i16, SlotI16, 3, with_buffer_i16);
+typed_arena!(ARENA_I32, i32, SlotI32, 1, with_buffer_i32);
 
 #[cfg(test)]
 mod tests {
@@ -115,5 +140,22 @@ mod tests {
                 assert_ne!(a.as_ptr(), b.as_ptr());
             });
         });
+    }
+
+    #[test]
+    fn typed_arenas_are_independent() {
+        with_buffer_i16(SlotI16::Act, |a| {
+            a.clear();
+            a.resize(16, 7);
+            with_buffer_i32(SlotI32::Acc, |b| {
+                b.clear();
+                b.resize(16, -3);
+                assert_eq!(a[0], 7);
+                assert_eq!(b[0], -3);
+            });
+        });
+        // Capacity survives, per type.
+        with_buffer_i16(SlotI16::Act, |a| assert!(a.capacity() >= 16));
+        with_buffer_i32(SlotI32::Acc, |b| assert!(b.capacity() >= 16));
     }
 }

@@ -1,10 +1,16 @@
-//! Property tests for the tiled GEMM engine: the packed kernels against
-//! the naive reference across odd/prime/tiny shapes, and bitwise thread-
-//! count stability of the layers built on top of them.
+//! Property tests for the GEMM kernel tiers: the packed kernels against
+//! the naive reference across odd/prime/tiny shapes, the explicit SIMD
+//! micro-kernel against the tiled engine, the integer datapath against a
+//! widened-accumulator reference (exact), the frequency-domain convolution
+//! against im2col, and bitwise thread-count stability of the layers built
+//! on top of them.
 
 use proptest::prelude::*;
-use safelight_neuro::linalg::reference;
-use safelight_neuro::{matmul, matmul_a_bt, matmul_at_b, Conv2d, Layer, Linear, Tensor};
+use safelight_neuro::layers::ConvImpl;
+use safelight_neuro::linalg::{int, reference};
+use safelight_neuro::{
+    matmul, matmul_a_bt, matmul_at_b, matmul_with, Conv2d, GemmImpl, Layer, Linear, Tensor,
+};
 
 /// The awkward dimensions the tiling must survive: unit, primes straddling
 /// the micro-kernel (MR=4, NR=16), and boundary-crossing sizes.
@@ -75,6 +81,175 @@ proptest! {
         matmul_at_b(&a_t, &b, &mut c_tiled, m, k, n);
         reference::matmul_at_b(&a_t, &b, &mut c_ref, m, k, n);
         assert_close(&c_tiled, &c_ref, k, "matmul_at_b");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The explicit SIMD micro-kernel tier agrees with the tiled engine at
+    /// every dimension triple from the awkward set. (On machines without
+    /// AVX2 the SIMD tier is unavailable and the property is vacuous.)
+    #[test]
+    fn simd_matmul_matches_tiled(
+        mi in 0usize..6, ki in 0usize..6, ni in 0usize..6, salt in 0.0f32..10.0,
+    ) {
+        if GemmImpl::Simd.is_available() {
+            let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+            let a = deterministic(m * k, salt);
+            let b = deterministic(k * n, salt + 1.0);
+            let mut c_simd = deterministic(m * n, salt + 2.0);
+            let mut c_tiled = c_simd.clone();
+            matmul_with(GemmImpl::Simd, &a, &b, &mut c_simd, m, k, n);
+            matmul_with(GemmImpl::Tiled, &a, &b, &mut c_tiled, m, k, n);
+            assert_close(&c_simd, &c_tiled, k, "simd matmul");
+        }
+    }
+
+    /// The vectorized integer GEMMs are *exact*: i32 accumulation agrees
+    /// bit-for-bit with an i64 widened-accumulator reference at every
+    /// awkward shape (the overflow contract k·max|a|·max|b| < 2³¹ holds
+    /// for i8 codes at every k in the set, and for the bounded i16 codes
+    /// the quantizer emits).
+    #[test]
+    fn int_gemm_is_exact_vs_widened_reference(
+        mi in 0usize..6, ki in 0usize..6, ni in 0usize..6, salt in 1u64..1000,
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let code = |len: usize, s: u64| -> Vec<i64> {
+            (0..len)
+                .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(s) % 255) as i64 - 127)
+                .collect()
+        };
+        let a = code(m * k, salt);
+        let b = code(n * k, salt + 7);
+
+        let a8: Vec<i8> = a.iter().map(|&v| v as i8).collect();
+        let b8: Vec<i8> = b.iter().map(|&v| v as i8).collect();
+        let mut c8 = vec![0i32; m * n];
+        let mut c8_ref = vec![0i64; m * n];
+        int::matmul_i8_a_bt(&a8, &b8, &mut c8, m, k, n);
+        int::reference::matmul_i8_a_bt(&a8, &b8, &mut c8_ref, m, k, n);
+        prop_assert!(
+            c8.iter().zip(&c8_ref).all(|(&x, &y)| i64::from(x) == y),
+            "i8 GEMM diverged from widened reference at {m}x{k}x{n}"
+        );
+
+        // ±3175 keeps the contract at the deepest k in the set:
+        // 129 · 3175² ≈ 1.3e9 < 2³¹.
+        let a16: Vec<i16> = a.iter().map(|&v| (v * 25) as i16).collect();
+        let b16: Vec<i16> = b.iter().map(|&v| (v * 25) as i16).collect();
+        let mut c16 = vec![0i32; m * n];
+        let mut c16_ref = vec![0i64; m * n];
+        int::matmul_i16_a_bt(&a16, &b16, &mut c16, m, k, n);
+        int::reference::matmul_i16_a_bt(&a16, &b16, &mut c16_ref, m, k, n);
+        prop_assert!(
+            c16.iter().zip(&c16_ref).all(|(&x, &y)| i64::from(x) == y),
+            "i16 GEMM diverged from widened reference at {m}x{k}x{n}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The frequency-domain convolution agrees with im2col across kernel
+    /// sizes, channel counts and image sizes (including ones where the
+    /// shape heuristic would never pick FFT on its own).
+    #[test]
+    fn fft_conv_matches_im2col(
+        hwi in 0usize..4,
+        ki in 0usize..2,
+        ic in 1usize..4,
+        oc in 1usize..5,
+        batch in 1usize..3,
+        salt in 0.0f32..10.0,
+    ) {
+        let hw = [7usize, 12, 17, 29][hwi];
+        let kernel = [3usize, 5][ki];
+        let x = Tensor::from_vec(
+            vec![batch, ic, hw, hw],
+            deterministic(batch * ic * hw * hw, salt),
+        )
+        .unwrap();
+        let mut base = Conv2d::new(ic, oc, kernel, 11)
+            .unwrap()
+            .with_conv_impl(ConvImpl::Im2col);
+        let mut freq = Conv2d::new(ic, oc, kernel, 11)
+            .unwrap()
+            .with_conv_impl(ConvImpl::Fft);
+        let y_base = base.forward(&x, false).unwrap();
+        let y_freq = freq.forward(&x, false).unwrap();
+        prop_assert_eq!(y_base.shape(), y_freq.shape());
+        for (i, (a, b)) in y_base.as_slice().iter().zip(y_freq.as_slice()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 5e-4 * b.abs().max(1.0),
+                "fft vs im2col diverged at {} (hw {} k {} ic {}): {} vs {}",
+                i, hw, kernel, ic, a, b
+            );
+        }
+    }
+}
+
+/// Every available kernel tier is bitwise stable under row decomposition:
+/// computing `C` in one call agrees exactly with computing disjoint row
+/// blocks in separate calls. The batch-parallel layers split work exactly
+/// this way, so this is the GEMM-level form of "thread count cannot change
+/// the bits" — per tier, not just for whichever tier is active.
+#[test]
+fn kernel_tiers_are_bit_stable_under_row_decomposition() {
+    let (m, k, n) = (37usize, 129, 65);
+    let a = deterministic(m * k, 0.3);
+    let b = deterministic(k * n, 1.3);
+    for imp in GemmImpl::all() {
+        if !imp.is_available() {
+            continue;
+        }
+        let mut whole = vec![0.0f32; m * n];
+        matmul_with(imp, &a, &b, &mut whole, m, k, n);
+        for blocks in [2usize, 3, 5] {
+            let mut split = vec![0.0f32; m * n];
+            let rows = m.div_ceil(blocks);
+            let mut i0 = 0;
+            while i0 < m {
+                let i1 = (i0 + rows).min(m);
+                matmul_with(
+                    imp,
+                    &a[i0 * k..i1 * k],
+                    &b,
+                    &mut split[i0 * n..i1 * n],
+                    i1 - i0,
+                    k,
+                    n,
+                );
+                i0 = i1;
+            }
+            assert_eq!(
+                whole,
+                split,
+                "kernel `{}` not bit-stable at {blocks}-way row split",
+                imp.name()
+            );
+        }
+    }
+}
+
+/// The FFT convolution path is bitwise identical across worker thread
+/// counts, same as the im2col path (covered below): the per-image work is
+/// independent and the batch decomposition is fixed.
+#[test]
+fn fft_conv_forward_is_bit_stable_across_thread_counts() {
+    let x = Tensor::from_vec(vec![6, 3, 15, 15], deterministic(6 * 3 * 15 * 15, 0.7)).unwrap();
+    let run = |threads: usize| {
+        let mut conv = Conv2d::new(3, 4, 5, 19)
+            .unwrap()
+            .with_conv_impl(ConvImpl::Fft)
+            .with_threads(threads);
+        conv.forward(&x, false).unwrap().as_slice().to_vec()
+    };
+    let baseline = run(1);
+    for threads in [2usize, 4] {
+        assert_eq!(baseline, run(threads), "fft forward diverged ({threads}t)");
     }
 }
 

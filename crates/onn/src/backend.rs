@@ -434,14 +434,30 @@ impl InferenceBackend for QuantizedBackend {
             inner: AnalyticRows::new(&self.model),
             readout_steps: self.readout_steps,
         };
-        corrupt_network_with(
+        let mut net = corrupt_network_with(
             clean,
             mapping,
             conditions,
             &self.config,
             &self.model,
             &mut rows,
-        )
+        )?;
+        // With finite converters on both operands the forward pass itself
+        // can run as exact integer MACs: activations on the *input*-DAC
+        // grid (the configuration's native resolution — `weight_bits`
+        // only overrides the weight-imprinting DAC), weights on the
+        // readout grid the derivation above already snapped them to, one
+        // dequantize on store. `bits == 0` means "converter disabled" in
+        // the response model, so either depth at 0 keeps the float path —
+        // preserving the native-depth ≡ analytic equivalence.
+        let spec = safelight_neuro::IntSpec {
+            act_steps: DropResponseModel::steps_from_bits(self.config.dac_bits),
+            weight_steps: self.readout_steps,
+        };
+        if spec.is_valid() {
+            net.set_int_mode(Some(spec));
+        }
+        Ok(net)
     }
 
     fn probe(

@@ -131,6 +131,14 @@ fn cache_stamp(
     h = fold(h, u64::from(recipe.learning_rate.to_bits()));
     h = fold(h, u64::from(recipe.l2_lambda.to_bits()));
     h = fold(h, recipe.seed);
+    // Training numerics depend on the active GEMM kernel tier (each tier
+    // sums in its own register-block order) and, within the SIMD tier, on
+    // the detected ISA — so a checkpoint trained under one kernel must
+    // not be silently reused under another.
+    let tier = safelight_neuro::GemmImpl::active();
+    for byte in tier.name().bytes().chain(tier.isa().bytes()) {
+        h = fold(h, u64::from(byte));
+    }
     // The model layout: shapes of every parameter tensor, so architecture
     // changes (new layers, resized blocks) invalidate old checkpoints even
     // when the total parameter count happens to line up.
